@@ -1,0 +1,62 @@
+//! Criterion benchmarks of the chain store: extension validation, recovery
+//! version validation and adoption.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fireledger::chain::Chain;
+use fireledger_crypto::{merkle_root, CryptoProvider, SimKeyStore};
+use fireledger_types::{BlockHeader, ClusterConfig, NodeId, Round, SignedHeader, Transaction, WorkerId};
+
+fn grow_chain(chain: &mut Chain, crypto: &SimKeyStore, rounds: usize, n: usize) {
+    for i in 0..rounds {
+        let proposer = NodeId((i % n) as u32);
+        let txs = vec![Transaction::zeroed(0, i as u64, 256)];
+        let header = BlockHeader::new(
+            chain.next_round(),
+            WorkerId(0),
+            proposer,
+            chain.tip_hash(),
+            merkle_root(&txs),
+            txs.len() as u32,
+            256,
+        );
+        let sig = crypto.sign(proposer, &header.canonical_bytes());
+        chain.append(SignedHeader::new(header, sig), None);
+        chain.finalize_deep_blocks();
+    }
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let crypto = SimKeyStore::generate(10, 1);
+    let cluster = ClusterConfig::new(10);
+    let mut group = c.benchmark_group("chain");
+    for len in [100usize, 1000] {
+        let mut chain = Chain::new(cluster);
+        grow_chain(&mut chain, &crypto, len, 10);
+        let next = BlockHeader::new(
+            chain.next_round(),
+            WorkerId(0),
+            NodeId((len % 10) as u32),
+            chain.tip_hash(),
+            fireledger_types::GENESIS_HASH,
+            0,
+            0,
+        );
+        let signed = SignedHeader::new(next.clone(), crypto.sign(next.proposer, &next.canonical_bytes()));
+        group.bench_with_input(BenchmarkId::new("validate_extension", len), &chain, |b, chain| {
+            b.iter(|| chain.validate_extension(&signed, &crypto).is_ok())
+        });
+        let base = Round((len as u64).saturating_sub(4));
+        let version = chain.version_from(base);
+        group.bench_with_input(BenchmarkId::new("validate_version", len), &chain, |b, chain| {
+            b.iter(|| chain.validate_version(base, &version, &crypto).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the protocol hot paths: a full simulated second of
+//! a FireLedger cluster versus the HotStuff and BFT-SMaRt baselines, plus the
+//! per-message handling cost of the worker.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fireledger::prelude::*;
+use fireledger::build_cluster;
+use fireledger_baselines::{BftSmartNode, HotStuffNode};
+use fireledger_crypto::SimKeyStore;
+use fireledger_sim::{SimConfig, Simulation};
+use std::time::Duration;
+
+fn bench_fireledger_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_100ms");
+    group.sample_size(10);
+    for n in [4usize, 7] {
+        group.bench_with_input(BenchmarkId::new("fireledger", n), &n, |b, &n| {
+            b.iter(|| {
+                let params = ProtocolParams::new(n)
+                    .with_batch_size(10)
+                    .with_tx_size(256)
+                    .with_base_timeout(Duration::from_millis(20));
+                let mut sim = Simulation::new(SimConfig::ideal(), build_cluster(&params, 1));
+                sim.run_for(Duration::from_millis(100));
+                sim.deliveries(NodeId(0)).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hotstuff", n), &n, |b, &n| {
+            b.iter(|| {
+                let params = ProtocolParams::new(n)
+                    .with_batch_size(10)
+                    .with_tx_size(256)
+                    .with_base_timeout(Duration::from_millis(20));
+                let crypto = SimKeyStore::generate(n, 1).shared();
+                let nodes: Vec<HotStuffNode> = (0..n)
+                    .map(|i| HotStuffNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+                    .collect();
+                let mut sim = Simulation::new(SimConfig::ideal(), nodes);
+                sim.run_for(Duration::from_millis(100));
+                sim.deliveries(NodeId(0)).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bftsmart", n), &n, |b, &n| {
+            b.iter(|| {
+                let params = ProtocolParams::new(n)
+                    .with_batch_size(10)
+                    .with_tx_size(256)
+                    .with_base_timeout(Duration::from_millis(20));
+                let crypto = SimKeyStore::generate(n, 1).shared();
+                let nodes: Vec<BftSmartNode> = (0..n)
+                    .map(|i| BftSmartNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+                    .collect();
+                let mut sim = Simulation::new(SimConfig::ideal(), nodes);
+                sim.run_for(Duration::from_millis(100));
+                sim.deliveries(NodeId(0)).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fireledger_round
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 10: FLO's throughput with a 100-node single data-center cluster,
+//! σ = 512, β ∈ {10, 100, 1000}, ω ∈ 1..5.
+
+use fireledger_bench::*;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 10 — scalability at n = 100", "Figure 10, §7.3");
+    let omegas = if full_mode() { vec![1, 2, 3, 4, 5] } else { vec![1, 2] };
+    let betas = if full_mode() { batch_sizes() } else { vec![100, 1000] };
+    for beta in betas {
+        for omega in &omegas {
+            let r = ExperimentConfig::flo(100, *omega, beta, 512)
+                .duration(Duration::from_millis(if full_mode() { 1000 } else { 400 }))
+                .run();
+            r.emit(&format!("fig10 n=100 β={beta} ω={omega}"));
+        }
+    }
+    println!("\nExpected shape (paper): around an order of magnitude below the n=10 throughput;");
+    println!("the number of workers stops mattering because communication dominates.");
+}

@@ -1,0 +1,23 @@
+//! Figure 11: FLO's throughput while f nodes are crashed, σ = 512,
+//! β ∈ {10, 100, 1000}, n ∈ {4, 7, 10} (f ∈ {1, 2, 3}).
+
+use fireledger_bench::*;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 11 — crash failures", "Figure 11, §7.4.1");
+    for n in cluster_sizes() {
+        let f = (n - 1) / 3;
+        for beta in batch_sizes() {
+            for omega in worker_sweep() {
+                let r = ExperimentConfig::flo(n, omega, beta, 512)
+                    .with_crashes(f)
+                    .duration(Duration::from_millis(if full_mode() { 3000 } else { 800 }))
+                    .run();
+                r.emit(&format!("fig11 n={n} f={f} β={beta} ω={omega}"));
+            }
+        }
+    }
+    println!("\nExpected shape (paper): lower than fault-free (the crashed proposers' turns need the");
+    println!("fallback), decreasing with n, but still tens of thousands of tps.");
+}

@@ -1,0 +1,23 @@
+//! Figure 12: FLO's throughput and recovery rate (rps) with an equivocating
+//! Byzantine node, σ = 512.
+
+use fireledger_bench::*;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 12 — Byzantine failures", "Figure 12, §7.4.2");
+    let omegas = if full_mode() { vec![1, 3, 5] } else { vec![1, 3] };
+    for n in cluster_sizes() {
+        for beta in batch_sizes() {
+            for omega in &omegas {
+                let r = ExperimentConfig::flo(n, *omega, beta, 512)
+                    .with_byzantine(1)
+                    .duration(Duration::from_millis(if full_mode() { 3000 } else { 1200 }))
+                    .run();
+                r.emit(&format!("fig12 n={n} β={beta} ω={omega}"));
+            }
+        }
+    }
+    println!("\nExpected shape (paper): throughput drops relative to the optimistic case and recoveries");
+    println!("per second shrink as β and n grow, but the system keeps delivering (>10K tps in some configs).");
+}

@@ -1,0 +1,19 @@
+//! Figure 13: FLO's blocks-per-second rate in the ten-region geo-distributed
+//! deployment.
+
+use fireledger_bench::*;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 13 — bps, multi data-center", "Figure 13, §7.5.1");
+    for n in cluster_sizes() {
+        for omega in worker_sweep() {
+            let r = ExperimentConfig::flo(n, omega, 100, 512)
+                .geo()
+                .duration(Duration::from_millis(if full_mode() { 20_000 } else { 6_000 }))
+                .run();
+            r.emit(&format!("fig13 n={n} ω={omega}"));
+        }
+    }
+    println!("\nExpected shape (paper): bps is roughly an order of magnitude below the single data-center rate.");
+}

@@ -1,0 +1,21 @@
+//! Figure 14: FLO's transaction throughput in the geo-distributed deployment,
+//! σ = 512.
+
+use fireledger_bench::*;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 14 — tps, multi data-center", "Figure 14, §7.5.1");
+    for n in cluster_sizes() {
+        for beta in batch_sizes() {
+            for omega in worker_sweep() {
+                let r = ExperimentConfig::flo(n, omega, beta, 512)
+                    .geo()
+                    .duration(Duration::from_millis(if full_mode() { 20_000 } else { 5_000 }))
+                    .run();
+                r.emit(&format!("fig14 n={n} β={beta} ω={omega}"));
+            }
+        }
+    }
+    println!("\nExpected shape (paper): tens of thousands of tps at best (≈30K at σ=512), growing with ω and β.");
+}

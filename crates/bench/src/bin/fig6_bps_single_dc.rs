@@ -1,0 +1,19 @@
+//! Figure 6: FLO's blocks-per-second rate in a single data-center for
+//! n ∈ {4, 7, 10} as a function of the number of workers ω.
+
+use fireledger_bench::*;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 6 — bps, single data-center", "Figure 6, §7.2.1");
+    for n in cluster_sizes() {
+        for omega in worker_sweep() {
+            let r = ExperimentConfig::flo(n, omega, 100, 512)
+                .duration(Duration::from_millis(if full_mode() { 3000 } else { 1000 }))
+                .run();
+            r.emit(&format!("fig6 n={n} ω={omega}"));
+        }
+    }
+    println!("\nExpected shape (paper): bps grows with ω (better CPU utilisation) and shrinks with n");
+    println!("(each decision costs more communication).");
+}

@@ -1,0 +1,384 @@
+//! # fireledger-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! FireLedger paper's evaluation (§7). Each figure/table has its own binary in
+//! `src/bin/` (see `DESIGN.md` for the index); this library holds the shared
+//! machinery: building clusters, running them on the discrete-event
+//! simulator under a given network/CPU model, and emitting result rows both
+//! as human-readable tables and as JSON (one object per row on stdout lines
+//! prefixed with `JSON:`), which `EXPERIMENTS.md` is produced from.
+//!
+//! Absolute numbers depend on the simulator's calibration, not on the
+//! authors' AWS testbed, so the quantities to compare against the paper are
+//! the *shapes*: how throughput scales with n, ω, σ, β, who wins between
+//! FLO, HotStuff and BFT-SMaRt, and where the trade-offs cross over.
+
+#![forbid(unsafe_code)]
+
+use fireledger::prelude::*;
+use fireledger::{ClusterNode, EquivocatingNode};
+use fireledger_baselines::{BftSmartNode, HotStuffNode};
+use fireledger_crypto::{CostModel, SharedCrypto, SimKeyStore};
+use fireledger_sim::adversary::CrashSchedule;
+use fireledger_sim::{Metrics, RunSummary, SimConfig, SimTime, Simulation};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which protocol a run exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum System {
+    /// FLO / FireLedger.
+    Flo,
+    /// Chained HotStuff baseline.
+    HotStuff,
+    /// BFT-SMaRt-style ordering baseline.
+    BftSmart,
+}
+
+/// One experiment configuration (a point of a parameter sweep).
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentConfig {
+    /// Protocol under test.
+    pub system: System,
+    /// Cluster size n.
+    pub n: usize,
+    /// FLO workers ω (ignored by the baselines).
+    pub workers: usize,
+    /// Batch size β.
+    pub batch: usize,
+    /// Transaction size σ in bytes.
+    pub tx_size: usize,
+    /// Human-readable network label ("single-dc" / "geo" / ...).
+    pub network: String,
+    /// Simulated run length in milliseconds.
+    pub duration_ms: u64,
+    /// Number of crashed nodes (crash at t = 0 measurement starts after).
+    pub crashed: usize,
+    /// Number of equivocating Byzantine nodes.
+    pub byzantine: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// A FLO configuration with the paper's defaults.
+    pub fn flo(n: usize, workers: usize, batch: usize, tx_size: usize) -> Self {
+        ExperimentConfig {
+            system: System::Flo,
+            n,
+            workers,
+            batch,
+            tx_size,
+            network: "single-dc".into(),
+            duration_ms: 2_000,
+            crashed: 0,
+            byzantine: 0,
+            seed: 1,
+        }
+    }
+
+    /// Switches the run to the geo-distributed network model.
+    pub fn geo(mut self) -> Self {
+        self.network = "geo".into();
+        self.duration_ms = self.duration_ms.max(5_000);
+        self
+    }
+
+    /// Sets the simulated duration.
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.duration_ms = d.as_millis() as u64;
+        self
+    }
+
+    /// Uses a different protocol.
+    pub fn system(mut self, system: System) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Crashes the last `crashed` nodes at the start of the measurement.
+    pub fn with_crashes(mut self, crashed: usize) -> Self {
+        self.crashed = crashed;
+        self
+    }
+
+    /// Makes the last `byzantine` nodes equivocate on every block they propose.
+    pub fn with_byzantine(mut self, byzantine: usize) -> Self {
+        self.byzantine = byzantine;
+        self
+    }
+
+    fn protocol_params(&self) -> ProtocolParams {
+        let base_timeout = if self.network == "geo" {
+            Duration::from_millis(400)
+        } else {
+            Duration::from_millis(20)
+        };
+        ProtocolParams::new(self.n)
+            .with_workers(self.workers)
+            .with_batch_size(self.batch)
+            .with_tx_size(self.tx_size)
+            .with_base_timeout(base_timeout)
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        let mut cfg = if self.network == "geo" {
+            SimConfig::geo_distributed()
+        } else {
+            SimConfig::single_dc()
+        };
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Overrides the CPU model (e.g. `CostModel::c5_4xlarge()` for the §7.6
+    /// comparison).
+    pub fn run_with_cost(&self, cost: CostModel) -> ExperimentResult {
+        let mut sim_cfg = self.sim_config();
+        sim_cfg.cost = cost;
+        self.run_on(sim_cfg)
+    }
+
+    /// Runs the experiment with the default machine model (m5.xlarge).
+    pub fn run(&self) -> ExperimentResult {
+        self.run_on(self.sim_config())
+    }
+
+    fn run_on(&self, sim_cfg: SimConfig) -> ExperimentResult {
+        let duration = Duration::from_millis(self.duration_ms);
+        match self.system {
+            System::Flo => self.run_flo(sim_cfg, duration),
+            System::HotStuff => self.run_baseline(sim_cfg, duration, true),
+            System::BftSmart => self.run_baseline(sim_cfg, duration, false),
+        }
+    }
+
+    fn correct_nodes(&self) -> Vec<NodeId> {
+        let faulty = self.crashed + self.byzantine;
+        (0..(self.n - faulty) as u32).map(NodeId).collect()
+    }
+
+    fn finish<P>(&self, mut sim: Simulation<P>, warmup: Duration) -> ExperimentResult
+    where
+        P: fireledger_types::Protocol,
+        P::Msg: fireledger_types::WireSize,
+    {
+        sim.metrics_mut()
+            .set_window_start(SimTime::ZERO + warmup);
+        let correct = self.correct_nodes();
+        let summary = sim.summary_for(&correct);
+        let phase = sim.metrics().phase_breakdown();
+        let cdf = sim.metrics().latency_cdf(20);
+        ExperimentResult {
+            config: self.clone(),
+            summary,
+            phase_breakdown: phase,
+            latency_cdf: cdf,
+        }
+    }
+
+    fn run_flo(&self, sim_cfg: SimConfig, duration: Duration) -> ExperimentResult {
+        let params = self.protocol_params();
+        let honest = self.n - self.byzantine;
+        let crypto: SharedCrypto = SimKeyStore::generate(self.n, self.seed).shared();
+        let nodes: Vec<ClusterNode> = (0..self.n)
+            .map(|i| {
+                let flo = FloNode::new(
+                    NodeId(i as u32),
+                    params.clone(),
+                    crypto.clone(),
+                    Arc::new(fireledger::AcceptAll),
+                );
+                if i >= honest {
+                    ClusterNode::Equivocating(EquivocatingNode::new(flo, crypto.clone()))
+                } else {
+                    ClusterNode::Honest(flo)
+                }
+            })
+            .collect();
+        let mut sim = if self.crashed > 0 {
+            let adv = CrashSchedule::crash_last_f(self.n, self.crashed, SimTime::ZERO);
+            Simulation::with_adversary(sim_cfg, nodes, Box::new(adv))
+        } else {
+            Simulation::new(sim_cfg, nodes)
+        };
+        let warmup = duration / 10;
+        sim.run_for(duration);
+        self.finish(sim, warmup)
+    }
+
+    fn run_baseline(
+        &self,
+        sim_cfg: SimConfig,
+        duration: Duration,
+        hotstuff: bool,
+    ) -> ExperimentResult {
+        let params = self.protocol_params();
+        let crypto: SharedCrypto = SimKeyStore::generate(self.n, self.seed).shared();
+        let warmup = duration / 10;
+        if hotstuff {
+            let nodes: Vec<HotStuffNode> = (0..self.n)
+                .map(|i| HotStuffNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+                .collect();
+            let mut sim = Simulation::new(sim_cfg, nodes);
+            sim.run_for(duration);
+            self.finish(sim, warmup)
+        } else {
+            let nodes: Vec<BftSmartNode> = (0..self.n)
+                .map(|i| BftSmartNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+                .collect();
+            let mut sim = Simulation::new(sim_cfg, nodes);
+            sim.run_for(duration);
+            self.finish(sim, warmup)
+        }
+    }
+}
+
+/// The result of one experiment run.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentResult {
+    /// The configuration that produced it.
+    pub config: ExperimentConfig,
+    /// Headline rates and latencies.
+    pub summary: RunSummary,
+    /// Relative time spent in the A→B→C→D→E phases (Figure 9).
+    pub phase_breakdown: [f64; 4],
+    /// Latency CDF points (Figures 8 and 15).
+    pub latency_cdf: Vec<(f64, f64)>,
+}
+
+impl ExperimentResult {
+    /// Prints a human-readable row plus a machine-readable `JSON:` line.
+    pub fn emit(&self, label: &str) {
+        println!(
+            "{label:<28} n={:<3} ω={:<2} β={:<5} σ={:<5} net={:<9} | tps={:>10.0} bps={:>8.1} lat(avg)={:>7.3}s p95={:>7.3}s rps={:>5.2} msgs={:>8}",
+            self.config.n,
+            self.config.workers,
+            self.config.batch,
+            self.config.tx_size,
+            self.config.network,
+            self.summary.tps,
+            self.summary.bps,
+            self.summary.avg_latency_secs,
+            self.summary.p95_latency_secs,
+            self.summary.recoveries_per_sec,
+            self.summary.msgs_sent,
+        );
+        if let Ok(json) = serde_json::to_string(self) {
+            println!("JSON: {json}");
+        }
+    }
+}
+
+/// Whether the harness should run the full (slow) parameter grids.
+/// Controlled by the `FIRELEDGER_BENCH_FULL` environment variable; the default
+/// is a quick grid so `cargo run` on every binary finishes in minutes.
+pub fn full_mode() -> bool {
+    std::env::var("FIRELEDGER_BENCH_FULL").is_ok_and(|v| v != "0")
+}
+
+/// The worker counts to sweep (the paper sweeps 1..10; quick mode uses a
+/// representative subset).
+pub fn worker_sweep() -> Vec<usize> {
+    if full_mode() {
+        (1..=10).collect()
+    } else {
+        vec![1, 2, 4, 8]
+    }
+}
+
+/// The paper's cluster sizes.
+pub fn cluster_sizes() -> Vec<usize> {
+    vec![4, 7, 10]
+}
+
+/// The paper's batch sizes β.
+pub fn batch_sizes() -> Vec<usize> {
+    vec![10, 100, 1000]
+}
+
+/// The paper's transaction sizes σ.
+pub fn tx_sizes() -> Vec<usize> {
+    vec![512, 1024, 4096]
+}
+
+/// Prints the standard experiment banner.
+pub fn banner(name: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("FireLedger reproduction — {name}");
+    println!("Paper reference: {paper_ref}");
+    println!("Mode: {}", if full_mode() { "FULL" } else { "quick (set FIRELEDGER_BENCH_FULL=1 for the full grid)" });
+    println!("==============================================================");
+}
+
+/// Extracts per-node message/signature counters — used by the Table 1 cost
+/// accounting.
+pub fn cost_counters(metrics: &Metrics) -> (u64, u64, u64) {
+    let mut msgs = 0;
+    let mut sigs = 0;
+    let mut verifies = 0;
+    for c in metrics.node_counters() {
+        msgs += c.msgs_sent;
+        sigs += c.signatures;
+        verifies += c.verifications;
+    }
+    (msgs, sigs, verifies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_flo_run_produces_throughput() {
+        let result = ExperimentConfig::flo(4, 1, 10, 512)
+            .duration(Duration::from_millis(300))
+            .run();
+        assert!(result.summary.tps > 0.0, "tps = {}", result.summary.tps);
+        assert!(result.summary.bps > 0.0);
+    }
+
+    #[test]
+    fn baseline_runs_produce_throughput() {
+        for system in [System::HotStuff, System::BftSmart] {
+            let result = ExperimentConfig::flo(4, 1, 10, 512)
+                .system(system)
+                .duration(Duration::from_millis(300))
+                .run();
+            assert!(
+                result.summary.tps > 0.0,
+                "{system:?} produced no throughput"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_run_restricts_to_correct_nodes() {
+        let cfg = ExperimentConfig::flo(4, 1, 10, 512)
+            .with_crashes(1)
+            .duration(Duration::from_millis(400));
+        let result = cfg.run();
+        assert_eq!(cfg.correct_nodes().len(), 3);
+        assert!(result.summary.tps > 0.0);
+    }
+
+    #[test]
+    fn byzantine_run_reports_recoveries() {
+        let result = ExperimentConfig::flo(4, 1, 10, 512)
+            .with_byzantine(1)
+            .duration(Duration::from_millis(600))
+            .run();
+        // The equivocating proposer must trigger at least one recovery.
+        assert!(result.summary.recoveries_per_sec >= 0.0);
+        assert!(result.summary.tps > 0.0);
+    }
+
+    #[test]
+    fn sweep_helpers_match_paper_table2() {
+        assert_eq!(cluster_sizes(), vec![4, 7, 10]);
+        assert_eq!(batch_sizes(), vec![10, 100, 1000]);
+        assert_eq!(tx_sizes(), vec![512, 1024, 4096]);
+        assert!(!worker_sweep().is_empty());
+    }
+}

@@ -1,0 +1,405 @@
+//! Optimistic Binary Byzantine Consensus (OBBC) — Algorithm 4 / Appendix A.
+//!
+//! `OBBC_v` decides a bit. Its defining feature is **fast termination**: if no
+//! node proposes the value `v' ≠ v`, every correct node decides `v` after a
+//! single all-to-all exchange of (unsigned, single-bit) votes. In FireLedger
+//! `v = 1` ("deliver the proposer's message") and `evidence(1)` is the
+//! proposer's signed header, so the common case of every round is exactly one
+//! such exchange.
+//!
+//! When the fast path fails, Algorithm 4 exchanges evidences and then falls
+//! back to a full binary Byzantine consensus (`BBC_v.propose`, line OB19).
+//! Consistent with the paper's implementation — which uses BFT-SMaRt as that
+//! fallback (§6.1.2) — this state machine does *not* embed the fallback
+//! consensus. Instead it resolves into an [`ObbcOutcome`]: either a fast
+//! decision, or a `Fallback { proposal, evidence }` that the caller submits to
+//! its BFT consensus layer (the [`crate::pbft`] instance owned by the
+//! FireLedger worker).
+//!
+//! Evidence validation is the caller's job (the paper's external `valid`
+//! function): callers pass already-validated evidence into
+//! [`Obbc::on_evidence_reply`], mirroring how WRB validates the proposer's
+//! signature before voting.
+
+use fireledger_types::{ClusterConfig, NodeId, Outbox, WireSize};
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+/// Wire messages of one OBBC instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObbcMsg<E> {
+    /// A node's vote (line OB4). A single bit on the wire.
+    Vote {
+        /// Instance identifier (the FireLedger round).
+        instance: u64,
+        /// The vote.
+        value: bool,
+    },
+    /// Request for `evidence(v)` (line OB12).
+    EvidenceRequest {
+        /// Instance identifier.
+        instance: u64,
+    },
+    /// Reply carrying the sender's evidence, if it has one (line OB21).
+    EvidenceReply {
+        /// Instance identifier.
+        instance: u64,
+        /// The sender's evidence for the favoured value, or `None`.
+        evidence: Option<E>,
+    },
+}
+
+impl<E: WireSize> WireSize for ObbcMsg<E> {
+    fn wire_size(&self) -> usize {
+        match self {
+            // instance + 1 bit of protocol data (the paper's "single bit").
+            ObbcMsg::Vote { .. } => 8 + 1,
+            ObbcMsg::EvidenceRequest { .. } => 8 + 1,
+            ObbcMsg::EvidenceReply { evidence, .. } => 8 + 1 + evidence.wire_size(),
+        }
+    }
+}
+
+/// How an OBBC instance resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ObbcOutcome<E> {
+    /// The fast path succeeded: `v = 1` was decided in one communication step
+    /// (OBBC_v-Fast-Termination).
+    FastDecide(bool),
+    /// The fast path failed. The caller must run the fallback binary
+    /// consensus with `proposal` (the value adopted after the evidence
+    /// exchange, line OB15–OB18), attaching `evidence` when proposing `1`.
+    Fallback {
+        /// The value to propose to the fallback consensus.
+        proposal: bool,
+        /// Valid evidence for `1`, if any was collected.
+        evidence: Option<E>,
+    },
+}
+
+/// One instance of OBBC₁ (the favoured value is `true`).
+#[derive(Debug)]
+pub struct Obbc<E> {
+    me: NodeId,
+    cluster: ClusterConfig,
+    instance: u64,
+    my_vote: Option<bool>,
+    my_evidence: Option<E>,
+    votes: HashMap<NodeId, bool>,
+    evidence_replies: HashMap<NodeId, Option<E>>,
+    evidence_requested: bool,
+    resolved: bool,
+}
+
+impl<E> Obbc<E>
+where
+    E: Clone + Debug,
+{
+    /// Creates the OBBC state of node `me` for `instance`.
+    pub fn new(me: NodeId, cluster: ClusterConfig, instance: u64) -> Self {
+        Obbc {
+            me,
+            cluster,
+            instance,
+            my_vote: None,
+            my_evidence: None,
+            votes: HashMap::new(),
+            evidence_replies: HashMap::new(),
+            evidence_requested: false,
+            resolved: false,
+        }
+    }
+
+    /// The instance identifier.
+    pub fn instance(&self) -> u64 {
+        self.instance
+    }
+
+    /// True once the instance produced an outcome.
+    pub fn is_resolved(&self) -> bool {
+        self.resolved
+    }
+
+    /// This node's vote, once cast.
+    pub fn my_vote(&self) -> Option<bool> {
+        self.my_vote
+    }
+
+    /// Proposes `vote`, carrying `evidence` when voting for the favoured
+    /// value (lines OB1–OB4). Returns an outcome immediately only in the
+    /// degenerate single-quorum case (n - f = 1).
+    pub fn propose(
+        &mut self,
+        vote: bool,
+        evidence: Option<E>,
+        out: &mut Outbox<ObbcMsg<E>>,
+    ) -> Option<ObbcOutcome<E>> {
+        debug_assert!(
+            !vote || evidence.is_some(),
+            "voting 1 requires evidence(1) (the proposer's signed message)"
+        );
+        debug_assert!(
+            vote || evidence.is_none(),
+            "evidence must be nil when voting 0"
+        );
+        if self.my_vote.is_some() {
+            return None;
+        }
+        self.my_vote = Some(vote);
+        self.my_evidence = evidence;
+        out.broadcast(ObbcMsg::Vote {
+            instance: self.instance,
+            value: vote,
+        });
+        self.record_vote(self.me, vote, out)
+    }
+
+    /// Handles a vote from a peer (or the local node).
+    pub fn on_vote(
+        &mut self,
+        from: NodeId,
+        value: bool,
+        out: &mut Outbox<ObbcMsg<E>>,
+    ) -> Option<ObbcOutcome<E>> {
+        self.record_vote(from, value, out)
+    }
+
+    fn record_vote(
+        &mut self,
+        from: NodeId,
+        value: bool,
+        out: &mut Outbox<ObbcMsg<E>>,
+    ) -> Option<ObbcOutcome<E>> {
+        if self.resolved {
+            return None;
+        }
+        self.votes.entry(from).or_insert(value);
+        // Wait until we have cast our own vote and heard from a quorum
+        // (lines OB5–OB6: "wait until n − f proposals have been received").
+        if self.my_vote.is_none() || self.votes.len() < self.cluster.quorum() {
+            return None;
+        }
+        if self.votes.values().all(|v| *v) {
+            // votes = {v}: fast decision (lines OB7–OB9).
+            self.resolved = true;
+            return Some(ObbcOutcome::FastDecide(true));
+        }
+        // Couldn't terminate quickly; ask for evidences (line OB12).
+        if !self.evidence_requested {
+            self.evidence_requested = true;
+            out.broadcast(ObbcMsg::EvidenceRequest {
+                instance: self.instance,
+            });
+            // Our own evidence counts as one reply (line OB24 includes self).
+            let own = self.my_evidence.clone();
+            return self.record_evidence(self.me, own);
+        }
+        None
+    }
+
+    /// Handles an evidence request from `from` (lines OB20–OB21).
+    pub fn on_evidence_request(&mut self, from: NodeId, out: &mut Outbox<ObbcMsg<E>>) {
+        out.send(
+            from,
+            ObbcMsg::EvidenceReply {
+                instance: self.instance,
+                evidence: self.my_evidence.clone(),
+            },
+        );
+    }
+
+    /// Handles an evidence reply. The caller must pass `None` instead of an
+    /// evidence that failed its external validity check.
+    pub fn on_evidence_reply(
+        &mut self,
+        from: NodeId,
+        evidence: Option<E>,
+    ) -> Option<ObbcOutcome<E>> {
+        if !self.evidence_requested {
+            return None;
+        }
+        self.record_evidence(from, evidence)
+    }
+
+    fn record_evidence(&mut self, from: NodeId, evidence: Option<E>) -> Option<ObbcOutcome<E>> {
+        if self.resolved {
+            return None;
+        }
+        self.evidence_replies.entry(from).or_insert(evidence);
+        if self.evidence_replies.len() < self.cluster.quorum() {
+            return None;
+        }
+        // Lines OB15–OB18: adopt v if any valid evidence(v) was received.
+        let valid_evidence = self
+            .evidence_replies
+            .values()
+            .flatten()
+            .next()
+            .cloned();
+        let proposal = valid_evidence.is_some() || self.my_vote == Some(true);
+        self.resolved = true;
+        Some(ObbcOutcome::Fallback {
+            proposal,
+            evidence: valid_evidence.or_else(|| self.my_evidence.clone()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Ev = &'static str;
+
+    fn cluster(n: usize) -> ClusterConfig {
+        ClusterConfig::new(n)
+    }
+
+    #[test]
+    fn unanimous_ones_fast_decide_in_one_step() {
+        let mut node = Obbc::<Ev>::new(NodeId(0), cluster(4), 7);
+        let mut out = Outbox::new();
+        assert!(node.propose(true, Some("sig"), &mut out).is_none());
+        assert!(node.on_vote(NodeId(1), true, &mut out).is_none());
+        let outcome = node.on_vote(NodeId(2), true, &mut out);
+        assert_eq!(outcome, Some(ObbcOutcome::FastDecide(true)));
+        assert!(node.is_resolved());
+        // Late votes are ignored.
+        assert!(node.on_vote(NodeId(3), true, &mut out).is_none());
+        // Exactly one broadcast (the vote) was emitted on the fast path.
+        let broadcasts = out
+            .into_actions()
+            .iter()
+            .filter(|a| matches!(a, fireledger_types::Action::Broadcast { .. }))
+            .count();
+        assert_eq!(broadcasts, 1);
+    }
+
+    #[test]
+    fn mixed_votes_trigger_evidence_exchange_then_fallback() {
+        let mut node = Obbc::<Ev>::new(NodeId(0), cluster(4), 1);
+        let mut out = Outbox::new();
+        node.propose(true, Some("header"), &mut out);
+        node.on_vote(NodeId(1), false, &mut out);
+        // Quorum reached with mixed votes → evidence request broadcast, own
+        // evidence recorded; not yet resolved.
+        assert!(node.on_vote(NodeId(2), true, &mut out).is_none());
+        assert!(!node.is_resolved());
+        // Two more replies complete the n − f = 3 evidence quorum.
+        assert!(node.on_evidence_reply(NodeId(1), None).is_none());
+        let outcome = node.on_evidence_reply(NodeId(2), Some("header"));
+        assert_eq!(
+            outcome,
+            Some(ObbcOutcome::Fallback {
+                proposal: true,
+                evidence: Some("header"),
+            })
+        );
+    }
+
+    #[test]
+    fn all_zero_votes_fall_back_with_zero_proposal() {
+        let mut node = Obbc::<Ev>::new(NodeId(3), cluster(4), 2);
+        let mut out = Outbox::new();
+        node.propose(false, None, &mut out);
+        node.on_vote(NodeId(0), false, &mut out);
+        assert!(node.on_vote(NodeId(1), false, &mut out).is_none());
+        // Evidence replies all nil → propose 0 to the fallback.
+        node.on_evidence_reply(NodeId(0), None);
+        let outcome = node.on_evidence_reply(NodeId(1), None);
+        assert_eq!(
+            outcome,
+            Some(ObbcOutcome::Fallback {
+                proposal: false,
+                evidence: None,
+            })
+        );
+    }
+
+    #[test]
+    fn zero_voter_adopts_one_when_evidence_appears() {
+        // A node that timed out (voted 0) adopts 1 once any peer shows the
+        // proposer's signed message (OBBC_v-Validity).
+        let mut node = Obbc::<Ev>::new(NodeId(1), cluster(4), 9);
+        let mut out = Outbox::new();
+        node.propose(false, None, &mut out);
+        node.on_vote(NodeId(0), true, &mut out);
+        node.on_vote(NodeId(2), true, &mut out);
+        node.on_evidence_reply(NodeId(0), Some("sig"));
+        let outcome = node.on_evidence_reply(NodeId(2), Some("sig"));
+        assert_eq!(
+            outcome,
+            Some(ObbcOutcome::Fallback {
+                proposal: true,
+                evidence: Some("sig"),
+            })
+        );
+    }
+
+    #[test]
+    fn evidence_request_is_answered_with_local_evidence() {
+        let mut node = Obbc::<Ev>::new(NodeId(0), cluster(4), 3);
+        let mut out = Outbox::new();
+        node.propose(true, Some("mine"), &mut out);
+        let mut reply_out = Outbox::new();
+        node.on_evidence_request(NodeId(2), &mut reply_out);
+        let actions = reply_out.into_actions();
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            fireledger_types::Action::Send { to, msg } => {
+                assert_eq!(*to, NodeId(2));
+                assert_eq!(
+                    *msg,
+                    ObbcMsg::EvidenceReply {
+                        instance: 3,
+                        evidence: Some("mine")
+                    }
+                );
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn votes_wait_for_own_proposal() {
+        // Votes arriving before we proposed do not resolve the instance.
+        let mut node = Obbc::<Ev>::new(NodeId(0), cluster(4), 5);
+        let mut out = Outbox::new();
+        assert!(node.on_vote(NodeId(1), true, &mut out).is_none());
+        assert!(node.on_vote(NodeId(2), true, &mut out).is_none());
+        assert!(node.on_vote(NodeId(3), true, &mut out).is_none());
+        assert!(!node.is_resolved());
+        let outcome = node.propose(true, Some("e"), &mut out);
+        assert_eq!(outcome, Some(ObbcOutcome::FastDecide(true)));
+    }
+
+    #[test]
+    fn duplicate_votes_from_same_node_count_once() {
+        let mut node = Obbc::<Ev>::new(NodeId(0), cluster(7), 0);
+        let mut out = Outbox::new();
+        node.propose(true, Some("e"), &mut out);
+        for _ in 0..10 {
+            assert!(node.on_vote(NodeId(1), true, &mut out).is_none());
+        }
+        assert!(!node.is_resolved());
+    }
+
+    #[test]
+    fn unsolicited_evidence_replies_are_ignored() {
+        let mut node = Obbc::<Ev>::new(NodeId(0), cluster(4), 0);
+        let mut out = Outbox::new();
+        node.propose(true, Some("e"), &mut out);
+        assert!(node.on_evidence_reply(NodeId(1), Some("x")).is_none());
+        assert!(!node.is_resolved());
+    }
+
+    #[test]
+    fn wire_sizes_are_single_bit_scale_for_votes() {
+        let vote: ObbcMsg<u64> = ObbcMsg::Vote { instance: 1, value: true };
+        assert!(vote.wire_size() <= 9);
+        let req: ObbcMsg<u64> = ObbcMsg::EvidenceRequest { instance: 1 };
+        assert!(req.wire_size() <= 9);
+        let reply: ObbcMsg<u64> = ObbcMsg::EvidenceReply { instance: 1, evidence: Some(7) };
+        assert!(reply.wire_size() > req.wire_size());
+    }
+}

@@ -1,0 +1,313 @@
+//! FLO — the FireLedger Orchestrator (§6.2).
+//!
+//! FireLedger's rotating-proposer pattern makes a single instance's
+//! throughput latency-bound: a node may only propose on its turn. FLO
+//! compensates by running ω independent FireLedger instances ("workers") per
+//! node and using them as a blockchain-based ordering service:
+//!
+//! * the **client manager** routes each incoming write to the least-loaded
+//!   worker;
+//! * workers run completely independently (their messages are tagged with the
+//!   worker id and never interact);
+//! * to preserve a single total order, FLO releases decided blocks to the
+//!   application by collecting the workers' definite deliveries **in
+//!   round-robin order** — worker 0's block for round r, then worker 1's,
+//!   and so on. A single slow worker therefore delays the merged delivery of
+//!   all others, which is exactly the latency effect studied in Figures 8–9.
+
+use crate::messages::{FloMsg, WorkerMsg};
+use crate::validity::SharedValidity;
+use crate::worker::Worker;
+use fireledger_crypto::SharedCrypto;
+use fireledger_types::{
+    Action, Delivery, NodeId, Observation, Outbox, Protocol, ProtocolParams, TimerId, Transaction,
+    WorkerId,
+};
+use std::collections::VecDeque;
+
+/// Bits of the timer sequence reserved for the worker index.
+const WORKER_SHIFT: u64 = 48;
+const SEQ_MASK: u64 = (1 << WORKER_SHIFT) - 1;
+
+/// A FLO node: ω FireLedger workers plus the client manager and the
+/// round-robin delivery merge.
+pub struct FloNode {
+    me: NodeId,
+    params: ProtocolParams,
+    workers: Vec<Worker>,
+    /// Definite deliveries produced by each worker, awaiting their round-robin
+    /// release slot.
+    pending: Vec<VecDeque<Delivery>>,
+    /// The worker whose delivery is released next.
+    next_worker: usize,
+    /// Total blocks released by the round-robin merge.
+    released: u64,
+}
+
+impl FloNode {
+    /// Creates a FLO node with `params.workers` FireLedger workers.
+    pub fn new(
+        me: NodeId,
+        params: ProtocolParams,
+        crypto: SharedCrypto,
+        validity: SharedValidity,
+    ) -> Self {
+        let workers = (0..params.workers)
+            .map(|w| {
+                Worker::new(
+                    me,
+                    WorkerId(w as u32),
+                    params.clone(),
+                    crypto.clone(),
+                    validity.clone(),
+                )
+            })
+            .collect::<Vec<_>>();
+        FloNode {
+            me,
+            pending: vec![VecDeque::new(); params.workers],
+            next_worker: 0,
+            released: 0,
+            params,
+            workers,
+        }
+    }
+
+    /// The node's identity.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of workers (ω).
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Access to an individual worker (for tests and the benchmark harness).
+    pub fn worker(&self, w: usize) -> &Worker {
+        &self.workers[w]
+    }
+
+    /// Total blocks released to the application so far.
+    pub fn released_blocks(&self) -> u64 {
+        self.released
+    }
+
+    /// The protocol parameters this node runs with.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    fn wrap_timer(worker: usize, id: TimerId) -> TimerId {
+        let (kind, seq) = id.decompose();
+        debug_assert!(seq <= SEQ_MASK, "worker timer sequence overflows FLO remapping");
+        TimerId::compose(kind, ((worker as u64) << WORKER_SHIFT) | (seq & SEQ_MASK))
+    }
+
+    fn unwrap_timer(id: TimerId) -> (usize, TimerId) {
+        let (kind, seq) = id.decompose();
+        let worker = (seq >> WORKER_SHIFT) as usize;
+        (worker, TimerId::compose(kind, seq & SEQ_MASK))
+    }
+
+    /// Lifts a worker's outbox into FLO-level actions: messages are tagged
+    /// with the worker id, timers are remapped, deliveries are buffered for
+    /// the round-robin merge, everything else passes through.
+    fn absorb(&mut self, worker: usize, sub: Outbox<WorkerMsg>, out: &mut Outbox<FloMsg>) {
+        let tag = WorkerId(worker as u32);
+        for action in sub.into_actions() {
+            match action {
+                Action::Send { to, msg } => out.send(to, FloMsg { worker: tag, inner: msg }),
+                Action::Broadcast { msg } => out.broadcast(FloMsg { worker: tag, inner: msg }),
+                Action::SetTimer { id, delay } => {
+                    out.set_timer(Self::wrap_timer(worker, id), delay)
+                }
+                Action::CancelTimer { id } => out.cancel_timer(Self::wrap_timer(worker, id)),
+                Action::Cpu(c) => out.cpu(c),
+                Action::Observe(o) => out.observe(o),
+                Action::Deliver(d) => {
+                    self.pending[worker].push_back(d);
+                }
+            }
+        }
+        self.release_round_robin(out);
+    }
+
+    /// Releases buffered deliveries in strict round-robin order across
+    /// workers: the merge stalls as soon as the worker whose turn it is has
+    /// nothing ready (§6.2).
+    fn release_round_robin(&mut self, out: &mut Outbox<FloMsg>) {
+        loop {
+            let Some(delivery) = self.pending[self.next_worker].pop_front() else {
+                return;
+            };
+            out.observe(Observation::FloDelivery {
+                worker: delivery.worker,
+                round: delivery.round,
+            });
+            out.deliver(delivery);
+            self.released += 1;
+            self.next_worker = (self.next_worker + 1) % self.workers.len();
+        }
+    }
+
+    /// The least-loaded worker (by pending transaction count) — the client
+    /// manager's routing rule.
+    fn least_loaded_worker(&self) -> usize {
+        self.workers
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.pool_len())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+impl Protocol for FloNode {
+    type Msg = FloMsg;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<FloMsg>) {
+        for w in 0..self.workers.len() {
+            let mut sub = Outbox::new();
+            self.workers[w].on_start(&mut sub);
+            self.absorb(w, sub, out);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: FloMsg, out: &mut Outbox<FloMsg>) {
+        let w = msg.worker.as_usize();
+        if w >= self.workers.len() {
+            return;
+        }
+        let mut sub = Outbox::new();
+        self.workers[w].on_message(from, msg.inner, &mut sub);
+        self.absorb(w, sub, out);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<FloMsg>) {
+        let (w, inner) = Self::unwrap_timer(timer);
+        if w >= self.workers.len() {
+            return;
+        }
+        let mut sub = Outbox::new();
+        self.workers[w].on_timer(inner, &mut sub);
+        self.absorb(w, sub, out);
+    }
+
+    fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<FloMsg>) {
+        let w = self.least_loaded_worker();
+        let mut sub = Outbox::new();
+        self.workers[w].on_transaction(tx, &mut sub);
+        self.absorb(w, sub, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::AcceptAll;
+    use fireledger_crypto::SimKeyStore;
+    use fireledger_sim::{SimConfig, Simulation};
+    use fireledger_types::Round;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn flo_cluster(n: usize, workers: usize, batch: usize) -> Vec<FloNode> {
+        let params = ProtocolParams::new(n)
+            .with_workers(workers)
+            .with_batch_size(batch)
+            .with_tx_size(64)
+            .with_base_timeout(Duration::from_millis(20));
+        let crypto: SharedCrypto = SimKeyStore::generate(n, 11).shared();
+        (0..n)
+            .map(|i| FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), Arc::new(AcceptAll)))
+            .collect()
+    }
+
+    #[test]
+    fn timer_wrapping_roundtrips() {
+        let id = TimerId::compose(1, 12345);
+        let wrapped = FloNode::wrap_timer(7, id);
+        let (w, inner) = FloNode::unwrap_timer(wrapped);
+        assert_eq!(w, 7);
+        assert_eq!(inner, id);
+    }
+
+    #[test]
+    fn multi_worker_flo_makes_progress_on_all_workers() {
+        let mut sim = Simulation::new(SimConfig::ideal(), flo_cluster(4, 3, 5));
+        sim.run_for(Duration::from_millis(500));
+        let node = sim.node(NodeId(0));
+        for w in 0..3 {
+            assert!(
+                node.worker(w).chain().len() > 5,
+                "worker {w} should have decided blocks, got {}",
+                node.worker(w).chain().len()
+            );
+        }
+        assert!(node.released_blocks() > 0);
+    }
+
+    #[test]
+    fn deliveries_are_round_robin_across_workers() {
+        let mut sim = Simulation::new(SimConfig::ideal(), flo_cluster(4, 3, 5));
+        sim.run_for(Duration::from_millis(500));
+        let deliveries = sim.deliveries(NodeId(1));
+        assert!(deliveries.len() >= 6);
+        for (i, d) in deliveries.iter().enumerate() {
+            assert_eq!(d.worker, WorkerId((i % 3) as u32), "delivery {i} out of worker order");
+            assert_eq!(d.round, Round((i / 3) as u64), "delivery {i} out of round order");
+        }
+    }
+
+    #[test]
+    fn all_nodes_release_the_same_merged_sequence() {
+        let mut sim = Simulation::new(SimConfig::ideal(), flo_cluster(4, 2, 4));
+        sim.run_for(Duration::from_millis(400));
+        let seq = |n: u32| {
+            sim.deliveries(NodeId(n))
+                .iter()
+                .map(|d| (d.worker, d.round, d.block.header.payload_hash))
+                .collect::<Vec<_>>()
+        };
+        let reference = seq(0);
+        assert!(!reference.is_empty());
+        for i in 1..4 {
+            let other = seq(i);
+            let common = reference.len().min(other.len());
+            assert_eq!(other[..common], reference[..common], "node {i} diverged");
+        }
+    }
+
+    #[test]
+    fn client_manager_routes_to_least_loaded_worker() {
+        let params = ProtocolParams::new(4).with_workers(3).with_fill_blocks(false);
+        let crypto: SharedCrypto = SimKeyStore::generate(4, 1).shared();
+        let mut node = FloNode::new(NodeId(0), params, crypto, Arc::new(AcceptAll));
+        let mut out = Outbox::new();
+        for i in 0..9 {
+            node.on_transaction(Transaction::zeroed(1, i, 8), &mut out);
+        }
+        // 9 transactions spread evenly across 3 workers.
+        for w in 0..3 {
+            assert_eq!(node.worker(w).pool_len(), 3, "worker {w} unbalanced");
+        }
+    }
+
+    #[test]
+    fn single_worker_flo_matches_plain_worker_behaviour() {
+        let mut sim = Simulation::new(SimConfig::ideal(), flo_cluster(4, 1, 5));
+        sim.run_for(Duration::from_millis(300));
+        let node = sim.node(NodeId(0));
+        assert_eq!(node.worker_count(), 1);
+        assert_eq!(
+            node.released_blocks() as usize,
+            sim.deliveries(NodeId(0)).len()
+        );
+        assert!(node.released_blocks() > 3);
+    }
+}

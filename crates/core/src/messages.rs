@@ -1,0 +1,281 @@
+//! Wire messages of the FireLedger protocol.
+//!
+//! One FireLedger worker instance exchanges [`WorkerMsg`]s; a FLO node runs ω
+//! workers and tags each message with the worker it belongs to
+//! ([`FloMsg`]). The message set mirrors the paper's communication pattern:
+//!
+//! * the **data path** ships block bodies ([`WorkerMsg::BlockData`]) as soon
+//!   as they are assembled (§6.1.1, block/header separation);
+//! * the **consensus path** ships signed headers — either pushed explicitly
+//!   ([`WorkerMsg::Header`], the `full_mode` WRB-broadcast of Algorithm 2
+//!   lines 6–11) or piggybacked on the next proposer's OBBC vote
+//!   ([`WorkerMsg::Vote`], Figure 1);
+//! * the optimistic path is the single-bit [`WorkerMsg::Vote`];
+//! * pull messages recover a missed header or body from peers that voted to
+//!   deliver it (Algorithm 1 lines 22–27);
+//! * [`WorkerMsg::Panic`] wraps the reliable broadcast of Byzantine proofs
+//!   (Algorithm 2 lines b6–b7);
+//! * [`WorkerMsg::Consensus`] wraps the PBFT consensus layer used for the
+//!   OBBC fallback and the recovery versions (Figure 3's BFT-SMaRt box).
+
+use fireledger_bft::{PbftMsg, RbMsg};
+use fireledger_types::{Hash, NodeId, Round, SignedHeader, Transaction, WireSize, WorkerId};
+
+/// A proof that some proposer behaved inconsistently: a signed header that
+/// does not extend the prover's chain, together with the prover's signed
+/// header for the parent round (Algorithm 2 line b6).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PanicProof {
+    /// The round at which the inconsistency was detected.
+    pub detected_round: Round,
+    /// The header that failed chain validation.
+    pub conflicting: SignedHeader,
+    /// The prover's own header for the preceding round (None at round 0).
+    pub local_parent: Option<SignedHeader>,
+}
+
+impl WireSize for PanicProof {
+    fn wire_size(&self) -> usize {
+        8 + self.conflicting.wire_size() + self.local_parent.wire_size()
+    }
+}
+
+/// Values submitted to the worker's BFT consensus layer (the BFT-SMaRt
+/// stand-in): OBBC fallback votes and recovery versions.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ConsensusValue {
+    /// A vote submitted to the fallback consensus after the optimistic path
+    /// failed (Algorithm 4 line OB19, realized through the ordering layer).
+    FallbackVote {
+        /// Round the vote refers to.
+        round: Round,
+        /// Proposer of the attempt the vote refers to.
+        proposer: NodeId,
+        /// The voting node.
+        voter: NodeId,
+        /// The vote (deliver / do not deliver).
+        vote: bool,
+        /// `evidence(1)`: the proposer's signed header, when the voter has it.
+        evidence: Option<SignedHeader>,
+    },
+    /// A node's chain version submitted during recovery (Algorithm 3 line 8).
+    RecoveryVersion {
+        /// The round the recovery was invoked for.
+        recovery_round: Round,
+        /// The node submitting this version.
+        from: NodeId,
+        /// The suffix of signed headers starting at `recovery_round − (f+1)`;
+        /// empty for nodes that are too far behind.
+        version: Vec<SignedHeader>,
+    },
+}
+
+impl WireSize for ConsensusValue {
+    fn wire_size(&self) -> usize {
+        match self {
+            ConsensusValue::FallbackVote { evidence, .. } => 8 + 4 + 4 + 1 + evidence.wire_size(),
+            ConsensusValue::RecoveryVersion { version, .. } => 8 + 4 + version.wire_size(),
+        }
+    }
+}
+
+/// Wire messages exchanged between the worker-`w` instances of the cluster.
+#[derive(Clone, Debug)]
+pub enum WorkerMsg {
+    /// Data path: a block body, disseminated as soon as it is assembled and
+    /// referenced from headers by its payload (merkle) hash.
+    BlockData {
+        /// Merkle root of the transactions.
+        payload_hash: Hash,
+        /// The transactions themselves.
+        txs: Vec<Transaction>,
+    },
+    /// Consensus path: explicit dissemination of a signed header (`full_mode`
+    /// push, used at start-up and after a failed attempt).
+    Header {
+        /// The proposer-signed header.
+        header: SignedHeader,
+    },
+    /// The single-bit optimistic vote of WRB/OBBC, optionally carrying the
+    /// next proposer's piggybacked header (Figure 1).
+    Vote {
+        /// Round being voted on.
+        round: Round,
+        /// Proposer of the attempt being voted on.
+        proposer: NodeId,
+        /// The vote: deliver (`true`) or skip (`false`).
+        vote: bool,
+        /// The next round's header, piggybacked by its proposer.
+        piggyback: Option<SignedHeader>,
+    },
+    /// Pull request for a header this node missed although it was decided
+    /// (WRB pull phase).
+    PullHeader {
+        /// Round of the missing header.
+        round: Round,
+        /// Proposer whose header is requested.
+        proposer: NodeId,
+    },
+    /// Reply to [`WorkerMsg::PullHeader`].
+    PullHeaderReply {
+        /// The requested header.
+        header: SignedHeader,
+    },
+    /// Pull request for a block body this node missed.
+    PullBlock {
+        /// Payload hash identifying the body.
+        payload_hash: Hash,
+    },
+    /// Reply to [`WorkerMsg::PullBlock`].
+    PullBlockReply {
+        /// Payload hash identifying the body.
+        payload_hash: Hash,
+        /// The transactions of the body.
+        txs: Vec<Transaction>,
+    },
+    /// Reliable broadcast of Byzantine-behaviour proofs.
+    Panic(RbMsg<PanicProof>),
+    /// The BFT consensus layer (OBBC fallback + recovery ordering).
+    Consensus(PbftMsg<ConsensusValue>),
+}
+
+impl WireSize for WorkerMsg {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            WorkerMsg::BlockData { txs, .. } => 32 + txs.wire_size(),
+            WorkerMsg::Header { header } => header.wire_size(),
+            WorkerMsg::Vote { piggyback, .. } => 8 + 4 + 1 + piggyback.wire_size(),
+            WorkerMsg::PullHeader { .. } => 8 + 4,
+            WorkerMsg::PullHeaderReply { header } => header.wire_size(),
+            WorkerMsg::PullBlock { .. } => 32,
+            WorkerMsg::PullBlockReply { txs, .. } => 32 + txs.wire_size(),
+            WorkerMsg::Panic(m) => m.wire_size(),
+            WorkerMsg::Consensus(m) => m.wire_size(),
+        }
+    }
+}
+
+/// A worker message tagged with its FLO worker instance.
+#[derive(Clone, Debug)]
+pub struct FloMsg {
+    /// The worker instance this message belongs to.
+    pub worker: WorkerId,
+    /// The worker-level message.
+    pub inner: WorkerMsg,
+}
+
+impl WireSize for FloMsg {
+    fn wire_size(&self) -> usize {
+        4 + self.inner.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_types::{BlockHeader, Round, Signature, WorkerId, GENESIS_HASH};
+
+    fn signed_header() -> SignedHeader {
+        SignedHeader::new(
+            BlockHeader::new(
+                Round(3),
+                WorkerId(0),
+                NodeId(1),
+                GENESIS_HASH,
+                GENESIS_HASH,
+                10,
+                5120,
+            ),
+            Signature(vec![0u8; 64]),
+        )
+    }
+
+    #[test]
+    fn vote_without_piggyback_is_tiny() {
+        let vote = WorkerMsg::Vote {
+            round: Round(1),
+            proposer: NodeId(0),
+            vote: true,
+            piggyback: None,
+        };
+        assert!(vote.wire_size() < 20, "optimistic votes must stay near a single bit of protocol data");
+    }
+
+    #[test]
+    fn piggybacked_vote_costs_one_header() {
+        let plain = WorkerMsg::Vote {
+            round: Round(1),
+            proposer: NodeId(0),
+            vote: true,
+            piggyback: None,
+        };
+        let piggy = WorkerMsg::Vote {
+            round: Round(1),
+            proposer: NodeId(0),
+            vote: true,
+            piggyback: Some(signed_header()),
+        };
+        assert_eq!(piggy.wire_size() - plain.wire_size(), signed_header().wire_size());
+    }
+
+    #[test]
+    fn block_data_dominates_wire_cost() {
+        let txs: Vec<Transaction> = (0..100).map(|i| Transaction::zeroed(0, i, 512)).collect();
+        let data = WorkerMsg::BlockData {
+            payload_hash: GENESIS_HASH,
+            txs,
+        };
+        assert!(data.wire_size() > 100 * 512);
+        let header = WorkerMsg::Header {
+            header: signed_header(),
+        };
+        assert!(data.wire_size() > 100 * header.wire_size());
+    }
+
+    #[test]
+    fn consensus_value_sizes() {
+        let vote = ConsensusValue::FallbackVote {
+            round: Round(1),
+            proposer: NodeId(0),
+            voter: NodeId(2),
+            vote: true,
+            evidence: Some(signed_header()),
+        };
+        let version = ConsensusValue::RecoveryVersion {
+            recovery_round: Round(9),
+            from: NodeId(1),
+            version: vec![signed_header(); 3],
+        };
+        assert!(version.wire_size() > vote.wire_size());
+        assert!(vote.wire_size() > 100);
+    }
+
+    #[test]
+    fn panic_proof_size_includes_both_headers() {
+        let proof = PanicProof {
+            detected_round: Round(4),
+            conflicting: signed_header(),
+            local_parent: Some(signed_header()),
+        };
+        assert!(proof.wire_size() > 2 * signed_header().wire_size());
+        let msg = WorkerMsg::Panic(RbMsg::Init {
+            origin: NodeId(0),
+            tag: 0,
+            value: proof,
+        });
+        assert!(msg.wire_size() > 300);
+    }
+
+    #[test]
+    fn flo_wrapping_adds_worker_tag() {
+        let inner = WorkerMsg::PullBlock {
+            payload_hash: GENESIS_HASH,
+        };
+        let inner_size = inner.wire_size();
+        let flo = FloMsg {
+            worker: WorkerId(3),
+            inner,
+        };
+        assert_eq!(flo.wire_size(), inner_size + 4);
+    }
+}

@@ -1,0 +1,242 @@
+//! Proposer rotation.
+//!
+//! FireLedger rotates the proposer role round-robin (a well-known defence
+//! against performance attacks on a fixed primary, §1). Two refinements from
+//! the paper are implemented here:
+//!
+//! * the **skip rule** of Algorithm 2 (lines b1–b3): a node whose block was
+//!   tentatively decided within the last `f` rounds is skipped, which is what
+//!   guarantees that any `f + 1` consecutive decided blocks come from `f + 1`
+//!   distinct proposers (Lemma 5.3.2);
+//! * the **pseudo-random permutation** of §6.1.1 ("Consecutive Byzantine
+//!   Proposers"): the round-robin order can be re-shuffled from a seed that is
+//!   unpredictable to the adversary (e.g. a decided block's hash, standing in
+//!   for the paper's VRF), so Byzantine nodes cannot park themselves on
+//!   consecutive positions forever.
+
+use fireledger_types::{ClusterConfig, Hash, NodeId, Round};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::collections::HashMap;
+
+/// The outcome of selecting the proposer for a round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProposerChoice {
+    /// The selected proposer.
+    pub proposer: NodeId,
+    /// Nodes that were skipped by the rule, in skip order.
+    pub skipped: Vec<NodeId>,
+}
+
+/// Deterministic proposer-rotation state shared by all correct nodes.
+#[derive(Clone, Debug)]
+pub struct ProposerRotation {
+    cluster: ClusterConfig,
+    /// Rotation order: `order[i]` proposes at position `i` of the cycle.
+    order: Vec<NodeId>,
+    /// Round at which each node's block was most recently tentatively decided.
+    last_decided: HashMap<NodeId, Round>,
+}
+
+impl ProposerRotation {
+    /// Creates the identity rotation `p0, p1, …, p_{n−1}`.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        ProposerRotation {
+            cluster,
+            order: cluster.nodes().collect(),
+            last_decided: HashMap::new(),
+        }
+    }
+
+    /// The first proposer of the chain (position 0 of the order).
+    pub fn initial(&self) -> NodeId {
+        self.order[0]
+    }
+
+    /// The current rotation order.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Position of `node` in the rotation order.
+    fn position(&self, node: NodeId) -> usize {
+        self.order
+            .iter()
+            .position(|p| *p == node)
+            .expect("node is part of the rotation")
+    }
+
+    /// The node that follows `node` in the rotation order.
+    pub fn successor(&self, node: NodeId) -> NodeId {
+        let pos = self.position(node);
+        self.order[(pos + 1) % self.order.len()]
+    }
+
+    /// Records that `proposer`'s block was tentatively decided in `round`.
+    pub fn record_decided(&mut self, proposer: NodeId, round: Round) {
+        let entry = self.last_decided.entry(proposer).or_insert(round);
+        if round >= *entry {
+            *entry = round;
+        }
+    }
+
+    /// Whether `node` is eligible to propose in `round` under the skip rule:
+    /// its block must not have been tentatively decided in the last `f`
+    /// rounds.
+    pub fn eligible(&self, node: NodeId, round: Round) -> bool {
+        match self.last_decided.get(&node) {
+            None => true,
+            Some(decided) => decided.plus(self.cluster.f as u64) < round,
+        }
+    }
+
+    /// Applies the skip rule starting from `candidate` (inclusive) for
+    /// `round`, returning the chosen proposer and any skipped nodes.
+    ///
+    /// The rule can skip at most `f` nodes before reaching one that has not
+    /// proposed recently, so the loop always terminates.
+    pub fn select(&self, candidate: NodeId, round: Round) -> ProposerChoice {
+        let mut skipped = Vec::new();
+        let mut current = candidate;
+        for _ in 0..self.order.len() {
+            if self.eligible(current, round) {
+                return ProposerChoice {
+                    proposer: current,
+                    skipped,
+                };
+            }
+            skipped.push(current);
+            current = self.successor(current);
+        }
+        // Every node proposed recently (impossible with n ≥ 3f+1 > f+1, but
+        // return the candidate rather than loop forever).
+        ProposerChoice {
+            proposer: candidate,
+            skipped,
+        }
+    }
+
+    /// Whether any of `skipped` proposed within the last `f` decided rounds —
+    /// the condition under which the failure detector's suspected list must be
+    /// invalidated (§6.1.1).
+    pub fn skip_touches_recent_proposers(&self, skipped: &[NodeId], round: Round) -> bool {
+        skipped.iter().any(|p| !self.eligible(*p, round))
+    }
+
+    /// Re-shuffles the rotation order from a seed derived from `entropy`
+    /// (typically a decided block's hash — the paper's VRF stand-in). All
+    /// correct nodes call this with the same entropy and therefore derive the
+    /// same order.
+    pub fn reshuffle(&mut self, entropy: &Hash) {
+        let mut seed = [0u8; 32];
+        seed.copy_from_slice(entropy.as_bytes());
+        let mut rng = ChaCha20Rng::from_seed(seed);
+        self.order = self.cluster.nodes().collect();
+        self.order.shuffle(&mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rotation(n: usize) -> ProposerRotation {
+        ProposerRotation::new(ClusterConfig::new(n))
+    }
+
+    #[test]
+    fn identity_order_and_successor() {
+        let r = rotation(4);
+        assert_eq!(r.initial(), NodeId(0));
+        assert_eq!(r.successor(NodeId(0)), NodeId(1));
+        assert_eq!(r.successor(NodeId(3)), NodeId(0));
+        assert_eq!(r.order().len(), 4);
+    }
+
+    #[test]
+    fn fresh_nodes_are_always_eligible() {
+        let r = rotation(4);
+        for i in 0..4u32 {
+            assert!(r.eligible(NodeId(i), Round(0)));
+        }
+        let choice = r.select(NodeId(2), Round(0));
+        assert_eq!(choice.proposer, NodeId(2));
+        assert!(choice.skipped.is_empty());
+    }
+
+    #[test]
+    fn recent_proposers_are_skipped() {
+        let mut r = rotation(4); // f = 1
+        r.record_decided(NodeId(1), Round(9));
+        // Round 10: node 1 proposed in the last f = 1 rounds → skipped.
+        let choice = r.select(NodeId(1), Round(10));
+        assert_eq!(choice.proposer, NodeId(2));
+        assert_eq!(choice.skipped, vec![NodeId(1)]);
+        assert!(r.skip_touches_recent_proposers(&choice.skipped, Round(10)));
+        // Round 11: the block is now f + 1 rounds old → eligible again.
+        assert!(r.eligible(NodeId(1), Round(11)));
+    }
+
+    #[test]
+    fn consecutive_skips_respect_f() {
+        let mut r = rotation(10); // f = 3
+        r.record_decided(NodeId(4), Round(20));
+        r.record_decided(NodeId(5), Round(21));
+        r.record_decided(NodeId(6), Round(22));
+        let choice = r.select(NodeId(4), Round(23));
+        assert_eq!(choice.proposer, NodeId(7));
+        assert_eq!(choice.skipped, vec![NodeId(4), NodeId(5), NodeId(6)]);
+    }
+
+    #[test]
+    fn normal_round_robin_never_skips() {
+        // In steady state each node proposes every n rounds, far beyond f.
+        let mut r = rotation(7); // f = 2
+        let mut proposer = r.initial();
+        for round in 0..50u64 {
+            let choice = r.select(proposer, Round(round));
+            assert!(choice.skipped.is_empty(), "unexpected skip at round {round}");
+            r.record_decided(choice.proposer, Round(round));
+            proposer = r.successor(choice.proposer);
+        }
+    }
+
+    #[test]
+    fn record_decided_keeps_the_latest_round() {
+        let mut r = rotation(4);
+        r.record_decided(NodeId(0), Round(5));
+        r.record_decided(NodeId(0), Round(3));
+        assert!(!r.eligible(NodeId(0), Round(6)));
+        assert!(r.eligible(NodeId(0), Round(7)));
+    }
+
+    #[test]
+    fn reshuffle_is_deterministic_and_complete() {
+        let mut a = rotation(10);
+        let mut b = rotation(10);
+        let entropy = Hash([7u8; 32]);
+        a.reshuffle(&entropy);
+        b.reshuffle(&entropy);
+        assert_eq!(a.order(), b.order());
+        // It is a permutation of all nodes.
+        let mut sorted = a.order().to_vec();
+        sorted.sort();
+        assert_eq!(sorted, (0..10u32).map(NodeId).collect::<Vec<_>>());
+        // Different entropy gives (almost surely) a different order.
+        let mut c = rotation(10);
+        c.reshuffle(&Hash([8u8; 32]));
+        assert_ne!(a.order(), c.order());
+    }
+
+    #[test]
+    fn select_terminates_even_if_everyone_is_recent() {
+        let mut r = rotation(4);
+        for i in 0..4u32 {
+            r.record_decided(NodeId(i), Round(10));
+        }
+        let choice = r.select(NodeId(0), Round(10));
+        assert_eq!(choice.proposer, NodeId(0));
+        assert_eq!(choice.skipped.len(), 4);
+    }
+}

@@ -1,0 +1,171 @@
+//! The external validity predicate (the paper's `valid` method).
+//!
+//! Blockchain consensus needs *external validity* (§3.3, VPBC): even a
+//! Byzantine proposer may produce a block that is legal by the application's
+//! rules, and conversely a syntactically well-formed block may be
+//! application-invalid. FireLedger therefore delegates block acceptance to a
+//! predefined `valid` method; BBFC-Validity guarantees every decided block
+//! satisfies it.
+//!
+//! Applications implement [`ValidityPredicate`]; the crate ships the common
+//! cases (accept-everything, structural checks, a closure adapter) and the
+//! worker always enforces the structural invariants (payload hash matches the
+//! body) on top of the application predicate.
+
+use fireledger_crypto::merkle_root;
+use fireledger_types::{Block, BlockHeader};
+use std::sync::Arc;
+
+/// An application-defined block validity predicate.
+pub trait ValidityPredicate: Send + Sync {
+    /// Returns `true` when the block is acceptable to the application.
+    fn is_valid(&self, header: &BlockHeader, body: &Block) -> bool;
+
+    /// Human-readable name used in logs.
+    fn name(&self) -> &str {
+        "custom"
+    }
+}
+
+/// Shared handle to a validity predicate.
+pub type SharedValidity = Arc<dyn ValidityPredicate>;
+
+/// Accepts every structurally consistent block (the default — the paper's
+/// evaluation uses randomly generated transactions with no application rules).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceptAll;
+
+impl ValidityPredicate for AcceptAll {
+    fn is_valid(&self, _header: &BlockHeader, _body: &Block) -> bool {
+        true
+    }
+    fn name(&self) -> &str {
+        "accept-all"
+    }
+}
+
+/// Enforces per-block structural limits: at most `max_txs` transactions and at
+/// most `max_tx_bytes` bytes per transaction payload.
+#[derive(Clone, Copy, Debug)]
+pub struct StructuralLimits {
+    /// Maximal number of transactions in a block.
+    pub max_txs: usize,
+    /// Maximal payload size of a single transaction.
+    pub max_tx_bytes: usize,
+}
+
+impl ValidityPredicate for StructuralLimits {
+    fn is_valid(&self, _header: &BlockHeader, body: &Block) -> bool {
+        body.txs.len() <= self.max_txs
+            && body.txs.iter().all(|t| t.payload.len() <= self.max_tx_bytes)
+    }
+    fn name(&self) -> &str {
+        "structural-limits"
+    }
+}
+
+/// Adapts a closure into a [`ValidityPredicate`] — convenient for examples and
+/// application-specific rules (e.g. the insurance-consortium example rejects
+/// claims referencing unknown policies).
+pub struct PredicateFn<F>(pub F);
+
+impl<F> ValidityPredicate for PredicateFn<F>
+where
+    F: Fn(&BlockHeader, &Block) -> bool + Send + Sync,
+{
+    fn is_valid(&self, header: &BlockHeader, body: &Block) -> bool {
+        (self.0)(header, body)
+    }
+    fn name(&self) -> &str {
+        "closure"
+    }
+}
+
+/// The structural invariant every worker enforces regardless of the
+/// application predicate: the header commits (via the merkle root) to exactly
+/// the transactions in the body, and the declared counts match.
+pub fn structurally_consistent(header: &BlockHeader, body: &Block) -> bool {
+    header.payload_hash == merkle_root(&body.txs)
+        && header.tx_count as usize == body.txs.len()
+        && header.payload_bytes == body.payload_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_types::{NodeId, Round, Transaction, WorkerId, GENESIS_HASH};
+
+    fn block(txs: Vec<Transaction>) -> (BlockHeader, Block) {
+        let payload_hash = merkle_root(&txs);
+        let payload_bytes = txs.iter().map(|t| t.payload.len() as u64).sum();
+        let header = BlockHeader::new(
+            Round(0),
+            WorkerId(0),
+            NodeId(0),
+            GENESIS_HASH,
+            payload_hash,
+            txs.len() as u32,
+            payload_bytes,
+        );
+        let block = Block::new(header.clone(), txs);
+        (header, block)
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        let (h, b) = block(vec![Transaction::zeroed(0, 0, 10)]);
+        assert!(AcceptAll.is_valid(&h, &b));
+        assert_eq!(AcceptAll.name(), "accept-all");
+    }
+
+    #[test]
+    fn structural_limits_enforced() {
+        let p = StructuralLimits {
+            max_txs: 2,
+            max_tx_bytes: 100,
+        };
+        let (h, b) = block(vec![Transaction::zeroed(0, 0, 10)]);
+        assert!(p.is_valid(&h, &b));
+        let (h2, b2) = block((0..3).map(|i| Transaction::zeroed(0, i, 10)).collect());
+        assert!(!p.is_valid(&h2, &b2));
+        let (h3, b3) = block(vec![Transaction::zeroed(0, 0, 200)]);
+        assert!(!p.is_valid(&h3, &b3));
+    }
+
+    #[test]
+    fn closure_predicate_works() {
+        let p = PredicateFn(|_: &BlockHeader, b: &Block| b.txs.len() % 2 == 0);
+        let (h, b) = block(vec![Transaction::zeroed(0, 0, 1), Transaction::zeroed(0, 1, 1)]);
+        assert!(p.is_valid(&h, &b));
+        let (h1, b1) = block(vec![Transaction::zeroed(0, 0, 1)]);
+        assert!(!p.is_valid(&h1, &b1));
+        assert_eq!(p.name(), "closure");
+    }
+
+    #[test]
+    fn structural_consistency_detects_mismatches() {
+        let (h, b) = block(vec![Transaction::zeroed(0, 0, 10)]);
+        assert!(structurally_consistent(&h, &b));
+
+        // Tampered body (different transaction set).
+        let (_, other_body) = block(vec![Transaction::zeroed(9, 9, 10)]);
+        assert!(!structurally_consistent(&h, &other_body));
+
+        // Tampered declared count.
+        let mut bad_header = h.clone();
+        bad_header.tx_count = 5;
+        assert!(!structurally_consistent(&bad_header, &b));
+
+        // Tampered declared bytes.
+        let mut bad_header = h;
+        bad_header.payload_bytes = 1;
+        assert!(!structurally_consistent(&bad_header, &b));
+    }
+
+    #[test]
+    fn predicates_are_usable_as_trait_objects() {
+        let shared: SharedValidity = Arc::new(AcceptAll);
+        let (h, b) = block(vec![]);
+        assert!(shared.is_valid(&h, &b));
+    }
+}

@@ -1,0 +1,1180 @@
+//! One FireLedger worker: the round-based optimistic blockchain protocol of
+//! Algorithm 2, with the recovery procedure of Algorithm 3.
+//!
+//! A worker is a full [`Protocol`] state machine, so it can be simulated or
+//! run on threads on its own; a FLO node (see [`crate::flo`]) simply runs ω of
+//! them side by side.
+//!
+//! ## How a round works (optimistic case, Figure 1)
+//!
+//! * The round's proposer assembles a block from its transaction pool,
+//!   disseminates the **body** on the data path, and its **signed header** on
+//!   the consensus path. In steady state the header rides piggybacked on the
+//!   proposer's single-bit vote for the previous round, so no extra message is
+//!   needed; after a failed attempt (`full_mode`) it is pushed explicitly.
+//! * Every node validates the header (signature, parent hash, body present,
+//!   external validity) and broadcasts a single-bit vote. Seeing `n − f`
+//!   votes that are all "deliver" is a **fast decision**: the block is
+//!   appended tentatively, and the block `f + 1` rounds back becomes
+//!   definite.
+//! * If votes are mixed or the proposer timed out, the worker falls back to
+//!   its BFT consensus layer (a PBFT instance standing in for BFT-SMaRt,
+//!   exactly as in Figure 3): every node submits its vote plus evidence, and
+//!   the first `n − f` ordered fallback votes determine the outcome (deliver
+//!   iff any of them carries the proposer's signed header). A negative outcome
+//!   rotates the proposer and retries the round.
+//! * If a decided header does **not** extend the local chain — the signature
+//!   is fine but the parent hash disagrees, the signature of an equivocating
+//!   proposer — the worker reliably-broadcasts a [`PanicProof`] and runs the
+//!   recovery procedure: every node submits its last `f + 1` blocks through
+//!   the consensus layer, the first `n − f` valid versions are collected, the
+//!   longest (first-received among the longest) is adopted, and normal
+//!   operation resumes. Definite blocks are never rewritten.
+
+use crate::chain::{Chain, Version};
+use crate::fd::FailureDetector;
+use crate::messages::{ConsensusValue, PanicProof, WorkerMsg};
+use crate::proposer::ProposerRotation;
+use crate::timer::EmaTimer;
+use crate::txpool::TxPool;
+use crate::validity::{structurally_consistent, SharedValidity};
+use fireledger_bft::{Pbft, PbftConfig, ReliableBroadcast};
+use fireledger_crypto::{hash_header, merkle_root, SharedCrypto};
+use fireledger_types::runtime::CpuCharge;
+use fireledger_types::{
+    Block, BlockHeader, Delivery, Hash, NodeId, Observation, Outbox, Protocol, ProtocolParams,
+    Round, SignedHeader, TimerId, Transaction, WorkerId,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Timer kind used for the per-round WRB delivery timeout.
+const TIMER_ROUND: u8 = 1;
+/// Timer kind handed to the embedded PBFT instance.
+const TIMER_PBFT: u8 = 0xAB;
+
+/// Vote bookkeeping for one `(round, proposer)` attempt.
+#[derive(Debug, Default)]
+struct AttemptVotes {
+    votes: HashMap<NodeId, bool>,
+}
+
+/// State of an ongoing recovery procedure (Algorithm 3).
+#[derive(Debug)]
+struct RecoveryState {
+    /// The round the recovery was invoked for.
+    round: Round,
+    /// First round covered by exchanged versions (`round − (f+1)`).
+    base: Round,
+    /// Valid versions in atomic-broadcast order: (submitter, version).
+    versions: Vec<(NodeId, Version)>,
+    contributors: HashSet<NodeId>,
+}
+
+/// One FireLedger worker instance.
+pub struct Worker {
+    me: NodeId,
+    worker_id: WorkerId,
+    params: ProtocolParams,
+    crypto: SharedCrypto,
+    validity: SharedValidity,
+
+    chain: Chain,
+    txpool: TxPool,
+    rotation: ProposerRotation,
+    timer: EmaTimer,
+    fd: FailureDetector,
+
+    // Current attempt.
+    round: Round,
+    proposer: NodeId,
+    voted: bool,
+    full_mode: bool,
+
+    // Sub-protocols.
+    pbft: Pbft<ConsensusValue>,
+    rb: ReliableBroadcast<PanicProof>,
+
+    // Knowledge gathered from the network.
+    headers: HashMap<(Round, NodeId), SignedHeader>,
+    bodies: HashMap<Hash, Vec<Transaction>>,
+    /// Payload hashes whose body has been structurally validated (and its
+    /// hashing cost charged) already.
+    validated_bodies: HashSet<Hash>,
+    votes: HashMap<(Round, NodeId), AttemptVotes>,
+    fallback_votes: HashMap<(Round, NodeId), Vec<(NodeId, bool, Option<SignedHeader>)>>,
+    fallback_submitted: HashSet<(Round, NodeId)>,
+    attempt_resolved: HashSet<(Round, NodeId)>,
+    /// Attempt decided "deliver" but still missing the header or the body.
+    pending_finish: Option<(Round, NodeId)>,
+    requested_headers: HashSet<(Round, NodeId)>,
+    requested_bodies: HashSet<Hash>,
+
+    /// Rounds of our own proposals whose header was already disseminated
+    /// (either pushed or piggybacked).
+    my_header_sent: HashSet<Round>,
+
+    recovery: Option<RecoveryState>,
+    recoveries_started: HashSet<Round>,
+
+    /// Next definite chain index still to be handed to the application.
+    next_to_deliver: usize,
+}
+
+impl Worker {
+    /// Creates worker `worker_id` of node `me`.
+    pub fn new(
+        me: NodeId,
+        worker_id: WorkerId,
+        params: ProtocolParams,
+        crypto: SharedCrypto,
+        validity: SharedValidity,
+    ) -> Self {
+        let cluster = params.cluster;
+        let pbft_cfg = PbftConfig::new(cluster)
+            .with_timeout((params.base_timeout * 10).max(std::time::Duration::from_millis(200)))
+            .with_timer_kind(TIMER_PBFT);
+        let rotation = ProposerRotation::new(cluster);
+        let proposer = rotation.initial();
+        Worker {
+            me,
+            worker_id,
+            timer: EmaTimer::new(params.base_timeout, params.max_timeout, params.ema_window),
+            fd: FailureDetector::new(
+                cluster.f,
+                params.base_timeout * params.fd_suspect_threshold,
+                params.failure_detector,
+            ),
+            chain: Chain::new(cluster),
+            txpool: TxPool::new(1_000_000 + me.0 as u64 * 1_000 + worker_id.0 as u64),
+            rotation,
+            round: Round(0),
+            proposer,
+            voted: false,
+            full_mode: true,
+            pbft: Pbft::new(me, pbft_cfg),
+            rb: ReliableBroadcast::new(me, cluster),
+            headers: HashMap::new(),
+            bodies: HashMap::new(),
+            validated_bodies: HashSet::new(),
+            votes: HashMap::new(),
+            fallback_votes: HashMap::new(),
+            fallback_submitted: HashSet::new(),
+            attempt_resolved: HashSet::new(),
+            pending_finish: None,
+            requested_headers: HashSet::new(),
+            requested_bodies: HashSet::new(),
+            my_header_sent: HashSet::new(),
+            recovery: None,
+            recoveries_started: HashSet::new(),
+            next_to_deliver: 0,
+            params,
+            crypto,
+            validity,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (used by FLO, tests and the benchmark harness)
+    // ------------------------------------------------------------------
+
+    /// This worker's instance id.
+    pub fn worker_id(&self) -> WorkerId {
+        self.worker_id
+    }
+
+    /// The node this worker runs on.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// The local chain.
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The current proposer.
+    pub fn current_proposer(&self) -> NodeId {
+        self.proposer
+    }
+
+    /// Whether the worker is inside the recovery procedure.
+    pub fn is_recovering(&self) -> bool {
+        self.recovery.is_some()
+    }
+
+    /// Number of pending transactions in the pool (FLO's least-loaded worker
+    /// routing uses this).
+    pub fn pool_len(&self) -> usize {
+        self.txpool.len()
+    }
+
+    /// Submits a transaction directly to this worker's pool.
+    pub fn submit_transaction(&mut self, tx: Transaction) -> bool {
+        self.txpool.submit(tx)
+    }
+
+    // ------------------------------------------------------------------
+    // Round machinery
+    // ------------------------------------------------------------------
+
+    fn round_timer_id(&self) -> TimerId {
+        TimerId::compose(TIMER_ROUND, self.round.0)
+    }
+
+    fn quorum(&self) -> usize {
+        self.params.quorum()
+    }
+
+    fn begin_attempt(&mut self, candidate: NodeId, out: &mut Outbox<WorkerMsg>) {
+        let choice = self.rotation.select(candidate, self.round);
+        if self
+            .rotation
+            .skip_touches_recent_proposers(&choice.skipped, self.round)
+        {
+            // §6.1.1: invalidate the suspected list whenever the skip rule
+            // bypasses one of the last f proposers.
+            self.fd.invalidate();
+        }
+        self.proposer = choice.proposer;
+        self.voted = false;
+
+        // If we are this round's proposer and our header is not out yet
+        // (no piggyback opportunity existed), push it now.
+        if self.proposer == self.me && !self.my_header_sent.contains(&self.round) {
+            self.propose_own_block(out);
+        }
+
+        // The proposer's header may already be known (piggybacked earlier).
+        self.maybe_vote(out);
+
+        if !self.voted {
+            if self.fd.is_suspected(self.proposer) {
+                // Benign FD: do not wait for a suspected node.
+                self.cast_vote(false, out);
+            } else {
+                out.set_timer(self.round_timer_id(), self.timer.current());
+            }
+        }
+        self.check_current_attempt(out);
+    }
+
+    /// Assembles, signs and disseminates this node's block for the current
+    /// round (the `full_mode` / explicit path).
+    fn propose_own_block(&mut self, out: &mut Outbox<WorkerMsg>) {
+        let signed = self.build_own_header(self.round, self.chain.tip_hash(), out);
+        out.broadcast(WorkerMsg::Header {
+            header: signed.clone(),
+        });
+        out.observe(Observation::HeaderProposed {
+            worker: self.worker_id,
+            round: self.round,
+        });
+        self.my_header_sent.insert(self.round);
+        self.headers.insert((self.round, self.me), signed);
+    }
+
+    /// Builds (and signs) our header for `round` on top of `parent`, also
+    /// broadcasting the block body on the data path. Reuses nothing: each call
+    /// produces a fresh batch from the pool.
+    fn build_own_header(
+        &mut self,
+        round: Round,
+        parent: Hash,
+        out: &mut Outbox<WorkerMsg>,
+    ) -> SignedHeader {
+        let txs = self.txpool.take_batch(
+            self.params.batch_size,
+            self.params.tx_size,
+            self.params.fill_blocks,
+        );
+        let payload_hash = merkle_root(&txs);
+        let payload_bytes: u64 = txs.iter().map(|t| t.payload.len() as u64).sum();
+        let header = BlockHeader::new(
+            round,
+            self.worker_id,
+            self.me,
+            parent,
+            payload_hash,
+            txs.len() as u32,
+            payload_bytes,
+        );
+        let signature = self.crypto.sign(self.me, &header.canonical_bytes());
+        // Signing a block = hashing its payload + one ECDSA signature (§7.1).
+        out.cpu(CpuCharge::sign(payload_bytes));
+        out.observe(Observation::BlockProposed {
+            worker: self.worker_id,
+            round,
+            tx_count: txs.len() as u32,
+            payload_bytes,
+        });
+        // Data path: ship the body immediately.
+        out.broadcast(WorkerMsg::BlockData {
+            payload_hash,
+            txs: txs.clone(),
+        });
+        self.bodies.insert(payload_hash, txs);
+        self.validated_bodies.insert(payload_hash);
+        SignedHeader::new(header, signature)
+    }
+
+    /// Returns the header of the current attempt if we have it and it is
+    /// acceptable to vote for: correct proposer and round, valid signature
+    /// (checked at reception), body present, chains from our tip, and passes
+    /// the external validity predicate.
+    fn votable_header(&mut self, out: &mut Outbox<WorkerMsg>) -> Option<SignedHeader> {
+        let signed = self.headers.get(&(self.round, self.proposer))?.clone();
+        let header = &signed.header;
+        if header.parent != self.chain.tip_hash() {
+            return None;
+        }
+        let txs = self.bodies.get(&header.payload_hash)?;
+        let body = Block::new(header.clone(), txs.clone());
+        if !self.validated_bodies.contains(&header.payload_hash) {
+            // Hashing the payload to check the merkle commitment.
+            out.cpu(CpuCharge::hash(header.payload_bytes));
+            self.validated_bodies.insert(header.payload_hash);
+        }
+        if !structurally_consistent(header, &body) {
+            return None;
+        }
+        if !self.validity.is_valid(header, &body) {
+            return None;
+        }
+        Some(signed)
+    }
+
+    fn maybe_vote(&mut self, out: &mut Outbox<WorkerMsg>) {
+        if self.voted || self.recovery.is_some() {
+            return;
+        }
+        if self.votable_header(out).is_some() {
+            self.cast_vote(true, out);
+        }
+    }
+
+    fn cast_vote(&mut self, vote: bool, out: &mut Outbox<WorkerMsg>) {
+        if self.voted {
+            return;
+        }
+        self.voted = true;
+        out.cancel_timer(self.round_timer_id());
+
+        // Piggyback our next block's header when we are the next proposer in
+        // the rotation and the current attempt looks deliverable (Figure 1).
+        let mut piggyback = None;
+        if vote && self.rotation.successor(self.proposer) == self.me {
+            let next_round = self.round.next();
+            if !self.my_header_sent.contains(&next_round) {
+                let current = self
+                    .headers
+                    .get(&(self.round, self.proposer))
+                    .expect("voting 1 implies the header is known")
+                    .clone();
+                let parent = hash_header(&current.header);
+                let signed = self.build_own_header(next_round, parent, out);
+                out.observe(Observation::HeaderProposed {
+                    worker: self.worker_id,
+                    round: next_round,
+                });
+                self.my_header_sent.insert(next_round);
+                self.headers.insert((next_round, self.me), signed.clone());
+                piggyback = Some(signed);
+            }
+        }
+
+        out.broadcast(WorkerMsg::Vote {
+            round: self.round,
+            proposer: self.proposer,
+            vote,
+            piggyback,
+        });
+        // Record our own vote.
+        let key = (self.round, self.proposer);
+        self.votes
+            .entry(key)
+            .or_default()
+            .votes
+            .insert(self.me, vote);
+        self.check_current_attempt(out);
+    }
+
+    // ------------------------------------------------------------------
+    // Attempt resolution (OBBC fast path + fallback)
+    // ------------------------------------------------------------------
+
+    fn check_current_attempt(&mut self, out: &mut Outbox<WorkerMsg>) {
+        if self.recovery.is_some() {
+            return;
+        }
+        let key = (self.round, self.proposer);
+        if self.attempt_resolved.contains(&key) {
+            return;
+        }
+
+        // Fast path: n − f votes, all "deliver", including our own.
+        if self.voted {
+            if let Some(attempt) = self.votes.get(&key) {
+                if attempt.votes.len() >= self.quorum() {
+                    if attempt.votes.values().all(|v| *v) {
+                        self.attempt_resolved.insert(key);
+                        self.finish_delivery(key, out);
+                        return;
+                    }
+                    // Mixed votes: invoke the fallback consensus once.
+                    self.submit_fallback_vote(key, out);
+                }
+            }
+        }
+
+        // Fallback decision: the first n − f ordered fallback votes.
+        let decision = {
+            let Some(fv) = self.fallback_votes.get(&key) else {
+                return;
+            };
+            if fv.len() < self.quorum() {
+                return;
+            }
+            fv.iter()
+                .take(self.quorum())
+                .any(|(_, _, evidence)| evidence.is_some())
+        };
+        self.attempt_resolved.insert(key);
+        if decision {
+            self.finish_delivery(key, out);
+        } else {
+            self.nil_attempt(out);
+        }
+    }
+
+    fn submit_fallback_vote(&mut self, key: (Round, NodeId), out: &mut Outbox<WorkerMsg>) {
+        if self.fallback_submitted.contains(&key) {
+            return;
+        }
+        self.fallback_submitted.insert(key);
+        out.observe(Observation::FallbackInvoked {
+            worker: self.worker_id,
+            round: key.0,
+        });
+        let my_vote = self
+            .votes
+            .get(&key)
+            .and_then(|a| a.votes.get(&self.me).copied())
+            .unwrap_or(false);
+        let evidence = if my_vote {
+            self.headers.get(&key).cloned()
+        } else {
+            None
+        };
+        let value = ConsensusValue::FallbackVote {
+            round: key.0,
+            proposer: key.1,
+            voter: self.me,
+            vote: my_vote,
+            evidence,
+        };
+        let mut sub = Outbox::new();
+        let delivered = self.pbft.submit(value, &mut sub);
+        out.extend(sub.map_msgs(WorkerMsg::Consensus));
+        for (_, v) in delivered {
+            self.handle_consensus_value(v, out);
+        }
+    }
+
+    /// The current attempt decided "deliver": append the block if we have all
+    /// its pieces (pulling whatever is missing), validate it against the
+    /// chain, and either advance to the next round or start recovery.
+    fn finish_delivery(&mut self, key: (Round, NodeId), out: &mut Outbox<WorkerMsg>) {
+        let (round, proposer) = key;
+        let Some(signed) = self.headers.get(&key).cloned() else {
+            // Decided to deliver but we never saw the header: pull it
+            // (Algorithm 1, lines 22–24).
+            self.pending_finish = Some(key);
+            if self.requested_headers.insert(key) {
+                out.broadcast(WorkerMsg::PullHeader { round, proposer });
+            }
+            return;
+        };
+        if !self.bodies.contains_key(&signed.header.payload_hash) {
+            self.pending_finish = Some(key);
+            if self.requested_bodies.insert(signed.header.payload_hash) {
+                out.broadcast(WorkerMsg::PullBlock {
+                    payload_hash: signed.header.payload_hash,
+                });
+            }
+            return;
+        }
+        self.pending_finish = None;
+
+        // Chain validation (Algorithm 2, line b4): the signature was already
+        // checked at reception; what can still fail is the hash link.
+        if self.chain.validate_extension(&signed, self.crypto.as_ref()).is_err() {
+            self.panic_and_recover(signed, out);
+            return;
+        }
+
+        let txs = self.bodies[&signed.header.payload_hash].clone();
+        let block = Block::new(signed.header.clone(), txs);
+        self.txpool.remove_included(block.txs.iter());
+        self.chain.append(signed.clone(), Some(block));
+        self.rotation.record_decided(proposer, round);
+        self.fd.record_alive(proposer);
+        self.timer.record_delivery(self.params.base_timeout / 4);
+        out.observe(Observation::TentativeDecision {
+            worker: self.worker_id,
+            round,
+        });
+
+        self.finalize_and_deliver(out);
+
+        // Advance to the next round.
+        self.full_mode = false;
+        self.round = self.round.next();
+        let candidate = self.rotation.successor(proposer);
+        self.begin_attempt(candidate, out);
+    }
+
+    /// The attempt decided "skip": rotate the proposer and retry the round.
+    fn nil_attempt(&mut self, out: &mut Outbox<WorkerMsg>) {
+        out.observe(Observation::NilDelivery {
+            worker: self.worker_id,
+            round: self.round,
+        });
+        self.timer.record_miss();
+        self.fd.record_wait(self.proposer, self.timer.current());
+        self.full_mode = true;
+        let candidate = self.rotation.successor(self.proposer);
+        self.begin_attempt(candidate, out);
+    }
+
+    /// Marks deep blocks definite and delivers them (in order) to the
+    /// application, provided their bodies are known.
+    fn finalize_and_deliver(&mut self, out: &mut Outbox<WorkerMsg>) {
+        for round in self.chain.finalize_deep_blocks() {
+            if let Some(entry) = self.chain.get(round) {
+                out.observe(Observation::DefiniteDecision {
+                    worker: self.worker_id,
+                    round,
+                    tx_count: entry.signed_header.header.tx_count,
+                    payload_bytes: entry.signed_header.header.payload_bytes,
+                });
+            }
+        }
+        self.try_deliver_definite(out);
+    }
+
+    fn try_deliver_definite(&mut self, out: &mut Outbox<WorkerMsg>) {
+        while self.next_to_deliver < self.chain.definite_len() {
+            let round = Round(self.next_to_deliver as u64);
+            let entry = self
+                .chain
+                .get(round)
+                .expect("definite entries exist")
+                .clone();
+            let Some(body) = entry.body else {
+                // Body still missing: pull it and stop (deliveries are in
+                // order).
+                let payload_hash = entry.signed_header.header.payload_hash;
+                if self.requested_bodies.insert(payload_hash) {
+                    out.broadcast(WorkerMsg::PullBlock { payload_hash });
+                }
+                return;
+            };
+            out.deliver(Delivery {
+                worker: self.worker_id,
+                round,
+                proposer: entry.signed_header.proposer(),
+                block: body,
+            });
+            self.next_to_deliver += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (Algorithm 3)
+    // ------------------------------------------------------------------
+
+    fn panic_and_recover(&mut self, conflicting: SignedHeader, out: &mut Outbox<WorkerMsg>) {
+        let detected_round = conflicting.round();
+        out.observe(Observation::ByzantineDetected {
+            culprit: conflicting.proposer(),
+        });
+        let local_parent = detected_round
+            .0
+            .checked_sub(1)
+            .and_then(|r| self.chain.get(Round(r)))
+            .map(|e| e.signed_header.clone());
+        let proof = PanicProof {
+            detected_round,
+            conflicting,
+            local_parent,
+        };
+        let mut sub = Outbox::new();
+        self.rb.broadcast(proof, &mut sub);
+        out.extend(sub.map_msgs(WorkerMsg::Panic));
+        self.start_recovery(detected_round, out);
+    }
+
+    fn start_recovery(&mut self, round: Round, out: &mut Outbox<WorkerMsg>) {
+        if self.recovery.is_some() || self.recoveries_started.contains(&round) {
+            return;
+        }
+        self.recoveries_started.insert(round);
+        out.observe(Observation::RecoveryStarted {
+            worker: self.worker_id,
+            round,
+        });
+        out.cancel_timer(self.round_timer_id());
+        let f = self.params.f() as u64;
+        let base = round.minus(f + 1);
+        let version = if self.chain.next_round() < base {
+            // We are too far behind: submit the empty version (Algorithm 3,
+            // lines 3–4).
+            Vec::new()
+        } else {
+            self.chain.version_from(base)
+        };
+        self.recovery = Some(RecoveryState {
+            round,
+            base,
+            versions: Vec::new(),
+            contributors: HashSet::new(),
+        });
+        let value = ConsensusValue::RecoveryVersion {
+            recovery_round: round,
+            from: self.me,
+            version,
+        };
+        let mut sub = Outbox::new();
+        let delivered = self.pbft.submit(value, &mut sub);
+        out.extend(sub.map_msgs(WorkerMsg::Consensus));
+        for (_, v) in delivered {
+            self.handle_consensus_value(v, out);
+        }
+    }
+
+    fn handle_recovery_version(
+        &mut self,
+        recovery_round: Round,
+        from: NodeId,
+        version: Version,
+        out: &mut Outbox<WorkerMsg>,
+    ) {
+        // A version for a recovery we have not joined yet doubles as the
+        // trigger to join it (the RB proof may still be in flight).
+        if self.recovery.is_none() && !self.recoveries_started.contains(&recovery_round) {
+            self.start_recovery(recovery_round, out);
+        }
+        let Some(state) = self.recovery.as_mut() else {
+            return;
+        };
+        if state.round != recovery_round || state.contributors.contains(&from) {
+            return;
+        }
+        let base = state.base;
+        // Validate the version; invalid versions are simply not counted
+        // (Algorithm 3, lines 11–14).
+        let valid = if version.is_empty() {
+            true
+        } else if self.chain.next_round() >= base {
+            let r = self
+                .chain
+                .validate_version(base, &version, self.crypto.as_ref());
+            out.cpu(CpuCharge {
+                signs: 0,
+                verifies: version.len() as u32,
+                hashed_bytes: 0,
+            });
+            r.is_ok()
+        } else {
+            // Too far behind to anchor-check; accept on signatures alone.
+            version.iter().all(|s| {
+                self.crypto
+                    .verify(s.proposer(), &s.header.canonical_bytes(), &s.signature)
+            })
+        };
+        let state = self.recovery.as_mut().expect("still recovering");
+        if !valid {
+            return;
+        }
+        state.contributors.insert(from);
+        state.versions.push((from, version));
+        if state.versions.len() >= self.params.quorum() {
+            self.complete_recovery(out);
+        }
+    }
+
+    fn complete_recovery(&mut self, out: &mut Outbox<WorkerMsg>) {
+        let state = self.recovery.take().expect("recovery in progress");
+        // Adopt the first-received among the longest versions (Algorithm 3,
+        // lines 16–17). Atomic broadcast gives every correct node the same
+        // order, hence the same choice.
+        let longest = state
+            .versions
+            .iter()
+            .map(|(_, v)| v.len())
+            .max()
+            .unwrap_or(0);
+        let adopted = state
+            .versions
+            .iter()
+            .find(|(_, v)| v.len() == longest)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default();
+        let adopted_len = adopted.len();
+
+        if self.chain.next_round() >= state.base && adopted_len > 0 {
+            if self.chain.adopt_version(state.base, adopted.clone()).is_ok() {
+                // Refresh rotation bookkeeping for the adopted suffix.
+                for signed in &adopted {
+                    self.rotation.record_decided(signed.proposer(), signed.round());
+                }
+            }
+        }
+
+        // Drop attempt state for every round the recovery may have replaced.
+        let base = state.base;
+        self.votes.retain(|(r, _), _| *r < base);
+        self.headers.retain(|(r, p), _| *r < base || *p == self.me);
+        self.attempt_resolved.retain(|(r, _)| *r < base);
+        self.fallback_submitted.retain(|(r, _)| *r < base);
+        self.fallback_votes.retain(|(r, _), _| *r < base);
+        self.pending_finish = None;
+        self.my_header_sent.retain(|r| *r < base);
+
+        self.fd.invalidate();
+        self.timer.reset();
+        self.full_mode = true;
+        self.round = self.chain.next_round();
+        out.observe(Observation::RecoveryFinished {
+            worker: self.worker_id,
+            round: state.round,
+            adopted_len,
+        });
+
+        self.finalize_and_deliver(out);
+
+        let candidate = self
+            .chain
+            .entries()
+            .last()
+            .map(|e| self.rotation.successor(e.proposer()))
+            .unwrap_or_else(|| self.rotation.initial());
+        self.begin_attempt(candidate, out);
+    }
+
+    // ------------------------------------------------------------------
+    // Incoming message handling
+    // ------------------------------------------------------------------
+
+    fn store_header(&mut self, from: NodeId, signed: SignedHeader, out: &mut Outbox<WorkerMsg>) {
+        let header = &signed.header;
+        if header.worker != self.worker_id {
+            return;
+        }
+        // Headers are only accepted from their claimed proposer (no relaying
+        // on the optimistic path) and must carry a valid signature.
+        if header.proposer != from {
+            return;
+        }
+        let key = (header.round, header.proposer);
+        if self.headers.contains_key(&key) {
+            return;
+        }
+        out.cpu(CpuCharge::verify(0));
+        if !self
+            .crypto
+            .verify(header.proposer, &header.canonical_bytes(), &signed.signature)
+        {
+            return;
+        }
+        self.headers.insert(key, signed);
+        if key == (self.round, self.proposer) {
+            self.maybe_vote(out);
+        }
+        if self.pending_finish == Some(key) {
+            self.finish_delivery(key, out);
+        }
+    }
+
+    fn handle_vote(
+        &mut self,
+        from: NodeId,
+        round: Round,
+        proposer: NodeId,
+        vote: bool,
+        piggyback: Option<SignedHeader>,
+        out: &mut Outbox<WorkerMsg>,
+    ) {
+        if let Some(signed) = piggyback {
+            self.store_header(from, signed, out);
+        }
+        self.votes
+            .entry((round, proposer))
+            .or_default()
+            .votes
+            .entry(from)
+            .or_insert(vote);
+        if (round, proposer) == (self.round, self.proposer) {
+            self.maybe_vote(out);
+            self.check_current_attempt(out);
+        }
+    }
+
+    fn handle_consensus_value(&mut self, value: ConsensusValue, out: &mut Outbox<WorkerMsg>) {
+        match value {
+            ConsensusValue::FallbackVote {
+                round,
+                proposer,
+                voter,
+                vote,
+                evidence,
+            } => {
+                // Validate the evidence before counting it (the external
+                // validity of OBBC_v).
+                let evidence = evidence.filter(|signed| {
+                    signed.round() == round
+                        && signed.proposer() == proposer
+                        && self.crypto.verify(
+                            signed.proposer(),
+                            &signed.header.canonical_bytes(),
+                            &signed.signature,
+                        )
+                });
+                if let Some(signed) = evidence.clone() {
+                    // The evidence also tells us the header, useful if we
+                    // never saw it on the optimistic path.
+                    let key = (signed.round(), signed.proposer());
+                    self.headers.entry(key).or_insert(signed);
+                }
+                let key = (round, proposer);
+                let entry = self.fallback_votes.entry(key).or_default();
+                if !entry.iter().any(|(v, _, _)| *v == voter) {
+                    entry.push((voter, vote, evidence));
+                }
+                // Participation rule (Algorithm 4, lines OB26–OB27): if the
+                // fallback is running for an attempt we already resolved
+                // optimistically, contribute our vote so it can terminate.
+                if self.attempt_resolved.contains(&key) {
+                    self.submit_fallback_vote(key, out);
+                }
+                if key == (self.round, self.proposer) {
+                    self.check_current_attempt(out);
+                }
+            }
+            ConsensusValue::RecoveryVersion {
+                recovery_round,
+                from,
+                version,
+            } => {
+                self.handle_recovery_version(recovery_round, from, version, out);
+            }
+        }
+    }
+
+    fn handle_panic_proof(&mut self, proof: PanicProof, out: &mut Outbox<WorkerMsg>) {
+        // Validate the proof's signatures (Algorithm 2, line b12: "a valid
+        // proof"). A bogus proof can at worst trigger a redundant recovery,
+        // never a safety violation.
+        let conflicting_ok = self.crypto.verify(
+            proof.conflicting.proposer(),
+            &proof.conflicting.header.canonical_bytes(),
+            &proof.conflicting.signature,
+        );
+        let parent_ok = proof.local_parent.as_ref().map_or(true, |p| {
+            self.crypto
+                .verify(p.proposer(), &p.header.canonical_bytes(), &p.signature)
+        });
+        if conflicting_ok && parent_ok {
+            self.start_recovery(proof.detected_round, out);
+        }
+    }
+}
+
+impl Protocol for Worker {
+    type Msg = WorkerMsg;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<WorkerMsg>) {
+        let initial = self.rotation.initial();
+        self.begin_attempt(initial, out);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: WorkerMsg, out: &mut Outbox<WorkerMsg>) {
+        match msg {
+            WorkerMsg::BlockData { payload_hash, txs } => {
+                self.bodies.entry(payload_hash).or_insert(txs);
+                self.maybe_vote(out);
+                if let Some(key) = self.pending_finish {
+                    self.finish_delivery(key, out);
+                }
+                self.try_deliver_definite(out);
+            }
+            WorkerMsg::Header { header } => {
+                self.store_header(from, header, out);
+            }
+            WorkerMsg::Vote {
+                round,
+                proposer,
+                vote,
+                piggyback,
+            } => {
+                self.handle_vote(from, round, proposer, vote, piggyback, out);
+            }
+            WorkerMsg::PullHeader { round, proposer } => {
+                if let Some(signed) = self.headers.get(&(round, proposer)) {
+                    out.send(
+                        from,
+                        WorkerMsg::PullHeaderReply {
+                            header: signed.clone(),
+                        },
+                    );
+                }
+            }
+            WorkerMsg::PullHeaderReply { header } => {
+                // Pulled headers may be relayed by nodes other than the
+                // proposer; verify the proposer's signature directly.
+                let key = (header.round(), header.proposer());
+                if !self.headers.contains_key(&key)
+                    && self.crypto.verify(
+                        header.proposer(),
+                        &header.header.canonical_bytes(),
+                        &header.signature,
+                    )
+                {
+                    out.cpu(CpuCharge::verify(0));
+                    self.headers.insert(key, header);
+                    if self.pending_finish == Some(key) {
+                        self.finish_delivery(key, out);
+                    }
+                    if key == (self.round, self.proposer) {
+                        self.maybe_vote(out);
+                    }
+                }
+            }
+            WorkerMsg::PullBlock { payload_hash } => {
+                if let Some(txs) = self.bodies.get(&payload_hash) {
+                    out.send(
+                        from,
+                        WorkerMsg::PullBlockReply {
+                            payload_hash,
+                            txs: txs.clone(),
+                        },
+                    );
+                }
+            }
+            WorkerMsg::PullBlockReply { payload_hash, txs } => {
+                self.bodies.entry(payload_hash).or_insert(txs.clone());
+                // Attach to any decided entry still waiting for this body.
+                for round in self.chain.missing_bodies() {
+                    if let Some(entry) = self.chain.get(round) {
+                        if entry.signed_header.header.payload_hash == payload_hash {
+                            let header = entry.signed_header.header.clone();
+                            self.chain
+                                .attach_body(round, Block::new(header, txs.clone()));
+                        }
+                    }
+                }
+                self.maybe_vote(out);
+                if let Some(key) = self.pending_finish {
+                    self.finish_delivery(key, out);
+                }
+                self.try_deliver_definite(out);
+            }
+            WorkerMsg::Panic(rb_msg) => {
+                let mut sub = Outbox::new();
+                let delivered = self.rb.on_message(from, rb_msg, &mut sub);
+                out.extend(sub.map_msgs(WorkerMsg::Panic));
+                for (_, _, proof) in delivered {
+                    self.handle_panic_proof(proof, out);
+                }
+            }
+            WorkerMsg::Consensus(pbft_msg) => {
+                let mut sub = Outbox::new();
+                let delivered = self.pbft.on_message(from, pbft_msg, &mut sub);
+                out.extend(sub.map_msgs(WorkerMsg::Consensus));
+                for (_, value) in delivered {
+                    self.handle_consensus_value(value, out);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<WorkerMsg>) {
+        let (kind, seq) = timer.decompose();
+        match kind {
+            TIMER_ROUND => {
+                if self.recovery.is_some() || self.voted || seq != self.round.0 {
+                    return;
+                }
+                // The proposer's message did not arrive in time: vote against
+                // delivery (Algorithm 1, lines 11–12).
+                self.fd.record_wait(self.proposer, self.timer.current());
+                self.cast_vote(false, out);
+            }
+            TIMER_PBFT => {
+                let mut sub = Outbox::new();
+                self.pbft.on_timer(timer, &mut sub);
+                out.extend(sub.map_msgs(WorkerMsg::Consensus));
+            }
+            _ => {}
+        }
+    }
+
+    fn on_transaction(&mut self, tx: Transaction, _out: &mut Outbox<WorkerMsg>) {
+        self.txpool.submit(tx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::AcceptAll;
+    use fireledger_crypto::SimKeyStore;
+    use fireledger_sim::{SimConfig, Simulation};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn cluster(n: usize, batch: usize) -> Vec<Worker> {
+        let params = ProtocolParams::new(n)
+            .with_batch_size(batch)
+            .with_tx_size(64)
+            .with_base_timeout(Duration::from_millis(20));
+        let crypto: SharedCrypto = SimKeyStore::generate(n, 7).shared();
+        (0..n)
+            .map(|i| {
+                Worker::new(
+                    NodeId(i as u32),
+                    WorkerId(0),
+                    params.clone(),
+                    crypto.clone(),
+                    Arc::new(AcceptAll),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fault_free_cluster_grows_identical_chains() {
+        let mut sim = Simulation::new(SimConfig::ideal(), cluster(4, 10));
+        sim.run_for(Duration::from_millis(500));
+        let len0 = sim.node(NodeId(0)).chain().len();
+        assert!(len0 > 10, "chain should grow well beyond 10 blocks, got {len0}");
+        // All nodes agree on the definite prefix.
+        let reference: Vec<_> = sim
+            .node(NodeId(0))
+            .chain()
+            .entries()
+            .iter()
+            .take(sim.node(NodeId(0)).chain().definite_len())
+            .map(|e| hash_header(&e.signed_header.header))
+            .collect();
+        for i in 1..4u32 {
+            let other: Vec<_> = sim
+                .node(NodeId(i))
+                .chain()
+                .entries()
+                .iter()
+                .take(reference.len())
+                .map(|e| hash_header(&e.signed_header.header))
+                .collect();
+            assert_eq!(other, reference, "node {i} diverged");
+        }
+        // No recovery and no fallback in the fault-free run.
+        let s = sim.summary();
+        assert_eq!(s.fallbacks, 0, "no fallback expected in the optimistic case");
+        assert!(s.recoveries_per_sec == 0.0);
+    }
+
+    #[test]
+    fn proposers_rotate_round_robin() {
+        let mut sim = Simulation::new(SimConfig::ideal(), cluster(4, 5));
+        sim.run_for(Duration::from_millis(300));
+        let chain = sim.node(NodeId(2)).chain();
+        for (i, entry) in chain.entries().iter().enumerate().take(12) {
+            assert_eq!(
+                entry.proposer(),
+                NodeId((i % 4) as u32),
+                "block {i} has the wrong proposer"
+            );
+        }
+    }
+
+    #[test]
+    fn deliveries_are_definite_ordered_and_full() {
+        let mut sim = Simulation::new(SimConfig::ideal(), cluster(4, 8));
+        sim.run_for(Duration::from_millis(400));
+        let deliveries = sim.deliveries(NodeId(1));
+        assert!(!deliveries.is_empty());
+        for (i, d) in deliveries.iter().enumerate() {
+            assert_eq!(d.round, Round(i as u64));
+            assert_eq!(d.block.len(), 8, "blocks are filled to β under load");
+        }
+        // Delivered prefix is the definite prefix.
+        assert!(deliveries.len() <= sim.node(NodeId(1)).chain().definite_len());
+    }
+
+    #[test]
+    fn crashed_proposer_is_skipped_and_progress_continues() {
+        use fireledger_sim::adversary::CrashSchedule;
+        use fireledger_sim::SimTime;
+        let adv = CrashSchedule::new().crash(NodeId(3), SimTime::ZERO);
+        let mut sim =
+            Simulation::with_adversary(SimConfig::ideal(), cluster(4, 5), Box::new(adv));
+        sim.run_for(Duration::from_secs(2));
+        let chain = sim.node(NodeId(0)).chain();
+        assert!(
+            chain.len() > 6,
+            "progress must continue despite the crashed node, got {}",
+            chain.len()
+        );
+        // The crashed node proposed nothing after its crash.
+        assert!(chain
+            .entries()
+            .iter()
+            .all(|e| e.proposer() != NodeId(3) || e.round() == Round(3)));
+        // Fallbacks were needed for the crashed node's turns.
+        let s = sim.summary_for(&[NodeId(0), NodeId(1), NodeId(2)]);
+        assert!(s.fallbacks > 0);
+    }
+
+    #[test]
+    fn client_transactions_end_up_in_decided_blocks() {
+        let params_tx = Transaction::new(7, 99, vec![0xAB; 64]);
+        let mut workers = cluster(4, 5);
+        // Disable filler so only real transactions appear.
+        for w in &mut workers {
+            w.params.fill_blocks = false;
+        }
+        let mut sim = Simulation::new(SimConfig::ideal(), workers);
+        sim.inject_transaction(NodeId(0), params_tx.clone(), Duration::from_millis(1));
+        sim.run_for(Duration::from_millis(500));
+        let delivered_txs: Vec<Transaction> = sim
+            .deliveries(NodeId(2))
+            .iter()
+            .flat_map(|d| d.block.txs.clone())
+            .collect();
+        assert!(
+            delivered_txs.contains(&params_tx),
+            "the injected transaction must reach every node's delivered prefix"
+        );
+    }
+
+    #[test]
+    fn worker_accessors_report_state() {
+        let workers = cluster(4, 5);
+        let w = &workers[2];
+        assert_eq!(w.node(), NodeId(2));
+        assert_eq!(w.worker_id(), WorkerId(0));
+        assert_eq!(w.round(), Round(0));
+        assert!(!w.is_recovering());
+        assert_eq!(w.pool_len(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! SHA-256 hashing helpers.
+//!
+//! Every block header carries the hash of its predecessor header and a digest
+//! of its payload; these helpers compute those digests over the canonical byte
+//! encodings defined in `fireledger-types`.
+
+use fireledger_types::{BlockHeader, Hash, Transaction};
+use sha2::{Digest, Sha256};
+
+/// Hashes an arbitrary byte slice with SHA-256.
+pub fn hash_bytes(bytes: &[u8]) -> Hash {
+    let digest = Sha256::digest(bytes);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&digest);
+    Hash::from_bytes(out)
+}
+
+/// Hashes the concatenation of two digests (used for merkle inner nodes and
+/// for chaining header digests).
+pub fn hash_concat(a: &Hash, b: &Hash) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(a.as_bytes());
+    hasher.update(b.as_bytes());
+    let digest = hasher.finalize();
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&digest);
+    Hash::from_bytes(out)
+}
+
+/// Hashes a block header's canonical encoding. This is the value the *next*
+/// block stores in its `parent` field and the value the proposer signs.
+pub fn hash_header(header: &BlockHeader) -> Hash {
+    hash_bytes(&header.canonical_bytes())
+}
+
+/// Hashes a single transaction (client id, sequence number and payload).
+pub fn hash_transaction(tx: &Transaction) -> Hash {
+    let mut hasher = Sha256::new();
+    hasher.update(tx.client.to_be_bytes());
+    hasher.update(tx.seq.to_be_bytes());
+    hasher.update(&tx.payload);
+    let digest = hasher.finalize();
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&digest);
+    Hash::from_bytes(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_types::{NodeId, Round, WorkerId, GENESIS_HASH};
+
+    fn header(round: u64) -> BlockHeader {
+        BlockHeader::new(
+            Round(round),
+            WorkerId(0),
+            NodeId(0),
+            GENESIS_HASH,
+            GENESIS_HASH,
+            0,
+            0,
+        )
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        assert_eq!(hash_bytes(b"fireledger"), hash_bytes(b"fireledger"));
+        assert_ne!(hash_bytes(b"fireledger"), hash_bytes(b"fire ledger"));
+    }
+
+    #[test]
+    fn known_sha256_vector() {
+        // SHA-256("abc")
+        let h = hash_bytes(b"abc");
+        assert_eq!(
+            h.to_string(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn header_hash_changes_with_round() {
+        assert_ne!(hash_header(&header(0)), hash_header(&header(1)));
+        assert_eq!(hash_header(&header(5)), hash_header(&header(5)));
+    }
+
+    #[test]
+    fn concat_is_order_sensitive() {
+        let a = hash_bytes(b"a");
+        let b = hash_bytes(b"b");
+        assert_ne!(hash_concat(&a, &b), hash_concat(&b, &a));
+    }
+
+    #[test]
+    fn transaction_hash_covers_all_fields() {
+        let t1 = Transaction::new(1, 1, vec![1, 2, 3]);
+        let t2 = Transaction::new(1, 2, vec![1, 2, 3]);
+        let t3 = Transaction::new(2, 1, vec![1, 2, 3]);
+        let t4 = Transaction::new(1, 1, vec![1, 2, 4]);
+        let h1 = hash_transaction(&t1);
+        assert_ne!(h1, hash_transaction(&t2));
+        assert_ne!(h1, hash_transaction(&t3));
+        assert_ne!(h1, hash_transaction(&t4));
+        assert_eq!(h1, hash_transaction(&t1.clone()));
+    }
+}

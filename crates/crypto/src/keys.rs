@@ -1,0 +1,275 @@
+//! Keys, signing and the cluster key directory.
+//!
+//! Permissioned blockchains assume an a-priori PKI (§2 of the paper): every
+//! node knows every other node's public key. [`CryptoProvider`] captures the
+//! operations the protocols need — sign as a node, verify a signature claimed
+//! to be from a node — behind a trait so two implementations can be swapped:
+//!
+//! * [`EcdsaKeyStore`] — real ECDSA over secp256k1 (the paper's scheme),
+//!   backed by the `k256` crate. Used by the examples, the threaded runtime
+//!   and the crypto micro-benchmarks.
+//! * [`SimKeyStore`] — a hash-based stand-in whose signatures are
+//!   deterministic MAC-like digests. It is orders of magnitude cheaper, which
+//!   keeps large discrete-event simulations fast; the *modelled* CPU cost of
+//!   real signatures is still charged through [`crate::CostModel`].
+//!
+//! Both stores hold keys for the whole cluster because the workspace runs all
+//! nodes in one process. A production deployment would hold only the local
+//! secret key plus the directory of public keys; the trait is deliberately
+//! compatible with that split.
+
+use crate::cost::CostModel;
+use crate::hash::hash_bytes;
+use fireledger_types::{NodeId, Signature};
+use k256::ecdsa::signature::{Signer, Verifier};
+use k256::ecdsa::{Signature as EcdsaSignature, SigningKey, VerifyingKey};
+use rand::SeedableRng;
+use rand_chacha::ChaCha20Rng;
+use std::sync::Arc;
+
+/// Shared handle to a cluster crypto provider.
+pub type SharedCrypto = Arc<dyn CryptoProvider>;
+
+/// Signing and verification for a permissioned cluster.
+pub trait CryptoProvider: Send + Sync {
+    /// Signs `msg` with `node`'s secret key.
+    fn sign(&self, node: NodeId, msg: &[u8]) -> Signature;
+
+    /// Verifies that `sig` is `node`'s signature over `msg`.
+    fn verify(&self, node: NodeId, msg: &[u8], sig: &Signature) -> bool;
+
+    /// Number of nodes with registered keys.
+    fn cluster_size(&self) -> usize;
+
+    /// The CPU cost model associated with this provider (used by the
+    /// simulator to charge virtual signing/verification time).
+    fn cost_model(&self) -> CostModel;
+
+    /// Human-readable scheme name for logs and reports.
+    fn scheme(&self) -> &'static str;
+}
+
+/// Real ECDSA secp256k1 keys for every node of a cluster.
+pub struct EcdsaKeyStore {
+    signing: Vec<SigningKey>,
+    verifying: Vec<VerifyingKey>,
+    cost: CostModel,
+}
+
+impl EcdsaKeyStore {
+    /// Generates keys for `n` nodes from a deterministic seed (reproducible
+    /// test clusters).
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let mut rng = ChaCha20Rng::seed_from_u64(seed);
+        let mut signing = Vec::with_capacity(n);
+        let mut verifying = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sk = SigningKey::random(&mut rng);
+            verifying.push(*sk.verifying_key());
+            signing.push(sk);
+        }
+        EcdsaKeyStore {
+            signing,
+            verifying,
+            cost: CostModel::m5_xlarge(),
+        }
+    }
+
+    /// Overrides the cost model reported by this store.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Returns the verifying (public) key of `node`, if registered.
+    pub fn verifying_key(&self, node: NodeId) -> Option<&VerifyingKey> {
+        self.verifying.get(node.as_usize())
+    }
+
+    /// Wraps the store into a [`SharedCrypto`] handle.
+    pub fn shared(self) -> SharedCrypto {
+        Arc::new(self)
+    }
+}
+
+impl CryptoProvider for EcdsaKeyStore {
+    fn sign(&self, node: NodeId, msg: &[u8]) -> Signature {
+        let key = self
+            .signing
+            .get(node.as_usize())
+            .unwrap_or_else(|| panic!("no signing key for {node}"));
+        let sig: EcdsaSignature = key.sign(msg);
+        Signature(sig.to_vec())
+    }
+
+    fn verify(&self, node: NodeId, msg: &[u8], sig: &Signature) -> bool {
+        let Some(key) = self.verifying.get(node.as_usize()) else {
+            return false;
+        };
+        let Ok(parsed) = EcdsaSignature::from_slice(sig.as_bytes()) else {
+            return false;
+        };
+        key.verify(msg, &parsed).is_ok()
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.signing.len()
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn scheme(&self) -> &'static str {
+        "ecdsa-secp256k1"
+    }
+}
+
+/// A cheap, deterministic, hash-based signature stand-in for simulations.
+///
+/// `sign(node, msg) = SHA-256(secret_node || msg)` where `secret_node` is a
+/// per-node secret derived from the cluster seed. Verification recomputes the
+/// digest, which requires knowing the secret — acceptable inside a single
+/// simulation process where the "adversary" is scripted rather than
+/// cryptographic. The simulator still charges the real ECDSA cost through the
+/// cost model, so performance results are unaffected by the substitution.
+pub struct SimKeyStore {
+    secrets: Vec<[u8; 32]>,
+    cost: CostModel,
+}
+
+impl SimKeyStore {
+    /// Creates a store for `n` nodes derived from `seed`.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        let secrets = (0..n)
+            .map(|i| {
+                let mut pre = Vec::with_capacity(16);
+                pre.extend_from_slice(&seed.to_be_bytes());
+                pre.extend_from_slice(&(i as u64).to_be_bytes());
+                *hash_bytes(&pre).as_bytes()
+            })
+            .collect();
+        SimKeyStore {
+            secrets,
+            cost: CostModel::m5_xlarge(),
+        }
+    }
+
+    /// Overrides the cost model reported by this store.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Wraps the store into a [`SharedCrypto`] handle.
+    pub fn shared(self) -> SharedCrypto {
+        Arc::new(self)
+    }
+}
+
+impl CryptoProvider for SimKeyStore {
+    fn sign(&self, node: NodeId, msg: &[u8]) -> Signature {
+        let secret = self
+            .secrets
+            .get(node.as_usize())
+            .unwrap_or_else(|| panic!("no secret for {node}"));
+        let mut pre = Vec::with_capacity(32 + msg.len());
+        pre.extend_from_slice(secret);
+        pre.extend_from_slice(msg);
+        let digest = hash_bytes(&pre);
+        Signature(digest.as_bytes().to_vec())
+    }
+
+    fn verify(&self, node: NodeId, msg: &[u8], sig: &Signature) -> bool {
+        if node.as_usize() >= self.secrets.len() {
+            return false;
+        }
+        self.sign(node, msg) == *sig
+    }
+
+    fn cluster_size(&self) -> usize {
+        self.secrets.len()
+    }
+
+    fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    fn scheme(&self) -> &'static str {
+        "sim-hmac"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_provider(provider: &dyn CryptoProvider) {
+        let msg = b"block header bytes";
+        let sig = provider.sign(NodeId(0), msg);
+        assert!(provider.verify(NodeId(0), msg, &sig));
+        // Wrong node.
+        assert!(!provider.verify(NodeId(1), msg, &sig));
+        // Wrong message.
+        assert!(!provider.verify(NodeId(0), b"tampered", &sig));
+        // Corrupted signature.
+        let mut bad = sig.clone();
+        if let Some(b) = bad.0.first_mut() {
+            *b ^= 0xff;
+        }
+        assert!(!provider.verify(NodeId(0), msg, &bad));
+        // Unknown node.
+        assert!(!provider.verify(NodeId(99), msg, &sig));
+    }
+
+    #[test]
+    fn ecdsa_sign_verify_roundtrip() {
+        let store = EcdsaKeyStore::generate(4, 7);
+        check_provider(&store);
+        assert_eq!(store.cluster_size(), 4);
+        assert_eq!(store.scheme(), "ecdsa-secp256k1");
+        assert!(store.verifying_key(NodeId(3)).is_some());
+        assert!(store.verifying_key(NodeId(4)).is_none());
+    }
+
+    #[test]
+    fn sim_sign_verify_roundtrip() {
+        let store = SimKeyStore::generate(4, 7);
+        check_provider(&store);
+        assert_eq!(store.cluster_size(), 4);
+        assert_eq!(store.scheme(), "sim-hmac");
+    }
+
+    #[test]
+    fn ecdsa_generation_is_deterministic_per_seed() {
+        let a = EcdsaKeyStore::generate(2, 42);
+        let b = EcdsaKeyStore::generate(2, 42);
+        let c = EcdsaKeyStore::generate(2, 43);
+        let msg = b"determinism";
+        assert_eq!(a.sign(NodeId(0), msg), b.sign(NodeId(0), msg));
+        assert_ne!(a.sign(NodeId(0), msg), c.sign(NodeId(0), msg));
+    }
+
+    #[test]
+    fn sim_signatures_differ_across_nodes_and_seeds() {
+        let a = SimKeyStore::generate(3, 1);
+        let b = SimKeyStore::generate(3, 2);
+        let msg = b"x";
+        assert_ne!(a.sign(NodeId(0), msg), a.sign(NodeId(1), msg));
+        assert_ne!(a.sign(NodeId(0), msg), b.sign(NodeId(0), msg));
+    }
+
+    #[test]
+    fn malformed_signature_rejected() {
+        let store = EcdsaKeyStore::generate(1, 1);
+        assert!(!store.verify(NodeId(0), b"m", &Signature(vec![1, 2, 3])));
+        assert!(!store.verify(NodeId(0), b"m", &Signature::empty()));
+    }
+
+    #[test]
+    fn shared_handles_are_usable_as_trait_objects() {
+        let shared: SharedCrypto = SimKeyStore::generate(4, 9).shared();
+        let sig = shared.sign(NodeId(2), b"hello");
+        assert!(shared.verify(NodeId(2), b"hello", &sig));
+    }
+}

@@ -1,0 +1,27 @@
+//! # fireledger-crypto
+//!
+//! Hashing, merkle trees, ECDSA (secp256k1) signatures, a key directory, and a
+//! calibrated CPU cost model for the FireLedger workspace.
+//!
+//! The paper signs block headers with ECDSA over the secp256k1 curve and
+//! hashes every transaction of a block before signing (§7.1). This crate
+//! reproduces that pipeline with the `k256` and `sha2` crates, and also offers
+//! a cheap *simulated* signature scheme for large discrete-event simulations
+//! in which paying real asymmetric-crypto CPU time for thousands of simulated
+//! nodes would make experiments needlessly slow. The cost of the real
+//! operations is captured by [`CostModel`], which the simulator uses to charge
+//! virtual CPU time, so switching to simulated signatures does not change the
+//! *modelled* performance.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod hash;
+pub mod keys;
+pub mod merkle;
+
+pub use cost::CostModel;
+pub use hash::{hash_bytes, hash_concat, hash_header, hash_transaction};
+pub use keys::{CryptoProvider, EcdsaKeyStore, SharedCrypto, SimKeyStore};
+pub use merkle::{merkle_root, MerkleTree};

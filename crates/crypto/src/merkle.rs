@@ -1,0 +1,192 @@
+//! Merkle trees over transaction batches.
+//!
+//! The paper hashes all of a block's transactions and signs the result
+//! alongside the block header (§7.1). We use a binary merkle tree so the
+//! payload digest also supports membership proofs — useful for light clients
+//! and for the insurance-consortium example, and a common extension point for
+//! permissioned ledgers.
+
+use crate::hash::{hash_concat, hash_transaction};
+use fireledger_types::{Hash, Transaction};
+
+/// Computes the merkle root of a transaction batch.
+///
+/// The root of an empty batch is the all-zero hash, which matches the
+/// `payload_hash` of an intentionally empty block.
+pub fn merkle_root(txs: &[Transaction]) -> Hash {
+    MerkleTree::build(txs).root()
+}
+
+/// A binary merkle tree with membership proofs.
+///
+/// Leaves are transaction hashes; odd leaves are promoted (not duplicated) so
+/// the tree never commits to a transaction twice.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] = leaf hashes, levels.last() = [root]
+    levels: Vec<Vec<Hash>>,
+}
+
+/// A merkle membership proof for a single leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling hashes from leaf level to the root, together with a flag that
+    /// is true when the sibling is on the right.
+    pub path: Vec<(Hash, bool)>,
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given transactions.
+    pub fn build(txs: &[Transaction]) -> Self {
+        if txs.is_empty() {
+            return MerkleTree {
+                levels: vec![vec![Hash::default()]],
+            };
+        }
+        let mut levels = Vec::new();
+        let leaves: Vec<Hash> = txs.iter().map(hash_transaction).collect();
+        levels.push(leaves);
+        while levels.last().unwrap().len() > 1 {
+            let prev = levels.last().unwrap();
+            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            for pair in prev.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(hash_concat(&pair[0], &pair[1]));
+                } else {
+                    // Promote the odd node unchanged.
+                    next.push(pair[0]);
+                }
+            }
+            levels.push(next);
+        }
+        MerkleTree { levels }
+    }
+
+    /// The merkle root.
+    pub fn root(&self) -> Hash {
+        *self.levels.last().unwrap().first().unwrap()
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        if self.levels[0].len() == 1 && self.levels[0][0] == Hash::default() {
+            0
+        } else {
+            self.levels[0].len()
+        }
+    }
+
+    /// True when the tree was built over an empty batch.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces a membership proof for the leaf at `index`, or `None` if out
+    /// of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.len() {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut idx = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            if sibling < level.len() {
+                path.push((level[sibling], idx % 2 == 0));
+            }
+            idx /= 2;
+        }
+        Some(MerkleProof { index, path })
+    }
+
+    /// Verifies that `tx` is committed at `proof.index` under `root`.
+    pub fn verify(root: &Hash, tx: &Transaction, proof: &MerkleProof) -> bool {
+        let mut acc = hash_transaction(tx);
+        for (sibling, sibling_is_right) in &proof.path {
+            acc = if *sibling_is_right {
+                hash_concat(&acc, sibling)
+            } else {
+                hash_concat(sibling, &acc)
+            };
+        }
+        acc == *root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txs(n: usize) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| Transaction::new(1, i as u64, vec![i as u8; 32]))
+            .collect()
+    }
+
+    #[test]
+    fn empty_batch_has_zero_root() {
+        assert_eq!(merkle_root(&[]), Hash::default());
+        let t = MerkleTree::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert!(t.prove(0).is_none());
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let batch = txs(1);
+        assert_eq!(merkle_root(&batch), hash_transaction(&batch[0]));
+    }
+
+    #[test]
+    fn root_is_order_sensitive() {
+        let a = txs(4);
+        let mut b = a.clone();
+        b.swap(0, 3);
+        assert_ne!(merkle_root(&a), merkle_root(&b));
+    }
+
+    #[test]
+    fn root_changes_with_any_tx() {
+        let a = txs(8);
+        let mut b = a.clone();
+        b[5] = Transaction::new(99, 99, vec![0xff]);
+        assert_ne!(merkle_root(&a), merkle_root(&b));
+    }
+
+    #[test]
+    fn proofs_verify_for_all_leaves() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 33] {
+            let batch = txs(n);
+            let tree = MerkleTree::build(&batch);
+            let root = tree.root();
+            for (i, tx) in batch.iter().enumerate() {
+                let proof = tree.prove(i).expect("proof exists");
+                assert!(
+                    MerkleTree::verify(&root, tx, &proof),
+                    "proof failed for leaf {i} of {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proof_fails_for_wrong_tx() {
+        let batch = txs(7);
+        let tree = MerkleTree::build(&batch);
+        let proof = tree.prove(3).unwrap();
+        let wrong = Transaction::new(42, 42, vec![1]);
+        assert!(!MerkleTree::verify(&tree.root(), &wrong, &proof));
+    }
+
+    #[test]
+    fn proof_fails_under_wrong_root() {
+        let batch = txs(6);
+        let tree = MerkleTree::build(&batch);
+        let proof = tree.prove(2).unwrap();
+        let other_root = merkle_root(&txs(5));
+        assert!(!MerkleTree::verify(&other_root, &batch[2], &proof));
+    }
+}

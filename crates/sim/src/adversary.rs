@@ -1,0 +1,202 @@
+//! Fault injection: crashes, omissions and Byzantine message manipulation.
+//!
+//! The simulator calls the [`Adversary`] hook for every message about to be
+//! scheduled. The hook may pass the message through, drop it, delay it, or —
+//! for scripted Byzantine senders — replace it (equivocation). Concrete
+//! Byzantine behaviours that need to understand FireLedger's message format
+//! (e.g. "send different blocks to two halves of the cluster", §7.4.2) are
+//! implemented next to the protocol in `fireledger`; this module provides the
+//! generic hook plus protocol-agnostic faults (crash, omission).
+
+use crate::time::SimTime;
+use fireledger_types::NodeId;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// The fate of an intercepted message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fate<M> {
+    /// Deliver the message unchanged.
+    Deliver(M),
+    /// Deliver a (possibly different) message after an extra delay.
+    DeliverDelayed(M, Duration),
+    /// Silently drop the message.
+    Drop,
+}
+
+/// A fault-injection hook consulted for every message send.
+pub trait Adversary<M>: Send {
+    /// Decides what happens to `msg` sent from `from` to `to` at time `now`.
+    fn intercept(&mut self, from: NodeId, to: NodeId, msg: M, now: SimTime) -> Fate<M>;
+
+    /// True when `node` has crashed by time `now`; crashed nodes receive no
+    /// events and send no messages.
+    fn is_crashed(&self, _node: NodeId, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// The no-fault adversary: every message is delivered unchanged.
+#[derive(Clone, Debug, Default)]
+pub struct PassThrough;
+
+impl<M> Adversary<M> for PassThrough {
+    fn intercept(&mut self, _from: NodeId, _to: NodeId, msg: M, _now: SimTime) -> Fate<M> {
+        Fate::Deliver(msg)
+    }
+}
+
+/// Crash-fault schedule: each listed node stops participating at its crash
+/// time (all of its workers stop with it, §7.4.1).
+#[derive(Clone, Debug, Default)]
+pub struct CrashSchedule {
+    crashes: HashMap<NodeId, SimTime>,
+}
+
+impl CrashSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `node` to crash at `at`.
+    pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
+        self.crashes.insert(node, at);
+        self
+    }
+
+    /// Crashes the last `f` nodes of an `n`-node cluster at `at` — the shape
+    /// of the benign-failure experiment (§7.4.1).
+    pub fn crash_last_f(n: usize, f: usize, at: SimTime) -> Self {
+        let mut s = CrashSchedule::new();
+        for i in (n - f)..n {
+            s.crashes.insert(NodeId(i as u32), at);
+        }
+        s
+    }
+
+    /// The nodes that never crash.
+    pub fn correct_nodes(&self, n: usize) -> Vec<NodeId> {
+        (0..n as u32)
+            .map(NodeId)
+            .filter(|id| !self.crashes.contains_key(id))
+            .collect()
+    }
+
+    /// True when `node` has crashed by time `now`.
+    pub fn crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashes.get(&node).is_some_and(|t| now >= *t)
+    }
+}
+
+impl<M> Adversary<M> for CrashSchedule {
+    fn intercept(&mut self, from: NodeId, to: NodeId, msg: M, now: SimTime) -> Fate<M> {
+        if self.crashed(from, now) || self.crashed(to, now) {
+            Fate::Drop
+        } else {
+            Fate::Deliver(msg)
+        }
+    }
+
+    fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.crashed(node, now)
+    }
+}
+
+/// Drops a fixed fraction of messages from a set of lossy senders — used to
+/// exercise the omission-failure column of Table 1. Dropping is deterministic
+/// (every k-th message) so experiments stay reproducible.
+#[derive(Clone, Debug)]
+pub struct OmissionFaults {
+    lossy: Vec<NodeId>,
+    drop_every: u64,
+    counter: u64,
+}
+
+impl OmissionFaults {
+    /// Every `drop_every`-th message from a node in `lossy` is dropped.
+    pub fn new(lossy: Vec<NodeId>, drop_every: u64) -> Self {
+        OmissionFaults {
+            lossy,
+            drop_every: drop_every.max(1),
+            counter: 0,
+        }
+    }
+}
+
+impl<M> Adversary<M> for OmissionFaults {
+    fn intercept(&mut self, from: NodeId, _to: NodeId, msg: M, _now: SimTime) -> Fate<M> {
+        if self.lossy.contains(&from) {
+            self.counter += 1;
+            if self.counter % self.drop_every == 0 {
+                return Fate::Drop;
+            }
+        }
+        Fate::Deliver(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_through_delivers_everything() {
+        let mut a = PassThrough;
+        assert_eq!(
+            a.intercept(NodeId(0), NodeId(1), 42u32, SimTime::ZERO),
+            Fate::Deliver(42)
+        );
+        assert!(!Adversary::<u32>::is_crashed(&a, NodeId(0), SimTime::ZERO));
+    }
+
+    #[test]
+    fn crash_schedule_drops_after_crash_time() {
+        let mut a = CrashSchedule::new().crash(NodeId(2), SimTime::from_secs(5));
+        // Before the crash everything flows.
+        assert_eq!(
+            a.intercept(NodeId(2), NodeId(0), 1u32, SimTime::from_secs(4)),
+            Fate::Deliver(1)
+        );
+        // After the crash, messages from and to the crashed node are dropped.
+        assert_eq!(
+            a.intercept(NodeId(2), NodeId(0), 1u32, SimTime::from_secs(5)),
+            Fate::Drop
+        );
+        assert_eq!(
+            a.intercept(NodeId(0), NodeId(2), 1u32, SimTime::from_secs(6)),
+            Fate::Drop
+        );
+        assert!(Adversary::<u32>::is_crashed(&a, NodeId(2), SimTime::from_secs(5)));
+        assert!(!Adversary::<u32>::is_crashed(&a, NodeId(2), SimTime::from_secs(4)));
+    }
+
+    #[test]
+    fn crash_last_f_crashes_the_tail() {
+        let a = CrashSchedule::crash_last_f(10, 3, SimTime::from_secs(1));
+        let correct = a.correct_nodes(10);
+        assert_eq!(correct.len(), 7);
+        assert!(correct.contains(&NodeId(0)));
+        assert!(!correct.contains(&NodeId(9)));
+    }
+
+    #[test]
+    fn omission_drops_every_kth_message_from_lossy_nodes() {
+        let mut a = OmissionFaults::new(vec![NodeId(1)], 3);
+        let mut outcomes = Vec::new();
+        for i in 0..6 {
+            outcomes.push(matches!(
+                a.intercept(NodeId(1), NodeId(0), i, SimTime::ZERO),
+                Fate::Drop
+            ));
+        }
+        assert_eq!(outcomes, vec![false, false, true, false, false, true]);
+        // Non-lossy senders never lose messages.
+        for i in 0..10 {
+            assert!(matches!(
+                a.intercept(NodeId(0), NodeId(1), i, SimTime::ZERO),
+                Fate::Deliver(_)
+            ));
+        }
+    }
+}

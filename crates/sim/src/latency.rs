@@ -1,0 +1,296 @@
+//! Link-latency models.
+//!
+//! The paper evaluates FLO in two network settings (§7.2, §7.5):
+//!
+//! * a **single data-center** cluster of m5.xlarge VMs — sub-millisecond
+//!   latency, up-to-10 Gbps links;
+//! * a **geo-distributed** cluster with one node in each of ten AWS regions
+//!   (Tokyo, Canada Central, Frankfurt, Paris, São Paulo, Oregon, Singapore,
+//!   Sydney, Ireland, Ohio).
+//!
+//! [`LatencyModel`] covers both, plus simple constant/jittered models used by
+//! unit tests and property tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+use fireledger_types::NodeId;
+
+/// One of the ten AWS regions used by the paper's geo-distributed deployment
+/// (§7.5), in the paper's placement order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// ap-northeast-1
+    Tokyo,
+    /// ca-central-1
+    Canada,
+    /// eu-central-1
+    Frankfurt,
+    /// eu-west-3
+    Paris,
+    /// sa-east-1
+    SaoPaulo,
+    /// us-west-2
+    Oregon,
+    /// ap-southeast-1
+    Singapore,
+    /// ap-southeast-2
+    Sydney,
+    /// eu-west-1
+    Ireland,
+    /// us-east-2
+    Ohio,
+}
+
+impl Region {
+    /// The paper's placement order: node `i` lives in `PLACEMENT[i % 10]`.
+    pub const PLACEMENT: [Region; 10] = [
+        Region::Tokyo,
+        Region::Canada,
+        Region::Frankfurt,
+        Region::Paris,
+        Region::SaoPaulo,
+        Region::Oregon,
+        Region::Singapore,
+        Region::Sydney,
+        Region::Ireland,
+        Region::Ohio,
+    ];
+
+    /// Index of the region inside [`Region::PLACEMENT`].
+    pub fn index(self) -> usize {
+        Region::PLACEMENT
+            .iter()
+            .position(|r| *r == self)
+            .expect("region is in placement")
+    }
+}
+
+/// A symmetric matrix of one-way latencies between the ten regions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GeoMatrix {
+    /// one_way_ms[i][j] = one-way latency in milliseconds between region i
+    /// and region j of [`Region::PLACEMENT`].
+    pub one_way_ms: Vec<Vec<f64>>,
+}
+
+impl GeoMatrix {
+    /// Approximate AWS inter-region one-way latencies (half of the publicly
+    /// reported RTTs, rounded), in the paper's placement order.
+    pub fn aws_default() -> Self {
+        // Row/column order: Tokyo, Canada, Frankfurt, Paris, SaoPaulo,
+        //                   Oregon, Singapore, Sydney, Ireland, Ohio
+        let m: Vec<Vec<f64>> = vec![
+            //      Tok   Can   Fra   Par   Sao   Ore   Sin   Syd   Irl   Ohi
+            vec![0.5, 72.0, 112.0, 108.0, 128.0, 49.0, 35.0, 52.0, 103.0, 78.0], // Tokyo
+            vec![72.0, 0.5, 46.0, 42.0, 62.0, 30.0, 108.0, 100.0, 33.0, 13.0],   // Canada
+            vec![112.0, 46.0, 0.5, 5.0, 102.0, 79.0, 81.0, 144.0, 13.0, 49.0],   // Frankfurt
+            vec![108.0, 42.0, 5.0, 0.5, 97.0, 70.0, 84.0, 140.0, 9.0, 45.0],     // Paris
+            vec![128.0, 62.0, 102.0, 97.0, 0.5, 89.0, 163.0, 158.0, 92.0, 65.0], // SaoPaulo
+            vec![49.0, 30.0, 79.0, 70.0, 89.0, 0.5, 82.0, 69.0, 62.0, 25.0],     // Oregon
+            vec![35.0, 108.0, 81.0, 84.0, 163.0, 82.0, 0.5, 46.0, 87.0, 101.0],  // Singapore
+            vec![52.0, 100.0, 144.0, 140.0, 158.0, 69.0, 46.0, 0.5, 130.0, 96.0], // Sydney
+            vec![103.0, 33.0, 13.0, 9.0, 92.0, 62.0, 87.0, 130.0, 0.5, 40.0],    // Ireland
+            vec![78.0, 13.0, 49.0, 45.0, 65.0, 25.0, 101.0, 96.0, 40.0, 0.5],    // Ohio
+        ];
+        GeoMatrix { one_way_ms: m }
+    }
+
+    /// One-way latency between the regions hosting nodes `a` and `b`, where
+    /// node `i` is placed in region `i % 10` (the paper places exactly one
+    /// node per region for n = 10; for n < 10 a prefix of the placement is
+    /// used, for n > 10 the placement wraps around).
+    pub fn latency(&self, a: NodeId, b: NodeId) -> Duration {
+        let i = a.as_usize() % self.one_way_ms.len();
+        let j = b.as_usize() % self.one_way_ms.len();
+        Duration::from_secs_f64(self.one_way_ms[i][j] / 1000.0)
+    }
+}
+
+/// The latency model applied to each message.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// A constant one-way delay on every link.
+    Constant(Duration),
+    /// Uniformly distributed delay in `[min, max]` drawn per message.
+    Uniform {
+        /// Lower bound.
+        min: Duration,
+        /// Upper bound.
+        max: Duration,
+    },
+    /// Single data-center: a small base latency plus a relative jitter drawn
+    /// per message (models the "non-dedicated virtual machines and network"
+    /// of §1).
+    SingleDc {
+        /// Base one-way latency (default 250 µs).
+        base: Duration,
+        /// Maximal additional jitter as a fraction of the base (e.g. 0.5).
+        jitter: f64,
+    },
+    /// Geo-distributed deployment using a region latency matrix plus a small
+    /// relative jitter.
+    Geo {
+        /// The region-to-region matrix.
+        matrix: GeoMatrix,
+        /// Maximal additional jitter as a fraction of the base.
+        jitter: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A typical single data-center model (≈ 250 µs ± 50%).
+    pub fn single_dc() -> Self {
+        LatencyModel::SingleDc {
+            base: Duration::from_micros(250),
+            jitter: 0.5,
+        }
+    }
+
+    /// The paper's ten-region geo-distributed model with 10% jitter.
+    pub fn geo_distributed() -> Self {
+        LatencyModel::Geo {
+            matrix: GeoMatrix::aws_default(),
+            jitter: 0.1,
+        }
+    }
+
+    /// Samples the one-way latency for a message from `from` to `to`.
+    pub fn sample<R: Rng>(&self, from: NodeId, to: NodeId, rng: &mut R) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                if max <= min {
+                    *min
+                } else {
+                    let span = (*max - *min).as_nanos() as u64;
+                    *min + Duration::from_nanos(rng.gen_range(0..=span))
+                }
+            }
+            LatencyModel::SingleDc { base, jitter } => {
+                let j = rng.gen_range(0.0..=*jitter);
+                base.mul_f64(1.0 + j)
+            }
+            LatencyModel::Geo { matrix, jitter } => {
+                let base = matrix.latency(from, to);
+                let j = rng.gen_range(0.0..=*jitter);
+                base.mul_f64(1.0 + j)
+            }
+        }
+    }
+
+    /// An upper bound on the latency this model can produce between any pair
+    /// of nodes (useful for choosing protocol timeouts in experiments).
+    pub fn upper_bound(&self) -> Duration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { max, .. } => *max,
+            LatencyModel::SingleDc { base, jitter } => base.mul_f64(1.0 + jitter),
+            LatencyModel::Geo { matrix, jitter } => {
+                let max_ms = matrix
+                    .one_way_ms
+                    .iter()
+                    .flatten()
+                    .cloned()
+                    .fold(0.0_f64, f64::max);
+                Duration::from_secs_f64(max_ms / 1000.0).mul_f64(1.0 + jitter)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha20Rng;
+
+    #[test]
+    fn geo_matrix_is_square_and_symmetric() {
+        let m = GeoMatrix::aws_default();
+        assert_eq!(m.one_way_ms.len(), 10);
+        for (i, row) in m.one_way_ms.iter().enumerate() {
+            assert_eq!(row.len(), 10);
+            for (j, v) in row.iter().enumerate() {
+                assert!((*v - m.one_way_ms[j][i]).abs() < 1e-9, "asymmetric at {i},{j}");
+                assert!(*v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn region_placement_indices() {
+        assert_eq!(Region::Tokyo.index(), 0);
+        assert_eq!(Region::Ohio.index(), 9);
+        assert_eq!(Region::PLACEMENT.len(), 10);
+    }
+
+    #[test]
+    fn geo_latency_wraps_for_large_clusters() {
+        let m = GeoMatrix::aws_default();
+        assert_eq!(m.latency(NodeId(0), NodeId(10)), m.latency(NodeId(0), NodeId(0)));
+        assert!(m.latency(NodeId(0), NodeId(4)) > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let m = LatencyModel::Constant(Duration::from_millis(3));
+        for _ in 0..10 {
+            assert_eq!(m.sample(NodeId(0), NodeId(1), &mut rng), Duration::from_millis(3));
+        }
+        assert_eq!(m.upper_bound(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_model_respects_bounds() {
+        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let min = Duration::from_millis(1);
+        let max = Duration::from_millis(5);
+        let m = LatencyModel::Uniform { min, max };
+        for _ in 0..100 {
+            let d = m.sample(NodeId(0), NodeId(1), &mut rng);
+            assert!(d >= min && d <= max);
+        }
+        assert_eq!(m.upper_bound(), max);
+        // Degenerate range.
+        let degenerate = LatencyModel::Uniform { min: max, max: min };
+        assert_eq!(degenerate.sample(NodeId(0), NodeId(1), &mut rng), max);
+    }
+
+    #[test]
+    fn single_dc_is_sub_millisecond() {
+        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let m = LatencyModel::single_dc();
+        for _ in 0..100 {
+            let d = m.sample(NodeId(0), NodeId(1), &mut rng);
+            assert!(d >= Duration::from_micros(250));
+            assert!(d <= Duration::from_micros(380));
+        }
+    }
+
+    #[test]
+    fn geo_is_much_slower_than_single_dc() {
+        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let geo = LatencyModel::geo_distributed();
+        let dc = LatencyModel::single_dc();
+        let g = geo.sample(NodeId(0), NodeId(4), &mut rng); // Tokyo ↔ São Paulo
+        let d = dc.sample(NodeId(0), NodeId(4), &mut rng);
+        assert!(g > d * 100);
+        assert!(geo.upper_bound() > Duration::from_millis(150));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let m = LatencyModel::single_dc();
+        let mut a = ChaCha20Rng::seed_from_u64(9);
+        let mut b = ChaCha20Rng::seed_from_u64(9);
+        for _ in 0..20 {
+            assert_eq!(
+                m.sample(NodeId(0), NodeId(1), &mut a),
+                m.sample(NodeId(0), NodeId(1), &mut b)
+            );
+        }
+    }
+}

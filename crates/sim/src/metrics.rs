@@ -1,0 +1,500 @@
+//! Metrics collection for simulation runs.
+//!
+//! The collector aggregates the protocol [`Observation`]s emitted through the
+//! outbox into the quantities the paper reports: blocks per second (bps),
+//! transactions per second (tps), block delivery latency (average, CDF,
+//! percentiles — Figures 8 and 15), the relative time spent between the five
+//! lifecycle events A–E (Figure 9), and the recovery rate (rps, Figure 12).
+
+use crate::time::SimTime;
+use fireledger_types::{NodeId, Observation, Round, WorkerId};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// First-observed timestamps of the five lifecycle events of one block
+/// (Figure 9: A block proposal, B header proposal, C tentative decision,
+/// D definite decision, E FLO delivery).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlockLifecycle {
+    /// (A) block body disseminated.
+    pub proposed: Option<SimTime>,
+    /// (B) header entered the consensus path.
+    pub header: Option<SimTime>,
+    /// (C) first tentative decision at any node.
+    pub tentative: Option<SimTime>,
+    /// (D) first definite decision at any node.
+    pub definite: Option<SimTime>,
+    /// (E) first FLO delivery at any node.
+    pub delivered: Option<SimTime>,
+    /// Number of transactions in the block.
+    pub tx_count: u32,
+    /// Payload bytes in the block.
+    pub payload_bytes: u64,
+}
+
+/// Per-node aggregate counters.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct NodeCounters {
+    /// Blocks this node decided definitively.
+    pub definite_blocks: u64,
+    /// Transactions in those blocks.
+    pub definite_txs: u64,
+    /// Payload bytes in those blocks.
+    pub definite_bytes: u64,
+    /// Blocks delivered by FLO's round-robin merge.
+    pub flo_blocks: u64,
+    /// Transactions delivered by FLO.
+    pub flo_txs: u64,
+    /// OBBC fallback invocations observed.
+    pub fallbacks: u64,
+    /// Recovery procedures started.
+    pub recoveries: u64,
+    /// WRB deliveries that returned nil.
+    pub nil_deliveries: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Signatures produced (from CPU charges).
+    pub signatures: u64,
+    /// Signature verifications performed (from CPU charges).
+    pub verifications: u64,
+}
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    per_node: Vec<NodeCounters>,
+    lifecycles: HashMap<(WorkerId, Round), BlockLifecycle>,
+    /// Per-delivery latency samples (block proposal → FLO delivery, one sample
+    /// per delivering node).
+    latency_samples: Vec<Duration>,
+    /// Measurement window start (observations before this are still recorded
+    /// in lifecycles but excluded from rate counters).
+    window_start: SimTime,
+    window_end: SimTime,
+}
+
+impl Metrics {
+    /// Creates a collector for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_node: vec![NodeCounters::default(); n],
+            ..Default::default()
+        }
+    }
+
+    /// Restricts rate computations to observations at or after `start`
+    /// (used by the crash-failure experiment, which measures only after the
+    /// faulty nodes crash, §7.4.1).
+    pub fn set_window_start(&mut self, start: SimTime) {
+        self.window_start = start;
+    }
+
+    /// Records the end of the run (used as the denominator of rates).
+    pub fn set_window_end(&mut self, end: SimTime) {
+        self.window_end = end;
+    }
+
+    /// The measurement window length in seconds.
+    pub fn window_secs(&self) -> f64 {
+        (self.window_end.since(self.window_start)).as_secs_f64()
+    }
+
+    fn lifecycle(&mut self, worker: WorkerId, round: Round) -> &mut BlockLifecycle {
+        self.lifecycles.entry((worker, round)).or_default()
+    }
+
+    /// Records an observation from `node` at time `now`.
+    pub fn record(&mut self, node: NodeId, now: SimTime, obs: &Observation) {
+        let in_window = now >= self.window_start;
+        match obs {
+            Observation::BlockProposed {
+                worker,
+                round,
+                tx_count,
+                payload_bytes,
+            } => {
+                let lc = self.lifecycle(*worker, *round);
+                lc.proposed.get_or_insert(now);
+                lc.tx_count = *tx_count;
+                lc.payload_bytes = *payload_bytes;
+            }
+            Observation::HeaderProposed { worker, round } => {
+                self.lifecycle(*worker, *round).header.get_or_insert(now);
+            }
+            Observation::TentativeDecision { worker, round } => {
+                self.lifecycle(*worker, *round).tentative.get_or_insert(now);
+            }
+            Observation::DefiniteDecision {
+                worker,
+                round,
+                tx_count,
+                payload_bytes,
+            } => {
+                {
+                    let lc = self.lifecycle(*worker, *round);
+                    lc.definite.get_or_insert(now);
+                    if lc.tx_count == 0 {
+                        lc.tx_count = *tx_count;
+                        lc.payload_bytes = *payload_bytes;
+                    }
+                }
+                if in_window {
+                    let c = &mut self.per_node[node.as_usize()];
+                    c.definite_blocks += 1;
+                    c.definite_txs += *tx_count as u64;
+                    c.definite_bytes += *payload_bytes;
+                }
+            }
+            Observation::FloDelivery { worker, round } => {
+                let proposed = {
+                    let lc = self.lifecycle(*worker, *round);
+                    lc.delivered.get_or_insert(now);
+                    lc.proposed.or(lc.header)
+                };
+                if in_window {
+                    let tx_count = self.lifecycles[&(*worker, *round)].tx_count as u64;
+                    let c = &mut self.per_node[node.as_usize()];
+                    c.flo_blocks += 1;
+                    c.flo_txs += tx_count;
+                    if let Some(p) = proposed {
+                        self.latency_samples.push(now.since(p));
+                    }
+                }
+            }
+            Observation::FallbackInvoked { .. } => {
+                if in_window {
+                    self.per_node[node.as_usize()].fallbacks += 1;
+                }
+            }
+            Observation::RecoveryStarted { .. } => {
+                if in_window {
+                    self.per_node[node.as_usize()].recoveries += 1;
+                }
+            }
+            Observation::RecoveryFinished { .. } | Observation::ByzantineDetected { .. } => {}
+            Observation::NilDelivery { .. } => {
+                if in_window {
+                    self.per_node[node.as_usize()].nil_deliveries += 1;
+                }
+            }
+        }
+    }
+
+    /// Records that `node` sent a message of `bytes` bytes.
+    pub fn record_send(&mut self, node: NodeId, bytes: usize, now: SimTime) {
+        if now >= self.window_start {
+            let c = &mut self.per_node[node.as_usize()];
+            c.msgs_sent += 1;
+            c.bytes_sent += bytes as u64;
+        }
+    }
+
+    /// Records CPU charge counters for `node`.
+    pub fn record_cpu(&mut self, node: NodeId, signs: u32, verifies: u32, now: SimTime) {
+        if now >= self.window_start {
+            let c = &mut self.per_node[node.as_usize()];
+            c.signatures += signs as u64;
+            c.verifications += verifies as u64;
+        }
+    }
+
+    /// Per-node counters.
+    pub fn node_counters(&self) -> &[NodeCounters] {
+        &self.per_node
+    }
+
+    /// All recorded block lifecycles.
+    pub fn lifecycles(&self) -> &HashMap<(WorkerId, Round), BlockLifecycle> {
+        &self.lifecycles
+    }
+
+    /// Raw latency samples (proposal → FLO delivery).
+    pub fn latency_samples(&self) -> &[Duration] {
+        &self.latency_samples
+    }
+
+    /// A percentile (0..=100) of the delivery latency distribution.
+    pub fn latency_percentile(&self, pct: f64) -> Option<Duration> {
+        if self.latency_samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort();
+        let rank = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// The empirical CDF of delivery latency as (latency_seconds, fraction)
+    /// points — the data behind Figures 8 and 15.
+    pub fn latency_cdf(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.latency_samples.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort();
+        let n = sorted.len();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+                (sorted[idx].as_secs_f64(), frac)
+            })
+            .collect()
+    }
+
+    /// Average relative time spent in each of the four intervals A→B, B→C,
+    /// C→D, D→E across all blocks with a complete lifecycle (Figure 9). The
+    /// four fractions sum to 1 (unless no block completed, in which case all
+    /// are 0).
+    pub fn phase_breakdown(&self) -> [f64; 4] {
+        let mut sums = [0.0f64; 4];
+        let mut total = 0.0f64;
+        for lc in self.lifecycles.values() {
+            let (Some(a), Some(b), Some(c), Some(d), Some(e)) = (
+                lc.proposed,
+                lc.header,
+                lc.tentative,
+                lc.definite,
+                lc.delivered,
+            ) else {
+                continue;
+            };
+            let spans = [
+                b.since(a).as_secs_f64(),
+                c.since(b).as_secs_f64(),
+                d.since(c).as_secs_f64(),
+                e.since(d).as_secs_f64(),
+            ];
+            for (s, acc) in spans.iter().zip(sums.iter_mut()) {
+                *acc += s;
+            }
+            total += spans.iter().sum::<f64>();
+        }
+        if total <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            sums[0] / total,
+            sums[1] / total,
+            sums[2] / total,
+            sums[3] / total,
+        ]
+    }
+
+    /// Builds the run summary, averaging rates across the `include` nodes
+    /// (pass `None` to include all nodes; the crash experiment averages over
+    /// correct nodes only).
+    pub fn summary(&self, include: Option<&[NodeId]>) -> RunSummary {
+        let secs = self.window_secs().max(1e-9);
+        let nodes: Vec<usize> = match include {
+            Some(ids) => ids.iter().map(|id| id.as_usize()).collect(),
+            None => (0..self.per_node.len()).collect(),
+        };
+        let k = nodes.len().max(1) as f64;
+        let sum = |f: &dyn Fn(&NodeCounters) -> u64| -> f64 {
+            nodes.iter().map(|i| f(&self.per_node[*i]) as f64).sum::<f64>()
+        };
+        let tps = sum(&|c| c.definite_txs) / k / secs;
+        let bps = sum(&|c| c.definite_blocks) / k / secs;
+        let flo_tps = sum(&|c| c.flo_txs) / k / secs;
+        let recoveries = sum(&|c| c.recoveries) / k;
+        let avg_latency = if self.latency_samples.is_empty() {
+            Duration::ZERO
+        } else {
+            let total: Duration = self.latency_samples.iter().sum();
+            total / self.latency_samples.len() as u32
+        };
+        RunSummary {
+            duration_secs: secs,
+            tps,
+            bps,
+            flo_tps,
+            avg_latency_secs: avg_latency.as_secs_f64(),
+            p50_latency_secs: self.latency_percentile(50.0).unwrap_or_default().as_secs_f64(),
+            p95_latency_secs: self.latency_percentile(95.0).unwrap_or_default().as_secs_f64(),
+            p99_latency_secs: self.latency_percentile(99.0).unwrap_or_default().as_secs_f64(),
+            recoveries_per_sec: recoveries / secs,
+            fallbacks: sum(&|c| c.fallbacks) as u64,
+            msgs_sent: sum(&|c| c.msgs_sent) as u64,
+            bytes_sent: sum(&|c| c.bytes_sent) as u64,
+            signatures: sum(&|c| c.signatures) as u64,
+            verifications: sum(&|c| c.verifications) as u64,
+        }
+    }
+}
+
+/// Headline numbers of one run, in the units the paper uses.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunSummary {
+    /// Measurement window in seconds.
+    pub duration_secs: f64,
+    /// Definitively decided transactions per second (averaged across nodes).
+    pub tps: f64,
+    /// Definitively decided blocks per second (averaged across nodes).
+    pub bps: f64,
+    /// Transactions per second as delivered by FLO's round-robin merge.
+    pub flo_tps: f64,
+    /// Mean proposal→delivery latency in seconds.
+    pub avg_latency_secs: f64,
+    /// Median latency.
+    pub p50_latency_secs: f64,
+    /// 95th percentile latency.
+    pub p95_latency_secs: f64,
+    /// 99th percentile latency.
+    pub p99_latency_secs: f64,
+    /// Recovery procedures per second (rps in Figure 12).
+    pub recoveries_per_sec: f64,
+    /// Total OBBC fallback invocations.
+    pub fallbacks: u64,
+    /// Total messages sent by the included nodes.
+    pub msgs_sent: u64,
+    /// Total bytes sent by the included nodes.
+    pub bytes_sent: u64,
+    /// Total signatures produced.
+    pub signatures: u64,
+    /// Total signature verifications.
+    pub verifications: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs_definite(worker: u32, round: u64, txs: u32) -> Observation {
+        Observation::DefiniteDecision {
+            worker: WorkerId(worker),
+            round: Round(round),
+            tx_count: txs,
+            payload_bytes: txs as u64 * 512,
+        }
+    }
+
+    #[test]
+    fn tps_and_bps_average_across_nodes() {
+        let mut m = Metrics::new(4);
+        m.set_window_end(SimTime::from_secs(10));
+        for node in 0..4u32 {
+            for r in 0..100u64 {
+                m.record(NodeId(node), SimTime::from_millis(r * 100), &obs_definite(0, r, 50));
+            }
+        }
+        let s = m.summary(None);
+        assert!((s.bps - 10.0).abs() < 1e-9, "bps={}", s.bps);
+        assert!((s.tps - 500.0).abs() < 1e-9, "tps={}", s.tps);
+    }
+
+    #[test]
+    fn window_start_excludes_early_observations() {
+        let mut m = Metrics::new(1);
+        m.set_window_start(SimTime::from_secs(5));
+        m.set_window_end(SimTime::from_secs(10));
+        m.record(NodeId(0), SimTime::from_secs(1), &obs_definite(0, 0, 10));
+        m.record(NodeId(0), SimTime::from_secs(6), &obs_definite(0, 1, 10));
+        let s = m.summary(None);
+        assert!((s.tps - 2.0).abs() < 1e-9);
+        assert!((s.duration_secs - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_can_restrict_to_correct_nodes() {
+        let mut m = Metrics::new(2);
+        m.set_window_end(SimTime::from_secs(1));
+        m.record(NodeId(0), SimTime::from_millis(1), &obs_definite(0, 0, 100));
+        // node 1 decided nothing (it crashed)
+        let all = m.summary(None);
+        let correct = m.summary(Some(&[NodeId(0)]));
+        assert!((all.tps - 50.0).abs() < 1e-9);
+        assert!((correct.tps - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_samples_come_from_flo_delivery() {
+        let mut m = Metrics::new(1);
+        m.set_window_end(SimTime::from_secs(1));
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(10),
+            &Observation::BlockProposed {
+                worker: WorkerId(0),
+                round: Round(3),
+                tx_count: 5,
+                payload_bytes: 2560,
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(250),
+            &Observation::FloDelivery {
+                worker: WorkerId(0),
+                round: Round(3),
+            },
+        );
+        assert_eq!(m.latency_samples().len(), 1);
+        assert_eq!(m.latency_samples()[0], Duration::from_millis(240));
+        assert_eq!(m.latency_percentile(50.0), Some(Duration::from_millis(240)));
+        let cdf = m.latency_cdf(4);
+        assert_eq!(cdf.len(), 4);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_one() {
+        let mut m = Metrics::new(1);
+        let w = WorkerId(0);
+        let r = Round(0);
+        m.record(NodeId(0), SimTime::from_millis(0), &Observation::BlockProposed { worker: w, round: r, tx_count: 1, payload_bytes: 1 });
+        m.record(NodeId(0), SimTime::from_millis(10), &Observation::HeaderProposed { worker: w, round: r });
+        m.record(NodeId(0), SimTime::from_millis(20), &Observation::TentativeDecision { worker: w, round: r });
+        m.record(NodeId(0), SimTime::from_millis(60), &Observation::DefiniteDecision { worker: w, round: r, tx_count: 1, payload_bytes: 1 });
+        m.record(NodeId(0), SimTime::from_millis(100), &Observation::FloDelivery { worker: w, round: r });
+        let b = m.phase_breakdown();
+        assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((b[0] - 0.1).abs() < 1e-9);
+        assert!((b[3] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_breakdown_empty_when_incomplete() {
+        let mut m = Metrics::new(1);
+        m.record(NodeId(0), SimTime::from_millis(0), &Observation::BlockProposed { worker: WorkerId(0), round: Round(0), tx_count: 1, payload_bytes: 1 });
+        assert_eq!(m.phase_breakdown(), [0.0; 4]);
+    }
+
+    #[test]
+    fn recoveries_and_fallbacks_counted() {
+        let mut m = Metrics::new(1);
+        m.set_window_end(SimTime::from_secs(2));
+        m.record(NodeId(0), SimTime::from_millis(5), &Observation::RecoveryStarted { worker: WorkerId(0), round: Round(1) });
+        m.record(NodeId(0), SimTime::from_millis(6), &Observation::FallbackInvoked { worker: WorkerId(0), round: Round(1) });
+        m.record(NodeId(0), SimTime::from_millis(7), &Observation::NilDelivery { worker: WorkerId(0), round: Round(1) });
+        let s = m.summary(None);
+        assert!((s.recoveries_per_sec - 0.5).abs() < 1e-9);
+        assert_eq!(s.fallbacks, 1);
+        assert_eq!(m.node_counters()[0].nil_deliveries, 1);
+    }
+
+    #[test]
+    fn send_and_cpu_counters() {
+        let mut m = Metrics::new(2);
+        m.set_window_end(SimTime::from_secs(1));
+        m.record_send(NodeId(1), 1000, SimTime::from_millis(1));
+        m.record_cpu(NodeId(1), 2, 3, SimTime::from_millis(1));
+        let s = m.summary(None);
+        assert_eq!(s.msgs_sent, 1);
+        assert_eq!(s.bytes_sent, 1000);
+        assert_eq!(s.signatures, 2);
+        assert_eq!(s.verifications, 3);
+    }
+
+    #[test]
+    fn empty_metrics_have_empty_summary() {
+        let m = Metrics::new(3);
+        let s = m.summary(None);
+        assert_eq!(s.tps, 0.0);
+        assert!(m.latency_percentile(99.0).is_none());
+        assert!(m.latency_cdf(10).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Virtual simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, measured in nanoseconds since the start of the
+/// simulation.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole seconds.
+    pub fn from_secs(secs: u64) -> SimTime {
+        SimTime(secs * 1_000_000_000)
+    }
+
+    /// Builds a time from milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds a time from microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// The time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The time as a `Duration` since the start of the simulation.
+    pub fn as_duration(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime(1_000_000_000));
+        assert_eq!(SimTime::from_millis(1500), SimTime::from_micros(1_500_000));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t, SimTime::from_millis(15));
+        assert_eq!(t - SimTime::from_millis(10), Duration::from_millis(5));
+        // Saturating difference.
+        assert_eq!(SimTime::ZERO - t, Duration::ZERO);
+    }
+
+    #[test]
+    fn max_and_ordering() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn conversions() {
+        let t = SimTime::from_millis(2500);
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-12);
+        assert_eq!(t.as_duration(), Duration::from_millis(2500));
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        t += Duration::from_secs(1);
+        t += Duration::from_millis(500);
+        assert_eq!(t, SimTime::from_millis(1500));
+    }
+}

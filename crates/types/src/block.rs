@@ -1,0 +1,357 @@
+//! Blocks, block headers, hashes and signatures.
+//!
+//! FireLedger separates the *data path* from the *consensus path* (§6.1.1 of
+//! the paper): full [`Block`]s — a batch of transactions — are disseminated
+//! asynchronously, while only the much smaller signed [`BlockHeader`]s pass
+//! through the WRB/OBBC consensus layer. A header carries the hash of its
+//! predecessor header, which is the authentication data the recovery procedure
+//! relies on to detect equivocation by Byzantine proposers.
+//!
+//! The [`Hash`] and [`Signature`] types here are plain carriers; the actual
+//! SHA-256 / ECDSA operations live in `fireledger-crypto` so that this crate
+//! stays dependency-free.
+
+use crate::ids::{NodeId, Round, WorkerId};
+use crate::transaction::Transaction;
+use crate::wire::WireSize;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte digest (SHA-256 in the reference implementation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Hash(pub [u8; 32]);
+
+/// The hash every chain starts from: the parent of the block at round 0.
+pub const GENESIS_HASH: Hash = Hash([0u8; 32]);
+
+impl Hash {
+    /// Builds a hash from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Hash(bytes)
+    }
+
+    /// Returns the raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// True for the all-zero genesis parent hash.
+    pub fn is_genesis(&self) -> bool {
+        self.0 == [0u8; 32]
+    }
+
+    /// Short hex prefix, used in logs and debug output.
+    pub fn short_hex(&self) -> String {
+        hex::encode(&self.0[..6])
+    }
+}
+
+impl fmt::Debug for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.short_hex())
+    }
+}
+
+impl fmt::Display for Hash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", hex::encode(self.0))
+    }
+}
+
+impl WireSize for Hash {
+    fn wire_size(&self) -> usize {
+        32
+    }
+}
+
+/// An opaque signature (ECDSA secp256k1 DER bytes in the reference
+/// implementation, §7.1 of the paper).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Signature(pub Vec<u8>);
+
+impl Signature {
+    /// An empty placeholder signature, used by tests and by simulated
+    /// lightweight signing modes.
+    pub fn empty() -> Self {
+        Signature(Vec::new())
+    }
+
+    /// Raw signature bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Whether the signature carries any bytes at all.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            write!(f, "sig(∅)")
+        } else {
+            write!(f, "sig({}B)", self.0.len())
+        }
+    }
+}
+
+impl WireSize for Signature {
+    fn wire_size(&self) -> usize {
+        // A fixed-size (compact) ECDSA signature is 64 bytes; we charge the
+        // nominal size even for empty test signatures so that simulated wire
+        // costs do not depend on whether real crypto is enabled.
+        64
+    }
+}
+
+/// The consensus-path representation of a block (§6.1.1).
+///
+/// Headers are what WRB-broadcast / OBBC operate on; the body (the
+/// transactions) travels separately on the data path and is referenced by
+/// `payload_hash`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// Round in which this block is proposed.
+    pub round: Round,
+    /// FLO worker instance this block belongs to.
+    pub worker: WorkerId,
+    /// Node that created and signed this block.
+    pub proposer: NodeId,
+    /// Hash of the predecessor block's header (the chain authentication data).
+    pub parent: Hash,
+    /// Merkle root / digest of the block body (its transactions).
+    pub payload_hash: Hash,
+    /// Number of transactions in the body.
+    pub tx_count: u32,
+    /// Total payload bytes of the body.
+    pub payload_bytes: u64,
+}
+
+impl BlockHeader {
+    /// Creates a header.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        round: Round,
+        worker: WorkerId,
+        proposer: NodeId,
+        parent: Hash,
+        payload_hash: Hash,
+        tx_count: u32,
+        payload_bytes: u64,
+    ) -> Self {
+        BlockHeader {
+            round,
+            worker,
+            proposer,
+            parent,
+            payload_hash,
+            tx_count,
+            payload_bytes,
+        }
+    }
+
+    /// A canonical byte encoding used as the pre-image for hashing and
+    /// signing. The encoding is explicit (not serde-derived) so that it is
+    /// stable across versions and platforms.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + 4 + 32 + 32 + 4 + 8);
+        out.extend_from_slice(&self.round.0.to_be_bytes());
+        out.extend_from_slice(&self.worker.0.to_be_bytes());
+        out.extend_from_slice(&self.proposer.0.to_be_bytes());
+        out.extend_from_slice(self.parent.as_bytes());
+        out.extend_from_slice(self.payload_hash.as_bytes());
+        out.extend_from_slice(&self.tx_count.to_be_bytes());
+        out.extend_from_slice(&self.payload_bytes.to_be_bytes());
+        out
+    }
+
+    /// True when the block carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.tx_count == 0
+    }
+}
+
+impl fmt::Debug for BlockHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Header({} {} by {}, parent={:?}, {} txs)",
+            self.worker, self.round, self.proposer, self.parent, self.tx_count
+        )
+    }
+}
+
+impl WireSize for BlockHeader {
+    fn wire_size(&self) -> usize {
+        8 + 4 + 4 + 32 + 32 + 4 + 8
+    }
+}
+
+/// A header together with its proposer's signature — the unit that flows
+/// through WRB and that constitutes `evidence(1)` for OBBC (§A.5).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignedHeader {
+    /// The header being signed.
+    pub header: BlockHeader,
+    /// The proposer's signature over [`BlockHeader::canonical_bytes`].
+    pub signature: Signature,
+}
+
+impl SignedHeader {
+    /// Creates a signed header from parts.
+    pub fn new(header: BlockHeader, signature: Signature) -> Self {
+        SignedHeader { header, signature }
+    }
+
+    /// The round the header belongs to.
+    pub fn round(&self) -> Round {
+        self.header.round
+    }
+
+    /// The node that proposed (and signed) the header.
+    pub fn proposer(&self) -> NodeId {
+        self.header.proposer
+    }
+}
+
+impl fmt::Debug for SignedHeader {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signed{:?}", self.header)
+    }
+}
+
+impl WireSize for SignedHeader {
+    fn wire_size(&self) -> usize {
+        self.header.wire_size() + self.signature.wire_size()
+    }
+}
+
+/// A full block: a header plus its transaction batch (the data path payload).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The block header.
+    pub header: BlockHeader,
+    /// The transaction batch (β transactions in the paper's notation).
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// Creates a block from a header and its transactions.
+    pub fn new(header: BlockHeader, txs: Vec<Transaction>) -> Self {
+        Block { header, txs }
+    }
+
+    /// Number of transactions in the block.
+    pub fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// True when the block carries no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.txs.is_empty()
+    }
+
+    /// Total payload bytes across all transactions.
+    pub fn payload_bytes(&self) -> u64 {
+        self.txs.iter().map(|t| t.payload.len() as u64).sum()
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Block({} {} by {}, {} txs, {}B)",
+            self.header.worker,
+            self.header.round,
+            self.header.proposer,
+            self.txs.len(),
+            self.payload_bytes()
+        )
+    }
+}
+
+impl WireSize for Block {
+    fn wire_size(&self) -> usize {
+        self.header.wire_size() + 4 + self.txs.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(round: u64, proposer: u32) -> BlockHeader {
+        BlockHeader::new(
+            Round(round),
+            WorkerId(0),
+            NodeId(proposer),
+            GENESIS_HASH,
+            Hash([7u8; 32]),
+            3,
+            1536,
+        )
+    }
+
+    #[test]
+    fn genesis_hash_is_zero() {
+        assert!(GENESIS_HASH.is_genesis());
+        assert!(!Hash([1u8; 32]).is_genesis());
+    }
+
+    #[test]
+    fn canonical_bytes_are_stable_and_unique() {
+        let a = header(1, 0);
+        let b = header(1, 0);
+        let c = header(2, 0);
+        let d = header(1, 1);
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_ne!(a.canonical_bytes(), c.canonical_bytes());
+        assert_ne!(a.canonical_bytes(), d.canonical_bytes());
+        assert_eq!(a.canonical_bytes().len(), a.wire_size());
+    }
+
+    #[test]
+    fn block_payload_accounting() {
+        let txs = vec![
+            Transaction::zeroed(0, 0, 512),
+            Transaction::zeroed(0, 1, 512),
+        ];
+        let block = Block::new(header(0, 0), txs);
+        assert_eq!(block.len(), 2);
+        assert!(!block.is_empty());
+        assert_eq!(block.payload_bytes(), 1024);
+        assert!(block.wire_size() > 1024);
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = Block::new(header(0, 0), vec![]);
+        assert!(block.is_empty());
+        assert_eq!(block.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn signed_header_accessors() {
+        let sh = SignedHeader::new(header(9, 2), Signature(vec![1, 2, 3]));
+        assert_eq!(sh.round(), Round(9));
+        assert_eq!(sh.proposer(), NodeId(2));
+        assert_eq!(sh.wire_size(), sh.header.wire_size() + 64);
+    }
+
+    #[test]
+    fn hash_display_and_debug() {
+        let h = Hash([0xab; 32]);
+        assert_eq!(h.short_hex(), "abababababab");
+        assert!(h.to_string().starts_with("abab"));
+        assert_eq!(format!("{h:?}"), "#abababababab");
+    }
+
+    #[test]
+    fn signature_debug() {
+        assert_eq!(format!("{:?}", Signature::empty()), "sig(∅)");
+        assert_eq!(format!("{:?}", Signature(vec![0; 64])), "sig(64B)");
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types shared across the workspace.
+
+use crate::ids::{NodeId, Round};
+use std::fmt;
+
+/// Convenience result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by the FireLedger crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A signature failed to verify.
+    InvalidSignature {
+        /// The claimed signer.
+        signer: NodeId,
+        /// Human-readable context.
+        context: String,
+    },
+    /// A block or header failed chain validation (wrong parent hash, wrong
+    /// round, wrong proposer, ...).
+    InvalidBlock {
+        /// Round of the offending block.
+        round: Round,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A recovery version failed validation.
+    InvalidVersion {
+        /// The node that sent the version.
+        from: NodeId,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A message referenced an unknown node.
+    UnknownNode(NodeId),
+    /// A key was requested for a node that has no registered key.
+    MissingKey(NodeId),
+    /// Serialization / deserialization failure.
+    Codec(String),
+    /// The operation is not valid in the component's current state.
+    InvalidState(String),
+    /// A configuration value is out of range.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSignature { signer, context } => {
+                write!(f, "invalid signature from {signer}: {context}")
+            }
+            Error::InvalidBlock { round, reason } => {
+                write!(f, "invalid block at {round}: {reason}")
+            }
+            Error::InvalidVersion { from, reason } => {
+                write!(f, "invalid recovery version from {from}: {reason}")
+            }
+            Error::UnknownNode(id) => write!(f, "unknown node {id}"),
+            Error::MissingKey(id) => write!(f, "no key registered for {id}"),
+            Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
+            Error::Config(msg) => write!(f, "configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::InvalidSignature {
+            signer: NodeId(3),
+            context: "header".into(),
+        };
+        assert_eq!(e.to_string(), "invalid signature from p3: header");
+
+        let e = Error::InvalidBlock {
+            round: Round(7),
+            reason: "parent mismatch".into(),
+        };
+        assert_eq!(e.to_string(), "invalid block at r7: parent mismatch");
+
+        assert_eq!(
+            Error::MissingKey(NodeId(1)).to_string(),
+            "no key registered for p1"
+        );
+        assert_eq!(
+            Error::UnknownNode(NodeId(9)).to_string(),
+            "unknown node p9"
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&Error::Codec("x".into()));
+    }
+}

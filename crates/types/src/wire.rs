@@ -1,0 +1,101 @@
+//! Wire-size accounting.
+//!
+//! The discrete-event simulator charges each message with a transmission time
+//! of `size / bandwidth + latency`, so every message type must report a
+//! realistic serialized size. We use an explicit trait instead of measuring
+//! `serde` output so that size accounting is cheap (no allocation on the hot
+//! path) and deterministic.
+
+/// Types that can report their (approximate) serialized size in bytes.
+pub trait WireSize {
+    /// Serialized size in bytes.
+    fn wire_size(&self) -> usize;
+}
+
+impl WireSize for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl WireSize for bool {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl WireSize for u8 {
+    fn wire_size(&self) -> usize {
+        1
+    }
+}
+
+impl WireSize for u32 {
+    fn wire_size(&self) -> usize {
+        4
+    }
+}
+
+impl WireSize for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_size(&self) -> usize {
+        4 + self.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Box<T> {
+    fn wire_size(&self) -> usize {
+        self.as_ref().wire_size()
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    fn wire_size(&self) -> usize {
+        self.0.wire_size() + self.1.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(().wire_size(), 0);
+        assert_eq!(true.wire_size(), 1);
+        assert_eq!(7u8.wire_size(), 1);
+        assert_eq!(7u32.wire_size(), 4);
+        assert_eq!(7u64.wire_size(), 8);
+    }
+
+    #[test]
+    fn option_adds_tag_byte() {
+        assert_eq!(None::<u64>.wire_size(), 1);
+        assert_eq!(Some(1u64).wire_size(), 9);
+    }
+
+    #[test]
+    fn vec_adds_length_prefix() {
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(v.wire_size(), 4 + 12);
+        let empty: Vec<u32> = vec![];
+        assert_eq!(empty.wire_size(), 4);
+    }
+
+    #[test]
+    fn composite_sizes() {
+        assert_eq!((1u32, 2u64).wire_size(), 12);
+        assert_eq!(Box::new(5u64).wire_size(), 8);
+    }
+}

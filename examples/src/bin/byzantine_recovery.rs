@@ -1,0 +1,68 @@
+//! Byzantine recovery in action: one node equivocates — it sends different
+//! blocks to the two halves of the cluster whenever it is the proposer — and
+//! the correct nodes detect the inconsistency through the hash chain,
+//! reliably broadcast a proof, run the recovery procedure, and keep a single
+//! agreed chain. Safety (agreement on the definite prefix) is checked at the
+//! end; the recovery rate corresponds to Figure 12 of the paper.
+//!
+//! Run with: `cargo run -p fireledger-examples --bin byzantine_recovery`
+
+use fireledger::prelude::*;
+use fireledger::{AcceptAll, ClusterNode, EquivocatingNode};
+use fireledger_crypto::SimKeyStore;
+use fireledger_examples::print_summary;
+use fireledger_sim::{SimConfig, Simulation};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let n = 4;
+    let params = ProtocolParams::new(n)
+        .with_batch_size(10)
+        .with_tx_size(128)
+        .with_base_timeout(Duration::from_millis(20));
+    let crypto = SimKeyStore::generate(n, 9).shared();
+
+    // Node p3 is Byzantine: it equivocates on every block it proposes.
+    let nodes: Vec<ClusterNode> = (0..n)
+        .map(|i| {
+            let flo = FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), Arc::new(AcceptAll));
+            if i == n - 1 {
+                ClusterNode::Equivocating(EquivocatingNode::new(flo, crypto.clone()))
+            } else {
+                ClusterNode::Honest(flo)
+            }
+        })
+        .collect();
+
+    let mut sim = Simulation::new(SimConfig::single_dc(), nodes);
+    sim.run_for(Duration::from_secs(3));
+
+    let summary = sim.summary_for(&[NodeId(0), NodeId(1), NodeId(2)]);
+    println!("Equivocating proposer: p3 (sends different chain versions to each half)");
+    println!("Recoveries per second observed: {:.2}", summary.recoveries_per_sec);
+
+    // Safety: the correct nodes' definite prefixes are identical.
+    let prefix = |i: u32| {
+        let node = sim.node(NodeId(i)).flo();
+        let chain = node.worker(0).chain();
+        chain
+            .entries()
+            .iter()
+            .take(chain.definite_len())
+            .map(|e| e.signed_header.header.payload_hash)
+            .collect::<Vec<_>>()
+    };
+    let reference = prefix(0);
+    for i in 1..3u32 {
+        let other = prefix(i);
+        let common = reference.len().min(other.len());
+        assert_eq!(other[..common], reference[..common], "correct node p{i} diverged!");
+    }
+    println!(
+        "Safety holds: all correct nodes agree on a definite prefix of {} blocks despite {} recoveries.",
+        reference.len(),
+        (summary.recoveries_per_sec * summary.duration_secs).round()
+    );
+    print_summary("byzantine recovery summary", &summary);
+}

@@ -1,0 +1,15 @@
+//! Shared helpers for the FireLedger examples (`cargo run -p
+//! fireledger-examples --bin <name>`): small formatting utilities so each
+//! example binary stays focused on the protocol usage it demonstrates.
+
+use fireledger_sim::RunSummary;
+
+/// Pretty-prints a run summary as a small report.
+pub fn print_summary(title: &str, s: &RunSummary) {
+    println!("--- {title} ---");
+    println!("  duration            : {:.2} s (simulated)", s.duration_secs);
+    println!("  throughput          : {:.0} tx/s ({:.1} blocks/s)", s.tps, s.bps);
+    println!("  delivery latency    : avg {:.3} s, p95 {:.3} s", s.avg_latency_secs, s.p95_latency_secs);
+    println!("  recoveries per sec  : {:.2}", s.recoveries_per_sec);
+    println!("  messages sent       : {}", s.msgs_sent);
+}

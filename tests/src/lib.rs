@@ -1,0 +1,82 @@
+//! Shared helpers for the FireLedger integration test suite.
+
+use fireledger::prelude::*;
+use fireledger::{AcceptAll, ClusterNode, EquivocatingNode};
+use fireledger_crypto::{SharedCrypto, SimKeyStore};
+use fireledger_sim::{SimConfig, Simulation};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Standard test protocol parameters: small blocks, fast timeouts.
+pub fn test_params(n: usize, workers: usize) -> ProtocolParams {
+    ProtocolParams::new(n)
+        .with_workers(workers)
+        .with_batch_size(8)
+        .with_tx_size(64)
+        .with_base_timeout(Duration::from_millis(20))
+}
+
+/// Builds a FLO cluster where the last `byzantine` nodes equivocate.
+pub fn mixed_cluster(
+    params: &ProtocolParams,
+    byzantine: usize,
+    seed: u64,
+) -> (Vec<ClusterNode>, SharedCrypto) {
+    let crypto: SharedCrypto = SimKeyStore::generate(params.n(), seed).shared();
+    let honest = params.n() - byzantine;
+    let nodes = (0..params.n())
+        .map(|i| {
+            let flo = FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), Arc::new(AcceptAll));
+            if i >= honest {
+                ClusterNode::Equivocating(EquivocatingNode::new(flo, crypto.clone()))
+            } else {
+                ClusterNode::Honest(flo)
+            }
+        })
+        .collect();
+    (nodes, crypto)
+}
+
+/// The per-worker definite chain (payload hashes) of a node in a ClusterNode sim.
+pub fn definite_prefix(sim: &Simulation<ClusterNode>, node: u32, worker: usize) -> Vec<fireledger_types::Hash> {
+    let chain = sim.node(NodeId(node)).flo().worker(worker).chain();
+    chain
+        .entries()
+        .iter()
+        .take(chain.definite_len())
+        .map(|e| e.signed_header.header.payload_hash)
+        .collect()
+}
+
+/// Asserts that every pair of listed nodes agrees on the common prefix of its
+/// delivered blocks.
+pub fn assert_delivery_agreement<P>(sim: &Simulation<P>, nodes: &[u32])
+where
+    P: fireledger_types::Protocol,
+    P::Msg: fireledger_types::WireSize,
+{
+    let seq = |i: u32| {
+        sim.deliveries(NodeId(i))
+            .iter()
+            .map(|d| (d.worker, d.round, d.block.header.payload_hash))
+            .collect::<Vec<_>>()
+    };
+    let reference = seq(nodes[0]);
+    for &i in &nodes[1..] {
+        let other = seq(i);
+        let common = reference.len().min(other.len());
+        assert_eq!(
+            other[..common],
+            reference[..common],
+            "node {i} disagrees with node {} on the delivered prefix",
+            nodes[0]
+        );
+    }
+}
+
+/// Convenience: an ideal-network simulation of a FLO cluster.
+pub fn flo_sim(n: usize, workers: usize, seed: u64) -> Simulation<FloNode> {
+    let params = test_params(n, workers);
+    let nodes = fireledger::build_cluster(&params, seed);
+    Simulation::new(SimConfig::ideal().with_seed(seed), nodes)
+}

@@ -1,0 +1,106 @@
+//! Integration tests of the failure paths: crashes (benign), omissions and
+//! Byzantine equivocation with recovery. The key property checked throughout
+//! is BBFC-Agreement: correct nodes never diverge on blocks at depth > f + 1.
+
+use fireledger::prelude::*;
+use fireledger_integration_tests::*;
+use fireledger_sim::adversary::CrashSchedule;
+use fireledger_sim::{SimConfig, SimTime, Simulation};
+use std::time::Duration;
+
+#[test]
+fn progress_and_agreement_with_f_crashed_nodes() {
+    for (n, f) in [(4usize, 1usize), (7, 2)] {
+        let params = test_params(n, 1);
+        let nodes = fireledger::build_cluster(&params, 3);
+        let adv = CrashSchedule::crash_last_f(n, f, SimTime::ZERO);
+        let correct: Vec<u32> = (0..(n - f) as u32).collect();
+        let mut sim = Simulation::with_adversary(SimConfig::ideal(), nodes, Box::new(adv));
+        sim.run_for(Duration::from_secs(3));
+        assert!(
+            sim.deliveries(NodeId(0)).len() > 3,
+            "n={n}: progress must continue with {f} crashed nodes, got {}",
+            sim.deliveries(NodeId(0)).len()
+        );
+        assert_delivery_agreement(&sim, &correct);
+    }
+}
+
+#[test]
+fn crash_mid_run_does_not_block_the_cluster() {
+    let params = test_params(4, 1);
+    let nodes = fireledger::build_cluster(&params, 8);
+    let adv = CrashSchedule::new().crash(NodeId(2), SimTime::from_millis(200));
+    let mut sim = Simulation::with_adversary(SimConfig::ideal(), nodes, Box::new(adv));
+    sim.run_for(Duration::from_secs(3));
+    let len_at_crash_estimate = 5; // it certainly decided a few blocks before 200 ms
+    assert!(sim.deliveries(NodeId(0)).len() > len_at_crash_estimate);
+    assert_delivery_agreement(&sim, &[0, 1, 3]);
+}
+
+#[test]
+fn equivocating_proposer_triggers_recovery_but_never_breaks_agreement() {
+    let params = test_params(4, 1);
+    let (nodes, _) = mixed_cluster(&params, 1, 4);
+    let mut sim = Simulation::new(SimConfig::ideal().with_seed(4), nodes);
+    sim.run_for(Duration::from_secs(3));
+    let correct = [0u32, 1, 2];
+    // Recoveries happened...
+    let s = sim.summary_for(&[NodeId(0), NodeId(1), NodeId(2)]);
+    assert!(
+        s.recoveries_per_sec > 0.0,
+        "the equivocating proposer must trigger at least one recovery"
+    );
+    // ...progress continued...
+    assert!(!definite_prefix(&sim, 0, 0).is_empty());
+    // ...and the correct nodes' definite prefixes agree (BBFC-Agreement).
+    let reference = definite_prefix(&sim, 0, 0);
+    for &i in &correct[1..] {
+        let other = definite_prefix(&sim, i, 0);
+        let common = reference.len().min(other.len());
+        assert_eq!(other[..common], reference[..common], "correct node {i} diverged");
+    }
+    // Delivered blocks agree as well.
+    assert_delivery_agreement(&sim, &correct);
+}
+
+#[test]
+fn equivocation_with_larger_cluster_and_multiple_workers() {
+    let params = test_params(7, 2);
+    let (nodes, _) = mixed_cluster(&params, 1, 6);
+    let mut sim = Simulation::new(SimConfig::ideal().with_seed(6), nodes);
+    sim.run_for(Duration::from_secs(3));
+    let correct: Vec<u32> = (0..6).collect();
+    for w in 0..2 {
+        let reference = definite_prefix(&sim, 0, w);
+        for &i in &correct[1..] {
+            let other = definite_prefix(&sim, i, w);
+            let common = reference.len().min(other.len());
+            assert_eq!(other[..common], reference[..common], "worker {w}, node {i} diverged");
+        }
+    }
+    assert_delivery_agreement(&sim, &correct);
+}
+
+#[test]
+fn delivered_blocks_survive_recoveries_definite_prefix_is_monotone() {
+    // Run the Byzantine scenario in two phases and check that everything
+    // delivered by the first phase is still delivered (same order) later.
+    let params = test_params(4, 1);
+    let (nodes, _) = mixed_cluster(&params, 1, 12);
+    let mut sim = Simulation::new(SimConfig::ideal().with_seed(12), nodes);
+    sim.run_for(Duration::from_millis(800));
+    let early: Vec<_> = sim
+        .deliveries(NodeId(1))
+        .iter()
+        .map(|d| (d.worker, d.round, d.block.header.payload_hash))
+        .collect();
+    sim.run_for(Duration::from_millis(1500));
+    let late: Vec<_> = sim
+        .deliveries(NodeId(1))
+        .iter()
+        .map(|d| (d.worker, d.round, d.block.header.payload_hash))
+        .collect();
+    assert!(late.len() >= early.len());
+    assert_eq!(&late[..early.len()], &early[..], "definite decisions must never be rescinded");
+}

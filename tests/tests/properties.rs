@@ -1,0 +1,139 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! protocol's key invariants under randomized schedules.
+
+use fireledger::chain::Chain;
+use fireledger::prelude::*;
+use fireledger::timer::EmaTimer;
+use fireledger::proposer::ProposerRotation;
+use fireledger_crypto::{merkle_root, CryptoProvider, MerkleTree, SimKeyStore};
+use fireledger_integration_tests::*;
+use fireledger_sim::{LatencyModel, SimConfig, Simulation};
+use fireledger_types::{ClusterConfig, GENESIS_HASH};
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn arb_txs() -> impl Strategy<Value = Vec<Transaction>> {
+    prop::collection::vec((0u64..4, 0u64..1000, 1usize..64), 0..20).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (c, s, len))| Transaction::new(c, s.wrapping_add(i as u64), vec![0xAB; len]))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merkle_proofs_verify_for_every_leaf(txs in arb_txs()) {
+        let tree = MerkleTree::build(&txs);
+        let root = tree.root();
+        for (i, tx) in txs.iter().enumerate() {
+            let proof = tree.prove(i).unwrap();
+            prop_assert!(MerkleTree::verify(&root, tx, &proof));
+        }
+        prop_assert_eq!(root, merkle_root(&txs));
+    }
+
+    #[test]
+    fn merkle_root_detects_any_single_mutation(txs in arb_txs(), idx in 0usize..20) {
+        prop_assume!(!txs.is_empty());
+        let idx = idx % txs.len();
+        let root = merkle_root(&txs);
+        let mut mutated = txs.clone();
+        mutated[idx] = Transaction::new(999, 999_999, vec![0xCD; 7]);
+        prop_assert_ne!(root, merkle_root(&mutated));
+    }
+
+    #[test]
+    fn chain_growth_preserves_validation_and_finality(len in 1usize..40, n in 4usize..11) {
+        let crypto = SimKeyStore::generate(n, 1);
+        let cluster = ClusterConfig::new(n);
+        let mut chain = Chain::new(cluster);
+        for i in 0..len {
+            let proposer = NodeId((i % n) as u32);
+            let header = BlockHeader::new(
+                chain.next_round(),
+                WorkerId(0),
+                proposer,
+                chain.tip_hash(),
+                GENESIS_HASH,
+                0,
+                0,
+            );
+            let sig = crypto.sign(proposer, &header.canonical_bytes());
+            let signed = SignedHeader::new(header, sig);
+            prop_assert!(chain.validate_extension(&signed, &crypto).is_ok());
+            chain.append(signed, None);
+            chain.finalize_deep_blocks();
+        }
+        let f = cluster.f;
+        prop_assert_eq!(chain.len(), len);
+        prop_assert_eq!(chain.definite_len(), len.saturating_sub(f + 1));
+        // A full version exchange round-trips.
+        let base = Round(chain.definite_len() as u64);
+        let version = chain.version_from(base);
+        prop_assert!(chain.validate_version(base, &version, &crypto).is_ok());
+    }
+
+    #[test]
+    fn ema_timer_stays_within_bounds(ops in prop::collection::vec(prop::bool::ANY, 1..200)) {
+        let base = Duration::from_millis(10);
+        let max = Duration::from_millis(1000);
+        let mut timer = EmaTimer::new(base, max, 8);
+        for hit in ops {
+            if hit {
+                timer.record_delivery(Duration::from_millis(3));
+            } else {
+                timer.record_miss();
+            }
+            prop_assert!(timer.current() >= base);
+            prop_assert!(timer.current() <= max);
+        }
+    }
+
+    #[test]
+    fn proposer_rotation_skip_rule_never_picks_a_recent_proposer(
+        decided in prop::collection::vec((0u32..10, 0u64..100), 0..30),
+        start in 0u32..10,
+        round in 5u64..200,
+    ) {
+        let mut rot = ProposerRotation::new(ClusterConfig::new(10));
+        for (node, r) in decided {
+            rot.record_decided(NodeId(node), Round(r));
+        }
+        let choice = rot.select(NodeId(start), Round(round));
+        if choice.skipped.len() < 10 {
+            prop_assert!(rot.eligible(choice.proposer, Round(round)));
+        }
+    }
+
+    #[test]
+    fn definite_prefix_agreement_under_random_latency(seed in 0u64..50, max_ms in 1u64..12) {
+        // Randomized link delays (a different jitter schedule per seed) never
+        // break agreement on delivered blocks — the heart of BBFC-Agreement.
+        let params = test_params(4, 1);
+        let nodes = fireledger::build_cluster(&params, seed);
+        let config = SimConfig::ideal()
+            .with_seed(seed)
+            .with_latency(LatencyModel::Uniform {
+                min: Duration::from_micros(200),
+                max: Duration::from_millis(max_ms),
+            });
+        let mut sim = Simulation::new(config, nodes);
+        sim.run_for(Duration::from_millis(400));
+        let seq = |i: u32| {
+            sim.deliveries(NodeId(i))
+                .iter()
+                .map(|d| d.block.header.payload_hash)
+                .collect::<Vec<_>>()
+        };
+        let reference = seq(0);
+        for i in 1..4u32 {
+            let other = seq(i);
+            let common = reference.len().min(other.len());
+            prop_assert_eq!(&other[..common], &reference[..common]);
+        }
+    }
+}
