@@ -317,7 +317,8 @@ mod tests {
         // Filler ids never collide across batches/assemblers.
         let b1 = batch_from_pool(&mut pool, 3, 8, true, 1, 7);
         let b2 = batch_from_pool(&mut pool, 3, 8, true, 2, 7);
-        let ids: std::collections::HashSet<_> = b1.iter().chain(b2.iter()).map(|t| t.id()).collect();
+        let ids: std::collections::HashSet<_> =
+            b1.iter().chain(b2.iter()).map(|t| t.id()).collect();
         assert_eq!(ids.len(), 6);
     }
 
@@ -330,6 +331,9 @@ mod tests {
         let s = sim.summary();
         let batches: u64 = sim.node(NodeId(0)).delivered_batches();
         assert!(batches > 0);
-        assert!(s.msgs_sent as f64 / batches as f64 > 12.0, "expected ≥ n² messages per batch");
+        assert!(
+            s.msgs_sent as f64 / batches as f64 > 12.0,
+            "expected ≥ n² messages per batch"
+        );
     }
 }

@@ -81,9 +81,12 @@ pub enum HotStuffMsg {
 impl WireSize for HotStuffMsg {
     fn wire_size(&self) -> usize {
         match self {
-            HotStuffMsg::Proposal { header, txs, justify, .. } => {
-                8 + header.wire_size() + txs.wire_size() + justify.wire_size()
-            }
+            HotStuffMsg::Proposal {
+                header,
+                txs,
+                justify,
+                ..
+            } => 8 + header.wire_size() + txs.wire_size() + justify.wire_size(),
             // A vote carries a partial signature.
             HotStuffMsg::Vote { .. } => 8 + 32 + 64,
             HotStuffMsg::NewView { high_qc, .. } => 8 + high_qc.wire_size(),
@@ -228,10 +231,11 @@ impl HotStuffNode {
         }
         // Verify the leader's signature and the payload commitment; then sign
         // our vote — every replica signs every block in HotStuff.
-        if !self
-            .crypto
-            .verify(header.proposer(), &header.header.canonical_bytes(), &header.signature)
-        {
+        if !self.crypto.verify(
+            header.proposer(),
+            &header.header.canonical_bytes(),
+            &header.signature,
+        ) {
             return;
         }
         out.cpu(CpuCharge {
@@ -311,11 +315,15 @@ impl HotStuffNode {
         // than consecutive view numbers keeps commits flowing when the
         // pacemaker skips a crashed leader's views.
         let v = self.high_qc.view;
-        let Some(b2) = self.blocks.get(&v) else { return };
+        let Some(b2) = self.blocks.get(&v) else {
+            return;
+        };
         if b2.parent_view == 0 {
             return;
         }
-        let Some(b1) = self.blocks.get(&b2.parent_view) else { return };
+        let Some(b1) = self.blocks.get(&b2.parent_view) else {
+            return;
+        };
         if b1.parent_view == 0 {
             return;
         }
@@ -327,7 +335,8 @@ impl HotStuffNode {
         // every uncommitted ancestor, then deliver them oldest-first.
         let mut to_commit = Vec::new();
         let mut cursor = commit_view;
-        while cursor != 0 && self.blocks.contains_key(&cursor) && !self.committed.contains(&cursor) {
+        while cursor != 0 && self.blocks.contains_key(&cursor) && !self.committed.contains(&cursor)
+        {
             to_commit.push(cursor);
             cursor = self.blocks[&cursor].parent_view;
         }
@@ -411,7 +420,9 @@ impl Protocol for HotStuffNode {
                 justify,
             } => self.handle_proposal(from, view, header, txs, justify, out),
             HotStuffMsg::Vote { view, block_hash } => self.handle_vote(from, view, block_hash, out),
-            HotStuffMsg::NewView { view, high_qc } => self.handle_new_view(from, view, high_qc, out),
+            HotStuffMsg::NewView { view, high_qc } => {
+                self.handle_new_view(from, view, high_qc, out)
+            }
         }
     }
 
@@ -503,7 +514,10 @@ mod tests {
             .collect();
         assert!(proposers.len() > 4);
         for pair in proposers.windows(2) {
-            assert_ne!(pair[0], pair[1], "consecutive blocks must have different leaders");
+            assert_ne!(
+                pair[0], pair[1],
+                "consecutive blocks must have different leaders"
+            );
         }
     }
 
@@ -543,15 +557,29 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_batch() {
-        let small = HotStuffMsg::Vote { view: 1, block_hash: Hash::default() };
+        let small = HotStuffMsg::Vote {
+            view: 1,
+            block_hash: Hash::default(),
+        };
         assert!(small.wire_size() < 200);
         let txs: Vec<Transaction> = (0..10).map(|i| Transaction::zeroed(0, i, 512)).collect();
-        let header = BlockHeader::new(Round(1), WorkerId(0), NodeId(0), Hash::default(), Hash::default(), 10, 5120);
+        let header = BlockHeader::new(
+            Round(1),
+            WorkerId(0),
+            NodeId(0),
+            Hash::default(),
+            Hash::default(),
+            10,
+            5120,
+        );
         let prop = HotStuffMsg::Proposal {
             view: 1,
             header: SignedHeader::new(header, fireledger_types::Signature(vec![0; 64])),
             txs,
-            justify: QuorumCert { view: 0, block_hash: Hash::default() },
+            justify: QuorumCert {
+                view: 0,
+                block_hash: Hash::default(),
+            },
         };
         assert!(prop.wire_size() > 5120);
     }
@@ -561,9 +589,9 @@ mod tests {
 mod debug_tests {
     use super::*;
     use fireledger_crypto::SimKeyStore;
-    use fireledger_sim::{SimConfig, Simulation};
     use fireledger_sim::adversary::CrashSchedule;
     use fireledger_sim::SimTime;
+    use fireledger_sim::{SimConfig, Simulation};
 
     #[test]
     #[ignore]
@@ -583,7 +611,11 @@ mod debug_tests {
             let n = sim.node(NodeId(i));
             println!(
                 "node {i}: view={} high_qc={} committed={} blocks={} events={}",
-                n.view(), n.high_qc.view, n.committed_blocks(), n.blocks.len(), sim.events_processed()
+                n.view(),
+                n.high_qc.view,
+                n.committed_blocks(),
+                n.blocks.len(),
+                sim.events_processed()
             );
         }
     }

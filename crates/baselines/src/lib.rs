@@ -11,8 +11,10 @@
 //!   exploits (FireLedger only requires the proposer's signature in the
 //!   optimistic case).
 //! * [`bftsmart`] — a BFT-SMaRt-style ordering service: a PBFT atomic
-//!   broadcast (from `fireledger-bft`) driven by a batching leader
-//!   (Figure 17's comparator).
+//!   broadcast (from `fireledger-bft`) driven by a pipelining batching leader
+//!   (Figure 17's comparator);
+//! * [`pbft_node`] — classical stop-and-wait PBFT state-machine replication,
+//!   the textbook baseline of the matrix.
 //!
 //! [`Protocol`]: fireledger_types::Protocol
 
@@ -21,6 +23,8 @@
 
 pub mod bftsmart;
 pub mod hotstuff;
+pub mod pbft_node;
 
 pub use bftsmart::{BftSmartNode, OrderedBatch};
 pub use hotstuff::{HotStuffMsg, HotStuffNode};
+pub use pbft_node::PbftNode;

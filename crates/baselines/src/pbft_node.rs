@@ -1,0 +1,254 @@
+//! A classical PBFT state-machine-replication replica.
+//!
+//! The paper's experiment matrix includes plain PBFT as one of the compared
+//! ordering protocols (it is both a baseline in its own right and the
+//! consensus component FireLedger falls back to). [`PbftNode`] drives the
+//! PBFT atomic broadcast from `fireledger-bft` as a standalone ordering
+//! service in its textbook shape: the view leader proposes **one batch at a
+//! time** and only assembles the next one after the previous batch committed.
+//! This is precisely the difference to [`crate::BftSmartNode`], which
+//! pipelines several batches like the BFT-SMaRt library does — comparing the
+//! two isolates the effect of leader pipelining on a three-phase protocol.
+
+use crate::bftsmart::{batch_from_pool, OrderedBatch};
+use fireledger_bft::{Pbft, PbftConfig, PbftMsg};
+use fireledger_crypto::{merkle_root, SharedCrypto};
+use fireledger_types::runtime::CpuCharge;
+use fireledger_types::{
+    Block, BlockHeader, Delivery, NodeId, Observation, Outbox, Protocol, ProtocolParams, Round,
+    TimerId, Transaction, WorkerId,
+};
+use std::time::Duration;
+
+/// Timer kind for the batch pump.
+const TIMER_PUMP: u8 = 4;
+/// Timer kind handed to the embedded PBFT instance.
+const TIMER_PBFT: u8 = 0xAC;
+
+/// One replica of a classical (unpipelined) PBFT ordering service.
+pub struct PbftNode {
+    me: NodeId,
+    params: ProtocolParams,
+    crypto: SharedCrypto,
+    pbft: Pbft<OrderedBatch>,
+    pool: Vec<Transaction>,
+    next_batch_seq: u64,
+    /// True while the leader's current batch is still in the three phases.
+    inflight: bool,
+    delivered_batches: u64,
+}
+
+impl PbftNode {
+    /// Creates a replica.
+    pub fn new(me: NodeId, params: ProtocolParams, crypto: SharedCrypto) -> Self {
+        let pbft_cfg = PbftConfig::new(params.cluster)
+            .with_timeout((params.base_timeout * 20).max(Duration::from_millis(500)))
+            .with_timer_kind(TIMER_PBFT);
+        PbftNode {
+            me,
+            pbft: Pbft::new(me, pbft_cfg),
+            pool: Vec::new(),
+            next_batch_seq: 0,
+            inflight: false,
+            delivered_batches: 0,
+            params,
+            crypto,
+        }
+    }
+
+    /// Total batches (blocks) this replica has delivered.
+    pub fn delivered_batches(&self) -> u64 {
+        self.delivered_batches
+    }
+
+    fn pump_timer(&self) -> TimerId {
+        TimerId::compose(TIMER_PUMP, 0)
+    }
+
+    fn pump_interval(&self) -> Duration {
+        self.params.base_timeout.max(Duration::from_millis(5))
+    }
+
+    /// The leader assembles and submits the next batch once the previous one
+    /// has committed (stop-and-wait, the textbook PBFT request flow).
+    fn pump(&mut self, out: &mut Outbox<PbftMsg<OrderedBatch>>) {
+        if !self.pbft.is_leader() || self.inflight {
+            return;
+        }
+        let seq = self.next_batch_seq;
+        let txs = batch_from_pool(
+            &mut self.pool,
+            self.params.batch_size,
+            self.params.tx_size,
+            self.params.fill_blocks,
+            self.me.0 as u64,
+            seq,
+        );
+        if txs.is_empty() {
+            return;
+        }
+        self.next_batch_seq += 1;
+        self.inflight = true;
+        let payload_bytes: u64 = txs.iter().map(|t| t.payload.len() as u64).sum();
+        // The leader hashes and signs the batch it proposes.
+        out.cpu(CpuCharge::sign(payload_bytes));
+        out.observe(Observation::BlockProposed {
+            worker: WorkerId(0),
+            round: Round(seq),
+            tx_count: txs.len() as u32,
+            payload_bytes,
+        });
+        let batch = OrderedBatch {
+            assembler: self.me,
+            seq,
+            txs,
+        };
+        let delivered = self.pbft.submit(batch, out);
+        self.handle_delivered(delivered, out);
+    }
+
+    fn handle_delivered(
+        &mut self,
+        delivered: Vec<(u64, OrderedBatch)>,
+        out: &mut Outbox<PbftMsg<OrderedBatch>>,
+    ) {
+        for (seq, batch) in delivered {
+            if batch.assembler == self.me {
+                self.inflight = false;
+            }
+            self.delivered_batches += 1;
+            let payload_bytes: u64 = batch.txs.iter().map(|t| t.payload.len() as u64).sum();
+            // Replicas hash the batch to validate the payload commitment.
+            out.cpu(CpuCharge::hash(payload_bytes));
+            let payload_hash = merkle_root(&batch.txs);
+            let header = BlockHeader::new(
+                Round(seq),
+                WorkerId(0),
+                batch.assembler,
+                fireledger_types::GENESIS_HASH,
+                payload_hash,
+                batch.txs.len() as u32,
+                payload_bytes,
+            );
+            out.observe(Observation::DefiniteDecision {
+                worker: WorkerId(0),
+                round: Round(seq),
+                tx_count: batch.txs.len() as u32,
+                payload_bytes,
+            });
+            out.observe(Observation::FloDelivery {
+                worker: WorkerId(0),
+                round: Round(seq),
+            });
+            out.deliver(Delivery {
+                worker: WorkerId(0),
+                round: Round(seq),
+                proposer: batch.assembler,
+                block: Block::new(header, batch.txs),
+            });
+        }
+    }
+}
+
+impl Protocol for PbftNode {
+    type Msg = PbftMsg<OrderedBatch>;
+
+    fn node_id(&self) -> NodeId {
+        self.me
+    }
+
+    fn on_start(&mut self, out: &mut Outbox<Self::Msg>) {
+        let _ = &self.crypto; // the crypto provider anchors the cost model
+        self.pump(out);
+        out.set_timer(self.pump_timer(), self.pump_interval());
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, out: &mut Outbox<Self::Msg>) {
+        let delivered = self.pbft.on_message(from, msg, out);
+        self.handle_delivered(delivered, out);
+        self.pump(out);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, out: &mut Outbox<Self::Msg>) {
+        let (kind, _) = timer.decompose();
+        match kind {
+            TIMER_PUMP => {
+                self.pump(out);
+                out.set_timer(self.pump_timer(), self.pump_interval());
+            }
+            TIMER_PBFT => {
+                self.pbft.on_timer(timer, out);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<Self::Msg>) {
+        self.pool.push(tx);
+        self.pump(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_crypto::SimKeyStore;
+    use fireledger_sim::{SimConfig, Simulation};
+
+    fn cluster(n: usize, batch: usize) -> Vec<PbftNode> {
+        let params = ProtocolParams::new(n)
+            .with_batch_size(batch)
+            .with_tx_size(64)
+            .with_base_timeout(Duration::from_millis(10));
+        let crypto = SimKeyStore::generate(n, 9).shared();
+        (0..n)
+            .map(|i| PbftNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn pbft_replicas_deliver_identical_orders() {
+        let mut sim = Simulation::new(SimConfig::ideal(), cluster(4, 10));
+        sim.run_for(Duration::from_millis(500));
+        let seq = |n: u32| {
+            sim.deliveries(NodeId(n))
+                .iter()
+                .map(|d| (d.round, d.block.header.payload_hash))
+                .collect::<Vec<_>>()
+        };
+        let reference = seq(0);
+        assert!(reference.len() > 3);
+        for i in 1..4 {
+            let other = seq(i);
+            let common = reference.len().min(other.len());
+            assert_eq!(other[..common], reference[..common], "replica {i} diverged");
+        }
+    }
+
+    #[test]
+    fn stop_and_wait_is_slower_than_bftsmart_pipelining() {
+        use crate::BftSmartNode;
+        let params = ProtocolParams::new(4)
+            .with_batch_size(10)
+            .with_tx_size(64)
+            .with_base_timeout(Duration::from_millis(10));
+        let crypto = SimKeyStore::generate(4, 9).shared();
+        let pbft: Vec<PbftNode> = (0..4)
+            .map(|i| PbftNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+            .collect();
+        let smart: Vec<BftSmartNode> = (0..4)
+            .map(|i| BftSmartNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
+            .collect();
+        let mut sim_p = Simulation::new(SimConfig::ideal(), pbft);
+        let mut sim_s = Simulation::new(SimConfig::ideal(), smart);
+        sim_p.run_for(Duration::from_millis(400));
+        sim_s.run_for(Duration::from_millis(400));
+        let p = sim_p.deliveries(NodeId(0)).len();
+        let s = sim_s.deliveries(NodeId(0)).len();
+        assert!(p > 0);
+        assert!(
+            s >= p,
+            "pipelined BFT-SMaRt ({s}) should not trail PBFT ({p})"
+        );
+    }
+}

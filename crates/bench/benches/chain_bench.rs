@@ -1,10 +1,14 @@
-//! Criterion benchmarks of the chain store: extension validation, recovery
+//! Micro-benchmarks of the chain store: extension validation, recovery
 //! version validation and adoption.
+//!
+//! Run with: `cargo bench -p fireledger-bench --bench chain_bench`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fireledger::chain::Chain;
+use fireledger_bench::quickbench::{bench, section};
 use fireledger_crypto::{merkle_root, CryptoProvider, SimKeyStore};
-use fireledger_types::{BlockHeader, ClusterConfig, NodeId, Round, SignedHeader, Transaction, WorkerId};
+use fireledger_types::{
+    BlockHeader, ClusterConfig, NodeId, Round, SignedHeader, Transaction, WorkerId,
+};
 
 fn grow_chain(chain: &mut Chain, crypto: &SimKeyStore, rounds: usize, n: usize) {
     for i in 0..rounds {
@@ -25,11 +29,12 @@ fn grow_chain(chain: &mut Chain, crypto: &SimKeyStore, rounds: usize, n: usize) 
     }
 }
 
-fn bench_chain(c: &mut Criterion) {
+fn main() {
     let crypto = SimKeyStore::generate(10, 1);
     let cluster = ClusterConfig::new(10);
-    let mut group = c.benchmark_group("chain");
+
     for len in [100usize, 1000] {
+        section(&format!("chain of {len} blocks"));
         let mut chain = Chain::new(cluster);
         grow_chain(&mut chain, &crypto, len, 10);
         let next = BlockHeader::new(
@@ -41,22 +46,18 @@ fn bench_chain(c: &mut Criterion) {
             0,
             0,
         );
-        let signed = SignedHeader::new(next.clone(), crypto.sign(next.proposer, &next.canonical_bytes()));
-        group.bench_with_input(BenchmarkId::new("validate_extension", len), &chain, |b, chain| {
-            b.iter(|| chain.validate_extension(&signed, &crypto).is_ok())
+        let signed = SignedHeader::new(
+            next.clone(),
+            crypto.sign(next.proposer, &next.canonical_bytes()),
+        );
+        bench(&format!("validate_extension/{len}"), || {
+            chain.validate_extension(&signed, &crypto).is_ok()
         });
         let base = Round((len as u64).saturating_sub(4));
         let version = chain.version_from(base);
-        group.bench_with_input(BenchmarkId::new("validate_version", len), &chain, |b, chain| {
-            b.iter(|| chain.validate_version(base, &version, &crypto).unwrap())
+        bench(&format!("validate_version/{len}"), || {
+            chain.validate_version(base, &version, &crypto).is_ok()
         });
+        bench(&format!("version_from/{len}"), || chain.version_from(base));
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_chain
-}
-criterion_main!(benches);

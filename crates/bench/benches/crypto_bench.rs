@@ -1,61 +1,55 @@
-//! Criterion micro-benchmarks of the cryptographic pipeline: block signing
-//! (hash payload + ECDSA), verification and merkle construction. These are the
+//! Micro-benchmarks of the cryptographic pipeline: block signing (hash
+//! payload + signature), verification and merkle construction. These are the
 //! real-CPU counterpart of Figure 5's signature-rate experiment.
+//!
+//! Run with: `cargo bench -p fireledger-bench --bench crypto_bench`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fireledger_crypto::{hash_bytes, merkle_root, CryptoProvider, EcdsaKeyStore, SimKeyStore};
+use fireledger_bench::quickbench::{bench, section};
+use fireledger_crypto::{hash_bytes, merkle_root, CryptoProvider, LamportKeyStore, SimKeyStore};
 use fireledger_types::{NodeId, Transaction};
 
 fn batch(beta: usize, sigma: usize) -> Vec<Transaction> {
-    (0..beta).map(|i| Transaction::zeroed(0, i as u64, sigma)).collect()
+    (0..beta)
+        .map(|i| Transaction::zeroed(0, i as u64, sigma))
+        .collect()
 }
 
-fn bench_signing(c: &mut Criterion) {
-    let ecdsa = EcdsaKeyStore::generate(1, 1);
+fn main() {
+    let lamport = LamportKeyStore::generate(1, 1);
     let sim = SimKeyStore::generate(1, 1);
-    let mut group = c.benchmark_group("block_signing");
+
+    section("block signing (merkle root as message)");
     for (beta, sigma) in [(10usize, 512usize), (100, 1024), (1000, 512)] {
         let txs = batch(beta, sigma);
         let root = merkle_root(&txs);
-        group.throughput(Throughput::Bytes((beta * sigma) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("ecdsa_sign", format!("b{beta}_s{sigma}")),
-            &root,
-            |b, root| b.iter(|| ecdsa.sign(NodeId(0), root.as_bytes())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sim_sign", format!("b{beta}_s{sigma}")),
-            &root,
-            |b, root| b.iter(|| sim.sign(NodeId(0), root.as_bytes())),
-        );
-    }
-    group.finish();
-}
-
-fn bench_verify(c: &mut Criterion) {
-    let ecdsa = EcdsaKeyStore::generate(1, 1);
-    let msg = hash_bytes(b"fireledger header");
-    let sig = ecdsa.sign(NodeId(0), msg.as_bytes());
-    c.bench_function("ecdsa_verify", |b| {
-        b.iter(|| ecdsa.verify(NodeId(0), msg.as_bytes(), &sig))
-    });
-}
-
-fn bench_merkle(c: &mut Criterion) {
-    let mut group = c.benchmark_group("merkle_root");
-    for (beta, sigma) in [(10usize, 512usize), (100, 512), (1000, 512)] {
-        let txs = batch(beta, sigma);
-        group.throughput(Throughput::Bytes((beta * sigma) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(beta), &txs, |b, txs| {
-            b.iter(|| merkle_root(txs))
+        bench(&format!("lamport_sign/b{beta}_s{sigma}"), || {
+            lamport.sign(NodeId(0), root.as_bytes())
+        });
+        bench(&format!("sim_sign/b{beta}_s{sigma}"), || {
+            sim.sign(NodeId(0), root.as_bytes())
         });
     }
-    group.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_signing, bench_verify, bench_merkle
+    section("verification");
+    let msg = hash_bytes(b"fireledger header");
+    let lamport_sig = lamport.sign(NodeId(0), msg.as_bytes());
+    let sim_sig = sim.sign(NodeId(0), msg.as_bytes());
+    bench("lamport_verify", || {
+        lamport.verify(NodeId(0), msg.as_bytes(), &lamport_sig)
+    });
+    bench("sim_verify", || {
+        sim.verify(NodeId(0), msg.as_bytes(), &sim_sig)
+    });
+
+    section("hashing and merkle construction");
+    for (beta, sigma) in [(10usize, 512usize), (100, 1024), (1000, 512)] {
+        let txs = batch(beta, sigma);
+        let payload = vec![0xAB; beta * sigma];
+        bench(&format!("sha256/{}KiB", beta * sigma / 1024), || {
+            hash_bytes(&payload)
+        });
+        bench(&format!("merkle_root/b{beta}_s{sigma}"), || {
+            merkle_root(&txs)
+        });
+    }
 }
-criterion_main!(benches);

@@ -1,67 +1,61 @@
-//! Criterion benchmarks of the protocol hot paths: a full simulated second of
-//! a FireLedger cluster versus the HotStuff and BFT-SMaRt baselines, plus the
-//! per-message handling cost of the worker.
+//! Benchmarks of the protocol hot paths: a simulated 100 ms of a FireLedger
+//! cluster versus each baseline, through the unified runtime API.
+//!
+//! Run with: `cargo bench -p fireledger-bench --bench protocol_bench`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fireledger::prelude::*;
-use fireledger::build_cluster;
-use fireledger_baselines::{BftSmartNode, HotStuffNode};
-use fireledger_crypto::SimKeyStore;
-use fireledger_sim::{SimConfig, Simulation};
+use fireledger_bench::quickbench::{bench_with_target, section};
+use fireledger_bench::*;
 use std::time::Duration;
 
-fn bench_fireledger_round(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulated_100ms");
-    group.sample_size(10);
+fn main() {
+    let scenario = Scenario::new("bench")
+        .ideal()
+        .run_for(Duration::from_millis(100));
     for n in [4usize, 7] {
-        group.bench_with_input(BenchmarkId::new("fireledger", n), &n, |b, &n| {
-            b.iter(|| {
-                let params = ProtocolParams::new(n)
-                    .with_batch_size(10)
-                    .with_tx_size(256)
-                    .with_base_timeout(Duration::from_millis(20));
-                let mut sim = Simulation::new(SimConfig::ideal(), build_cluster(&params, 1));
-                sim.run_for(Duration::from_millis(100));
-                sim.deliveries(NodeId(0)).len()
-            })
+        section(&format!("simulated 100 ms, n = {n}"));
+        let params = ProtocolParams::new(n)
+            .with_batch_size(10)
+            .with_tx_size(256)
+            .with_base_timeout(Duration::from_millis(20));
+        let target = Duration::from_millis(400);
+        bench_with_target(&format!("fireledger/{n}"), target, || {
+            Simulator
+                .run(
+                    &ClusterBuilder::<FloCluster>::new(params.clone()),
+                    &scenario,
+                )
+                .unwrap()
+                .tps
         });
-        group.bench_with_input(BenchmarkId::new("hotstuff", n), &n, |b, &n| {
-            b.iter(|| {
-                let params = ProtocolParams::new(n)
-                    .with_batch_size(10)
-                    .with_tx_size(256)
-                    .with_base_timeout(Duration::from_millis(20));
-                let crypto = SimKeyStore::generate(n, 1).shared();
-                let nodes: Vec<HotStuffNode> = (0..n)
-                    .map(|i| HotStuffNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
-                    .collect();
-                let mut sim = Simulation::new(SimConfig::ideal(), nodes);
-                sim.run_for(Duration::from_millis(100));
-                sim.deliveries(NodeId(0)).len()
-            })
+        bench_with_target(&format!("wrb_obbc/{n}"), target, || {
+            Simulator
+                .run(&ClusterBuilder::<Worker>::new(params.clone()), &scenario)
+                .unwrap()
+                .tps
         });
-        group.bench_with_input(BenchmarkId::new("bftsmart", n), &n, |b, &n| {
-            b.iter(|| {
-                let params = ProtocolParams::new(n)
-                    .with_batch_size(10)
-                    .with_tx_size(256)
-                    .with_base_timeout(Duration::from_millis(20));
-                let crypto = SimKeyStore::generate(n, 1).shared();
-                let nodes: Vec<BftSmartNode> = (0..n)
-                    .map(|i| BftSmartNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
-                    .collect();
-                let mut sim = Simulation::new(SimConfig::ideal(), nodes);
-                sim.run_for(Duration::from_millis(100));
-                sim.deliveries(NodeId(0)).len()
-            })
+        bench_with_target(&format!("pbft/{n}"), target, || {
+            Simulator
+                .run(&ClusterBuilder::<PbftNode>::new(params.clone()), &scenario)
+                .unwrap()
+                .tps
+        });
+        bench_with_target(&format!("hotstuff/{n}"), target, || {
+            Simulator
+                .run(
+                    &ClusterBuilder::<HotStuffNode>::new(params.clone()),
+                    &scenario,
+                )
+                .unwrap()
+                .tps
+        });
+        bench_with_target(&format!("bftsmart/{n}"), target, || {
+            Simulator
+                .run(
+                    &ClusterBuilder::<BftSmartNode>::new(params.clone()),
+                    &scenario,
+                )
+                .unwrap()
+                .tps
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fireledger_round
-}
-criterion_main!(benches);

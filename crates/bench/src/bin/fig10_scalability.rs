@@ -6,8 +6,16 @@ use std::time::Duration;
 
 fn main() {
     banner("Figure 10 — scalability at n = 100", "Figure 10, §7.3");
-    let omegas = if full_mode() { vec![1, 2, 3, 4, 5] } else { vec![1, 2] };
-    let betas = if full_mode() { batch_sizes() } else { vec![100, 1000] };
+    let omegas = if full_mode() {
+        vec![1, 2, 3, 4, 5]
+    } else {
+        vec![1, 2]
+    };
+    let betas = if full_mode() {
+        batch_sizes()
+    } else {
+        vec![100, 1000]
+    };
     for beta in betas {
         for omega in &omegas {
             let r = ExperimentConfig::flo(100, *omega, beta, 512)

@@ -18,6 +18,8 @@ fn main() {
             }
         }
     }
-    println!("\nExpected shape (paper): lower than fault-free (the crashed proposers' turns need the");
+    println!(
+        "\nExpected shape (paper): lower than fault-free (the crashed proposers' turns need the"
+    );
     println!("fallback), decreasing with n, but still tens of thousands of tps.");
 }

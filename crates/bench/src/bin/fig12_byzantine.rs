@@ -6,7 +6,11 @@ use std::time::Duration;
 
 fn main() {
     banner("Figure 12 — Byzantine failures", "Figure 12, §7.4.2");
-    let omegas = if full_mode() { vec![1, 3, 5] } else { vec![1, 3] };
+    let omegas = if full_mode() {
+        vec![1, 3, 5]
+    } else {
+        vec![1, 3]
+    };
     for n in cluster_sizes() {
         for beta in batch_sizes() {
             for omega in &omegas {
@@ -18,6 +22,8 @@ fn main() {
             }
         }
     }
-    println!("\nExpected shape (paper): throughput drops relative to the optimistic case and recoveries");
+    println!(
+        "\nExpected shape (paper): throughput drops relative to the optimistic case and recoveries"
+    );
     println!("per second shrink as β and n grow, but the system keeps delivering (>10K tps in some configs).");
 }

@@ -10,7 +10,11 @@ fn main() {
         for omega in worker_sweep() {
             let r = ExperimentConfig::flo(n, omega, 100, 512)
                 .geo()
-                .duration(Duration::from_millis(if full_mode() { 20_000 } else { 6_000 }))
+                .duration(Duration::from_millis(if full_mode() {
+                    20_000
+                } else {
+                    6_000
+                }))
                 .run();
             r.emit(&format!("fig13 n={n} ω={omega}"));
         }

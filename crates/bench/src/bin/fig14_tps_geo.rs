@@ -11,7 +11,11 @@ fn main() {
             for omega in worker_sweep() {
                 let r = ExperimentConfig::flo(n, omega, beta, 512)
                     .geo()
-                    .duration(Duration::from_millis(if full_mode() { 20_000 } else { 5_000 }))
+                    .duration(Duration::from_millis(if full_mode() {
+                        20_000
+                    } else {
+                        5_000
+                    }))
                     .run();
                 r.emit(&format!("fig14 n={n} β={beta} ω={omega}"));
             }

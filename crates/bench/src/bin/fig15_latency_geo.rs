@@ -5,18 +5,29 @@ use fireledger_bench::*;
 use std::time::Duration;
 
 fn main() {
-    banner("Figure 15 — latency, multi data-center", "Figure 15, §7.5.2");
-    let omegas = if full_mode() { vec![1, 5, 10] } else { vec![1, 5] };
+    banner(
+        "Figure 15 — latency, multi data-center",
+        "Figure 15, §7.5.2",
+    );
+    let omegas = if full_mode() {
+        vec![1, 5, 10]
+    } else {
+        vec![1, 5]
+    };
     for n in cluster_sizes() {
         for omega in &omegas {
             for beta in batch_sizes() {
                 let r = ExperimentConfig::flo(n, *omega, beta, 512)
                     .geo()
-                    .duration(Duration::from_millis(if full_mode() { 20_000 } else { 5_000 }))
+                    .duration(Duration::from_millis(if full_mode() {
+                        20_000
+                    } else {
+                        5_000
+                    }))
                     .run();
                 println!(
                     "fig15 n={n} ω={omega} β={beta}: avg={:.3}s p50={:.3}s p95={:.3}s",
-                    r.summary.avg_latency_secs, r.summary.p50_latency_secs, r.summary.p95_latency_secs
+                    r.report.avg_latency_secs, r.report.p50_latency_secs, r.report.p95_latency_secs
                 );
                 r.emit(&format!("fig15 n={n} ω={omega} β={beta}"));
             }

@@ -8,7 +8,11 @@ use std::time::Duration;
 fn main() {
     banner("Figure 16 — FLO vs HotStuff", "Figure 16, §7.6");
     let cost = CostModel::c5_4xlarge();
-    let sizes = if full_mode() { vec![4, 7, 10, 16, 31] } else { vec![4, 10] };
+    let sizes = if full_mode() {
+        vec![4, 7, 10, 16, 31]
+    } else {
+        vec![4, 10]
+    };
     let duration = Duration::from_millis(if full_mode() { 3000 } else { 800 });
     for sigma in tx_sizes() {
         for n in &sizes {
@@ -19,10 +23,14 @@ fn main() {
                 .system(System::HotStuff)
                 .duration(duration)
                 .run_with_cost(cost);
-            let speedup = if hs.summary.tps > 0.0 { flo.summary.tps / hs.summary.tps } else { f64::INFINITY };
+            let speedup = if hs.report.tps > 0.0 {
+                flo.report.tps / hs.report.tps
+            } else {
+                f64::INFINITY
+            };
             println!(
                 "n={n:<3} σ={sigma:<5}  FLO tps={:>10.0} lat={:>6.3}s | HotStuff tps={:>10.0} lat={:>6.3}s | FLO/HotStuff = {:.2}x",
-                flo.summary.tps, flo.summary.avg_latency_secs, hs.summary.tps, hs.summary.avg_latency_secs, speedup
+                flo.report.tps, flo.report.avg_latency_secs, hs.report.tps, hs.report.avg_latency_secs, speedup
             );
             flo.emit(&format!("fig16 flo n={n} σ={sigma}"));
             hs.emit(&format!("fig16 hotstuff n={n} σ={sigma}"));

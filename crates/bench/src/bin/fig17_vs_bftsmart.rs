@@ -8,7 +8,11 @@ use std::time::Duration;
 fn main() {
     banner("Figure 17 — FLO vs BFT-SMaRt", "Figure 17, §7.6");
     let cost = CostModel::c5_4xlarge();
-    let sizes = if full_mode() { vec![4, 7, 10, 16, 31] } else { vec![4, 10] };
+    let sizes = if full_mode() {
+        vec![4, 7, 10, 16, 31]
+    } else {
+        vec![4, 10]
+    };
     let duration = Duration::from_millis(if full_mode() { 3000 } else { 800 });
     for sigma in tx_sizes() {
         for n in &sizes {
@@ -19,10 +23,14 @@ fn main() {
                 .system(System::BftSmart)
                 .duration(duration)
                 .run_with_cost(cost);
-            let speedup = if bs.summary.tps > 0.0 { flo.summary.tps / bs.summary.tps } else { f64::INFINITY };
+            let speedup = if bs.report.tps > 0.0 {
+                flo.report.tps / bs.report.tps
+            } else {
+                f64::INFINITY
+            };
             println!(
                 "n={n:<3} σ={sigma:<5}  FLO tps={:>10.0} lat={:>6.3}s | BFT-SMaRt tps={:>10.0} lat={:>6.3}s | FLO/BFT-SMaRt = {:.2}x",
-                flo.summary.tps, flo.summary.avg_latency_secs, bs.summary.tps, bs.summary.avg_latency_secs, speedup
+                flo.report.tps, flo.report.avg_latency_secs, bs.report.tps, bs.report.avg_latency_secs, speedup
             );
             flo.emit(&format!("fig17 flo n={n} σ={sigma}"));
             bs.emit(&format!("fig17 bftsmart n={n} σ={sigma}"));

@@ -10,8 +10,14 @@ fn main() {
     // alongside the m5.xlarge model used by the simulator.
     let measured = CostModel::calibrate(64, 4);
     let modeled = CostModel::m5_xlarge();
-    println!("calibrated on this host: sign={:?} verify={:?} hash/byte={:?}", measured.sign, measured.verify, measured.hash_per_byte);
-    println!("{:>6} {:>6} {:>6} {:>14} {:>14}", "ω", "β", "σ", "sps(model)", "sps(host)");
+    println!(
+        "calibrated on this host: sign={:?} verify={:?} hash/byte={:?}",
+        measured.sign, measured.verify, measured.hash_per_byte
+    );
+    println!(
+        "{:>6} {:>6} {:>6} {:>14} {:>14}",
+        "ω", "β", "σ", "sps(model)", "sps(host)"
+    );
     for beta in batch_sizes() {
         for sigma in tx_sizes() {
             for omega in worker_sweep() {

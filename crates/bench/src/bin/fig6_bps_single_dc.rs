@@ -14,6 +14,8 @@ fn main() {
             r.emit(&format!("fig6 n={n} ω={omega}"));
         }
     }
-    println!("\nExpected shape (paper): bps grows with ω (better CPU utilisation) and shrinks with n");
+    println!(
+        "\nExpected shape (paper): bps grows with ω (better CPU utilisation) and shrinks with n"
+    );
     println!("(each decision costs more communication).");
 }

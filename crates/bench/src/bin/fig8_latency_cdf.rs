@@ -5,8 +5,15 @@ use fireledger_bench::*;
 use std::time::Duration;
 
 fn main() {
-    banner("Figure 8 — latency CDFs, single data-center", "Figure 8, §7.2.2");
-    let omegas = if full_mode() { vec![1, 5, 10] } else { vec![1, 5] };
+    banner(
+        "Figure 8 — latency CDFs, single data-center",
+        "Figure 8, §7.2.2",
+    );
+    let omegas = if full_mode() {
+        vec![1, 5, 10]
+    } else {
+        vec![1, 5]
+    };
     for n in cluster_sizes() {
         for omega in &omegas {
             for beta in batch_sizes() {
@@ -14,13 +21,15 @@ fn main() {
                     .duration(Duration::from_millis(if full_mode() { 3000 } else { 800 }))
                     .run();
                 println!("--- CDF n={n} ω={omega} β={beta} ---");
-                for (lat, frac) in &r.latency_cdf {
+                for (lat, frac) in &r.report.latency_cdf {
                     println!("  {:>8.4}s  {:>5.2}", lat, frac);
                 }
                 r.emit(&format!("fig8 n={n} ω={omega} β={beta}"));
             }
         }
     }
-    println!("\nExpected shape (paper): ω = 1 stays well below a second; latency grows with ω because");
+    println!(
+        "\nExpected shape (paper): ω = 1 stays well below a second; latency grows with ω because"
+    );
     println!("a single slow worker delays the whole round-robin merge.");
 }

@@ -7,14 +7,17 @@ use std::time::Duration;
 
 fn main() {
     banner("Figure 9 — phase breakdown heatmap", "Figure 9, §7.2.2");
-    println!("{:<24} {:>8} {:>8} {:>8} {:>8}", "config", "A→B", "B→C", "C→D", "D→E");
+    println!(
+        "{:<24} {:>8} {:>8} {:>8} {:>8}",
+        "config", "A→B", "B→C", "C→D", "D→E"
+    );
     for n in cluster_sizes() {
         for omega in [1usize, 5] {
             for beta in batch_sizes() {
                 let r = ExperimentConfig::flo(n, omega, beta, 512)
                     .duration(Duration::from_millis(if full_mode() { 2500 } else { 800 }))
                     .run();
-                let p = r.phase_breakdown;
+                let p = r.report.phase_breakdown;
                 println!(
                     "n={:<3} ω={:<3} β={:<6}     {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
                     n, omega, beta, p[0], p[1], p[2], p[3]

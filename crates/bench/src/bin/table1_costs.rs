@@ -12,26 +12,31 @@ fn main() {
         ("crash/omission", 1, 0),
         ("byzantine", 0, 1),
     ];
-    println!("{:<16} {:>10} {:>12} {:>12} {:>14} {:>12}", "mode", "blocks", "msgs/block", "sigs/block", "verifies/block", "lat(rounds)");
+    println!(
+        "{:<16} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "mode", "blocks", "msgs/block", "sigs/block", "verifies/block", "lat(rounds)"
+    );
     for (label, crashed, byz) in rows {
         let cfg = ExperimentConfig::flo(4, 1, 10, 512)
             .with_crashes(crashed)
             .with_byzantine(byz)
             .duration(Duration::from_millis(if byz > 0 { 1500 } else { 800 }));
         let r = cfg.run();
-        let blocks = (r.summary.bps * r.summary.duration_secs).max(1.0);
+        let blocks = (r.report.bps * r.report.duration_secs).max(1.0);
         let f = (cfg.n - 1) / 3;
         println!(
             "{:<16} {:>10.0} {:>12.1} {:>12.2} {:>14.2} {:>12}",
             label,
             blocks * cfg.n as f64,
-            r.summary.msgs_sent as f64 / (blocks * cfg.n as f64),
-            r.summary.signatures as f64 / (blocks * cfg.n as f64),
-            r.summary.verifications as f64 / (blocks * cfg.n as f64),
+            r.report.msgs_sent as f64 / (blocks * cfg.n as f64),
+            r.report.signatures as f64 / (blocks * cfg.n as f64),
+            r.report.verifications as f64 / (blocks * cfg.n as f64),
             f + 1,
         );
         r.emit(label);
     }
-    println!("\nExpected shape (paper): fault-free ≈ 1 signature per block and ~n messages per block;");
+    println!(
+        "\nExpected shape (paper): fault-free ≈ 1 signature per block and ~n messages per block;"
+    );
     println!("omission adds the OBBC fallback; Byzantine adds RB + n parallel AB (recoveries).");
 }

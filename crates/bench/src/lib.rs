@@ -1,12 +1,13 @@
 //! # fireledger-bench
 //!
 //! The experiment harness that regenerates every table and figure of the
-//! FireLedger paper's evaluation (§7). Each figure/table has its own binary in
-//! `src/bin/` (see `DESIGN.md` for the index); this library holds the shared
-//! machinery: building clusters, running them on the discrete-event
-//! simulator under a given network/CPU model, and emitting result rows both
-//! as human-readable tables and as JSON (one object per row on stdout lines
-//! prefixed with `JSON:`), which `EXPERIMENTS.md` is produced from.
+//! FireLedger paper's evaluation (§7). Each figure/table has its own binary
+//! in `src/bin/`; this library holds the shared machinery, which is a thin
+//! layer over `fireledger-runtime`: an [`ExperimentConfig`] is translated
+//! into a `ClusterBuilder` + `Scenario` pair and executed on the
+//! [`Simulator`] runtime (or, for the matrix binary, on [`Threads`] too).
+//! Results are emitted both as human-readable rows and as machine-readable
+//! `JSON:` lines built from the unified [`RunReport`].
 //!
 //! Absolute numbers depend on the simulator's calibration, not on the
 //! authors' AWS testbed, so the quantities to compare against the paper are
@@ -15,45 +16,57 @@
 
 #![forbid(unsafe_code)]
 
-use fireledger::prelude::*;
-use fireledger::{ClusterNode, EquivocatingNode};
-use fireledger_baselines::{BftSmartNode, HotStuffNode};
-use fireledger_crypto::{CostModel, SharedCrypto, SimKeyStore};
-use fireledger_sim::adversary::CrashSchedule;
-use fireledger_sim::{Metrics, RunSummary, SimConfig, SimTime, Simulation};
-use serde::Serialize;
-use std::sync::Arc;
+pub mod quickbench;
+
+pub use fireledger_runtime::prelude::*;
+
+use fireledger_crypto::CostModel;
 use std::time::Duration;
 
 /// Which protocol a run exercises.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum System {
     /// FLO / FireLedger.
     Flo,
+    /// A single WRB/OBBC FireLedger instance (no FLO merge).
+    Wrb,
+    /// Classical PBFT.
+    Pbft,
     /// Chained HotStuff baseline.
     HotStuff,
     /// BFT-SMaRt-style ordering baseline.
     BftSmart,
 }
 
+impl System {
+    /// Every protocol of the matrix.
+    pub const ALL: [System; 5] = [
+        System::Flo,
+        System::Wrb,
+        System::Pbft,
+        System::HotStuff,
+        System::BftSmart,
+    ];
+}
+
 /// One experiment configuration (a point of a parameter sweep).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// Protocol under test.
     pub system: System,
     /// Cluster size n.
     pub n: usize,
-    /// FLO workers ω (ignored by the baselines).
+    /// FLO workers ω (ignored by the single-instance protocols).
     pub workers: usize,
     /// Batch size β.
     pub batch: usize,
     /// Transaction size σ in bytes.
     pub tx_size: usize,
-    /// Human-readable network label ("single-dc" / "geo" / ...).
+    /// Human-readable network label ("single-dc" / "geo").
     pub network: String,
     /// Simulated run length in milliseconds.
     pub duration_ms: u64,
-    /// Number of crashed nodes (crash at t = 0 measurement starts after).
+    /// Number of crashed nodes (crash at t = 0; measurement starts after).
     pub crashed: usize,
     /// Number of equivocating Byzantine nodes.
     pub byzantine: usize,
@@ -103,152 +116,128 @@ impl ExperimentConfig {
         self
     }
 
-    /// Makes the last `byzantine` nodes equivocate on every block they propose.
+    /// Makes the last `byzantine` nodes equivocate on every block they
+    /// propose (FLO only; the baselines reject Byzantine roles).
     pub fn with_byzantine(mut self, byzantine: usize) -> Self {
         self.byzantine = byzantine;
         self
     }
 
-    fn protocol_params(&self) -> ProtocolParams {
-        let base_timeout = if self.network == "geo" {
-            Duration::from_millis(400)
+    /// The scenario this configuration describes.
+    pub fn scenario(&self) -> Scenario {
+        let mut scenario = Scenario::new(self.network.clone())
+            .with_seed(self.seed)
+            .run_for(Duration::from_millis(self.duration_ms));
+        if self.network == "geo" {
+            scenario = scenario.geo();
         } else {
-            Duration::from_millis(20)
-        };
+            scenario = scenario.single_dc();
+        }
+        if self.crashed > 0 {
+            scenario = scenario.crash_last_f(self.n, self.crashed, Duration::ZERO);
+        }
+        scenario
+    }
+
+    /// The protocol parameters this configuration describes.
+    pub fn protocol_params(&self) -> ProtocolParams {
         ProtocolParams::new(self.n)
             .with_workers(self.workers)
             .with_batch_size(self.batch)
             .with_tx_size(self.tx_size)
-            .with_base_timeout(base_timeout)
+            .with_base_timeout(self.scenario().recommended_timeout())
     }
 
-    fn sim_config(&self) -> SimConfig {
-        let mut cfg = if self.network == "geo" {
-            SimConfig::geo_distributed()
-        } else {
-            SimConfig::single_dc()
-        };
-        cfg.seed = self.seed;
-        cfg
+    fn builder<P: ClusterProtocol>(&self) -> ClusterBuilder<P>
+    where
+        P::Msg: fireledger_types::WireSize + Clone + Send + std::fmt::Debug + 'static,
+    {
+        ClusterBuilder::<P>::new(self.protocol_params())
+            .with_seed(self.seed)
+            .with_last_k(self.byzantine, NodeRole::Equivocate)
+    }
+
+    /// Runs the experiment on `runtime` with an optional CPU-model override.
+    pub fn run_on<R: Runtime>(&self, runtime: &R, cost: Option<CostModel>) -> ExperimentResult {
+        let mut scenario = self.scenario();
+        if let Some(cost) = cost {
+            scenario = scenario.with_cost(cost);
+        }
+        let report = match self.system {
+            System::Flo => runtime.run(&self.builder::<FloCluster>(), &scenario),
+            System::Wrb => runtime.run(&self.builder::<Worker>(), &scenario),
+            System::Pbft => runtime.run(&self.builder::<PbftNode>(), &scenario),
+            System::HotStuff => runtime.run(&self.builder::<HotStuffNode>(), &scenario),
+            System::BftSmart => runtime.run(&self.builder::<BftSmartNode>(), &scenario),
+        }
+        .expect("experiment configuration must be runnable");
+        ExperimentResult {
+            config: self.clone(),
+            report,
+        }
+    }
+
+    /// Runs the experiment on the simulator with the default machine model
+    /// (m5.xlarge).
+    pub fn run(&self) -> ExperimentResult {
+        self.run_on(&Simulator, None)
     }
 
     /// Overrides the CPU model (e.g. `CostModel::c5_4xlarge()` for the §7.6
     /// comparison).
     pub fn run_with_cost(&self, cost: CostModel) -> ExperimentResult {
-        let mut sim_cfg = self.sim_config();
-        sim_cfg.cost = cost;
-        self.run_on(sim_cfg)
+        self.run_on(&Simulator, Some(cost))
     }
 
-    /// Runs the experiment with the default machine model (m5.xlarge).
-    pub fn run(&self) -> ExperimentResult {
-        self.run_on(self.sim_config())
-    }
-
-    fn run_on(&self, sim_cfg: SimConfig) -> ExperimentResult {
-        let duration = Duration::from_millis(self.duration_ms);
-        match self.system {
-            System::Flo => self.run_flo(sim_cfg, duration),
-            System::HotStuff => self.run_baseline(sim_cfg, duration, true),
-            System::BftSmart => self.run_baseline(sim_cfg, duration, false),
-        }
-    }
-
-    fn correct_nodes(&self) -> Vec<NodeId> {
-        let faulty = self.crashed + self.byzantine;
+    /// The nodes metrics are averaged over (correct nodes only). Crashed and
+    /// Byzantine roles both target the tail of the cluster, so the faulty set
+    /// is the union of the two tails, not their sum.
+    pub fn correct_nodes(&self) -> Vec<NodeId> {
+        let faulty = self.crashed.max(self.byzantine);
         (0..(self.n - faulty) as u32).map(NodeId).collect()
-    }
-
-    fn finish<P>(&self, mut sim: Simulation<P>, warmup: Duration) -> ExperimentResult
-    where
-        P: fireledger_types::Protocol,
-        P::Msg: fireledger_types::WireSize,
-    {
-        sim.metrics_mut()
-            .set_window_start(SimTime::ZERO + warmup);
-        let correct = self.correct_nodes();
-        let summary = sim.summary_for(&correct);
-        let phase = sim.metrics().phase_breakdown();
-        let cdf = sim.metrics().latency_cdf(20);
-        ExperimentResult {
-            config: self.clone(),
-            summary,
-            phase_breakdown: phase,
-            latency_cdf: cdf,
-        }
-    }
-
-    fn run_flo(&self, sim_cfg: SimConfig, duration: Duration) -> ExperimentResult {
-        let params = self.protocol_params();
-        let honest = self.n - self.byzantine;
-        let crypto: SharedCrypto = SimKeyStore::generate(self.n, self.seed).shared();
-        let nodes: Vec<ClusterNode> = (0..self.n)
-            .map(|i| {
-                let flo = FloNode::new(
-                    NodeId(i as u32),
-                    params.clone(),
-                    crypto.clone(),
-                    Arc::new(fireledger::AcceptAll),
-                );
-                if i >= honest {
-                    ClusterNode::Equivocating(EquivocatingNode::new(flo, crypto.clone()))
-                } else {
-                    ClusterNode::Honest(flo)
-                }
-            })
-            .collect();
-        let mut sim = if self.crashed > 0 {
-            let adv = CrashSchedule::crash_last_f(self.n, self.crashed, SimTime::ZERO);
-            Simulation::with_adversary(sim_cfg, nodes, Box::new(adv))
-        } else {
-            Simulation::new(sim_cfg, nodes)
-        };
-        let warmup = duration / 10;
-        sim.run_for(duration);
-        self.finish(sim, warmup)
-    }
-
-    fn run_baseline(
-        &self,
-        sim_cfg: SimConfig,
-        duration: Duration,
-        hotstuff: bool,
-    ) -> ExperimentResult {
-        let params = self.protocol_params();
-        let crypto: SharedCrypto = SimKeyStore::generate(self.n, self.seed).shared();
-        let warmup = duration / 10;
-        if hotstuff {
-            let nodes: Vec<HotStuffNode> = (0..self.n)
-                .map(|i| HotStuffNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
-                .collect();
-            let mut sim = Simulation::new(sim_cfg, nodes);
-            sim.run_for(duration);
-            self.finish(sim, warmup)
-        } else {
-            let nodes: Vec<BftSmartNode> = (0..self.n)
-                .map(|i| BftSmartNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
-                .collect();
-            let mut sim = Simulation::new(sim_cfg, nodes);
-            sim.run_for(duration);
-            self.finish(sim, warmup)
-        }
     }
 }
 
-/// The result of one experiment run.
-#[derive(Clone, Debug, Serialize)]
+/// The result of one experiment run: its configuration plus the unified
+/// report.
+#[derive(Clone, Debug)]
 pub struct ExperimentResult {
     /// The configuration that produced it.
     pub config: ExperimentConfig,
-    /// Headline rates and latencies.
-    pub summary: RunSummary,
-    /// Relative time spent in the A→B→C→D→E phases (Figure 9).
-    pub phase_breakdown: [f64; 4],
-    /// Latency CDF points (Figures 8 and 15).
-    pub latency_cdf: Vec<(f64, f64)>,
+    /// The unified run report.
+    pub report: RunReport,
 }
 
 impl ExperimentResult {
+    /// Shorthand for the report.
+    pub fn summary(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// The result as a single-line JSON object: the sweep-point configuration
+    /// (β, σ, fault counts, ...) alongside the unified report, so downstream
+    /// tooling can attribute every row to its point of the parameter grid.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"config\":{{\"system\":\"{:?}\",\"n\":{},\"workers\":{},",
+                "\"batch\":{},\"tx_size\":{},\"network\":\"{}\",\"duration_ms\":{},",
+                "\"crashed\":{},\"byzantine\":{},\"seed\":{}}},\"report\":{}}}"
+            ),
+            self.config.system,
+            self.config.n,
+            self.config.workers,
+            self.config.batch,
+            self.config.tx_size,
+            self.config.network,
+            self.config.duration_ms,
+            self.config.crashed,
+            self.config.byzantine,
+            self.config.seed,
+            self.report.to_json(),
+        )
+    }
+
     /// Prints a human-readable row plus a machine-readable `JSON:` line.
     pub fn emit(&self, label: &str) {
         println!(
@@ -258,16 +247,14 @@ impl ExperimentResult {
             self.config.batch,
             self.config.tx_size,
             self.config.network,
-            self.summary.tps,
-            self.summary.bps,
-            self.summary.avg_latency_secs,
-            self.summary.p95_latency_secs,
-            self.summary.recoveries_per_sec,
-            self.summary.msgs_sent,
+            self.report.tps,
+            self.report.bps,
+            self.report.avg_latency_secs,
+            self.report.p95_latency_secs,
+            self.report.recoveries_per_sec,
+            self.report.msgs_sent,
         );
-        if let Ok(json) = serde_json::to_string(self) {
-            println!("JSON: {json}");
-        }
+        println!("JSON: {}", self.to_json());
     }
 }
 
@@ -308,22 +295,15 @@ pub fn banner(name: &str, paper_ref: &str) {
     println!("==============================================================");
     println!("FireLedger reproduction — {name}");
     println!("Paper reference: {paper_ref}");
-    println!("Mode: {}", if full_mode() { "FULL" } else { "quick (set FIRELEDGER_BENCH_FULL=1 for the full grid)" });
+    println!(
+        "Mode: {}",
+        if full_mode() {
+            "FULL"
+        } else {
+            "quick (set FIRELEDGER_BENCH_FULL=1 for the full grid)"
+        }
+    );
     println!("==============================================================");
-}
-
-/// Extracts per-node message/signature counters — used by the Table 1 cost
-/// accounting.
-pub fn cost_counters(metrics: &Metrics) -> (u64, u64, u64) {
-    let mut msgs = 0;
-    let mut sigs = 0;
-    let mut verifies = 0;
-    for c in metrics.node_counters() {
-        msgs += c.msgs_sent;
-        sigs += c.signatures;
-        verifies += c.verifications;
-    }
-    (msgs, sigs, verifies)
 }
 
 #[cfg(test)]
@@ -335,21 +315,19 @@ mod tests {
         let result = ExperimentConfig::flo(4, 1, 10, 512)
             .duration(Duration::from_millis(300))
             .run();
-        assert!(result.summary.tps > 0.0, "tps = {}", result.summary.tps);
-        assert!(result.summary.bps > 0.0);
+        assert!(result.report.tps > 0.0, "tps = {}", result.report.tps);
+        assert!(result.report.bps > 0.0);
+        assert_eq!(result.report.protocol, "flo");
     }
 
     #[test]
-    fn baseline_runs_produce_throughput() {
-        for system in [System::HotStuff, System::BftSmart] {
+    fn every_system_of_the_matrix_produces_throughput() {
+        for system in System::ALL {
             let result = ExperimentConfig::flo(4, 1, 10, 512)
                 .system(system)
                 .duration(Duration::from_millis(300))
                 .run();
-            assert!(
-                result.summary.tps > 0.0,
-                "{system:?} produced no throughput"
-            );
+            assert!(result.report.tps > 0.0, "{system:?} produced no throughput");
         }
     }
 
@@ -360,7 +338,11 @@ mod tests {
             .duration(Duration::from_millis(400));
         let result = cfg.run();
         assert_eq!(cfg.correct_nodes().len(), 3);
-        assert!(result.summary.tps > 0.0);
+        assert!(result.report.tps > 0.0);
+        assert_eq!(
+            result.report.per_node[3].blocks, 0,
+            "crashed node delivered"
+        );
     }
 
     #[test]
@@ -369,9 +351,8 @@ mod tests {
             .with_byzantine(1)
             .duration(Duration::from_millis(600))
             .run();
-        // The equivocating proposer must trigger at least one recovery.
-        assert!(result.summary.recoveries_per_sec >= 0.0);
-        assert!(result.summary.tps > 0.0);
+        assert!(result.report.recoveries_per_sec >= 0.0);
+        assert!(result.report.tps > 0.0);
     }
 
     #[test]
@@ -380,5 +361,33 @@ mod tests {
         assert_eq!(batch_sizes(), vec![10, 100, 1000]);
         assert_eq!(tx_sizes(), vec![512, 1024, 4096]);
         assert!(!worker_sweep().is_empty());
+    }
+
+    #[test]
+    fn json_rows_carry_the_sweep_configuration() {
+        let result = ExperimentConfig::flo(4, 2, 99, 512)
+            .duration(Duration::from_millis(200))
+            .run();
+        let json = result.to_json();
+        assert!(json.contains("\"batch\":99"));
+        assert!(json.contains("\"system\":\"Flo\""));
+        assert!(json.contains("\"report\":{\"protocol\":\"flo\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn overlapping_fault_tails_are_not_double_counted() {
+        let cfg = ExperimentConfig::flo(4, 1, 10, 512)
+            .with_crashes(1)
+            .with_byzantine(1);
+        // Both faults land on node 3; nodes 0-2 are correct.
+        assert_eq!(cfg.correct_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn geo_configs_use_geo_scenarios_and_timeouts() {
+        let cfg = ExperimentConfig::flo(10, 1, 100, 512).geo();
+        assert_eq!(cfg.scenario().network_label(), "geo");
+        assert!(cfg.protocol_params().base_timeout >= Duration::from_millis(400));
     }
 }

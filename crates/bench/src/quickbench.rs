@@ -1,0 +1,71 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds offline without external crates, so the `benches/`
+//! targets use this tiny timer instead of criterion: each benchmark runs a
+//! short calibration pass to pick an iteration count, then reports the mean
+//! wall-clock time per iteration. The output format is one stable line per
+//! benchmark, greppable by `^bench:`.
+
+use std::time::{Duration, Instant};
+
+/// Result of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations timed.
+    pub iters: u64,
+    /// Mean time per iteration.
+    pub per_iter: Duration,
+}
+
+/// Times `f`, choosing an iteration count so the measured pass takes roughly
+/// `target`. Returns and prints the result.
+pub fn bench_with_target<T>(name: &str, target: Duration, mut f: impl FnMut() -> T) -> BenchResult {
+    // Calibration: run once, then scale to the target duration.
+    let start = Instant::now();
+    let _ = f();
+    let once = start.elapsed().max(Duration::from_nanos(50));
+    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let _ = f();
+    }
+    let total = start.elapsed();
+    let per_iter = total / iters as u32;
+    let result = BenchResult {
+        name: name.to_string(),
+        iters,
+        per_iter,
+    };
+    println!(
+        "bench: {name:<44} {:>12.3} µs/iter   ({iters} iters)",
+        per_iter.as_secs_f64() * 1e6
+    );
+    result
+}
+
+/// Times `f` with the default 200 ms target pass.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> BenchResult {
+    bench_with_target(name, Duration::from_millis(200), f)
+}
+
+/// Prints a section header.
+pub fn section(name: &str) {
+    println!("\n== {name} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_timings() {
+        let r = bench_with_target("spin", Duration::from_millis(5), || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert!(r.iters >= 1);
+        assert!(r.per_iter > Duration::ZERO);
+    }
+}

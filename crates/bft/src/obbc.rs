@@ -230,12 +230,7 @@ where
             return None;
         }
         // Lines OB15–OB18: adopt v if any valid evidence(v) was received.
-        let valid_evidence = self
-            .evidence_replies
-            .values()
-            .flatten()
-            .next()
-            .cloned();
+        let valid_evidence = self.evidence_replies.values().flatten().next().cloned();
         let proposal = valid_evidence.is_some() || self.my_vote == Some(true);
         self.resolved = true;
         Some(ObbcOutcome::Fallback {
@@ -395,11 +390,17 @@ mod tests {
 
     #[test]
     fn wire_sizes_are_single_bit_scale_for_votes() {
-        let vote: ObbcMsg<u64> = ObbcMsg::Vote { instance: 1, value: true };
+        let vote: ObbcMsg<u64> = ObbcMsg::Vote {
+            instance: 1,
+            value: true,
+        };
         assert!(vote.wire_size() <= 9);
         let req: ObbcMsg<u64> = ObbcMsg::EvidenceRequest { instance: 1 };
         assert!(req.wire_size() <= 9);
-        let reply: ObbcMsg<u64> = ObbcMsg::EvidenceReply { instance: 1, evidence: Some(7) };
+        let reply: ObbcMsg<u64> = ObbcMsg::EvidenceReply {
+            instance: 1,
+            evidence: Some(7),
+        };
         assert!(reply.wire_size() > req.wire_size());
     }
 }

@@ -122,10 +122,20 @@ impl<V: WireSize> WireSize for PbftMsg<V> {
             PbftMsg::PrePrepare { value, .. } => 1 + 8 + 8 + value.wire_size() + 64,
             PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 1 + 8 + 8 + 8 + 32,
             PbftMsg::ViewChange { prepared, .. } => {
-                1 + 8 + prepared.iter().map(|(_, v)| 8 + v.wire_size()).sum::<usize>() + 64
+                1 + 8
+                    + prepared
+                        .iter()
+                        .map(|(_, v)| 8 + v.wire_size())
+                        .sum::<usize>()
+                    + 64
             }
             PbftMsg::NewView { preprepares, .. } => {
-                1 + 8 + preprepares.iter().map(|(_, v)| 8 + v.wire_size()).sum::<usize>() + 64
+                1 + 8
+                    + preprepares
+                        .iter()
+                        .map(|(_, v)| 8 + v.wire_size())
+                        .sum::<usize>()
+                    + 64
             }
         }
     }
@@ -315,11 +325,7 @@ where
         if seq >= self.next_seq {
             self.next_seq = seq + 1;
         }
-        let prepare = PbftMsg::Prepare {
-            view,
-            seq,
-            digest,
-        };
+        let prepare = PbftMsg::Prepare { view, seq, digest };
         out.broadcast(prepare);
         self.record_prepare(self.me, view, seq, digest, out)
     }
@@ -458,7 +464,7 @@ where
         // Join the view change once f+1 nodes vote for it (amplification), so
         // a single slow node cannot stall behind the rest of the cluster.
         let joined = self.view_change_votes[&new_view].contains(&self.me);
-        if votes >= self.config.cluster.f + 1 && !joined {
+        if votes > self.config.cluster.f && !joined {
             let my_prepared = self.prepared_undelivered();
             self.view_change_votes
                 .entry(new_view)
@@ -767,7 +773,10 @@ mod tests {
             assert_eq!(net.nodes[i].leader(), NodeId(1));
             assert_eq!(net.delivered[i], net.delivered[1], "node {i} diverged");
             let values: Vec<V> = net.delivered[i].iter().map(|(_, v)| *v).collect();
-            assert!(values.contains(&123) && values.contains(&456), "node {i}: {values:?}");
+            assert!(
+                values.contains(&123) && values.contains(&456),
+                "node {i}: {values:?}"
+            );
         }
     }
 
@@ -821,21 +830,56 @@ mod tests {
         let cluster = ClusterConfig::new(4);
         let mut node = Pbft::<V>::new(NodeId(1), PbftConfig::new(cluster));
         let mut out = Outbox::new();
-        node.on_message(NodeId(0), PbftMsg::PrePrepare { view: 0, seq: 0, value: 10 }, &mut out);
+        node.on_message(
+            NodeId(0),
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 0,
+                value: 10,
+            },
+            &mut out,
+        );
         let before = node.slots.get(&0).unwrap().digest;
-        node.on_message(NodeId(0), PbftMsg::PrePrepare { view: 0, seq: 0, value: 20 }, &mut out);
+        node.on_message(
+            NodeId(0),
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 0,
+                value: 20,
+            },
+            &mut out,
+        );
         assert_eq!(node.slots.get(&0).unwrap().digest, before);
         // Pre-prepare from a non-leader is rejected outright.
-        node.on_message(NodeId(2), PbftMsg::PrePrepare { view: 0, seq: 1, value: 30 }, &mut out);
-        assert!(node.slots.get(&1).is_none());
+        node.on_message(
+            NodeId(2),
+            PbftMsg::PrePrepare {
+                view: 0,
+                seq: 1,
+                value: 30,
+            },
+            &mut out,
+        );
+        assert!(!node.slots.contains_key(&1));
     }
 
     #[test]
     fn wire_sizes_reflect_payloads() {
-        let pp = PbftMsg::PrePrepare { view: 0, seq: 0, value: 7u64 };
-        let p: PbftMsg<u64> = PbftMsg::Prepare { view: 0, seq: 0, digest: 1 };
+        let pp = PbftMsg::PrePrepare {
+            view: 0,
+            seq: 0,
+            value: 7u64,
+        };
+        let p: PbftMsg<u64> = PbftMsg::Prepare {
+            view: 0,
+            seq: 0,
+            digest: 1,
+        };
         assert!(pp.wire_size() > p.wire_size());
-        let vc = PbftMsg::ViewChange { new_view: 1, prepared: vec![(0, 7u64), (1, 8u64)] };
+        let vc = PbftMsg::ViewChange {
+            new_view: 1,
+            prepared: vec![(0, 7u64), (1, 8u64)],
+        };
         assert!(vc.wire_size() > 2 * 8);
     }
 }

@@ -244,7 +244,10 @@ mod tests {
         /// produced messages (optionally dropping messages to some nodes).
         fn run<F>(&mut self, i: usize, f: F, unreachable: &[usize])
         where
-            F: FnOnce(&mut ReliableBroadcast<Payload>, &mut Outbox<RbMsg<Payload>>) -> Vec<(NodeId, u64, Payload)>,
+            F: FnOnce(
+                &mut ReliableBroadcast<Payload>,
+                &mut Outbox<RbMsg<Payload>>,
+            ) -> Vec<(NodeId, u64, Payload)>,
         {
             let mut out = Outbox::new();
             let newly = f(&mut self.nodes[i], &mut out);
@@ -259,10 +262,8 @@ mod tests {
                             }
                         }
                     }
-                    Action::Send { to, msg } => {
-                        if !unreachable.contains(&to.as_usize()) {
-                            self.deliver(i, to.as_usize(), msg, unreachable);
-                        }
+                    Action::Send { to, msg } if !unreachable.contains(&to.as_usize()) => {
+                        self.deliver(i, to.as_usize(), msg, unreachable);
                     }
                     _ => {}
                 }
@@ -270,17 +271,25 @@ mod tests {
         }
 
         fn deliver(&mut self, from: usize, to: usize, msg: RbMsg<Payload>, unreachable: &[usize]) {
-            self.run(to, |node, out| node.on_message(NodeId(from as u32), msg, out), unreachable);
+            self.run(
+                to,
+                |node, out| node.on_message(NodeId(from as u32), msg, out),
+                unreachable,
+            );
         }
     }
 
     #[test]
     fn broadcast_delivers_at_all_correct_nodes() {
         let mut net = Net::new(4);
-        net.run(0, |node, out| {
-            node.broadcast(42, out);
-            Vec::new()
-        }, &[]);
+        net.run(
+            0,
+            |node, out| {
+                node.broadcast(42, out);
+                Vec::new()
+            },
+            &[],
+        );
         for i in 0..4 {
             assert_eq!(net.delivered[i], vec![(NodeId(0), 0, 42)], "node {i}");
             assert!(net.nodes[i].is_delivered(NodeId(0), 0));
@@ -291,10 +300,14 @@ mod tests {
     fn delivery_with_one_unreachable_node() {
         // f = 1 for n = 4: the protocol must terminate at the 3 reachable nodes.
         let mut net = Net::new(4);
-        net.run(0, |node, out| {
-            node.broadcast(7, out);
-            Vec::new()
-        }, &[3]);
+        net.run(
+            0,
+            |node, out| {
+                node.broadcast(7, out);
+                Vec::new()
+            },
+            &[3],
+        );
         for i in 0..3 {
             assert_eq!(net.delivered[i], vec![(NodeId(0), 0, 7)], "node {i}");
         }
@@ -304,18 +317,30 @@ mod tests {
     #[test]
     fn concurrent_broadcasts_are_independent() {
         let mut net = Net::new(7);
-        net.run(0, |node, out| {
-            node.broadcast(1, out);
-            Vec::new()
-        }, &[]);
-        net.run(5, |node, out| {
-            node.broadcast(2, out);
-            Vec::new()
-        }, &[]);
-        net.run(0, |node, out| {
-            node.broadcast(3, out);
-            Vec::new()
-        }, &[]);
+        net.run(
+            0,
+            |node, out| {
+                node.broadcast(1, out);
+                Vec::new()
+            },
+            &[],
+        );
+        net.run(
+            5,
+            |node, out| {
+                node.broadcast(2, out);
+                Vec::new()
+            },
+            &[],
+        );
+        net.run(
+            0,
+            |node, out| {
+                node.broadcast(3, out);
+                Vec::new()
+            },
+            &[],
+        );
         for i in 0..7 {
             let got: HashSet<_> = net.delivered[i].iter().cloned().collect();
             assert!(got.contains(&(NodeId(0), 0, 1)));
@@ -350,9 +375,25 @@ mod tests {
         let mut out = Outbox::new();
         // Two Ready messages (below the 2f+1 = 3 quorum) do not deliver, but do
         // trigger ready amplification (f+1 = 2).
-        let d1 = rb.on_message(NodeId(1), RbMsg::Ready { origin: NodeId(2), tag: 0, value: 5 }, &mut out);
+        let d1 = rb.on_message(
+            NodeId(1),
+            RbMsg::Ready {
+                origin: NodeId(2),
+                tag: 0,
+                value: 5,
+            },
+            &mut out,
+        );
         assert!(d1.is_empty());
-        let d2 = rb.on_message(NodeId(2), RbMsg::Ready { origin: NodeId(2), tag: 0, value: 5 }, &mut out);
+        let d2 = rb.on_message(
+            NodeId(2),
+            RbMsg::Ready {
+                origin: NodeId(2),
+                tag: 0,
+                value: 5,
+            },
+            &mut out,
+        );
         // After amplification our own ready counts as the third — delivery happens.
         assert_eq!(d2, vec![(NodeId(2), 0, 5)]);
     }
@@ -364,22 +405,52 @@ mod tests {
         // or at most one of them can — never both.
         let mut net = Net::new(4);
         // Hand-deliver conflicting inits.
-        net.deliver(0, 1, RbMsg::Init { origin: NodeId(0), tag: 0, value: 1 }, &[]);
-        net.deliver(0, 2, RbMsg::Init { origin: NodeId(0), tag: 0, value: 2 }, &[]);
-        net.deliver(0, 3, RbMsg::Init { origin: NodeId(0), tag: 0, value: 1 }, &[]);
-        let values_delivered: HashSet<Payload> = net
-            .delivered
-            .iter()
-            .flatten()
-            .map(|(_, _, v)| *v)
-            .collect();
-        assert!(values_delivered.len() <= 1, "agreement violated: {values_delivered:?}");
+        net.deliver(
+            0,
+            1,
+            RbMsg::Init {
+                origin: NodeId(0),
+                tag: 0,
+                value: 1,
+            },
+            &[],
+        );
+        net.deliver(
+            0,
+            2,
+            RbMsg::Init {
+                origin: NodeId(0),
+                tag: 0,
+                value: 2,
+            },
+            &[],
+        );
+        net.deliver(
+            0,
+            3,
+            RbMsg::Init {
+                origin: NodeId(0),
+                tag: 0,
+                value: 1,
+            },
+            &[],
+        );
+        let values_delivered: HashSet<Payload> =
+            net.delivered.iter().flatten().map(|(_, _, v)| *v).collect();
+        assert!(
+            values_delivered.len() <= 1,
+            "agreement violated: {values_delivered:?}"
+        );
         assert!(!values_delivered.contains(&2));
     }
 
     #[test]
     fn wire_size_accounts_for_payload() {
-        let m = RbMsg::Init { origin: NodeId(0), tag: 0, value: 7u64 };
+        let m = RbMsg::Init {
+            origin: NodeId(0),
+            tag: 0,
+            value: 7u64,
+        };
         assert_eq!(m.wire_size(), 4 + 8 + 1 + 8);
     }
 }

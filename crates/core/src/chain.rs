@@ -160,7 +160,11 @@ impl Chain {
                 ),
             });
         }
-        if !crypto.verify(header.proposer, &header.canonical_bytes(), &signed.signature) {
+        if !crypto.verify(
+            header.proposer,
+            &header.canonical_bytes(),
+            &signed.signature,
+        ) {
             return Err(Error::InvalidSignature {
                 signer: header.proposer,
                 context: format!("header at {}", header.round),
@@ -273,7 +277,11 @@ impl Chain {
                     reason: format!("broken hash chain at {}", header.round),
                 });
             }
-            if !crypto.verify(header.proposer, &header.canonical_bytes(), &signed.signature) {
+            if !crypto.verify(
+                header.proposer,
+                &header.canonical_bytes(),
+                &signed.signature,
+            ) {
                 return Err(Error::InvalidVersion {
                     from: header.proposer,
                     reason: format!("bad signature at {}", header.round),
@@ -282,8 +290,8 @@ impl Chain {
             // Every f+1 consecutive blocks must come from f+1 distinct
             // proposers (Lemma 5.3.2).
             let start = i.saturating_sub(window - 1);
-            for j in start..i {
-                if version[j].proposer() == header.proposer {
+            for earlier in &version[start..i] {
+                if earlier.proposer() == header.proposer {
                     return Err(Error::InvalidVersion {
                         from: header.proposer,
                         reason: format!(
@@ -372,7 +380,12 @@ mod tests {
     fn grow(chain: &mut Chain, crypto: &dyn CryptoProvider, rounds: usize, n: usize) {
         for i in 0..rounds {
             let proposer = NodeId((chain.next_round().0 as usize % n) as u32);
-            let (signed, block) = make_block(chain, proposer, vec![Transaction::zeroed(0, i as u64, 64)], crypto);
+            let (signed, block) = make_block(
+                chain,
+                proposer,
+                vec![Transaction::zeroed(0, i as u64, 64)],
+                crypto,
+            );
             chain.validate_extension(&signed, crypto).unwrap();
             chain.append(signed, Some(block));
             chain.finalize_deep_blocks();
@@ -462,16 +475,32 @@ mod tests {
         assert_eq!(chain.missing_bodies(), vec![Round(0)]);
 
         // Mismatching body is rejected.
-        let (_, other) = make_block(&chain, NodeId(1), vec![Transaction::zeroed(9, 9, 4)], &crypto);
+        let (_, other) = make_block(
+            &chain,
+            NodeId(1),
+            vec![Transaction::zeroed(9, 9, 4)],
+            &crypto,
+        );
         assert!(!chain.attach_body(Round(0), other));
 
         assert!(chain.attach_body(Round(0), block));
         assert!(chain.get(Round(0)).unwrap().body.is_some());
         assert!(chain.missing_bodies().is_empty());
-        assert!(!chain.attach_body(Round(5), Block::new(
-            BlockHeader::new(Round(5), WorkerId(0), NodeId(0), GENESIS_HASH, GENESIS_HASH, 0, 0),
-            vec![],
-        )));
+        assert!(!chain.attach_body(
+            Round(5),
+            Block::new(
+                BlockHeader::new(
+                    Round(5),
+                    WorkerId(0),
+                    NodeId(0),
+                    GENESIS_HASH,
+                    GENESIS_HASH,
+                    0,
+                    0
+                ),
+                vec![],
+            )
+        ));
     }
 
     #[test]
@@ -548,7 +577,9 @@ mod tests {
         let err = chain.adopt_version(Round(3), Vec::new());
         assert!(matches!(err, Err(Error::InvalidState(_))));
         // Adopting at the boundary is allowed.
-        assert!(chain.adopt_version(Round(8), chain.version_from(Round(8))).is_ok());
+        assert!(chain
+            .adopt_version(Round(8), chain.version_from(Round(8)))
+            .is_ok());
         assert_eq!(chain.len(), 10);
     }
 }

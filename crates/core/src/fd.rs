@@ -62,7 +62,10 @@ impl FailureDetector {
         }
         let total = self.waited.entry(node).or_insert(Duration::ZERO);
         *total += duration;
-        if *total >= self.threshold && !self.suspected.contains(&node) && self.suspected.len() < self.capacity {
+        if *total >= self.threshold
+            && !self.suspected.contains(&node)
+            && self.suspected.len() < self.capacity
+        {
             self.suspected.push(node);
         }
     }

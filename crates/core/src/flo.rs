@@ -25,10 +25,6 @@ use fireledger_types::{
 };
 use std::collections::VecDeque;
 
-/// Bits of the timer sequence reserved for the worker index.
-const WORKER_SHIFT: u64 = 48;
-const SEQ_MASK: u64 = (1 << WORKER_SHIFT) - 1;
-
 /// A FLO node: ω FireLedger workers plus the client manager and the
 /// round-robin delivery merge.
 pub struct FloNode {
@@ -98,16 +94,16 @@ impl FloNode {
         &self.params
     }
 
+    /// Tags a worker's timer with its instance index. The worker occupies a
+    /// dedicated 8-bit field of [`TimerId`], disjoint from both the kind tag
+    /// and the 48-bit sequence, so remapping can never alias another worker's
+    /// (or kind's) timer; `ProtocolParams::with_workers` caps ω accordingly.
     fn wrap_timer(worker: usize, id: TimerId) -> TimerId {
-        let (kind, seq) = id.decompose();
-        debug_assert!(seq <= SEQ_MASK, "worker timer sequence overflows FLO remapping");
-        TimerId::compose(kind, ((worker as u64) << WORKER_SHIFT) | (seq & SEQ_MASK))
+        id.with_worker(WorkerId(worker as u32))
     }
 
     fn unwrap_timer(id: TimerId) -> (usize, TimerId) {
-        let (kind, seq) = id.decompose();
-        let worker = (seq >> WORKER_SHIFT) as usize;
-        (worker, TimerId::compose(kind, seq & SEQ_MASK))
+        (id.worker().as_usize(), id.without_worker())
     }
 
     /// Lifts a worker's outbox into FLO-level actions: messages are tagged
@@ -117,8 +113,17 @@ impl FloNode {
         let tag = WorkerId(worker as u32);
         for action in sub.into_actions() {
             match action {
-                Action::Send { to, msg } => out.send(to, FloMsg { worker: tag, inner: msg }),
-                Action::Broadcast { msg } => out.broadcast(FloMsg { worker: tag, inner: msg }),
+                Action::Send { to, msg } => out.send(
+                    to,
+                    FloMsg {
+                        worker: tag,
+                        inner: msg,
+                    },
+                ),
+                Action::Broadcast { msg } => out.broadcast(FloMsg {
+                    worker: tag,
+                    inner: msg,
+                }),
                 Action::SetTimer { id, delay } => {
                     out.set_timer(Self::wrap_timer(worker, id), delay)
                 }
@@ -224,7 +229,14 @@ mod tests {
             .with_base_timeout(Duration::from_millis(20));
         let crypto: SharedCrypto = SimKeyStore::generate(n, 11).shared();
         (0..n)
-            .map(|i| FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), Arc::new(AcceptAll)))
+            .map(|i| {
+                FloNode::new(
+                    NodeId(i as u32),
+                    params.clone(),
+                    crypto.clone(),
+                    Arc::new(AcceptAll),
+                )
+            })
             .collect()
     }
 
@@ -259,8 +271,16 @@ mod tests {
         let deliveries = sim.deliveries(NodeId(1));
         assert!(deliveries.len() >= 6);
         for (i, d) in deliveries.iter().enumerate() {
-            assert_eq!(d.worker, WorkerId((i % 3) as u32), "delivery {i} out of worker order");
-            assert_eq!(d.round, Round((i / 3) as u64), "delivery {i} out of round order");
+            assert_eq!(
+                d.worker,
+                WorkerId((i % 3) as u32),
+                "delivery {i} out of worker order"
+            );
+            assert_eq!(
+                d.round,
+                Round((i / 3) as u64),
+                "delivery {i} out of round order"
+            );
         }
     }
 
@@ -285,7 +305,9 @@ mod tests {
 
     #[test]
     fn client_manager_routes_to_least_loaded_worker() {
-        let params = ProtocolParams::new(4).with_workers(3).with_fill_blocks(false);
+        let params = ProtocolParams::new(4)
+            .with_workers(3)
+            .with_fill_blocks(false);
         let crypto: SharedCrypto = SimKeyStore::generate(4, 1).shared();
         let mut node = FloNode::new(NodeId(0), params, crypto, Arc::new(AcceptAll));
         let mut out = Outbox::new();

@@ -25,21 +25,32 @@
 //! * [`messages`] — the wire protocol;
 //! * [`byzantine`] — scripted Byzantine node variants used by the evaluation.
 //!
+//! This crate holds *protocol semantics only*: every type here is a sans-IO
+//! state machine implementing [`fireledger_types::Protocol`]. Assembling a
+//! cluster, choosing a topology and workload, and driving the nodes on a
+//! runtime (deterministic simulator or real threads) is the job of the
+//! `fireledger-runtime` facade crate — experiments, examples and tests all go
+//! through its `ClusterBuilder` / `Scenario` / `Runtime` surface.
+//!
 //! ## Quick start
 //!
 //! ```
-//! use fireledger::prelude::*;
-//! use fireledger_sim::{SimConfig, Simulation};
+//! use fireledger_runtime::prelude::*;
 //! use std::time::Duration;
 //!
-//! // A 4-node cluster, one worker each, 10-transaction blocks.
+//! // A 4-node FLO cluster, one worker each, 10-transaction blocks ...
 //! let params = ProtocolParams::new(4).with_batch_size(10).with_tx_size(256);
-//! let nodes = build_cluster(&params, 42);
-//! let mut sim = Simulation::new(SimConfig::single_dc(), nodes);
-//! sim.run_for(Duration::from_secs(1));
+//! let cluster = ClusterBuilder::<FloCluster>::new(params).with_seed(42);
+//!
+//! // ... driven for one simulated second on the single-DC network model.
+//! let scenario = Scenario::new("quickstart")
+//!     .single_dc()
+//!     .run_for(Duration::from_secs(1));
+//! let report = Simulator.run(&cluster, &scenario).unwrap();
 //!
 //! // Every node delivered the same totally-ordered prefix of full blocks.
-//! assert!(!sim.deliveries(NodeId(0)).is_empty());
+//! assert!(report.tps > 0.0);
+//! assert!(report.per_node.iter().all(|n| n.blocks > 0));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -67,52 +78,42 @@ pub use txpool::TxPool;
 pub use validity::{AcceptAll, PredicateFn, SharedValidity, StructuralLimits, ValidityPredicate};
 pub use worker::Worker;
 
-use fireledger_crypto::{SharedCrypto, SimKeyStore};
-use fireledger_types::{NodeId, ProtocolParams};
-use std::sync::Arc;
-
 /// Commonly used types, re-exported for `use fireledger::prelude::*`.
 pub mod prelude {
-    pub use crate::{
-        build_cluster, build_cluster_with, AcceptAll, ClusterNode, FloNode, ValidityPredicate,
-        Worker,
-    };
+    pub use crate::{AcceptAll, ClusterNode, FloNode, ValidityPredicate, Worker};
     pub use fireledger_types::{
         Block, BlockHeader, ClusterConfig, Delivery, NodeId, ProtocolParams, Round, SignedHeader,
         Transaction, WorkerId,
     };
 }
 
-/// Builds an `n`-node FLO cluster with simulated (cheap) signatures and the
-/// accept-all validity predicate — the configuration used by most experiments
-/// and examples. Keys are derived deterministically from `seed`.
-pub fn build_cluster(params: &ProtocolParams, seed: u64) -> Vec<FloNode> {
-    let crypto: SharedCrypto = SimKeyStore::generate(params.n(), seed).shared();
-    build_cluster_with(params, crypto, Arc::new(AcceptAll))
-}
-
-/// Builds an `n`-node FLO cluster with an explicit crypto provider and
-/// validity predicate.
-pub fn build_cluster_with(
-    params: &ProtocolParams,
-    crypto: SharedCrypto,
-    validity: SharedValidity,
-) -> Vec<FloNode> {
-    (0..params.n())
-        .map(|i| FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), validity.clone()))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fireledger_crypto::{SharedCrypto, SimKeyStore};
     use fireledger_sim::{SimConfig, Simulation};
+    use fireledger_types::{NodeId, ProtocolParams};
+    use std::sync::Arc;
     use std::time::Duration;
 
+    fn cluster(params: &ProtocolParams, seed: u64) -> Vec<FloNode> {
+        let crypto: SharedCrypto = SimKeyStore::generate(params.n(), seed).shared();
+        (0..params.n())
+            .map(|i| {
+                FloNode::new(
+                    NodeId(i as u32),
+                    params.clone(),
+                    crypto.clone(),
+                    Arc::new(AcceptAll),
+                )
+            })
+            .collect()
+    }
+
     #[test]
-    fn build_cluster_produces_n_distinct_nodes() {
+    fn flo_nodes_share_one_key_directory() {
         let params = ProtocolParams::new(7).with_workers(2);
-        let nodes = build_cluster(&params, 1);
+        let nodes = cluster(&params, 1);
         assert_eq!(nodes.len(), 7);
         for (i, node) in nodes.iter().enumerate() {
             assert_eq!(node.node(), NodeId(i as u32));
@@ -121,12 +122,12 @@ mod tests {
     }
 
     #[test]
-    fn quickstart_doc_example_runs() {
+    fn minimal_cluster_decides_blocks() {
         let params = ProtocolParams::new(4)
             .with_batch_size(10)
             .with_tx_size(256)
             .with_base_timeout(Duration::from_millis(20));
-        let nodes = build_cluster(&params, 42);
+        let nodes = cluster(&params, 42);
         let mut sim = Simulation::new(SimConfig::ideal(), nodes);
         sim.run_for(Duration::from_millis(500));
         assert!(!sim.deliveries(NodeId(0)).is_empty());

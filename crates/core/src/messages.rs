@@ -198,7 +198,10 @@ mod tests {
             vote: true,
             piggyback: None,
         };
-        assert!(vote.wire_size() < 20, "optimistic votes must stay near a single bit of protocol data");
+        assert!(
+            vote.wire_size() < 20,
+            "optimistic votes must stay near a single bit of protocol data"
+        );
     }
 
     #[test]
@@ -215,7 +218,10 @@ mod tests {
             vote: true,
             piggyback: Some(signed_header()),
         };
-        assert_eq!(piggy.wire_size() - plain.wire_size(), signed_header().wire_size());
+        assert_eq!(
+            piggy.wire_size() - plain.wire_size(),
+            signed_header().wire_size()
+        );
     }
 
     #[test]

@@ -14,10 +14,7 @@
 //!   for the paper's VRF), so Byzantine nodes cannot park themselves on
 //!   consecutive positions forever.
 
-use fireledger_types::{ClusterConfig, Hash, NodeId, Round};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
+use fireledger_types::{ClusterConfig, DetRng, Hash, NodeId, Round};
 use std::collections::HashMap;
 
 /// The outcome of selecting the proposer for a round.
@@ -129,11 +126,9 @@ impl ProposerRotation {
     /// correct nodes call this with the same entropy and therefore derive the
     /// same order.
     pub fn reshuffle(&mut self, entropy: &Hash) {
-        let mut seed = [0u8; 32];
-        seed.copy_from_slice(entropy.as_bytes());
-        let mut rng = ChaCha20Rng::from_seed(seed);
+        let mut rng = DetRng::from_seed_bytes(entropy.as_bytes());
         self.order = self.cluster.nodes().collect();
-        self.order.shuffle(&mut rng);
+        rng.shuffle(&mut self.order);
     }
 }
 
@@ -196,7 +191,10 @@ mod tests {
         let mut proposer = r.initial();
         for round in 0..50u64 {
             let choice = r.select(proposer, Round(round));
-            assert!(choice.skipped.is_empty(), "unexpected skip at round {round}");
+            assert!(
+                choice.skipped.is_empty(),
+                "unexpected skip at round {round}"
+            );
             r.record_decided(choice.proposer, Round(round));
             proposer = r.successor(choice.proposer);
         }

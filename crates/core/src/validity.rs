@@ -57,7 +57,10 @@ pub struct StructuralLimits {
 impl ValidityPredicate for StructuralLimits {
     fn is_valid(&self, _header: &BlockHeader, body: &Block) -> bool {
         body.txs.len() <= self.max_txs
-            && body.txs.iter().all(|t| t.payload.len() <= self.max_tx_bytes)
+            && body
+                .txs
+                .iter()
+                .all(|t| t.payload.len() <= self.max_tx_bytes)
     }
     fn name(&self) -> &str {
         "structural-limits"
@@ -134,8 +137,11 @@ mod tests {
 
     #[test]
     fn closure_predicate_works() {
-        let p = PredicateFn(|_: &BlockHeader, b: &Block| b.txs.len() % 2 == 0);
-        let (h, b) = block(vec![Transaction::zeroed(0, 0, 1), Transaction::zeroed(0, 1, 1)]);
+        let p = PredicateFn(|_: &BlockHeader, b: &Block| b.txs.len().is_multiple_of(2));
+        let (h, b) = block(vec![
+            Transaction::zeroed(0, 0, 1),
+            Transaction::zeroed(0, 1, 1),
+        ]);
         assert!(p.is_valid(&h, &b));
         let (h1, b1) = block(vec![Transaction::zeroed(0, 0, 1)]);
         assert!(!p.is_valid(&h1, &b1));

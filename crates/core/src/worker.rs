@@ -47,6 +47,9 @@ use fireledger_types::{
 };
 use std::collections::{HashMap, HashSet};
 
+/// One recorded fallback vote: `(voter, vote, evidence)`.
+type FallbackVoteEntry = (NodeId, bool, Option<SignedHeader>);
+
 /// Timer kind used for the per-round WRB delivery timeout.
 const TIMER_ROUND: u8 = 1;
 /// Timer kind handed to the embedded PBFT instance.
@@ -101,7 +104,7 @@ pub struct Worker {
     /// hashing cost charged) already.
     validated_bodies: HashSet<Hash>,
     votes: HashMap<(Round, NodeId), AttemptVotes>,
-    fallback_votes: HashMap<(Round, NodeId), Vec<(NodeId, bool, Option<SignedHeader>)>>,
+    fallback_votes: HashMap<(Round, NodeId), Vec<FallbackVoteEntry>>,
     fallback_submitted: HashSet<(Round, NodeId)>,
     attempt_resolved: HashSet<(Round, NodeId)>,
     /// Attempt decided "deliver" but still missing the header or the body.
@@ -512,7 +515,11 @@ impl Worker {
 
         // Chain validation (Algorithm 2, line b4): the signature was already
         // checked at reception; what can still fail is the hash link.
-        if self.chain.validate_extension(&signed, self.crypto.as_ref()).is_err() {
+        if self
+            .chain
+            .validate_extension(&signed, self.crypto.as_ref())
+            .is_err()
+        {
             self.panic_and_recover(signed, out);
             return;
         }
@@ -727,12 +734,17 @@ impl Worker {
             .unwrap_or_default();
         let adopted_len = adopted.len();
 
-        if self.chain.next_round() >= state.base && adopted_len > 0 {
-            if self.chain.adopt_version(state.base, adopted.clone()).is_ok() {
-                // Refresh rotation bookkeeping for the adopted suffix.
-                for signed in &adopted {
-                    self.rotation.record_decided(signed.proposer(), signed.round());
-                }
+        if self.chain.next_round() >= state.base
+            && adopted_len > 0
+            && self
+                .chain
+                .adopt_version(state.base, adopted.clone())
+                .is_ok()
+        {
+            // Refresh rotation bookkeeping for the adopted suffix.
+            for signed in &adopted {
+                self.rotation
+                    .record_decided(signed.proposer(), signed.round());
             }
         }
 
@@ -786,10 +798,11 @@ impl Worker {
             return;
         }
         out.cpu(CpuCharge::verify(0));
-        if !self
-            .crypto
-            .verify(header.proposer, &header.canonical_bytes(), &signed.signature)
-        {
+        if !self.crypto.verify(
+            header.proposer,
+            &header.canonical_bytes(),
+            &signed.signature,
+        ) {
             return;
         }
         self.headers.insert(key, signed);
@@ -885,7 +898,7 @@ impl Worker {
             &proof.conflicting.header.canonical_bytes(),
             &proof.conflicting.signature,
         );
-        let parent_ok = proof.local_parent.as_ref().map_or(true, |p| {
+        let parent_ok = proof.local_parent.as_ref().is_none_or(|p| {
             self.crypto
                 .verify(p.proposer(), &p.header.canonical_bytes(), &p.signature)
         });
@@ -1066,7 +1079,10 @@ mod tests {
         let mut sim = Simulation::new(SimConfig::ideal(), cluster(4, 10));
         sim.run_for(Duration::from_millis(500));
         let len0 = sim.node(NodeId(0)).chain().len();
-        assert!(len0 > 10, "chain should grow well beyond 10 blocks, got {len0}");
+        assert!(
+            len0 > 10,
+            "chain should grow well beyond 10 blocks, got {len0}"
+        );
         // All nodes agree on the definite prefix.
         let reference: Vec<_> = sim
             .node(NodeId(0))
@@ -1089,7 +1105,10 @@ mod tests {
         }
         // No recovery and no fallback in the fault-free run.
         let s = sim.summary();
-        assert_eq!(s.fallbacks, 0, "no fallback expected in the optimistic case");
+        assert_eq!(
+            s.fallbacks, 0,
+            "no fallback expected in the optimistic case"
+        );
         assert!(s.recoveries_per_sec == 0.0);
     }
 
@@ -1126,8 +1145,7 @@ mod tests {
         use fireledger_sim::adversary::CrashSchedule;
         use fireledger_sim::SimTime;
         let adv = CrashSchedule::new().crash(NodeId(3), SimTime::ZERO);
-        let mut sim =
-            Simulation::with_adversary(SimConfig::ideal(), cluster(4, 5), Box::new(adv));
+        let mut sim = Simulation::with_adversary(SimConfig::ideal(), cluster(4, 5), Box::new(adv));
         sim.run_for(Duration::from_secs(2));
         let chain = sim.node(NodeId(0)).chain();
         assert!(

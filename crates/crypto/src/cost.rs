@@ -13,11 +13,10 @@
 //! [`CostModel::calibrate`] measures the actual cost of this crate's ECDSA /
 //! SHA-256 implementations on the local machine for the real-time runtime.
 
-use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Per-operation CPU costs of the cryptographic primitives.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
     /// Cost of one ECDSA signature over an already-hashed message (the
     /// constant `C` of §7.1).
@@ -73,34 +72,30 @@ impl CostModel {
         self
     }
 
-    /// Measures the real cost of this workspace's ECDSA (k256) and SHA-256
-    /// (sha2) implementations on the local machine. `iters` controls how many
-    /// operations are timed; a few hundred gives a stable estimate in well
-    /// under a second.
+    /// Measures the real cost of this workspace's signature
+    /// ([`crate::LamportKeyStore`]) and SHA-256 implementations on the local
+    /// machine. `iters` controls how many operations are timed; a few hundred
+    /// gives a stable estimate in well under a second.
     pub fn calibrate(iters: usize, cores: usize) -> Self {
-        use k256::ecdsa::signature::{Signer, Verifier};
-        use k256::ecdsa::{Signature as EcdsaSignature, SigningKey};
-        use rand::SeedableRng;
-        use rand_chacha::ChaCha20Rng;
-        use sha2::{Digest, Sha256};
+        use crate::keys::{CryptoProvider, LamportKeyStore};
+        use crate::sha256::Sha256;
+        use fireledger_types::NodeId;
 
         let iters = iters.max(8);
-        let mut rng = ChaCha20Rng::seed_from_u64(0xF1E7);
-        let key = SigningKey::random(&mut rng);
-        let vk = *key.verifying_key();
+        let store = LamportKeyStore::generate(1, 0xF1E7);
         let msg = [0xabu8; 64];
 
         let start = Instant::now();
-        let mut last: Option<EcdsaSignature> = None;
+        let mut last = None;
         for _ in 0..iters {
-            last = Some(key.sign(&msg));
+            last = Some(store.sign(NodeId(0), &msg));
         }
         let sign = start.elapsed() / iters as u32;
 
         let sig = last.unwrap();
         let start = Instant::now();
         for _ in 0..iters {
-            let _ = vk.verify(&msg, &sig);
+            let _ = store.verify(NodeId(0), &msg, &sig);
         }
         let verify = start.elapsed() / iters as u32;
 
@@ -124,7 +119,8 @@ impl CostModel {
 
     /// Time to hash `bytes` bytes.
     pub fn hash_time(&self, bytes: u64) -> Duration {
-        self.hash_per_byte.saturating_mul(bytes.min(u32::MAX as u64) as u32)
+        self.hash_per_byte
+            .saturating_mul(bytes.min(u32::MAX as u64) as u32)
     }
 
     /// Time to sign a block of `payload_bytes` (hash the payload, then one

@@ -4,15 +4,12 @@
 //! of its payload; these helpers compute those digests over the canonical byte
 //! encodings defined in `fireledger-types`.
 
+use crate::sha256::Sha256;
 use fireledger_types::{BlockHeader, Hash, Transaction};
-use sha2::{Digest, Sha256};
 
 /// Hashes an arbitrary byte slice with SHA-256.
 pub fn hash_bytes(bytes: &[u8]) -> Hash {
-    let digest = Sha256::digest(bytes);
-    let mut out = [0u8; 32];
-    out.copy_from_slice(&digest);
-    Hash::from_bytes(out)
+    Hash::from_bytes(Sha256::digest(bytes))
 }
 
 /// Hashes the concatenation of two digests (used for merkle inner nodes and
@@ -21,10 +18,7 @@ pub fn hash_concat(a: &Hash, b: &Hash) -> Hash {
     let mut hasher = Sha256::new();
     hasher.update(a.as_bytes());
     hasher.update(b.as_bytes());
-    let digest = hasher.finalize();
-    let mut out = [0u8; 32];
-    out.copy_from_slice(&digest);
-    Hash::from_bytes(out)
+    Hash::from_bytes(hasher.finalize())
 }
 
 /// Hashes a block header's canonical encoding. This is the value the *next*
@@ -39,10 +33,7 @@ pub fn hash_transaction(tx: &Transaction) -> Hash {
     hasher.update(tx.client.to_be_bytes());
     hasher.update(tx.seq.to_be_bytes());
     hasher.update(&tx.payload);
-    let digest = hasher.finalize();
-    let mut out = [0u8; 32];
-    out.copy_from_slice(&digest);
-    Hash::from_bytes(out)
+    Hash::from_bytes(hasher.finalize())
 }
 
 #[cfg(test)]

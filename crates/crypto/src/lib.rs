@@ -1,17 +1,17 @@
 //! # fireledger-crypto
 //!
-//! Hashing, merkle trees, ECDSA (secp256k1) signatures, a key directory, and a
-//! calibrated CPU cost model for the FireLedger workspace.
+//! Hashing, merkle trees, signatures, a key directory, and a calibrated CPU
+//! cost model for the FireLedger workspace.
 //!
 //! The paper signs block headers with ECDSA over the secp256k1 curve and
-//! hashes every transaction of a block before signing (§7.1). This crate
-//! reproduces that pipeline with the `k256` and `sha2` crates, and also offers
-//! a cheap *simulated* signature scheme for large discrete-event simulations
-//! in which paying real asymmetric-crypto CPU time for thousands of simulated
-//! nodes would make experiments needlessly slow. The cost of the real
-//! operations is captured by [`CostModel`], which the simulator uses to charge
-//! virtual CPU time, so switching to simulated signatures does not change the
-//! *modelled* performance.
+//! hashes every transaction of a block before signing (§7.1). This workspace
+//! builds offline from the standard library alone, so the pipeline is
+//! reproduced with a self-contained SHA-256 ([`sha256::Sha256`]) and a real
+//! public-key hash-based signature scheme ([`LamportKeyStore`]); a cheap
+//! *simulated* MAC scheme ([`SimKeyStore`]) keeps large discrete-event
+//! simulations fast. The cost of the paper's ECDSA operations is captured by
+//! [`CostModel`], which the simulator uses to charge virtual CPU time, so the
+//! scheme substitution does not change the *modelled* performance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,8 +20,9 @@ pub mod cost;
 pub mod hash;
 pub mod keys;
 pub mod merkle;
+pub mod sha256;
 
 pub use cost::CostModel;
 pub use hash::{hash_bytes, hash_concat, hash_header, hash_transaction};
-pub use keys::{CryptoProvider, EcdsaKeyStore, SharedCrypto, SimKeyStore};
+pub use keys::{CryptoProvider, LamportKeyStore, SharedCrypto, SimKeyStore};
 pub use merkle::{merkle_root, MerkleTree};

@@ -50,7 +50,7 @@ impl MerkleTree {
         levels.push(leaves);
         while levels.last().unwrap().len() > 1 {
             let prev = levels.last().unwrap();
-            let mut next = Vec::with_capacity((prev.len() + 1) / 2);
+            let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {
                 if pair.len() == 2 {
                     next.push(hash_concat(&pair[0], &pair[1]));
@@ -92,9 +92,13 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut idx = index;
         for level in &self.levels[..self.levels.len() - 1] {
-            let sibling = if idx % 2 == 0 { idx + 1 } else { idx - 1 };
+            let sibling = if idx.is_multiple_of(2) {
+                idx + 1
+            } else {
+                idx - 1
+            };
             if sibling < level.len() {
-                path.push((level[sibling], idx % 2 == 0));
+                path.push((level[sibling], idx.is_multiple_of(2)));
             }
             idx /= 2;
         }

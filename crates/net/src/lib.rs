@@ -1,9 +1,9 @@
 //! # fireledger-net
 //!
 //! A threaded, real-time in-process runtime for the same
-//! [`Protocol`](fireledger_types::Protocol) state machines the discrete-event
+//! [`fireledger_types::Protocol`] state machines the discrete-event
 //! simulator drives. Each node runs on its own OS thread; messages travel
-//! over crossbeam channels (reliable, FIFO — the paper's link model) and
+//! over std `mpsc` channels (reliable, FIFO — the paper's link model) and
 //! timers use real wall-clock deadlines.
 //!
 //! The runtime exists to demonstrate that the protocol implementations are
@@ -15,11 +15,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use fireledger_types::{Action, Delivery, NodeId, Outbox, Protocol, TimerId, Transaction};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,6 +35,7 @@ pub struct ThreadedCluster<M> {
     senders: Vec<Sender<NodeEvent<M>>>,
     handles: Vec<JoinHandle<()>>,
     deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
+    crashed: Arc<Vec<AtomicBool>>,
 }
 
 impl<M> ThreadedCluster<M>
@@ -50,23 +51,27 @@ where
         let mut senders = Vec::with_capacity(n);
         let mut receivers: Vec<Receiver<NodeEvent<M>>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
         let deliveries = Arc::new(Mutex::new(vec![Vec::new(); n]));
+        let crashed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
         let mut handles = Vec::with_capacity(n);
         for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
             let peers = senders.clone();
             let deliveries = deliveries.clone();
+            let crashed = crashed.clone();
             handles.push(std::thread::spawn(move || {
-                run_node(&mut node, NodeId(i as u32), rx, peers, deliveries);
+                run_node(&mut node, NodeId(i as u32), rx, peers, deliveries, crashed);
             }));
         }
         ThreadedCluster {
             senders,
             handles,
             deliveries,
+            crashed,
         }
     }
 
@@ -75,9 +80,30 @@ where
         let _ = self.senders[node.as_usize()].send(NodeEvent::Transaction(tx));
     }
 
+    /// Crashes `node`: a flag the node's thread checks before every event
+    /// makes it stop promptly — it does not drain its message backlog first —
+    /// and its peers' subsequent sends to it disappear (a benign crash fault,
+    /// the shape of the paper's §7.4.1 experiment). The thread notices the
+    /// flag within its timer poll interval (≤ ~10 ms). Idempotent.
+    pub fn crash(&self, node: NodeId) {
+        self.crashed[node.as_usize()].store(true, Ordering::SeqCst);
+        // Also wake the thread in case it is parked in recv_timeout.
+        let _ = self.senders[node.as_usize()].send(NodeEvent::Shutdown);
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// True when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
     /// Blocks delivered so far at `node` (a snapshot).
     pub fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
-        self.deliveries.lock()[node.as_usize()].clone()
+        self.deliveries.lock().expect("deliveries lock")[node.as_usize()].clone()
     }
 
     /// Stops all node threads and returns the final per-node deliveries.
@@ -89,8 +115,8 @@ where
             let _ = h.join();
         }
         Arc::try_unwrap(self.deliveries)
-            .map(|m| m.into_inner())
-            .unwrap_or_else(|arc| arc.lock().clone())
+            .map(|m| m.into_inner().expect("deliveries lock"))
+            .unwrap_or_else(|arc| arc.lock().expect("deliveries lock").clone())
     }
 }
 
@@ -100,6 +126,7 @@ fn run_node<P>(
     rx: Receiver<NodeEvent<P::Msg>>,
     peers: Vec<Sender<NodeEvent<P::Msg>>>,
     deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
+    crashed: Arc<Vec<AtomicBool>>,
 ) where
     P: Protocol,
     P::Msg: Clone + Send + 'static,
@@ -110,6 +137,11 @@ fn run_node<P>(
     apply(me, &mut out, &peers, &mut timers, &deliveries);
 
     loop {
+        // A crash flag beats everything in the queue: a crashed node must not
+        // drain its backlog before going silent.
+        if crashed[me.as_usize()].load(Ordering::SeqCst) {
+            return;
+        }
         // Fire any due timers.
         let now = Instant::now();
         let due: Vec<TimerId> = timers
@@ -129,19 +161,28 @@ fn run_node<P>(
             .map(|d| d.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(10));
         match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
-            Ok(NodeEvent::Message { from, msg }) => {
-                let mut out = Outbox::new();
-                node.on_message(from, msg, &mut out);
-                apply(me, &mut out, &peers, &mut timers, &deliveries);
+            Ok(event) => {
+                // Re-check after every dequeue: a crash that lands while the
+                // thread is parked must beat the event it woke up for.
+                if crashed[me.as_usize()].load(Ordering::SeqCst) {
+                    return;
+                }
+                match event {
+                    NodeEvent::Message { from, msg } => {
+                        let mut out = Outbox::new();
+                        node.on_message(from, msg, &mut out);
+                        apply(me, &mut out, &peers, &mut timers, &deliveries);
+                    }
+                    NodeEvent::Transaction(tx) => {
+                        let mut out = Outbox::new();
+                        node.on_transaction(tx, &mut out);
+                        apply(me, &mut out, &peers, &mut timers, &deliveries);
+                    }
+                    NodeEvent::Shutdown => return,
+                }
             }
-            Ok(NodeEvent::Transaction(tx)) => {
-                let mut out = Outbox::new();
-                node.on_transaction(tx, &mut out);
-                apply(me, &mut out, &peers, &mut timers, &deliveries);
-            }
-            Ok(NodeEvent::Shutdown) => return,
-            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
-            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -177,7 +218,7 @@ fn apply<M: Clone>(
                 timers.remove(&id);
             }
             Action::Deliver(d) => {
-                deliveries.lock()[me.as_usize()].push(d);
+                deliveries.lock().expect("deliveries lock")[me.as_usize()].push(d);
             }
             // Real time: the CPU cost is paid by actually executing the
             // crypto; observations are only collected by the simulator.
@@ -237,14 +278,25 @@ mod tests {
 
     #[test]
     fn threaded_cluster_routes_messages_and_timers() {
-        let nodes: Vec<Echo> = (0..4).map(|i| Echo { me: NodeId(i), n: 4 }).collect();
+        let nodes: Vec<Echo> = (0..4)
+            .map(|i| Echo {
+                me: NodeId(i),
+                n: 4,
+            })
+            .collect();
         let cluster = ThreadedCluster::spawn(nodes);
         std::thread::sleep(Duration::from_millis(80));
         let deliveries = cluster.shutdown();
-        for i in 1..4 {
-            let rounds: Vec<u64> = deliveries[i].iter().map(|d| d.round.0).collect();
-            assert!(rounds.contains(&7), "node {i} missed the broadcast: {rounds:?}");
-            assert!(rounds.contains(&8), "node {i} missed the timer broadcast: {rounds:?}");
+        for (i, delivered) in deliveries.iter().enumerate().skip(1) {
+            let rounds: Vec<u64> = delivered.iter().map(|d| d.round.0).collect();
+            assert!(
+                rounds.contains(&7),
+                "node {i} missed the broadcast: {rounds:?}"
+            );
+            assert!(
+                rounds.contains(&8),
+                "node {i} missed the timer broadcast: {rounds:?}"
+            );
         }
     }
 
@@ -271,5 +323,59 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // No panic and clean shutdown is the contract here.
         let _ = cluster.shutdown();
+    }
+
+    #[test]
+    fn crashed_node_stops_despite_a_queued_backlog() {
+        // A crashed node must not drain events that arrive after the crash
+        // flag is set, even though its inbox holds work.
+        struct TxDeliver {
+            me: NodeId,
+        }
+        impl Protocol for TxDeliver {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _f: NodeId, _m: u64, _o: &mut Outbox<u64>) {}
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
+                out.deliver(Delivery {
+                    worker: fireledger_types::WorkerId(0),
+                    round: Round(tx.seq),
+                    proposer: self.me,
+                    block: fireledger_types::Block::new(
+                        fireledger_types::BlockHeader::new(
+                            Round(tx.seq),
+                            fireledger_types::WorkerId(0),
+                            self.me,
+                            fireledger_types::GENESIS_HASH,
+                            fireledger_types::GENESIS_HASH,
+                            0,
+                            0,
+                        ),
+                        vec![],
+                    ),
+                });
+            }
+        }
+        let nodes: Vec<TxDeliver> = (0..2).map(|i| TxDeliver { me: NodeId(i) }).collect();
+        let cluster = ThreadedCluster::spawn(nodes);
+        cluster.crash(NodeId(1));
+        // A backlog submitted after the crash: none of it may be processed.
+        for seq in 0..100 {
+            cluster.submit(NodeId(1), Transaction::zeroed(1, seq, 4));
+        }
+        // The survivor keeps working.
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 0, 4));
+        std::thread::sleep(Duration::from_millis(80));
+        let deliveries = cluster.shutdown();
+        assert!(
+            deliveries[1].is_empty(),
+            "crashed node processed {} queued events after its crash",
+            deliveries[1].len()
+        );
+        assert!(!deliveries[0].is_empty());
     }
 }

@@ -1,0 +1,430 @@
+//! Cluster assembly: one way to build any protocol cluster.
+//!
+//! [`ClusterBuilder`] replaces the per-protocol `build_cluster`-style
+//! constructors that used to be scattered across the workspace. It owns the
+//! pieces every cluster needs — [`ProtocolParams`], a key directory, a
+//! validity predicate, and a per-node [`NodeRole`] map — and asks the
+//! protocol, through the [`ClusterProtocol`] trait, to construct each node.
+//! The same builder value is consumed identically by both runtimes (see
+//! [`crate::Runtime`]).
+
+use fireledger::{
+    AcceptAll, ClusterNode, EquivocatingNode, FloNode, SharedValidity, SilentProposerNode, Worker,
+};
+use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
+use fireledger_crypto::{SharedCrypto, SimKeyStore};
+use fireledger_types::{Error, NodeId, Protocol, ProtocolParams, Result, WireSize, WorkerId};
+use std::fmt;
+use std::marker::PhantomData;
+use std::time::Duration;
+
+/// The behaviour assigned to one node of a cluster.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum NodeRole {
+    /// An honest node that follows the protocol.
+    #[default]
+    Correct,
+    /// An honest node that crashes (stops participating) at the given offset
+    /// from the start of the run. The crash itself is enacted by the runtime.
+    CrashAt(Duration),
+    /// A Byzantine node that equivocates on every block it proposes (§7.4.2).
+    Equivocate,
+    /// A Byzantine node that participates in voting but never disseminates
+    /// its own blocks, forcing a timeout + fallback on each of its turns.
+    SilentProposer,
+}
+
+impl NodeRole {
+    /// True for the Byzantine variants that require protocol-level support.
+    pub fn is_byzantine(&self) -> bool {
+        matches!(self, NodeRole::Equivocate | NodeRole::SilentProposer)
+    }
+
+    /// True for any role other than [`NodeRole::Correct`].
+    pub fn is_faulty(&self) -> bool {
+        !matches!(self, NodeRole::Correct)
+    }
+}
+
+/// Everything a protocol needs to construct one node.
+pub struct BuildContext {
+    /// Protocol parameters shared by the whole cluster.
+    pub params: ProtocolParams,
+    /// The cluster key directory.
+    pub crypto: SharedCrypto,
+    /// The external validity predicate (protocols without external validity
+    /// ignore it).
+    pub validity: SharedValidity,
+}
+
+/// A protocol whose clusters [`ClusterBuilder`] can assemble.
+///
+/// Implemented by every protocol of the paper's experiment matrix:
+///
+/// | implementor       | protocol                                   |
+/// |-------------------|--------------------------------------------|
+/// | [`FloCluster`]    | FireLedger / FLO (ω workers per node)      |
+/// | [`Worker`]        | a single WRB/OBBC FireLedger instance      |
+/// | [`PbftNode`]      | classical PBFT                             |
+/// | [`HotStuffNode`]  | chained HotStuff                           |
+/// | [`BftSmartNode`]  | BFT-SMaRt-style pipelined ordering         |
+pub trait ClusterProtocol: Protocol + Sized + Send + 'static
+where
+    Self::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+{
+    /// Short machine-readable protocol name, used in [`crate::RunReport`]s.
+    const NAME: &'static str;
+
+    /// Constructs the node `me` with the given role.
+    ///
+    /// Returns [`Error::Config`] when the protocol has no implementation of
+    /// the requested Byzantine behaviour — a mis-configured experiment should
+    /// fail loudly, not silently run an honest node.
+    fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self>;
+}
+
+fn unsupported_role(name: &str, role: &NodeRole) -> Error {
+    Error::Config(format!(
+        "protocol {name} does not implement the {role:?} role"
+    ))
+}
+
+/// The FireLedger/FLO cluster node type ([`ClusterNode`] under a name that
+/// reads naturally in `ClusterBuilder::<FloCluster>` turbofish position).
+pub type FloCluster = ClusterNode;
+
+impl ClusterProtocol for ClusterNode {
+    const NAME: &'static str = "flo";
+
+    fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self> {
+        let flo = FloNode::new(
+            me,
+            ctx.params.clone(),
+            ctx.crypto.clone(),
+            ctx.validity.clone(),
+        );
+        Ok(match role {
+            NodeRole::Correct | NodeRole::CrashAt(_) => ClusterNode::Honest(flo),
+            NodeRole::Equivocate => {
+                ClusterNode::Equivocating(EquivocatingNode::new(flo, ctx.crypto.clone()))
+            }
+            NodeRole::SilentProposer => ClusterNode::Silent(SilentProposerNode::new(flo)),
+        })
+    }
+}
+
+impl ClusterProtocol for Worker {
+    const NAME: &'static str = "wrb-obbc";
+
+    fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self> {
+        if role.is_byzantine() {
+            return Err(unsupported_role(Self::NAME, role));
+        }
+        Ok(Worker::new(
+            me,
+            WorkerId(0),
+            ctx.params.clone(),
+            ctx.crypto.clone(),
+            ctx.validity.clone(),
+        ))
+    }
+}
+
+impl ClusterProtocol for PbftNode {
+    const NAME: &'static str = "pbft";
+
+    fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self> {
+        if role.is_byzantine() {
+            return Err(unsupported_role(Self::NAME, role));
+        }
+        Ok(PbftNode::new(me, ctx.params.clone(), ctx.crypto.clone()))
+    }
+}
+
+impl ClusterProtocol for HotStuffNode {
+    const NAME: &'static str = "hotstuff";
+
+    fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self> {
+        if role.is_byzantine() {
+            return Err(unsupported_role(Self::NAME, role));
+        }
+        Ok(HotStuffNode::new(
+            me,
+            ctx.params.clone(),
+            ctx.crypto.clone(),
+        ))
+    }
+}
+
+impl ClusterProtocol for BftSmartNode {
+    const NAME: &'static str = "bft-smart";
+
+    fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self> {
+        if role.is_byzantine() {
+            return Err(unsupported_role(Self::NAME, role));
+        }
+        Ok(BftSmartNode::new(
+            me,
+            ctx.params.clone(),
+            ctx.crypto.clone(),
+        ))
+    }
+}
+
+/// Assembles a cluster of any [`ClusterProtocol`].
+///
+/// ```
+/// use fireledger_runtime::prelude::*;
+///
+/// let params = ProtocolParams::new(4).with_batch_size(10);
+/// let nodes = ClusterBuilder::<FloCluster>::new(params)
+///     .with_seed(7)
+///     .with_role(NodeId(3), NodeRole::Equivocate)
+///     .build()
+///     .unwrap();
+/// assert_eq!(nodes.len(), 4);
+/// ```
+pub struct ClusterBuilder<P> {
+    params: ProtocolParams,
+    seed: u64,
+    crypto: Option<SharedCrypto>,
+    validity: SharedValidity,
+    roles: Vec<NodeRole>,
+    _protocol: PhantomData<fn() -> P>,
+}
+
+impl<P> ClusterBuilder<P>
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+{
+    /// Starts a builder for an `params.n()`-node cluster with simulated
+    /// (cheap) signatures, the accept-all validity predicate, and every node
+    /// correct.
+    pub fn new(params: ProtocolParams) -> Self {
+        let n = params.n();
+        ClusterBuilder {
+            params,
+            seed: 1,
+            crypto: None,
+            validity: std::sync::Arc::new(AcceptAll),
+            roles: vec![NodeRole::Correct; n],
+            _protocol: PhantomData,
+        }
+    }
+
+    /// Seed for deterministic key derivation (and, by convention, for the
+    /// scenario driving this cluster).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Uses an explicit crypto provider instead of the seed-derived
+    /// [`SimKeyStore`].
+    pub fn with_crypto(mut self, crypto: SharedCrypto) -> Self {
+        self.crypto = Some(crypto);
+        self
+    }
+
+    /// Uses an explicit external validity predicate.
+    pub fn with_validity(mut self, validity: SharedValidity) -> Self {
+        self.validity = validity;
+        self
+    }
+
+    /// Assigns `role` to `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the cluster.
+    pub fn with_role(mut self, node: NodeId, role: NodeRole) -> Self {
+        self.roles[node.as_usize()] = role;
+        self
+    }
+
+    /// Assigns `role` to the last `k` nodes — the shape of the paper's fault
+    /// experiments (§7.4), which always fail the tail of the cluster.
+    pub fn with_last_k(mut self, k: usize, role: NodeRole) -> Self {
+        let n = self.roles.len();
+        for i in n.saturating_sub(k)..n {
+            self.roles[i] = role.clone();
+        }
+        self
+    }
+
+    /// The protocol parameters this builder was created with.
+    pub fn params(&self) -> &ProtocolParams {
+        &self.params
+    }
+
+    /// The builder's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The role map.
+    pub fn roles(&self) -> &[NodeRole] {
+        &self.roles
+    }
+
+    /// The nodes whose role is [`NodeRole::Correct`] — the set experiment
+    /// metrics average over.
+    pub fn correct_nodes(&self) -> Vec<NodeId> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| !r.is_faulty())
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// The `(node, offset)` pairs of all [`NodeRole::CrashAt`] roles.
+    pub fn crash_times(&self) -> Vec<(NodeId, Duration)> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                NodeRole::CrashAt(at) => Some((NodeId(i as u32), *at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The crypto provider the built cluster will share.
+    pub fn crypto(&self) -> SharedCrypto {
+        self.crypto
+            .clone()
+            .unwrap_or_else(|| SimKeyStore::generate(self.params.n(), self.seed).shared())
+    }
+
+    /// Builds the cluster: one node per index, with its assigned role.
+    pub fn build(&self) -> Result<Vec<P>> {
+        let ctx = BuildContext {
+            params: self.params.clone(),
+            crypto: self.crypto(),
+            validity: self.validity.clone(),
+        };
+        (0..self.params.n())
+            .map(|i| P::build_node(&ctx, NodeId(i as u32), &self.roles[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_types::Protocol;
+
+    fn params(n: usize) -> ProtocolParams {
+        ProtocolParams::new(n).with_batch_size(4).with_tx_size(32)
+    }
+
+    #[test]
+    fn builds_every_protocol_of_the_matrix() {
+        let p = params(4);
+        assert_eq!(
+            ClusterBuilder::<FloCluster>::new(p.clone())
+                .build()
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            ClusterBuilder::<Worker>::new(p.clone())
+                .build()
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            ClusterBuilder::<PbftNode>::new(p.clone())
+                .build()
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            ClusterBuilder::<HotStuffNode>::new(p.clone())
+                .build()
+                .unwrap()
+                .len(),
+            4
+        );
+        assert_eq!(
+            ClusterBuilder::<BftSmartNode>::new(p)
+                .build()
+                .unwrap()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn node_ids_are_sequential() {
+        let nodes = ClusterBuilder::<FloCluster>::new(params(7))
+            .build()
+            .unwrap();
+        for (i, node) in nodes.iter().enumerate() {
+            assert_eq!(node.node_id(), NodeId(i as u32));
+        }
+    }
+
+    #[test]
+    fn byzantine_roles_wrap_flo_nodes() {
+        let nodes = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_role(NodeId(2), NodeRole::SilentProposer)
+            .with_role(NodeId(3), NodeRole::Equivocate)
+            .build()
+            .unwrap();
+        assert!(matches!(nodes[0], ClusterNode::Honest(_)));
+        assert!(matches!(nodes[2], ClusterNode::Silent(_)));
+        assert!(matches!(nodes[3], ClusterNode::Equivocating(_)));
+    }
+
+    #[test]
+    fn byzantine_roles_are_rejected_by_protocols_without_them() {
+        let err = ClusterBuilder::<HotStuffNode>::new(params(4))
+            .with_role(NodeId(3), NodeRole::Equivocate)
+            .build()
+            .err()
+            .expect("equivocation must be rejected");
+        assert!(err.to_string().contains("hotstuff"));
+        assert!(ClusterBuilder::<PbftNode>::new(params(4))
+            .with_role(NodeId(0), NodeRole::SilentProposer)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn crash_roles_build_honest_nodes_and_report_times() {
+        let b = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_role(NodeId(3), NodeRole::CrashAt(Duration::from_millis(100)));
+        let nodes = b.build().unwrap();
+        assert!(matches!(nodes[3], ClusterNode::Honest(_)));
+        assert_eq!(
+            b.crash_times(),
+            vec![(NodeId(3), Duration::from_millis(100))]
+        );
+        assert_eq!(b.correct_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn with_last_k_marks_the_tail() {
+        let b = ClusterBuilder::<FloCluster>::new(params(7)).with_last_k(2, NodeRole::Equivocate);
+        assert_eq!(b.correct_nodes().len(), 5);
+        assert!(b.roles()[5].is_byzantine());
+        assert!(b.roles()[6].is_byzantine());
+    }
+
+    #[test]
+    fn same_seed_same_keys() {
+        let a = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_seed(9)
+            .crypto();
+        let b = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_seed(9)
+            .crypto();
+        let sig_a = a.sign(NodeId(0), b"x");
+        assert!(b.verify(NodeId(0), b"x", &sig_a));
+    }
+}

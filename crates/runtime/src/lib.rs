@@ -1,0 +1,198 @@
+//! # fireledger-runtime
+//!
+//! The unified assembly-and-driving surface of the FireLedger workspace: one
+//! way to build, run and observe any protocol cluster on any runtime.
+//!
+//! The paper's whole evaluation is a single experiment matrix —
+//! {FireLedger/FLO, PBFT, WRB/OBBC, HotStuff, BFT-SMaRt} × {single-DC, geo,
+//! crash, Byzantine} × {simulation, real threads}. This crate makes each axis
+//! one value:
+//!
+//! * [`ClusterBuilder`] assembles a cluster of any [`ClusterProtocol`] from
+//!   [`ProtocolParams`](fireledger_types::ProtocolParams) plus a per-node
+//!   [`NodeRole`] map (correct / crash-at / equivocate / silent-proposer);
+//! * [`Scenario`] describes the topology (single-DC, geo, custom latency
+//!   matrix), the workload (saturated, open-loop rate, closed-loop clients)
+//!   and the fault schedule with absolute trigger times;
+//! * a [`Runtime`] — [`Simulator`] (deterministic discrete events) or
+//!   [`Threads`] (one OS thread per node, wall-clock time) — consumes both
+//!   and returns a [`RunReport`] with an identical schema either way.
+//!
+//! ## Example: the same scenario across protocols and runtimes
+//!
+//! ```
+//! use fireledger_runtime::prelude::*;
+//! use std::time::Duration;
+//!
+//! let params = ProtocolParams::new(4)
+//!     .with_batch_size(8)
+//!     .with_tx_size(64)
+//!     .with_base_timeout(Duration::from_millis(20));
+//! let scenario = Scenario::new("smoke").ideal().run_for(Duration::from_millis(300));
+//!
+//! let flo = Simulator
+//!     .run(&ClusterBuilder::<FloCluster>::new(params.clone()), &scenario)
+//!     .unwrap();
+//! let hs = Simulator
+//!     .run(&ClusterBuilder::<HotStuffNode>::new(params), &scenario)
+//!     .unwrap();
+//! assert!(flo.tps > 0.0 && hs.tps > 0.0);
+//! assert_eq!(flo.schema(), hs.schema());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod report;
+mod run;
+mod scenario;
+
+pub use builder::{BuildContext, ClusterBuilder, ClusterProtocol, FloCluster, NodeRole};
+pub use report::{NodeDeliveries, RunReport};
+pub use run::{Runtime, Simulator, Threads};
+pub use scenario::{FaultEvent, Scenario, Topology, Workload};
+
+/// Everything a typical experiment needs, re-exported for
+/// `use fireledger_runtime::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster, NodeDeliveries, NodeRole,
+        RunReport, Runtime, Scenario, Simulator, Threads, Topology, Workload,
+    };
+    pub use fireledger::{AcceptAll, ClusterNode, FloNode, Worker};
+    pub use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
+    pub use fireledger_types::{
+        Block, BlockHeader, ClusterConfig, Delivery, NodeId, ProtocolParams, Round, Transaction,
+        WorkerId,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::time::Duration;
+
+    fn params(n: usize) -> ProtocolParams {
+        ProtocolParams::new(n)
+            .with_batch_size(8)
+            .with_tx_size(64)
+            .with_base_timeout(Duration::from_millis(20))
+    }
+
+    fn quick() -> Scenario {
+        Scenario::new("unit")
+            .ideal()
+            .run_for(Duration::from_millis(300))
+    }
+
+    #[test]
+    fn simulator_runs_all_five_protocols() {
+        let s = quick();
+        let p = params(4);
+        let reports = [
+            Simulator
+                .run(&ClusterBuilder::<FloCluster>::new(p.clone()), &s)
+                .unwrap(),
+            Simulator
+                .run(&ClusterBuilder::<Worker>::new(p.clone()), &s)
+                .unwrap(),
+            Simulator
+                .run(&ClusterBuilder::<PbftNode>::new(p.clone()), &s)
+                .unwrap(),
+            Simulator
+                .run(&ClusterBuilder::<HotStuffNode>::new(p.clone()), &s)
+                .unwrap(),
+            Simulator
+                .run(&ClusterBuilder::<BftSmartNode>::new(p), &s)
+                .unwrap(),
+        ];
+        let names: Vec<&str> = reports.iter().map(|r| r.protocol.as_str()).collect();
+        assert_eq!(names, ["flo", "wrb-obbc", "pbft", "hotstuff", "bft-smart"]);
+        for r in &reports {
+            assert!(r.tps > 0.0, "{} produced no throughput", r.protocol);
+            assert!(r.per_node.iter().all(|d| d.blocks > 0), "{}", r.protocol);
+        }
+    }
+
+    #[test]
+    fn simulated_runs_are_deterministic() {
+        let s = quick().with_seed(5);
+        let run = || {
+            Simulator
+                .run(
+                    &ClusterBuilder::<FloCluster>::new(params(4)).with_seed(5),
+                    &s,
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn crash_role_and_scenario_fault_agree() {
+        // Crashing via a builder role and via a scenario fault event produce
+        // the same simulated execution.
+        let by_role = Simulator
+            .run(
+                &ClusterBuilder::<FloCluster>::new(params(4))
+                    .with_role(NodeId(3), NodeRole::CrashAt(Duration::ZERO)),
+                &quick(),
+            )
+            .unwrap();
+        let by_scenario = Simulator
+            .run(
+                &ClusterBuilder::<FloCluster>::new(params(4)),
+                &quick().crash(NodeId(3), Duration::ZERO),
+            )
+            .unwrap();
+        assert!(by_role.tps > 0.0);
+        assert_eq!(by_role.per_node[3].blocks, 0);
+        assert_eq!(by_scenario.per_node[3].blocks, 0);
+        assert_eq!(by_role.per_node[0].blocks, by_scenario.per_node[0].blocks);
+    }
+
+    #[test]
+    fn equivocating_role_triggers_recoveries() {
+        let report = Simulator
+            .run(
+                &ClusterBuilder::<FloCluster>::new(params(4))
+                    .with_role(NodeId(3), NodeRole::Equivocate),
+                &Scenario::new("byz").ideal().run_for(Duration::from_secs(2)),
+            )
+            .unwrap();
+        assert!(report.recoveries_per_sec > 0.0);
+        assert!(report.tps > 0.0);
+    }
+
+    #[test]
+    fn open_loop_workload_reaches_protocols() {
+        let p = params(4).with_fill_blocks(false);
+        let s = Scenario::new("open")
+            .ideal()
+            .open_loop(500.0, 64)
+            .run_for(Duration::from_millis(500))
+            .with_warmup(Duration::ZERO);
+        let report = Simulator
+            .run(&ClusterBuilder::<FloCluster>::new(p), &s)
+            .unwrap();
+        assert!(report.tps > 0.0);
+    }
+
+    #[test]
+    fn threaded_runtime_matches_schema_and_delivers() {
+        let s = Scenario::new("threads").run_for(Duration::from_millis(400));
+        let sim = Simulator
+            .run(&ClusterBuilder::<FloCluster>::new(params(4)), &quick())
+            .unwrap();
+        let threaded = Threads
+            .run(&ClusterBuilder::<FloCluster>::new(params(4)), &s)
+            .unwrap();
+        assert_eq!(sim.schema(), threaded.schema());
+        assert_eq!(threaded.runtime, "threads");
+        assert!(threaded.tps > 0.0, "threaded cluster delivered nothing");
+        assert!(threaded.per_node.iter().all(|d| d.blocks > 0));
+    }
+}

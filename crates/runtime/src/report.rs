@@ -1,0 +1,301 @@
+//! The unified run report returned by every runtime.
+//!
+//! [`RunReport`] replaces the divergent metrics extraction that used to live
+//! separately in `fireledger_sim::metrics` and the benchmark harness: both
+//! runtimes now hand back the same schema, so experiment code can compare a
+//! simulated run against a threaded run field by field. Fields a runtime
+//! cannot measure are zero/empty rather than absent — the schema never
+//! changes shape.
+
+/// Per-node delivery counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeDeliveries {
+    /// The node.
+    pub node: u32,
+    /// Blocks delivered (in total order) at this node.
+    pub blocks: u64,
+    /// Transactions in those blocks.
+    pub txs: u64,
+}
+
+/// Headline numbers of one run, in the units the paper uses.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Protocol name ([`crate::ClusterProtocol::NAME`]).
+    pub protocol: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Runtime name (`"sim"` / `"threads"`).
+    pub runtime: String,
+    /// Cluster size n.
+    pub n: usize,
+    /// FLO workers ω (1 for single-instance protocols).
+    pub workers: usize,
+    /// Measurement window in seconds.
+    pub duration_secs: f64,
+    /// Delivered transactions per second (averaged across correct nodes).
+    pub tps: f64,
+    /// Delivered blocks per second (averaged across correct nodes).
+    pub bps: f64,
+    /// Mean proposal→delivery latency in seconds (0 when not measured).
+    pub avg_latency_secs: f64,
+    /// Median latency.
+    pub p50_latency_secs: f64,
+    /// 95th percentile latency.
+    pub p95_latency_secs: f64,
+    /// 99th percentile latency.
+    pub p99_latency_secs: f64,
+    /// Recovery procedures per second (rps in Figure 12).
+    pub recoveries_per_sec: f64,
+    /// Total OBBC fallback invocations.
+    pub fallbacks: u64,
+    /// Total messages sent by the correct nodes.
+    pub msgs_sent: u64,
+    /// Total bytes sent by the correct nodes.
+    pub bytes_sent: u64,
+    /// Total signatures produced.
+    pub signatures: u64,
+    /// Total signature verifications.
+    pub verifications: u64,
+    /// Empirical latency CDF as `(latency_secs, fraction)` points (Figures 8
+    /// and 15). Empty when latency is not measured.
+    pub latency_cdf: Vec<(f64, f64)>,
+    /// Relative time spent in the A→B→C→D→E lifecycle phases (Figure 9).
+    pub phase_breakdown: [f64; 4],
+    /// Per-node delivery counters, one entry per node of the cluster.
+    pub per_node: Vec<NodeDeliveries>,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl RunReport {
+    /// The report as a single-line JSON object.
+    ///
+    /// The key set is the report's schema: it is identical for every
+    /// protocol and runtime, which is what lets downstream tooling diff runs
+    /// across the whole experiment matrix.
+    pub fn to_json(&self) -> String {
+        let cdf: Vec<String> = self
+            .latency_cdf
+            .iter()
+            .map(|(lat, frac)| format!("[{},{}]", json_f64(*lat), json_f64(*frac)))
+            .collect();
+        let per_node: Vec<String> = self
+            .per_node
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"node\":{},\"blocks\":{},\"txs\":{}}}",
+                    d.node, d.blocks, d.txs
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"protocol\":{},\"scenario\":{},\"runtime\":{},",
+                "\"n\":{},\"workers\":{},\"duration_secs\":{},",
+                "\"tps\":{},\"bps\":{},",
+                "\"avg_latency_secs\":{},\"p50_latency_secs\":{},",
+                "\"p95_latency_secs\":{},\"p99_latency_secs\":{},",
+                "\"recoveries_per_sec\":{},\"fallbacks\":{},",
+                "\"msgs_sent\":{},\"bytes_sent\":{},",
+                "\"signatures\":{},\"verifications\":{},",
+                "\"latency_cdf\":[{}],\"phase_breakdown\":[{},{},{},{}],",
+                "\"per_node\":[{}]}}"
+            ),
+            json_string(&self.protocol),
+            json_string(&self.scenario),
+            json_string(&self.runtime),
+            self.n,
+            self.workers,
+            json_f64(self.duration_secs),
+            json_f64(self.tps),
+            json_f64(self.bps),
+            json_f64(self.avg_latency_secs),
+            json_f64(self.p50_latency_secs),
+            json_f64(self.p95_latency_secs),
+            json_f64(self.p99_latency_secs),
+            json_f64(self.recoveries_per_sec),
+            self.fallbacks,
+            self.msgs_sent,
+            self.bytes_sent,
+            self.signatures,
+            self.verifications,
+            cdf.join(","),
+            json_f64(self.phase_breakdown[0]),
+            json_f64(self.phase_breakdown[1]),
+            json_f64(self.phase_breakdown[2]),
+            json_f64(self.phase_breakdown[3]),
+            per_node.join(","),
+        )
+    }
+
+    /// The top-level JSON keys, in emission order — the report's schema.
+    ///
+    /// Kept as a constant next to the `to_json` format string; the
+    /// `schema_matches_emitted_json` test guards against the two drifting
+    /// apart.
+    pub fn schema(&self) -> Vec<String> {
+        Self::SCHEMA.iter().map(|k| k.to_string()).collect()
+    }
+
+    /// The schema as a constant.
+    pub const SCHEMA: [&'static str; 21] = [
+        "protocol",
+        "scenario",
+        "runtime",
+        "n",
+        "workers",
+        "duration_secs",
+        "tps",
+        "bps",
+        "avg_latency_secs",
+        "p50_latency_secs",
+        "p95_latency_secs",
+        "p99_latency_secs",
+        "recoveries_per_sec",
+        "fallbacks",
+        "msgs_sent",
+        "bytes_sent",
+        "signatures",
+        "verifications",
+        "latency_cdf",
+        "phase_breakdown",
+        "per_node",
+    ];
+
+    /// Prints a human-readable row plus a machine-readable `JSON:` line.
+    pub fn emit(&self, label: &str) {
+        println!(
+            "{label:<28} {:<9}/{:<7} n={:<3} ω={:<2} net={:<9} | tps={:>10.0} bps={:>8.1} lat(avg)={:>7.3}s p95={:>7.3}s rps={:>5.2} msgs={:>8}",
+            self.protocol,
+            self.runtime,
+            self.n,
+            self.workers,
+            self.scenario,
+            self.tps,
+            self.bps,
+            self.avg_latency_secs,
+            self.p95_latency_secs,
+            self.recoveries_per_sec,
+            self.msgs_sent,
+        );
+        println!("JSON: {}", self.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            protocol: "flo".into(),
+            scenario: "test".into(),
+            runtime: "sim".into(),
+            n: 4,
+            workers: 2,
+            duration_secs: 1.5,
+            tps: 1000.0,
+            bps: 10.0,
+            latency_cdf: vec![(0.01, 0.5), (0.02, 1.0)],
+            phase_breakdown: [0.1, 0.2, 0.3, 0.4],
+            per_node: vec![
+                NodeDeliveries {
+                    node: 0,
+                    blocks: 15,
+                    txs: 1500,
+                },
+                NodeDeliveries {
+                    node: 1,
+                    blocks: 15,
+                    txs: 1500,
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn json_is_wellformed_and_contains_headline_fields() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"protocol\":\"flo\""));
+        assert!(json.contains("\"tps\":1000"));
+        assert!(json.contains("\"per_node\":[{\"node\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn schema_is_independent_of_values() {
+        let empty = RunReport::default().schema();
+        let full = sample().schema();
+        assert_eq!(empty, full);
+        assert!(full.contains(&"tps".to_string()));
+        assert!(full.contains(&"per_node".to_string()));
+        assert_eq!(full.len(), 21);
+    }
+
+    #[test]
+    fn schema_matches_emitted_json() {
+        // Every schema key must appear as a top-level key in the emitted
+        // JSON, in schema order — guards the const list against drifting
+        // from the format string.
+        let json = sample().to_json();
+        let mut from = 0usize;
+        for key in RunReport::SCHEMA {
+            let needle = format!("\"{key}\":");
+            let at = json[from..]
+                .find(&needle)
+                .unwrap_or_else(|| panic!("key {key} missing or out of order"));
+            from += at + needle.len();
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let r = RunReport {
+            scenario: "with \"quotes\"\nand newline".into(),
+            ..Default::default()
+        };
+        let json = r.to_json();
+        assert!(json.contains("with \\\"quotes\\\"\\nand newline"));
+    }
+
+    #[test]
+    fn non_finite_rates_become_zero() {
+        let r = RunReport {
+            tps: f64::NAN,
+            bps: f64::INFINITY,
+            ..Default::default()
+        };
+        let json = r.to_json();
+        assert!(json.contains("\"tps\":0"));
+        assert!(json.contains("\"bps\":0"));
+    }
+}

@@ -1,0 +1,250 @@
+//! The runtimes: one trait, two drivers.
+//!
+//! [`Runtime::run`] takes a [`ClusterBuilder`] and a [`Scenario`] and returns
+//! a [`RunReport`]; [`Simulator`] executes the scenario on the deterministic
+//! discrete-event simulator, [`Threads`] on real OS threads with wall-clock
+//! time. The same two values drive both — which is the point: a scenario
+//! debugged deterministically in the simulator can be re-run unchanged on
+//! real threads.
+
+use crate::builder::{ClusterBuilder, ClusterProtocol};
+use crate::report::{NodeDeliveries, RunReport};
+use crate::scenario::Scenario;
+use fireledger_net::ThreadedCluster;
+use fireledger_sim::{SimTime, Simulation};
+use fireledger_types::{Delivery, NodeId, Result, Transaction, WireSize};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Drives a cluster through a scenario.
+pub trait Runtime {
+    /// Short runtime name recorded in reports (`"sim"`, `"threads"`).
+    fn name(&self) -> &'static str;
+
+    /// Builds the cluster and runs the scenario to completion.
+    fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + Clone + Send + fmt::Debug + 'static;
+}
+
+/// The nodes to average rate metrics over: correct by role and not crashed by
+/// the scenario.
+fn measured_nodes<P>(cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Vec<NodeId>
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+{
+    let crashed = scenario.crashed_nodes();
+    cluster
+        .correct_nodes()
+        .into_iter()
+        .filter(|id| !crashed.contains(id))
+        .collect()
+}
+
+fn delivery_counters(deliveries: &[Vec<Delivery>]) -> Vec<NodeDeliveries> {
+    deliveries
+        .iter()
+        .enumerate()
+        .map(|(i, ds)| NodeDeliveries {
+            node: i as u32,
+            blocks: ds.len() as u64,
+            txs: ds.iter().map(|d| d.block.len() as u64).sum(),
+        })
+        .collect()
+}
+
+/// The deterministic discrete-event runtime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Simulator;
+
+impl Runtime for Simulator {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+    {
+        let nodes = cluster.build()?;
+        let n = nodes.len();
+        let adversary = scenario.crash_schedule(&cluster.crash_times());
+        let mut sim = Simulation::with_adversary(scenario.sim_config(), nodes, Box::new(adversary));
+        for (at, node, tx) in scenario.injection_schedule(n) {
+            sim.inject_transaction_at(node, tx, at);
+        }
+        sim.metrics_mut()
+            .set_window_start(SimTime::ZERO + scenario.warmup);
+        sim.run_for(scenario.duration);
+
+        let measured = measured_nodes(cluster, scenario);
+        let summary = sim.summary_for(&measured);
+        let per_node = (0..n)
+            .map(|i| {
+                let ds = sim.deliveries(NodeId(i as u32));
+                NodeDeliveries {
+                    node: i as u32,
+                    blocks: ds.len() as u64,
+                    txs: ds.iter().map(|d| d.block.len() as u64).sum(),
+                }
+            })
+            .collect();
+        Ok(RunReport {
+            protocol: P::NAME.to_string(),
+            scenario: scenario.name.clone(),
+            runtime: self.name().to_string(),
+            n,
+            workers: cluster.params().workers,
+            duration_secs: summary.duration_secs,
+            tps: summary.tps,
+            bps: summary.bps,
+            avg_latency_secs: summary.avg_latency_secs,
+            p50_latency_secs: summary.p50_latency_secs,
+            p95_latency_secs: summary.p95_latency_secs,
+            p99_latency_secs: summary.p99_latency_secs,
+            recoveries_per_sec: summary.recoveries_per_sec,
+            fallbacks: summary.fallbacks,
+            msgs_sent: summary.msgs_sent,
+            bytes_sent: summary.bytes_sent,
+            signatures: summary.signatures,
+            verifications: summary.verifications,
+            latency_cdf: sim.metrics().latency_cdf(20),
+            phase_breakdown: sim.metrics().phase_breakdown(),
+            per_node,
+        })
+    }
+}
+
+/// The real-time threaded runtime.
+///
+/// The scenario's duration is wall-clock time here: a 2-second scenario takes
+/// 2 real seconds. The warm-up window is honoured the same way as on the
+/// simulator: deliveries are snapshotted once the warm-up elapses, and rates
+/// cover only the measurement window. Latency percentiles, message counters
+/// and the lifecycle breakdown are not instrumented on this runtime
+/// (protocols pay real CPU instead of reporting observations), so those
+/// report fields are zero — the schema is unchanged.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Threads;
+
+enum TimelineEvent {
+    Crash(NodeId),
+    Inject(NodeId, Transaction),
+}
+
+impl Runtime for Threads {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+    {
+        let nodes = cluster.build()?;
+        let n = nodes.len();
+
+        let mut timeline: Vec<(Duration, TimelineEvent)> = Vec::new();
+        for fault in &scenario.crashes {
+            timeline.push((fault.at, TimelineEvent::Crash(fault.node)));
+        }
+        for (node, at) in cluster.crash_times() {
+            timeline.push((at, TimelineEvent::Crash(node)));
+        }
+        for (at, node, tx) in scenario.injection_schedule(n) {
+            timeline.push((at.as_duration(), TimelineEvent::Inject(node, tx)));
+        }
+        timeline.sort_by_key(|(at, _)| *at);
+
+        // A warm-up as long as the run would leave an empty measurement
+        // window; fall back to measuring the whole run.
+        let warmup = if scenario.warmup < scenario.duration {
+            scenario.warmup
+        } else {
+            Duration::ZERO
+        };
+        let snapshot = |running: &ThreadedCluster<P::Msg>| -> Vec<(u64, u64)> {
+            (0..n)
+                .map(|i| {
+                    let ds = running.deliveries(NodeId(i as u32));
+                    (
+                        ds.len() as u64,
+                        ds.iter().map(|d| d.block.len() as u64).sum(),
+                    )
+                })
+                .collect()
+        };
+
+        let running = ThreadedCluster::spawn(nodes);
+        let start = Instant::now();
+        let mut warmup_counts: Option<Vec<(u64, u64)>> = None;
+        let mut warmup_at = Duration::ZERO;
+        for (at, event) in timeline {
+            if at >= scenario.duration {
+                break;
+            }
+            // Snapshot delivery counters at the warm-up boundary, before any
+            // event scheduled after it is applied.
+            if warmup_counts.is_none() && at >= warmup {
+                let now = start.elapsed();
+                if warmup > now {
+                    std::thread::sleep(warmup - now);
+                }
+                warmup_at = start.elapsed();
+                warmup_counts = Some(snapshot(&running));
+            }
+            let now = start.elapsed();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+            match event {
+                TimelineEvent::Crash(node) => running.crash(node),
+                TimelineEvent::Inject(node, tx) => running.submit(node, tx),
+            }
+        }
+        if warmup_counts.is_none() {
+            let now = start.elapsed();
+            if warmup > now {
+                std::thread::sleep(warmup - now);
+            }
+            warmup_at = start.elapsed();
+            warmup_counts = Some(snapshot(&running));
+        }
+        let now = start.elapsed();
+        if scenario.duration > now {
+            std::thread::sleep(scenario.duration - now);
+        }
+        let deliveries = running.shutdown();
+        let elapsed = start.elapsed();
+        let window_secs = (elapsed - warmup_at).as_secs_f64().max(1e-9);
+
+        let per_node = delivery_counters(&deliveries);
+        let at_warmup = warmup_counts.unwrap_or_else(|| vec![(0, 0); n]);
+        let measured = measured_nodes(cluster, scenario);
+        let k = measured.len().max(1) as f64;
+        let (blocks, txs) = measured.iter().fold((0u64, 0u64), |(b, t), id| {
+            let d = &per_node[id.as_usize()];
+            let (wb, wt) = at_warmup[id.as_usize()];
+            (
+                b + d.blocks.saturating_sub(wb),
+                t + d.txs.saturating_sub(wt),
+            )
+        });
+        Ok(RunReport {
+            protocol: P::NAME.to_string(),
+            scenario: scenario.name.clone(),
+            runtime: self.name().to_string(),
+            n,
+            workers: cluster.params().workers,
+            duration_secs: window_secs,
+            tps: txs as f64 / k / window_secs,
+            bps: blocks as f64 / k / window_secs,
+            per_node,
+            ..Default::default()
+        })
+    }
+}

@@ -128,7 +128,7 @@ impl<M> Adversary<M> for OmissionFaults {
     fn intercept(&mut self, from: NodeId, _to: NodeId, msg: M, _now: SimTime) -> Fate<M> {
         if self.lossy.contains(&from) {
             self.counter += 1;
-            if self.counter % self.drop_every == 0 {
+            if self.counter.is_multiple_of(self.drop_every) {
                 return Fate::Drop;
             }
         }
@@ -167,8 +167,16 @@ mod tests {
             a.intercept(NodeId(0), NodeId(2), 1u32, SimTime::from_secs(6)),
             Fate::Drop
         );
-        assert!(Adversary::<u32>::is_crashed(&a, NodeId(2), SimTime::from_secs(5)));
-        assert!(!Adversary::<u32>::is_crashed(&a, NodeId(2), SimTime::from_secs(4)));
+        assert!(Adversary::<u32>::is_crashed(
+            &a,
+            NodeId(2),
+            SimTime::from_secs(5)
+        ));
+        assert!(!Adversary::<u32>::is_crashed(
+            &a,
+            NodeId(2),
+            SimTime::from_secs(4)
+        ));
     }
 
     #[test]

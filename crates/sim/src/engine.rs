@@ -9,7 +9,7 @@
 //!   enforced, and the adversary hook may drop/replace/delay it;
 //! * `SetTimer`/`CancelTimer` — generation-counted timers;
 //! * `Cpu` — the charge is translated into time with the
-//!   [`CostModel`](fireledger_crypto::CostModel) and scheduled on the node's
+//!   [`fireledger_crypto::CostModel`] and scheduled on the node's
 //!   earliest-free core; subsequent actions of the same handler (including the
 //!   messages it sends) start only after the CPU work completes, which is how
 //!   signing cost shows up in the end-to-end latency of a round;
@@ -23,10 +23,8 @@ use crate::metrics::{Metrics, RunSummary};
 use crate::time::SimTime;
 use fireledger_crypto::CostModel;
 use fireledger_types::{
-    Action, Delivery, NodeId, Outbox, Protocol, TimerId, Transaction, WireSize,
+    Action, Delivery, DetRng, NodeId, Outbox, Protocol, TimerId, Transaction, WireSize,
 };
-use rand::SeedableRng;
-use rand_chacha::ChaCha20Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::time::Duration;
@@ -155,7 +153,7 @@ pub struct Simulation<P: Protocol> {
     deliveries: Vec<Vec<Delivery>>,
     metrics: Metrics,
     adversary: Box<dyn Adversary<P::Msg>>,
-    rng: ChaCha20Rng,
+    rng: DetRng,
     started: bool,
     events_processed: u64,
 }
@@ -179,7 +177,7 @@ where
         let n = nodes.len();
         let cores = config.cost.cores.max(1);
         Simulation {
-            rng: ChaCha20Rng::seed_from_u64(config.seed),
+            rng: DetRng::seed_from_u64(config.seed),
             nodes,
             queue: BinaryHeap::new(),
             seq: 0,
@@ -524,10 +522,19 @@ mod tests {
         sim.run_for(Duration::from_millis(100));
         // Nodes 1..3 received the initial broadcast.
         for i in 1..4u32 {
-            assert!(sim.node(NodeId(i)).received.iter().any(|(f, v)| *f == NodeId(0) && *v == 0));
+            assert!(sim
+                .node(NodeId(i))
+                .received
+                .iter()
+                .any(|(f, v)| *f == NodeId(0) && *v == 0));
         }
         // Node 0 received echoes from everyone.
-        let echoes: Vec<_> = sim.node(NodeId(0)).received.iter().filter(|(_, v)| *v == 100).collect();
+        let echoes: Vec<_> = sim
+            .node(NodeId(0))
+            .received
+            .iter()
+            .filter(|(_, v)| *v == 100)
+            .collect();
         assert_eq!(echoes.len(), 3);
     }
 
@@ -608,10 +615,22 @@ mod tests {
             fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<M>) {}
         }
         let nodes = vec![
-            Cpu { id: NodeId(0), got_at: None },
-            Cpu { id: NodeId(1), got_at: None },
-            Cpu { id: NodeId(2), got_at: None },
-            Cpu { id: NodeId(3), got_at: None },
+            Cpu {
+                id: NodeId(0),
+                got_at: None,
+            },
+            Cpu {
+                id: NodeId(1),
+                got_at: None,
+            },
+            Cpu {
+                id: NodeId(2),
+                got_at: None,
+            },
+            Cpu {
+                id: NodeId(3),
+                got_at: None,
+            },
         ];
         let cfg = SimConfig {
             latency: LatencyModel::Constant(Duration::from_millis(1)),
@@ -630,7 +649,11 @@ mod tests {
     #[test]
     fn injected_transactions_reach_protocols() {
         let mut sim = Simulation::new(SimConfig::ideal(), echo_cluster(4, 1));
-        sim.inject_transaction(NodeId(2), Transaction::zeroed(9, 77, 8), Duration::from_millis(5));
+        sim.inject_transaction(
+            NodeId(2),
+            Transaction::zeroed(9, 77, 8),
+            Duration::from_millis(5),
+        );
         sim.run_for(Duration::from_millis(50));
         // Node 2 broadcast 1000 + 77; everyone else received it.
         assert!(sim
@@ -644,7 +667,8 @@ mod tests {
     fn crashed_nodes_neither_send_nor_receive() {
         use crate::adversary::CrashSchedule;
         let adv = CrashSchedule::new().crash(NodeId(0), SimTime::ZERO);
-        let mut sim = Simulation::with_adversary(SimConfig::ideal(), echo_cluster(4, 3), Box::new(adv));
+        let mut sim =
+            Simulation::with_adversary(SimConfig::ideal(), echo_cluster(4, 3), Box::new(adv));
         sim.run_for(Duration::from_millis(100));
         // Node 0 crashed before start: nobody received anything from it.
         for i in 1..4u32 {

@@ -11,15 +11,13 @@
 //! [`LatencyModel`] covers both, plus simple constant/jittered models used by
 //! unit tests and property tests.
 
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
-use fireledger_types::NodeId;
+use fireledger_types::{DetRng, NodeId};
 
 /// One of the ten AWS regions used by the paper's geo-distributed deployment
 /// (§7.5), in the paper's placement order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Region {
     /// ap-northeast-1
     Tokyo,
@@ -68,10 +66,10 @@ impl Region {
 }
 
 /// A symmetric matrix of one-way latencies between the ten regions.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GeoMatrix {
-    /// one_way_ms[i][j] = one-way latency in milliseconds between region i
-    /// and region j of [`Region::PLACEMENT`].
+    /// `one_way_ms[i][j]` = one-way latency in milliseconds between region
+    /// `i` and region `j` of [`Region::PLACEMENT`].
     pub one_way_ms: Vec<Vec<f64>>,
 }
 
@@ -83,16 +81,22 @@ impl GeoMatrix {
         //                   Oregon, Singapore, Sydney, Ireland, Ohio
         let m: Vec<Vec<f64>> = vec![
             //      Tok   Can   Fra   Par   Sao   Ore   Sin   Syd   Irl   Ohi
-            vec![0.5, 72.0, 112.0, 108.0, 128.0, 49.0, 35.0, 52.0, 103.0, 78.0], // Tokyo
-            vec![72.0, 0.5, 46.0, 42.0, 62.0, 30.0, 108.0, 100.0, 33.0, 13.0],   // Canada
-            vec![112.0, 46.0, 0.5, 5.0, 102.0, 79.0, 81.0, 144.0, 13.0, 49.0],   // Frankfurt
-            vec![108.0, 42.0, 5.0, 0.5, 97.0, 70.0, 84.0, 140.0, 9.0, 45.0],     // Paris
-            vec![128.0, 62.0, 102.0, 97.0, 0.5, 89.0, 163.0, 158.0, 92.0, 65.0], // SaoPaulo
-            vec![49.0, 30.0, 79.0, 70.0, 89.0, 0.5, 82.0, 69.0, 62.0, 25.0],     // Oregon
-            vec![35.0, 108.0, 81.0, 84.0, 163.0, 82.0, 0.5, 46.0, 87.0, 101.0],  // Singapore
-            vec![52.0, 100.0, 144.0, 140.0, 158.0, 69.0, 46.0, 0.5, 130.0, 96.0], // Sydney
-            vec![103.0, 33.0, 13.0, 9.0, 92.0, 62.0, 87.0, 130.0, 0.5, 40.0],    // Ireland
-            vec![78.0, 13.0, 49.0, 45.0, 65.0, 25.0, 101.0, 96.0, 40.0, 0.5],    // Ohio
+            vec![
+                0.5, 72.0, 112.0, 108.0, 128.0, 49.0, 35.0, 52.0, 103.0, 78.0,
+            ], // Tokyo
+            vec![72.0, 0.5, 46.0, 42.0, 62.0, 30.0, 108.0, 100.0, 33.0, 13.0], // Canada
+            vec![112.0, 46.0, 0.5, 5.0, 102.0, 79.0, 81.0, 144.0, 13.0, 49.0], // Frankfurt
+            vec![108.0, 42.0, 5.0, 0.5, 97.0, 70.0, 84.0, 140.0, 9.0, 45.0],   // Paris
+            vec![
+                128.0, 62.0, 102.0, 97.0, 0.5, 89.0, 163.0, 158.0, 92.0, 65.0,
+            ], // SaoPaulo
+            vec![49.0, 30.0, 79.0, 70.0, 89.0, 0.5, 82.0, 69.0, 62.0, 25.0],   // Oregon
+            vec![35.0, 108.0, 81.0, 84.0, 163.0, 82.0, 0.5, 46.0, 87.0, 101.0], // Singapore
+            vec![
+                52.0, 100.0, 144.0, 140.0, 158.0, 69.0, 46.0, 0.5, 130.0, 96.0,
+            ], // Sydney
+            vec![103.0, 33.0, 13.0, 9.0, 92.0, 62.0, 87.0, 130.0, 0.5, 40.0],  // Ireland
+            vec![78.0, 13.0, 49.0, 45.0, 65.0, 25.0, 101.0, 96.0, 40.0, 0.5],  // Ohio
         ];
         GeoMatrix { one_way_ms: m }
     }
@@ -109,7 +113,7 @@ impl GeoMatrix {
 }
 
 /// The latency model applied to each message.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum LatencyModel {
     /// A constant one-way delay on every link.
     Constant(Duration),
@@ -157,7 +161,7 @@ impl LatencyModel {
     }
 
     /// Samples the one-way latency for a message from `from` to `to`.
-    pub fn sample<R: Rng>(&self, from: NodeId, to: NodeId, rng: &mut R) -> Duration {
+    pub fn sample(&self, from: NodeId, to: NodeId, rng: &mut DetRng) -> Duration {
         match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform { min, max } => {
@@ -165,16 +169,16 @@ impl LatencyModel {
                     *min
                 } else {
                     let span = (*max - *min).as_nanos() as u64;
-                    *min + Duration::from_nanos(rng.gen_range(0..=span))
+                    *min + Duration::from_nanos(rng.gen_range_inclusive(0, span))
                 }
             }
             LatencyModel::SingleDc { base, jitter } => {
-                let j = rng.gen_range(0.0..=*jitter);
+                let j = rng.gen_f64() * *jitter;
                 base.mul_f64(1.0 + j)
             }
             LatencyModel::Geo { matrix, jitter } => {
                 let base = matrix.latency(from, to);
-                let j = rng.gen_range(0.0..=*jitter);
+                let j = rng.gen_f64() * *jitter;
                 base.mul_f64(1.0 + j)
             }
         }
@@ -203,8 +207,6 @@ impl LatencyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha20Rng;
 
     #[test]
     fn geo_matrix_is_square_and_symmetric() {
@@ -213,7 +215,10 @@ mod tests {
         for (i, row) in m.one_way_ms.iter().enumerate() {
             assert_eq!(row.len(), 10);
             for (j, v) in row.iter().enumerate() {
-                assert!((*v - m.one_way_ms[j][i]).abs() < 1e-9, "asymmetric at {i},{j}");
+                assert!(
+                    (*v - m.one_way_ms[j][i]).abs() < 1e-9,
+                    "asymmetric at {i},{j}"
+                );
                 assert!(*v > 0.0);
             }
         }
@@ -229,23 +234,29 @@ mod tests {
     #[test]
     fn geo_latency_wraps_for_large_clusters() {
         let m = GeoMatrix::aws_default();
-        assert_eq!(m.latency(NodeId(0), NodeId(10)), m.latency(NodeId(0), NodeId(0)));
+        assert_eq!(
+            m.latency(NodeId(0), NodeId(10)),
+            m.latency(NodeId(0), NodeId(0))
+        );
         assert!(m.latency(NodeId(0), NodeId(4)) > Duration::from_millis(100));
     }
 
     #[test]
     fn constant_model_is_constant() {
-        let mut rng = ChaCha20Rng::seed_from_u64(1);
+        let mut rng = DetRng::seed_from_u64(1);
         let m = LatencyModel::Constant(Duration::from_millis(3));
         for _ in 0..10 {
-            assert_eq!(m.sample(NodeId(0), NodeId(1), &mut rng), Duration::from_millis(3));
+            assert_eq!(
+                m.sample(NodeId(0), NodeId(1), &mut rng),
+                Duration::from_millis(3)
+            );
         }
         assert_eq!(m.upper_bound(), Duration::from_millis(3));
     }
 
     #[test]
     fn uniform_model_respects_bounds() {
-        let mut rng = ChaCha20Rng::seed_from_u64(2);
+        let mut rng = DetRng::seed_from_u64(2);
         let min = Duration::from_millis(1);
         let max = Duration::from_millis(5);
         let m = LatencyModel::Uniform { min, max };
@@ -261,7 +272,7 @@ mod tests {
 
     #[test]
     fn single_dc_is_sub_millisecond() {
-        let mut rng = ChaCha20Rng::seed_from_u64(3);
+        let mut rng = DetRng::seed_from_u64(3);
         let m = LatencyModel::single_dc();
         for _ in 0..100 {
             let d = m.sample(NodeId(0), NodeId(1), &mut rng);
@@ -272,7 +283,7 @@ mod tests {
 
     #[test]
     fn geo_is_much_slower_than_single_dc() {
-        let mut rng = ChaCha20Rng::seed_from_u64(4);
+        let mut rng = DetRng::seed_from_u64(4);
         let geo = LatencyModel::geo_distributed();
         let dc = LatencyModel::single_dc();
         let g = geo.sample(NodeId(0), NodeId(4), &mut rng); // Tokyo ↔ São Paulo
@@ -284,8 +295,8 @@ mod tests {
     #[test]
     fn sampling_is_deterministic_per_seed() {
         let m = LatencyModel::single_dc();
-        let mut a = ChaCha20Rng::seed_from_u64(9);
-        let mut b = ChaCha20Rng::seed_from_u64(9);
+        let mut a = DetRng::seed_from_u64(9);
+        let mut b = DetRng::seed_from_u64(9);
         for _ in 0..20 {
             assert_eq!(
                 m.sample(NodeId(0), NodeId(1), &mut a),

@@ -8,7 +8,6 @@
 
 use crate::time::SimTime;
 use fireledger_types::{NodeId, Observation, Round, WorkerId};
-use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -34,7 +33,7 @@ pub struct BlockLifecycle {
 }
 
 /// Per-node aggregate counters.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct NodeCounters {
     /// Blocks this node decided definitively.
     pub definite_blocks: u64,
@@ -252,7 +251,13 @@ impl Metrics {
     pub fn phase_breakdown(&self) -> [f64; 4] {
         let mut sums = [0.0f64; 4];
         let mut total = 0.0f64;
-        for lc in self.lifecycles.values() {
+        // Sum in key order: HashMap iteration order varies per process, and
+        // float accumulation is order-sensitive, so summing unordered would
+        // make reports differ in the last ulp across otherwise identical
+        // deterministic runs.
+        let mut keys: Vec<_> = self.lifecycles.keys().copied().collect();
+        keys.sort();
+        for lc in keys.iter().map(|k| &self.lifecycles[k]) {
             let (Some(a), Some(b), Some(c), Some(d), Some(e)) = (
                 lc.proposed,
                 lc.header,
@@ -295,7 +300,10 @@ impl Metrics {
         };
         let k = nodes.len().max(1) as f64;
         let sum = |f: &dyn Fn(&NodeCounters) -> u64| -> f64 {
-            nodes.iter().map(|i| f(&self.per_node[*i]) as f64).sum::<f64>()
+            nodes
+                .iter()
+                .map(|i| f(&self.per_node[*i]) as f64)
+                .sum::<f64>()
         };
         let tps = sum(&|c| c.definite_txs) / k / secs;
         let bps = sum(&|c| c.definite_blocks) / k / secs;
@@ -313,9 +321,18 @@ impl Metrics {
             bps,
             flo_tps,
             avg_latency_secs: avg_latency.as_secs_f64(),
-            p50_latency_secs: self.latency_percentile(50.0).unwrap_or_default().as_secs_f64(),
-            p95_latency_secs: self.latency_percentile(95.0).unwrap_or_default().as_secs_f64(),
-            p99_latency_secs: self.latency_percentile(99.0).unwrap_or_default().as_secs_f64(),
+            p50_latency_secs: self
+                .latency_percentile(50.0)
+                .unwrap_or_default()
+                .as_secs_f64(),
+            p95_latency_secs: self
+                .latency_percentile(95.0)
+                .unwrap_or_default()
+                .as_secs_f64(),
+            p99_latency_secs: self
+                .latency_percentile(99.0)
+                .unwrap_or_default()
+                .as_secs_f64(),
             recoveries_per_sec: recoveries / secs,
             fallbacks: sum(&|c| c.fallbacks) as u64,
             msgs_sent: sum(&|c| c.msgs_sent) as u64,
@@ -327,7 +344,7 @@ impl Metrics {
 }
 
 /// Headline numbers of one run, in the units the paper uses.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunSummary {
     /// Measurement window in seconds.
     pub duration_secs: f64,
@@ -378,7 +395,11 @@ mod tests {
         m.set_window_end(SimTime::from_secs(10));
         for node in 0..4u32 {
             for r in 0..100u64 {
-                m.record(NodeId(node), SimTime::from_millis(r * 100), &obs_definite(0, r, 50));
+                m.record(
+                    NodeId(node),
+                    SimTime::from_millis(r * 100),
+                    &obs_definite(0, r, 50),
+                );
             }
         }
         let s = m.summary(None);
@@ -445,11 +466,50 @@ mod tests {
         let mut m = Metrics::new(1);
         let w = WorkerId(0);
         let r = Round(0);
-        m.record(NodeId(0), SimTime::from_millis(0), &Observation::BlockProposed { worker: w, round: r, tx_count: 1, payload_bytes: 1 });
-        m.record(NodeId(0), SimTime::from_millis(10), &Observation::HeaderProposed { worker: w, round: r });
-        m.record(NodeId(0), SimTime::from_millis(20), &Observation::TentativeDecision { worker: w, round: r });
-        m.record(NodeId(0), SimTime::from_millis(60), &Observation::DefiniteDecision { worker: w, round: r, tx_count: 1, payload_bytes: 1 });
-        m.record(NodeId(0), SimTime::from_millis(100), &Observation::FloDelivery { worker: w, round: r });
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(0),
+            &Observation::BlockProposed {
+                worker: w,
+                round: r,
+                tx_count: 1,
+                payload_bytes: 1,
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(10),
+            &Observation::HeaderProposed {
+                worker: w,
+                round: r,
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(20),
+            &Observation::TentativeDecision {
+                worker: w,
+                round: r,
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(60),
+            &Observation::DefiniteDecision {
+                worker: w,
+                round: r,
+                tx_count: 1,
+                payload_bytes: 1,
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(100),
+            &Observation::FloDelivery {
+                worker: w,
+                round: r,
+            },
+        );
         let b = m.phase_breakdown();
         assert!((b.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!((b[0] - 0.1).abs() < 1e-9);
@@ -459,7 +519,16 @@ mod tests {
     #[test]
     fn phase_breakdown_empty_when_incomplete() {
         let mut m = Metrics::new(1);
-        m.record(NodeId(0), SimTime::from_millis(0), &Observation::BlockProposed { worker: WorkerId(0), round: Round(0), tx_count: 1, payload_bytes: 1 });
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(0),
+            &Observation::BlockProposed {
+                worker: WorkerId(0),
+                round: Round(0),
+                tx_count: 1,
+                payload_bytes: 1,
+            },
+        );
         assert_eq!(m.phase_breakdown(), [0.0; 4]);
     }
 
@@ -467,9 +536,30 @@ mod tests {
     fn recoveries_and_fallbacks_counted() {
         let mut m = Metrics::new(1);
         m.set_window_end(SimTime::from_secs(2));
-        m.record(NodeId(0), SimTime::from_millis(5), &Observation::RecoveryStarted { worker: WorkerId(0), round: Round(1) });
-        m.record(NodeId(0), SimTime::from_millis(6), &Observation::FallbackInvoked { worker: WorkerId(0), round: Round(1) });
-        m.record(NodeId(0), SimTime::from_millis(7), &Observation::NilDelivery { worker: WorkerId(0), round: Round(1) });
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(5),
+            &Observation::RecoveryStarted {
+                worker: WorkerId(0),
+                round: Round(1),
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(6),
+            &Observation::FallbackInvoked {
+                worker: WorkerId(0),
+                round: Round(1),
+            },
+        );
+        m.record(
+            NodeId(0),
+            SimTime::from_millis(7),
+            &Observation::NilDelivery {
+                worker: WorkerId(0),
+                round: Round(1),
+            },
+        );
         let s = m.summary(None);
         assert!((s.recoveries_per_sec - 0.5).abs() < 1e-9);
         assert_eq!(s.fallbacks, 1);

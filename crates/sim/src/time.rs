@@ -1,15 +1,12 @@
 //! Virtual simulation time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 use std::time::Duration;
 
 /// A point in virtual time, measured in nanoseconds since the start of the
 /// simulation.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -59,7 +56,10 @@ impl SimTime {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 }
 

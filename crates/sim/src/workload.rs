@@ -10,10 +10,7 @@
 //!   a configurable aggregate rate, which is what the examples and the
 //!   non-triviality tests use.
 
-use fireledger_types::{NodeId, Transaction};
-use rand::Rng;
-use rand_chacha::ChaCha20Rng;
-use rand::SeedableRng;
+use fireledger_types::{DetRng, NodeId, Transaction};
 use std::time::Duration;
 
 use crate::time::SimTime;
@@ -65,17 +62,21 @@ impl TxInjector {
             return Vec::new();
         }
         let interval = Duration::from_secs_f64(1.0 / self.rate_per_sec);
-        let mut rng = ChaCha20Rng::seed_from_u64(self.seed);
+        let mut rng = DetRng::seed_from_u64(self.seed);
         let mut out = Vec::new();
         let mut t = start;
         let mut seq = 0u64;
         while t < end {
             let target = self.targets[(seq as usize) % self.targets.len()];
             let mut payload = vec![0u8; self.tx_size];
-            rng.fill(payload.as_mut_slice());
-            out.push((t, target, Transaction::new(1_000 + target.0 as u64, seq, payload)));
+            rng.fill_bytes(payload.as_mut_slice());
+            out.push((
+                t,
+                target,
+                Transaction::new(1_000 + target.0 as u64, seq, payload),
+            ));
             seq += 1;
-            t = t + interval;
+            t += interval;
         }
         out
     }
@@ -84,11 +85,11 @@ impl TxInjector {
 /// Generates a batch of `count` random transactions of `tx_size` bytes — a
 /// convenience used by tests, examples and the block-filling code path.
 pub fn random_batch(count: usize, tx_size: usize, seed: u64) -> Vec<Transaction> {
-    let mut rng = ChaCha20Rng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..count)
         .map(|i| {
             let mut payload = vec![0u8; tx_size];
-            rng.fill(payload.as_mut_slice());
+            rng.fill_bytes(payload.as_mut_slice());
             Transaction::new(0xFEED, i as u64, payload)
         })
         .collect()
@@ -121,19 +122,29 @@ mod tests {
         let sc = c.schedule(SimTime::ZERO, SimTime::from_secs(1));
         assert_eq!(sa, sb);
         assert_ne!(
-            sa.iter().map(|(_, _, t)| t.payload.clone()).collect::<Vec<_>>(),
-            sc.iter().map(|(_, _, t)| t.payload.clone()).collect::<Vec<_>>()
+            sa.iter()
+                .map(|(_, _, t)| t.payload.clone())
+                .collect::<Vec<_>>(),
+            sc.iter()
+                .map(|(_, _, t)| t.payload.clone())
+                .collect::<Vec<_>>()
         );
     }
 
     #[test]
     fn empty_or_degenerate_schedules() {
         let inj = TxInjector::new(0.0, 512, 4);
-        assert!(inj.schedule(SimTime::ZERO, SimTime::from_secs(1)).is_empty());
+        assert!(inj
+            .schedule(SimTime::ZERO, SimTime::from_secs(1))
+            .is_empty());
         let inj = TxInjector::new(10.0, 512, 4);
-        assert!(inj.schedule(SimTime::from_secs(1), SimTime::from_secs(1)).is_empty());
+        assert!(inj
+            .schedule(SimTime::from_secs(1), SimTime::from_secs(1))
+            .is_empty());
         let inj = TxInjector::new(10.0, 512, 4).with_targets(vec![]);
-        assert!(inj.schedule(SimTime::ZERO, SimTime::from_secs(1)).is_empty());
+        assert!(inj
+            .schedule(SimTime::ZERO, SimTime::from_secs(1))
+            .is_empty());
     }
 
     #[test]

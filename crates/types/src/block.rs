@@ -7,22 +7,32 @@
 //! predecessor header, which is the authentication data the recovery procedure
 //! relies on to detect equivocation by Byzantine proposers.
 //!
-//! The [`Hash`] and [`Signature`] types here are plain carriers; the actual
-//! SHA-256 / ECDSA operations live in `fireledger-crypto` so that this crate
-//! stays dependency-free.
+//! The [`struct@Hash`] and [`Signature`] types here are plain carriers; the
+//! actual SHA-256 / signature operations live in `fireledger-crypto` so that
+//! this crate stays dependency-free.
 
 use crate::ids::{NodeId, Round, WorkerId};
 use crate::transaction::Transaction;
 use crate::wire::WireSize;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-byte digest (SHA-256 in the reference implementation).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Hash(pub [u8; 32]);
 
 /// The hash every chain starts from: the parent of the block at round 0.
 pub const GENESIS_HASH: Hash = Hash([0u8; 32]);
+
+/// Lower-case hex encoding of a byte slice (log / display helper).
+fn hex_encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0F) as usize] as char);
+    }
+    out
+}
 
 impl Hash {
     /// Builds a hash from raw bytes.
@@ -42,7 +52,7 @@ impl Hash {
 
     /// Short hex prefix, used in logs and debug output.
     pub fn short_hex(&self) -> String {
-        hex::encode(&self.0[..6])
+        hex_encode(&self.0[..6])
     }
 }
 
@@ -54,7 +64,7 @@ impl fmt::Debug for Hash {
 
 impl fmt::Display for Hash {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", hex::encode(self.0))
+        write!(f, "{}", hex_encode(&self.0))
     }
 }
 
@@ -66,7 +76,7 @@ impl WireSize for Hash {
 
 /// An opaque signature (ECDSA secp256k1 DER bytes in the reference
 /// implementation, §7.1 of the paper).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Signature(pub Vec<u8>);
 
 impl Signature {
@@ -111,7 +121,7 @@ impl WireSize for Signature {
 /// Headers are what WRB-broadcast / OBBC operate on; the body (the
 /// transactions) travels separately on the data path and is referenced by
 /// `payload_hash`.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BlockHeader {
     /// Round in which this block is proposed.
     pub round: Round,
@@ -191,7 +201,7 @@ impl WireSize for BlockHeader {
 
 /// A header together with its proposer's signature — the unit that flows
 /// through WRB and that constitutes `evidence(1)` for OBBC (§A.5).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct SignedHeader {
     /// The header being signed.
     pub header: BlockHeader,
@@ -229,7 +239,7 @@ impl WireSize for SignedHeader {
 }
 
 /// A full block: a header plus its transaction batch (the data path payload).
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Block {
     /// The block header.
     pub header: BlockHeader,

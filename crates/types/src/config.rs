@@ -6,11 +6,10 @@
 //! window) and the flow-control limit on in-flight blocks (§7.2).
 
 use crate::ids::NodeId;
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Static description of a cluster: its size and the derived fault threshold.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ClusterConfig {
     /// Number of replicas `n`.
     pub n: usize,
@@ -65,7 +64,7 @@ impl ClusterConfig {
 }
 
 /// All tunable protocol parameters of a FireLedger / FLO deployment.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolParams {
     /// Cluster description.
     pub cluster: ClusterConfig,
@@ -117,8 +116,11 @@ impl ProtocolParams {
     }
 
     /// Builder-style setter for the number of workers ω.
+    ///
+    /// Clamped to `1..=TimerId::MAX_WORKERS`: the worker index must fit the
+    /// 8-bit worker field of [`crate::runtime::TimerId`].
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        self.workers = workers.clamp(1, crate::runtime::TimerId::MAX_WORKERS);
         self
     }
 
@@ -243,6 +245,12 @@ mod tests {
         let p = ProtocolParams::new(4).with_workers(0).with_batch_size(0);
         assert_eq!(p.workers, 1);
         assert_eq!(p.batch_size, 1);
+    }
+
+    #[test]
+    fn workers_clamped_to_timer_id_capacity() {
+        let p = ProtocolParams::new(4).with_workers(100_000);
+        assert_eq!(p.workers, crate::runtime::TimerId::MAX_WORKERS);
     }
 
     #[test]

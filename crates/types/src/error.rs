@@ -88,10 +88,7 @@ mod tests {
             Error::MissingKey(NodeId(1)).to_string(),
             "no key registered for p1"
         );
-        assert_eq!(
-            Error::UnknownNode(NodeId(9)).to_string(),
-            "unknown node p9"
-        );
+        assert_eq!(Error::UnknownNode(NodeId(9)).to_string(), "unknown node p9");
     }
 
     #[test]

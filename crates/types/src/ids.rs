@@ -5,7 +5,6 @@
 //! discrete-event simulator must produce identical executions for identical
 //! seeds.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a replica (a "node" in the paper's terminology).
@@ -13,7 +12,7 @@ use std::fmt;
 /// Nodes are numbered `0..n` inside a cluster. The round-robin proposer
 /// rotation of FireLedger (Algorithm 2, lines b1–b3) as well as the leader
 /// rotation of PBFT and HotStuff are all expressed in terms of the node index.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -61,7 +60,7 @@ impl From<usize> for NodeId {
 /// Worker `w` of node `i` only ever exchanges messages with worker `w` of the
 /// other nodes; deliveries from different workers are merged in round-robin
 /// order by the FLO client manager.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct WorkerId(pub u32);
 
 impl WorkerId {
@@ -89,9 +88,7 @@ impl fmt::Display for WorkerId {
 /// One block is (tentatively) decided per round in the optimistic case. Rounds
 /// are also used as sequence numbers for the recovery procedure and as the
 /// per-instance tag of OBBC invocations.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Round(pub u64);
 
 impl Round {

@@ -3,10 +3,10 @@
 //! Foundational data types shared by every crate in the FireLedger workspace:
 //! node / worker / round identifiers, transactions, blocks and block headers,
 //! cluster configuration, a wire-size model used by the network simulator, and
-//! the runtime-agnostic [`Protocol`](runtime::Protocol) state-machine
+//! the runtime-agnostic [`runtime::Protocol`] state-machine
 //! abstraction that lets the same protocol code run under the discrete-event
-//! simulator ([`fireledger-sim`]) and the threaded runtime
-//! ([`fireledger-net`]).
+//! simulator (`fireledger-sim`) and the threaded runtime
+//! (`fireledger-net`).
 //!
 //! The types in this crate are intentionally free of cryptographic and I/O
 //! dependencies; hashing and signing live in `fireledger-crypto`.
@@ -15,17 +15,21 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod bytes;
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod rng;
 pub mod runtime;
 pub mod transaction;
 pub mod wire;
 
 pub use block::{Block, BlockHeader, Hash, Signature, SignedHeader, GENESIS_HASH};
+pub use bytes::Bytes;
 pub use config::{ClusterConfig, ProtocolParams};
 pub use error::{Error, Result};
 pub use ids::{NodeId, Round, WorkerId};
+pub use rng::DetRng;
 pub use runtime::{Action, Delivery, Observation, Outbox, Protocol, TimerId};
 pub use transaction::Transaction;
 pub use wire::WireSize;

@@ -28,26 +28,95 @@ use std::time::Duration;
 /// Protocols encode whatever they need (round number, purpose) into the `u64`;
 /// the runtime treats it as opaque. Re-arming a timer with an id that is
 /// already armed replaces the previous deadline.
+///
+/// # Bit layout
+///
+/// The 64 bits are split into three *disjoint* fields so that composing a
+/// timer can never alias another field (an earlier revision let the FLO
+/// worker index spill into the sequence bits):
+///
+/// ```text
+///   63       56 55       48 47                               0
+///  +-----------+-----------+----------------------------------+
+///  |   kind    |  worker   |             sequence             |
+///  +-----------+-----------+----------------------------------+
+/// ```
+///
+/// * `kind` — the protocol-level purpose tag passed to [`TimerId::compose`];
+/// * `worker` — the FLO worker instance, set only through
+///   [`TimerId::with_worker`] (0 for single-instance protocols);
+/// * `sequence` — a 48-bit protocol counter (round number, generation, ...).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub u64);
 
 impl TimerId {
-    /// Packs a small `kind` tag and a sequence number (for example a round)
-    /// into one timer id.
+    /// Number of bits available for the sequence field.
+    pub const SEQ_BITS: u32 = 48;
+    /// Mask of the sequence field.
+    pub const SEQ_MASK: u64 = (1 << Self::SEQ_BITS) - 1;
+    /// Bit offset of the worker field.
+    pub const WORKER_SHIFT: u32 = 48;
+    /// Bit offset of the kind field.
+    pub const KIND_SHIFT: u32 = 56;
+    /// Exclusive upper bound on worker indices a timer id can carry, and hence
+    /// on the number of FLO workers per node.
+    pub const MAX_WORKERS: usize = 256;
+
+    /// Packs a `kind` tag and a sequence number (for example a round) into one
+    /// timer id. The worker field is left at zero; multi-instance protocols
+    /// tag it afterwards with [`TimerId::with_worker`].
+    ///
+    /// # Panics
+    /// Panics if `seq` does not fit the 48-bit sequence field — a silent mask
+    /// would let two distinct protocol timers collide.
     pub fn compose(kind: u8, seq: u64) -> TimerId {
-        TimerId(((kind as u64) << 56) | (seq & 0x00FF_FFFF_FFFF_FFFF))
+        assert!(
+            seq <= Self::SEQ_MASK,
+            "timer sequence {seq} exceeds the 48-bit field"
+        );
+        TimerId(((kind as u64) << Self::KIND_SHIFT) | seq)
     }
 
-    /// Reverses [`TimerId::compose`].
+    /// Reverses [`TimerId::compose`]: the `(kind, sequence)` pair. The worker
+    /// field is *not* part of the sequence; use [`TimerId::worker`] for it.
     pub fn decompose(self) -> (u8, u64) {
-        ((self.0 >> 56) as u8, self.0 & 0x00FF_FFFF_FFFF_FFFF)
+        ((self.0 >> Self::KIND_SHIFT) as u8, self.0 & Self::SEQ_MASK)
+    }
+
+    /// Returns this id with the worker field set to `worker`.
+    ///
+    /// # Panics
+    /// Panics if `worker` does not fit the 8-bit worker field.
+    pub fn with_worker(self, worker: WorkerId) -> TimerId {
+        assert!(
+            (worker.as_usize()) < Self::MAX_WORKERS,
+            "worker index {worker} exceeds the timer id worker field"
+        );
+        let cleared = self.0 & !(0xFF << Self::WORKER_SHIFT);
+        TimerId(cleared | ((worker.0 as u64) << Self::WORKER_SHIFT))
+    }
+
+    /// The worker field (0 when the timer was never tagged).
+    pub fn worker(self) -> WorkerId {
+        WorkerId(((self.0 >> Self::WORKER_SHIFT) & 0xFF) as u32)
+    }
+
+    /// Returns this id with the worker field cleared — the id as the worker
+    /// that armed it originally composed it.
+    pub fn without_worker(self) -> TimerId {
+        TimerId(self.0 & !(0xFF << Self::WORKER_SHIFT))
     }
 }
 
 impl fmt::Debug for TimerId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (kind, seq) = self.decompose();
-        write!(f, "Timer({kind}:{seq})")
+        let worker = self.worker();
+        if worker.0 == 0 {
+            write!(f, "Timer({kind}:{seq})")
+        } else {
+            write!(f, "Timer({kind}:{worker}:{seq})")
+        }
     }
 }
 
@@ -392,6 +461,48 @@ mod tests {
         assert_eq!(t.decompose(), (3, 123_456));
         let t = TimerId::compose(255, 0);
         assert_eq!(t.decompose(), (255, 0));
+        let t = TimerId::compose(7, TimerId::SEQ_MASK);
+        assert_eq!(t.decompose(), (7, TimerId::SEQ_MASK));
+    }
+
+    #[test]
+    fn timer_id_worker_field_is_disjoint_from_kind_and_seq() {
+        // The regression this layout fixes: tagging a worker must never change
+        // the kind or the sequence, for any worker index the field admits.
+        for worker in [0u32, 1, 7, 255] {
+            let t = TimerId::compose(0xAB, 0x1234_5678_9ABC).with_worker(WorkerId(worker));
+            assert_eq!(t.decompose(), (0xAB, 0x1234_5678_9ABC), "worker {worker}");
+            assert_eq!(t.worker(), WorkerId(worker));
+            assert_eq!(t.without_worker(), TimerId::compose(0xAB, 0x1234_5678_9ABC));
+        }
+    }
+
+    #[test]
+    fn timer_id_retagging_replaces_the_worker() {
+        let t = TimerId::compose(1, 42).with_worker(WorkerId(200));
+        let r = t.with_worker(WorkerId(3));
+        assert_eq!(r.worker(), WorkerId(3));
+        assert_eq!(r.decompose(), (1, 42));
+    }
+
+    #[test]
+    fn timer_ids_differ_across_any_field() {
+        let base = TimerId::compose(1, 1).with_worker(WorkerId(1));
+        assert_ne!(base, TimerId::compose(2, 1).with_worker(WorkerId(1)));
+        assert_ne!(base, TimerId::compose(1, 2).with_worker(WorkerId(1)));
+        assert_ne!(base, TimerId::compose(1, 1).with_worker(WorkerId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 48-bit field")]
+    fn timer_id_rejects_oversized_sequences() {
+        let _ = TimerId::compose(0, TimerId::SEQ_MASK + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker field")]
+    fn timer_id_rejects_oversized_worker_indices() {
+        let _ = TimerId::compose(0, 0).with_worker(WorkerId(256));
     }
 
     #[test]

@@ -7,9 +7,8 @@
 //! application payload (e.g. the insurance-consortium example) fits in the
 //! same type.
 
+use crate::bytes::Bytes;
 use crate::wire::WireSize;
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A client transaction: an opaque payload plus bookkeeping identifiers.
@@ -17,7 +16,7 @@ use std::fmt;
 /// The protocol itself never interprets the payload; interpretation is the job
 /// of the external validity predicate (`fireledger::validity`) and of the
 /// application layered on top.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Transaction {
     /// Client that submitted the transaction (an arbitrary application-level
     /// identifier, not necessarily a replica).

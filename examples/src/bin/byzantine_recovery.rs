@@ -2,17 +2,15 @@
 //! blocks to the two halves of the cluster whenever it is the proposer — and
 //! the correct nodes detect the inconsistency through the hash chain,
 //! reliably broadcast a proof, run the recovery procedure, and keep a single
-//! agreed chain. Safety (agreement on the definite prefix) is checked at the
-//! end; the recovery rate corresponds to Figure 12 of the paper.
+//! agreed chain. The Byzantine behaviour is a one-line `NodeRole` in the
+//! cluster builder. Safety (agreement on the definite prefix) is checked at
+//! the end; the recovery rate corresponds to Figure 12 of the paper.
 //!
 //! Run with: `cargo run -p fireledger-examples --bin byzantine_recovery`
 
-use fireledger::prelude::*;
-use fireledger::{AcceptAll, ClusterNode, EquivocatingNode};
-use fireledger_crypto::SimKeyStore;
-use fireledger_examples::print_summary;
-use fireledger_sim::{SimConfig, Simulation};
-use std::sync::Arc;
+use fireledger_examples::print_report;
+use fireledger_runtime::prelude::*;
+use fireledger_sim::{SimTime, Simulation};
 use std::time::Duration;
 
 fn main() {
@@ -21,28 +19,26 @@ fn main() {
         .with_batch_size(10)
         .with_tx_size(128)
         .with_base_timeout(Duration::from_millis(20));
-    let crypto = SimKeyStore::generate(n, 9).shared();
 
     // Node p3 is Byzantine: it equivocates on every block it proposes.
-    let nodes: Vec<ClusterNode> = (0..n)
-        .map(|i| {
-            let flo = FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), Arc::new(AcceptAll));
-            if i == n - 1 {
-                ClusterNode::Equivocating(EquivocatingNode::new(flo, crypto.clone()))
-            } else {
-                ClusterNode::Honest(flo)
-            }
-        })
-        .collect();
+    let cluster = ClusterBuilder::<FloCluster>::new(params)
+        .with_seed(9)
+        .with_role(NodeId(3), NodeRole::Equivocate);
+    let scenario = Scenario::new("byzantine")
+        .single_dc()
+        .run_for(Duration::from_secs(3));
 
-    let mut sim = Simulation::new(SimConfig::single_dc(), nodes);
-    sim.run_for(Duration::from_secs(3));
-
-    let summary = sim.summary_for(&[NodeId(0), NodeId(1), NodeId(2)]);
+    let report = Simulator.run(&cluster, &scenario).unwrap();
     println!("Equivocating proposer: p3 (sends different chain versions to each half)");
-    println!("Recoveries per second observed: {:.2}", summary.recoveries_per_sec);
+    println!(
+        "Recoveries per second observed: {:.2}",
+        report.recoveries_per_sec
+    );
 
-    // Safety: the correct nodes' definite prefixes are identical.
+    // Safety: re-run the same deterministic execution by hand and compare the
+    // correct nodes' definite prefixes.
+    let mut sim = Simulation::new(scenario.sim_config(), cluster.build().unwrap());
+    sim.run_until(SimTime::ZERO + scenario.duration);
     let prefix = |i: u32| {
         let node = sim.node(NodeId(i)).flo();
         let chain = node.worker(0).chain();
@@ -57,12 +53,16 @@ fn main() {
     for i in 1..3u32 {
         let other = prefix(i);
         let common = reference.len().min(other.len());
-        assert_eq!(other[..common], reference[..common], "correct node p{i} diverged!");
+        assert_eq!(
+            other[..common],
+            reference[..common],
+            "correct node p{i} diverged!"
+        );
     }
     println!(
         "Safety holds: all correct nodes agree on a definite prefix of {} blocks despite {} recoveries.",
         reference.len(),
-        (summary.recoveries_per_sec * summary.duration_secs).round()
+        (report.recoveries_per_sec * report.duration_secs).round()
     );
-    print_summary("byzantine recovery summary", &summary);
+    print_report("byzantine recovery summary", &report);
 }

@@ -1,21 +1,25 @@
 //! A geo-distributed deployment: ten nodes, one per AWS region (Tokyo,
 //! Canada, Frankfurt, Paris, São Paulo, Oregon, Singapore, Sydney, Ireland,
 //! Ohio — the paper's §7.5 placement), connected by the measured inter-region
-//! latency matrix. Reports throughput and latency, and contrasts them with a
-//! single data-center run of the same cluster.
+//! latency matrix. The *same* cluster definition runs on both the geo and the
+//! single-DC scenario; only the `Scenario` value changes.
 //!
 //! Run with: `cargo run -p fireledger-examples --bin geo_cluster`
 
-use fireledger::prelude::*;
-use fireledger_examples::print_summary;
-use fireledger_sim::{Region, SimConfig, Simulation};
+use fireledger_examples::print_report;
+use fireledger_runtime::prelude::*;
+use fireledger_sim::Region;
 use std::time::Duration;
 
-fn run(label: &str, config: SimConfig, params: &ProtocolParams) {
-    let nodes = build_cluster(params, 17);
-    let mut sim = Simulation::new(config, nodes);
-    sim.run_for(Duration::from_secs(6));
-    print_summary(label, &sim.summary());
+fn run(label: &str, scenario: Scenario) {
+    let params = ProtocolParams::new(10)
+        .with_workers(4)
+        .with_batch_size(100)
+        .with_tx_size(512)
+        .with_base_timeout(scenario.recommended_timeout());
+    let cluster = ClusterBuilder::<FloCluster>::new(params).with_seed(17);
+    let report = Simulator.run(&cluster, &scenario).unwrap();
+    print_report(label, &report);
 }
 
 fn main() {
@@ -23,19 +27,16 @@ fn main() {
     for (i, region) in Region::PLACEMENT.iter().enumerate() {
         println!("  p{i} -> {region:?}");
     }
-    let geo_params = ProtocolParams::new(10)
-        .with_workers(4)
-        .with_batch_size(100)
-        .with_tx_size(512)
-        .with_base_timeout(Duration::from_millis(400));
-    run("geo-distributed (10 regions)", SimConfig::geo_distributed(), &geo_params);
-
-    let dc_params = ProtocolParams::new(10)
-        .with_workers(4)
-        .with_batch_size(100)
-        .with_tx_size(512)
-        .with_base_timeout(Duration::from_millis(20));
-    run("single data-center (for contrast)", SimConfig::single_dc(), &dc_params);
+    run(
+        "geo-distributed (10 regions)",
+        Scenario::new("geo").geo().run_for(Duration::from_secs(6)),
+    );
+    run(
+        "single data-center (for contrast)",
+        Scenario::new("single-dc")
+            .single_dc()
+            .run_for(Duration::from_secs(6)),
+    );
 
     println!("\nAs in the paper, the geo-distributed deployment pays an order of magnitude in");
     println!("block rate relative to the single data-center one, while latency moves from");

@@ -1,12 +1,13 @@
-//! Quickstart: run a 4-node FireLedger/FLO cluster on the simulator, submit a
-//! few client transactions, and watch them come out as definitively decided,
-//! totally ordered blocks on every node.
+//! Quickstart: run a 4-node FireLedger/FLO cluster on the simulator, load it
+//! with client transactions, and watch them come out as definitively
+//! decided, totally ordered blocks on every node — all through the unified
+//! `ClusterBuilder` / `Scenario` / `Runtime` API.
 //!
 //! Run with: `cargo run -p fireledger-examples --bin quickstart`
 
-use fireledger::prelude::*;
-use fireledger_examples::print_summary;
-use fireledger_sim::{SimConfig, Simulation};
+use fireledger_examples::print_report;
+use fireledger_runtime::prelude::*;
+use fireledger_sim::{SimTime, Simulation};
 use std::time::Duration;
 
 fn main() {
@@ -17,38 +18,61 @@ fn main() {
         .with_tx_size(128)
         .with_fill_blocks(false) // only order real client transactions
         .with_base_timeout(Duration::from_millis(20));
-    let nodes = build_cluster(&params, 42);
+    let cluster = ClusterBuilder::<FloCluster>::new(params).with_seed(42);
 
-    // 2. Drive the cluster on the single data-center network model.
-    let mut sim = Simulation::new(SimConfig::single_dc(), nodes);
+    // 2. Describe the experiment: single data-center links, an open-loop
+    //    client submitting transactions, two simulated seconds.
+    let scenario = Scenario::new("quickstart")
+        .single_dc()
+        .open_loop(200.0, 128)
+        .run_for(Duration::from_secs(2))
+        .with_warmup(Duration::ZERO);
 
-    // 3. Submit a handful of client transactions to different nodes.
-    for i in 0..20u64 {
-        let target = NodeId((i % 4) as u32);
-        let payload = format!("transfer #{i}: alice -> bob : {} coins", 10 + i);
-        sim.inject_transaction(target, Transaction::new(1, i, payload.into_bytes()), Duration::from_millis(i));
+    // 3a. The one-call path: run it and read the unified report.
+    let report = Simulator.run(&cluster, &scenario).unwrap();
+
+    // 3b. The inspectable path: drive the same pieces by hand to look at the
+    //     individual deliveries (the report only carries aggregates).
+    let mut sim = Simulation::with_adversary(
+        scenario.sim_config(),
+        cluster.build().unwrap(),
+        Box::new(scenario.crash_schedule(&cluster.crash_times())),
+    );
+    for (at, node, tx) in scenario.injection_schedule(4) {
+        sim.inject_transaction_at(node, tx, at);
     }
+    sim.run_until(SimTime::ZERO + scenario.duration);
 
-    // 4. Run for two simulated seconds.
-    sim.run_for(Duration::from_secs(2));
-
-    // 5. Every node delivered the same ordered prefix of blocks.
     println!("Deliveries at node p0:");
     for d in sim.deliveries(NodeId(0)).iter().take(8) {
         println!(
             "  worker {} round {:>3} proposed by {} : {} txs",
-            d.worker, d.round, d.proposer, d.block.len()
+            d.worker,
+            d.round,
+            d.proposer,
+            d.block.len()
         );
-        for tx in &d.block.txs {
-            println!("      {:?} -> {}", tx.id(), String::from_utf8_lossy(&tx.payload));
-        }
     }
-    let reference: Vec<_> = sim.deliveries(NodeId(0)).iter().map(|d| d.block.header.payload_hash).collect();
+
+    // 4. Every node delivered the same ordered prefix of blocks.
+    let reference: Vec<_> = sim
+        .deliveries(NodeId(0))
+        .iter()
+        .map(|d| d.block.header.payload_hash)
+        .collect();
     for i in 1..4u32 {
-        let other: Vec<_> = sim.deliveries(NodeId(i)).iter().map(|d| d.block.header.payload_hash).collect();
+        let other: Vec<_> = sim
+            .deliveries(NodeId(i))
+            .iter()
+            .map(|d| d.block.header.payload_hash)
+            .collect();
         let common = reference.len().min(other.len());
-        assert_eq!(other[..common], reference[..common], "node {i} must agree with node 0");
+        assert_eq!(
+            other[..common],
+            reference[..common],
+            "node {i} must agree with node 0"
+        );
     }
     println!("\nAll 4 nodes delivered the same totally ordered chain prefix.");
-    print_summary("quickstart summary", &sim.summary());
+    print_report("quickstart summary", &report);
 }

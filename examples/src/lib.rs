@@ -2,14 +2,21 @@
 //! fireledger-examples --bin <name>`): small formatting utilities so each
 //! example binary stays focused on the protocol usage it demonstrates.
 
-use fireledger_sim::RunSummary;
+use fireledger_runtime::RunReport;
 
-/// Pretty-prints a run summary as a small report.
-pub fn print_summary(title: &str, s: &RunSummary) {
+/// Pretty-prints a run report as a small summary block.
+pub fn print_report(title: &str, r: &RunReport) {
     println!("--- {title} ---");
-    println!("  duration            : {:.2} s (simulated)", s.duration_secs);
-    println!("  throughput          : {:.0} tx/s ({:.1} blocks/s)", s.tps, s.bps);
-    println!("  delivery latency    : avg {:.3} s, p95 {:.3} s", s.avg_latency_secs, s.p95_latency_secs);
-    println!("  recoveries per sec  : {:.2}", s.recoveries_per_sec);
-    println!("  messages sent       : {}", s.msgs_sent);
+    println!("  protocol / runtime  : {} / {}", r.protocol, r.runtime);
+    println!("  duration            : {:.2} s", r.duration_secs);
+    println!(
+        "  throughput          : {:.0} tx/s ({:.1} blocks/s)",
+        r.tps, r.bps
+    );
+    println!(
+        "  delivery latency    : avg {:.3} s, p95 {:.3} s",
+        r.avg_latency_secs, r.p95_latency_secs
+    );
+    println!("  recoveries per sec  : {:.2}", r.recoveries_per_sec);
+    println!("  messages sent       : {}", r.msgs_sent);
 }

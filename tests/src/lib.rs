@@ -1,10 +1,7 @@
 //! Shared helpers for the FireLedger integration test suite.
 
-use fireledger::prelude::*;
-use fireledger::{AcceptAll, ClusterNode, EquivocatingNode};
-use fireledger_crypto::{SharedCrypto, SimKeyStore};
+use fireledger_runtime::prelude::*;
 use fireledger_sim::{SimConfig, Simulation};
-use std::sync::Arc;
 use std::time::Duration;
 
 /// Standard test protocol parameters: small blocks, fast timeouts.
@@ -16,29 +13,24 @@ pub fn test_params(n: usize, workers: usize) -> ProtocolParams {
         .with_base_timeout(Duration::from_millis(20))
 }
 
-/// Builds a FLO cluster where the last `byzantine` nodes equivocate.
+/// A builder for a FLO cluster where the last `byzantine` nodes equivocate.
 pub fn mixed_cluster(
     params: &ProtocolParams,
     byzantine: usize,
     seed: u64,
-) -> (Vec<ClusterNode>, SharedCrypto) {
-    let crypto: SharedCrypto = SimKeyStore::generate(params.n(), seed).shared();
-    let honest = params.n() - byzantine;
-    let nodes = (0..params.n())
-        .map(|i| {
-            let flo = FloNode::new(NodeId(i as u32), params.clone(), crypto.clone(), Arc::new(AcceptAll));
-            if i >= honest {
-                ClusterNode::Equivocating(EquivocatingNode::new(flo, crypto.clone()))
-            } else {
-                ClusterNode::Honest(flo)
-            }
-        })
-        .collect();
-    (nodes, crypto)
+) -> ClusterBuilder<FloCluster> {
+    ClusterBuilder::<FloCluster>::new(params.clone())
+        .with_seed(seed)
+        .with_last_k(byzantine, NodeRole::Equivocate)
 }
 
-/// The per-worker definite chain (payload hashes) of a node in a ClusterNode sim.
-pub fn definite_prefix(sim: &Simulation<ClusterNode>, node: u32, worker: usize) -> Vec<fireledger_types::Hash> {
+/// The per-worker definite chain (payload hashes) of a node in a ClusterNode
+/// simulation.
+pub fn definite_prefix(
+    sim: &Simulation<ClusterNode>,
+    node: u32,
+    worker: usize,
+) -> Vec<fireledger_types::Hash> {
     let chain = sim.node(NodeId(node)).flo().worker(worker).chain();
     chain
         .entries()
@@ -74,9 +66,12 @@ where
     }
 }
 
-/// Convenience: an ideal-network simulation of a FLO cluster.
-pub fn flo_sim(n: usize, workers: usize, seed: u64) -> Simulation<FloNode> {
-    let params = test_params(n, workers);
-    let nodes = fireledger::build_cluster(&params, seed);
+/// Convenience: an ideal-network simulation of a FLO cluster built through
+/// the unified builder.
+pub fn flo_sim(n: usize, workers: usize, seed: u64) -> Simulation<ClusterNode> {
+    let nodes = ClusterBuilder::<FloCluster>::new(test_params(n, workers))
+        .with_seed(seed)
+        .build()
+        .expect("correct clusters always build");
     Simulation::new(SimConfig::ideal().with_seed(seed), nodes)
 }

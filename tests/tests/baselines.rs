@@ -1,33 +1,26 @@
-//! Integration tests of the baseline protocols (HotStuff, BFT-SMaRt-style
-//! ordering) and head-to-head sanity checks of the comparison harness.
+//! Integration tests of the baseline protocols (PBFT, HotStuff, BFT-SMaRt)
+//! and head-to-head sanity checks of the comparison harness — everything
+//! assembled through the unified `ClusterBuilder`.
 
-use fireledger_baselines::{BftSmartNode, HotStuffNode};
-use fireledger_crypto::SimKeyStore;
 use fireledger_integration_tests::*;
+use fireledger_runtime::prelude::*;
 use fireledger_sim::{SimConfig, Simulation};
-use fireledger_types::NodeId;
 use std::time::Duration;
 
-fn hotstuff_cluster(n: usize) -> Vec<HotStuffNode> {
-    let params = test_params(n, 1);
-    let crypto = SimKeyStore::generate(n, 2).shared();
-    (0..n)
-        .map(|i| HotStuffNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
-        .collect()
-}
-
-fn bftsmart_cluster(n: usize) -> Vec<BftSmartNode> {
-    let params = test_params(n, 1);
-    let crypto = SimKeyStore::generate(n, 2).shared();
-    (0..n)
-        .map(|i| BftSmartNode::new(NodeId(i as u32), params.clone(), crypto.clone()))
-        .collect()
+fn builder<P: ClusterProtocol>(n: usize) -> ClusterBuilder<P>
+where
+    P::Msg: fireledger_types::WireSize + Clone + Send + std::fmt::Debug + 'static,
+{
+    ClusterBuilder::<P>::new(test_params(n, 1)).with_seed(2)
 }
 
 #[test]
 fn hotstuff_agreement_across_cluster_sizes() {
     for n in [4usize, 7] {
-        let mut sim = Simulation::new(SimConfig::ideal(), hotstuff_cluster(n));
+        let mut sim = Simulation::new(
+            SimConfig::ideal(),
+            builder::<HotStuffNode>(n).build().unwrap(),
+        );
         sim.run_for(Duration::from_millis(600));
         let nodes: Vec<u32> = (0..n as u32).collect();
         assert_delivery_agreement(&sim, &nodes);
@@ -38,7 +31,21 @@ fn hotstuff_agreement_across_cluster_sizes() {
 #[test]
 fn bftsmart_agreement_across_cluster_sizes() {
     for n in [4usize, 7] {
-        let mut sim = Simulation::new(SimConfig::ideal(), bftsmart_cluster(n));
+        let mut sim = Simulation::new(
+            SimConfig::ideal(),
+            builder::<BftSmartNode>(n).build().unwrap(),
+        );
+        sim.run_for(Duration::from_millis(600));
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        assert_delivery_agreement(&sim, &nodes);
+        assert!(sim.deliveries(NodeId(0)).len() > 3, "n={n}");
+    }
+}
+
+#[test]
+fn pbft_agreement_across_cluster_sizes() {
+    for n in [4usize, 7] {
+        let mut sim = Simulation::new(SimConfig::ideal(), builder::<PbftNode>(n).build().unwrap());
         sim.run_for(Duration::from_millis(600));
         let nodes: Vec<u32> = (0..n as u32).collect();
         assert_delivery_agreement(&sim, &nodes);
@@ -52,21 +59,23 @@ fn fireledger_sends_fewer_messages_per_block_than_bftsmart() {
     // block with one block dissemination plus a single bit from every node,
     // while PBFT-style ordering pays the quadratic three-phase exchange.
     let n = 7;
-    let mut fl = flo_sim(n, 1, 1);
-    fl.run_for(Duration::from_millis(600));
-    let fl_summary = fl.summary();
-    let fl_blocks: f64 = fl_summary.bps * fl_summary.duration_secs;
-    let fl_msgs_per_block = fl_summary.msgs_sent as f64 / (fl_blocks * n as f64).max(1.0);
+    let scenario = Scenario::new("msgs")
+        .ideal()
+        .run_for(Duration::from_millis(600));
+    let fl = Simulator.run(&builder::<FloCluster>(n), &scenario).unwrap();
+    let bs = Simulator
+        .run(&builder::<BftSmartNode>(n), &scenario)
+        .unwrap();
 
-    let mut bs = Simulation::new(SimConfig::ideal(), bftsmart_cluster(n));
-    bs.run_for(Duration::from_millis(600));
-    let bs_summary = bs.summary();
-    let bs_blocks: f64 = bs_summary.bps * bs_summary.duration_secs;
-    let bs_msgs_per_block = bs_summary.msgs_sent as f64 / (bs_blocks * n as f64).max(1.0);
-
+    let per_block = |r: &RunReport| {
+        let blocks = (r.bps * r.duration_secs).max(1.0);
+        r.msgs_sent as f64 / (blocks * n as f64)
+    };
     assert!(
-        fl_msgs_per_block < bs_msgs_per_block,
-        "FireLedger ({fl_msgs_per_block:.1} msgs/block/node) must be cheaper than BFT-SMaRt ({bs_msgs_per_block:.1})"
+        per_block(&fl) < per_block(&bs),
+        "FireLedger ({:.1} msgs/block/node) must be cheaper than BFT-SMaRt ({:.1})",
+        per_block(&fl),
+        per_block(&bs)
     );
 }
 
@@ -74,20 +83,26 @@ fn fireledger_sends_fewer_messages_per_block_than_bftsmart() {
 fn fireledger_needs_fewer_signatures_per_block_than_hotstuff() {
     let n = 4;
     let cost = fireledger_crypto::CostModel::m5_xlarge();
-    let mut fl = flo_sim(n, 1, 1);
-    fl.run_for(Duration::from_millis(600));
-    let s_fl = fl.summary();
-    let fl_blocks = (s_fl.bps * s_fl.duration_secs).max(1.0);
+    let scenario = Scenario::new("sigs")
+        .ideal()
+        .with_cost(cost)
+        .run_for(Duration::from_millis(600));
+    let plain = Scenario::new("sigs")
+        .ideal()
+        .run_for(Duration::from_millis(600));
+    let fl = Simulator.run(&builder::<FloCluster>(n), &plain).unwrap();
+    let hs = Simulator
+        .run(&builder::<HotStuffNode>(n), &scenario)
+        .unwrap();
 
-    let mut hs = Simulation::new(SimConfig::ideal().with_cost(cost), hotstuff_cluster(n));
-    hs.run_for(Duration::from_millis(600));
-    let s_hs = hs.summary();
-    let hs_blocks = (s_hs.bps * s_hs.duration_secs).max(1.0);
-
-    let fl_sigs_per_block = s_fl.signatures as f64 / fl_blocks;
-    let hs_sigs_per_block = s_hs.signatures as f64 / hs_blocks;
+    let per_block = |r: &RunReport| {
+        let blocks = (r.bps * r.duration_secs).max(1.0);
+        r.signatures as f64 / blocks
+    };
     assert!(
-        fl_sigs_per_block < hs_sigs_per_block,
-        "FireLedger ({fl_sigs_per_block:.1} sigs/block) must sign less than HotStuff ({hs_sigs_per_block:.1})"
+        per_block(&fl) < per_block(&hs),
+        "FireLedger ({:.1} sigs/block) must sign less than HotStuff ({:.1})",
+        per_block(&fl),
+        per_block(&hs)
     );
 }

@@ -1,38 +1,52 @@
 //! Integration tests of the failure paths: crashes (benign), omissions and
-//! Byzantine equivocation with recovery. The key property checked throughout
-//! is BBFC-Agreement: correct nodes never diverge on blocks at depth > f + 1.
+//! Byzantine equivocation with recovery, driven through `ClusterBuilder`
+//! roles and `Scenario` fault events. The key property checked throughout is
+//! BBFC-Agreement: correct nodes never diverge on blocks at depth > f + 1.
 
-use fireledger::prelude::*;
 use fireledger_integration_tests::*;
-use fireledger_sim::adversary::CrashSchedule;
+use fireledger_runtime::prelude::*;
 use fireledger_sim::{SimConfig, SimTime, Simulation};
 use std::time::Duration;
 
 #[test]
 fn progress_and_agreement_with_f_crashed_nodes() {
     for (n, f) in [(4usize, 1usize), (7, 2)] {
-        let params = test_params(n, 1);
-        let nodes = fireledger::build_cluster(&params, 3);
-        let adv = CrashSchedule::crash_last_f(n, f, SimTime::ZERO);
-        let correct: Vec<u32> = (0..(n - f) as u32).collect();
-        let mut sim = Simulation::with_adversary(SimConfig::ideal(), nodes, Box::new(adv));
-        sim.run_for(Duration::from_secs(3));
+        let cluster = ClusterBuilder::<FloCluster>::new(test_params(n, 1))
+            .with_seed(3)
+            .with_last_k(f, NodeRole::CrashAt(Duration::ZERO));
+        let scenario = Scenario::new("crash")
+            .ideal()
+            .run_for(Duration::from_secs(3));
+        let report = Simulator.run(&cluster, &scenario).unwrap();
         assert!(
-            sim.deliveries(NodeId(0)).len() > 3,
+            report.per_node[0].blocks > 3,
             "n={n}: progress must continue with {f} crashed nodes, got {}",
-            sim.deliveries(NodeId(0)).len()
+            report.per_node[0].blocks
         );
-        assert_delivery_agreement(&sim, &correct);
+        // The crashed tail delivered nothing.
+        for i in (n - f)..n {
+            assert_eq!(report.per_node[i].blocks, 0, "crashed node {i} delivered");
+        }
+        assert!(report.tps > 0.0);
     }
 }
 
 #[test]
 fn crash_mid_run_does_not_block_the_cluster() {
-    let params = test_params(4, 1);
-    let nodes = fireledger::build_cluster(&params, 8);
-    let adv = CrashSchedule::new().crash(NodeId(2), SimTime::from_millis(200));
-    let mut sim = Simulation::with_adversary(SimConfig::ideal(), nodes, Box::new(adv));
-    sim.run_for(Duration::from_secs(3));
+    // The crash is a scenario fault event this time — same machinery, second
+    // entry point.
+    let cluster = ClusterBuilder::<FloCluster>::new(test_params(4, 1)).with_seed(8);
+    let scenario = Scenario::new("midcrash")
+        .ideal()
+        .crash(NodeId(2), Duration::from_millis(200))
+        .run_for(Duration::from_secs(3));
+    let nodes = cluster.build().unwrap();
+    let mut sim = Simulation::with_adversary(
+        scenario.sim_config(),
+        nodes,
+        Box::new(scenario.crash_schedule(&cluster.crash_times())),
+    );
+    sim.run_until(SimTime::ZERO + scenario.duration);
     let len_at_crash_estimate = 5; // it certainly decided a few blocks before 200 ms
     assert!(sim.deliveries(NodeId(0)).len() > len_at_crash_estimate);
     assert_delivery_agreement(&sim, &[0, 1, 3]);
@@ -40,9 +54,8 @@ fn crash_mid_run_does_not_block_the_cluster() {
 
 #[test]
 fn equivocating_proposer_triggers_recovery_but_never_breaks_agreement() {
-    let params = test_params(4, 1);
-    let (nodes, _) = mixed_cluster(&params, 1, 4);
-    let mut sim = Simulation::new(SimConfig::ideal().with_seed(4), nodes);
+    let cluster = mixed_cluster(&test_params(4, 1), 1, 4);
+    let mut sim = Simulation::new(SimConfig::ideal().with_seed(4), cluster.build().unwrap());
     sim.run_for(Duration::from_secs(3));
     let correct = [0u32, 1, 2];
     // Recoveries happened...
@@ -58,7 +71,11 @@ fn equivocating_proposer_triggers_recovery_but_never_breaks_agreement() {
     for &i in &correct[1..] {
         let other = definite_prefix(&sim, i, 0);
         let common = reference.len().min(other.len());
-        assert_eq!(other[..common], reference[..common], "correct node {i} diverged");
+        assert_eq!(
+            other[..common],
+            reference[..common],
+            "correct node {i} diverged"
+        );
     }
     // Delivered blocks agree as well.
     assert_delivery_agreement(&sim, &correct);
@@ -66,9 +83,8 @@ fn equivocating_proposer_triggers_recovery_but_never_breaks_agreement() {
 
 #[test]
 fn equivocation_with_larger_cluster_and_multiple_workers() {
-    let params = test_params(7, 2);
-    let (nodes, _) = mixed_cluster(&params, 1, 6);
-    let mut sim = Simulation::new(SimConfig::ideal().with_seed(6), nodes);
+    let cluster = mixed_cluster(&test_params(7, 2), 1, 6);
+    let mut sim = Simulation::new(SimConfig::ideal().with_seed(6), cluster.build().unwrap());
     sim.run_for(Duration::from_secs(3));
     let correct: Vec<u32> = (0..6).collect();
     for w in 0..2 {
@@ -76,19 +92,41 @@ fn equivocation_with_larger_cluster_and_multiple_workers() {
         for &i in &correct[1..] {
             let other = definite_prefix(&sim, i, w);
             let common = reference.len().min(other.len());
-            assert_eq!(other[..common], reference[..common], "worker {w}, node {i} diverged");
+            assert_eq!(
+                other[..common],
+                reference[..common],
+                "worker {w}, node {i} diverged"
+            );
         }
     }
     assert_delivery_agreement(&sim, &correct);
 }
 
 #[test]
+fn silent_proposer_forces_fallbacks_without_recoveries() {
+    let cluster = ClusterBuilder::<FloCluster>::new(test_params(4, 1))
+        .with_seed(10)
+        .with_role(NodeId(3), NodeRole::SilentProposer);
+    let scenario = Scenario::new("silent")
+        .ideal()
+        .run_for(Duration::from_secs(2));
+    let report = Simulator.run(&cluster, &scenario).unwrap();
+    assert!(
+        report.tps > 0.0,
+        "cluster must keep deciding around the silent node"
+    );
+    assert!(
+        report.fallbacks > 0 || report.per_node[0].blocks > 0,
+        "the silent proposer's turns must be resolved"
+    );
+}
+
+#[test]
 fn delivered_blocks_survive_recoveries_definite_prefix_is_monotone() {
     // Run the Byzantine scenario in two phases and check that everything
     // delivered by the first phase is still delivered (same order) later.
-    let params = test_params(4, 1);
-    let (nodes, _) = mixed_cluster(&params, 1, 12);
-    let mut sim = Simulation::new(SimConfig::ideal().with_seed(12), nodes);
+    let cluster = mixed_cluster(&test_params(4, 1), 1, 12);
+    let mut sim = Simulation::new(SimConfig::ideal().with_seed(12), cluster.build().unwrap());
     sim.run_for(Duration::from_millis(800));
     let early: Vec<_> = sim
         .deliveries(NodeId(1))
@@ -102,5 +140,9 @@ fn delivered_blocks_survive_recoveries_definite_prefix_is_monotone() {
         .map(|d| (d.worker, d.round, d.block.header.payload_hash))
         .collect();
     assert!(late.len() >= early.len());
-    assert_eq!(&late[..early.len()], &early[..], "definite decisions must never be rescinded");
+    assert_eq!(
+        &late[..early.len()],
+        &early[..],
+        "definite decisions must never be rescinded"
+    );
 }

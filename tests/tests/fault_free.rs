@@ -1,9 +1,10 @@
 //! Integration tests of the fault-free optimistic path across crates: FLO
 //! clusters on the discrete-event simulator, agreement, total order,
-//! non-triviality and the single-bit communication pattern.
+//! non-triviality and the single-bit communication pattern — all assembled
+//! through the unified `ClusterBuilder`.
 
-use fireledger::prelude::*;
 use fireledger_integration_tests::*;
+use fireledger_runtime::prelude::*;
 use fireledger_sim::{SimConfig, Simulation};
 use std::time::Duration;
 
@@ -11,8 +12,12 @@ use std::time::Duration;
 fn four_node_cluster_reaches_high_round_numbers() {
     let mut sim = flo_sim(4, 1, 1);
     sim.run_for(Duration::from_secs(1));
-    let node = sim.node(NodeId(0));
-    assert!(node.worker(0).chain().len() > 30, "got {}", node.worker(0).chain().len());
+    let node = sim.node(NodeId(0)).flo();
+    assert!(
+        node.worker(0).chain().len() > 30,
+        "got {}",
+        node.worker(0).chain().len()
+    );
     assert_delivery_agreement(&sim, &[0, 1, 2, 3]);
 }
 
@@ -34,27 +39,42 @@ fn multi_worker_cluster_agrees_on_merged_order() {
     assert_delivery_agreement(&sim, &[0, 1, 2, 3]);
     // All four workers made progress.
     for w in 0..4 {
-        assert!(sim.node(NodeId(0)).worker(w).chain().len() > 3, "worker {w}");
+        assert!(
+            sim.node(NodeId(0)).flo().worker(w).chain().len() > 3,
+            "worker {w}"
+        );
     }
 }
 
 #[test]
 fn no_fallback_or_recovery_in_the_optimistic_case() {
-    let mut sim = flo_sim(7, 1, 3);
-    sim.run_for(Duration::from_millis(600));
-    let s = sim.summary();
-    assert_eq!(s.fallbacks, 0);
-    assert!(s.recoveries_per_sec == 0.0);
-    assert!(s.tps > 0.0);
+    let report = Simulator
+        .run(
+            &ClusterBuilder::<FloCluster>::new(test_params(7, 1)).with_seed(3),
+            &Scenario::new("optimistic")
+                .ideal()
+                .run_for(Duration::from_millis(600)),
+        )
+        .unwrap();
+    assert_eq!(report.fallbacks, 0);
+    assert_eq!(report.recoveries_per_sec, 0.0);
+    assert!(report.tps > 0.0);
 }
 
 #[test]
 fn non_triviality_client_transactions_are_eventually_decided() {
     let params = test_params(4, 1).with_fill_blocks(false);
-    let nodes = fireledger::build_cluster(&params, 5);
+    let nodes = ClusterBuilder::<FloCluster>::new(params)
+        .with_seed(5)
+        .build()
+        .unwrap();
     let mut sim = Simulation::new(SimConfig::ideal(), nodes);
     for i in 0..50u64 {
-        sim.inject_transaction(NodeId((i % 4) as u32), Transaction::new(9, i, vec![1u8; 64]), Duration::from_millis(i));
+        sim.inject_transaction(
+            NodeId((i % 4) as u32),
+            Transaction::new(9, i, vec![1u8; 64]),
+            Duration::from_millis(i),
+        );
     }
     sim.run_for(Duration::from_secs(1));
     let delivered: usize = sim
@@ -62,7 +82,10 @@ fn non_triviality_client_transactions_are_eventually_decided() {
         .iter()
         .map(|d| d.block.txs.iter().filter(|t| t.client == 9).count())
         .sum();
-    assert_eq!(delivered, 50, "every submitted transaction must be decided definitively");
+    assert_eq!(
+        delivered, 50,
+        "every submitted transaction must be decided definitively"
+    );
 }
 
 #[test]
@@ -70,25 +93,34 @@ fn blocks_are_filled_to_batch_size_under_load() {
     let mut sim = flo_sim(4, 1, 11);
     sim.run_for(Duration::from_millis(500));
     for d in sim.deliveries(NodeId(1)) {
-        assert_eq!(d.block.len(), 8, "under saturation every block carries β transactions");
+        assert_eq!(
+            d.block.len(),
+            8,
+            "under saturation every block carries β transactions"
+        );
     }
 }
 
 #[test]
 fn single_dc_network_model_also_converges() {
-    let params = test_params(4, 2);
-    let nodes = fireledger::build_cluster(&params, 13);
+    let nodes = ClusterBuilder::<FloCluster>::new(test_params(4, 2))
+        .with_seed(13)
+        .build()
+        .unwrap();
     let mut sim = Simulation::new(SimConfig::single_dc(), nodes);
     sim.run_for(Duration::from_secs(1));
     assert_delivery_agreement(&sim, &[0, 1, 2, 3]);
-    assert!(sim.summary().tps > 0.0);
 }
 
 #[test]
 fn geo_network_model_converges_with_larger_timeouts() {
-    let params = test_params(10, 1).with_base_timeout(Duration::from_millis(400));
-    let nodes = fireledger::build_cluster(&params, 21);
-    let mut sim = Simulation::new(SimConfig::geo_distributed(), nodes);
+    let scenario = Scenario::new("geo").geo().run_for(Duration::from_secs(8));
+    let params = test_params(10, 1).with_base_timeout(scenario.recommended_timeout());
+    let nodes = ClusterBuilder::<FloCluster>::new(params)
+        .with_seed(21)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(scenario.sim_config(), nodes);
     sim.run_for(Duration::from_secs(8));
     let nodes: Vec<u32> = (0..10).collect();
     assert_delivery_agreement(&sim, &nodes);

@@ -1,0 +1,141 @@
+//! Property tests for the FLO round-robin delivery merge (§6.2).
+//!
+//! Two properties pin the client-manager semantics the paper describes:
+//!
+//! 1. the merged delivery order is **identical across all correct nodes**,
+//!    for arbitrary link-jitter schedules, and is exactly round-robin —
+//!    worker 0's round-r block, then worker 1's, …;
+//! 2. a **stalled worker blocks release** of every later worker's blocks:
+//!    the other workers keep deciding blocks on their chains, but the merge
+//!    stalls at the stalled worker's slot — the latency effect Figures 8–9
+//!    measure.
+
+use fireledger::FloMsg;
+use fireledger_integration_tests::*;
+use fireledger_runtime::prelude::*;
+use fireledger_sim::adversary::Fate;
+use fireledger_sim::{Adversary, LatencyModel, SimConfig, SimTime, Simulation};
+use std::time::Duration;
+
+#[test]
+fn merged_order_is_identical_and_round_robin_across_random_schedules() {
+    for seed in 0..8u64 {
+        for workers in [2usize, 3] {
+            let nodes = ClusterBuilder::<FloCluster>::new(test_params(4, workers))
+                .with_seed(seed)
+                .build()
+                .unwrap();
+            let config = SimConfig::ideal()
+                .with_seed(seed)
+                .with_latency(LatencyModel::Uniform {
+                    min: Duration::from_micros(200),
+                    max: Duration::from_millis(1 + seed % 7),
+                });
+            let mut sim = Simulation::new(config, nodes);
+            sim.run_for(Duration::from_millis(500));
+
+            // Every correct node released the same merged sequence...
+            assert_delivery_agreement(&sim, &[0, 1, 2, 3]);
+            let deliveries = sim.deliveries(NodeId(0));
+            assert!(
+                deliveries.len() >= workers,
+                "seed {seed}, ω={workers}: no full merge round completed"
+            );
+            // ...and the sequence is exactly round-robin across workers.
+            for (i, d) in deliveries.iter().enumerate() {
+                assert_eq!(
+                    d.worker,
+                    WorkerId((i % workers) as u32),
+                    "seed {seed}, ω={workers}: delivery {i} out of worker order"
+                );
+                assert_eq!(
+                    d.round,
+                    Round((i / workers) as u64),
+                    "seed {seed}, ω={workers}: delivery {i} out of round order"
+                );
+            }
+        }
+    }
+}
+
+/// Drops every message belonging to one FLO worker instance, stalling that
+/// worker cluster-wide while leaving the others untouched.
+struct StallWorker(u32);
+
+impl Adversary<FloMsg> for StallWorker {
+    fn intercept(
+        &mut self,
+        _from: NodeId,
+        _to: NodeId,
+        msg: FloMsg,
+        _now: SimTime,
+    ) -> Fate<FloMsg> {
+        if msg.worker.0 == self.0 {
+            Fate::Drop
+        } else {
+            Fate::Deliver(msg)
+        }
+    }
+}
+
+#[test]
+fn stalled_worker_blocks_release_of_later_workers_blocks() {
+    let workers = 3;
+    let nodes = ClusterBuilder::<FloCluster>::new(test_params(4, workers))
+        .with_seed(5)
+        .build()
+        .unwrap();
+    // Worker 1 never gets a message through: it cannot decide anything.
+    let mut sim = Simulation::with_adversary(SimConfig::ideal(), nodes, Box::new(StallWorker(1)));
+    sim.run_for(Duration::from_secs(2));
+
+    for i in 0..4u32 {
+        let flo = sim.node(NodeId(i)).flo();
+        // Workers 0 and 2 kept deciding blocks on their chains...
+        assert!(
+            flo.worker(0).chain().definite_len() > 5,
+            "node {i}: worker 0 should keep deciding, got {}",
+            flo.worker(0).chain().definite_len()
+        );
+        assert!(
+            flo.worker(2).chain().definite_len() > 5,
+            "node {i}: worker 2 should keep deciding, got {}",
+            flo.worker(2).chain().definite_len()
+        );
+        // ...the stalled worker decided nothing...
+        assert_eq!(
+            flo.worker(1).chain().definite_len(),
+            0,
+            "node {i}: the stalled worker must not decide"
+        );
+        // ...and the round-robin merge released exactly worker 0's round-0
+        // block before stalling at worker 1's slot (§6.2: "a single slow
+        // worker delays the merged delivery of all others").
+        let released = sim.deliveries(NodeId(i));
+        assert_eq!(
+            released.len(),
+            1,
+            "node {i}: merge must stall at the stalled worker's slot, got {} releases",
+            released.len()
+        );
+        assert_eq!(released[0].worker, WorkerId(0));
+        assert_eq!(released[0].round, Round(0));
+    }
+}
+
+#[test]
+fn merge_resumes_in_order_when_no_worker_stalls() {
+    // Control for the test above: the same cluster without the adversary
+    // releases many full merge rounds.
+    let nodes = ClusterBuilder::<FloCluster>::new(test_params(4, 3))
+        .with_seed(5)
+        .build()
+        .unwrap();
+    let mut sim = Simulation::new(SimConfig::ideal(), nodes);
+    sim.run_for(Duration::from_secs(2));
+    assert!(
+        sim.deliveries(NodeId(0)).len() > 30,
+        "without a stalled worker the merge must flow freely, got {}",
+        sim.deliveries(NodeId(0)).len()
+    );
+}

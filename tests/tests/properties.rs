@@ -1,53 +1,72 @@
-//! Property-based tests (proptest) over the core data structures and the
-//! protocol's key invariants under randomized schedules.
+//! Randomized property tests over the core data structures and the
+//! protocol's key invariants under randomized schedules. Each property runs a
+//! fixed number of cases driven by the workspace's deterministic RNG, so a
+//! failure reproduces exactly from the printed case seed.
 
 use fireledger::chain::Chain;
-use fireledger::prelude::*;
-use fireledger::timer::EmaTimer;
 use fireledger::proposer::ProposerRotation;
+use fireledger::timer::EmaTimer;
 use fireledger_crypto::{merkle_root, CryptoProvider, MerkleTree, SimKeyStore};
 use fireledger_integration_tests::*;
+use fireledger_runtime::prelude::*;
 use fireledger_sim::{LatencyModel, SimConfig, Simulation};
-use fireledger_types::{ClusterConfig, GENESIS_HASH};
-use proptest::prelude::*;
+use fireledger_types::{DetRng, GENESIS_HASH};
 use std::time::Duration;
 
-fn arb_txs() -> impl Strategy<Value = Vec<Transaction>> {
-    prop::collection::vec((0u64..4, 0u64..1000, 1usize..64), 0..20).prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (c, s, len))| Transaction::new(c, s.wrapping_add(i as u64), vec![0xAB; len]))
-            .collect()
-    })
+const CASES: u64 = 32;
+
+fn random_txs(rng: &mut DetRng) -> Vec<Transaction> {
+    let count = rng.gen_below(20) as usize;
+    (0..count)
+        .map(|i| {
+            let client = rng.gen_below(4);
+            let seq = rng.gen_below(1000).wrapping_add(i as u64);
+            let len = 1 + rng.gen_below(63) as usize;
+            Transaction::new(client, seq, vec![0xAB; len])
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn merkle_proofs_verify_for_every_leaf(txs in arb_txs()) {
+#[test]
+fn merkle_proofs_verify_for_every_leaf() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(case);
+        let txs = random_txs(&mut rng);
         let tree = MerkleTree::build(&txs);
         let root = tree.root();
         for (i, tx) in txs.iter().enumerate() {
             let proof = tree.prove(i).unwrap();
-            prop_assert!(MerkleTree::verify(&root, tx, &proof));
+            assert!(
+                MerkleTree::verify(&root, tx, &proof),
+                "case {case}, leaf {i}"
+            );
         }
-        prop_assert_eq!(root, merkle_root(&txs));
+        assert_eq!(root, merkle_root(&txs), "case {case}");
     }
+}
 
-    #[test]
-    fn merkle_root_detects_any_single_mutation(txs in arb_txs(), idx in 0usize..20) {
-        prop_assume!(!txs.is_empty());
-        let idx = idx % txs.len();
+#[test]
+fn merkle_root_detects_any_single_mutation() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(1000 + case);
+        let txs = random_txs(&mut rng);
+        if txs.is_empty() {
+            continue;
+        }
+        let idx = rng.gen_below(txs.len() as u64) as usize;
         let root = merkle_root(&txs);
         let mut mutated = txs.clone();
         mutated[idx] = Transaction::new(999, 999_999, vec![0xCD; 7]);
-        prop_assert_ne!(root, merkle_root(&mutated));
+        assert_ne!(root, merkle_root(&mutated), "case {case}, index {idx}");
     }
+}
 
-    #[test]
-    fn chain_growth_preserves_validation_and_finality(len in 1usize..40, n in 4usize..11) {
+#[test]
+fn chain_growth_preserves_validation_and_finality() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(2000 + case);
+        let len = 1 + rng.gen_below(39) as usize;
+        let n = 4 + rng.gen_below(7) as usize;
         let crypto = SimKeyStore::generate(n, 1);
         let cluster = ClusterConfig::new(n);
         let mut chain = Chain::new(cluster);
@@ -63,58 +82,109 @@ proptest! {
                 0,
             );
             let sig = crypto.sign(proposer, &header.canonical_bytes());
-            let signed = SignedHeader::new(header, sig);
-            prop_assert!(chain.validate_extension(&signed, &crypto).is_ok());
+            let signed = fireledger_types::SignedHeader::new(header, sig);
+            assert!(
+                chain.validate_extension(&signed, &crypto).is_ok(),
+                "case {case}"
+            );
             chain.append(signed, None);
             chain.finalize_deep_blocks();
         }
         let f = cluster.f;
-        prop_assert_eq!(chain.len(), len);
-        prop_assert_eq!(chain.definite_len(), len.saturating_sub(f + 1));
+        assert_eq!(chain.len(), len, "case {case}");
+        assert_eq!(
+            chain.definite_len(),
+            len.saturating_sub(f + 1),
+            "case {case}"
+        );
         // A full version exchange round-trips.
         let base = Round(chain.definite_len() as u64);
         let version = chain.version_from(base);
-        prop_assert!(chain.validate_version(base, &version, &crypto).is_ok());
+        assert!(
+            chain.validate_version(base, &version, &crypto).is_ok(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn ema_timer_stays_within_bounds(ops in prop::collection::vec(prop::bool::ANY, 1..200)) {
+#[test]
+fn ema_timer_stays_within_bounds() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(3000 + case);
+        let ops = 1 + rng.gen_below(199) as usize;
         let base = Duration::from_millis(10);
         let max = Duration::from_millis(1000);
         let mut timer = EmaTimer::new(base, max, 8);
-        for hit in ops {
-            if hit {
+        for _ in 0..ops {
+            if rng.gen_below(2) == 0 {
                 timer.record_delivery(Duration::from_millis(3));
             } else {
                 timer.record_miss();
             }
-            prop_assert!(timer.current() >= base);
-            prop_assert!(timer.current() <= max);
+            assert!(timer.current() >= base, "case {case}");
+            assert!(timer.current() <= max, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn proposer_rotation_skip_rule_never_picks_a_recent_proposer(
-        decided in prop::collection::vec((0u32..10, 0u64..100), 0..30),
-        start in 0u32..10,
-        round in 5u64..200,
-    ) {
+#[test]
+fn proposer_rotation_skip_rule_never_picks_a_recent_proposer() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(4000 + case);
         let mut rot = ProposerRotation::new(ClusterConfig::new(10));
-        for (node, r) in decided {
-            rot.record_decided(NodeId(node), Round(r));
+        let decided = rng.gen_below(30) as usize;
+        for _ in 0..decided {
+            let node = NodeId(rng.gen_below(10) as u32);
+            let round = Round(rng.gen_below(100));
+            rot.record_decided(node, round);
         }
-        let choice = rot.select(NodeId(start), Round(round));
+        let start = NodeId(rng.gen_below(10) as u32);
+        let round = Round(5 + rng.gen_below(195));
+        let choice = rot.select(start, round);
         if choice.skipped.len() < 10 {
-            prop_assert!(rot.eligible(choice.proposer, Round(round)));
+            assert!(rot.eligible(choice.proposer, round), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn definite_prefix_agreement_under_random_latency(seed in 0u64..50, max_ms in 1u64..12) {
-        // Randomized link delays (a different jitter schedule per seed) never
-        // break agreement on delivered blocks — the heart of BBFC-Agreement.
-        let params = test_params(4, 1);
-        let nodes = fireledger::build_cluster(&params, seed);
+#[test]
+fn reshuffled_rotation_is_identical_across_nodes_and_a_permutation() {
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(5000 + case);
+        let mut entropy = [0u8; 32];
+        rng.fill_bytes(&mut entropy);
+        let entropy = fireledger_types::Hash::from_bytes(entropy);
+        let mut a = ProposerRotation::new(ClusterConfig::new(10));
+        let mut b = ProposerRotation::new(ClusterConfig::new(10));
+        a.reshuffle(&entropy);
+        b.reshuffle(&entropy);
+        assert_eq!(
+            a.order(),
+            b.order(),
+            "case {case}: reshuffle must be deterministic"
+        );
+        let mut sorted = a.order().to_vec();
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            (0..10u32).map(NodeId).collect::<Vec<_>>(),
+            "case {case}: reshuffle must be a permutation"
+        );
+    }
+}
+
+#[test]
+fn definite_prefix_agreement_under_random_latency() {
+    // Randomized link delays (a different jitter schedule per seed) never
+    // break agreement on delivered blocks — the heart of BBFC-Agreement.
+    for case in 0..CASES {
+        let mut rng = DetRng::seed_from_u64(6000 + case);
+        let seed = rng.gen_below(50);
+        let max_ms = 1 + rng.gen_below(11);
+        let nodes = ClusterBuilder::<FloCluster>::new(test_params(4, 1))
+            .with_seed(seed)
+            .build()
+            .unwrap();
         let config = SimConfig::ideal()
             .with_seed(seed)
             .with_latency(LatencyModel::Uniform {
@@ -133,7 +203,11 @@ proptest! {
         for i in 1..4u32 {
             let other = seq(i);
             let common = reference.len().min(other.len());
-            prop_assert_eq!(&other[..common], &reference[..common]);
+            assert_eq!(
+                &other[..common],
+                &reference[..common],
+                "case {case} (seed {seed}, max {max_ms} ms)"
+            );
         }
     }
 }
