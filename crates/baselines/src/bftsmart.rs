@@ -14,6 +14,7 @@
 
 use fireledger_bft::{Pbft, PbftConfig, PbftMsg};
 use fireledger_crypto::{merkle_root, SharedCrypto};
+use fireledger_types::codec::{CodecError, Reader, WireCodec};
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{
     Block, BlockHeader, Delivery, NodeId, Observation, Outbox, Protocol, ProtocolParams, Round,
@@ -35,6 +36,25 @@ pub struct OrderedBatch {
 impl WireSize for OrderedBatch {
     fn wire_size(&self) -> usize {
         4 + 8 + self.txs.wire_size()
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §7.3:
+/// `assembler u32 | seq u64 | txs Vec<Transaction>`. PBFT and the
+/// BFT-SMaRt-style service exchange these inside [`PbftMsg`] (§5.2).
+impl WireCodec for OrderedBatch {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.assembler.encode_to(out);
+        self.seq.encode_to(out);
+        self.txs.encode_to(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(OrderedBatch {
+            assembler: NodeId::decode_from(r)?,
+            seq: r.u64()?,
+            txs: Vec::<Transaction>::decode_from(r)?,
+        })
     }
 }
 
@@ -335,5 +355,25 @@ mod tests {
             s.msgs_sent as f64 / batches as f64 > 12.0,
             "expected ≥ n² messages per batch"
         );
+    }
+
+    #[test]
+    fn codec_roundtrips_ordered_batches_inside_pbft_messages() {
+        let batch = OrderedBatch {
+            assembler: NodeId(2),
+            seq: 9,
+            txs: vec![
+                Transaction::zeroed(1, 0, 32),
+                Transaction::new(3, 4, vec![5]),
+            ],
+        };
+        assert_eq!(OrderedBatch::decode(&batch.encode()).unwrap(), batch);
+        // The batch as it actually travels: wrapped in the PBFT layout.
+        let msg = PbftMsg::PrePrepare {
+            view: 0,
+            seq: 1,
+            value: batch,
+        };
+        assert_eq!(PbftMsg::<OrderedBatch>::decode(&msg.encode()).unwrap(), msg);
     }
 }

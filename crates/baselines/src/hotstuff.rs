@@ -22,6 +22,7 @@
 //! QC costs one aggregate signature, not `n`).
 
 use fireledger_crypto::{merkle_root, SharedCrypto};
+use fireledger_types::codec::{CodecError, Reader, WireCodec};
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{
     Block, BlockHeader, Delivery, Hash, NodeId, Observation, Outbox, Protocol, ProtocolParams,
@@ -48,8 +49,23 @@ impl WireSize for QuorumCert {
     }
 }
 
+/// Layout per WIRE_FORMAT.md §7.1: `view u64 | block_hash [32]B`.
+impl WireCodec for QuorumCert {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.view.encode_to(out);
+        self.block_hash.encode_to(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(QuorumCert {
+            view: r.u64()?,
+            block_hash: Hash::decode_from(r)?,
+        })
+    }
+}
+
 /// HotStuff wire messages.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum HotStuffMsg {
     /// Leader proposal for a view: a block extending `justify`.
     Proposal {
@@ -94,6 +110,61 @@ impl WireSize for HotStuffMsg {
     }
 }
 
+/// Layout per WIRE_FORMAT.md §7.2: a discriminant byte (`0x01` Proposal,
+/// `0x02` Vote, `0x03` NewView) followed by the variant's fields in
+/// declaration order.
+impl WireCodec for HotStuffMsg {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            HotStuffMsg::Proposal {
+                view,
+                header,
+                txs,
+                justify,
+            } => {
+                out.push(1);
+                view.encode_to(out);
+                header.encode_to(out);
+                txs.encode_to(out);
+                justify.encode_to(out);
+            }
+            HotStuffMsg::Vote { view, block_hash } => {
+                out.push(2);
+                view.encode_to(out);
+                block_hash.encode_to(out);
+            }
+            HotStuffMsg::NewView { view, high_qc } => {
+                out.push(3);
+                view.encode_to(out);
+                high_qc.encode_to(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            1 => Ok(HotStuffMsg::Proposal {
+                view: r.u64()?,
+                header: SignedHeader::decode_from(r)?,
+                txs: Vec::<Transaction>::decode_from(r)?,
+                justify: QuorumCert::decode_from(r)?,
+            }),
+            2 => Ok(HotStuffMsg::Vote {
+                view: r.u64()?,
+                block_hash: Hash::decode_from(r)?,
+            }),
+            3 => Ok(HotStuffMsg::NewView {
+                view: r.u64()?,
+                high_qc: QuorumCert::decode_from(r)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "HotStuffMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct PendingBlock {
     header: SignedHeader,
@@ -112,8 +183,12 @@ pub struct HotStuffNode {
     blocks: HashMap<u64, PendingBlock>,
     /// Vote collection at the (next) leader, per view.
     votes: HashMap<u64, HashSet<NodeId>>,
-    /// Views whose block is already committed.
+    /// Views whose block is final (on the committed chain). A view can be
+    /// final while its block is still in flight — see `mark_committed_chain`.
     committed: HashSet<u64>,
+    /// Parent → child edges of the committed chain, the order blocks are
+    /// delivered in.
+    chain_child: HashMap<u64, u64>,
     /// Highest view this replica has voted in (vote-once-per-view rule).
     voted_view: u64,
     /// Views this replica has already proposed for (at most one proposal per
@@ -141,6 +216,7 @@ impl HotStuffNode {
             blocks: HashMap::new(),
             votes: HashMap::new(),
             committed: HashSet::new(),
+            chain_child: HashMap::new(),
             voted_view: 0,
             proposed_views: HashSet::new(),
             last_delivered_view: 0,
@@ -226,11 +302,11 @@ impl HotStuffNode {
         justify: QuorumCert,
         out: &mut Outbox<HotStuffMsg>,
     ) {
-        if from != self.leader_of(view) || view <= self.voted_view {
+        if from != self.leader_of(view) || self.blocks.contains_key(&view) {
             return;
         }
-        // Verify the leader's signature and the payload commitment; then sign
-        // our vote — every replica signs every block in HotStuff.
+        // Verify the leader's signature and the payload commitment; the vote
+        // signature is charged further down, only when a vote is produced.
         if !self.crypto.verify(
             header.proposer(),
             &header.header.canonical_bytes(),
@@ -238,11 +314,7 @@ impl HotStuffNode {
         ) {
             return;
         }
-        out.cpu(CpuCharge {
-            signs: 1,
-            verifies: 1,
-            hashed_bytes: header.header.payload_bytes,
-        });
+        out.cpu(CpuCharge::verify(header.header.payload_bytes));
         if justify.view > self.high_qc.view {
             self.high_qc = justify.clone();
         }
@@ -254,11 +326,27 @@ impl HotStuffNode {
                 parent_view: justify.view,
             },
         );
+        if view <= self.voted_view {
+            // A proposal that arrived *after* a newer one (two leaders'
+            // broadcasts travel on different links, so a replica can observe
+            // them out of causal order). Too late to vote — the vote-once
+            // rule stands — but the block itself still belongs to the chain:
+            // store it, and if its view was already committed via a
+            // descendant, resume the interrupted commit walk so the chain
+            // delivers without a hole.
+            if self.committed.contains(&view) {
+                self.mark_committed_chain(view);
+                self.deliver_chain(out);
+            }
+            return;
+        }
         // Catch up to the proposal's view and record the vote-once rule.
         if view > self.view {
             self.view = view;
         }
         self.voted_view = view;
+        // Every replica signs every block it votes for in HotStuff.
+        out.cpu(CpuCharge::sign(0));
         let block_hash = fireledger_crypto::hash_header(&header.header);
         let next_leader = self.leader_of(view + 1);
         let vote = HotStuffMsg::Vote { view, block_hash };
@@ -292,16 +380,23 @@ impl HotStuffNode {
         let votes = self.votes.entry(view).or_default();
         votes.insert(from);
         if votes.len() >= self.quorum() && !self.proposed_views.contains(&(view + 1)) {
+            // Votes travel point-to-point while the proposal is broadcast on
+            // other links, so a quorum can arrive *before* the block it
+            // certifies. Proposing then would extend a stale high_qc and
+            // orphan the gap. Defer instead: when the proposal lands,
+            // handle_proposal re-invokes us (with our own vote) and this
+            // quorum check passes with the block known.
+            let Some(block) = self.blocks.get(&view) else {
+                return;
+            };
             // Verify the aggregate once (signature aggregation).
             out.cpu(CpuCharge::verify(0));
-            if let Some(block) = self.blocks.get(&view) {
-                let qc = QuorumCert {
-                    view,
-                    block_hash: fireledger_crypto::hash_header(&block.header.header),
-                };
-                if qc.view > self.high_qc.view {
-                    self.high_qc = qc;
-                }
+            let qc = QuorumCert {
+                view,
+                block_hash: fireledger_crypto::hash_header(&block.header.header),
+            };
+            if qc.view > self.high_qc.view {
+                self.high_qc = qc;
             }
             self.propose_at(view + 1, out);
             self.try_commit(out);
@@ -328,37 +423,57 @@ impl HotStuffNode {
             return;
         }
         let commit_view = b1.parent_view;
-        if self.committed.contains(&commit_view) || !self.blocks.contains_key(&commit_view) {
-            return;
+        self.mark_committed_chain(commit_view);
+        self.deliver_chain(out);
+    }
+
+    /// Marks `from_view` and its ancestors final, recording the parent →
+    /// child edges [`Self::deliver_chain`] follows. The walk pauses at a
+    /// view whose block has not arrived yet (a proposal overtaken on another
+    /// link): the view is still marked final, and when the block lands,
+    /// `handle_proposal` resumes the walk from it.
+    fn mark_committed_chain(&mut self, from_view: u64) {
+        let mut cursor = from_view;
+        while cursor != 0 {
+            let Some(block) = self.blocks.get(&cursor) else {
+                self.committed.insert(cursor);
+                return;
+            };
+            let parent = block.parent_view;
+            self.chain_child.insert(parent, cursor);
+            self.committed.insert(cursor);
+            if parent == 0 || self.committed.contains(&parent) {
+                return;
+            }
+            cursor = parent;
         }
-        // Walk the parent links from the newly committed block, collecting
-        // every uncommitted ancestor, then deliver them oldest-first.
-        let mut to_commit = Vec::new();
-        let mut cursor = commit_view;
-        while cursor != 0 && self.blocks.contains_key(&cursor) && !self.committed.contains(&cursor)
-        {
-            to_commit.push(cursor);
-            cursor = self.blocks[&cursor].parent_view;
-        }
-        to_commit.sort_unstable();
-        for w in to_commit {
-            let block = self.blocks.get(&w).expect("checked above").clone();
-            self.committed.insert(w);
+    }
+
+    /// Delivers committed blocks strictly in chain order: follow the
+    /// committed parent → child edges from the last delivered view, stopping
+    /// at the chain's tip or at a block still in flight. Every replica walks
+    /// the same edges, so delivered sequences are identical regardless of
+    /// the order the underlying messages arrived in.
+    fn deliver_chain(&mut self, out: &mut Outbox<HotStuffMsg>) {
+        while let Some(&next) = self.chain_child.get(&self.last_delivered_view) {
+            let Some(block) = self.blocks.get(&next).cloned() else {
+                return;
+            };
             self.committed_blocks += 1;
-            self.last_delivered_view = w;
+            self.last_delivered_view = next;
             out.observe(Observation::DefiniteDecision {
                 worker: WorkerId(0),
-                round: Round(w),
+                round: Round(next),
                 tx_count: block.header.header.tx_count,
                 payload_bytes: block.header.header.payload_bytes,
             });
             out.observe(Observation::FloDelivery {
                 worker: WorkerId(0),
-                round: Round(w),
+                round: Round(next),
             });
             out.deliver(Delivery {
                 worker: WorkerId(0),
-                round: Round(w),
+                round: Round(next),
                 proposer: block.header.proposer(),
                 block: Block::new(block.header.header.clone(), block.txs.clone()),
             });
@@ -618,5 +733,52 @@ mod debug_tests {
                 sim.events_processed()
             );
         }
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let header = SignedHeader::new(
+            BlockHeader::new(
+                Round(3),
+                WorkerId(0),
+                NodeId(1),
+                fireledger_types::GENESIS_HASH,
+                Hash([9u8; 32]),
+                2,
+                128,
+            ),
+            fireledger_types::Signature(vec![0x33; 64]),
+        );
+        let qc = QuorumCert {
+            view: 5,
+            block_hash: Hash([4u8; 32]),
+        };
+        assert_eq!(QuorumCert::decode(&qc.encode()).unwrap(), qc);
+        let variants = vec![
+            HotStuffMsg::Proposal {
+                view: 6,
+                header,
+                txs: vec![Transaction::zeroed(1, 0, 32)],
+                justify: qc.clone(),
+            },
+            HotStuffMsg::Vote {
+                view: 6,
+                block_hash: Hash([8u8; 32]),
+            },
+            HotStuffMsg::NewView {
+                view: 7,
+                high_qc: qc,
+            },
+        ];
+        for m in variants {
+            assert_eq!(HotStuffMsg::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+        assert!(matches!(
+            HotStuffMsg::decode(&[0x55]),
+            Err(fireledger_types::CodecError::BadTag {
+                what: "HotStuffMsg",
+                ..
+            })
+        ));
     }
 }

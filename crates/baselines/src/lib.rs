@@ -19,7 +19,7 @@
 //! [`Protocol`]: fireledger_types::Protocol
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bftsmart;
 pub mod hotstuff;

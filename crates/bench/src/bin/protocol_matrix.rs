@@ -2,14 +2,39 @@
 //!
 //! One `Scenario` value drives all five protocols of the paper's evaluation
 //! — FLO, a single WRB/OBBC instance, PBFT, HotStuff and BFT-SMaRt — first
-//! deterministically on the discrete-event simulator and then on the
-//! threaded real-time runtime, emitting the same `RunReport` schema for
-//! every cell of the matrix.
+//! deterministically on the discrete-event simulator, then on the threaded
+//! real-time runtime, then on the TCP runtime (real localhost sockets
+//! speaking the binary wire format of `docs/WIRE_FORMAT.md`), emitting the
+//! same `RunReport` schema for every cell of the matrix.
+//!
+//! After the matrix, every protocol's TCP run is checked for **ledger
+//! identity** against a simulator run of the same scenario: each node's
+//! delivered block sequence must be byte-for-byte the same ledger (prefix
+//! equality — the runtimes cover different amounts of protocol time). A
+//! divergence aborts the binary with a non-zero exit code, because it means
+//! the wire format changed the protocol's behaviour.
 //!
 //! Run with: `cargo run -p fireledger-bench --bin protocol_matrix`
 
 use fireledger_bench::*;
 use std::time::Duration;
+
+/// Runs `system` on the simulator and on TCP with generous timeouts (so no
+/// spurious real-time timeout can alter the decision sequence) and checks
+/// that both produced the same ledger.
+fn check_ledger_identity(system: System) {
+    let cfg = ExperimentConfig::flo(4, 2, 10, 512)
+        .system(system)
+        .ideal()
+        .with_base_timeout(Duration::from_millis(250))
+        .duration(Duration::from_millis(700));
+    let (_, sim) = cfg.run_full_on(&Simulator, None);
+    let (_, tcp) = cfg.run_full_on(&Tcp, None);
+    match check_delivery_prefixes(&sim, &tcp) {
+        Ok(blocks) => println!("identity {system:?}: sim == tcp over {blocks} delivered blocks"),
+        Err(why) => panic!("ledger divergence between sim and tcp for {system:?}: {why}"),
+    }
+}
 
 fn main() {
     banner("Protocol × runtime matrix", "§7 experiment matrix");
@@ -20,8 +45,14 @@ fn main() {
             .duration(duration);
         cfg.run_on(&Simulator, None).emit("matrix/sim");
         cfg.run_on(&Threads, None).emit("matrix/threads");
+        cfg.run_on(&Tcp, None).emit("matrix/tcp");
     }
     println!("\nEvery row above came from the same Scenario value; only the protocol and the");
     println!("runtime changed. The simulator rows additionally carry latency percentiles and");
-    println!("message/signature counters, which the threaded runtime does not instrument.");
+    println!("message/signature counters, which the real-time runtimes do not instrument.");
+
+    println!("\nLedger identity, simulator vs TCP (prefix equality per node):");
+    for system in System::ALL {
+        check_ledger_identity(system);
+    }
 }

@@ -15,6 +15,7 @@
 //! FLO, HotStuff and BFT-SMaRt, and where the trade-offs cross over.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod quickbench;
 
@@ -62,7 +63,7 @@ pub struct ExperimentConfig {
     pub batch: usize,
     /// Transaction size σ in bytes.
     pub tx_size: usize,
-    /// Human-readable network label ("single-dc" / "geo").
+    /// Human-readable network label ("single-dc" / "geo" / "ideal").
     pub network: String,
     /// Simulated run length in milliseconds.
     pub duration_ms: u64,
@@ -72,6 +73,11 @@ pub struct ExperimentConfig {
     pub byzantine: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Base-timeout override in milliseconds; `None` derives the timeout
+    /// from the topology (the sweep binaries' behaviour). Cross-runtime
+    /// identity checks pin a generous value here so no wall-clock timeout
+    /// can alter a real-time run's decision sequence.
+    pub base_timeout_ms: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -88,6 +94,7 @@ impl ExperimentConfig {
             crashed: 0,
             byzantine: 0,
             seed: 1,
+            base_timeout_ms: None,
         }
     }
 
@@ -95,6 +102,20 @@ impl ExperimentConfig {
     pub fn geo(mut self) -> Self {
         self.network = "geo".into();
         self.duration_ms = self.duration_ms.max(5_000);
+        self
+    }
+
+    /// Switches the run to the idealized network model (1 ms constant
+    /// links, free CPU).
+    pub fn ideal(mut self) -> Self {
+        self.network = "ideal".into();
+        self
+    }
+
+    /// Pins the protocols' base timeout instead of deriving it from the
+    /// topology.
+    pub fn with_base_timeout(mut self, timeout: Duration) -> Self {
+        self.base_timeout_ms = Some(timeout.as_millis() as u64);
         self
     }
 
@@ -128,11 +149,11 @@ impl ExperimentConfig {
         let mut scenario = Scenario::new(self.network.clone())
             .with_seed(self.seed)
             .run_for(Duration::from_millis(self.duration_ms));
-        if self.network == "geo" {
-            scenario = scenario.geo();
-        } else {
-            scenario = scenario.single_dc();
-        }
+        scenario = match self.network.as_str() {
+            "geo" => scenario.geo(),
+            "ideal" => scenario.ideal(),
+            _ => scenario.single_dc(),
+        };
         if self.crashed > 0 {
             scenario = scenario.crash_last_f(self.n, self.crashed, Duration::ZERO);
         }
@@ -141,16 +162,25 @@ impl ExperimentConfig {
 
     /// The protocol parameters this configuration describes.
     pub fn protocol_params(&self) -> ProtocolParams {
+        let timeout = self
+            .base_timeout_ms
+            .map(Duration::from_millis)
+            .unwrap_or_else(|| self.scenario().recommended_timeout());
         ProtocolParams::new(self.n)
             .with_workers(self.workers)
             .with_batch_size(self.batch)
             .with_tx_size(self.tx_size)
-            .with_base_timeout(self.scenario().recommended_timeout())
+            .with_base_timeout(timeout)
     }
 
     fn builder<P: ClusterProtocol>(&self) -> ClusterBuilder<P>
     where
-        P::Msg: fireledger_types::WireSize + Clone + Send + std::fmt::Debug + 'static,
+        P::Msg: fireledger_types::WireSize
+            + fireledger_types::WireCodec
+            + Clone
+            + Send
+            + std::fmt::Debug
+            + 'static,
     {
         ClusterBuilder::<P>::new(self.protocol_params())
             .with_seed(self.seed)
@@ -159,22 +189,36 @@ impl ExperimentConfig {
 
     /// Runs the experiment on `runtime` with an optional CPU-model override.
     pub fn run_on<R: Runtime>(&self, runtime: &R, cost: Option<CostModel>) -> ExperimentResult {
+        self.run_full_on(runtime, cost).0
+    }
+
+    /// Like [`ExperimentConfig::run_on`], but also returns every node's
+    /// delivered blocks — the input to cross-runtime ledger-identity checks
+    /// ([`check_delivery_prefixes`]).
+    pub fn run_full_on<R: Runtime>(
+        &self,
+        runtime: &R,
+        cost: Option<CostModel>,
+    ) -> (ExperimentResult, Vec<Vec<Delivery>>) {
         let mut scenario = self.scenario();
         if let Some(cost) = cost {
             scenario = scenario.with_cost(cost);
         }
-        let report = match self.system {
-            System::Flo => runtime.run(&self.builder::<FloCluster>(), &scenario),
-            System::Wrb => runtime.run(&self.builder::<Worker>(), &scenario),
-            System::Pbft => runtime.run(&self.builder::<PbftNode>(), &scenario),
-            System::HotStuff => runtime.run(&self.builder::<HotStuffNode>(), &scenario),
-            System::BftSmart => runtime.run(&self.builder::<BftSmartNode>(), &scenario),
+        let (report, deliveries) = match self.system {
+            System::Flo => runtime.run_full(&self.builder::<FloCluster>(), &scenario),
+            System::Wrb => runtime.run_full(&self.builder::<Worker>(), &scenario),
+            System::Pbft => runtime.run_full(&self.builder::<PbftNode>(), &scenario),
+            System::HotStuff => runtime.run_full(&self.builder::<HotStuffNode>(), &scenario),
+            System::BftSmart => runtime.run_full(&self.builder::<BftSmartNode>(), &scenario),
         }
         .expect("experiment configuration must be runnable");
-        ExperimentResult {
-            config: self.clone(),
-            report,
-        }
+        (
+            ExperimentResult {
+                config: self.clone(),
+                report,
+            },
+            deliveries,
+        )
     }
 
     /// Runs the experiment on the simulator with the default machine model
@@ -222,7 +266,8 @@ impl ExperimentResult {
             concat!(
                 "{{\"config\":{{\"system\":\"{:?}\",\"n\":{},\"workers\":{},",
                 "\"batch\":{},\"tx_size\":{},\"network\":\"{}\",\"duration_ms\":{},",
-                "\"crashed\":{},\"byzantine\":{},\"seed\":{}}},\"report\":{}}}"
+                "\"crashed\":{},\"byzantine\":{},\"seed\":{},",
+                "\"base_timeout_ms\":{}}},\"report\":{}}}"
             ),
             self.config.system,
             self.config.n,
@@ -234,6 +279,9 @@ impl ExperimentResult {
             self.config.crashed,
             self.config.byzantine,
             self.config.seed,
+            self.config
+                .base_timeout_ms
+                .map_or("null".to_string(), |ms| ms.to_string()),
             self.report.to_json(),
         )
     }
@@ -371,7 +419,7 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"batch\":99"));
         assert!(json.contains("\"system\":\"Flo\""));
-        assert!(json.contains("\"report\":{\"protocol\":\"flo\""));
+        assert!(json.contains("\"report\":{\"schema_version\":2,\"protocol\":\"flo\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -18,7 +18,7 @@
 //! the baseline ordering node) that owns the wire and wraps their messages.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod obbc;
 pub mod pbft;

@@ -21,6 +21,7 @@
 //! [`Obbc::on_evidence_reply`], mirroring how WRB validates the proposer's
 //! signature before voting.
 
+use fireledger_types::codec::{CodecError, Reader, WireCodec};
 use fireledger_types::{ClusterConfig, NodeId, Outbox, WireSize};
 use std::collections::HashMap;
 use std::fmt::Debug;
@@ -56,6 +57,50 @@ impl<E: WireSize> WireSize for ObbcMsg<E> {
             ObbcMsg::Vote { .. } => 8 + 1,
             ObbcMsg::EvidenceRequest { .. } => 8 + 1,
             ObbcMsg::EvidenceReply { evidence, .. } => 8 + 1 + evidence.wire_size(),
+        }
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §5.3: a discriminant byte (`0x01` Vote, `0x02`
+/// EvidenceRequest, `0x03` EvidenceReply) followed by `instance u64` and the
+/// variant's remaining fields. (FireLedger itself inlines OBBC votes into its
+/// worker messages; this standalone layout exists so OBBC stays usable as an
+/// independent building block.)
+impl<E: WireCodec> WireCodec for ObbcMsg<E> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            ObbcMsg::Vote { instance, value } => {
+                out.push(1);
+                instance.encode_to(out);
+                value.encode_to(out);
+            }
+            ObbcMsg::EvidenceRequest { instance } => {
+                out.push(2);
+                instance.encode_to(out);
+            }
+            ObbcMsg::EvidenceReply { instance, evidence } => {
+                out.push(3);
+                instance.encode_to(out);
+                evidence.encode_to(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            1 => Ok(ObbcMsg::Vote {
+                instance: r.u64()?,
+                value: bool::decode_from(r)?,
+            }),
+            2 => Ok(ObbcMsg::EvidenceRequest { instance: r.u64()? }),
+            3 => Ok(ObbcMsg::EvidenceReply {
+                instance: r.u64()?,
+                evidence: Option::<E>::decode_from(r)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "ObbcMsg",
+                tag,
+            }),
         }
     }
 }
@@ -402,5 +447,38 @@ mod tests {
             evidence: Some(7),
         };
         assert!(reply.wire_size() > req.wire_size());
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let variants: Vec<ObbcMsg<u64>> = vec![
+            ObbcMsg::Vote {
+                instance: 3,
+                value: true,
+            },
+            ObbcMsg::Vote {
+                instance: 3,
+                value: false,
+            },
+            ObbcMsg::EvidenceRequest { instance: 9 },
+            ObbcMsg::EvidenceReply {
+                instance: 9,
+                evidence: Some(7),
+            },
+            ObbcMsg::EvidenceReply {
+                instance: 9,
+                evidence: None,
+            },
+        ];
+        for m in variants {
+            assert_eq!(ObbcMsg::<u64>::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+        assert!(matches!(
+            ObbcMsg::<u64>::decode(&[0x44]),
+            Err(fireledger_types::CodecError::BadTag {
+                what: "ObbcMsg",
+                ..
+            })
+        ));
     }
 }

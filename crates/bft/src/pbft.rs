@@ -20,6 +20,7 @@
 //! FireLedger proposers) never forge certificates, and the recovery layer
 //! re-validates every adopted block against the proposers' signatures anyway.
 
+use fireledger_types::codec::{CodecError, Reader, WireCodec};
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{ClusterConfig, NodeId, Outbox, TimerId, WireSize};
 use std::collections::hash_map::DefaultHasher;
@@ -137,6 +138,85 @@ impl<V: WireSize> WireSize for PbftMsg<V> {
                         .sum::<usize>()
                     + 64
             }
+        }
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §5.2: a discriminant byte (`0x01` Request,
+/// `0x02` PrePrepare, `0x03` Prepare, `0x04` Commit, `0x05` ViewChange,
+/// `0x06` NewView) followed by the variant's fields in declaration order;
+/// `prepared` / `preprepares` lists are `u32`-counted sequences of
+/// `seq u64 | value` pairs.
+impl<V: WireCodec> WireCodec for PbftMsg<V> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            PbftMsg::Request { value } => {
+                out.push(1);
+                value.encode_to(out);
+            }
+            PbftMsg::PrePrepare { view, seq, value } => {
+                out.push(2);
+                view.encode_to(out);
+                seq.encode_to(out);
+                value.encode_to(out);
+            }
+            PbftMsg::Prepare { view, seq, digest } => {
+                out.push(3);
+                view.encode_to(out);
+                seq.encode_to(out);
+                digest.encode_to(out);
+            }
+            PbftMsg::Commit { view, seq, digest } => {
+                out.push(4);
+                view.encode_to(out);
+                seq.encode_to(out);
+                digest.encode_to(out);
+            }
+            PbftMsg::ViewChange { new_view, prepared } => {
+                out.push(5);
+                new_view.encode_to(out);
+                prepared.encode_to(out);
+            }
+            PbftMsg::NewView { view, preprepares } => {
+                out.push(6);
+                view.encode_to(out);
+                preprepares.encode_to(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            1 => Ok(PbftMsg::Request {
+                value: V::decode_from(r)?,
+            }),
+            2 => Ok(PbftMsg::PrePrepare {
+                view: r.u64()?,
+                seq: r.u64()?,
+                value: V::decode_from(r)?,
+            }),
+            3 => Ok(PbftMsg::Prepare {
+                view: r.u64()?,
+                seq: r.u64()?,
+                digest: r.u64()?,
+            }),
+            4 => Ok(PbftMsg::Commit {
+                view: r.u64()?,
+                seq: r.u64()?,
+                digest: r.u64()?,
+            }),
+            5 => Ok(PbftMsg::ViewChange {
+                new_view: r.u64()?,
+                prepared: Vec::<(u64, V)>::decode_from(r)?,
+            }),
+            6 => Ok(PbftMsg::NewView {
+                view: r.u64()?,
+                preprepares: Vec::<(u64, V)>::decode_from(r)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "PbftMsg",
+                tag,
+            }),
         }
     }
 }
@@ -881,5 +961,54 @@ mod tests {
             prepared: vec![(0, 7u64), (1, 8u64)],
         };
         assert!(vc.wire_size() > 2 * 8);
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let variants: Vec<PbftMsg<u64>> = vec![
+            PbftMsg::Request { value: 7 },
+            PbftMsg::PrePrepare {
+                view: 1,
+                seq: 2,
+                value: 3,
+            },
+            PbftMsg::Prepare {
+                view: 4,
+                seq: 5,
+                digest: 6,
+            },
+            PbftMsg::Commit {
+                view: 7,
+                seq: 8,
+                digest: 9,
+            },
+            PbftMsg::ViewChange {
+                new_view: 10,
+                prepared: vec![(11, 12), (13, 14)],
+            },
+            PbftMsg::ViewChange {
+                new_view: 10,
+                prepared: vec![],
+            },
+            PbftMsg::NewView {
+                view: 15,
+                preprepares: vec![(16, 17)],
+            },
+        ];
+        for m in variants {
+            let bytes = m.encode();
+            assert_eq!(PbftMsg::<u64>::decode(&bytes).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn codec_rejects_unknown_discriminants() {
+        assert!(matches!(
+            PbftMsg::<u64>::decode(&[0x77]),
+            Err(fireledger_types::CodecError::BadTag {
+                what: "PbftMsg",
+                ..
+            })
+        ));
     }
 }

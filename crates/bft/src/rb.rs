@@ -15,6 +15,7 @@
 //! 3. on `2f+1` `Echo(v)` (or `f+1` `Ready(v)`), a node broadcasts `Ready(v)`;
 //! 4. on `2f+1` `Ready(v)`, a node delivers `v`.
 
+use fireledger_types::codec::{CodecError, Reader, WireCodec};
 use fireledger_types::{ClusterConfig, NodeId, Outbox, WireSize};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
@@ -65,6 +66,40 @@ impl<V: WireSize> WireSize for RbMsg<V> {
         };
         // origin + tag + variant tag + payload
         4 + 8 + 1 + payload
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §5.1: a discriminant byte (`0x01` Init, `0x02`
+/// Echo, `0x03` Ready) followed by `origin u32 | tag u64 | value`.
+impl<V: WireCodec> WireCodec for RbMsg<V> {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        let (disc, origin, tag, value) = match self {
+            RbMsg::Init { origin, tag, value } => (1u8, origin, tag, value),
+            RbMsg::Echo { origin, tag, value } => (2, origin, tag, value),
+            RbMsg::Ready { origin, tag, value } => (3, origin, tag, value),
+        };
+        out.push(disc);
+        origin.encode_to(out);
+        tag.encode_to(out);
+        value.encode_to(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let disc = r.u8()?;
+        if !(1..=3).contains(&disc) {
+            return Err(CodecError::BadTag {
+                what: "RbMsg",
+                tag: disc,
+            });
+        }
+        let origin = NodeId::decode_from(r)?;
+        let tag = r.u64()?;
+        let value = V::decode_from(r)?;
+        Ok(match disc {
+            1 => RbMsg::Init { origin, tag, value },
+            2 => RbMsg::Echo { origin, tag, value },
+            _ => RbMsg::Ready { origin, tag, value },
+        })
     }
 }
 
@@ -452,5 +487,45 @@ mod tests {
             value: 7u64,
         };
         assert_eq!(m.wire_size(), 4 + 8 + 1 + 8);
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let variants = [
+            RbMsg::Init {
+                origin: NodeId(1),
+                tag: 9,
+                value: 7u64,
+            },
+            RbMsg::Echo {
+                origin: NodeId(2),
+                tag: u64::MAX,
+                value: 0,
+            },
+            RbMsg::Ready {
+                origin: NodeId(3),
+                tag: 0,
+                value: 42,
+            },
+        ];
+        for m in variants {
+            let bytes = m.encode();
+            assert_eq!(RbMsg::<u64>::decode(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn codec_rejects_unknown_discriminants() {
+        let mut bytes = RbMsg::Init {
+            origin: NodeId(0),
+            tag: 0,
+            value: 1u64,
+        }
+        .encode();
+        bytes[0] = 0xEE;
+        assert!(matches!(
+            RbMsg::<u64>::decode(&bytes),
+            Err(fireledger_types::CodecError::BadTag { what: "RbMsg", .. })
+        ));
     }
 }

@@ -19,6 +19,7 @@
 //!   OBBC fallback and the recovery versions (Figure 3's BFT-SMaRt box).
 
 use fireledger_bft::{PbftMsg, RbMsg};
+use fireledger_types::codec::{CodecError, Reader, WireCodec};
 use fireledger_types::{Hash, NodeId, Round, SignedHeader, Transaction, WireSize, WorkerId};
 
 /// A proof that some proposer behaved inconsistently: a signed header that
@@ -37,6 +38,24 @@ pub struct PanicProof {
 impl WireSize for PanicProof {
     fn wire_size(&self) -> usize {
         8 + self.conflicting.wire_size() + self.local_parent.wire_size()
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §6.3:
+/// `detected_round u64 | conflicting SignedHeader | local_parent Option<SignedHeader>`.
+impl WireCodec for PanicProof {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.detected_round.encode_to(out);
+        self.conflicting.encode_to(out);
+        self.local_parent.encode_to(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PanicProof {
+            detected_round: Round::decode_from(r)?,
+            conflicting: SignedHeader::decode_from(r)?,
+            local_parent: Option::<SignedHeader>::decode_from(r)?,
+        })
     }
 }
 
@@ -79,8 +98,63 @@ impl WireSize for ConsensusValue {
     }
 }
 
+/// Layout per WIRE_FORMAT.md §6.4: a discriminant byte (`0x01` FallbackVote,
+/// `0x02` RecoveryVersion) followed by the variant's fields in declaration
+/// order.
+impl WireCodec for ConsensusValue {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            ConsensusValue::FallbackVote {
+                round,
+                proposer,
+                voter,
+                vote,
+                evidence,
+            } => {
+                out.push(1);
+                round.encode_to(out);
+                proposer.encode_to(out);
+                voter.encode_to(out);
+                vote.encode_to(out);
+                evidence.encode_to(out);
+            }
+            ConsensusValue::RecoveryVersion {
+                recovery_round,
+                from,
+                version,
+            } => {
+                out.push(2);
+                recovery_round.encode_to(out);
+                from.encode_to(out);
+                version.encode_to(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            1 => Ok(ConsensusValue::FallbackVote {
+                round: Round::decode_from(r)?,
+                proposer: NodeId::decode_from(r)?,
+                voter: NodeId::decode_from(r)?,
+                vote: bool::decode_from(r)?,
+                evidence: Option::<SignedHeader>::decode_from(r)?,
+            }),
+            2 => Ok(ConsensusValue::RecoveryVersion {
+                recovery_round: Round::decode_from(r)?,
+                from: NodeId::decode_from(r)?,
+                version: Vec::<SignedHeader>::decode_from(r)?,
+            }),
+            tag => Err(CodecError::BadTag {
+                what: "ConsensusValue",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Wire messages exchanged between the worker-`w` instances of the cluster.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum WorkerMsg {
     /// Data path: a block body, disseminated as soon as it is assembled and
     /// referenced from headers by its payload (merkle) hash.
@@ -156,7 +230,7 @@ impl WireSize for WorkerMsg {
 }
 
 /// A worker message tagged with its FLO worker instance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FloMsg {
     /// The worker instance this message belongs to.
     pub worker: WorkerId,
@@ -167,6 +241,119 @@ pub struct FloMsg {
 impl WireSize for FloMsg {
     fn wire_size(&self) -> usize {
         4 + self.inner.wire_size()
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §6.1: a discriminant byte (`0x01` BlockData
+/// through `0x09` Consensus) followed by the variant's fields in declaration
+/// order. Embedded sub-protocol messages ([`RbMsg`], [`PbftMsg`]) use their
+/// own layouts from §5.
+impl WireCodec for WorkerMsg {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            WorkerMsg::BlockData { payload_hash, txs } => {
+                out.push(1);
+                payload_hash.encode_to(out);
+                txs.encode_to(out);
+            }
+            WorkerMsg::Header { header } => {
+                out.push(2);
+                header.encode_to(out);
+            }
+            WorkerMsg::Vote {
+                round,
+                proposer,
+                vote,
+                piggyback,
+            } => {
+                out.push(3);
+                round.encode_to(out);
+                proposer.encode_to(out);
+                vote.encode_to(out);
+                piggyback.encode_to(out);
+            }
+            WorkerMsg::PullHeader { round, proposer } => {
+                out.push(4);
+                round.encode_to(out);
+                proposer.encode_to(out);
+            }
+            WorkerMsg::PullHeaderReply { header } => {
+                out.push(5);
+                header.encode_to(out);
+            }
+            WorkerMsg::PullBlock { payload_hash } => {
+                out.push(6);
+                payload_hash.encode_to(out);
+            }
+            WorkerMsg::PullBlockReply { payload_hash, txs } => {
+                out.push(7);
+                payload_hash.encode_to(out);
+                txs.encode_to(out);
+            }
+            WorkerMsg::Panic(m) => {
+                out.push(8);
+                m.encode_to(out);
+            }
+            WorkerMsg::Consensus(m) => {
+                out.push(9);
+                m.encode_to(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            1 => Ok(WorkerMsg::BlockData {
+                payload_hash: Hash::decode_from(r)?,
+                txs: Vec::<Transaction>::decode_from(r)?,
+            }),
+            2 => Ok(WorkerMsg::Header {
+                header: SignedHeader::decode_from(r)?,
+            }),
+            3 => Ok(WorkerMsg::Vote {
+                round: Round::decode_from(r)?,
+                proposer: NodeId::decode_from(r)?,
+                vote: bool::decode_from(r)?,
+                piggyback: Option::<SignedHeader>::decode_from(r)?,
+            }),
+            4 => Ok(WorkerMsg::PullHeader {
+                round: Round::decode_from(r)?,
+                proposer: NodeId::decode_from(r)?,
+            }),
+            5 => Ok(WorkerMsg::PullHeaderReply {
+                header: SignedHeader::decode_from(r)?,
+            }),
+            6 => Ok(WorkerMsg::PullBlock {
+                payload_hash: Hash::decode_from(r)?,
+            }),
+            7 => Ok(WorkerMsg::PullBlockReply {
+                payload_hash: Hash::decode_from(r)?,
+                txs: Vec::<Transaction>::decode_from(r)?,
+            }),
+            8 => Ok(WorkerMsg::Panic(RbMsg::<PanicProof>::decode_from(r)?)),
+            9 => Ok(WorkerMsg::Consensus(
+                PbftMsg::<ConsensusValue>::decode_from(r)?,
+            )),
+            tag => Err(CodecError::BadTag {
+                what: "WorkerMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Layout per WIRE_FORMAT.md §6.2: `worker u32 | inner WorkerMsg`.
+impl WireCodec for FloMsg {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.worker.encode_to(out);
+        self.inner.encode_to(out);
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FloMsg {
+            worker: WorkerId::decode_from(r)?,
+            inner: WorkerMsg::decode_from(r)?,
+        })
     }
 }
 
@@ -283,5 +470,165 @@ mod tests {
             inner,
         };
         assert_eq!(flo.wire_size(), inner_size + 4);
+    }
+
+    /// One value of every [`WorkerMsg`] variant, exercising every nested
+    /// message layout (panic RB, fallback consensus, recovery versions).
+    fn every_worker_msg() -> Vec<WorkerMsg> {
+        vec![
+            WorkerMsg::BlockData {
+                payload_hash: GENESIS_HASH,
+                txs: vec![
+                    Transaction::zeroed(1, 0, 64),
+                    Transaction::new(2, 1, vec![7]),
+                ],
+            },
+            WorkerMsg::Header {
+                header: signed_header(),
+            },
+            WorkerMsg::Vote {
+                round: Round(4),
+                proposer: NodeId(1),
+                vote: true,
+                piggyback: Some(signed_header()),
+            },
+            WorkerMsg::Vote {
+                round: Round(4),
+                proposer: NodeId(1),
+                vote: false,
+                piggyback: None,
+            },
+            WorkerMsg::PullHeader {
+                round: Round(9),
+                proposer: NodeId(2),
+            },
+            WorkerMsg::PullHeaderReply {
+                header: signed_header(),
+            },
+            WorkerMsg::PullBlock {
+                payload_hash: GENESIS_HASH,
+            },
+            WorkerMsg::PullBlockReply {
+                payload_hash: GENESIS_HASH,
+                txs: vec![Transaction::zeroed(3, 3, 16)],
+            },
+            WorkerMsg::Panic(RbMsg::Echo {
+                origin: NodeId(0),
+                tag: 5,
+                value: PanicProof {
+                    detected_round: Round(4),
+                    conflicting: signed_header(),
+                    local_parent: Some(signed_header()),
+                },
+            }),
+            WorkerMsg::Consensus(PbftMsg::PrePrepare {
+                view: 1,
+                seq: 2,
+                value: ConsensusValue::FallbackVote {
+                    round: Round(7),
+                    proposer: NodeId(0),
+                    voter: NodeId(1),
+                    vote: true,
+                    evidence: Some(signed_header()),
+                },
+            }),
+            WorkerMsg::Consensus(PbftMsg::Request {
+                value: ConsensusValue::RecoveryVersion {
+                    recovery_round: Round(11),
+                    from: NodeId(3),
+                    version: vec![signed_header(); 2],
+                },
+            }),
+        ]
+    }
+
+    #[test]
+    fn codec_roundtrips_every_worker_msg_variant() {
+        for msg in every_worker_msg() {
+            let bytes = msg.encode();
+            assert_eq!(WorkerMsg::decode(&bytes).unwrap(), msg, "{msg:?}");
+            // And wrapped in the FLO worker tag.
+            let flo = FloMsg {
+                worker: WorkerId(5),
+                inner: msg,
+            };
+            assert_eq!(FloMsg::decode(&flo.encode()).unwrap(), flo);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_panic_proof_without_parent() {
+        let proof = PanicProof {
+            detected_round: Round(0),
+            conflicting: signed_header(),
+            local_parent: None,
+        };
+        assert_eq!(PanicProof::decode(&proof.encode()).unwrap(), proof);
+    }
+
+    #[test]
+    fn codec_rejects_unknown_worker_msg_discriminants() {
+        assert!(matches!(
+            WorkerMsg::decode(&[0xEE]),
+            Err(fireledger_types::CodecError::BadTag {
+                what: "WorkerMsg",
+                ..
+            })
+        ));
+    }
+
+    /// The worked example of WIRE_FORMAT.md §8, byte for byte: a framed
+    /// `FloMsg` carrying a one-transaction FLO block body. If this test
+    /// fails, either the implementation or the spec changed — update the
+    /// other side and bump `WIRE_VERSION` if the change is incompatible.
+    #[test]
+    fn golden_frame_matches_wire_format_spec_section_8() {
+        use fireledger_types::codec::FrameHeader;
+        let msg = FloMsg {
+            worker: WorkerId(0),
+            inner: WorkerMsg::BlockData {
+                payload_hash: fireledger_types::Hash([0x22; 32]),
+                txs: vec![Transaction::new(1, 2, b"FIRE".as_slice())],
+            },
+        };
+        let payload = msg.encode();
+        let mut frame = FrameHeader::new(payload.len()).encode().to_vec();
+        frame.extend_from_slice(&payload);
+
+        let expected_hex = concat!(
+            // Frame header: magic "FLGR", version 1, payload length 65.
+            "464c4752",
+            "01",
+            "00000041",
+            // FloMsg: worker 0.
+            "00000000",
+            // WorkerMsg discriminant 0x01 (BlockData).
+            "01",
+            // payload_hash: 32 bytes of 0x22.
+            "2222222222222222222222222222222222222222222222222222222222222222",
+            // txs: 1 element.
+            "00000001",
+            // Transaction: client 1, seq 2, payload "FIRE".
+            "0000000000000001",
+            "0000000000000002",
+            "00000004",
+            "46495245",
+        );
+        let got_hex: String = frame.iter().map(|b| format!("{b:02x}")).collect();
+        assert_eq!(got_hex, expected_hex);
+        // And the spec'd bytes decode back to the message.
+        assert_eq!(FloMsg::decode(&payload).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncating_any_prefix_never_panics() {
+        // Defensive decoding: every truncation of a real message must fail
+        // cleanly (no panic, no bogus success of the *same* byte meaning).
+        for msg in every_worker_msg() {
+            let bytes = msg.encode();
+            for cut in 0..bytes.len() {
+                let _ = WorkerMsg::decode(&bytes[..cut]);
+            }
+        }
     }
 }

@@ -14,7 +14,7 @@
 //! scheme substitution does not change the *modelled* performance.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod hash;

@@ -1,381 +1,51 @@
 //! # fireledger-net
 //!
-//! A threaded, real-time in-process runtime for the same
-//! [`fireledger_types::Protocol`] state machines the discrete-event
-//! simulator drives. Each node runs on its own OS thread; messages travel
-//! over std `mpsc` channels (reliable, FIFO — the paper's link model) and
-//! timers use real wall-clock deadlines.
+//! The real-time runtimes for the sans-IO [`fireledger_types::Protocol`]
+//! state machines, plus the framing layer they share:
 //!
-//! The runtime exists to demonstrate that the protocol implementations are
+//! * [`ThreadedCluster`] — one OS thread per node, std `mpsc` channels for
+//!   links (reliable, FIFO — the paper's link model), wall-clock timers.
+//!   Messages are moved in-process, never serialized.
+//! * [`TcpCluster`] — one thread per node *plus* per-peer reader/writer
+//!   threads, a static full mesh of real `std::net::TcpStream`s over
+//!   localhost, and every message encoded through the workspace's binary
+//!   wire format (`docs/WIRE_FORMAT.md`) with length-prefixed framing
+//!   ([`frame`]).
+//!
+//! Both runtimes exist to demonstrate that the protocol implementations are
 //! genuinely sans-IO — the exact same `FloNode` / `Worker` / baseline code
-//! can run here, paying real CPU for hashing and signing, without any of the
-//! simulator's modelling (the examples and experiments use the simulator
-//! because it is deterministic and can model the paper's machine classes).
+//! runs under the deterministic simulator, in-process channels, and real
+//! sockets, without a line of protocol code changing. The [`RealtimeCluster`]
+//! trait is the common driving surface the `fireledger-runtime` facade uses
+//! to treat the two interchangeably.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
-use fireledger_types::{Action, Delivery, NodeId, Outbox, Protocol, TimerId, Transaction};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+pub mod frame;
+mod node_loop;
+mod tcp;
+mod threads;
 
-/// Events routed to a node's thread.
-enum NodeEvent<M> {
-    Message { from: NodeId, msg: M },
-    Transaction(Transaction),
-    Shutdown,
-}
+pub use tcp::TcpCluster;
+pub use threads::ThreadedCluster;
 
-/// A running threaded cluster.
-pub struct ThreadedCluster<M> {
-    senders: Vec<Sender<NodeEvent<M>>>,
-    handles: Vec<JoinHandle<()>>,
-    deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
-    crashed: Arc<Vec<AtomicBool>>,
-}
+use fireledger_types::{Delivery, NodeId, Transaction};
 
-impl<M> ThreadedCluster<M>
-where
-    M: Clone + Send + std::fmt::Debug + 'static,
-{
-    /// Spawns one thread per node and starts the protocol.
-    pub fn spawn<P>(nodes: Vec<P>) -> Self
-    where
-        P: Protocol<Msg = M> + Send + 'static,
-    {
-        let n = nodes.len();
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers: Vec<Receiver<NodeEvent<M>>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let deliveries = Arc::new(Mutex::new(vec![Vec::new(); n]));
-        let crashed: Arc<Vec<AtomicBool>> =
-            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
-        let mut handles = Vec::with_capacity(n);
-        for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
-            let peers = senders.clone();
-            let deliveries = deliveries.clone();
-            let crashed = crashed.clone();
-            handles.push(std::thread::spawn(move || {
-                run_node(&mut node, NodeId(i as u32), rx, peers, deliveries, crashed);
-            }));
-        }
-        ThreadedCluster {
-            senders,
-            handles,
-            deliveries,
-            crashed,
-        }
-    }
-
+/// The common driving surface of the real-time runtimes: submit client
+/// traffic, schedule crashes, observe deliveries, stop the cluster.
+///
+/// A driver written against this trait (like the `Threads` and `Tcp`
+/// runtimes in `fireledger-runtime`) works unchanged on in-process channels
+/// and on real sockets.
+pub trait RealtimeCluster {
     /// Submits a client transaction to `node`.
-    pub fn submit(&self, node: NodeId, tx: Transaction) {
-        let _ = self.senders[node.as_usize()].send(NodeEvent::Transaction(tx));
-    }
-
-    /// Crashes `node`: a flag the node's thread checks before every event
-    /// makes it stop promptly — it does not drain its message backlog first —
-    /// and its peers' subsequent sends to it disappear (a benign crash fault,
-    /// the shape of the paper's §7.4.1 experiment). The thread notices the
-    /// flag within its timer poll interval (≤ ~10 ms). Idempotent.
-    pub fn crash(&self, node: NodeId) {
-        self.crashed[node.as_usize()].store(true, Ordering::SeqCst);
-        // Also wake the thread in case it is parked in recv_timeout.
-        let _ = self.senders[node.as_usize()].send(NodeEvent::Shutdown);
-    }
-
-    /// Number of nodes in the cluster.
-    pub fn len(&self) -> usize {
-        self.senders.len()
-    }
-
-    /// True when the cluster has no nodes.
-    pub fn is_empty(&self) -> bool {
-        self.senders.is_empty()
-    }
-
+    fn submit(&self, node: NodeId, tx: Transaction);
+    /// Crashes `node`: its protocol thread stops without draining its
+    /// backlog, and it goes silent towards its peers.
+    fn crash(&self, node: NodeId);
     /// Blocks delivered so far at `node` (a snapshot).
-    pub fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
-        self.deliveries.lock().expect("deliveries lock")[node.as_usize()].clone()
-    }
-
-    /// Stops all node threads and returns the final per-node deliveries.
-    pub fn shutdown(self) -> Vec<Vec<Delivery>> {
-        for s in &self.senders {
-            let _ = s.send(NodeEvent::Shutdown);
-        }
-        for h in self.handles {
-            let _ = h.join();
-        }
-        Arc::try_unwrap(self.deliveries)
-            .map(|m| m.into_inner().expect("deliveries lock"))
-            .unwrap_or_else(|arc| arc.lock().expect("deliveries lock").clone())
-    }
-}
-
-fn run_node<P>(
-    node: &mut P,
-    me: NodeId,
-    rx: Receiver<NodeEvent<P::Msg>>,
-    peers: Vec<Sender<NodeEvent<P::Msg>>>,
-    deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
-    crashed: Arc<Vec<AtomicBool>>,
-) where
-    P: Protocol,
-    P::Msg: Clone + Send + 'static,
-{
-    let mut timers: HashMap<TimerId, Instant> = HashMap::new();
-    let mut out = Outbox::new();
-    node.on_start(&mut out);
-    apply(me, &mut out, &peers, &mut timers, &deliveries);
-
-    loop {
-        // A crash flag beats everything in the queue: a crashed node must not
-        // drain its backlog before going silent.
-        if crashed[me.as_usize()].load(Ordering::SeqCst) {
-            return;
-        }
-        // Fire any due timers.
-        let now = Instant::now();
-        let due: Vec<TimerId> = timers
-            .iter()
-            .filter(|(_, deadline)| **deadline <= now)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in due {
-            timers.remove(&id);
-            let mut out = Outbox::new();
-            node.on_timer(id, &mut out);
-            apply(me, &mut out, &peers, &mut timers, &deliveries);
-        }
-        // Wait for the next event or the next timer deadline.
-        let next_deadline = timers.values().min().copied();
-        let timeout = next_deadline
-            .map(|d| d.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(10));
-        match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
-            Ok(event) => {
-                // Re-check after every dequeue: a crash that lands while the
-                // thread is parked must beat the event it woke up for.
-                if crashed[me.as_usize()].load(Ordering::SeqCst) {
-                    return;
-                }
-                match event {
-                    NodeEvent::Message { from, msg } => {
-                        let mut out = Outbox::new();
-                        node.on_message(from, msg, &mut out);
-                        apply(me, &mut out, &peers, &mut timers, &deliveries);
-                    }
-                    NodeEvent::Transaction(tx) => {
-                        let mut out = Outbox::new();
-                        node.on_transaction(tx, &mut out);
-                        apply(me, &mut out, &peers, &mut timers, &deliveries);
-                    }
-                    NodeEvent::Shutdown => return,
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
-fn apply<M: Clone>(
-    me: NodeId,
-    out: &mut Outbox<M>,
-    peers: &[Sender<NodeEvent<M>>],
-    timers: &mut HashMap<TimerId, Instant>,
-    deliveries: &Arc<Mutex<Vec<Vec<Delivery>>>>,
-) {
-    for action in out.drain() {
-        match action {
-            Action::Send { to, msg } => {
-                if let Some(peer) = peers.get(to.as_usize()) {
-                    let _ = peer.send(NodeEvent::Message { from: me, msg });
-                }
-            }
-            Action::Broadcast { msg } => {
-                for (i, peer) in peers.iter().enumerate() {
-                    if i != me.as_usize() {
-                        let _ = peer.send(NodeEvent::Message {
-                            from: me,
-                            msg: msg.clone(),
-                        });
-                    }
-                }
-            }
-            Action::SetTimer { id, delay } => {
-                timers.insert(id, Instant::now() + delay);
-            }
-            Action::CancelTimer { id } => {
-                timers.remove(&id);
-            }
-            Action::Deliver(d) => {
-                deliveries.lock().expect("deliveries lock")[me.as_usize()].push(d);
-            }
-            // Real time: the CPU cost is paid by actually executing the
-            // crypto; observations are only collected by the simulator.
-            Action::Cpu(_) | Action::Observe(_) => {}
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use fireledger_types::Round;
-
-    /// A trivial protocol: node 0 broadcasts a counter on start; everyone
-    /// delivers what it receives. Exercises the runtime plumbing without
-    /// depending on the core crate (which would be a dependency cycle).
-    struct Echo {
-        me: NodeId,
-        n: usize,
-    }
-
-    impl Protocol for Echo {
-        type Msg = u64;
-        fn node_id(&self) -> NodeId {
-            self.me
-        }
-        fn on_start(&mut self, out: &mut Outbox<u64>) {
-            if self.me == NodeId(0) {
-                out.broadcast(7);
-                out.set_timer(TimerId(1), Duration::from_millis(5));
-            }
-        }
-        fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
-            out.deliver(Delivery {
-                worker: fireledger_types::WorkerId(0),
-                round: Round(msg),
-                proposer: from,
-                block: fireledger_types::Block::new(
-                    fireledger_types::BlockHeader::new(
-                        Round(msg),
-                        fireledger_types::WorkerId(0),
-                        from,
-                        fireledger_types::GENESIS_HASH,
-                        fireledger_types::GENESIS_HASH,
-                        0,
-                        0,
-                    ),
-                    vec![],
-                ),
-            });
-        }
-        fn on_timer(&mut self, _timer: TimerId, out: &mut Outbox<u64>) {
-            out.broadcast(8);
-            let _ = self.n;
-        }
-    }
-
-    #[test]
-    fn threaded_cluster_routes_messages_and_timers() {
-        let nodes: Vec<Echo> = (0..4)
-            .map(|i| Echo {
-                me: NodeId(i),
-                n: 4,
-            })
-            .collect();
-        let cluster = ThreadedCluster::spawn(nodes);
-        std::thread::sleep(Duration::from_millis(80));
-        let deliveries = cluster.shutdown();
-        for (i, delivered) in deliveries.iter().enumerate().skip(1) {
-            let rounds: Vec<u64> = delivered.iter().map(|d| d.round.0).collect();
-            assert!(
-                rounds.contains(&7),
-                "node {i} missed the broadcast: {rounds:?}"
-            );
-            assert!(
-                rounds.contains(&8),
-                "node {i} missed the timer broadcast: {rounds:?}"
-            );
-        }
-    }
-
-    #[test]
-    fn transactions_reach_the_target_node() {
-        struct TxEcho {
-            me: NodeId,
-        }
-        impl Protocol for TxEcho {
-            type Msg = u64;
-            fn node_id(&self) -> NodeId {
-                self.me
-            }
-            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
-            fn on_message(&mut self, _f: NodeId, _m: u64, _o: &mut Outbox<u64>) {}
-            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
-            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
-                out.broadcast(tx.seq);
-            }
-        }
-        let nodes: Vec<TxEcho> = (0..2).map(|i| TxEcho { me: NodeId(i) }).collect();
-        let cluster = ThreadedCluster::spawn(nodes);
-        cluster.submit(NodeId(0), Transaction::zeroed(1, 42, 4));
-        std::thread::sleep(Duration::from_millis(50));
-        // No panic and clean shutdown is the contract here.
-        let _ = cluster.shutdown();
-    }
-
-    #[test]
-    fn crashed_node_stops_despite_a_queued_backlog() {
-        // A crashed node must not drain events that arrive after the crash
-        // flag is set, even though its inbox holds work.
-        struct TxDeliver {
-            me: NodeId,
-        }
-        impl Protocol for TxDeliver {
-            type Msg = u64;
-            fn node_id(&self) -> NodeId {
-                self.me
-            }
-            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
-            fn on_message(&mut self, _f: NodeId, _m: u64, _o: &mut Outbox<u64>) {}
-            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
-            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
-                out.deliver(Delivery {
-                    worker: fireledger_types::WorkerId(0),
-                    round: Round(tx.seq),
-                    proposer: self.me,
-                    block: fireledger_types::Block::new(
-                        fireledger_types::BlockHeader::new(
-                            Round(tx.seq),
-                            fireledger_types::WorkerId(0),
-                            self.me,
-                            fireledger_types::GENESIS_HASH,
-                            fireledger_types::GENESIS_HASH,
-                            0,
-                            0,
-                        ),
-                        vec![],
-                    ),
-                });
-            }
-        }
-        let nodes: Vec<TxDeliver> = (0..2).map(|i| TxDeliver { me: NodeId(i) }).collect();
-        let cluster = ThreadedCluster::spawn(nodes);
-        cluster.crash(NodeId(1));
-        // A backlog submitted after the crash: none of it may be processed.
-        for seq in 0..100 {
-            cluster.submit(NodeId(1), Transaction::zeroed(1, seq, 4));
-        }
-        // The survivor keeps working.
-        cluster.submit(NodeId(0), Transaction::zeroed(1, 0, 4));
-        std::thread::sleep(Duration::from_millis(80));
-        let deliveries = cluster.shutdown();
-        assert!(
-            deliveries[1].is_empty(),
-            "crashed node processed {} queued events after its crash",
-            deliveries[1].len()
-        );
-        assert!(!deliveries[0].is_empty());
-    }
+    fn deliveries(&self, node: NodeId) -> Vec<Delivery>;
+    /// Stops the cluster and returns the final per-node deliveries.
+    fn shutdown(self) -> Vec<Vec<Delivery>>;
 }

@@ -1,0 +1,206 @@
+//! The per-node event loop shared by every real-time runtime.
+//!
+//! Both the mpsc-backed [`crate::ThreadedCluster`] and the TCP-backed
+//! [`crate::TcpCluster`] run the exact same loop on each node's thread: pull
+//! the next [`NodeEvent`] from the node's inbox, hand it to the sans-IO
+//! protocol state machine, and interpret the resulting
+//! [`Action`]s. The only thing that differs between the runtimes
+//! is how outbound messages leave the node — the [`Egress`] implementation.
+
+use fireledger_types::{Action, Delivery, NodeId, Outbox, Protocol, TimerId, Transaction};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Events routed to a node's thread.
+pub(crate) enum NodeEvent<M> {
+    /// A protocol message from a peer.
+    Message {
+        /// The sending node.
+        from: NodeId,
+        /// The message.
+        msg: M,
+    },
+    /// A client transaction submitted to this node.
+    Transaction(Transaction),
+    /// Stop the node's thread.
+    Shutdown,
+}
+
+/// How a node's outbound messages leave its thread.
+///
+/// Implementations capture the local node id, so `broadcast` excludes self.
+pub(crate) trait Egress<M> {
+    /// Delivers `msg` to `to` (a no-op for unknown or closed peers — the
+    /// paper's benign-crash link model).
+    fn send(&mut self, to: NodeId, msg: M);
+    /// Delivers `msg` to every other node.
+    fn broadcast(&mut self, msg: M);
+}
+
+/// The cluster-plumbing state every real-time runtime needs: one event
+/// channel per node, the shared delivery logs, and the crash flags. The
+/// runtime-specific cluster types wrap this and add only their transport
+/// (join handles, sockets).
+pub(crate) struct ClusterCore<M> {
+    pub evt_senders: Vec<Sender<NodeEvent<M>>>,
+    pub deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
+    pub crashed: Arc<Vec<AtomicBool>>,
+}
+
+impl<M> ClusterCore<M> {
+    /// Creates the core for `n` nodes, handing back each node's event
+    /// receiver for its thread.
+    pub fn new(n: usize) -> (Self, Vec<Receiver<NodeEvent<M>>>) {
+        let mut evt_senders = Vec::with_capacity(n);
+        let mut evt_receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            evt_senders.push(tx);
+            evt_receivers.push(rx);
+        }
+        (
+            ClusterCore {
+                evt_senders,
+                deliveries: Arc::new(Mutex::new(vec![Vec::new(); n])),
+                crashed: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+            },
+            evt_receivers,
+        )
+    }
+
+    /// Submits a client transaction to `node`.
+    pub fn submit(&self, node: NodeId, tx: Transaction) {
+        let _ = self.evt_senders[node.as_usize()].send(NodeEvent::Transaction(tx));
+    }
+
+    /// Sets `node`'s crash flag and wakes its thread so the flag is seen
+    /// before any queued event.
+    pub fn crash(&self, node: NodeId) {
+        self.crashed[node.as_usize()].store(true, Ordering::SeqCst);
+        let _ = self.evt_senders[node.as_usize()].send(NodeEvent::Shutdown);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.evt_senders.len()
+    }
+
+    /// Blocks delivered so far at `node` (a snapshot).
+    pub fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
+        self.deliveries.lock().expect("deliveries lock")[node.as_usize()].clone()
+    }
+
+    /// Asks every node thread to stop.
+    pub fn signal_shutdown(&self) {
+        for s in &self.evt_senders {
+            let _ = s.send(NodeEvent::Shutdown);
+        }
+    }
+
+    /// Consumes the core and returns the final per-node deliveries (callers
+    /// join their node threads first, so the `Arc` is normally unique).
+    pub fn take_deliveries(self) -> Vec<Vec<Delivery>> {
+        Arc::try_unwrap(self.deliveries)
+            .map(|m| m.into_inner().expect("deliveries lock"))
+            .unwrap_or_else(|arc| arc.lock().expect("deliveries lock").clone())
+    }
+}
+
+/// Runs one node until shutdown or crash: fires due timers, pulls events,
+/// applies the protocol's actions through `egress`.
+pub(crate) fn run_node<P, E>(
+    node: &mut P,
+    me: NodeId,
+    rx: Receiver<NodeEvent<P::Msg>>,
+    egress: &mut E,
+    deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
+    crashed: Arc<Vec<AtomicBool>>,
+) where
+    P: Protocol,
+    E: Egress<P::Msg>,
+{
+    let mut timers: HashMap<TimerId, Instant> = HashMap::new();
+    let mut out = Outbox::new();
+    node.on_start(&mut out);
+    apply(me, &mut out, egress, &mut timers, &deliveries);
+
+    loop {
+        // A crash flag beats everything in the queue: a crashed node must not
+        // drain its backlog before going silent.
+        if crashed[me.as_usize()].load(Ordering::SeqCst) {
+            return;
+        }
+        // Fire any due timers.
+        let now = Instant::now();
+        let due: Vec<TimerId> = timers
+            .iter()
+            .filter(|(_, deadline)| **deadline <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in due {
+            timers.remove(&id);
+            let mut out = Outbox::new();
+            node.on_timer(id, &mut out);
+            apply(me, &mut out, egress, &mut timers, &deliveries);
+        }
+        // Wait for the next event or the next timer deadline.
+        let next_deadline = timers.values().min().copied();
+        let timeout = next_deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(10));
+        match rx.recv_timeout(timeout.max(Duration::from_micros(100))) {
+            Ok(event) => {
+                // Re-check after every dequeue: a crash that lands while the
+                // thread is parked must beat the event it woke up for.
+                if crashed[me.as_usize()].load(Ordering::SeqCst) {
+                    return;
+                }
+                match event {
+                    NodeEvent::Message { from, msg } => {
+                        let mut out = Outbox::new();
+                        node.on_message(from, msg, &mut out);
+                        apply(me, &mut out, egress, &mut timers, &deliveries);
+                    }
+                    NodeEvent::Transaction(tx) => {
+                        let mut out = Outbox::new();
+                        node.on_transaction(tx, &mut out);
+                        apply(me, &mut out, egress, &mut timers, &deliveries);
+                    }
+                    NodeEvent::Shutdown => return,
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn apply<M, E: Egress<M>>(
+    me: NodeId,
+    out: &mut Outbox<M>,
+    egress: &mut E,
+    timers: &mut HashMap<TimerId, Instant>,
+    deliveries: &Arc<Mutex<Vec<Vec<Delivery>>>>,
+) {
+    for action in out.drain() {
+        match action {
+            Action::Send { to, msg } => egress.send(to, msg),
+            Action::Broadcast { msg } => egress.broadcast(msg),
+            Action::SetTimer { id, delay } => {
+                timers.insert(id, Instant::now() + delay);
+            }
+            Action::CancelTimer { id } => {
+                timers.remove(&id);
+            }
+            Action::Deliver(d) => {
+                deliveries.lock().expect("deliveries lock")[me.as_usize()].push(d);
+            }
+            // Real time: the CPU cost is paid by actually executing the
+            // crypto; observations are only collected by the simulator.
+            Action::Cpu(_) | Action::Observe(_) => {}
+        }
+    }
+}

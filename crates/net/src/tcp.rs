@@ -1,0 +1,420 @@
+//! The TCP runtime: each node owns real sockets in a static localhost mesh.
+//!
+//! This is the runtime the paper's deployment shape calls for — nodes that
+//! exchange *bytes*, not Rust values. Every message crosses a real
+//! `std::net::TcpStream`, framed per WIRE_FORMAT.md §3 and encoded with the
+//! message's [`WireCodec`] layout, so the whole encode → socket → decode path
+//! is exercised (and paid for) on every hop.
+//!
+//! ## Topology and threads
+//!
+//! The mesh is *static*: one TCP connection per unordered node pair, dialed
+//! at start-up (node `i` dials node `j` for `i < j`) and never re-established
+//! — a connection teardown is treated as a benign crash of the remote end,
+//! matching the paper's link model. For an `n`-node cluster, each node runs:
+//!
+//! * 1 protocol thread (the shared event loop of [`crate::node_loop`]);
+//! * `n − 1` reader threads, one per peer, decoding frames into the node's
+//!   event queue;
+//! * `n − 1` writer threads, one per peer, draining an unbounded channel of
+//!   pre-encoded frames. A slow or dead peer therefore stalls only its own
+//!   writer thread, never the protocol thread — the trade-off is that there
+//!   is **no back-pressure**: frames addressed to a stalled peer buffer in
+//!   that channel for the remainder of the run, so sender memory grows with
+//!   how long the peer stays stalled. For the bounded benchmark runs this
+//!   runtime serves, that is the right trade; a long-lived deployment would
+//!   want a bounded channel plus a disconnect policy instead.
+//!
+//! ## Handshake
+//!
+//! The dialing side opens every connection with a `Hello` frame whose payload
+//! is its `NodeId` (WIRE_FORMAT.md §3.1); the accepting side validates it
+//! before attaching the connection to the mesh. Frames that fail validation
+//! tear the connection down.
+
+use crate::frame::{read_frame, write_frame};
+use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
+use crate::RealtimeCluster;
+use fireledger_types::codec::{FrameHeader, FRAME_HEADER_LEN};
+use fireledger_types::{Delivery, NodeId, Protocol, Transaction, WireCodec};
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Builds the complete frame (header + payload) for one message, shared
+/// across all writer threads of a broadcast. The message is encoded directly
+/// after a header-sized placeholder that is then patched via
+/// [`FrameHeader::encode`] — one allocation, no payload copy, and the header
+/// layout still comes from the single authority the read path validates
+/// against.
+fn frame_of<M: WireCodec>(msg: &M) -> Arc<Vec<u8>> {
+    let mut out = vec![0u8; FRAME_HEADER_LEN];
+    msg.encode_to(&mut out);
+    let len = out.len() - FRAME_HEADER_LEN;
+    out[..FRAME_HEADER_LEN].copy_from_slice(&FrameHeader::new(len).encode());
+    Arc::new(out)
+}
+
+/// Routes a node's outbound messages to its per-peer writer threads,
+/// encoding each message exactly once. A send addressed to the node itself
+/// loops back through its own event queue — the same semantics the mpsc
+/// runtime and the simulator give self-sends, with no socket involved.
+struct TcpEgress<M> {
+    me: NodeId,
+    writers: Vec<Option<Sender<Arc<Vec<u8>>>>>,
+    loopback: Sender<NodeEvent<M>>,
+}
+
+impl<M: WireCodec> Egress<M> for TcpEgress<M> {
+    fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.me {
+            let _ = self
+                .loopback
+                .send(NodeEvent::Message { from: self.me, msg });
+        } else if let Some(Some(w)) = self.writers.get(to.as_usize()) {
+            let _ = w.send(frame_of(&msg));
+        }
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        let frame = frame_of(&msg);
+        for w in self.writers.iter().flatten() {
+            let _ = w.send(frame.clone());
+        }
+    }
+}
+
+/// A running TCP cluster: real sockets over localhost, one thread per node
+/// plus per-peer reader/writer threads.
+///
+/// The public surface mirrors [`crate::ThreadedCluster`] so the two runtimes
+/// are interchangeable to a driver.
+pub struct TcpCluster<M> {
+    core: ClusterCore<M>,
+    node_handles: Vec<JoinHandle<()>>,
+    io_handles: Vec<JoinHandle<()>>,
+    /// Every stream endpoint we hold (two per connection, one per side), kept
+    /// to force-unblock reader/writer threads at shutdown.
+    streams: Vec<TcpStream>,
+}
+
+impl<M> TcpCluster<M>
+where
+    M: WireCodec + Clone + Send + std::fmt::Debug + 'static,
+{
+    /// Binds one listener per node, dials the full mesh, performs the hello
+    /// handshake on every connection, and starts all threads.
+    pub fn spawn<P>(nodes: Vec<P>) -> io::Result<Self>
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
+        let n = nodes.len();
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+
+        // mesh[i][j]: the stream node i uses to exchange frames with node j.
+        // Index loops, not iterators: each pass fills both mesh[i][j] and
+        // mesh[j][i].
+        let mut mesh: Vec<Vec<Option<TcpStream>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut dialed = TcpStream::connect(addrs[j])?;
+                dialed.set_nodelay(true)?;
+                // Hello handshake (WIRE_FORMAT.md §3.1): the dialer
+                // identifies itself; the acceptor validates before attaching.
+                write_frame(&mut dialed, &NodeId(i as u32).encode())?;
+                let (mut accepted, _) = listeners[j].accept()?;
+                accepted.set_nodelay(true)?;
+                let hello = read_frame(&mut accepted)?.ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed before hello")
+                })?;
+                let peer = NodeId::decode(&hello)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                if peer != NodeId(i as u32) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("hello claims {peer}, expected p{i}"),
+                    ));
+                }
+                mesh[i][j] = Some(dialed);
+                mesh[j][i] = Some(accepted);
+            }
+        }
+
+        let (core, evt_receivers) = ClusterCore::new(n);
+        let mut streams = Vec::new();
+        let mut io_handles = Vec::new();
+        let mut node_handles = Vec::with_capacity(n);
+        for (i, (mut node, evt_rx)) in nodes.into_iter().zip(evt_receivers).enumerate() {
+            let me = NodeId(i as u32);
+            let mut writers: Vec<Option<Sender<Arc<Vec<u8>>>>> = vec![None; n];
+            for (j, slot) in mesh[i].iter_mut().enumerate() {
+                let Some(stream) = slot.take() else { continue };
+                streams.push(stream.try_clone()?);
+
+                // Writer thread: drain pre-encoded frames onto the socket.
+                let (wtx, wrx) = channel::<Arc<Vec<u8>>>();
+                writers[j] = Some(wtx);
+                let mut write_half = stream.try_clone()?;
+                io_handles.push(std::thread::spawn(move || {
+                    while let Ok(frame) = wrx.recv() {
+                        if write_half.write_all(&frame).is_err() {
+                            break;
+                        }
+                    }
+                }));
+
+                // Reader thread: decode frames into the node's event queue.
+                // Any framing or codec violation tears the connection down.
+                let mut read_half = stream;
+                let evt_tx = core.evt_senders[i].clone();
+                let from = NodeId(j as u32);
+                io_handles.push(std::thread::spawn(move || loop {
+                    let payload = match read_frame(&mut read_half) {
+                        Ok(Some(payload)) => payload,
+                        Ok(None) | Err(_) => return,
+                    };
+                    let Ok(msg) = M::decode(&payload) else { return };
+                    if evt_tx.send(NodeEvent::Message { from, msg }).is_err() {
+                        return;
+                    }
+                }));
+            }
+
+            let mut egress = TcpEgress {
+                me,
+                writers,
+                loopback: core.evt_senders[i].clone(),
+            };
+            let deliveries = core.deliveries.clone();
+            let crashed = core.crashed.clone();
+            node_handles.push(std::thread::spawn(move || {
+                run_node(&mut node, me, evt_rx, &mut egress, deliveries, crashed);
+            }));
+        }
+
+        Ok(TcpCluster {
+            core,
+            node_handles,
+            io_handles,
+            streams,
+        })
+    }
+
+    /// Submits a client transaction to `node`.
+    pub fn submit(&self, node: NodeId, tx: Transaction) {
+        self.core.submit(node, tx);
+    }
+
+    /// Crashes `node` (same semantics as [`crate::ThreadedCluster::crash`]):
+    /// its protocol thread stops without draining its backlog; its sockets
+    /// stay open but go silent, which is how a benign crash looks to peers.
+    pub fn crash(&self, node: NodeId) {
+        self.core.crash(node);
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn len(&self) -> usize {
+        self.core.len()
+    }
+
+    /// True when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.core.len() == 0
+    }
+
+    /// Blocks delivered so far at `node` (a snapshot).
+    pub fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
+        self.core.deliveries(node)
+    }
+
+    /// Stops all threads, closes every socket, and returns the final
+    /// per-node deliveries.
+    pub fn shutdown(self) -> Vec<Vec<Delivery>> {
+        self.core.signal_shutdown();
+        // Joining the protocol threads drops their egress channels, which
+        // lets idle writer threads finish; shutting the sockets down then
+        // unblocks any reader or writer parked in a syscall.
+        for h in self.node_handles {
+            let _ = h.join();
+        }
+        for stream in &self.streams {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for h in self.io_handles {
+            let _ = h.join();
+        }
+        self.core.take_deliveries()
+    }
+}
+
+impl<M> RealtimeCluster for TcpCluster<M>
+where
+    M: WireCodec + Clone + Send + std::fmt::Debug + 'static,
+{
+    fn submit(&self, node: NodeId, tx: Transaction) {
+        TcpCluster::submit(self, node, tx);
+    }
+    fn crash(&self, node: NodeId) {
+        TcpCluster::crash(self, node);
+    }
+    fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
+        TcpCluster::deliveries(self, node)
+    }
+    fn shutdown(self) -> Vec<Vec<Delivery>> {
+        TcpCluster::shutdown(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_types::{Outbox, Round, TimerId, WorkerId};
+    use std::time::Duration;
+
+    fn delivery(round: u64, proposer: NodeId) -> Delivery {
+        Delivery {
+            worker: WorkerId(0),
+            round: Round(round),
+            proposer,
+            block: fireledger_types::Block::new(
+                fireledger_types::BlockHeader::new(
+                    Round(round),
+                    WorkerId(0),
+                    proposer,
+                    fireledger_types::GENESIS_HASH,
+                    fireledger_types::GENESIS_HASH,
+                    0,
+                    0,
+                ),
+                vec![],
+            ),
+        }
+    }
+
+    /// Node 0 broadcasts on start and on a timer; everyone delivers what it
+    /// receives — the same smoke protocol the threaded runtime uses, but now
+    /// every `u64` crosses a real socket.
+    struct Echo {
+        me: NodeId,
+    }
+
+    impl Protocol for Echo {
+        type Msg = u64;
+        fn node_id(&self) -> NodeId {
+            self.me
+        }
+        fn on_start(&mut self, out: &mut Outbox<u64>) {
+            if self.me == NodeId(0) {
+                out.broadcast(7);
+                out.set_timer(TimerId(1), Duration::from_millis(5));
+            }
+        }
+        fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
+            out.deliver(delivery(msg, from));
+        }
+        fn on_timer(&mut self, _timer: TimerId, out: &mut Outbox<u64>) {
+            out.broadcast(8);
+        }
+    }
+
+    #[test]
+    fn tcp_cluster_routes_messages_and_timers_over_sockets() {
+        let nodes: Vec<Echo> = (0..4).map(|i| Echo { me: NodeId(i) }).collect();
+        let cluster = TcpCluster::spawn(nodes).expect("mesh setup");
+        assert_eq!(cluster.len(), 4);
+        std::thread::sleep(Duration::from_millis(120));
+        let deliveries = cluster.shutdown();
+        for (i, delivered) in deliveries.iter().enumerate().skip(1) {
+            let rounds: Vec<u64> = delivered.iter().map(|d| d.round.0).collect();
+            assert!(rounds.contains(&7), "node {i} missed broadcast: {rounds:?}");
+            assert!(
+                rounds.contains(&8),
+                "node {i} missed timer bcast: {rounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unicast_replies_flow_both_directions() {
+        // 0 broadcasts; each receiver unicasts an ack back; 0 delivers acks.
+        struct Ack {
+            me: NodeId,
+        }
+        impl Protocol for Ack {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, out: &mut Outbox<u64>) {
+                if self.me == NodeId(0) {
+                    out.broadcast(1);
+                }
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
+                if msg == 1 {
+                    out.send(NodeId(0), 100 + self.me.0 as u64);
+                } else {
+                    out.deliver(delivery(msg, from));
+                }
+            }
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+        }
+        let nodes: Vec<Ack> = (0..4).map(|i| Ack { me: NodeId(i) }).collect();
+        let cluster = TcpCluster::spawn(nodes).expect("mesh setup");
+        std::thread::sleep(Duration::from_millis(120));
+        let deliveries = cluster.shutdown();
+        let acks: std::collections::HashSet<u64> =
+            deliveries[0].iter().map(|d| d.round.0).collect();
+        assert_eq!(acks, [101u64, 102, 103].into_iter().collect());
+    }
+
+    #[test]
+    fn crashed_node_goes_silent_but_cluster_shuts_down_cleanly() {
+        struct TxDeliver {
+            me: NodeId,
+        }
+        impl Protocol for TxDeliver {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, _o: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _f: NodeId, _m: u64, _o: &mut Outbox<u64>) {}
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
+                out.deliver(delivery(tx.seq, self.me));
+                out.broadcast(tx.seq);
+            }
+        }
+        let nodes: Vec<TxDeliver> = (0..4).map(|i| TxDeliver { me: NodeId(i) }).collect();
+        let cluster = TcpCluster::spawn(nodes).expect("mesh setup");
+        cluster.crash(NodeId(3));
+        for seq in 0..50 {
+            cluster.submit(NodeId(3), Transaction::zeroed(1, seq, 4));
+        }
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 0, 4));
+        std::thread::sleep(Duration::from_millis(100));
+        let deliveries = cluster.shutdown();
+        assert!(deliveries[3].is_empty(), "crashed node kept delivering");
+        assert!(!deliveries[0].is_empty());
+    }
+
+    #[test]
+    fn single_node_cluster_needs_no_sockets() {
+        let cluster = TcpCluster::spawn(vec![Echo { me: NodeId(0) }]).expect("spawn");
+        assert_eq!(cluster.len(), 1);
+        assert!(!cluster.is_empty());
+        let deliveries = cluster.shutdown();
+        assert!(deliveries[0].is_empty());
+    }
+}

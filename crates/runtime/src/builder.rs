@@ -13,7 +13,9 @@ use fireledger::{
 };
 use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
 use fireledger_crypto::{SharedCrypto, SimKeyStore};
-use fireledger_types::{Error, NodeId, Protocol, ProtocolParams, Result, WireSize, WorkerId};
+use fireledger_types::{
+    Error, NodeId, Protocol, ProtocolParams, Result, WireCodec, WireSize, WorkerId,
+};
 use std::fmt;
 use std::marker::PhantomData;
 use std::time::Duration;
@@ -70,7 +72,7 @@ pub struct BuildContext {
 /// | [`BftSmartNode`]  | BFT-SMaRt-style pipelined ordering         |
 pub trait ClusterProtocol: Protocol + Sized + Send + 'static
 where
-    Self::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+    Self::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
 {
     /// Short machine-readable protocol name, used in [`crate::RunReport`]s.
     const NAME: &'static str;
@@ -196,7 +198,7 @@ pub struct ClusterBuilder<P> {
 impl<P> ClusterBuilder<P>
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
 {
     /// Starts a builder for an `params.n()`-node cluster with simulated
     /// (cheap) signatures, the accept-all validity predicate, and every node

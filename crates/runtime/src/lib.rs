@@ -5,8 +5,8 @@
 //!
 //! The paper's whole evaluation is a single experiment matrix —
 //! {FireLedger/FLO, PBFT, WRB/OBBC, HotStuff, BFT-SMaRt} × {single-DC, geo,
-//! crash, Byzantine} × {simulation, real threads}. This crate makes each axis
-//! one value:
+//! crash, Byzantine} × {simulation, real threads, real sockets}. This crate
+//! makes each axis one value:
 //!
 //! * [`ClusterBuilder`] assembles a cluster of any [`ClusterProtocol`] from
 //!   [`ProtocolParams`](fireledger_types::ProtocolParams) plus a per-node
@@ -14,9 +14,12 @@
 //! * [`Scenario`] describes the topology (single-DC, geo, custom latency
 //!   matrix), the workload (saturated, open-loop rate, closed-loop clients)
 //!   and the fault schedule with absolute trigger times;
-//! * a [`Runtime`] — [`Simulator`] (deterministic discrete events) or
-//!   [`Threads`] (one OS thread per node, wall-clock time) — consumes both
-//!   and returns a [`RunReport`] with an identical schema either way.
+//! * a [`Runtime`] — [`Simulator`] (deterministic discrete events),
+//!   [`Threads`] (one OS thread per node, wall-clock time, in-process
+//!   channels) or [`Tcp`] (wall-clock time over a real localhost
+//!   `TcpStream` mesh speaking the binary wire format of
+//!   `docs/WIRE_FORMAT.md`) — consumes both and returns a [`RunReport`]
+//!   with an identical schema every way.
 //!
 //! ## Example: the same scenario across protocols and runtimes
 //!
@@ -41,7 +44,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod builder;
 mod report;
@@ -50,15 +53,16 @@ mod scenario;
 
 pub use builder::{BuildContext, ClusterBuilder, ClusterProtocol, FloCluster, NodeRole};
 pub use report::{NodeDeliveries, RunReport};
-pub use run::{Runtime, Simulator, Threads};
+pub use run::{check_delivery_prefixes, Runtime, Simulator, Tcp, Threads};
 pub use scenario::{FaultEvent, Scenario, Topology, Workload};
 
 /// Everything a typical experiment needs, re-exported for
 /// `use fireledger_runtime::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster, NodeDeliveries, NodeRole,
-        RunReport, Runtime, Scenario, Simulator, Threads, Topology, Workload,
+        check_delivery_prefixes, ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster,
+        NodeDeliveries, NodeRole, RunReport, Runtime, Scenario, Simulator, Tcp, Threads, Topology,
+        Workload,
     };
     pub use fireledger::{AcceptAll, ClusterNode, FloNode, Worker};
     pub use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
@@ -179,6 +183,21 @@ mod tests {
             .run(&ClusterBuilder::<FloCluster>::new(p), &s)
             .unwrap();
         assert!(report.tps > 0.0);
+    }
+
+    #[test]
+    fn tcp_runtime_matches_schema_and_delivers_over_real_sockets() {
+        let s = Scenario::new("tcp").run_for(Duration::from_millis(400));
+        let sim = Simulator
+            .run(&ClusterBuilder::<FloCluster>::new(params(4)), &quick())
+            .unwrap();
+        let tcp = Tcp
+            .run(&ClusterBuilder::<FloCluster>::new(params(4)), &s)
+            .unwrap();
+        assert_eq!(sim.schema(), tcp.schema());
+        assert_eq!(tcp.runtime, "tcp");
+        assert!(tcp.tps > 0.0, "tcp cluster delivered nothing");
+        assert!(tcp.per_node.iter().all(|d| d.blocks > 0));
     }
 
     #[test]

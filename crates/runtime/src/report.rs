@@ -1,68 +1,108 @@
 //! The unified run report returned by every runtime.
 //!
 //! [`RunReport`] replaces the divergent metrics extraction that used to live
-//! separately in `fireledger_sim::metrics` and the benchmark harness: both
-//! runtimes now hand back the same schema, so experiment code can compare a
-//! simulated run against a threaded run field by field. Fields a runtime
-//! cannot measure are zero/empty rather than absent — the schema never
-//! changes shape.
+//! separately in `fireledger_sim::metrics` and the benchmark harness: all
+//! runtimes hand back the same schema, so experiment code can compare a
+//! simulated run against a threaded or TCP run field by field. Fields a
+//! runtime cannot measure are zero/empty rather than absent — the schema
+//! never changes shape.
+//!
+//! ## Units and time bases
+//!
+//! Every field documents its unit on the field itself. One subtlety is
+//! worth stating once, centrally: **time-valued fields mean simulated
+//! (virtual) time on the `"sim"` runtime and wall-clock time on the
+//! `"threads"` and `"tcp"` runtimes.** A `duration_secs` of `1.8` from the
+//! simulator is 1.8 simulated seconds (computed instantly); from a
+//! real-time runtime it is 1.8 elapsed real seconds. Rates (`tps`, `bps`,
+//! `recoveries_per_sec`) are per second of that same time base.
 
 /// Per-node delivery counters.
+///
+/// Counts cover the node's **whole run** (warm-up included) — unlike the
+/// rate fields of [`RunReport`], which cover only the measurement window.
+/// This is deliberate: per-node counters exist to compare ledgers across
+/// nodes and runs, where dropping a warm-up prefix would hide divergence.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NodeDeliveries {
-    /// The node.
+    /// The node's index (`0..n`). Unit: none (identifier).
     pub node: u32,
-    /// Blocks delivered (in total order) at this node.
+    /// Blocks delivered (in total order) at this node over the whole run.
+    /// Unit: blocks (count).
     pub blocks: u64,
-    /// Transactions in those blocks.
+    /// Transactions contained in those blocks. Unit: transactions (count).
     pub txs: u64,
 }
 
 /// Headline numbers of one run, in the units the paper uses.
+///
+/// Serialized by [`RunReport::to_json`]; the JSON key set is versioned by
+/// [`RunReport::SCHEMA_VERSION`] (see there for the bump policy and
+/// history).
 #[derive(Clone, Debug, Default)]
 pub struct RunReport {
-    /// Protocol name ([`crate::ClusterProtocol::NAME`]).
+    /// Protocol name ([`crate::ClusterProtocol::NAME`]). Unit: none.
     pub protocol: String,
-    /// Scenario name.
+    /// Scenario name. Unit: none.
     pub scenario: String,
-    /// Runtime name (`"sim"` / `"threads"`).
+    /// Runtime name: `"sim"`, `"threads"` or `"tcp"`. Determines the time
+    /// base of every time-valued field (see the module docs).
     pub runtime: String,
-    /// Cluster size n.
+    /// Cluster size n. Unit: nodes (count).
     pub n: usize,
-    /// FLO workers ω (1 for single-instance protocols).
+    /// FLO workers ω (1 for single-instance protocols). Unit: workers
+    /// (count).
     pub workers: usize,
-    /// Measurement window in seconds.
+    /// Length of the measurement window (run duration minus warm-up).
+    /// Unit: seconds — simulated on `"sim"`, wall-clock on `"threads"` /
+    /// `"tcp"`.
     pub duration_secs: f64,
-    /// Delivered transactions per second (averaged across correct nodes).
+    /// Delivered transactions per second within the measurement window,
+    /// averaged across the measured (correct, uncrashed) nodes. Unit:
+    /// transactions / second.
     pub tps: f64,
-    /// Delivered blocks per second (averaged across correct nodes).
+    /// Delivered blocks per second within the measurement window, averaged
+    /// across the measured nodes. Unit: blocks / second.
     pub bps: f64,
-    /// Mean proposal→delivery latency in seconds (0 when not measured).
+    /// Mean proposal→delivery latency. Unit: seconds. Zero when the
+    /// runtime does not instrument latency (`"threads"`, `"tcp"`).
     pub avg_latency_secs: f64,
-    /// Median latency.
+    /// Median proposal→delivery latency. Unit: seconds (0 = unmeasured).
     pub p50_latency_secs: f64,
-    /// 95th percentile latency.
+    /// 95th-percentile proposal→delivery latency. Unit: seconds
+    /// (0 = unmeasured).
     pub p95_latency_secs: f64,
-    /// 99th percentile latency.
+    /// 99th-percentile proposal→delivery latency. Unit: seconds
+    /// (0 = unmeasured).
     pub p99_latency_secs: f64,
-    /// Recovery procedures per second (rps in Figure 12).
+    /// Recovery procedures started per second (rps in Figure 12). Unit:
+    /// recoveries / second.
     pub recoveries_per_sec: f64,
-    /// Total OBBC fallback invocations.
+    /// OBBC fallback invocations over the whole run. Unit: invocations
+    /// (count).
     pub fallbacks: u64,
-    /// Total messages sent by the correct nodes.
+    /// Messages sent by the measured nodes over the whole run. Unit:
+    /// messages (count; 0 = unmeasured).
     pub msgs_sent: u64,
-    /// Total bytes sent by the correct nodes.
+    /// Bytes sent by the measured nodes over the whole run, per the
+    /// `WireSize` model. Unit: bytes (count; 0 = unmeasured).
     pub bytes_sent: u64,
-    /// Total signatures produced.
+    /// Signatures produced over the whole run. Unit: signatures (count;
+    /// 0 = unmeasured).
     pub signatures: u64,
-    /// Total signature verifications.
+    /// Signature verifications performed over the whole run. Unit:
+    /// verifications (count; 0 = unmeasured).
     pub verifications: u64,
-    /// Empirical latency CDF as `(latency_secs, fraction)` points (Figures 8
-    /// and 15). Empty when latency is not measured.
+    /// Empirical latency CDF as `(latency_secs, cumulative_fraction)`
+    /// points (Figures 8 and 15). Units: seconds × dimensionless fraction
+    /// in `[0, 1]`. Empty when latency is not measured.
     pub latency_cdf: Vec<(f64, f64)>,
-    /// Relative time spent in the A→B→C→D→E lifecycle phases (Figure 9).
+    /// Relative time spent between the A→B, B→C, C→D and D→E lifecycle
+    /// events (Figure 9). Unit: dimensionless fractions summing to ≈ 1
+    /// (all zero when unmeasured).
     pub phase_breakdown: [f64; 4],
-    /// Per-node delivery counters, one entry per node of the cluster.
+    /// Per-node delivery counters, one entry per node of the cluster
+    /// (whole-run counts — see [`NodeDeliveries`]).
     pub per_node: Vec<NodeDeliveries>,
 }
 
@@ -116,7 +156,8 @@ impl RunReport {
             .collect();
         format!(
             concat!(
-                "{{\"protocol\":{},\"scenario\":{},\"runtime\":{},",
+                "{{\"schema_version\":{},",
+                "\"protocol\":{},\"scenario\":{},\"runtime\":{},",
                 "\"n\":{},\"workers\":{},\"duration_secs\":{},",
                 "\"tps\":{},\"bps\":{},",
                 "\"avg_latency_secs\":{},\"p50_latency_secs\":{},",
@@ -127,6 +168,7 @@ impl RunReport {
                 "\"latency_cdf\":[{}],\"phase_breakdown\":[{},{},{},{}],",
                 "\"per_node\":[{}]}}"
             ),
+            Self::SCHEMA_VERSION,
             json_string(&self.protocol),
             json_string(&self.scenario),
             json_string(&self.runtime),
@@ -163,8 +205,30 @@ impl RunReport {
         Self::SCHEMA.iter().map(|k| k.to_string()).collect()
     }
 
+    /// Version of the report schema (the JSON key set *and* the documented
+    /// meaning/units of each field).
+    ///
+    /// Bump policy: any key addition, removal, reordering, or change to a
+    /// field's unit or time base is a schema change and must increment this
+    /// constant and extend the history below. Downstream tooling that diffs
+    /// `JSON:` lines across runs should treat differing schema versions as
+    /// incomparable.
+    ///
+    /// History:
+    ///
+    /// * **1** — initial schema (PR 1): 21 keys, `runtime` ∈ {`"sim"`,
+    ///   `"threads"`}; field units undocumented (wall-clock vs simulated
+    ///   time was implicit).
+    /// * **2** — adds the leading `schema_version` key (21 → 22 keys) so
+    ///   the version is visible in the data itself; `runtime` gains the
+    ///   value `"tcp"`; units and time bases documented on every field,
+    ///   including that real-time runtimes report wall-clock seconds. No
+    ///   v1 key changed, so v1 consumers parse v2 reports unchanged.
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// The schema as a constant.
-    pub const SCHEMA: [&'static str; 21] = [
+    pub const SCHEMA: [&'static str; 22] = [
+        "schema_version",
         "protocol",
         "scenario",
         "runtime",
@@ -258,7 +322,8 @@ mod tests {
         assert_eq!(empty, full);
         assert!(full.contains(&"tps".to_string()));
         assert!(full.contains(&"per_node".to_string()));
-        assert_eq!(full.len(), 21);
+        assert_eq!(full.len(), 22);
+        assert_eq!(full[0], "schema_version");
     }
 
     #[test]

@@ -1,31 +1,57 @@
-//! The runtimes: one trait, two drivers.
+//! The runtimes: one trait, three drivers.
 //!
 //! [`Runtime::run`] takes a [`ClusterBuilder`] and a [`Scenario`] and returns
-//! a [`RunReport`]; [`Simulator`] executes the scenario on the deterministic
-//! discrete-event simulator, [`Threads`] on real OS threads with wall-clock
-//! time. The same two values drive both — which is the point: a scenario
+//! a [`RunReport`]; [`Runtime::run_full`] additionally returns every node's
+//! delivered blocks, which is what lets experiment code prove that two
+//! runtimes produced the *same ledger*, not merely similar rates.
+//!
+//! * [`Simulator`] executes the scenario on the deterministic discrete-event
+//!   simulator;
+//! * [`Threads`] runs one OS thread per node with wall-clock time, messages
+//!   moved over in-process channels;
+//! * [`Tcp`] runs one thread per node with wall-clock time and a real
+//!   `TcpStream` mesh over localhost — every message is serialized through
+//!   the binary wire format (`docs/WIRE_FORMAT.md`) and framed onto a
+//!   socket.
+//!
+//! The same two values drive all three — which is the point: a scenario
 //! debugged deterministically in the simulator can be re-run unchanged on
-//! real threads.
+//! real threads or real sockets.
 
 use crate::builder::{ClusterBuilder, ClusterProtocol};
 use crate::report::{NodeDeliveries, RunReport};
 use crate::scenario::Scenario;
-use fireledger_net::ThreadedCluster;
+use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
 use fireledger_sim::{SimTime, Simulation};
-use fireledger_types::{Delivery, NodeId, Result, Transaction, WireSize};
+use fireledger_types::{Delivery, Error, NodeId, Result, Transaction, WireCodec, WireSize};
 use std::fmt;
 use std::time::{Duration, Instant};
 
 /// Drives a cluster through a scenario.
 pub trait Runtime {
-    /// Short runtime name recorded in reports (`"sim"`, `"threads"`).
+    /// Short runtime name recorded in reports (`"sim"`, `"threads"`,
+    /// `"tcp"`).
     fn name(&self) -> &'static str;
+
+    /// Builds the cluster, runs the scenario to completion, and returns the
+    /// report together with every node's delivered blocks in delivery order.
+    fn run_full<P>(
+        &self,
+        cluster: &ClusterBuilder<P>,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static;
 
     /// Builds the cluster and runs the scenario to completion.
     fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + Clone + Send + fmt::Debug + 'static;
+        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    {
+        self.run_full(cluster, scenario).map(|(report, _)| report)
+    }
 }
 
 /// The nodes to average rate metrics over: correct by role and not crashed by
@@ -33,7 +59,7 @@ pub trait Runtime {
 fn measured_nodes<P>(cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Vec<NodeId>
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
 {
     let crashed = scenario.crashed_nodes();
     cluster
@@ -41,6 +67,53 @@ where
         .into_iter()
         .filter(|id| !crashed.contains(id))
         .collect()
+}
+
+/// Checks that two runs of the same scenario produced the *same ledger*:
+/// for every node, the shorter of the two delivery logs must be a prefix of
+/// the longer one, and no node's common prefix may be empty.
+///
+/// Real-time runs cover a different amount of protocol time than simulated
+/// runs of the same scenario, so the logs legitimately differ in *length*;
+/// any divergence in *content* (a different block, a different transaction
+/// order) is a wire-format or protocol bug. Returns the total number of
+/// blocks compared, or a description of the first divergence.
+///
+/// **Precondition: fault-free scenarios only.** The empty-prefix rule is
+/// deliberate strictness — it catches a node whose transport silently died
+/// (delivering nothing looks "consistent" under pure prefix comparison).
+/// The flip side is that a scenario with crashed or Byzantine nodes can
+/// legitimately produce a node with blocks in one run and none in the
+/// other, which this function reports as a divergence. Compare fault-free
+/// runs (as `tests/tests/runtime_equivalence.rs` and the `protocol_matrix`
+/// binary do), or restrict the slices to the correct nodes first.
+pub fn check_delivery_prefixes(
+    a: &[Vec<Delivery>],
+    b: &[Vec<Delivery>],
+) -> std::result::Result<usize, String> {
+    if a.len() != b.len() {
+        return Err(format!("node counts differ: {} vs {}", a.len(), b.len()));
+    }
+    let mut compared = 0;
+    for (node, (da, db)) in a.iter().zip(b).enumerate() {
+        let common = da.len().min(db.len());
+        if common == 0 {
+            return Err(format!(
+                "node {node} has an empty common prefix ({} vs {} blocks)",
+                da.len(),
+                db.len()
+            ));
+        }
+        for (i, (x, y)) in da.iter().zip(db).take(common).enumerate() {
+            if x != y {
+                // Full Delivery debug on both sides: the divergence can be in
+                // the delivery metadata, the header, or the block summary.
+                return Err(format!("node {node} diverges at block {i}: {x:?} vs {y:?}"));
+            }
+        }
+        compared += common;
+    }
+    Ok(compared)
 }
 
 fn delivery_counters(deliveries: &[Vec<Delivery>]) -> Vec<NodeDeliveries> {
@@ -64,10 +137,14 @@ impl Runtime for Simulator {
         "sim"
     }
 
-    fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
+    fn run_full<P>(
+        &self,
+        cluster: &ClusterBuilder<P>,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
     {
         let nodes = cluster.build()?;
         let n = nodes.len();
@@ -82,17 +159,10 @@ impl Runtime for Simulator {
 
         let measured = measured_nodes(cluster, scenario);
         let summary = sim.summary_for(&measured);
-        let per_node = (0..n)
-            .map(|i| {
-                let ds = sim.deliveries(NodeId(i as u32));
-                NodeDeliveries {
-                    node: i as u32,
-                    blocks: ds.len() as u64,
-                    txs: ds.iter().map(|d| d.block.len() as u64).sum(),
-                }
-            })
+        let deliveries: Vec<Vec<Delivery>> = (0..n)
+            .map(|i| sim.deliveries(NodeId(i as u32)).to_vec())
             .collect();
-        Ok(RunReport {
+        let report = RunReport {
             protocol: P::NAME.to_string(),
             scenario: scenario.name.clone(),
             runtime: self.name().to_string(),
@@ -113,12 +183,134 @@ impl Runtime for Simulator {
             verifications: summary.verifications,
             latency_cdf: sim.metrics().latency_cdf(20),
             phase_breakdown: sim.metrics().phase_breakdown(),
-            per_node,
-        })
+            per_node: delivery_counters(&deliveries),
+        };
+        Ok((report, deliveries))
     }
 }
 
-/// The real-time threaded runtime.
+enum TimelineEvent {
+    Crash(NodeId),
+    Inject(NodeId, Transaction),
+}
+
+/// Drives an already-spawned real-time cluster through the scenario's
+/// timeline (crashes and injections at wall-clock offsets), honours the
+/// warm-up window, and assembles the report. Shared by [`Threads`] and
+/// [`Tcp`] — the two differ only in how the cluster was spawned.
+fn drive_realtime<P, C>(
+    running: C,
+    cluster: &ClusterBuilder<P>,
+    scenario: &Scenario,
+    runtime_name: &str,
+) -> (RunReport, Vec<Vec<Delivery>>)
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    C: RealtimeCluster,
+{
+    let n = cluster.params().n();
+    let mut timeline: Vec<(Duration, TimelineEvent)> = Vec::new();
+    for fault in &scenario.crashes {
+        timeline.push((fault.at, TimelineEvent::Crash(fault.node)));
+    }
+    for (node, at) in cluster.crash_times() {
+        timeline.push((at, TimelineEvent::Crash(node)));
+    }
+    for (at, node, tx) in scenario.injection_schedule(n) {
+        timeline.push((at.as_duration(), TimelineEvent::Inject(node, tx)));
+    }
+    timeline.sort_by_key(|(at, _)| *at);
+
+    // A warm-up as long as the run would leave an empty measurement
+    // window; fall back to measuring the whole run.
+    let warmup = if scenario.warmup < scenario.duration {
+        scenario.warmup
+    } else {
+        Duration::ZERO
+    };
+    let snapshot = |running: &C| -> Vec<(u64, u64)> {
+        (0..n)
+            .map(|i| {
+                let ds = running.deliveries(NodeId(i as u32));
+                (
+                    ds.len() as u64,
+                    ds.iter().map(|d| d.block.len() as u64).sum(),
+                )
+            })
+            .collect()
+    };
+
+    let start = Instant::now();
+    let mut warmup_counts: Option<Vec<(u64, u64)>> = None;
+    let mut warmup_at = Duration::ZERO;
+    for (at, event) in timeline {
+        if at >= scenario.duration {
+            break;
+        }
+        // Snapshot delivery counters at the warm-up boundary, before any
+        // event scheduled after it is applied.
+        if warmup_counts.is_none() && at >= warmup {
+            let now = start.elapsed();
+            if warmup > now {
+                std::thread::sleep(warmup - now);
+            }
+            warmup_at = start.elapsed();
+            warmup_counts = Some(snapshot(&running));
+        }
+        let now = start.elapsed();
+        if at > now {
+            std::thread::sleep(at - now);
+        }
+        match event {
+            TimelineEvent::Crash(node) => running.crash(node),
+            TimelineEvent::Inject(node, tx) => running.submit(node, tx),
+        }
+    }
+    if warmup_counts.is_none() {
+        let now = start.elapsed();
+        if warmup > now {
+            std::thread::sleep(warmup - now);
+        }
+        warmup_at = start.elapsed();
+        warmup_counts = Some(snapshot(&running));
+    }
+    let now = start.elapsed();
+    if scenario.duration > now {
+        std::thread::sleep(scenario.duration - now);
+    }
+    let deliveries = running.shutdown();
+    let elapsed = start.elapsed();
+    let window_secs = (elapsed - warmup_at).as_secs_f64().max(1e-9);
+
+    let per_node = delivery_counters(&deliveries);
+    let at_warmup = warmup_counts.unwrap_or_else(|| vec![(0, 0); n]);
+    let measured = measured_nodes(cluster, scenario);
+    let k = measured.len().max(1) as f64;
+    let (blocks, txs) = measured.iter().fold((0u64, 0u64), |(b, t), id| {
+        let d = &per_node[id.as_usize()];
+        let (wb, wt) = at_warmup[id.as_usize()];
+        (
+            b + d.blocks.saturating_sub(wb),
+            t + d.txs.saturating_sub(wt),
+        )
+    });
+    let report = RunReport {
+        protocol: P::NAME.to_string(),
+        scenario: scenario.name.clone(),
+        runtime: runtime_name.to_string(),
+        n,
+        workers: cluster.params().workers,
+        duration_secs: window_secs,
+        tps: txs as f64 / k / window_secs,
+        bps: blocks as f64 / k / window_secs,
+        per_node,
+        ..Default::default()
+    };
+    (report, deliveries)
+}
+
+/// The real-time threaded runtime (in-process channels).
 ///
 /// The scenario's duration is wall-clock time here: a 2-second scenario takes
 /// 2 real seconds. The warm-up window is honoured the same way as on the
@@ -130,121 +322,54 @@ impl Runtime for Simulator {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Threads;
 
-enum TimelineEvent {
-    Crash(NodeId),
-    Inject(NodeId, Transaction),
-}
-
 impl Runtime for Threads {
     fn name(&self) -> &'static str {
         "threads"
     }
 
-    fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
+    fn run_full<P>(
+        &self,
+        cluster: &ClusterBuilder<P>,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + Clone + Send + fmt::Debug + 'static,
+        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
     {
         let nodes = cluster.build()?;
-        let n = nodes.len();
-
-        let mut timeline: Vec<(Duration, TimelineEvent)> = Vec::new();
-        for fault in &scenario.crashes {
-            timeline.push((fault.at, TimelineEvent::Crash(fault.node)));
-        }
-        for (node, at) in cluster.crash_times() {
-            timeline.push((at, TimelineEvent::Crash(node)));
-        }
-        for (at, node, tx) in scenario.injection_schedule(n) {
-            timeline.push((at.as_duration(), TimelineEvent::Inject(node, tx)));
-        }
-        timeline.sort_by_key(|(at, _)| *at);
-
-        // A warm-up as long as the run would leave an empty measurement
-        // window; fall back to measuring the whole run.
-        let warmup = if scenario.warmup < scenario.duration {
-            scenario.warmup
-        } else {
-            Duration::ZERO
-        };
-        let snapshot = |running: &ThreadedCluster<P::Msg>| -> Vec<(u64, u64)> {
-            (0..n)
-                .map(|i| {
-                    let ds = running.deliveries(NodeId(i as u32));
-                    (
-                        ds.len() as u64,
-                        ds.iter().map(|d| d.block.len() as u64).sum(),
-                    )
-                })
-                .collect()
-        };
-
         let running = ThreadedCluster::spawn(nodes);
-        let start = Instant::now();
-        let mut warmup_counts: Option<Vec<(u64, u64)>> = None;
-        let mut warmup_at = Duration::ZERO;
-        for (at, event) in timeline {
-            if at >= scenario.duration {
-                break;
-            }
-            // Snapshot delivery counters at the warm-up boundary, before any
-            // event scheduled after it is applied.
-            if warmup_counts.is_none() && at >= warmup {
-                let now = start.elapsed();
-                if warmup > now {
-                    std::thread::sleep(warmup - now);
-                }
-                warmup_at = start.elapsed();
-                warmup_counts = Some(snapshot(&running));
-            }
-            let now = start.elapsed();
-            if at > now {
-                std::thread::sleep(at - now);
-            }
-            match event {
-                TimelineEvent::Crash(node) => running.crash(node),
-                TimelineEvent::Inject(node, tx) => running.submit(node, tx),
-            }
-        }
-        if warmup_counts.is_none() {
-            let now = start.elapsed();
-            if warmup > now {
-                std::thread::sleep(warmup - now);
-            }
-            warmup_at = start.elapsed();
-            warmup_counts = Some(snapshot(&running));
-        }
-        let now = start.elapsed();
-        if scenario.duration > now {
-            std::thread::sleep(scenario.duration - now);
-        }
-        let deliveries = running.shutdown();
-        let elapsed = start.elapsed();
-        let window_secs = (elapsed - warmup_at).as_secs_f64().max(1e-9);
+        Ok(drive_realtime(running, cluster, scenario, self.name()))
+    }
+}
 
-        let per_node = delivery_counters(&deliveries);
-        let at_warmup = warmup_counts.unwrap_or_else(|| vec![(0, 0); n]);
-        let measured = measured_nodes(cluster, scenario);
-        let k = measured.len().max(1) as f64;
-        let (blocks, txs) = measured.iter().fold((0u64, 0u64), |(b, t), id| {
-            let d = &per_node[id.as_usize()];
-            let (wb, wt) = at_warmup[id.as_usize()];
-            (
-                b + d.blocks.saturating_sub(wb),
-                t + d.txs.saturating_sub(wt),
-            )
-        });
-        Ok(RunReport {
-            protocol: P::NAME.to_string(),
-            scenario: scenario.name.clone(),
-            runtime: self.name().to_string(),
-            n,
-            workers: cluster.params().workers,
-            duration_secs: window_secs,
-            tps: txs as f64 / k / window_secs,
-            bps: blocks as f64 / k / window_secs,
-            per_node,
-            ..Default::default()
-        })
+/// The real-time TCP runtime (real sockets over localhost).
+///
+/// Timing semantics are identical to [`Threads`]; the difference is the
+/// transport: every message is encoded through its `WireCodec` layout,
+/// framed per `docs/WIRE_FORMAT.md`, written to a real `TcpStream`, and
+/// decoded on the receiving node — so a run on this runtime validates the
+/// entire wire format under protocol load, not just the protocol logic.
+/// Socket setup failures surface as [`Error::Io`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tcp;
+
+impl Runtime for Tcp {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn run_full<P>(
+        &self,
+        cluster: &ClusterBuilder<P>,
+        scenario: &Scenario,
+    ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    {
+        let nodes = cluster.build()?;
+        let running =
+            TcpCluster::spawn(nodes).map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
+        Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
 }

@@ -21,7 +21,7 @@
 //! `fireledger-bench`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod adversary;
 pub mod engine;

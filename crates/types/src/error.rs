@@ -37,6 +37,8 @@ pub enum Error {
     MissingKey(NodeId),
     /// Serialization / deserialization failure.
     Codec(String),
+    /// An operating-system I/O failure (socket setup, read, write).
+    Io(String),
     /// The operation is not valid in the component's current state.
     InvalidState(String),
     /// A configuration value is out of range.
@@ -58,6 +60,7 @@ impl fmt::Display for Error {
             Error::UnknownNode(id) => write!(f, "unknown node {id}"),
             Error::MissingKey(id) => write!(f, "no key registered for {id}"),
             Error::Codec(msg) => write!(f, "codec error: {msg}"),
+            Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
         }

@@ -2,20 +2,22 @@
 //!
 //! Foundational data types shared by every crate in the FireLedger workspace:
 //! node / worker / round identifiers, transactions, blocks and block headers,
-//! cluster configuration, a wire-size model used by the network simulator, and
-//! the runtime-agnostic [`runtime::Protocol`] state-machine
+//! cluster configuration, a wire-size model used by the network simulator,
+//! the binary wire [`codec`] (spec: `docs/WIRE_FORMAT.md`) used by the TCP
+//! runtime, and the runtime-agnostic [`runtime::Protocol`] state-machine
 //! abstraction that lets the same protocol code run under the discrete-event
-//! simulator (`fireledger-sim`) and the threaded runtime
+//! simulator (`fireledger-sim`) and the real-time runtimes
 //! (`fireledger-net`).
 //!
 //! The types in this crate are intentionally free of cryptographic and I/O
 //! dependencies; hashing and signing live in `fireledger-crypto`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod block;
 pub mod bytes;
+pub mod codec;
 pub mod config;
 pub mod error;
 pub mod ids;
@@ -26,6 +28,7 @@ pub mod wire;
 
 pub use block::{Block, BlockHeader, Hash, Signature, SignedHeader, GENESIS_HASH};
 pub use bytes::Bytes;
+pub use codec::{CodecError, FrameHeader, Reader, WireCodec, MAX_FRAME_LEN, WIRE_VERSION};
 pub use config::{ClusterConfig, ProtocolParams};
 pub use error::{Error, Result};
 pub use ids::{NodeId, Round, WorkerId};

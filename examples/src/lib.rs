@@ -2,6 +2,9 @@
 //! fireledger-examples --bin <name>`): small formatting utilities so each
 //! example binary stays focused on the protocol usage it demonstrates.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use fireledger_runtime::RunReport;
 
 /// Pretty-prints a run report as a small summary block.

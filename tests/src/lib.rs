@@ -1,5 +1,8 @@
 //! Shared helpers for the FireLedger integration test suite.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use fireledger_runtime::prelude::*;
 use fireledger_sim::{SimConfig, Simulation};
 use std::time::Duration;

@@ -9,7 +9,12 @@ use std::time::Duration;
 
 fn builder<P: ClusterProtocol>(n: usize) -> ClusterBuilder<P>
 where
-    P::Msg: fireledger_types::WireSize + Clone + Send + std::fmt::Debug + 'static,
+    P::Msg: fireledger_types::WireSize
+        + fireledger_types::WireCodec
+        + Clone
+        + Send
+        + std::fmt::Debug
+        + 'static,
 {
     ClusterBuilder::<P>::new(test_params(n, 1)).with_seed(2)
 }
