@@ -56,6 +56,10 @@ impl WireCodec for OrderedBatch {
             txs: Vec::<Transaction>::decode_from(r)?,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        4 + 8 + self.txs.encoded_len()
+    }
 }
 
 /// Timer kind for the batch pump.
@@ -76,13 +80,16 @@ pub fn batch_from_pool(
 ) -> Vec<Transaction> {
     let take = pool.len().min(batch_size);
     let mut txs: Vec<Transaction> = pool.drain(..take).collect();
-    if fill {
+    if fill && txs.len() < batch_size {
+        // All fillers of one batch are byte-identical zeroes: allocate the
+        // payload once and share it (reference bumps per transaction).
+        let payload = fireledger_types::Bytes::from(vec![0u8; tx_size]);
         let mut filler = txs.len() as u64;
         while txs.len() < batch_size {
-            txs.push(Transaction::zeroed(
+            txs.push(Transaction::new(
                 2_000_000 + assembler,
                 seq * batch_size as u64 + filler,
-                tx_size,
+                payload.clone(),
             ));
             filler += 1;
         }

@@ -62,6 +62,10 @@ impl WireCodec for QuorumCert {
             block_hash: Hash::decode_from(r)?,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + 32
+    }
 }
 
 /// HotStuff wire messages.
@@ -161,6 +165,19 @@ impl WireCodec for HotStuffMsg {
                 what: "HotStuffMsg",
                 tag,
             }),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            HotStuffMsg::Proposal {
+                header,
+                txs,
+                justify,
+                ..
+            } => 8 + header.encoded_len() + txs.encoded_len() + justify.encoded_len(),
+            HotStuffMsg::Vote { .. } => 8 + 32,
+            HotStuffMsg::NewView { high_qc, .. } => 8 + high_qc.encoded_len(),
         }
     }
 }
@@ -689,7 +706,7 @@ mod tests {
         );
         let prop = HotStuffMsg::Proposal {
             view: 1,
-            header: SignedHeader::new(header, fireledger_types::Signature(vec![0; 64])),
+            header: SignedHeader::new(header, fireledger_types::Signature::from(vec![0; 64])),
             txs,
             justify: QuorumCert {
                 view: 0,
@@ -747,7 +764,7 @@ mod debug_tests {
                 2,
                 128,
             ),
-            fireledger_types::Signature(vec![0x33; 64]),
+            fireledger_types::Signature::from(vec![0x33; 64]),
         );
         let qc = QuorumCert {
             view: 5,

@@ -1,0 +1,204 @@
+//! The persistent throughput benchmark: the repo's performance trajectory.
+//!
+//! Runs the hot-path protocols (FLO, HotStuff, PBFT) on all three runtimes
+//! (sim, threads, tcp) with one mid-size configuration and appends the
+//! resulting points — tps, bps, latency percentiles, and an
+//! allocations-per-block proxy — as one labelled *run* to
+//! `BENCH_throughput.json`. The file is the benchmark **trajectory**: every
+//! PR that touches a hot path appends a run, so regressions and wins stay
+//! visible in history instead of living only in PR descriptions.
+//!
+//! Environment:
+//!
+//! * `FIRELEDGER_BENCH_LABEL` — label recorded on the run (default `dev`);
+//! * `FIRELEDGER_BENCH_SMOKE=1` — short CI smoke durations;
+//! * `FIRELEDGER_BENCH_FULL=1` — long-form durations;
+//! * `FIRELEDGER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
+//!
+//! Run with: `cargo run --release -p fireledger-bench --bin throughput`
+
+// The counting allocator below is the one place the workspace needs
+// `unsafe`: `GlobalAlloc` is an unsafe trait. The impl only forwards to
+// `std::alloc::System` and bumps atomic counters.
+use fireledger_bench::*;
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Allocation counters maintained by [`CountingAllocator`].
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A global allocator that counts every allocation and reallocation, then
+/// delegates to the system allocator. The counters are the source of the
+/// `allocs_per_block` proxy: runs execute sequentially, so the delta across
+/// one run attributes its allocation traffic (protocol + runtime + harness)
+/// to that run.
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// One measured cell of the system × runtime grid.
+struct Point {
+    system: System,
+    runtime: &'static str,
+    config: ExperimentConfig,
+    report: RunReport,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+impl Point {
+    fn blocks(&self) -> u64 {
+        self.report.per_node.iter().map(|d| d.blocks).sum()
+    }
+
+    fn txs(&self) -> u64 {
+        self.report.per_node.iter().map(|d| d.txs).sum()
+    }
+
+    fn allocs_per_block(&self) -> f64 {
+        self.allocs as f64 / self.blocks().max(1) as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"system\":\"{:?}\",\"runtime\":\"{}\",\"n\":{},\"workers\":{},",
+                "\"batch\":{},\"tx_size\":{},\"duration_secs\":{:.4},",
+                "\"tps\":{:.2},\"bps\":{:.2},",
+                "\"p50_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},",
+                "\"blocks\":{},\"txs\":{},",
+                "\"allocs\":{},\"alloc_bytes\":{},\"allocs_per_block\":{:.1}}}"
+            ),
+            self.system,
+            self.runtime,
+            self.config.n,
+            self.config.workers,
+            self.config.batch,
+            self.config.tx_size,
+            self.report.duration_secs,
+            self.report.tps,
+            self.report.bps,
+            self.report.p50_latency_secs,
+            self.report.p99_latency_secs,
+            self.blocks(),
+            self.txs(),
+            self.allocs,
+            self.alloc_bytes,
+            self.allocs_per_block(),
+        )
+    }
+}
+
+fn measure<R: Runtime>(cfg: &ExperimentConfig, runtime: &R) -> Point {
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let bytes_before = ALLOC_BYTES.load(Ordering::Relaxed);
+    let (result, _deliveries) = cfg.run_full_on(runtime, None);
+    Point {
+        system: cfg.system,
+        runtime: runtime.name(),
+        config: cfg.clone(),
+        report: result.report,
+        allocs: ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before,
+        alloc_bytes: ALLOC_BYTES.load(Ordering::Relaxed) - bytes_before,
+    }
+}
+
+/// Splices `run_json` into an existing trajectory file, or starts a fresh
+/// one. The file layout is fixed — a `runs` array of one-line run objects —
+/// so appending is a literal text splice before the closing `\n]\n}`.
+fn append_run(path: &str, run_json: &str) -> std::io::Result<()> {
+    const HEAD: &str = "{\n\"schema_version\": 1,\n\"bench\": \"throughput\",\n\"runs\": [\n";
+    const TAIL: &str = "\n]\n}\n";
+    let merged = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.starts_with(HEAD) && existing.ends_with(TAIL) => {
+            let body = &existing[HEAD.len()..existing.len() - TAIL.len()];
+            format!("{HEAD}{body},\n{run_json}{TAIL}")
+        }
+        Ok(_) => {
+            eprintln!("warning: {path} is not a throughput trajectory; rewriting it");
+            format!("{HEAD}{run_json}{TAIL}")
+        }
+        Err(_) => format!("{HEAD}{run_json}{TAIL}"),
+    };
+    std::fs::write(path, merged)
+}
+
+fn main() {
+    banner("throughput trajectory", "§7.2 (single-DC throughput)");
+    let label = std::env::var("FIRELEDGER_BENCH_LABEL").unwrap_or_else(|_| "dev".to_string());
+    let out_path = std::env::var("FIRELEDGER_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_throughput.json".to_string());
+    let smoke = std::env::var("FIRELEDGER_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (mode, duration) = if smoke {
+        ("smoke", Duration::from_millis(400))
+    } else if full_mode() {
+        ("full", Duration::from_millis(4000))
+    } else {
+        ("quick", Duration::from_millis(1500))
+    };
+
+    // One mid-size fast-path configuration: 4 nodes, 2 FLO workers,
+    // β = 100 transactions of σ = 512 bytes. The pinned base timeout keeps
+    // real-time runs on the optimistic path (no wall-clock view changes),
+    // so the grid measures steady-state throughput, not timeout tuning.
+    let systems = [System::Flo, System::HotStuff, System::Pbft];
+    let mut points = Vec::new();
+    for system in systems {
+        let cfg = ExperimentConfig::flo(4, 2, 100, 512)
+            .system(system)
+            .with_base_timeout(Duration::from_millis(250))
+            .duration(duration);
+        let sim = measure(&cfg, &Simulator);
+        let threads = measure(&cfg, &Threads);
+        let tcp = measure(&cfg, &Tcp);
+        for p in [sim, threads, tcp] {
+            println!(
+                "{:<9} {:<8} | tps={:>9.0} bps={:>7.1} p50={:>8.5}s p99={:>8.5}s blocks={:>6} allocs/block={:>8.0}",
+                format!("{:?}", p.system),
+                p.runtime,
+                p.report.tps,
+                p.report.bps,
+                p.report.p50_latency_secs,
+                p.report.p99_latency_secs,
+                p.blocks(),
+                p.allocs_per_block(),
+            );
+            points.push(p);
+        }
+    }
+
+    let point_rows: Vec<String> = points.iter().map(Point::to_json).collect();
+    let run_json = format!(
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}]}}",
+        point_rows.join(",")
+    );
+    println!("JSON: {run_json}");
+    match append_run(&out_path, &run_json) {
+        Ok(()) => println!("\nappended run '{label}' ({mode}) to {out_path}"),
+        Err(e) => {
+            eprintln!("error: could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

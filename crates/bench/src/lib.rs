@@ -179,6 +179,7 @@ impl ExperimentConfig {
             + fireledger_types::WireCodec
             + Clone
             + Send
+            + Sync
             + std::fmt::Debug
             + 'static,
     {

@@ -1,48 +1,96 @@
 //! A minimal micro-benchmark harness.
 //!
 //! The workspace builds offline without external crates, so the `benches/`
-//! targets use this tiny timer instead of criterion: each benchmark runs a
-//! short calibration pass to pick an iteration count, then reports the mean
-//! wall-clock time per iteration. The output format is one stable line per
-//! benchmark, greppable by `^bench:`.
+//! targets use this tiny timer instead of criterion. Each benchmark:
+//!
+//! 1. runs a **warm-up** pass (~10% of the target duration) so caches,
+//!    branch predictors and lazy allocations settle before anything is
+//!    timed;
+//! 2. calibrates an iteration count from the warm-up so one measured pass
+//!    takes roughly the target duration;
+//! 3. times **k repetitions** of that pass and reports the *minimum* mean —
+//!    the standard minimum-of-k estimator, which discards scheduler noise
+//!    and interrupts (they only ever make a pass slower, never faster).
+//!
+//! The output format is one stable line per benchmark, greppable by
+//! `^bench:`; [`BenchResult::to_json_line`] provides the machine-readable
+//! form, greppable by `^bench_json:`.
 
 use std::time::{Duration, Instant};
+
+/// Repetitions of the measured pass; the reported time is the fastest.
+pub const DEFAULT_REPS: u32 = 3;
 
 /// Result of one benchmark.
 #[derive(Clone, Debug)]
 pub struct BenchResult {
     /// Benchmark name.
     pub name: String,
-    /// Iterations timed.
+    /// Iterations per measured repetition.
     pub iters: u64,
-    /// Mean time per iteration.
+    /// Repetitions measured (the reported time is their minimum).
+    pub reps: u32,
+    /// Mean time per iteration within the fastest repetition.
     pub per_iter: Duration,
 }
 
-/// Times `f`, choosing an iteration count so the measured pass takes roughly
-/// `target`. Returns and prints the result.
-pub fn bench_with_target<T>(name: &str, target: Duration, mut f: impl FnMut() -> T) -> BenchResult {
-    // Calibration: run once, then scale to the target duration.
-    let start = Instant::now();
-    let _ = f();
-    let once = start.elapsed().max(Duration::from_nanos(50));
-    let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
-
-    let start = Instant::now();
-    for _ in 0..iters {
-        let _ = f();
+impl BenchResult {
+    /// The result as one machine-readable JSON line (`bench_json:` prefix
+    /// excluded — the caller decides the framing).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"reps\":{},\"ns_per_iter\":{}}}",
+            self.name.replace('\\', "\\\\").replace('"', "\\\""),
+            self.iters,
+            self.reps,
+            self.per_iter.as_nanos(),
+        )
     }
-    let total = start.elapsed();
-    let per_iter = total / iters as u32;
+}
+
+/// Times `f`: warm-up, calibration, then [`DEFAULT_REPS`] measured passes of
+/// roughly `target` each, reporting the fastest pass's mean per-iteration
+/// time. Returns and prints the result.
+pub fn bench_with_target<T>(name: &str, target: Duration, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warm-up for ~10% of the target, counting iterations as calibration.
+    let warmup_budget = (target / 10).max(Duration::from_micros(100));
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while warmup_start.elapsed() < warmup_budget {
+        let _ = std::hint::black_box(f());
+        warmup_iters += 1;
+    }
+    let per_iter_estimate =
+        (warmup_start.elapsed() / warmup_iters.max(1) as u32).max(Duration::from_nanos(50));
+    let iters =
+        (target.as_nanos() / per_iter_estimate.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+    // Min-of-k: a repetition can only be slowed down by external noise, so
+    // the fastest repetition is the best estimate of the true cost.
+    let mut best = Duration::MAX;
+    for _ in 0..DEFAULT_REPS {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = std::hint::black_box(f());
+        }
+        best = best.min(start.elapsed());
+    }
+    // 1 ns floor: a fully optimized-away body can measure below the clock's
+    // per-iteration resolution, and "0 ns" rows would break rate math
+    // downstream.
+    let per_iter = (best / iters as u32).max(Duration::from_nanos(1));
     let result = BenchResult {
         name: name.to_string(),
         iters,
+        reps: DEFAULT_REPS,
         per_iter,
     };
     println!(
-        "bench: {name:<44} {:>12.3} µs/iter   ({iters} iters)",
-        per_iter.as_secs_f64() * 1e6
+        "bench: {name:<44} {:>12.3} µs/iter   ({iters} iters, min of {})",
+        per_iter.as_secs_f64() * 1e6,
+        DEFAULT_REPS,
     );
+    println!("bench_json: {}", result.to_json_line());
     result
 }
 
@@ -66,6 +114,22 @@ mod tests {
             std::hint::black_box((0..100u64).sum::<u64>())
         });
         assert!(r.iters >= 1);
+        assert!(r.reps == DEFAULT_REPS);
         assert!(r.per_iter > Duration::ZERO);
+    }
+
+    #[test]
+    fn json_line_is_wellformed() {
+        let r = BenchResult {
+            name: "merkle \"quoted\"".into(),
+            iters: 100,
+            reps: 3,
+            per_iter: Duration::from_nanos(1234),
+        };
+        let json = r.to_json_line();
+        assert!(json.contains("\\\"quoted\\\""));
+        assert!(json.contains("\"ns_per_iter\":1234"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

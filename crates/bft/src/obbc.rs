@@ -103,6 +103,16 @@ impl<E: WireCodec> WireCodec for ObbcMsg<E> {
             }),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        // discriminant + instance, plus the variant's remaining fields.
+        1 + 8
+            + match self {
+                ObbcMsg::Vote { value, .. } => value.encoded_len(),
+                ObbcMsg::EvidenceRequest { .. } => 0,
+                ObbcMsg::EvidenceReply { evidence, .. } => evidence.encoded_len(),
+            }
+    }
 }
 
 /// How an OBBC instance resolved.

@@ -219,6 +219,16 @@ impl<V: WireCodec> WireCodec for PbftMsg<V> {
             }),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            PbftMsg::Request { value } => value.encoded_len(),
+            PbftMsg::PrePrepare { value, .. } => 8 + 8 + value.encoded_len(),
+            PbftMsg::Prepare { .. } | PbftMsg::Commit { .. } => 8 + 8 + 8,
+            PbftMsg::ViewChange { prepared, .. } => 8 + prepared.encoded_len(),
+            PbftMsg::NewView { preprepares, .. } => 8 + preprepares.encoded_len(),
+        }
+    }
 }
 
 #[derive(Debug)]

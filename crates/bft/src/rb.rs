@@ -101,6 +101,16 @@ impl<V: WireCodec> WireCodec for RbMsg<V> {
             _ => RbMsg::Ready { origin, tag, value },
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        let value = match self {
+            RbMsg::Init { value, .. } | RbMsg::Echo { value, .. } | RbMsg::Ready { value, .. } => {
+                value
+            }
+        };
+        // discriminant + origin + tag + value
+        1 + 4 + 8 + value.encoded_len()
+    }
 }
 
 #[derive(Debug)]

@@ -545,7 +545,7 @@ mod tests {
 
         // Bad signature.
         let mut bad_sig = good.clone();
-        bad_sig[0].signature = fireledger_types::Signature(vec![1, 2, 3]);
+        bad_sig[0].signature = fireledger_types::Signature::from(vec![1, 2, 3]);
         assert!(chain.validate_version(base, &bad_sig, &crypto).is_err());
 
         // Empty versions are always fine.

@@ -57,6 +57,10 @@ impl WireCodec for PanicProof {
             local_parent: Option::<SignedHeader>::decode_from(r)?,
         })
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.conflicting.encoded_len() + self.local_parent.encoded_len()
+    }
 }
 
 /// Values submitted to the worker's BFT consensus layer (the BFT-SMaRt
@@ -149,6 +153,13 @@ impl WireCodec for ConsensusValue {
                 what: "ConsensusValue",
                 tag,
             }),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ConsensusValue::FallbackVote { evidence, .. } => 8 + 4 + 4 + 1 + evidence.encoded_len(),
+            ConsensusValue::RecoveryVersion { version, .. } => 8 + 4 + version.encoded_len(),
         }
     }
 }
@@ -340,6 +351,20 @@ impl WireCodec for WorkerMsg {
             }),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WorkerMsg::BlockData { txs, .. } => 32 + txs.encoded_len(),
+            WorkerMsg::Header { header } => header.encoded_len(),
+            WorkerMsg::Vote { piggyback, .. } => 8 + 4 + 1 + piggyback.encoded_len(),
+            WorkerMsg::PullHeader { .. } => 8 + 4,
+            WorkerMsg::PullHeaderReply { header } => header.encoded_len(),
+            WorkerMsg::PullBlock { .. } => 32,
+            WorkerMsg::PullBlockReply { txs, .. } => 32 + txs.encoded_len(),
+            WorkerMsg::Panic(m) => m.encoded_len(),
+            WorkerMsg::Consensus(m) => m.encoded_len(),
+        }
+    }
 }
 
 /// Layout per WIRE_FORMAT.md §6.2: `worker u32 | inner WorkerMsg`.
@@ -354,6 +379,10 @@ impl WireCodec for FloMsg {
             worker: WorkerId::decode_from(r)?,
             inner: WorkerMsg::decode_from(r)?,
         })
+    }
+
+    fn encoded_len(&self) -> usize {
+        4 + self.inner.encoded_len()
     }
 }
 
@@ -373,7 +402,7 @@ mod tests {
                 10,
                 5120,
             ),
-            Signature(vec![0u8; 64]),
+            Signature::from(vec![0u8; 64]),
         )
     }
 

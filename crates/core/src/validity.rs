@@ -12,7 +12,7 @@
 //! worker always enforces the structural invariants (payload hash matches the
 //! body) on top of the application predicate.
 
-use fireledger_crypto::merkle_root;
+use fireledger_crypto::block_payload_root;
 use fireledger_types::{Block, BlockHeader};
 use std::sync::Arc;
 
@@ -87,15 +87,21 @@ where
 /// The structural invariant every worker enforces regardless of the
 /// application predicate: the header commits (via the merkle root) to exactly
 /// the transactions in the body, and the declared counts match.
+///
+/// The cheap count checks run first; the merkle root goes through the
+/// block's compute-once cache ([`block_payload_root`]), so re-validating the
+/// same `Block` value — or one whose cache a worker pre-seeded from its
+/// stored-body digest — does not re-hash β transactions.
 pub fn structurally_consistent(header: &BlockHeader, body: &Block) -> bool {
-    header.payload_hash == merkle_root(&body.txs)
-        && header.tx_count as usize == body.txs.len()
+    header.tx_count as usize == body.txs.len()
         && header.payload_bytes == body.payload_bytes()
+        && header.payload_hash == block_payload_root(body)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fireledger_crypto::merkle_root;
     use fireledger_types::{NodeId, Round, Transaction, WorkerId, GENESIS_HASH};
 
     fn block(txs: Vec<Transaction>) -> (BlockHeader, Block) {

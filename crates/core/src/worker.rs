@@ -39,7 +39,7 @@ use crate::timer::EmaTimer;
 use crate::txpool::TxPool;
 use crate::validity::{structurally_consistent, SharedValidity};
 use fireledger_bft::{Pbft, PbftConfig, ReliableBroadcast};
-use fireledger_crypto::{hash_header, merkle_root, SharedCrypto};
+use fireledger_crypto::{hash_header, merkle_root_into, SharedCrypto};
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{
     Block, BlockHeader, Delivery, Hash, NodeId, Observation, Outbox, Protocol, ProtocolParams,
@@ -103,6 +103,14 @@ pub struct Worker {
     /// Payload hashes whose body has been structurally validated (and its
     /// hashing cost charged) already.
     validated_bodies: HashSet<Hash>,
+    /// Computed merkle root per stored body, keyed by the hash the body was
+    /// announced under. `bodies` inserts are first-wins, so each entry is
+    /// hashed once; every re-evaluation of the vote condition reads the
+    /// digest instead of re-hashing β transactions.
+    body_roots: HashMap<Hash, Hash>,
+    /// Scratch for merkle leaf digests, reused across blocks so steady-state
+    /// payload hashing allocates nothing.
+    leaf_scratch: Vec<Hash>,
     votes: HashMap<(Round, NodeId), AttemptVotes>,
     fallback_votes: HashMap<(Round, NodeId), Vec<FallbackVoteEntry>>,
     fallback_submitted: HashSet<(Round, NodeId)>,
@@ -159,6 +167,8 @@ impl Worker {
             headers: HashMap::new(),
             bodies: HashMap::new(),
             validated_bodies: HashSet::new(),
+            body_roots: HashMap::new(),
+            leaf_scratch: Vec::new(),
             votes: HashMap::new(),
             fallback_votes: HashMap::new(),
             fallback_submitted: HashSet::new(),
@@ -295,7 +305,8 @@ impl Worker {
             self.params.tx_size,
             self.params.fill_blocks,
         );
-        let payload_hash = merkle_root(&txs);
+        let payload_hash = merkle_root_into(&txs, &mut self.leaf_scratch);
+        self.body_roots.insert(payload_hash, payload_hash);
         let payload_bytes: u64 = txs.iter().map(|t| t.payload.len() as u64).sum();
         let header = BlockHeader::new(
             round,
@@ -336,7 +347,19 @@ impl Worker {
             return None;
         }
         let txs = self.bodies.get(&header.payload_hash)?;
+        // Hash the stored body at most once: the digest is keyed by the hash
+        // the body was announced under (first body wins in `bodies`, so the
+        // mapping never changes). Re-evaluating the vote condition after
+        // every message used to re-hash all β transactions here.
+        let known_root = *self
+            .body_roots
+            .entry(header.payload_hash)
+            .or_insert_with(|| merkle_root_into(txs, &mut self.leaf_scratch));
         let body = Block::new(header.clone(), txs.clone());
+        // Seed the block's compute-once root cache with the stored digest so
+        // the structural check (and any hashing application predicate) reads
+        // it instead of recomputing.
+        body.payload_root_cache().get_or_init(|| known_root);
         if !self.validated_bodies.contains(&header.payload_hash) {
             // Hashing the payload to check the merkle commitment.
             out.cpu(CpuCharge::hash(header.payload_bytes));
@@ -373,12 +396,15 @@ impl Worker {
         if vote && self.rotation.successor(self.proposer) == self.me {
             let next_round = self.round.next();
             if !self.my_header_sent.contains(&next_round) {
-                let current = self
-                    .headers
-                    .get(&(self.round, self.proposer))
-                    .expect("voting 1 implies the header is known")
-                    .clone();
-                let parent = hash_header(&current.header);
+                // Hash through the *stored* header so the memoized digest is
+                // computed on (and cached by) the long-lived value.
+                let parent = hash_header(
+                    &self
+                        .headers
+                        .get(&(self.round, self.proposer))
+                        .expect("voting 1 implies the header is known")
+                        .header,
+                );
                 let signed = self.build_own_header(next_round, parent, out);
                 out.observe(Observation::HeaderProposed {
                     worker: self.worker_id,

@@ -23,8 +23,17 @@ pub fn hash_concat(a: &Hash, b: &Hash) -> Hash {
 
 /// Hashes a block header's canonical encoding. This is the value the *next*
 /// block stores in its `parent` field and the value the proposer signs.
+///
+/// Memoized through [`BlockHeader::hash_cache`]: a header is hashed at most
+/// once per value, so hot paths that re-derive the same digest — the chain's
+/// `tip_hash` on every vote check, parent links during validation — pay
+/// SHA-256 once and a cache read thereafter. Cloned headers recompute (the
+/// cache is reset by `Clone`; see `HashMemo`), which keeps the memo safe
+/// under the clone-then-mutate idiom.
 pub fn hash_header(header: &BlockHeader) -> Hash {
-    hash_bytes(&header.canonical_bytes())
+    header
+        .hash_cache()
+        .get_or_init(|| hash_bytes(&header.canonical_bytes()))
 }
 
 /// Hashes a single transaction (client id, sequence number and payload).

@@ -137,7 +137,7 @@ impl CryptoProvider for LamportKeyStore {
             let v = (digest[bit / 8] >> (7 - bit % 8)) & 1;
             out.extend_from_slice(&key.secrets[2 * bit + v as usize]);
         }
-        Signature(out)
+        Signature(out.into())
     }
 
     fn verify(&self, node: NodeId, msg: &[u8], sig: &Signature) -> bool {
@@ -223,7 +223,7 @@ impl CryptoProvider for SimKeyStore {
         pre.extend_from_slice(secret);
         pre.extend_from_slice(msg);
         let digest = hash_bytes(&pre);
-        Signature(digest.as_bytes().to_vec())
+        Signature::from(digest.as_bytes().as_slice())
     }
 
     fn verify(&self, node: NodeId, msg: &[u8], sig: &Signature) -> bool {
@@ -258,11 +258,13 @@ mod tests {
         assert!(!provider.verify(NodeId(1), msg, &sig));
         // Wrong message.
         assert!(!provider.verify(NodeId(0), b"tampered", &sig));
-        // Corrupted signature.
-        let mut bad = sig.clone();
-        if let Some(b) = bad.0.first_mut() {
+        // Corrupted signature (Bytes storage is immutable: rebuild the
+        // buffer with its first byte flipped).
+        let mut bad_bytes = sig.as_bytes().to_vec();
+        if let Some(b) = bad_bytes.first_mut() {
             *b ^= 0xff;
         }
+        let bad = Signature::from(bad_bytes);
         assert!(!provider.verify(NodeId(0), msg, &bad));
         // Unknown node.
         assert!(!provider.verify(NodeId(99), msg, &sig));
@@ -312,7 +314,7 @@ mod tests {
     #[test]
     fn malformed_signature_rejected() {
         let store = LamportKeyStore::generate(1, 1);
-        assert!(!store.verify(NodeId(0), b"m", &Signature(vec![1, 2, 3])));
+        assert!(!store.verify(NodeId(0), b"m", &Signature::from(vec![1, 2, 3])));
         assert!(!store.verify(NodeId(0), b"m", &Signature::empty()));
     }
 

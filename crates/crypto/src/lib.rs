@@ -25,4 +25,4 @@ pub mod sha256;
 pub use cost::CostModel;
 pub use hash::{hash_bytes, hash_concat, hash_header, hash_transaction};
 pub use keys::{CryptoProvider, LamportKeyStore, SharedCrypto, SimKeyStore};
-pub use merkle::{merkle_root, MerkleTree};
+pub use merkle::{block_payload_root, merkle_root, merkle_root_into, MerkleTree};

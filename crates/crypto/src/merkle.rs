@@ -7,14 +7,67 @@
 //! permissioned ledgers.
 
 use crate::hash::{hash_concat, hash_transaction};
-use fireledger_types::{Hash, Transaction};
+use fireledger_types::{Block, Hash, Transaction};
 
 /// Computes the merkle root of a transaction batch.
 ///
 /// The root of an empty batch is the all-zero hash, which matches the
 /// `payload_hash` of an intentionally empty block.
+///
+/// This is the root-only fast path: unlike [`MerkleTree::build`] it keeps no
+/// levels — the leaf digests are computed in one batched pass and folded to
+/// the root in place, so the whole computation costs a single `Vec`
+/// allocation (none at all via [`merkle_root_into`]). Both paths implement
+/// the same promote-odd-leaf rule and produce identical roots (see the
+/// `fast_root_matches_tree_root` test).
 pub fn merkle_root(txs: &[Transaction]) -> Hash {
-    MerkleTree::build(txs).root()
+    let mut scratch = Vec::new();
+    merkle_root_into(txs, &mut scratch)
+}
+
+/// [`merkle_root`] with a caller-owned scratch buffer for the leaf digests.
+///
+/// Proposers and validators hash one batch per block; feeding the same
+/// scratch vector back every block makes steady-state payload hashing
+/// allocation-free once the buffer reaches β entries.
+pub fn merkle_root_into(txs: &[Transaction], scratch: &mut Vec<Hash>) -> Hash {
+    if txs.is_empty() {
+        return Hash::default();
+    }
+    // Batched leaf digests: one pass over the transactions.
+    scratch.clear();
+    scratch.reserve(txs.len());
+    scratch.extend(txs.iter().map(hash_transaction));
+    // Fold to the root in place, halving the live prefix per level.
+    while scratch.len() > 1 {
+        let mut write = 0;
+        let mut read = 0;
+        while read < scratch.len() {
+            scratch[write] = if read + 1 < scratch.len() {
+                hash_concat(&scratch[read], &scratch[read + 1])
+            } else {
+                // Promote the odd node unchanged.
+                scratch[read]
+            };
+            write += 1;
+            read += 2;
+        }
+        scratch.truncate(write);
+    }
+    scratch[0]
+}
+
+/// The merkle root of a block's body, computed once per [`Block`] value.
+///
+/// Memoized through [`Block::payload_root_cache`]: validating the same block
+/// value repeatedly (FLO's per-node verify path checks the payload
+/// commitment on every vote re-evaluation) hashes its β transactions once.
+/// Callers that already know the root — e.g. a worker that stores verified
+/// bodies by payload hash — can pre-seed the cache instead.
+pub fn block_payload_root(block: &Block) -> Hash {
+    block
+        .payload_root_cache()
+        .get_or_init(|| merkle_root(&block.txs))
 }
 
 /// A binary merkle tree with membership proofs.
@@ -127,6 +180,57 @@ mod tests {
         (0..n)
             .map(|i| Transaction::new(1, i as u64, vec![i as u8; 32]))
             .collect()
+    }
+
+    #[test]
+    fn fast_root_matches_tree_root() {
+        // The in-place fold and the full tree implement the same
+        // promote-odd-leaf rule; their roots must agree for every shape.
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 64, 100] {
+            let batch = txs(n);
+            assert_eq!(
+                merkle_root(&batch),
+                MerkleTree::build(&batch).root(),
+                "divergence at {n} leaves"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_buffer_is_reusable_across_batches() {
+        let mut scratch = Vec::new();
+        let a = merkle_root_into(&txs(7), &mut scratch);
+        assert_eq!(a, merkle_root(&txs(7)));
+        // A second, smaller batch through the same scratch.
+        let b = merkle_root_into(&txs(3), &mut scratch);
+        assert_eq!(b, merkle_root(&txs(3)));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn block_payload_root_memoizes_per_value() {
+        use fireledger_types::{BlockHeader, NodeId, Round, WorkerId, GENESIS_HASH};
+        let batch = txs(5);
+        let header = BlockHeader::new(
+            Round(0),
+            WorkerId(0),
+            NodeId(0),
+            GENESIS_HASH,
+            merkle_root(&batch),
+            batch.len() as u32,
+            0,
+        );
+        let block = Block::new(header, batch.clone());
+        assert_eq!(block_payload_root(&block), merkle_root(&batch));
+        assert_eq!(
+            block.payload_root_cache().get(),
+            Some(merkle_root(&batch)),
+            "root must be cached after first computation"
+        );
+        // Pre-seeding wins over computation.
+        let seeded = block.clone();
+        seeded.payload_root_cache().get_or_init(|| Hash([7u8; 32]));
+        assert_eq!(block_payload_root(&seeded), Hash([7u8; 32]));
     }
 
     #[test]

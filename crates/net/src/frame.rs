@@ -9,7 +9,7 @@
 //! re-synchronization protocol inside a stream).
 
 use fireledger_types::codec::{CodecError, FrameHeader, FRAME_HEADER_LEN};
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 fn invalid(e: CodecError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, e)
@@ -27,6 +27,57 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.write_all(payload)
 }
 
+/// Writes a batch of already-framed buffers as **one vectored write per
+/// syscall** instead of one write per frame.
+///
+/// This is the drain-and-coalesce primitive of the TCP writer threads: all
+/// frames queued since the last wakeup go to the kernel together, so a
+/// saturated sender pays one syscall (and, with `TCP_NODELAY`, typically one
+/// packet train) per wakeup rather than one per message. Partial writes are
+/// handled by advancing through the batch and re-issuing the remainder;
+/// `Interrupted` is retried; a `write` that accepts zero bytes of a
+/// non-empty batch is a `WriteZero` error (the peer is gone).
+pub fn write_coalesced<B: AsRef<[u8]>>(w: &mut impl Write, frames: &[B]) -> io::Result<()> {
+    let mut idx = 0; // first frame not fully written
+    let mut off = 0; // bytes of frames[idx] already written
+    loop {
+        // Skip exhausted (or empty) frames.
+        while idx < frames.len() && frames[idx].as_ref().len() == off {
+            idx += 1;
+            off = 0;
+        }
+        if idx >= frames.len() {
+            return w.flush();
+        }
+        let mut slices = Vec::with_capacity(frames.len() - idx);
+        slices.push(IoSlice::new(&frames[idx].as_ref()[off..]));
+        slices.extend(frames[idx + 1..].iter().map(|f| IoSlice::new(f.as_ref())));
+        let written = match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer accepted zero bytes of a frame batch",
+                ))
+            }
+            Ok(k) => k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        // Advance (idx, off) past the bytes the kernel accepted.
+        let mut remaining = written;
+        while remaining > 0 {
+            let avail = frames[idx].as_ref().len() - off;
+            let step = remaining.min(avail);
+            off += step;
+            remaining -= step;
+            if off == frames[idx].as_ref().len() {
+                idx += 1;
+                off = 0;
+            }
+        }
+    }
+}
+
 /// Reads the next frame's payload.
 ///
 /// Returns `Ok(None)` on a clean end of stream (EOF exactly at a frame
@@ -34,6 +85,24 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// validation (bad magic / version / oversized length), is an
 /// [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`] error.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = Vec::new();
+    match read_frame_into(r, &mut payload)? {
+        Some(len) => {
+            payload.truncate(len);
+            Ok(Some(payload))
+        }
+        None => Ok(None),
+    }
+}
+
+/// [`read_frame`] with a caller-owned, reused payload buffer.
+///
+/// Returns the payload length; the payload itself is in `buf[..len]`. The
+/// buffer only ever *grows* (to the largest frame seen on the stream), so a
+/// reader thread that feeds the same buffer back for every frame performs
+/// zero allocations — and zero redundant zero-fills — in steady state.
+/// Validation is identical to [`read_frame`].
+pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<Option<usize>> {
     let mut header = [0u8; FRAME_HEADER_LEN];
     // Distinguish "no next frame" (clean close) from a truncated header.
     // Interrupted reads are retried, matching `read_exact`'s contract.
@@ -53,9 +122,12 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         }
     }
     let header = FrameHeader::decode(&header).map_err(invalid)?;
-    let mut payload = vec![0u8; header.len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    let len = header.len as usize;
+    if buf.len() < len {
+        buf.resize(len, 0);
+    }
+    r.read_exact(&mut buf[..len])?;
+    Ok(Some(len))
 }
 
 #[cfg(test)]
@@ -131,6 +203,105 @@ mod tests {
         let err = read_frame(&mut &bytes[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("exceeds"), "{err}");
+    }
+
+    /// A sink that accepts at most `cap` bytes per call — forces the
+    /// coalesced writer through its partial-write resumption path.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn coalesced_write_equals_sequential_writes() {
+        let frames = [
+            frame_bytes(b"alpha"),
+            frame_bytes(b""),
+            frame_bytes(&[7u8; 300]),
+        ];
+        let sequential: Vec<u8> = frames.concat();
+        let mut coalesced = Vec::new();
+        write_coalesced(&mut coalesced, &frames).unwrap();
+        assert_eq!(coalesced, sequential);
+        // And the stream still parses frame by frame.
+        let mut r = &coalesced[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![7u8; 300]);
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn coalesced_write_survives_partial_writes() {
+        let frames = [
+            frame_bytes(b"one"),
+            frame_bytes(&[9u8; 100]),
+            frame_bytes(b"three"),
+        ];
+        let expected: Vec<u8> = frames.concat();
+        for cap in [1usize, 2, 7, 13, 64, 1000] {
+            let mut sink = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            write_coalesced(&mut sink, &frames).unwrap();
+            assert_eq!(sink.out, expected, "corrupted stream at cap {cap}");
+        }
+    }
+
+    #[test]
+    fn coalesced_write_of_empty_batches_and_empty_frames() {
+        let mut out = Vec::new();
+        write_coalesced(&mut out, &[] as &[Vec<u8>]).unwrap();
+        assert!(out.is_empty());
+        // Batches of only empty buffers write nothing and do not error.
+        write_coalesced(&mut out, &[Vec::new(), Vec::new()]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reused_read_buffer_only_grows_and_stays_correct() {
+        let mut stream = frame_bytes(&[1u8; 500]);
+        stream.extend(frame_bytes(b"tiny"));
+        stream.extend(frame_bytes(&[3u8; 200]));
+        let mut r = &stream[..];
+        let mut buf = Vec::new();
+        assert_eq!(read_frame_into(&mut r, &mut buf).unwrap(), Some(500));
+        assert_eq!(&buf[..500], &[1u8; 500][..]);
+        let cap_after_big = buf.capacity();
+        // A smaller frame reuses the buffer without shrinking it; only the
+        // prefix is meaningful.
+        assert_eq!(read_frame_into(&mut r, &mut buf).unwrap(), Some(4));
+        assert_eq!(&buf[..4], b"tiny");
+        assert!(buf.capacity() >= cap_after_big, "buffer must not shrink");
+        assert_eq!(read_frame_into(&mut r, &mut buf).unwrap(), Some(200));
+        assert_eq!(&buf[..200], &[3u8; 200][..]);
+        assert_eq!(read_frame_into(&mut r, &mut buf).unwrap(), None, "EOF");
+    }
+
+    #[test]
+    fn coalesced_write_reports_dead_peers() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = write_coalesced(&mut Dead, &[frame_bytes(b"x")]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WriteZero);
     }
 
     #[test]

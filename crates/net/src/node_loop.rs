@@ -23,6 +23,16 @@ pub(crate) enum NodeEvent<M> {
         /// The message.
         msg: M,
     },
+    /// A broadcast message whose value is shared across every recipient's
+    /// queue: the sender allocates (or encodes) once and enqueues `n − 1`
+    /// reference bumps. Receivers materialize their own copy on dequeue —
+    /// and the last receiver takes the value without cloning at all.
+    SharedMessage {
+        /// The sending node.
+        from: NodeId,
+        /// The shared message.
+        msg: Arc<M>,
+    },
     /// A client transaction submitted to this node.
     Transaction(Transaction),
     /// Stop the node's thread.
@@ -111,6 +121,9 @@ impl<M> ClusterCore<M> {
 
 /// Runs one node until shutdown or crash: fires due timers, pulls events,
 /// applies the protocol's actions through `egress`.
+///
+/// The `Outbox` and the due-timer scratch are allocated once and reused for
+/// every event, so the steady-state loop itself allocates nothing.
 pub(crate) fn run_node<P, E>(
     node: &mut P,
     me: NodeId,
@@ -120,10 +133,12 @@ pub(crate) fn run_node<P, E>(
     crashed: Arc<Vec<AtomicBool>>,
 ) where
     P: Protocol,
+    P::Msg: Clone,
     E: Egress<P::Msg>,
 {
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
     let mut out = Outbox::new();
+    let mut due: Vec<TimerId> = Vec::new();
     node.on_start(&mut out);
     apply(me, &mut out, egress, &mut timers, &deliveries);
 
@@ -135,14 +150,15 @@ pub(crate) fn run_node<P, E>(
         }
         // Fire any due timers.
         let now = Instant::now();
-        let due: Vec<TimerId> = timers
-            .iter()
-            .filter(|(_, deadline)| **deadline <= now)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in due {
+        due.clear();
+        due.extend(
+            timers
+                .iter()
+                .filter(|(_, deadline)| **deadline <= now)
+                .map(|(id, _)| *id),
+        );
+        for id in due.drain(..) {
             timers.remove(&id);
-            let mut out = Outbox::new();
             node.on_timer(id, &mut out);
             apply(me, &mut out, egress, &mut timers, &deliveries);
         }
@@ -160,12 +176,18 @@ pub(crate) fn run_node<P, E>(
                 }
                 match event {
                     NodeEvent::Message { from, msg } => {
-                        let mut out = Outbox::new();
+                        node.on_message(from, msg, &mut out);
+                        apply(me, &mut out, egress, &mut timers, &deliveries);
+                    }
+                    NodeEvent::SharedMessage { from, msg } => {
+                        // The last receiver of a broadcast takes the value
+                        // without cloning; earlier receivers clone out of
+                        // the shared allocation.
+                        let msg = Arc::try_unwrap(msg).unwrap_or_else(|arc| (*arc).clone());
                         node.on_message(from, msg, &mut out);
                         apply(me, &mut out, egress, &mut timers, &deliveries);
                     }
                     NodeEvent::Transaction(tx) => {
-                        let mut out = Outbox::new();
                         node.on_transaction(tx, &mut out);
                         apply(me, &mut out, egress, &mut timers, &deliveries);
                     }

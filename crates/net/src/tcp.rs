@@ -32,28 +32,37 @@
 //! before attaching the connection to the mesh. Frames that fail validation
 //! tear the connection down.
 
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, read_frame_into, write_coalesced, write_frame};
 use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
 use crate::RealtimeCluster;
 use fireledger_types::codec::{FrameHeader, FRAME_HEADER_LEN};
 use fireledger_types::{Delivery, NodeId, Protocol, Transaction, WireCodec};
-use std::io::{self, Write};
+use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+/// Upper bound on frames drained per writer wakeup: bounds the batch vector
+/// and keeps a single vectored write under the kernel's iovec limit ballpark
+/// (`IOV_MAX` is 1024 on Linux; `write_vectored` handles the excess, this
+/// just avoids pathological batch growth while the socket is stalled).
+const MAX_BATCH_FRAMES: usize = 1024;
+
 /// Builds the complete frame (header + payload) for one message, shared
-/// across all writer threads of a broadcast. The message is encoded directly
-/// after a header-sized placeholder that is then patched via
-/// [`FrameHeader::encode`] — one allocation, no payload copy, and the header
-/// layout still comes from the single authority the read path validates
-/// against.
+/// across all writer threads of a broadcast. [`WireCodec::encoded_len`]
+/// sizes the buffer exactly (one right-sized allocation, no growth
+/// reallocations, no payload copy), but the header's length field is
+/// written from the bytes *actually encoded* — the size hint is purely
+/// advisory, so a drifted `encoded_len` impl can never desync the stream.
 fn frame_of<M: WireCodec>(msg: &M) -> Arc<Vec<u8>> {
-    let mut out = vec![0u8; FRAME_HEADER_LEN];
+    let hint = msg.encoded_len();
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + hint);
+    out.resize(FRAME_HEADER_LEN, 0);
     msg.encode_to(&mut out);
     let len = out.len() - FRAME_HEADER_LEN;
     out[..FRAME_HEADER_LEN].copy_from_slice(&FrameHeader::new(len).encode());
+    debug_assert_eq!(len, hint, "encoded_len hint drifted from encode_to");
     Arc::new(out)
 }
 
@@ -102,7 +111,7 @@ pub struct TcpCluster<M> {
 
 impl<M> TcpCluster<M>
 where
-    M: WireCodec + Clone + Send + std::fmt::Debug + 'static,
+    M: WireCodec + Clone + Send + Sync + std::fmt::Debug + 'static,
 {
     /// Binds one listener per node, dials the full mesh, performs the hello
     /// handshake on every connection, and starts all threads.
@@ -161,31 +170,56 @@ where
                 let Some(stream) = slot.take() else { continue };
                 streams.push(stream.try_clone()?);
 
-                // Writer thread: drain pre-encoded frames onto the socket.
+                // Writer thread: drain-and-coalesce. Block for the first
+                // frame, then opportunistically drain everything else already
+                // queued and hand the whole batch to the kernel as one
+                // vectored write — one syscall per wakeup instead of one per
+                // message. The batch vector is reused across wakeups.
                 let (wtx, wrx) = channel::<Arc<Vec<u8>>>();
                 writers[j] = Some(wtx);
                 let mut write_half = stream.try_clone()?;
                 io_handles.push(std::thread::spawn(move || {
-                    while let Ok(frame) = wrx.recv() {
-                        if write_half.write_all(&frame).is_err() {
-                            break;
+                    let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
+                    while let Ok(first) = wrx.recv() {
+                        batch.clear();
+                        batch.push(first);
+                        while batch.len() < MAX_BATCH_FRAMES {
+                            match wrx.try_recv() {
+                                Ok(frame) => batch.push(frame),
+                                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                            }
+                        }
+                        let views: Vec<&[u8]> = batch.iter().map(|f| f.as_slice()).collect();
+                        if write_coalesced(&mut write_half, &views).is_err() {
+                            return;
                         }
                     }
                 }));
 
-                // Reader thread: decode frames into the node's event queue.
-                // Any framing or codec violation tears the connection down.
+                // Reader thread: decode frames into the node's event queue,
+                // reusing one payload buffer for every frame on the stream.
+                // Each frame's bytes are wrapped in one Arc-backed `Bytes`
+                // and decoded zero-copy: every transaction payload and
+                // signature in the message is a view into that single
+                // allocation, not a per-field copy. Any framing or codec
+                // violation tears the connection down.
                 let mut read_half = stream;
                 let evt_tx = core.evt_senders[i].clone();
                 let from = NodeId(j as u32);
-                io_handles.push(std::thread::spawn(move || loop {
-                    let payload = match read_frame(&mut read_half) {
-                        Ok(Some(payload)) => payload,
-                        Ok(None) | Err(_) => return,
-                    };
-                    let Ok(msg) = M::decode(&payload) else { return };
-                    if evt_tx.send(NodeEvent::Message { from, msg }).is_err() {
-                        return;
+                io_handles.push(std::thread::spawn(move || {
+                    let mut payload = Vec::new();
+                    loop {
+                        let len = match read_frame_into(&mut read_half, &mut payload) {
+                            Ok(Some(len)) => len,
+                            Ok(None) | Err(_) => return,
+                        };
+                        let backing = fireledger_types::Bytes::copy_from_slice(&payload[..len]);
+                        let Ok(msg) = M::decode_shared(&backing) else {
+                            return;
+                        };
+                        if evt_tx.send(NodeEvent::Message { from, msg }).is_err() {
+                            return;
+                        }
                     }
                 }));
             }
@@ -259,7 +293,7 @@ where
 
 impl<M> RealtimeCluster for TcpCluster<M>
 where
-    M: WireCodec + Clone + Send + std::fmt::Debug + 'static,
+    M: WireCodec + Clone + Send + Sync + std::fmt::Debug + 'static,
 {
     fn submit(&self, node: NodeId, tx: Transaction) {
         TcpCluster::submit(self, node, tx);

@@ -11,6 +11,7 @@ use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
 use crate::RealtimeCluster;
 use fireledger_types::{Delivery, NodeId, Protocol, Transaction};
 use std::sync::mpsc::Sender;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Routes a node's outbound messages to its peers' in-process channels.
@@ -27,11 +28,16 @@ impl<M: Clone> Egress<M> for MpscEgress<M> {
     }
 
     fn broadcast(&mut self, msg: M) {
+        // Share one value across every peer's queue: enqueueing is n − 1
+        // reference bumps, and receivers materialize on dequeue (the last
+        // one for free) — the mpsc analogue of the TCP runtime's
+        // encode-once-broadcast.
+        let shared = Arc::new(msg);
         for (i, peer) in self.peers.iter().enumerate() {
             if i != self.me.as_usize() {
-                let _ = peer.send(NodeEvent::Message {
+                let _ = peer.send(NodeEvent::SharedMessage {
                     from: self.me,
-                    msg: msg.clone(),
+                    msg: shared.clone(),
                 });
             }
         }
@@ -46,7 +52,7 @@ pub struct ThreadedCluster<M> {
 
 impl<M> ThreadedCluster<M>
 where
-    M: Clone + Send + std::fmt::Debug + 'static,
+    M: Clone + Send + Sync + std::fmt::Debug + 'static,
 {
     /// Spawns one thread per node and starts the protocol.
     pub fn spawn<P>(nodes: Vec<P>) -> Self
@@ -111,7 +117,7 @@ where
 
 impl<M> RealtimeCluster for ThreadedCluster<M>
 where
-    M: Clone + Send + std::fmt::Debug + 'static,
+    M: Clone + Send + Sync + std::fmt::Debug + 'static,
 {
     fn submit(&self, node: NodeId, tx: Transaction) {
         ThreadedCluster::submit(self, node, tx);

@@ -72,7 +72,7 @@ pub struct BuildContext {
 /// | [`BftSmartNode`]  | BFT-SMaRt-style pipelined ordering         |
 pub trait ClusterProtocol: Protocol + Sized + Send + 'static
 where
-    Self::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    Self::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
 {
     /// Short machine-readable protocol name, used in [`crate::RunReport`]s.
     const NAME: &'static str;
@@ -198,7 +198,7 @@ pub struct ClusterBuilder<P> {
 impl<P> ClusterBuilder<P>
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
 {
     /// Starts a builder for an `params.n()`-node cluster with simulated
     /// (cheap) signatures, the accept-all validity predicate, and every node

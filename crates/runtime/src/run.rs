@@ -42,13 +42,13 @@ pub trait Runtime {
     ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static;
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static;
 
     /// Builds the cluster and runs the scenario to completion.
     fn run<P>(&self, cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<RunReport>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         self.run_full(cluster, scenario).map(|(report, _)| report)
     }
@@ -59,7 +59,7 @@ pub trait Runtime {
 fn measured_nodes<P>(cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Vec<NodeId>
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
 {
     let crashed = scenario.crashed_nodes();
     cluster
@@ -144,7 +144,7 @@ impl Runtime for Simulator {
     ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         let nodes = cluster.build()?;
         let n = nodes.len();
@@ -206,7 +206,7 @@ fn drive_realtime<P, C>(
 ) -> (RunReport, Vec<Vec<Delivery>>)
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     C: RealtimeCluster,
 {
     let n = cluster.params().n();
@@ -334,7 +334,7 @@ impl Runtime for Threads {
     ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         let nodes = cluster.build()?;
         let running = ThreadedCluster::spawn(nodes);
@@ -365,7 +365,7 @@ impl Runtime for Tcp {
     ) -> Result<(RunReport, Vec<Vec<Delivery>>)>
     where
         P: ClusterProtocol,
-        P::Msg: WireSize + WireCodec + Clone + Send + fmt::Debug + 'static,
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         let nodes = cluster.build()?;
         let running =

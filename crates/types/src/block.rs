@@ -11,10 +11,12 @@
 //! actual SHA-256 / signature operations live in `fireledger-crypto` so that
 //! this crate stays dependency-free.
 
+use crate::bytes::Bytes;
 use crate::ids::{NodeId, Round, WorkerId};
 use crate::transaction::Transaction;
 use crate::wire::WireSize;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// A 32-byte digest (SHA-256 in the reference implementation).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -76,14 +78,19 @@ impl WireSize for Hash {
 
 /// An opaque signature (ECDSA secp256k1 DER bytes in the reference
 /// implementation, §7.1 of the paper).
+///
+/// Storage is the workspace's Arc-backed [`Bytes`]: signatures are cloned
+/// into chain entries, piggybacked headers and re-broadcast evidence many
+/// times per decided block, and each of those clones is a reference-count
+/// bump instead of a heap copy.
 #[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Signature(pub Vec<u8>);
+pub struct Signature(pub Bytes);
 
 impl Signature {
     /// An empty placeholder signature, used by tests and by simulated
     /// lightweight signing modes.
     pub fn empty() -> Self {
-        Signature(Vec::new())
+        Signature(Bytes::new())
     }
 
     /// Raw signature bytes.
@@ -94,6 +101,18 @@ impl Signature {
     /// Whether the signature carries any bytes at all.
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Signature {
+    fn from(v: Vec<u8>) -> Self {
+        Signature(Bytes::from(v))
+    }
+}
+
+impl From<&[u8]> for Signature {
+    fn from(v: &[u8]) -> Self {
+        Signature(Bytes::copy_from_slice(v))
     }
 }
 
@@ -113,6 +132,79 @@ impl WireSize for Signature {
         // nominal size even for empty test signatures so that simulated wire
         // costs do not depend on whether real crypto is enabled.
         64
+    }
+}
+
+/// A thread-safe compute-once cache for a digest derived from the value it
+/// sits on (see [`BlockHeader::hash_cache`] / [`Block::payload_root_cache`]).
+///
+/// The memo is deliberately **invisible to value semantics**: two values
+/// that differ only in cache state compare equal, hash identically, and
+/// `Clone` hands back an *empty* cache. The clone-resets rule is what makes
+/// the cache safe next to public fields — the codebase's mutation idiom is
+/// clone-then-mutate (equivocating proposers, test tampering), and a clone
+/// that inherited the original's digest would serve a stale hash after the
+/// mutation. The price is one recompute per cloned lineage, which is exactly
+/// what the code paid before memoization existed.
+///
+/// Mutating a value **in place** after its digest was computed would leave
+/// the memo stale; in-place field mutation of an already-hashed header is
+/// not something any workspace code does (and `reset` exists for code that
+/// must).
+#[derive(Default)]
+pub struct HashMemo(OnceLock<Hash>);
+
+impl HashMemo {
+    /// An empty (not yet computed) memo.
+    pub fn new() -> Self {
+        HashMemo(OnceLock::new())
+    }
+
+    /// The cached digest, computing and storing it on first use.
+    pub fn get_or_init(&self, compute: impl FnOnce() -> Hash) -> Hash {
+        *self.0.get_or_init(compute)
+    }
+
+    /// The cached digest, if one was computed.
+    pub fn get(&self) -> Option<Hash> {
+        self.0.get().copied()
+    }
+
+    /// Clears the cache (for code that mutates a value in place after its
+    /// digest was computed).
+    pub fn reset(&mut self) {
+        self.0 = OnceLock::new();
+    }
+}
+
+impl Clone for HashMemo {
+    /// Clones are *empty*: the clone may be mutated before it is hashed, so
+    /// it must not inherit the original's digest.
+    fn clone(&self) -> Self {
+        HashMemo::new()
+    }
+}
+
+/// Cache state never participates in equality.
+impl PartialEq for HashMemo {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for HashMemo {}
+
+/// Cache state never participates in hashing.
+impl std::hash::Hash for HashMemo {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Debug for HashMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.get() {
+            Some(h) => write!(f, "memo({h:?})"),
+            None => write!(f, "memo(∅)"),
+        }
     }
 }
 
@@ -137,6 +229,10 @@ pub struct BlockHeader {
     pub tx_count: u32,
     /// Total payload bytes of the body.
     pub payload_bytes: u64,
+    /// Compute-once cache for this header's digest (`hash_header`); private
+    /// so struct literals outside this crate cannot bypass [`HashMemo`]'s
+    /// clone-resets discipline.
+    hash_cache: HashMemo,
 }
 
 impl BlockHeader {
@@ -159,22 +255,35 @@ impl BlockHeader {
             payload_hash,
             tx_count,
             payload_bytes,
+            hash_cache: HashMemo::new(),
         }
     }
 
+    /// Size in bytes of [`BlockHeader::canonical_bytes`] (and of the wire
+    /// encoding, which is the same bytes).
+    pub const CANONICAL_LEN: usize = 8 + 4 + 4 + 32 + 32 + 4 + 8;
+
     /// A canonical byte encoding used as the pre-image for hashing and
     /// signing. The encoding is explicit (not serde-derived) so that it is
-    /// stable across versions and platforms.
-    pub fn canonical_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(8 + 4 + 4 + 32 + 32 + 4 + 8);
-        out.extend_from_slice(&self.round.0.to_be_bytes());
-        out.extend_from_slice(&self.worker.0.to_be_bytes());
-        out.extend_from_slice(&self.proposer.0.to_be_bytes());
-        out.extend_from_slice(self.parent.as_bytes());
-        out.extend_from_slice(self.payload_hash.as_bytes());
-        out.extend_from_slice(&self.tx_count.to_be_bytes());
-        out.extend_from_slice(&self.payload_bytes.to_be_bytes());
+    /// stable across versions and platforms. Returned on the stack — the
+    /// sign/verify hot path pays no allocation for its pre-image.
+    pub fn canonical_bytes(&self) -> [u8; Self::CANONICAL_LEN] {
+        let mut out = [0u8; Self::CANONICAL_LEN];
+        out[0..8].copy_from_slice(&self.round.0.to_be_bytes());
+        out[8..12].copy_from_slice(&self.worker.0.to_be_bytes());
+        out[12..16].copy_from_slice(&self.proposer.0.to_be_bytes());
+        out[16..48].copy_from_slice(self.parent.as_bytes());
+        out[48..80].copy_from_slice(self.payload_hash.as_bytes());
+        out[80..84].copy_from_slice(&self.tx_count.to_be_bytes());
+        out[84..92].copy_from_slice(&self.payload_bytes.to_be_bytes());
         out
+    }
+
+    /// The compute-once cache for this header's digest. `fireledger-crypto`'s
+    /// `hash_header` goes through this so repeated hashing of a *stored*
+    /// header (chain tips, parent links) is a cache read.
+    pub fn hash_cache(&self) -> &HashMemo {
+        &self.hash_cache
     }
 
     /// True when the block carries no transactions.
@@ -245,12 +354,26 @@ pub struct Block {
     pub header: BlockHeader,
     /// The transaction batch (β transactions in the paper's notation).
     pub txs: Vec<Transaction>,
+    /// Compute-once cache for the body's merkle root (see
+    /// [`Block::payload_root_cache`]).
+    payload_root_cache: HashMemo,
 }
 
 impl Block {
     /// Creates a block from a header and its transactions.
     pub fn new(header: BlockHeader, txs: Vec<Transaction>) -> Self {
-        Block { header, txs }
+        Block {
+            header,
+            txs,
+            payload_root_cache: HashMemo::new(),
+        }
+    }
+
+    /// The compute-once cache for the merkle root of `txs`.
+    /// `fireledger-crypto`'s `block_payload_root` goes through this so
+    /// validating the same `Block` value twice hashes its transactions once.
+    pub fn payload_root_cache(&self) -> &HashMemo {
+        &self.payload_root_cache
     }
 
     /// Number of transactions in the block.
@@ -345,7 +468,7 @@ mod tests {
 
     #[test]
     fn signed_header_accessors() {
-        let sh = SignedHeader::new(header(9, 2), Signature(vec![1, 2, 3]));
+        let sh = SignedHeader::new(header(9, 2), Signature::from(vec![1, 2, 3]));
         assert_eq!(sh.round(), Round(9));
         assert_eq!(sh.proposer(), NodeId(2));
         assert_eq!(sh.wire_size(), sh.header.wire_size() + 64);
@@ -362,6 +485,44 @@ mod tests {
     #[test]
     fn signature_debug() {
         assert_eq!(format!("{:?}", Signature::empty()), "sig(∅)");
-        assert_eq!(format!("{:?}", Signature(vec![0; 64])), "sig(64B)");
+        assert_eq!(format!("{:?}", Signature::from(vec![0; 64])), "sig(64B)");
+    }
+
+    #[test]
+    fn signature_clones_share_storage() {
+        let a = Signature::from(vec![7u8; 64]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_bytes().as_ptr(), b.as_bytes().as_ptr()));
+    }
+
+    #[test]
+    fn hash_memo_computes_once_and_is_invisible_to_value_semantics() {
+        let memo = HashMemo::new();
+        assert_eq!(memo.get(), None);
+        let first = memo.get_or_init(|| Hash([1u8; 32]));
+        // A second init closure is never invoked.
+        let second = memo.get_or_init(|| unreachable!("memo must be cached"));
+        assert_eq!(first, second);
+        assert_eq!(memo.get(), Some(Hash([1u8; 32])));
+        // Clones start empty (clone-then-mutate safety).
+        assert_eq!(memo.clone().get(), None);
+        // Equality and hashing ignore cache state.
+        assert_eq!(memo, HashMemo::new());
+        let mut memo = memo;
+        memo.reset();
+        assert_eq!(memo.get(), None);
+    }
+
+    #[test]
+    fn header_hash_cache_does_not_leak_through_clone_or_eq() {
+        let a = header(1, 0);
+        a.hash_cache().get_or_init(|| Hash([9u8; 32]));
+        let b = a.clone();
+        assert_eq!(a, b, "cache state must not affect equality");
+        assert_eq!(b.hash_cache().get(), None, "clones must recompute");
+        let block = Block::new(a, vec![]);
+        block.payload_root_cache().get_or_init(|| Hash([8u8; 32]));
+        assert_eq!(block.clone().payload_root_cache().get(), None);
     }
 }

@@ -5,58 +5,124 @@
 //! reference bumps instead of allocations. The type intentionally mirrors the
 //! small part of the `bytes::Bytes` API the workspace uses, so the workspace
 //! stays free of external dependencies.
+//!
+//! A `Bytes` can also be a **view** — an `(offset, len)` window into a
+//! shared backing buffer ([`Bytes::slice`]). Views are what make zero-copy
+//! decoding possible: the TCP reader wraps a whole received frame in one
+//! `Bytes` and every payload decoded from it is a window, not a copy. A view
+//! keeps its entire backing buffer alive; in this codebase views are cut
+//! from message frames whose dominant content is the payload itself, so the
+//! retained overhead is a few dozen bytes of framing.
 
 use std::fmt;
 use std::ops::Deref;
 use std::sync::Arc;
 
-/// An immutable, reference-counted byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
-pub struct Bytes(Arc<[u8]>);
+/// An immutable, reference-counted byte buffer (possibly a view into a
+/// larger shared buffer).
+///
+/// Equality and hashing are by **content** — a view compares equal to a
+/// standalone buffer holding the same bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    buf: Arc<[u8]>,
+    off: usize,
+    len: usize,
+}
 
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes(Arc::from(&[][..]))
+        Bytes {
+            buf: Arc::from(&[][..]),
+            off: 0,
+            len: 0,
+        }
     }
 
     /// Creates a buffer by copying `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes(Arc::from(data))
+        Bytes {
+            len: data.len(),
+            buf: Arc::from(data),
+            off: 0,
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.len
     }
 
     /// True when the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len == 0
     }
 
     /// The bytes as a slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.0
+        &self.buf[self.off..self.off + self.len]
+    }
+
+    /// A zero-copy sub-window of this buffer: shares the backing allocation
+    /// (reference bump, no copy).
+    ///
+    /// # Panics
+    /// Panics if `off + len` exceeds [`Bytes::len`].
+    pub fn slice(&self, off: usize, len: usize) -> Bytes {
+        assert!(
+            off.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice of {len} bytes at {off} exceeds buffer of {}",
+            self.len
+        );
+        Bytes {
+            buf: self.buf.clone(),
+            off: self.off + off,
+            len,
+        }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.0
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes(Arc::from(v.into_boxed_slice()))
+        Bytes {
+            off: 0,
+            len: v.len(),
+            buf: Arc::from(v.into_boxed_slice()),
+        }
     }
 }
 
@@ -86,7 +152,7 @@ impl From<String> for Bytes {
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Bytes({}B)", self.0.len())
+        write!(f, "Bytes({}B)", self.len)
     }
 }
 
@@ -94,7 +160,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.0.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -125,5 +191,37 @@ mod tests {
         assert_eq!(Bytes::from(vec![1u8, 2]), Bytes::copy_from_slice(&[1, 2]));
         assert_ne!(Bytes::from(vec![1u8]), Bytes::from(vec![2u8]));
         assert_eq!(Bytes::from("ab"), Bytes::from(vec![b'a', b'b']));
+    }
+
+    #[test]
+    fn slices_share_storage_and_compare_by_content() {
+        let parent = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let view = parent.slice(2, 3);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.as_slice(), &[2, 3, 4]);
+        // Shares the backing allocation.
+        assert!(std::ptr::eq(
+            view.as_slice().as_ptr(),
+            parent.as_slice()[2..].as_ptr()
+        ));
+        // Content equality with a standalone buffer.
+        assert_eq!(view, Bytes::from(vec![2u8, 3, 4]));
+        // Hash agrees with content equality.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(view.clone());
+        assert!(set.contains(&Bytes::from(vec![2u8, 3, 4])));
+        // Sub-slicing a view stays within the view's window.
+        let inner = view.slice(1, 2);
+        assert_eq!(inner.as_slice(), &[3, 4]);
+        // Empty and full windows work.
+        assert!(parent.slice(8, 0).is_empty());
+        assert_eq!(parent.slice(0, 8), parent);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer")]
+    fn out_of_range_slice_panics() {
+        let _ = Bytes::from(vec![1u8, 2, 3]).slice(2, 2);
     }
 }

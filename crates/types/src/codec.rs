@@ -141,15 +141,31 @@ impl From<CodecError> for crate::error::Error {
 /// All reads consume from the front and fail with
 /// [`CodecError::Truncated`] instead of panicking; a reader that is not
 /// [`Reader::is_empty`] after [`WireCodec::decode`] is a protocol error.
+///
+/// A reader started with [`Reader::new_shared`] additionally carries the
+/// `Arc`-backed [`Bytes`] the input lives in; [`Reader::take_bytes`] then
+/// hands out zero-copy *views* into that backing instead of copying
+/// payloads out — the wire format is identical either way.
 #[derive(Debug)]
 pub struct Reader<'a> {
     buf: &'a [u8],
+    /// The shared buffer `buf` is a suffix of, when decoding zero-copy.
+    shared: Option<&'a Bytes>,
 }
 
 impl<'a> Reader<'a> {
     /// Starts reading `buf` from its first byte.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf }
+        Reader { buf, shared: None }
+    }
+
+    /// Starts reading `bytes` from its first byte, remembering the shared
+    /// backing so byte-payload fields decode as zero-copy views.
+    pub fn new_shared(bytes: &'a Bytes) -> Self {
+        Reader {
+            buf: bytes.as_slice(),
+            shared: Some(bytes),
+        }
     }
 
     /// Bytes not yet consumed.
@@ -203,6 +219,24 @@ impl<'a> Reader<'a> {
         Ok(u64::from_be_bytes(self.take_array()?))
     }
 
+    /// Consumes `n` bytes as an owned [`Bytes`] buffer.
+    ///
+    /// On a [`Reader::new_shared`] reader this is a zero-copy view into the
+    /// shared backing (a reference bump); otherwise the bytes are copied
+    /// into a fresh buffer. Decoded values are identical either way.
+    pub fn take_bytes(&mut self, n: usize) -> Result<Bytes, CodecError> {
+        match self.shared {
+            Some(parent) => {
+                // Offset of the cursor within the backing: the backing's
+                // length minus what is still unread.
+                let off = parent.len() - self.buf.len();
+                self.take(n)?;
+                Ok(parent.slice(off, n))
+            }
+            None => Ok(Bytes::copy_from_slice(self.take(n)?)),
+        }
+    }
+
     /// Consumes a sequence count (`u32` big-endian, WIRE_FORMAT.md §2.4) and
     /// validates it against the bytes remaining: every element encodes to at
     /// least one byte, so a count above [`Reader::remaining`] is corrupt and
@@ -226,6 +260,20 @@ impl<'a> Reader<'a> {
 /// encoding must be canonical: equal values produce identical bytes. The
 /// trait is deliberately allocation-light — encoding appends to a caller-owned
 /// buffer and decoding borrows from the input.
+///
+/// ## Size hints and buffer reuse
+///
+/// [`WireCodec::encoded_len`] must return *exactly* the number of bytes
+/// [`WireCodec::encode_to`] appends (the `codec_api` integration tests
+/// enforce this for every protocol message). The exact hint is what makes
+/// the two convenience entry points allocation-disciplined:
+///
+/// * [`WireCodec::encode`] allocates its buffer once, at the right size —
+///   no growth reallocations mid-encode;
+/// * [`WireCodec::encode_into`] reuses a caller-owned buffer, so
+///   steady-state encoding (the same scratch buffer fed back every message)
+///   performs **zero** allocations once the buffer has grown to the
+///   high-water mark.
 pub trait WireCodec: Sized {
     /// Appends this value's encoding to `out`.
     fn encode_to(&self, out: &mut Vec<u8>);
@@ -234,17 +282,59 @@ pub trait WireCodec: Sized {
     /// of its encoding.
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError>;
 
-    /// This value's encoding as a fresh buffer.
+    /// Exact size in bytes of this value's encoding — the number of bytes
+    /// [`WireCodec::encode_to`] will append.
+    fn encoded_len(&self) -> usize;
+
+    /// This value's encoding as a fresh buffer, allocated once at exactly
+    /// [`WireCodec::encoded_len`] bytes.
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.encoded_len());
         self.encode_to(&mut out);
+        debug_assert_eq!(
+            out.len(),
+            self.encoded_len(),
+            "encoded_len must match the bytes encode_to appends"
+        );
         out
+    }
+
+    /// This value's encoding written into a reused buffer: `buf` is cleared,
+    /// grown to at least [`WireCodec::encoded_len`] bytes once, and filled.
+    /// Feeding the same buffer back for every message makes steady-state
+    /// encoding allocation-free.
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.clear();
+        buf.reserve(self.encoded_len());
+        self.encode_to(buf);
+        debug_assert_eq!(
+            buf.len(),
+            self.encoded_len(),
+            "encoded_len must match the bytes encode_to appends"
+        );
     }
 
     /// Decodes a value that must span `bytes` exactly; trailing bytes are a
     /// [`CodecError::Trailing`] error.
     fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut r = Reader::new(bytes);
+        let value = Self::decode_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Trailing {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(value)
+    }
+
+    /// Like [`WireCodec::decode`], but decodes zero-copy: byte-payload
+    /// fields ([`Bytes`], [`Signature`]) become views into `bytes`' shared
+    /// backing instead of fresh copies. The decoded value is equal to what
+    /// [`WireCodec::decode`] produces; only the storage strategy differs.
+    /// This is what the TCP reader threads use — one `Bytes` per received
+    /// frame, every transaction payload a window into it.
+    fn decode_shared(bytes: &Bytes) -> Result<Self, CodecError> {
+        let mut r = Reader::new_shared(bytes);
         let value = Self::decode_from(&mut r)?;
         if !r.is_empty() {
             return Err(CodecError::Trailing {
@@ -317,6 +407,9 @@ impl WireCodec for u8 {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         r.u8()
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl WireCodec for u16 {
@@ -325,6 +418,9 @@ impl WireCodec for u16 {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         r.u16()
+    }
+    fn encoded_len(&self) -> usize {
+        2
     }
 }
 
@@ -335,6 +431,9 @@ impl WireCodec for u32 {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         r.u32()
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 impl WireCodec for u64 {
@@ -343,6 +442,9 @@ impl WireCodec for u64 {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         r.u64()
+    }
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 
@@ -356,6 +458,9 @@ impl WireCodec for bool {
             1 => Ok(true),
             b => Err(CodecError::BadBool(b)),
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -378,6 +483,9 @@ impl<T: WireCodec> WireCodec for Option<T> {
                 tag,
             }),
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireCodec::encoded_len)
     }
 }
 
@@ -402,6 +510,9 @@ impl<T: WireCodec> WireCodec for Vec<T> {
         }
         Ok(items)
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(WireCodec::encoded_len).sum::<usize>()
+    }
 }
 
 impl<T: WireCodec> WireCodec for Box<T> {
@@ -410,6 +521,9 @@ impl<T: WireCodec> WireCodec for Box<T> {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Box::new(T::decode_from(r)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.as_ref().encoded_len()
     }
 }
 
@@ -421,6 +535,9 @@ impl<A: WireCodec, B: WireCodec> WireCodec for (A, B) {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok((A::decode_from(r)?, B::decode_from(r)?))
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
 }
 
 impl WireCodec for Bytes {
@@ -430,7 +547,10 @@ impl WireCodec for Bytes {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let len = r.seq_len("Bytes")?;
-        Ok(Bytes::copy_from_slice(r.take(len)?))
+        r.take_bytes(len)
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -443,6 +563,9 @@ impl WireCodec for NodeId {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(NodeId(r.u32()?))
     }
+    fn encoded_len(&self) -> usize {
+        4
+    }
 }
 
 impl WireCodec for WorkerId {
@@ -451,6 +574,9 @@ impl WireCodec for WorkerId {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(WorkerId(r.u32()?))
+    }
+    fn encoded_len(&self) -> usize {
+        4
     }
 }
 
@@ -461,6 +587,9 @@ impl WireCodec for Round {
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Round(r.u64()?))
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl WireCodec for Hash {
@@ -469,6 +598,9 @@ impl WireCodec for Hash {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(Hash(r.take_array()?))
+    }
+    fn encoded_len(&self) -> usize {
+        32
     }
 }
 
@@ -479,7 +611,13 @@ impl WireCodec for Signature {
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let len = r.seq_len("Signature")?;
-        Ok(Signature(r.take(len)?.to_vec()))
+        // Arc-backed storage: zero-copy on a shared reader, one copy out of
+        // the receive buffer otherwise — and every downstream clone of the
+        // signature is a reference-count bump either way.
+        Ok(Signature(r.take_bytes(len)?))
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.0.len()
     }
 }
 
@@ -496,6 +634,9 @@ impl WireCodec for Transaction {
             payload: Bytes::decode_from(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        8 + 8 + self.payload.encoded_len()
+    }
 }
 
 /// The header layout is byte-identical to
@@ -507,15 +648,18 @@ impl WireCodec for BlockHeader {
         out.extend_from_slice(&self.canonical_bytes());
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(BlockHeader {
-            round: Round(r.u64()?),
-            worker: WorkerId(r.u32()?),
-            proposer: NodeId(r.u32()?),
-            parent: Hash::decode_from(r)?,
-            payload_hash: Hash::decode_from(r)?,
-            tx_count: r.u32()?,
-            payload_bytes: r.u64()?,
-        })
+        Ok(BlockHeader::new(
+            Round(r.u64()?),
+            WorkerId(r.u32()?),
+            NodeId(r.u32()?),
+            Hash::decode_from(r)?,
+            Hash::decode_from(r)?,
+            r.u32()?,
+            r.u64()?,
+        ))
+    }
+    fn encoded_len(&self) -> usize {
+        Self::CANONICAL_LEN
     }
 }
 
@@ -530,6 +674,9 @@ impl WireCodec for SignedHeader {
             signature: Signature::decode_from(r)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.header.encoded_len() + self.signature.encoded_len()
+    }
 }
 
 impl WireCodec for Block {
@@ -538,10 +685,13 @@ impl WireCodec for Block {
         self.txs.encode_to(out);
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(Block {
-            header: BlockHeader::decode_from(r)?,
-            txs: Vec::<Transaction>::decode_from(r)?,
-        })
+        Ok(Block::new(
+            BlockHeader::decode_from(r)?,
+            Vec::<Transaction>::decode_from(r)?,
+        ))
+    }
+    fn encoded_len(&self) -> usize {
+        self.header.encoded_len() + self.txs.encoded_len()
     }
 }
 
@@ -552,6 +702,16 @@ mod tests {
 
     fn roundtrip<T: WireCodec + PartialEq + fmt::Debug>(value: T) {
         let bytes = value.encode();
+        assert_eq!(
+            bytes.len(),
+            value.encoded_len(),
+            "encoded_len must match encode()"
+        );
+        // The buffer-reuse path must produce identical bytes even when the
+        // scratch buffer arrives dirty.
+        let mut scratch = vec![0xAA; 3];
+        value.encode_into(&mut scratch);
+        assert_eq!(scratch, bytes, "encode_into must equal encode");
         let back = T::decode(&bytes).expect("decode must succeed");
         assert_eq!(back, value);
     }
@@ -600,12 +760,12 @@ mod tests {
         roundtrip(Hash([7u8; 32]));
         roundtrip(GENESIS_HASH);
         roundtrip(Signature::empty());
-        roundtrip(Signature(vec![1, 2, 3]));
+        roundtrip(Signature::from(vec![1, 2, 3]));
         roundtrip(Bytes::from(vec![5u8; 100]));
         roundtrip(Transaction::new(1, 2, vec![9u8, 8, 7]));
         roundtrip(Transaction::zeroed(0, 0, 0));
         roundtrip(header());
-        roundtrip(SignedHeader::new(header(), Signature(vec![0x55; 64])));
+        roundtrip(SignedHeader::new(header(), Signature::from(vec![0x55; 64])));
         roundtrip(Block::new(
             header(),
             vec![Transaction::zeroed(1, 0, 16), Transaction::zeroed(1, 1, 16)],

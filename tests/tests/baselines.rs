@@ -13,6 +13,7 @@ where
         + fireledger_types::WireCodec
         + Clone
         + Send
+        + Sync
         + std::fmt::Debug
         + 'static,
 {

@@ -1,0 +1,298 @@
+//! Contract tests for the `WireCodec` size-hint / buffer-reuse API.
+//!
+//! Every protocol message of all five protocols must satisfy, for every
+//! variant:
+//!
+//! * `encoded_len()` returns exactly the number of bytes `encode_to`
+//!   appends (the hint the framing layer sizes buffers with);
+//! * `encode_into` through a **reused, dirty** scratch buffer produces the
+//!   same bytes as a fresh `encode()` — buffer reuse must never change the
+//!   wire format;
+//! * the bytes decode back to the original value.
+//!
+//! Plus the golden-hex anchor: the worked example of `docs/WIRE_FORMAT.md`
+//! §8 must come out byte-for-byte unchanged through the *new* buffer-reuse
+//! path, proving the optimisations did not move a single wire bit.
+
+use fireledger::{ConsensusValue, FloMsg, PanicProof, WorkerMsg};
+use fireledger_baselines::hotstuff::QuorumCert;
+use fireledger_baselines::{HotStuffMsg, OrderedBatch};
+use fireledger_bft::{ObbcMsg, PbftMsg, RbMsg};
+use fireledger_types::codec::FrameHeader;
+use fireledger_types::{
+    BlockHeader, Hash, NodeId, Round, Signature, SignedHeader, Transaction, WireCodec, WorkerId,
+    GENESIS_HASH,
+};
+use std::fmt::Debug;
+
+fn signed_header() -> SignedHeader {
+    SignedHeader::new(
+        BlockHeader::new(
+            Round(3),
+            WorkerId(1),
+            NodeId(2),
+            Hash([0x11; 32]),
+            Hash([0x22; 32]),
+            10,
+            5120,
+        ),
+        Signature::from(vec![0x55u8; 64]),
+    )
+}
+
+fn txs() -> Vec<Transaction> {
+    vec![
+        Transaction::zeroed(1, 0, 64),
+        Transaction::new(2, 1, vec![7, 8, 9]),
+        Transaction::new(3, 2, Vec::new()),
+    ]
+}
+
+/// The codec contract, checked through one shared dirty scratch buffer so
+/// reuse across *different* message types and sizes is exercised too.
+fn assert_codec_contract<T: WireCodec + PartialEq + Debug>(value: &T, scratch: &mut Vec<u8>) {
+    let fresh = value.encode();
+    assert_eq!(
+        fresh.len(),
+        value.encoded_len(),
+        "encoded_len mismatch for {value:?}"
+    );
+    value.encode_into(scratch);
+    assert_eq!(
+        *scratch, fresh,
+        "encode_into diverged from encode for {value:?}"
+    );
+    let back = T::decode(&fresh).expect("roundtrip decode");
+    assert_eq!(back, *value, "roundtrip changed the value");
+    // The zero-copy path (views into a shared backing buffer) must produce
+    // a value equal to both the copying decode and the original.
+    let backing = fireledger_types::Bytes::from(fresh);
+    let shared = T::decode_shared(&backing).expect("shared decode");
+    assert_eq!(shared, *value, "decode_shared changed the value");
+}
+
+fn every_worker_msg() -> Vec<WorkerMsg> {
+    vec![
+        WorkerMsg::BlockData {
+            payload_hash: Hash([0xAB; 32]),
+            txs: txs(),
+        },
+        WorkerMsg::Header {
+            header: signed_header(),
+        },
+        WorkerMsg::Vote {
+            round: Round(4),
+            proposer: NodeId(1),
+            vote: true,
+            piggyback: Some(signed_header()),
+        },
+        WorkerMsg::Vote {
+            round: Round(4),
+            proposer: NodeId(1),
+            vote: false,
+            piggyback: None,
+        },
+        WorkerMsg::PullHeader {
+            round: Round(9),
+            proposer: NodeId(2),
+        },
+        WorkerMsg::PullHeaderReply {
+            header: signed_header(),
+        },
+        WorkerMsg::PullBlock {
+            payload_hash: GENESIS_HASH,
+        },
+        WorkerMsg::PullBlockReply {
+            payload_hash: GENESIS_HASH,
+            txs: txs(),
+        },
+        WorkerMsg::Panic(RbMsg::Echo {
+            origin: NodeId(0),
+            tag: 5,
+            value: PanicProof {
+                detected_round: Round(4),
+                conflicting: signed_header(),
+                local_parent: Some(signed_header()),
+            },
+        }),
+        WorkerMsg::Consensus(PbftMsg::PrePrepare {
+            view: 1,
+            seq: 2,
+            value: ConsensusValue::FallbackVote {
+                round: Round(7),
+                proposer: NodeId(0),
+                voter: NodeId(1),
+                vote: true,
+                evidence: Some(signed_header()),
+            },
+        }),
+        WorkerMsg::Consensus(PbftMsg::ViewChange {
+            new_view: 3,
+            prepared: vec![(
+                9,
+                ConsensusValue::RecoveryVersion {
+                    recovery_round: Round(11),
+                    from: NodeId(3),
+                    version: vec![signed_header(); 2],
+                },
+            )],
+        }),
+    ]
+}
+
+#[test]
+fn flo_messages_satisfy_the_codec_contract() {
+    let mut scratch = vec![0xFFu8; 7]; // deliberately dirty and missized
+    for msg in every_worker_msg() {
+        assert_codec_contract(&msg, &mut scratch);
+        assert_codec_contract(
+            &FloMsg {
+                worker: WorkerId(5),
+                inner: msg,
+            },
+            &mut scratch,
+        );
+    }
+}
+
+#[test]
+fn bft_messages_satisfy_the_codec_contract() {
+    let mut scratch = Vec::new();
+    for msg in [
+        RbMsg::Init {
+            origin: NodeId(0),
+            tag: 1,
+            value: 42u64,
+        },
+        RbMsg::Echo {
+            origin: NodeId(1),
+            tag: 2,
+            value: 43u64,
+        },
+        RbMsg::Ready {
+            origin: NodeId(2),
+            tag: 3,
+            value: 44u64,
+        },
+    ] {
+        assert_codec_contract(&msg, &mut scratch);
+    }
+    for msg in [
+        PbftMsg::Request { value: 7u64 },
+        PbftMsg::PrePrepare {
+            view: 1,
+            seq: 2,
+            value: 7u64,
+        },
+        PbftMsg::Prepare {
+            view: 1,
+            seq: 2,
+            digest: 3,
+        },
+        PbftMsg::Commit {
+            view: 1,
+            seq: 2,
+            digest: 3,
+        },
+        PbftMsg::ViewChange {
+            new_view: 2,
+            prepared: vec![(1, 7u64), (2, 8u64)],
+        },
+        PbftMsg::NewView {
+            view: 2,
+            preprepares: vec![(3, 9u64)],
+        },
+    ] {
+        assert_codec_contract(&msg, &mut scratch);
+    }
+    for msg in [
+        ObbcMsg::Vote {
+            instance: 9,
+            value: true,
+        },
+        ObbcMsg::EvidenceRequest { instance: 9 },
+        ObbcMsg::EvidenceReply {
+            instance: 9,
+            evidence: Some(signed_header()),
+        },
+        ObbcMsg::EvidenceReply {
+            instance: 10,
+            evidence: None,
+        },
+    ] {
+        assert_codec_contract(&msg, &mut scratch);
+    }
+}
+
+#[test]
+fn baseline_messages_satisfy_the_codec_contract() {
+    let mut scratch = Vec::new();
+    let qc = QuorumCert {
+        view: 4,
+        block_hash: Hash([0x77; 32]),
+    };
+    assert_codec_contract(&qc, &mut scratch);
+    for msg in [
+        HotStuffMsg::Proposal {
+            view: 5,
+            header: signed_header(),
+            txs: txs(),
+            justify: qc.clone(),
+        },
+        HotStuffMsg::Vote {
+            view: 5,
+            block_hash: Hash([0x66; 32]),
+        },
+        HotStuffMsg::NewView {
+            view: 6,
+            high_qc: qc.clone(),
+        },
+    ] {
+        assert_codec_contract(&msg, &mut scratch);
+    }
+    let batch = OrderedBatch {
+        assembler: NodeId(2),
+        seq: 17,
+        txs: txs(),
+    };
+    assert_codec_contract(&batch, &mut scratch);
+    assert_codec_contract(&PbftMsg::Request { value: batch }, &mut scratch);
+}
+
+/// The worked example of WIRE_FORMAT.md §8 — through the buffer-reuse path.
+/// These bytes are the normative anchor: if this test fails, the hot-path
+/// optimisations changed the wire format, which is a bug (or requires a
+/// `WIRE_VERSION` bump and a spec update).
+#[test]
+fn golden_frame_of_wire_format_section_8_is_unchanged() {
+    let msg = FloMsg {
+        worker: WorkerId(0),
+        inner: WorkerMsg::BlockData {
+            payload_hash: Hash([0x22; 32]),
+            txs: vec![Transaction::new(1, 2, b"FIRE".as_slice())],
+        },
+    };
+    // Encode through the reused-buffer path.
+    let mut payload = vec![0xEEu8; 100];
+    msg.encode_into(&mut payload);
+    assert_eq!(payload.len(), msg.encoded_len());
+
+    let mut frame = FrameHeader::new(payload.len()).encode().to_vec();
+    frame.extend_from_slice(&payload);
+    let got_hex: String = frame.iter().map(|b| format!("{b:02x}")).collect();
+    let expected_hex = concat!(
+        "464c4752",
+        "01",
+        "00000041",
+        "00000000",
+        "01",
+        "2222222222222222222222222222222222222222222222222222222222222222",
+        "00000001",
+        "0000000000000001",
+        "0000000000000002",
+        "00000004",
+        "46495245",
+    );
+    assert_eq!(got_hex, expected_hex);
+    assert_eq!(FloMsg::decode(&payload).unwrap(), msg);
+}

@@ -36,7 +36,7 @@ fn scenario() -> Scenario {
 fn deliveries_on<P, R>(runtime: &R) -> Vec<Vec<Delivery>>
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + WireCodec + Clone + Send + std::fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + std::fmt::Debug + 'static,
     R: Runtime,
 {
     runtime
@@ -51,7 +51,7 @@ where
 fn assert_identical_ledgers<P>(protocol: &str)
 where
     P: ClusterProtocol,
-    P::Msg: WireSize + WireCodec + Clone + Send + std::fmt::Debug + 'static,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + std::fmt::Debug + 'static,
 {
     let sim = deliveries_on::<P, _>(&Simulator);
     let threads = deliveries_on::<P, _>(&Threads);
