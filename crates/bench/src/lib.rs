@@ -420,7 +420,10 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"batch\":99"));
         assert!(json.contains("\"system\":\"Flo\""));
-        assert!(json.contains("\"report\":{\"schema_version\":2,\"protocol\":\"flo\""));
+        assert!(json.contains(&format!(
+            "\"report\":{{\"schema_version\":{},\"protocol\":\"flo\"",
+            RunReport::SCHEMA_VERSION
+        )));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -24,6 +24,7 @@
 
 pub mod frame;
 mod node_loop;
+mod shim;
 mod tcp;
 mod threads;
 
@@ -31,9 +32,11 @@ pub use tcp::TcpCluster;
 pub use threads::ThreadedCluster;
 
 use fireledger_types::{Delivery, NodeId, Transaction};
+use std::time::Duration;
 
 /// The common driving surface of the real-time runtimes: submit client
-/// traffic, schedule crashes, observe deliveries, stop the cluster.
+/// traffic, schedule crashes and recoveries, observe deliveries, stop the
+/// cluster.
 ///
 /// A driver written against this trait (like the `Threads` and `Tcp`
 /// runtimes in `fireledger-runtime`) works unchanged on in-process channels
@@ -41,11 +44,22 @@ use fireledger_types::{Delivery, NodeId, Transaction};
 pub trait RealtimeCluster {
     /// Submits a client transaction to `node`.
     fn submit(&self, node: NodeId, tx: Transaction);
-    /// Crashes `node`: its protocol thread stops without draining its
-    /// backlog, and it goes silent towards its peers.
+    /// Crashes `node` permanently: its protocol thread stops without
+    /// draining its backlog, and it goes silent towards its peers.
     fn crash(&self, node: NodeId);
+    /// Pauses `node` — the crash half of a crash-recover fault: the node
+    /// discards events and expires timers silently but keeps its protocol
+    /// state for [`RealtimeCluster::resume`].
+    fn pause(&self, node: NodeId);
+    /// Resumes a paused `node`.
+    fn resume(&self, node: NodeId);
     /// Blocks delivered so far at `node` (a snapshot).
     fn deliveries(&self, node: NodeId) -> Vec<Delivery>;
+    /// Wall-clock offsets (from cluster start) of `node`'s deliveries so
+    /// far, parallel to [`RealtimeCluster::deliveries`] — the raw series
+    /// behind the delivery-timeline (stall/recovery) metrics in run
+    /// reports.
+    fn delivery_times(&self, node: NodeId) -> Vec<Duration>;
     /// Stops the cluster and returns the final per-node deliveries.
     fn shutdown(self) -> Vec<Vec<Delivery>>;
 }

@@ -50,14 +50,44 @@ pub(crate) trait Egress<M> {
     fn broadcast(&mut self, msg: M);
 }
 
+/// The shared per-node delivery logs: every delivery is recorded together
+/// with its wall-clock offset from the cluster's start, which is the raw
+/// series behind the delivery-timeline (stall/recovery) metrics of run
+/// reports.
+pub(crate) struct DeliveryLog {
+    start: Instant,
+    entries: Mutex<Vec<Vec<(Delivery, Duration)>>>,
+}
+
+impl DeliveryLog {
+    fn new(n: usize) -> Self {
+        DeliveryLog {
+            start: Instant::now(),
+            entries: Mutex::new(vec![Vec::new(); n]),
+        }
+    }
+
+    /// The instant offsets are measured from (also the time base of
+    /// real-time fault plans).
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    fn record(&self, node: NodeId, delivery: Delivery) {
+        let at = self.start.elapsed();
+        self.entries.lock().expect("delivery log lock")[node.as_usize()].push((delivery, at));
+    }
+}
+
 /// The cluster-plumbing state every real-time runtime needs: one event
-/// channel per node, the shared delivery logs, and the crash flags. The
-/// runtime-specific cluster types wrap this and add only their transport
+/// channel per node, the shared delivery logs, and the crash/pause flags.
+/// The runtime-specific cluster types wrap this and add only their transport
 /// (join handles, sockets).
 pub(crate) struct ClusterCore<M> {
     pub evt_senders: Vec<Sender<NodeEvent<M>>>,
-    pub deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
+    pub log: Arc<DeliveryLog>,
     pub crashed: Arc<Vec<AtomicBool>>,
+    pub paused: Arc<Vec<AtomicBool>>,
 }
 
 impl<M> ClusterCore<M> {
@@ -74,8 +104,9 @@ impl<M> ClusterCore<M> {
         (
             ClusterCore {
                 evt_senders,
-                deliveries: Arc::new(Mutex::new(vec![Vec::new(); n])),
+                log: Arc::new(DeliveryLog::new(n)),
                 crashed: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+                paused: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
             },
             evt_receivers,
         )
@@ -93,6 +124,19 @@ impl<M> ClusterCore<M> {
         let _ = self.evt_senders[node.as_usize()].send(NodeEvent::Shutdown);
     }
 
+    /// Pauses `node` (the crash half of a crash-recover fault): its thread
+    /// keeps running but discards every event and expires timers silently
+    /// until [`ClusterCore::resume`]. The flag is observed within the
+    /// thread's poll interval (≤ ~10 ms).
+    pub fn pause(&self, node: NodeId) {
+        self.paused[node.as_usize()].store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes a paused `node` with its protocol state intact.
+    pub fn resume(&self, node: NodeId) {
+        self.paused[node.as_usize()].store(false, Ordering::SeqCst);
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.evt_senders.len()
@@ -100,7 +144,19 @@ impl<M> ClusterCore<M> {
 
     /// Blocks delivered so far at `node` (a snapshot).
     pub fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
-        self.deliveries.lock().expect("deliveries lock")[node.as_usize()].clone()
+        self.log.entries.lock().expect("delivery log lock")[node.as_usize()]
+            .iter()
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    /// Wall-clock offsets (from cluster start) of `node`'s deliveries so
+    /// far, parallel to [`ClusterCore::deliveries`].
+    pub fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
+        self.log.entries.lock().expect("delivery log lock")[node.as_usize()]
+            .iter()
+            .map(|(_, at)| *at)
+            .collect()
     }
 
     /// Asks every node thread to stop.
@@ -113,14 +169,25 @@ impl<M> ClusterCore<M> {
     /// Consumes the core and returns the final per-node deliveries (callers
     /// join their node threads first, so the `Arc` is normally unique).
     pub fn take_deliveries(self) -> Vec<Vec<Delivery>> {
-        Arc::try_unwrap(self.deliveries)
-            .map(|m| m.into_inner().expect("deliveries lock"))
-            .unwrap_or_else(|arc| arc.lock().expect("deliveries lock").clone())
+        let timed = Arc::try_unwrap(self.log)
+            .map(|log| log.entries.into_inner().expect("delivery log lock"))
+            .unwrap_or_else(|arc| arc.entries.lock().expect("delivery log lock").clone());
+        timed
+            .into_iter()
+            .map(|ds| ds.into_iter().map(|(d, _)| d).collect())
+            .collect()
     }
 }
 
 /// Runs one node until shutdown or crash: fires due timers, pulls events,
 /// applies the protocol's actions through `egress`.
+///
+/// While the node's pause flag is set (the crash half of a crash-recover
+/// fault), the loop keeps running but behaves like a dead node: incoming
+/// events are discarded and timers whose deadline passes expire silently —
+/// the exact semantics the simulator gives a node inside its downtime
+/// window. On resume the protocol state is intact and the node reacts to
+/// fresh traffic again.
 ///
 /// The `Outbox` and the due-timer scratch are allocated once and reused for
 /// every event, so the steady-state loop itself allocates nothing.
@@ -129,8 +196,9 @@ pub(crate) fn run_node<P, E>(
     me: NodeId,
     rx: Receiver<NodeEvent<P::Msg>>,
     egress: &mut E,
-    deliveries: Arc<Mutex<Vec<Vec<Delivery>>>>,
+    log: Arc<DeliveryLog>,
     crashed: Arc<Vec<AtomicBool>>,
+    paused: Arc<Vec<AtomicBool>>,
 ) where
     P: Protocol,
     P::Msg: Clone,
@@ -140,7 +208,7 @@ pub(crate) fn run_node<P, E>(
     let mut out = Outbox::new();
     let mut due: Vec<TimerId> = Vec::new();
     node.on_start(&mut out);
-    apply(me, &mut out, egress, &mut timers, &deliveries);
+    apply(me, &mut out, egress, &mut timers, &log);
 
     loop {
         // A crash flag beats everything in the queue: a crashed node must not
@@ -148,19 +216,24 @@ pub(crate) fn run_node<P, E>(
         if crashed[me.as_usize()].load(Ordering::SeqCst) {
             return;
         }
-        // Fire any due timers.
         let now = Instant::now();
-        due.clear();
-        due.extend(
-            timers
-                .iter()
-                .filter(|(_, deadline)| **deadline <= now)
-                .map(|(id, _)| *id),
-        );
-        for id in due.drain(..) {
-            timers.remove(&id);
-            node.on_timer(id, &mut out);
-            apply(me, &mut out, egress, &mut timers, &deliveries);
+        if paused[me.as_usize()].load(Ordering::SeqCst) {
+            // Down: timers that come due expire into the void.
+            timers.retain(|_, deadline| *deadline > now);
+        } else {
+            // Fire any due timers.
+            due.clear();
+            due.extend(
+                timers
+                    .iter()
+                    .filter(|(_, deadline)| **deadline <= now)
+                    .map(|(id, _)| *id),
+            );
+            for id in due.drain(..) {
+                timers.remove(&id);
+                node.on_timer(id, &mut out);
+                apply(me, &mut out, egress, &mut timers, &log);
+            }
         }
         // Wait for the next event or the next timer deadline.
         let next_deadline = timers.values().min().copied();
@@ -174,10 +247,18 @@ pub(crate) fn run_node<P, E>(
                 if crashed[me.as_usize()].load(Ordering::SeqCst) {
                     return;
                 }
+                if paused[me.as_usize()].load(Ordering::SeqCst) {
+                    // Down: the event is lost, like a message addressed to a
+                    // crashed node. Shutdown still wins.
+                    if matches!(event, NodeEvent::Shutdown) {
+                        return;
+                    }
+                    continue;
+                }
                 match event {
                     NodeEvent::Message { from, msg } => {
                         node.on_message(from, msg, &mut out);
-                        apply(me, &mut out, egress, &mut timers, &deliveries);
+                        apply(me, &mut out, egress, &mut timers, &log);
                     }
                     NodeEvent::SharedMessage { from, msg } => {
                         // The last receiver of a broadcast takes the value
@@ -185,11 +266,11 @@ pub(crate) fn run_node<P, E>(
                         // the shared allocation.
                         let msg = Arc::try_unwrap(msg).unwrap_or_else(|arc| (*arc).clone());
                         node.on_message(from, msg, &mut out);
-                        apply(me, &mut out, egress, &mut timers, &deliveries);
+                        apply(me, &mut out, egress, &mut timers, &log);
                     }
                     NodeEvent::Transaction(tx) => {
                         node.on_transaction(tx, &mut out);
-                        apply(me, &mut out, egress, &mut timers, &deliveries);
+                        apply(me, &mut out, egress, &mut timers, &log);
                     }
                     NodeEvent::Shutdown => return,
                 }
@@ -205,7 +286,7 @@ fn apply<M, E: Egress<M>>(
     out: &mut Outbox<M>,
     egress: &mut E,
     timers: &mut HashMap<TimerId, Instant>,
-    deliveries: &Arc<Mutex<Vec<Vec<Delivery>>>>,
+    log: &Arc<DeliveryLog>,
 ) {
     for action in out.drain() {
         match action {
@@ -217,9 +298,7 @@ fn apply<M, E: Egress<M>>(
             Action::CancelTimer { id } => {
                 timers.remove(&id);
             }
-            Action::Deliver(d) => {
-                deliveries.lock().expect("deliveries lock")[me.as_usize()].push(d);
-            }
+            Action::Deliver(d) => log.record(me, d),
             // Real time: the CPU cost is paid by actually executing the
             // crypto; observations are only collected by the simulator.
             Action::Cpu(_) | Action::Observe(_) => {}

@@ -34,14 +34,18 @@
 
 use crate::frame::{read_frame, read_frame_into, write_coalesced, write_frame};
 use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
+use crate::shim::{DelayLine, LinkShim};
 use crate::RealtimeCluster;
 use fireledger_types::codec::{FrameHeader, FRAME_HEADER_LEN};
-use fireledger_types::{Delivery, NodeId, Protocol, Transaction, WireCodec};
+use fireledger_types::{
+    Delivery, FaultPlan, LinkDecision, NodeId, Protocol, Transaction, WireCodec,
+};
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Upper bound on frames drained per writer wakeup: bounds the batch vector
 /// and keeps a single vectored write under the kernel's iovec limit ballpark
@@ -95,6 +99,70 @@ impl<M: WireCodec> Egress<M> for TcpEgress<M> {
     }
 }
 
+/// [`TcpEgress`] wrapped in the fault-plan link shim. The interceptor sits
+/// **between the wire codec and the per-peer writer threads**: messages are
+/// encoded and framed exactly once (shared across a broadcast, like the
+/// fault-free path), and the *frame* is then dropped, parked on the delay
+/// line, or queued twice per the link's decision — so every surviving copy
+/// still crosses a real socket. Self-sends loop back unintercepted, the
+/// same semantics the simulator gives them.
+struct ShimmedTcpEgress<M> {
+    me: NodeId,
+    n: usize,
+    writers: Vec<Option<Sender<Arc<Vec<u8>>>>>,
+    loopback: Sender<NodeEvent<M>>,
+    shim: LinkShim,
+    /// Delay-line targets are the flat writer table (`from * n + to`).
+    delay: Sender<(Instant, usize, Arc<Vec<u8>>)>,
+}
+
+impl<M: WireCodec> ShimmedTcpEgress<M> {
+    fn route(&mut self, to: NodeId, frame: Arc<Vec<u8>>) {
+        let Some(Some(w)) = self.writers.get(to.as_usize()) else {
+            return;
+        };
+        let slot = self.me.as_usize() * self.n + to.as_usize();
+        match self.shim.decide(self.me, to) {
+            LinkDecision::Deliver => {
+                let _ = w.send(frame);
+            }
+            LinkDecision::Drop => {}
+            // A parked frame bypasses the writer queue's FIFO order, so
+            // delay and reorder coincide on real sockets (see the threaded
+            // shim for the same note).
+            LinkDecision::Delay(d) | LinkDecision::Reorder(d) => {
+                let _ = self.delay.send((Instant::now() + d, slot, frame));
+            }
+            LinkDecision::Duplicate(d) => {
+                let _ = w.send(frame.clone());
+                let _ = self.delay.send((Instant::now() + d, slot, frame));
+            }
+        }
+    }
+}
+
+impl<M: WireCodec> Egress<M> for ShimmedTcpEgress<M> {
+    fn send(&mut self, to: NodeId, msg: M) {
+        if to == self.me {
+            let _ = self
+                .loopback
+                .send(NodeEvent::Message { from: self.me, msg });
+            return;
+        }
+        let frame = frame_of(&msg);
+        self.route(to, frame);
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        let frame = frame_of(&msg);
+        for i in 0..self.n {
+            if i != self.me.as_usize() {
+                self.route(NodeId(i as u32), frame.clone());
+            }
+        }
+    }
+}
+
 /// A running TCP cluster: real sockets over localhost, one thread per node
 /// plus per-peer reader/writer threads.
 ///
@@ -107,6 +175,7 @@ pub struct TcpCluster<M> {
     /// Every stream endpoint we hold (two per connection, one per side), kept
     /// to force-unblock reader/writer threads at shutdown.
     streams: Vec<TcpStream>,
+    delay: Option<DelayLine<Arc<Vec<u8>>>>,
 }
 
 impl<M> TcpCluster<M>
@@ -114,8 +183,20 @@ where
     M: WireCodec + Clone + Send + Sync + std::fmt::Debug + 'static,
 {
     /// Binds one listener per node, dials the full mesh, performs the hello
-    /// handshake on every connection, and starts all threads.
+    /// handshake on every connection, and starts all threads, fault-free.
     pub fn spawn<P>(nodes: Vec<P>) -> io::Result<Self>
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
+        Self::spawn_with_faults(nodes, None)
+    }
+
+    /// Like [`TcpCluster::spawn`], but with an optional [`FaultPlan`]
+    /// compiled into a frame-level interceptor between the codec and every
+    /// per-peer writer thread. The plan's time offsets are measured from
+    /// the moment the mesh is fully dialed (just before the node threads
+    /// start).
+    pub fn spawn_with_faults<P>(nodes: Vec<P>, faults: Option<FaultPlan>) -> io::Result<Self>
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
@@ -162,12 +243,18 @@ where
         let (core, evt_receivers) = ClusterCore::new(n);
         let mut streams = Vec::new();
         let mut io_handles = Vec::new();
-        let mut node_handles = Vec::with_capacity(n);
-        for (i, (mut node, evt_rx)) in nodes.into_iter().zip(evt_receivers).enumerate() {
-            let me = NodeId(i as u32);
-            let mut writers: Vec<Option<Sender<Arc<Vec<u8>>>>> = vec![None; n];
-            for (j, slot) in mesh[i].iter_mut().enumerate() {
-                let Some(stream) = slot.take() else { continue };
+
+        // First pass: one writer + one reader thread per live stream. The
+        // writer senders go into a flat `from * n + to` table so the fault
+        // delay line (one per cluster) can re-inject a parked frame into
+        // the right writer regardless of which node parked it.
+        let mut writers_flat: Vec<Option<Sender<Arc<Vec<u8>>>>> = vec![None; n * n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            for j in 0..n {
+                let Some(stream) = mesh[i][j].take() else {
+                    continue;
+                };
                 streams.push(stream.try_clone()?);
 
                 // Writer thread: drain-and-coalesce. Block for the first
@@ -176,7 +263,7 @@ where
                 // vectored write — one syscall per wakeup instead of one per
                 // message. The batch vector is reused across wakeups.
                 let (wtx, wrx) = channel::<Arc<Vec<u8>>>();
-                writers[j] = Some(wtx);
+                writers_flat[i * n + j] = Some(wtx);
                 let mut write_half = stream.try_clone()?;
                 io_handles.push(std::thread::spawn(move || {
                     let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
@@ -223,17 +310,49 @@ where
                     }
                 }));
             }
+        }
 
-            let mut egress = TcpEgress {
-                me,
-                writers,
-                loopback: core.evt_senders[i].clone(),
-            };
-            let deliveries = core.deliveries.clone();
+        let delay = faults
+            .as_ref()
+            .map(|_| DelayLine::new(writers_flat.clone()));
+
+        // Second pass: the protocol threads, each with its egress (shimmed
+        // when a fault plan is active).
+        let start = core.log.start();
+        let mut node_handles = Vec::with_capacity(n);
+        for (i, (mut node, evt_rx)) in nodes.into_iter().zip(evt_receivers).enumerate() {
+            let me = NodeId(i as u32);
+            let writers: Vec<Option<Sender<Arc<Vec<u8>>>>> =
+                writers_flat[i * n..(i + 1) * n].to_vec();
+            let log = core.log.clone();
             let crashed = core.crashed.clone();
-            node_handles.push(std::thread::spawn(move || {
-                run_node(&mut node, me, evt_rx, &mut egress, deliveries, crashed);
-            }));
+            let paused = core.paused.clone();
+            let loopback = core.evt_senders[i].clone();
+            match &faults {
+                None => {
+                    let mut egress = TcpEgress {
+                        me,
+                        writers,
+                        loopback,
+                    };
+                    node_handles.push(std::thread::spawn(move || {
+                        run_node(&mut node, me, evt_rx, &mut egress, log, crashed, paused);
+                    }));
+                }
+                Some(plan) => {
+                    let mut egress = ShimmedTcpEgress {
+                        me,
+                        n,
+                        writers,
+                        loopback,
+                        shim: LinkShim::new(plan.clone(), start),
+                        delay: delay.as_ref().expect("delay line exists").sender(),
+                    };
+                    node_handles.push(std::thread::spawn(move || {
+                        run_node(&mut node, me, evt_rx, &mut egress, log, crashed, paused);
+                    }));
+                }
+            }
         }
 
         Ok(TcpCluster {
@@ -241,6 +360,7 @@ where
             node_handles,
             io_handles,
             streams,
+            delay,
         })
     }
 
@@ -254,6 +374,18 @@ where
     /// stay open but go silent, which is how a benign crash looks to peers.
     pub fn crash(&self, node: NodeId) {
         self.core.crash(node);
+    }
+
+    /// Pauses `node` (the crash half of a crash-recover fault): its
+    /// protocol thread discards events and expires timers silently until
+    /// [`TcpCluster::resume`]. Its sockets stay open but go silent.
+    pub fn pause(&self, node: NodeId) {
+        self.core.pause(node);
+    }
+
+    /// Resumes a paused `node`.
+    pub fn resume(&self, node: NodeId) {
+        self.core.resume(node);
     }
 
     /// Number of nodes in the cluster.
@@ -271,15 +403,24 @@ where
         self.core.deliveries(node)
     }
 
+    /// Wall-clock offsets (from cluster start) of `node`'s deliveries.
+    pub fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
+        self.core.delivery_times(node)
+    }
+
     /// Stops all threads, closes every socket, and returns the final
     /// per-node deliveries.
     pub fn shutdown(self) -> Vec<Vec<Delivery>> {
         self.core.signal_shutdown();
         // Joining the protocol threads drops their egress channels, which
-        // lets idle writer threads finish; shutting the sockets down then
+        // lets idle writer threads finish; the delay line goes next (it
+        // holds writer senders too); shutting the sockets down then
         // unblocks any reader or writer parked in a syscall.
         for h in self.node_handles {
             let _ = h.join();
+        }
+        if let Some(delay) = self.delay {
+            delay.stop();
         }
         for stream in &self.streams {
             let _ = stream.shutdown(Shutdown::Both);
@@ -301,8 +442,17 @@ where
     fn crash(&self, node: NodeId) {
         TcpCluster::crash(self, node);
     }
+    fn pause(&self, node: NodeId) {
+        TcpCluster::pause(self, node);
+    }
+    fn resume(&self, node: NodeId) {
+        TcpCluster::resume(self, node);
+    }
     fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
         TcpCluster::deliveries(self, node)
+    }
+    fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
+        TcpCluster::delivery_times(self, node)
     }
     fn shutdown(self) -> Vec<Vec<Delivery>> {
         TcpCluster::shutdown(self)
@@ -441,6 +591,51 @@ mod tests {
         let deliveries = cluster.shutdown();
         assert!(deliveries[3].is_empty(), "crashed node kept delivering");
         assert!(!deliveries[0].is_empty());
+    }
+
+    #[test]
+    fn frame_interceptor_drops_and_delays_on_real_sockets() {
+        use fireledger_types::{FaultPlan, FaultWindow, LinkSelector};
+        // Drop everything node 0 sends; everyone else communicates freely —
+        // asserted over real sockets, after the codec, before the writers.
+        let nodes: Vec<Echo> = (0..3).map(|i| Echo { me: NodeId(i) }).collect();
+        let plan = FaultPlan::named("mute-0").drop(
+            LinkSelector::From(NodeId(0)),
+            FaultWindow::ALWAYS,
+            1.0,
+        );
+        let cluster = TcpCluster::spawn_with_faults(nodes, Some(plan)).expect("mesh setup");
+        std::thread::sleep(Duration::from_millis(100));
+        let deliveries = cluster.shutdown();
+        for (i, delivered) in deliveries.iter().enumerate().skip(1) {
+            assert!(
+                delivered.is_empty(),
+                "node {i} heard the muted broadcaster: {} messages",
+                delivered.len()
+            );
+        }
+
+        // A pure delay still delivers — late, and through the delay line's
+        // writer re-injection path.
+        let nodes: Vec<Echo> = (0..3).map(|i| Echo { me: NodeId(i) }).collect();
+        let plan = FaultPlan::named("slow").delay(
+            LinkSelector::All,
+            FaultWindow::ALWAYS,
+            Duration::from_millis(25),
+            Duration::from_millis(35),
+        );
+        let cluster = TcpCluster::spawn_with_faults(nodes, Some(plan)).expect("mesh setup");
+        std::thread::sleep(Duration::from_millis(150));
+        let times = cluster.delivery_times(NodeId(1));
+        let deliveries = cluster.shutdown();
+        let rounds: Vec<u64> = deliveries[1].iter().map(|d| d.round.0).collect();
+        assert!(rounds.contains(&7), "delayed broadcast never arrived");
+        assert!(
+            times
+                .first()
+                .is_some_and(|t| *t >= Duration::from_millis(25)),
+            "delivery beat the injected delay: {times:?}"
+        );
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! binary codec and a real socket.
 
 use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
+use crate::shim::{DelayLine, LinkShim};
 use crate::RealtimeCluster;
-use fireledger_types::{Delivery, NodeId, Protocol, Transaction};
+use fireledger_types::{Delivery, FaultPlan, LinkDecision, NodeId, Protocol, Transaction};
 use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Routes a node's outbound messages to its peers' in-process channels.
 struct MpscEgress<M> {
@@ -44,36 +46,142 @@ impl<M: Clone> Egress<M> for MpscEgress<M> {
     }
 }
 
+/// [`MpscEgress`] wrapped in the fault-plan link shim: every outbound
+/// message is routed through a per-link decision — delivered, dropped,
+/// parked on the delay line (delay/reorder), or sent twice (duplicate).
+/// Broadcasts decide per link, so one peer can lose a message another peer
+/// receives — which is why this egress does not use the shared-`Arc`
+/// broadcast fast path.
+struct ShimmedMpscEgress<M> {
+    me: NodeId,
+    peers: Vec<Sender<NodeEvent<M>>>,
+    shim: LinkShim,
+    delay: Sender<(Instant, usize, NodeEvent<M>)>,
+}
+
+impl<M: Clone> ShimmedMpscEgress<M> {
+    fn route(&mut self, to: NodeId, msg: M) {
+        let Some(peer) = self.peers.get(to.as_usize()) else {
+            return;
+        };
+        // Self-sends never touch the network and are exempt from the plan —
+        // the same semantics the simulator (which short-circuits them before
+        // the adversary) and the TCP shim give them.
+        if to == self.me {
+            let _ = peer.send(NodeEvent::Message { from: self.me, msg });
+            return;
+        }
+        match self.shim.decide(self.me, to) {
+            LinkDecision::Deliver => {
+                let _ = peer.send(NodeEvent::Message { from: self.me, msg });
+            }
+            LinkDecision::Drop => {}
+            // The delay line bypasses the peer's FIFO queue, so a plain
+            // delay can also be overtaken here — real-time delay and
+            // reorder coincide (the simulator distinguishes them because
+            // its links are otherwise perfectly FIFO).
+            LinkDecision::Delay(d) | LinkDecision::Reorder(d) => {
+                let _ = self.delay.send((
+                    Instant::now() + d,
+                    to.as_usize(),
+                    NodeEvent::Message { from: self.me, msg },
+                ));
+            }
+            LinkDecision::Duplicate(d) => {
+                let _ = peer.send(NodeEvent::Message {
+                    from: self.me,
+                    msg: msg.clone(),
+                });
+                let _ = self.delay.send((
+                    Instant::now() + d,
+                    to.as_usize(),
+                    NodeEvent::Message { from: self.me, msg },
+                ));
+            }
+        }
+    }
+}
+
+impl<M: Clone> Egress<M> for ShimmedMpscEgress<M> {
+    fn send(&mut self, to: NodeId, msg: M) {
+        self.route(to, msg);
+    }
+
+    fn broadcast(&mut self, msg: M) {
+        for i in 0..self.peers.len() {
+            if i != self.me.as_usize() {
+                self.route(NodeId(i as u32), msg.clone());
+            }
+        }
+    }
+}
+
 /// A running threaded cluster.
 pub struct ThreadedCluster<M> {
     core: ClusterCore<M>,
     handles: Vec<JoinHandle<()>>,
+    delay: Option<DelayLine<NodeEvent<M>>>,
 }
 
 impl<M> ThreadedCluster<M>
 where
     M: Clone + Send + Sync + std::fmt::Debug + 'static,
 {
-    /// Spawns one thread per node and starts the protocol.
+    /// Spawns one thread per node and starts the protocol, fault-free.
     pub fn spawn<P>(nodes: Vec<P>) -> Self
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_with_faults(nodes, None)
+    }
+
+    /// Spawns the cluster with an optional [`FaultPlan`] compiled into a
+    /// link shim on every node's egress (drop/delay/reorder/duplicate and
+    /// partitions; node faults are driven by the caller through
+    /// [`ThreadedCluster::pause`] / [`ThreadedCluster::resume`] /
+    /// [`ThreadedCluster::crash`]). The plan's time offsets are measured
+    /// from this call.
+    pub fn spawn_with_faults<P>(nodes: Vec<P>, faults: Option<FaultPlan>) -> Self
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let (core, receivers) = ClusterCore::new(nodes.len());
+        let delay = faults
+            .as_ref()
+            .map(|_| DelayLine::new(core.evt_senders.iter().cloned().map(Some).collect()));
+        let start = core.log.start();
         let mut handles = Vec::with_capacity(nodes.len());
         for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
             let me = NodeId(i as u32);
-            let mut egress = MpscEgress {
-                me,
-                peers: core.evt_senders.clone(),
-            };
-            let deliveries = core.deliveries.clone();
+            let log = core.log.clone();
             let crashed = core.crashed.clone();
-            handles.push(std::thread::spawn(move || {
-                run_node(&mut node, me, rx, &mut egress, deliveries, crashed);
-            }));
+            let paused = core.paused.clone();
+            let peers = core.evt_senders.clone();
+            match &faults {
+                None => {
+                    let mut egress = MpscEgress { me, peers };
+                    handles.push(std::thread::spawn(move || {
+                        run_node(&mut node, me, rx, &mut egress, log, crashed, paused);
+                    }));
+                }
+                Some(plan) => {
+                    let mut egress = ShimmedMpscEgress {
+                        me,
+                        peers,
+                        shim: LinkShim::new(plan.clone(), start),
+                        delay: delay.as_ref().expect("delay line exists").sender(),
+                    };
+                    handles.push(std::thread::spawn(move || {
+                        run_node(&mut node, me, rx, &mut egress, log, crashed, paused);
+                    }));
+                }
+            }
         }
-        ThreadedCluster { core, handles }
+        ThreadedCluster {
+            core,
+            handles,
+            delay,
+        }
     }
 
     /// Submits a client transaction to `node`.
@@ -88,6 +196,18 @@ where
     /// flag within its timer poll interval (≤ ~10 ms). Idempotent.
     pub fn crash(&self, node: NodeId) {
         self.core.crash(node);
+    }
+
+    /// Pauses `node` (the crash half of a crash-recover fault): its thread
+    /// discards events and expires timers silently until
+    /// [`ThreadedCluster::resume`]. Protocol state is kept.
+    pub fn pause(&self, node: NodeId) {
+        self.core.pause(node);
+    }
+
+    /// Resumes a paused `node`.
+    pub fn resume(&self, node: NodeId) {
+        self.core.resume(node);
     }
 
     /// Number of nodes in the cluster.
@@ -105,11 +225,19 @@ where
         self.core.deliveries(node)
     }
 
+    /// Wall-clock offsets (from cluster start) of `node`'s deliveries.
+    pub fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
+        self.core.delivery_times(node)
+    }
+
     /// Stops all node threads and returns the final per-node deliveries.
     pub fn shutdown(self) -> Vec<Vec<Delivery>> {
         self.core.signal_shutdown();
         for h in self.handles {
             let _ = h.join();
+        }
+        if let Some(delay) = self.delay {
+            delay.stop();
         }
         self.core.take_deliveries()
     }
@@ -125,8 +253,17 @@ where
     fn crash(&self, node: NodeId) {
         ThreadedCluster::crash(self, node);
     }
+    fn pause(&self, node: NodeId) {
+        ThreadedCluster::pause(self, node);
+    }
+    fn resume(&self, node: NodeId) {
+        ThreadedCluster::resume(self, node);
+    }
     fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
         ThreadedCluster::deliveries(self, node)
+    }
+    fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
+        ThreadedCluster::delivery_times(self, node)
     }
     fn shutdown(self) -> Vec<Vec<Delivery>> {
         ThreadedCluster::shutdown(self)
@@ -230,6 +367,234 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // No panic and clean shutdown is the contract here.
         let _ = cluster.shutdown();
+    }
+
+    #[test]
+    fn drop_all_plan_silences_every_link() {
+        use fireledger_types::{FaultPlan, FaultWindow, LinkSelector};
+        let nodes: Vec<Echo> = (0..4)
+            .map(|i| Echo {
+                me: NodeId(i),
+                n: 4,
+            })
+            .collect();
+        let plan = FaultPlan::named("blackout").drop(LinkSelector::All, FaultWindow::ALWAYS, 1.0);
+        let cluster = ThreadedCluster::spawn_with_faults(nodes, Some(plan));
+        std::thread::sleep(Duration::from_millis(60));
+        let deliveries = cluster.shutdown();
+        for (i, delivered) in deliveries.iter().enumerate() {
+            assert!(
+                delivered.is_empty(),
+                "node {i} received {} messages through a 100% drop plan",
+                delivered.len()
+            );
+        }
+    }
+
+    #[test]
+    fn drop_from_one_node_only_silences_that_sender() {
+        use fireledger_types::{FaultPlan, FaultWindow, LinkSelector};
+        // Node 0 broadcasts; a From(0) drop plan must starve everyone, while
+        // a From(1) plan must not.
+        for (lossy, expect_delivery) in [(NodeId(0), false), (NodeId(1), true)] {
+            let nodes: Vec<Echo> = (0..4)
+                .map(|i| Echo {
+                    me: NodeId(i),
+                    n: 4,
+                })
+                .collect();
+            let plan = FaultPlan::named("one-lossy").drop(
+                LinkSelector::From(lossy),
+                FaultWindow::ALWAYS,
+                1.0,
+            );
+            let cluster = ThreadedCluster::spawn_with_faults(nodes, Some(plan));
+            std::thread::sleep(Duration::from_millis(60));
+            let deliveries = cluster.shutdown();
+            let got_any = deliveries.iter().any(|d| !d.is_empty());
+            assert_eq!(
+                got_any, expect_delivery,
+                "lossy sender {lossy}: unexpected delivery outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn self_sends_are_exempt_from_the_plan() {
+        use fireledger_types::{FaultPlan, FaultWindow, LinkSelector};
+        // A node sending to itself never touches the network, so even a
+        // drop-everything plan must not intercept it (sim and tcp give
+        // self-sends the same exemption).
+        struct SelfLoop {
+            me: NodeId,
+        }
+        impl Protocol for SelfLoop {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
+                if from == self.me {
+                    out.deliver(Delivery {
+                        worker: fireledger_types::WorkerId(0),
+                        round: Round(msg),
+                        proposer: from,
+                        block: fireledger_types::Block::new(
+                            fireledger_types::BlockHeader::new(
+                                Round(msg),
+                                fireledger_types::WorkerId(0),
+                                from,
+                                fireledger_types::GENESIS_HASH,
+                                fireledger_types::GENESIS_HASH,
+                                0,
+                                0,
+                            ),
+                            vec![],
+                        ),
+                    });
+                }
+            }
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
+                out.send(self.me, tx.seq);
+            }
+        }
+        let nodes: Vec<SelfLoop> = (0..2).map(|i| SelfLoop { me: NodeId(i) }).collect();
+        let plan = FaultPlan::named("blackout").drop(LinkSelector::All, FaultWindow::ALWAYS, 1.0);
+        let cluster = ThreadedCluster::spawn_with_faults(nodes, Some(plan));
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 9, 4));
+        std::thread::sleep(Duration::from_millis(60));
+        let deliveries = cluster.shutdown();
+        assert_eq!(
+            deliveries[0].iter().map(|d| d.round.0).collect::<Vec<_>>(),
+            vec![9],
+            "the self-send must survive a 100% drop plan"
+        );
+    }
+
+    #[test]
+    fn delayed_links_deliver_late_but_deliver() {
+        use fireledger_types::{FaultPlan, FaultWindow, LinkSelector};
+        let nodes: Vec<Echo> = (0..4)
+            .map(|i| Echo {
+                me: NodeId(i),
+                n: 4,
+            })
+            .collect();
+        // Every message parked 30–40 ms on the delay line.
+        let plan = FaultPlan::named("laggy").delay(
+            LinkSelector::All,
+            FaultWindow::ALWAYS,
+            Duration::from_millis(30),
+            Duration::from_millis(40),
+        );
+        let cluster = ThreadedCluster::spawn_with_faults(nodes, Some(plan));
+        // Before the delay elapses nothing can have arrived.
+        std::thread::sleep(Duration::from_millis(10));
+        for i in 1..4 {
+            assert!(
+                cluster.deliveries(NodeId(i)).is_empty(),
+                "node {i} received a message faster than the injected delay"
+            );
+        }
+        // Well after the delay, the initial broadcast must be through.
+        std::thread::sleep(Duration::from_millis(100));
+        let times = cluster.delivery_times(NodeId(1));
+        let deliveries = cluster.shutdown();
+        for (i, delivered) in deliveries.iter().enumerate().skip(1) {
+            let rounds: Vec<u64> = delivered.iter().map(|d| d.round.0).collect();
+            assert!(rounds.contains(&7), "node {i} never got the broadcast");
+        }
+        // Delivery timestamps respect the injected floor.
+        assert!(!times.is_empty());
+        assert!(
+            times[0] >= Duration::from_millis(30),
+            "first delivery at {:?}, before the 30 ms delay floor",
+            times[0]
+        );
+    }
+
+    #[test]
+    fn duplicate_plan_delivers_extra_copies() {
+        use fireledger_types::{FaultPlan, FaultWindow, LinkSelector};
+        let nodes: Vec<Echo> = (0..2)
+            .map(|i| Echo {
+                me: NodeId(i),
+                n: 2,
+            })
+            .collect();
+        let plan = FaultPlan::named("dup").duplicate(
+            LinkSelector::All,
+            FaultWindow::ALWAYS,
+            1.0,
+            Duration::from_millis(5),
+            Duration::from_millis(10),
+        );
+        let cluster = ThreadedCluster::spawn_with_faults(nodes, Some(plan));
+        std::thread::sleep(Duration::from_millis(80));
+        let deliveries = cluster.shutdown();
+        let round7 = deliveries[1].iter().filter(|d| d.round.0 == 7).count();
+        assert!(
+            round7 >= 2,
+            "expected the duplicated broadcast at least twice, got {round7}"
+        );
+    }
+
+    #[test]
+    fn paused_node_misses_traffic_and_resumes_with_state_intact() {
+        struct TxDeliver {
+            me: NodeId,
+        }
+        impl Protocol for TxDeliver {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, _out: &mut Outbox<u64>) {}
+            fn on_message(&mut self, _f: NodeId, _m: u64, _o: &mut Outbox<u64>) {}
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
+                out.deliver(Delivery {
+                    worker: fireledger_types::WorkerId(0),
+                    round: Round(tx.seq),
+                    proposer: self.me,
+                    block: fireledger_types::Block::new(
+                        fireledger_types::BlockHeader::new(
+                            Round(tx.seq),
+                            fireledger_types::WorkerId(0),
+                            self.me,
+                            fireledger_types::GENESIS_HASH,
+                            fireledger_types::GENESIS_HASH,
+                            0,
+                            0,
+                        ),
+                        vec![],
+                    ),
+                });
+            }
+        }
+        let nodes: Vec<TxDeliver> = (0..2).map(|i| TxDeliver { me: NodeId(i) }).collect();
+        let cluster = ThreadedCluster::spawn(nodes);
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 1, 4));
+        std::thread::sleep(Duration::from_millis(40));
+        cluster.pause(NodeId(0));
+        std::thread::sleep(Duration::from_millis(30));
+        // Lost while down.
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 2, 4));
+        std::thread::sleep(Duration::from_millis(30));
+        cluster.resume(NodeId(0));
+        std::thread::sleep(Duration::from_millis(30));
+        // Processed after recovery.
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 3, 4));
+        std::thread::sleep(Duration::from_millis(40));
+        let deliveries = cluster.shutdown();
+        let seqs: Vec<u64> = deliveries[0].iter().map(|d| d.round.0).collect();
+        assert_eq!(
+            seqs,
+            vec![1, 3],
+            "pre-pause and post-resume traffic must be processed, downtime traffic lost"
+        );
     }
 
     #[test]

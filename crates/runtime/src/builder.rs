@@ -21,6 +21,38 @@ use std::marker::PhantomData;
 use std::time::Duration;
 
 /// The behaviour assigned to one node of a cluster.
+///
+/// Byzantine behaviours are *roles*, not fault plans — they change what a
+/// node says, not what the network does — and compose freely with any
+/// [`FaultPlan`](fireledger_types::FaultPlan). The two catalog snippets of
+/// `docs/SCENARIOS.md`:
+///
+/// ```
+/// use fireledger_runtime::prelude::*;
+/// use std::time::Duration;
+///
+/// // Silent proposer: every one of its turns forces a timeout + fallback.
+/// let params = ProtocolParams::new(4).with_batch_size(8).with_tx_size(64);
+/// let cluster = ClusterBuilder::<FloCluster>::new(params)
+///     .with_role(NodeId(3), NodeRole::SilentProposer);
+/// let scenario = Scenario::new("silent").ideal().run_for(Duration::from_secs(2));
+/// let report = Simulator.run(&cluster, &scenario).unwrap();
+/// assert!(report.tps > 0.0);
+/// ```
+///
+/// ```
+/// use fireledger_runtime::prelude::*;
+/// use std::time::Duration;
+///
+/// // Equivocating proposer: chain validation catches the fork and the
+/// // recovery procedure re-synchronizes.
+/// let params = ProtocolParams::new(4).with_batch_size(8).with_tx_size(64);
+/// let cluster = ClusterBuilder::<FloCluster>::new(params)
+///     .with_role(NodeId(3), NodeRole::Equivocate);
+/// let scenario = Scenario::new("byz").ideal().run_for(Duration::from_secs(2));
+/// let report = Simulator.run(&cluster, &scenario).unwrap();
+/// assert!(report.recoveries_per_sec > 0.0);
+/// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub enum NodeRole {
     /// An honest node that follows the protocol.
@@ -300,7 +332,23 @@ where
     }
 
     /// Builds the cluster: one node per index, with its assigned role.
+    ///
+    /// # The fault-budget invariant
+    ///
+    /// The combined number of faulty roles — [`NodeRole::CrashAt`] plus the
+    /// Byzantine variants — must not exceed the cluster's tolerance
+    /// `f = ⌊(n − 1) / 3⌋`. BFT safety and liveness are only guaranteed up
+    /// to `f` faults, so a role map that schedules more is a mis-configured
+    /// experiment whose results would be meaningless; it fails here with
+    /// [`Error::FaultBudgetExceeded`] instead of silently running.
+    /// (Scenario-level crash events and fault-plan node faults are validated
+    /// against the same budget by the runtimes, which see both sides.)
     pub fn build(&self) -> Result<Vec<P>> {
+        let faulty = self.roles.iter().filter(|r| r.is_faulty()).count();
+        let f = self.params.f();
+        if faulty > f {
+            return Err(Error::FaultBudgetExceeded { faulty, f });
+        }
         let ctx = BuildContext {
             params: self.params.clone(),
             crypto: self.crypto(),
@@ -373,14 +421,16 @@ mod tests {
 
     #[test]
     fn byzantine_roles_wrap_flo_nodes() {
-        let nodes = ClusterBuilder::<FloCluster>::new(params(4))
-            .with_role(NodeId(2), NodeRole::SilentProposer)
-            .with_role(NodeId(3), NodeRole::Equivocate)
+        // n = 7 tolerates f = 2, so two Byzantine roles stay inside the
+        // fault budget `build()` enforces.
+        let nodes = ClusterBuilder::<FloCluster>::new(params(7))
+            .with_role(NodeId(5), NodeRole::SilentProposer)
+            .with_role(NodeId(6), NodeRole::Equivocate)
             .build()
             .unwrap();
         assert!(matches!(nodes[0], ClusterNode::Honest(_)));
-        assert!(matches!(nodes[2], ClusterNode::Silent(_)));
-        assert!(matches!(nodes[3], ClusterNode::Equivocating(_)));
+        assert!(matches!(nodes[5], ClusterNode::Silent(_)));
+        assert!(matches!(nodes[6], ClusterNode::Equivocating(_)));
     }
 
     #[test]
@@ -408,6 +458,39 @@ mod tests {
             vec![(NodeId(3), Duration::from_millis(100))]
         );
         assert_eq!(b.correct_nodes(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn fault_budget_over_f_is_a_typed_build_error() {
+        // n = 4 tolerates f = 1: one crash role is fine, a second faulty
+        // role of either flavour busts the budget.
+        let ok = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_role(NodeId(3), NodeRole::CrashAt(Duration::ZERO));
+        assert!(ok.build().is_ok());
+
+        let crash_plus_byz = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_role(NodeId(2), NodeRole::CrashAt(Duration::ZERO))
+            .with_role(NodeId(3), NodeRole::Equivocate);
+        match crash_plus_byz.build() {
+            Err(Error::FaultBudgetExceeded { faulty, f }) => {
+                assert_eq!((faulty, f), (2, 1));
+            }
+            Err(other) => panic!("expected FaultBudgetExceeded, got {other:?}"),
+            Ok(_) => panic!("over-budget role map must not build"),
+        }
+
+        let two_crashes = ClusterBuilder::<FloCluster>::new(params(4))
+            .with_last_k(2, NodeRole::CrashAt(Duration::ZERO));
+        assert!(matches!(
+            two_crashes.build(),
+            Err(Error::FaultBudgetExceeded { faulty: 2, f: 1 })
+        ));
+
+        // n = 7 tolerates f = 2: crash + equivocate together stay legal.
+        let n7 = ClusterBuilder::<FloCluster>::new(params(7))
+            .with_role(NodeId(5), NodeRole::CrashAt(Duration::ZERO))
+            .with_role(NodeId(6), NodeRole::Equivocate);
+        assert!(n7.build().is_ok());
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![deny(missing_docs)]
 
 mod builder;
+pub mod catalog;
 mod report;
 mod run;
 mod scenario;
@@ -67,8 +68,8 @@ pub mod prelude {
     pub use fireledger::{AcceptAll, ClusterNode, FloNode, Worker};
     pub use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
     pub use fireledger_types::{
-        Block, BlockHeader, ClusterConfig, Delivery, NodeId, ProtocolParams, Round, Transaction,
-        WorkerId,
+        Block, BlockHeader, ClusterConfig, Delivery, FaultPlan, FaultWindow, LinkSelector, NodeId,
+        ProtocolParams, Round, Transaction, WorkerId,
     };
 }
 

@@ -32,6 +32,32 @@ pub struct NodeDeliveries {
     pub blocks: u64,
     /// Transactions contained in those blocks. Unit: transactions (count).
     pub txs: u64,
+    /// Offset of the node's first delivery from the start of the run.
+    /// Unit: seconds (simulated on `"sim"`, wall-clock otherwise); 0 when
+    /// the node delivered nothing.
+    pub first_delivery_secs: f64,
+    /// Offset of the node's last delivery from the start of the run.
+    /// Unit: seconds; 0 when the node delivered nothing.
+    pub last_delivery_secs: f64,
+    /// The longest gap between two *consecutive* deliveries at this node —
+    /// the stall metric: under a partition it spans the split, and
+    /// `last_delivery_secs` past the heal point shows the recovery.
+    /// Unit: seconds; 0 with fewer than two deliveries.
+    pub max_gap_secs: f64,
+}
+
+impl NodeDeliveries {
+    /// Computes the delivery-timeline fields from the node's delivery
+    /// offsets (seconds from the start of the run, in delivery order).
+    pub fn timeline_from(mut self, times_secs: &[f64]) -> Self {
+        self.first_delivery_secs = times_secs.first().copied().unwrap_or(0.0);
+        self.last_delivery_secs = times_secs.last().copied().unwrap_or(0.0);
+        self.max_gap_secs = times_secs
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .fold(0.0, f64::max);
+        self
+    }
 }
 
 /// Headline numbers of one run, in the units the paper uses.
@@ -48,6 +74,9 @@ pub struct RunReport {
     /// Runtime name: `"sim"`, `"threads"` or `"tcp"`. Determines the time
     /// base of every time-valued field (see the module docs).
     pub runtime: String,
+    /// Name of the scenario's fault plan (`"none"` for a fault-free run).
+    /// Unit: none.
+    pub fault_plan: String,
     /// Cluster size n. Unit: nodes (count).
     pub n: usize,
     /// FLO workers ω (1 for single-instance protocols). Unit: workers
@@ -149,8 +178,13 @@ impl RunReport {
             .iter()
             .map(|d| {
                 format!(
-                    "{{\"node\":{},\"blocks\":{},\"txs\":{}}}",
-                    d.node, d.blocks, d.txs
+                    "{{\"node\":{},\"blocks\":{},\"txs\":{},\"first_delivery_secs\":{},\"last_delivery_secs\":{},\"max_gap_secs\":{}}}",
+                    d.node,
+                    d.blocks,
+                    d.txs,
+                    json_f64(d.first_delivery_secs),
+                    json_f64(d.last_delivery_secs),
+                    json_f64(d.max_gap_secs)
                 )
             })
             .collect();
@@ -158,6 +192,7 @@ impl RunReport {
             concat!(
                 "{{\"schema_version\":{},",
                 "\"protocol\":{},\"scenario\":{},\"runtime\":{},",
+                "\"fault_plan\":{},",
                 "\"n\":{},\"workers\":{},\"duration_secs\":{},",
                 "\"tps\":{},\"bps\":{},",
                 "\"avg_latency_secs\":{},\"p50_latency_secs\":{},",
@@ -172,6 +207,11 @@ impl RunReport {
             json_string(&self.protocol),
             json_string(&self.scenario),
             json_string(&self.runtime),
+            json_string(if self.fault_plan.is_empty() {
+                "none"
+            } else {
+                &self.fault_plan
+            }),
             self.n,
             self.workers,
             json_f64(self.duration_secs),
@@ -224,14 +264,22 @@ impl RunReport {
     ///   value `"tcp"`; units and time bases documented on every field,
     ///   including that real-time runtimes report wall-clock seconds. No
     ///   v1 key changed, so v1 consumers parse v2 reports unchanged.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// * **3** — fault-injection support: adds the top-level `fault_plan`
+    ///   key (22 → 23 keys; the scenario's plan name, `"none"` when
+    ///   fault-free) after `runtime`, and extends every `per_node` entry
+    ///   with the delivery-timeline keys `first_delivery_secs`,
+    ///   `last_delivery_secs` and `max_gap_secs` (stall/recovery metrics;
+    ///   see [`NodeDeliveries`]). Pre-v3 `per_node` keys are unchanged, so
+    ///   v2 consumers that ignore unknown keys parse v3 reports.
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// The schema as a constant.
-    pub const SCHEMA: [&'static str; 22] = [
+    pub const SCHEMA: [&'static str; 23] = [
         "schema_version",
         "protocol",
         "scenario",
         "runtime",
+        "fault_plan",
         "n",
         "workers",
         "duration_secs",
@@ -293,11 +341,13 @@ mod tests {
                     node: 0,
                     blocks: 15,
                     txs: 1500,
+                    ..Default::default()
                 },
                 NodeDeliveries {
                     node: 1,
                     blocks: 15,
                     txs: 1500,
+                    ..Default::default()
                 },
             ],
             ..Default::default()
@@ -322,8 +372,44 @@ mod tests {
         assert_eq!(empty, full);
         assert!(full.contains(&"tps".to_string()));
         assert!(full.contains(&"per_node".to_string()));
-        assert_eq!(full.len(), 22);
+        assert!(full.contains(&"fault_plan".to_string()));
+        assert_eq!(full.len(), 23);
         assert_eq!(full[0], "schema_version");
+    }
+
+    #[test]
+    fn fault_plan_defaults_to_none_and_timeline_fields_emit() {
+        let json = sample().to_json();
+        assert!(json.contains("\"fault_plan\":\"none\""));
+        assert!(json.contains("\"first_delivery_secs\":"));
+        let named = RunReport {
+            fault_plan: "partition-heal".into(),
+            ..Default::default()
+        };
+        assert!(named
+            .to_json()
+            .contains("\"fault_plan\":\"partition-heal\""));
+    }
+
+    #[test]
+    fn timeline_from_computes_stall_metrics() {
+        let d = NodeDeliveries::default().timeline_from(&[0.1, 0.2, 0.9, 1.0]);
+        assert_eq!(d.first_delivery_secs, 0.1);
+        assert_eq!(d.last_delivery_secs, 1.0);
+        assert!((d.max_gap_secs - 0.7).abs() < 1e-12);
+        // Degenerate series.
+        let empty = NodeDeliveries::default().timeline_from(&[]);
+        assert_eq!(
+            (
+                empty.first_delivery_secs,
+                empty.last_delivery_secs,
+                empty.max_gap_secs
+            ),
+            (0.0, 0.0, 0.0)
+        );
+        let one = NodeDeliveries::default().timeline_from(&[0.5]);
+        assert_eq!(one.max_gap_secs, 0.0);
+        assert_eq!(one.first_delivery_secs, 0.5);
     }
 
     #[test]

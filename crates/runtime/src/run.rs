@@ -22,8 +22,9 @@ use crate::builder::{ClusterBuilder, ClusterProtocol};
 use crate::report::{NodeDeliveries, RunReport};
 use crate::scenario::Scenario;
 use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
-use fireledger_sim::{SimTime, Simulation};
+use fireledger_sim::{Adversary, PlanAdversary, SimTime, Simulation};
 use fireledger_types::{Delivery, Error, NodeId, Result, Transaction, WireCodec, WireSize};
+use std::collections::HashSet;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -54,19 +55,47 @@ pub trait Runtime {
     }
 }
 
-/// The nodes to average rate metrics over: correct by role and not crashed by
-/// the scenario.
+/// The nodes to average rate metrics over: correct by role and not faulted
+/// (crashed or crash-recovered) by the scenario or its fault plan.
 fn measured_nodes<P>(cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Vec<NodeId>
 where
     P: ClusterProtocol,
     P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
 {
-    let crashed = scenario.crashed_nodes();
+    let faulted = scenario.faulted_nodes();
     cluster
         .correct_nodes()
         .into_iter()
-        .filter(|id| !crashed.contains(id))
+        .filter(|id| !faulted.contains(id))
         .collect()
+}
+
+/// Enforces the fault-budget invariant across *both* fault surfaces: the
+/// builder's role map and the scenario's crash events / fault-plan node
+/// faults together must not schedule more than `f` faulty nodes. The
+/// builder re-checks its own half in `build()`; this check sees the union
+/// (a node that is both role-crashed and scenario-crashed counts once).
+fn validate_fault_budget<P>(cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Result<()>
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
+{
+    let mut faulty: HashSet<NodeId> = cluster
+        .roles()
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.is_faulty())
+        .map(|(i, _)| NodeId(i as u32))
+        .collect();
+    faulty.extend(scenario.faulted_nodes());
+    let f = cluster.params().f();
+    if faulty.len() > f {
+        return Err(Error::FaultBudgetExceeded {
+            faulty: faulty.len(),
+            f,
+        });
+    }
+    Ok(())
 }
 
 /// Checks that two runs of the same scenario produced the *same ledger*:
@@ -116,14 +145,21 @@ pub fn check_delivery_prefixes(
     Ok(compared)
 }
 
-fn delivery_counters(deliveries: &[Vec<Delivery>]) -> Vec<NodeDeliveries> {
+/// Per-node counters plus the delivery-timeline (stall/recovery) metrics.
+/// `times_secs[i]` holds node `i`'s delivery offsets in seconds, in
+/// delivery order; an empty slice leaves that node's timeline fields zero.
+fn delivery_counters(deliveries: &[Vec<Delivery>], times_secs: &[Vec<f64>]) -> Vec<NodeDeliveries> {
     deliveries
         .iter()
         .enumerate()
-        .map(|(i, ds)| NodeDeliveries {
-            node: i as u32,
-            blocks: ds.len() as u64,
-            txs: ds.iter().map(|d| d.block.len() as u64).sum(),
+        .map(|(i, ds)| {
+            NodeDeliveries {
+                node: i as u32,
+                blocks: ds.len() as u64,
+                txs: ds.iter().map(|d| d.block.len() as u64).sum(),
+                ..Default::default()
+            }
+            .timeline_from(times_secs.get(i).map(|t| t.as_slice()).unwrap_or(&[]))
         })
         .collect()
 }
@@ -146,10 +182,18 @@ impl Runtime for Simulator {
         P: ClusterProtocol,
         P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
+        validate_fault_budget(cluster, scenario)?;
         let nodes = cluster.build()?;
         let n = nodes.len();
-        let adversary = scenario.crash_schedule(&cluster.crash_times());
-        let mut sim = Simulation::with_adversary(scenario.sim_config(), nodes, Box::new(adversary));
+        // The scenario's crash events and builder crash roles always apply;
+        // a fault plan layers the full drop/delay/reorder/duplicate +
+        // partition + crash-recover adversity on top through the same hook.
+        let crashes = scenario.crash_schedule(&cluster.crash_times());
+        let adversary: Box<dyn Adversary<P::Msg>> = match scenario.faults.clone() {
+            Some(plan) => Box::new(PlanAdversary::new(plan, crashes)),
+            None => Box::new(crashes),
+        };
+        let mut sim = Simulation::with_adversary(scenario.sim_config(), nodes, adversary);
         for (at, node, tx) in scenario.injection_schedule(n) {
             sim.inject_transaction_at(node, tx, at);
         }
@@ -162,10 +206,19 @@ impl Runtime for Simulator {
         let deliveries: Vec<Vec<Delivery>> = (0..n)
             .map(|i| sim.deliveries(NodeId(i as u32)).to_vec())
             .collect();
+        let times_secs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                sim.delivery_times(NodeId(i as u32))
+                    .iter()
+                    .map(|t| t.as_secs_f64())
+                    .collect()
+            })
+            .collect();
         let report = RunReport {
             protocol: P::NAME.to_string(),
             scenario: scenario.name.clone(),
             runtime: self.name().to_string(),
+            fault_plan: scenario.fault_plan_name(),
             n,
             workers: cluster.params().workers,
             duration_secs: summary.duration_secs,
@@ -183,7 +236,7 @@ impl Runtime for Simulator {
             verifications: summary.verifications,
             latency_cdf: sim.metrics().latency_cdf(20),
             phase_breakdown: sim.metrics().phase_breakdown(),
-            per_node: delivery_counters(&deliveries),
+            per_node: delivery_counters(&deliveries, &times_secs),
         };
         Ok((report, deliveries))
     }
@@ -191,13 +244,18 @@ impl Runtime for Simulator {
 
 enum TimelineEvent {
     Crash(NodeId),
+    Pause(NodeId),
+    Resume(NodeId),
     Inject(NodeId, Transaction),
 }
 
 /// Drives an already-spawned real-time cluster through the scenario's
-/// timeline (crashes and injections at wall-clock offsets), honours the
-/// warm-up window, and assembles the report. Shared by [`Threads`] and
-/// [`Tcp`] — the two differ only in how the cluster was spawned.
+/// timeline (crashes, crash-recover pauses and injections at wall-clock
+/// offsets), honours the warm-up window, and assembles the report. Shared
+/// by [`Threads`] and [`Tcp`] — the two differ only in how the cluster was
+/// spawned. Link faults and partitions are *not* driven from here: they
+/// were compiled into the cluster's link shim at spawn time; this timeline
+/// carries only the node-level events.
 fn drive_realtime<P, C>(
     running: C,
     cluster: &ClusterBuilder<P>,
@@ -216,6 +274,19 @@ where
     }
     for (node, at) in cluster.crash_times() {
         timeline.push((at, TimelineEvent::Crash(node)));
+    }
+    if let Some(plan) = &scenario.faults {
+        for nf in &plan.node_faults {
+            match nf.recover_at {
+                // A crash-recover fault pauses (state kept) and resumes;
+                // a plain plan crash is as permanent as a scenario crash.
+                Some(recover) => {
+                    timeline.push((nf.crash_at, TimelineEvent::Pause(nf.node)));
+                    timeline.push((recover, TimelineEvent::Resume(nf.node)));
+                }
+                None => timeline.push((nf.crash_at, TimelineEvent::Crash(nf.node))),
+            }
+        }
     }
     for (at, node, tx) in scenario.injection_schedule(n) {
         timeline.push((at.as_duration(), TimelineEvent::Inject(node, tx)));
@@ -264,6 +335,8 @@ where
         }
         match event {
             TimelineEvent::Crash(node) => running.crash(node),
+            TimelineEvent::Pause(node) => running.pause(node),
+            TimelineEvent::Resume(node) => running.resume(node),
             TimelineEvent::Inject(node, tx) => running.submit(node, tx),
         }
     }
@@ -279,11 +352,23 @@ where
     if scenario.duration > now {
         std::thread::sleep(scenario.duration - now);
     }
+    // Snapshot the delivery timeline just before shutdown (the cluster's
+    // clock dies with it). A delivery racing this snapshot at most loses
+    // its timestamp, never its count.
+    let times_secs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            running
+                .delivery_times(NodeId(i as u32))
+                .iter()
+                .map(|t| t.as_secs_f64())
+                .collect()
+        })
+        .collect();
     let deliveries = running.shutdown();
     let elapsed = start.elapsed();
     let window_secs = (elapsed - warmup_at).as_secs_f64().max(1e-9);
 
-    let per_node = delivery_counters(&deliveries);
+    let per_node = delivery_counters(&deliveries, &times_secs);
     let at_warmup = warmup_counts.unwrap_or_else(|| vec![(0, 0); n]);
     let measured = measured_nodes(cluster, scenario);
     let k = measured.len().max(1) as f64;
@@ -299,6 +384,7 @@ where
         protocol: P::NAME.to_string(),
         scenario: scenario.name.clone(),
         runtime: runtime_name.to_string(),
+        fault_plan: scenario.fault_plan_name(),
         n,
         workers: cluster.params().workers,
         duration_secs: window_secs,
@@ -336,8 +422,9 @@ impl Runtime for Threads {
         P: ClusterProtocol,
         P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
+        validate_fault_budget(cluster, scenario)?;
         let nodes = cluster.build()?;
-        let running = ThreadedCluster::spawn(nodes);
+        let running = ThreadedCluster::spawn_with_faults(nodes, scenario.faults.clone());
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
 }
@@ -367,9 +454,10 @@ impl Runtime for Tcp {
         P: ClusterProtocol,
         P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
+        validate_fault_budget(cluster, scenario)?;
         let nodes = cluster.build()?;
-        let running =
-            TcpCluster::spawn(nodes).map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
+        let running = TcpCluster::spawn_with_faults(nodes, scenario.faults.clone())
+            .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
 }

@@ -8,7 +8,7 @@
 
 use fireledger_crypto::CostModel;
 use fireledger_sim::{CrashSchedule, LatencyModel, SimConfig, SimTime, TxInjector};
-use fireledger_types::{NodeId, Transaction};
+use fireledger_types::{FaultPlan, NodeId, Transaction};
 use std::time::Duration;
 
 /// The network the cluster runs on.
@@ -73,6 +73,12 @@ pub struct Scenario {
     pub workload: Workload,
     /// Crash-fault schedule with absolute trigger times.
     pub crashes: Vec<FaultEvent>,
+    /// The declarative network/node adversity applied to the run: link
+    /// faults, partitions and crash-recover node faults, compiled into the
+    /// matching interceptor on every runtime (see `docs/SCENARIOS.md`).
+    /// `None` runs fault-free (modulo [`Scenario::crashes`] and builder
+    /// roles).
+    pub faults: Option<FaultPlan>,
     /// Total run length.
     pub duration: Duration,
     /// Warm-up prefix excluded from rate metrics.
@@ -97,6 +103,7 @@ impl Scenario {
             topology: Topology::SingleDc,
             workload: Workload::Saturated,
             crashes: Vec::new(),
+            faults: None,
             duration: Duration::from_secs(2),
             warmup: Duration::from_millis(200),
             warmup_explicit: false,
@@ -158,6 +165,15 @@ impl Scenario {
     /// Schedules `node` to crash `at` after the start.
     pub fn crash(mut self, node: NodeId, at: Duration) -> Self {
         self.crashes.push(FaultEvent { node, at });
+        self
+    }
+
+    /// Attaches a declarative [`FaultPlan`] — link faults, partitions and
+    /// crash-recover node faults, applied identically by every runtime.
+    /// The canonical plans live in [`crate::catalog`]; the normative
+    /// catalog with one snippet per plan is `docs/SCENARIOS.md`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -268,6 +284,29 @@ impl Scenario {
         self.crashes.iter().map(|f| f.node).collect()
     }
 
+    /// Every node this scenario faults at any point: scenario crash events
+    /// plus the fault plan's node faults (crash-recover included — a node
+    /// that was down for part of the window would bias rate averages).
+    /// Run reports exclude these nodes from rate metrics.
+    pub fn faulted_nodes(&self) -> Vec<NodeId> {
+        let mut nodes = self.crashed_nodes();
+        if let Some(plan) = &self.faults {
+            nodes.extend(plan.faulted_nodes());
+        }
+        nodes.sort_by_key(|n| n.0);
+        nodes.dedup();
+        nodes
+    }
+
+    /// The fault-plan name recorded in run reports (`"none"` when the
+    /// scenario carries no plan).
+    pub fn fault_plan_name(&self) -> String {
+        self.faults
+            .as_ref()
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| "none".to_string())
+    }
+
     /// The client-injection schedule for an `n`-node cluster, as
     /// `(time, target, transaction)` triples in time order. Empty for
     /// saturated load.
@@ -356,6 +395,28 @@ mod tests {
         assert_eq!(after.warmup, Duration::from_millis(5));
         let derived = Scenario::new("w").run_for(Duration::from_secs(2));
         assert_eq!(derived.warmup, Duration::from_millis(200));
+    }
+
+    #[test]
+    fn fault_plan_rides_on_the_scenario() {
+        use fireledger_types::FaultPlan;
+        let bare = Scenario::new("bare");
+        assert_eq!(bare.fault_plan_name(), "none");
+        assert!(bare.faulted_nodes().is_empty());
+
+        let plan = FaultPlan::named("adversity").crash_recover(
+            NodeId(2),
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+        );
+        let s = Scenario::new("s")
+            .crash(NodeId(1), Duration::ZERO)
+            .with_faults(plan);
+        assert_eq!(s.fault_plan_name(), "adversity");
+        // Scenario crashes and plan node faults merge, sorted and deduped.
+        assert_eq!(s.faulted_nodes(), vec![NodeId(1), NodeId(2)]);
+        // crashed_nodes keeps its pre-plan meaning.
+        assert_eq!(s.crashed_nodes(), vec![NodeId(1)]);
     }
 
     #[test]

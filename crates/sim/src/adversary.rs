@@ -9,7 +9,7 @@
 //! generic hook plus protocol-agnostic faults (crash, omission).
 
 use crate::time::SimTime;
-use fireledger_types::NodeId;
+use fireledger_types::{FaultPlan, LinkDecision, LinkFaultEngine, NodeId};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -18,8 +18,16 @@ use std::time::Duration;
 pub enum Fate<M> {
     /// Deliver the message unchanged.
     Deliver(M),
-    /// Deliver a (possibly different) message after an extra delay.
+    /// Deliver a (possibly different) message after an extra delay,
+    /// preserving per-link FIFO order.
     DeliverDelayed(M, Duration),
+    /// Deliver the message after an extra delay **exempt from the per-link
+    /// FIFO clamp**, so later messages on the same link may overtake it —
+    /// the reordering fault of a [`FaultPlan`].
+    DeliverReordered(M, Duration),
+    /// Deliver the message normally and deliver a second copy after the
+    /// extra delay (both copies pay NIC bandwidth).
+    DeliverDuplicated(M, Duration),
     /// Silently drop the message.
     Drop,
 }
@@ -136,9 +144,105 @@ impl<M> Adversary<M> for OmissionFaults {
     }
 }
 
+/// The adversary compiled from a declarative [`FaultPlan`]: link faults,
+/// partitions and node faults are all decided by the shared
+/// [`LinkFaultEngine`], so the simulator injects *exactly* the adversity the
+/// real-time runtimes' interceptors inject for the same plan.
+///
+/// Scenario- and builder-level crash events (the pre-plan fault surface)
+/// are merged in through an extra [`CrashSchedule`], so one adversary covers
+/// both fault vocabularies.
+#[derive(Clone, Debug)]
+pub struct PlanAdversary {
+    engine: LinkFaultEngine,
+    extra: CrashSchedule,
+}
+
+impl PlanAdversary {
+    /// Builds the adversary for `plan`, merging the scenario/builder crash
+    /// schedule `extra`.
+    pub fn new(plan: FaultPlan, extra: CrashSchedule) -> Self {
+        PlanAdversary {
+            engine: LinkFaultEngine::new(plan),
+            extra,
+        }
+    }
+
+    /// The plan driving this adversary.
+    pub fn plan(&self) -> &FaultPlan {
+        self.engine.plan()
+    }
+}
+
+impl<M: Clone> Adversary<M> for PlanAdversary {
+    fn intercept(&mut self, from: NodeId, to: NodeId, msg: M, now: SimTime) -> Fate<M> {
+        if self.extra.crashed(from, now) || self.extra.crashed(to, now) {
+            return Fate::Drop;
+        }
+        match self.engine.decide(from, to, now.as_duration()) {
+            LinkDecision::Deliver => Fate::Deliver(msg),
+            LinkDecision::Drop => Fate::Drop,
+            LinkDecision::Delay(d) => Fate::DeliverDelayed(msg, d),
+            LinkDecision::Reorder(d) => Fate::DeliverReordered(msg, d),
+            LinkDecision::Duplicate(d) => Fate::DeliverDuplicated(msg, d),
+        }
+    }
+
+    fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        self.extra.crashed(node, now) || self.engine.node_down(node, now.as_duration())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fireledger_types::{FaultWindow, LinkSelector};
+
+    #[test]
+    fn plan_adversary_maps_decisions_to_fates() {
+        let plan = FaultPlan::named("map")
+            .delay(
+                LinkSelector::All,
+                FaultWindow::ALWAYS,
+                Duration::from_millis(3),
+                Duration::from_millis(3),
+            )
+            .crash_recover(
+                NodeId(2),
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+            );
+        let mut adv = PlanAdversary::new(plan, CrashSchedule::new());
+        assert_eq!(
+            adv.intercept(NodeId(0), NodeId(1), 7u32, SimTime::ZERO),
+            Fate::DeliverDelayed(7, Duration::from_millis(3))
+        );
+        // Messages to a down node drop; the node reports as crashed only
+        // inside its downtime window.
+        assert_eq!(
+            adv.intercept(NodeId(0), NodeId(2), 7u32, SimTime::from_millis(15)),
+            Fate::Drop
+        );
+        assert!(Adversary::<u32>::is_crashed(
+            &adv,
+            NodeId(2),
+            SimTime::from_millis(15)
+        ));
+        assert!(!Adversary::<u32>::is_crashed(
+            &adv,
+            NodeId(2),
+            SimTime::from_millis(25)
+        ));
+        // The merged crash schedule still applies.
+        let mut adv = PlanAdversary::new(
+            FaultPlan::named("empty"),
+            CrashSchedule::new().crash(NodeId(1), SimTime::ZERO),
+        );
+        assert_eq!(
+            adv.intercept(NodeId(1), NodeId(0), 7u32, SimTime::ZERO),
+            Fate::Drop
+        );
+    }
 
     #[test]
     fn pass_through_delivers_everything() {

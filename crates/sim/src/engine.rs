@@ -151,6 +151,7 @@ pub struct Simulation<P: Protocol> {
     timers: HashMap<(NodeId, TimerId), u64>,
     link_order: HashMap<(NodeId, NodeId), SimTime>,
     deliveries: Vec<Vec<Delivery>>,
+    delivery_times: Vec<Vec<SimTime>>,
     metrics: Metrics,
     adversary: Box<dyn Adversary<P::Msg>>,
     rng: DetRng,
@@ -187,6 +188,7 @@ where
             timers: HashMap::new(),
             link_order: HashMap::new(),
             deliveries: vec![Vec::new(); n],
+            delivery_times: vec![Vec::new(); n],
             metrics: Metrics::new(n),
             adversary,
             config,
@@ -230,6 +232,13 @@ where
         &self.deliveries[node.as_usize()]
     }
 
+    /// Virtual timestamps of `node`'s deliveries, parallel to
+    /// [`Simulation::deliveries`] — the raw series behind the per-node
+    /// delivery-timeline metrics (stall/recovery detection) in run reports.
+    pub fn delivery_times(&self, node: NodeId) -> &[SimTime] {
+        &self.delivery_times[node.as_usize()]
+    }
+
     /// The metrics collector.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -265,6 +274,14 @@ where
 
     /// Calls `on_start` on every node (idempotent; called automatically by the
     /// run methods if needed).
+    ///
+    /// `on_start` runs even for a node the adversary reports as crashed at
+    /// t = 0: its outputs are suppressed anyway (sends are intercepted and
+    /// dropped, its timer events are skipped while it is down), but a node
+    /// with a crash-*recover* window covering the start must come back with
+    /// initialized state — the real-time runtimes behave the same way, as
+    /// their node threads always run `on_start` before any pause or crash
+    /// event lands.
     pub fn start(&mut self) {
         if self.started {
             return;
@@ -272,9 +289,6 @@ where
         self.started = true;
         for i in 0..self.nodes.len() {
             let node_id = NodeId(i as u32);
-            if self.adversary.is_crashed(node_id, self.now) {
-                continue;
-            }
             let mut out = Outbox::new();
             self.nodes[i].on_start(&mut out);
             self.apply_actions(node_id, self.now, out);
@@ -311,12 +325,38 @@ where
             self.push_event(ready, to, EventKind::Message { from, msg });
             return;
         }
-        let fate = self.adversary.intercept(from, to, msg, ready);
-        let (msg, extra_delay) = match fate {
-            Fate::Deliver(m) => (m, Duration::ZERO),
-            Fate::DeliverDelayed(m, d) => (m, d),
-            Fate::Drop => return,
-        };
+        match self.adversary.intercept(from, to, msg, ready) {
+            Fate::Deliver(m) => self.transmit(from, to, m, ready, Duration::ZERO, true),
+            Fate::DeliverDelayed(m, d) => self.transmit(from, to, m, ready, d, true),
+            // Reordered messages skip the per-link FIFO clamp, so later
+            // sends on the same link can overtake them.
+            Fate::DeliverReordered(m, d) => self.transmit(from, to, m, ready, d, false),
+            Fate::DeliverDuplicated(m, d) => {
+                self.transmit(from, to, m.clone(), ready, Duration::ZERO, true);
+                // The duplicate is a real second copy: it pays NIC bandwidth
+                // and is counted in the send metrics like any message. It is
+                // FIFO-exempt like a reordered message — on the real-time
+                // runtimes the copy rides the delay line past the writer
+                // queue, so it must not ratchet the link's FIFO clamp here
+                // and lag every subsequent message behind it.
+                self.transmit(from, to, m, ready, d, false);
+            }
+            Fate::Drop => {}
+        }
+    }
+
+    /// Charges one wire copy against the sender's NIC, samples the link
+    /// latency, applies `extra_delay`, optionally enforces per-link FIFO
+    /// order, and schedules the arrival.
+    fn transmit(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: P::Msg,
+        ready: SimTime,
+        extra_delay: Duration,
+        fifo: bool,
+    ) {
         let size = msg.wire_size();
         let departure = self.nic_free[from.as_usize()].max(ready);
         let tx_time = match self.config.bandwidth_bytes_per_sec {
@@ -327,10 +367,12 @@ where
         self.nic_free[from.as_usize()] = sent;
         let latency = self.config.latency.sample(from, to, &mut self.rng);
         let mut arrival = sent + latency + extra_delay;
-        // Enforce per-link FIFO (reliable ordered links, §3.1).
-        let last = self.link_order.entry((from, to)).or_insert(SimTime::ZERO);
-        arrival = arrival.max(*last);
-        *last = arrival;
+        if fifo {
+            // Enforce per-link FIFO (reliable ordered links, §3.1).
+            let last = self.link_order.entry((from, to)).or_insert(SimTime::ZERO);
+            arrival = arrival.max(*last);
+            *last = arrival;
+        }
         self.metrics.record_send(from, size, ready);
         self.push_event(arrival, to, EventKind::Message { from, msg });
     }
@@ -377,6 +419,7 @@ where
                 }
                 Action::Deliver(delivery) => {
                     self.deliveries[node.as_usize()].push(delivery);
+                    self.delivery_times[node.as_usize()].push(eff);
                 }
                 Action::Observe(obs) => {
                     self.metrics.record(node, eff, &obs);
@@ -673,6 +716,41 @@ mod tests {
         // Node 0 crashed before start: nobody received anything from it.
         for i in 1..4u32 {
             assert!(sim.node(NodeId(i)).received.is_empty());
+        }
+    }
+
+    #[test]
+    fn crash_recover_window_covering_start_still_initializes_the_node() {
+        use crate::adversary::PlanAdversary;
+        use fireledger_types::FaultPlan;
+        // Node 0 is down from t = 0 to t = 5 ms. Its on_start broadcast is
+        // suppressed (it is down when it would send), but the timer armed in
+        // on_start fires at 10 ms — after recovery — so its round-1
+        // broadcast must reach everyone. Before the fix, a downtime window
+        // covering t = 0 skipped on_start entirely and the node stayed
+        // inert forever.
+        let plan = FaultPlan::named("boot-churn").crash_recover(
+            NodeId(0),
+            Duration::ZERO,
+            Duration::from_millis(5),
+        );
+        let adv = PlanAdversary::new(plan, crate::adversary::CrashSchedule::new());
+        let mut sim =
+            Simulation::with_adversary(SimConfig::ideal(), echo_cluster(4, 3), Box::new(adv));
+        sim.run_for(Duration::from_millis(100));
+        // The start broadcast (value 0) was lost to the downtime...
+        for i in 1..4u32 {
+            assert!(
+                !sim.node(NodeId(i)).received.iter().any(|(_, v)| *v == 0),
+                "node {i} received a broadcast sent while the sender was down"
+            );
+        }
+        // ...but the post-recovery timer broadcasts arrived.
+        for i in 1..4u32 {
+            assert!(
+                sim.node(NodeId(i)).received.iter().any(|(_, v)| *v >= 1),
+                "node {i} never heard from the recovered node"
+            );
         }
     }
 

@@ -43,6 +43,16 @@ pub enum Error {
     InvalidState(String),
     /// A configuration value is out of range.
     Config(String),
+    /// A cluster configuration schedules more faulty nodes (crashing +
+    /// Byzantine) than the `f` its size tolerates. BFT guarantees are void
+    /// beyond `f`, so such an experiment must fail loudly at build time
+    /// instead of silently producing meaningless results.
+    FaultBudgetExceeded {
+        /// Number of nodes with a faulty role.
+        faulty: usize,
+        /// The cluster's fault tolerance `f = ⌊(n − 1) / 3⌋`.
+        f: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -63,6 +73,10 @@ impl fmt::Display for Error {
             Error::Io(msg) => write!(f, "i/o error: {msg}"),
             Error::InvalidState(msg) => write!(f, "invalid state: {msg}"),
             Error::Config(msg) => write!(f, "configuration error: {msg}"),
+            Error::FaultBudgetExceeded { faulty, f: tol } => write!(
+                f,
+                "fault budget exceeded: {faulty} faulty node(s) scheduled but the cluster tolerates f = {tol}"
+            ),
         }
     }
 }
@@ -92,6 +106,13 @@ mod tests {
             "no key registered for p1"
         );
         assert_eq!(Error::UnknownNode(NodeId(9)).to_string(), "unknown node p9");
+    }
+
+    #[test]
+    fn fault_budget_error_carries_both_counts() {
+        let e = Error::FaultBudgetExceeded { faulty: 3, f: 1 };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("f = 1"), "{msg}");
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod bytes;
 pub mod codec;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod rng;
 pub mod runtime;
@@ -31,6 +32,10 @@ pub use bytes::Bytes;
 pub use codec::{CodecError, FrameHeader, Reader, WireCodec, MAX_FRAME_LEN, WIRE_VERSION};
 pub use config::{ClusterConfig, ProtocolParams};
 pub use error::{Error, Result};
+pub use faults::{
+    FaultPlan, FaultWindow, LinkDecision, LinkFault, LinkFaultEngine, LinkFaultKind, LinkSelector,
+    NodeFault, Partition,
+};
 pub use ids::{NodeId, Round, WorkerId};
 pub use rng::DetRng;
 pub use runtime::{Action, Delivery, Observation, Outbox, Protocol, TimerId};

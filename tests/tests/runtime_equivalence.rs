@@ -89,6 +89,38 @@ fn bft_smart_delivers_the_same_ledger_on_all_three_runtimes() {
 }
 
 #[test]
+fn flo_ledger_identity_survives_content_preserving_adversity() {
+    // The fault-free identity proof, repeated under a fault plan that cannot
+    // change protocol decisions (1–4 ms of injected delay + reorder against
+    // a 250 ms timeout): the same plan value drives all three runtimes and
+    // the ledgers still match block for block. The full adversity matrix —
+    // including the plans where cross-runtime identity is deliberately NOT
+    // asserted — lives in tests/tests/fault_matrix.rs.
+    let plan = fireledger_runtime::catalog::delay_reorder(
+        Duration::from_millis(1),
+        Duration::from_millis(4),
+        0.25,
+    );
+    let adverse = scenario().with_faults(plan);
+    fn run<R: Runtime>(runtime: &R, adverse: &Scenario) -> Vec<Vec<Delivery>> {
+        runtime
+            .run_full(
+                &ClusterBuilder::<FloCluster>::new(params()).with_seed(7),
+                adverse,
+            )
+            .expect("adverse equivalence run must succeed")
+            .1
+    }
+    let sim = run(&Simulator, &adverse);
+    let threads = run(&Threads, &adverse);
+    let tcp = run(&Tcp, &adverse);
+    check_delivery_prefixes(&sim, &threads)
+        .unwrap_or_else(|why| panic!("flo under delay-reorder: sim vs threads diverged: {why}"));
+    check_delivery_prefixes(&sim, &tcp)
+        .unwrap_or_else(|why| panic!("flo under delay-reorder: sim vs tcp diverged: {why}"));
+}
+
+#[test]
 fn divergence_detection_actually_detects() {
     // Sanity-check the checker itself: equal logs pass, tampered logs fail.
     let sim = deliveries_on::<FloCluster, _>(&Simulator);

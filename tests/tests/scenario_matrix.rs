@@ -80,6 +80,29 @@ fn one_scenario_drives_all_five_protocols_on_both_runtimes() {
 }
 
 #[test]
+fn one_fault_plan_drives_all_five_protocols_through_the_same_schema() {
+    // The adversity axis composes with the protocol axis: a single
+    // plan-carrying Scenario value runs every protocol of the matrix, and
+    // the fault plan's name round-trips through the unified report schema.
+    let plan = fireledger_runtime::catalog::delay_reorder(
+        Duration::from_millis(1),
+        Duration::from_millis(3),
+        0.25,
+    );
+    let scenario = Scenario::new("matrix-adversity")
+        .ideal()
+        .run_for(Duration::from_millis(400))
+        .with_faults(plan);
+    let reports = run_matrix(&Simulator, &scenario);
+    let reference = reports[0].schema();
+    for r in &reports {
+        assert_eq!(r.fault_plan, "delay-reorder", "{}", r.protocol);
+        assert_eq!(r.schema(), reference, "{}", r.protocol);
+        assert!(r.tps > 0.0, "{} stalled under delay-reorder", r.protocol);
+    }
+}
+
+#[test]
 fn scenario_values_are_reusable_and_cloneable() {
     // A scenario is a plain value: using it for one run must not consume or
     // mutate it for the next.
