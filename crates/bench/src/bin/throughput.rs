@@ -8,12 +8,22 @@
 //! PR that touches a hot path appends a run, so regressions and wins stay
 //! visible in history instead of living only in PR descriptions.
 //!
+//! Besides the 3-system × 3-runtime grid, every run appends a
+//! **crypto-threads sweep**: FLO on both real-time runtimes at pipeline
+//! widths 1/2/4 with a crypto-heavy configuration (σ = 2048), which is the
+//! cell where the parallel crypto pipeline (`ClusterBuilder::
+//! crypto_threads`) earns its keep on multi-core hosts. Real-time grid and
+//! sweep cells carry a light open-loop probe stream so their
+//! `p50/p99_latency_secs` are real submit→commit numbers instead of 0.0.
+//!
 //! Environment:
 //!
 //! * `FIRELEDGER_BENCH_LABEL` — label recorded on the run (default `dev`);
 //! * `FIRELEDGER_BENCH_SMOKE=1` — short CI smoke durations;
 //! * `FIRELEDGER_BENCH_FULL=1` — long-form durations;
-//! * `FIRELEDGER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
+//! * `FIRELEDGER_BENCH_OUT` — output path (default `BENCH_throughput.json`);
+//! * `FIRELEDGER_BENCH_CRYPTO_THREADS` — pipeline width for the main grid
+//!   (default 1; the simulator always runs inline regardless).
 //!
 //! Run with: `cargo run --release -p fireledger-bench --bin throughput`
 
@@ -84,7 +94,7 @@ impl Point {
         format!(
             concat!(
                 "{{\"system\":\"{:?}\",\"runtime\":\"{}\",\"n\":{},\"workers\":{},",
-                "\"batch\":{},\"tx_size\":{},\"duration_secs\":{:.4},",
+                "\"batch\":{},\"tx_size\":{},\"crypto_threads\":{},\"duration_secs\":{:.4},",
                 "\"tps\":{:.2},\"bps\":{:.2},",
                 "\"p50_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},",
                 "\"blocks\":{},\"txs\":{},",
@@ -96,6 +106,7 @@ impl Point {
             self.config.workers,
             self.config.batch,
             self.config.tx_size,
+            self.config.crypto_threads,
             self.report.duration_secs,
             self.report.tps,
             self.report.bps,
@@ -158,10 +169,37 @@ fn main() {
         ("quick", Duration::from_millis(1500))
     };
 
+    let crypto_threads: usize = std::env::var("FIRELEDGER_BENCH_CRYPTO_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    // Probe stream for the real-time cells: light enough to leave the
+    // saturated throughput untouched (hundreds of tx/s against hundreds of
+    // thousands), dense enough for stable latency percentiles.
+    const PROBE_RATE: f64 = 300.0;
+
+    let emit = |p: &Point| {
+        println!(
+            "{:<9} {:<8} k={} | tps={:>9.0} bps={:>7.1} p50={:>8.5}s p99={:>8.5}s blocks={:>6} allocs/block={:>8.0}",
+            format!("{:?}", p.system),
+            p.runtime,
+            p.config.crypto_threads,
+            p.report.tps,
+            p.report.bps,
+            p.report.p50_latency_secs,
+            p.report.p99_latency_secs,
+            p.blocks(),
+            p.allocs_per_block(),
+        );
+    };
+
     // One mid-size fast-path configuration: 4 nodes, 2 FLO workers,
     // β = 100 transactions of σ = 512 bytes. The pinned base timeout keeps
     // real-time runs on the optimistic path (no wall-clock view changes),
     // so the grid measures steady-state throughput, not timeout tuning.
+    // The simulator cell keeps the exact saturated workload (and an inline
+    // pipeline) so its rows stay byte-identical across sweeps — that
+    // invariance is the determinism check the trajectory carries.
     let systems = [System::Flo, System::HotStuff, System::Pbft];
     let mut points = Vec::new();
     for system in systems {
@@ -169,21 +207,33 @@ fn main() {
             .system(system)
             .with_base_timeout(Duration::from_millis(250))
             .duration(duration);
+        let rt_cfg = cfg
+            .clone()
+            .with_crypto_threads(crypto_threads)
+            .with_probe_rate(PROBE_RATE);
         let sim = measure(&cfg, &Simulator);
-        let threads = measure(&cfg, &Threads);
-        let tcp = measure(&cfg, &Tcp);
+        let threads = measure(&rt_cfg, &Threads);
+        let tcp = measure(&rt_cfg, &Tcp);
         for p in [sim, threads, tcp] {
-            println!(
-                "{:<9} {:<8} | tps={:>9.0} bps={:>7.1} p50={:>8.5}s p99={:>8.5}s blocks={:>6} allocs/block={:>8.0}",
-                format!("{:?}", p.system),
-                p.runtime,
-                p.report.tps,
-                p.report.bps,
-                p.report.p50_latency_secs,
-                p.report.p99_latency_secs,
-                p.blocks(),
-                p.allocs_per_block(),
-            );
+            emit(&p);
+            points.push(p);
+        }
+    }
+
+    // The crypto-threads sweep: FLO on both real-time runtimes at pipeline
+    // widths 1/2/4, with big σ = 2048 transactions so block-body hashing
+    // dominates — the cell where off-loop batch verification and parallel
+    // merkle pay. (On a single-core host the pool clamps to inline and the
+    // sweep shows a flat profile; the points still pin that the pipeline
+    // never *costs* throughput.)
+    for threads in [1usize, 2, 4] {
+        let cfg = ExperimentConfig::flo(4, 2, 100, 2048)
+            .with_base_timeout(Duration::from_millis(250))
+            .duration(duration)
+            .with_crypto_threads(threads)
+            .with_probe_rate(PROBE_RATE);
+        for p in [measure(&cfg, &Threads), measure(&cfg, &Tcp)] {
+            emit(&p);
             points.push(p);
         }
     }

@@ -78,6 +78,15 @@ pub struct ExperimentConfig {
     /// identity checks pin a generous value here so no wall-clock timeout
     /// can alter a real-time run's decision sequence.
     pub base_timeout_ms: Option<u64>,
+    /// Width of the parallel crypto pipeline
+    /// ([`ClusterBuilder::crypto_threads`]); 1 = inline. Affects real-time
+    /// runtimes only — the simulator always executes crypto inline.
+    pub crypto_threads: usize,
+    /// Aggregate rate (tx/s) of *probe* transactions injected open-loop on
+    /// top of the saturated filler load; 0 = none. Probes are what give the
+    /// real-time runtimes measurable submit→commit latency percentiles —
+    /// the filler the proposers generate themselves has no submit time.
+    pub probe_rate: f64,
 }
 
 impl ExperimentConfig {
@@ -95,7 +104,25 @@ impl ExperimentConfig {
             byzantine: 0,
             seed: 1,
             base_timeout_ms: None,
+            crypto_threads: 1,
+            probe_rate: 0.0,
         }
+    }
+
+    /// Sets the parallel-crypto-pipeline width (see
+    /// [`ClusterBuilder::crypto_threads`]).
+    pub fn with_crypto_threads(mut self, threads: usize) -> Self {
+        self.crypto_threads = threads.max(1);
+        self
+    }
+
+    /// Injects an open-loop probe stream at `rate_per_sec` (σ-sized
+    /// transactions, round-robin across nodes) on top of the saturated
+    /// load, so real-time runs report real submit→commit latency
+    /// percentiles.
+    pub fn with_probe_rate(mut self, rate_per_sec: f64) -> Self {
+        self.probe_rate = rate_per_sec;
+        self
     }
 
     /// Switches the run to the geo-distributed network model.
@@ -149,6 +176,9 @@ impl ExperimentConfig {
         let mut scenario = Scenario::new(self.network.clone())
             .with_seed(self.seed)
             .run_for(Duration::from_millis(self.duration_ms));
+        if self.probe_rate > 0.0 {
+            scenario = scenario.open_loop(self.probe_rate, self.tx_size);
+        }
         scenario = match self.network.as_str() {
             "geo" => scenario.geo(),
             "ideal" => scenario.ideal(),
@@ -186,6 +216,7 @@ impl ExperimentConfig {
         ClusterBuilder::<P>::new(self.protocol_params())
             .with_seed(self.seed)
             .with_last_k(self.byzantine, NodeRole::Equivocate)
+            .crypto_threads(self.crypto_threads)
     }
 
     /// Runs the experiment on `runtime` with an optional CPU-model override.
@@ -268,7 +299,7 @@ impl ExperimentResult {
                 "{{\"config\":{{\"system\":\"{:?}\",\"n\":{},\"workers\":{},",
                 "\"batch\":{},\"tx_size\":{},\"network\":\"{}\",\"duration_ms\":{},",
                 "\"crashed\":{},\"byzantine\":{},\"seed\":{},",
-                "\"base_timeout_ms\":{}}},\"report\":{}}}"
+                "\"base_timeout_ms\":{},\"crypto_threads\":{}}},\"report\":{}}}"
             ),
             self.config.system,
             self.config.n,
@@ -283,6 +314,7 @@ impl ExperimentResult {
             self.config
                 .base_timeout_ms
                 .map_or("null".to_string(), |ms| ms.to_string()),
+            self.config.crypto_threads,
             self.report.to_json(),
         )
     }

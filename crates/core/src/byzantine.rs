@@ -43,6 +43,11 @@ impl EquivocatingNode {
         &self.inner
     }
 
+    /// Mutable access to the wrapped node (runtime configuration).
+    pub fn inner_mut(&mut self) -> &mut FloNode {
+        &mut self.inner
+    }
+
     fn mutate(&self, signed: &SignedHeader) -> SignedHeader {
         let mut header = signed.header.clone();
         // A different chain version: flip the parent pointer.
@@ -172,6 +177,11 @@ impl SilentProposerNode {
     /// Access to the wrapped node.
     pub fn inner(&self) -> &FloNode {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped node (runtime configuration).
+    pub fn inner_mut(&mut self) -> &mut FloNode {
+        &mut self.inner
     }
 
     fn suppress(&self, sub: Outbox<FloMsg>, out: &mut Outbox<FloMsg>) {
@@ -316,6 +326,18 @@ impl ClusterNode {
             ClusterNode::Honest(n) => n,
             ClusterNode::Equivocating(n) => n.inner(),
             ClusterNode::Silent(n) => n.inner(),
+        }
+    }
+
+    /// Mutable access to the wrapped FLO node (runtime configuration —
+    /// crypto pool installation, pre-verified-ingress marking — applies to
+    /// the honest logic of every Byzantine wrapper too: the wrappers change
+    /// what a node *says*, not how it validates).
+    pub fn flo_mut(&mut self) -> &mut FloNode {
+        match self {
+            ClusterNode::Honest(n) => n,
+            ClusterNode::Equivocating(n) => n.inner_mut(),
+            ClusterNode::Silent(n) => n.inner_mut(),
         }
     }
 }

@@ -16,7 +16,7 @@
 //!   `f + 1` consecutive blocks come from `f + 1` distinct proposers
 //!   (Definition 5.3.1 / Lemma 5.3.2).
 
-use fireledger_crypto::{hash_header, CryptoProvider};
+use fireledger_crypto::{hash_header, verify_header_cached, CryptoProvider};
 use fireledger_types::{
     Block, ClusterConfig, Error, Hash, NodeId, Result, Round, SignedHeader, GENESIS_HASH,
 };
@@ -160,11 +160,9 @@ impl Chain {
                 ),
             });
         }
-        if !crypto.verify(
-            header.proposer,
-            &header.canonical_bytes(),
-            &signed.signature,
-        ) {
+        // Memoized per header value: a signature verified at reception (or
+        // batch-verified off-loop) is a cache read here.
+        if !verify_header_cached(crypto, signed) {
             return Err(Error::InvalidSignature {
                 signer: header.proposer,
                 context: format!("header at {}", header.round),
@@ -277,11 +275,7 @@ impl Chain {
                     reason: format!("broken hash chain at {}", header.round),
                 });
             }
-            if !crypto.verify(
-                header.proposer,
-                &header.canonical_bytes(),
-                &signed.signature,
-            ) {
+            if !verify_header_cached(crypto, signed) {
                 return Err(Error::InvalidVersion {
                     from: header.proposer,
                     reason: format!("bad signature at {}", header.round),

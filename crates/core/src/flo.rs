@@ -94,6 +94,22 @@ impl FloNode {
         &self.params
     }
 
+    /// Installs a crypto pool on every worker (see
+    /// [`Worker::set_crypto_pool`]).
+    pub fn set_crypto_pool(&mut self, pool: fireledger_crypto::CryptoPool) {
+        for w in &mut self.workers {
+            w.set_crypto_pool(pool.clone());
+        }
+    }
+
+    /// Marks every worker's ingress as runtime-pre-verified (see
+    /// [`Worker::set_preverified_ingress`]).
+    pub fn set_preverified_ingress(&mut self, on: bool) {
+        for w in &mut self.workers {
+            w.set_preverified_ingress(on);
+        }
+    }
+
     /// Tags a worker's timer with its instance index. The worker occupies a
     /// dedicated 8-bit field of [`TimerId`], disjoint from both the kind tag
     /// and the 48-bit sequence, so remapping can never alias another worker's

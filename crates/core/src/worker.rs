@@ -39,7 +39,7 @@ use crate::timer::EmaTimer;
 use crate::txpool::TxPool;
 use crate::validity::{structurally_consistent, SharedValidity};
 use fireledger_bft::{Pbft, PbftConfig, ReliableBroadcast};
-use fireledger_crypto::{hash_header, merkle_root_into, SharedCrypto};
+use fireledger_crypto::{hash_header, verify_header_cached, CryptoPool, SharedCrypto};
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{
     Block, BlockHeader, Delivery, Hash, NodeId, Observation, Outbox, Protocol, ProtocolParams,
@@ -79,6 +79,15 @@ pub struct Worker {
     worker_id: WorkerId,
     params: ProtocolParams,
     crypto: SharedCrypto,
+    /// Batch/parallel crypto executor. Defaults to a fully inline pool
+    /// (bit-identical to direct calls); realtime runtimes widen it through
+    /// [`Worker::set_crypto_pool`].
+    pool: CryptoPool,
+    /// True when a runtime ingress stage has already verified inbound
+    /// bodies against their announced payload hash (see
+    /// [`Worker::set_preverified_ingress`]); lets the loop skip re-hashing
+    /// them.
+    preverified_ingress: bool,
     validity: SharedValidity,
 
     chain: Chain,
@@ -148,6 +157,8 @@ impl Worker {
         let proposer = rotation.initial();
         Worker {
             me,
+            pool: CryptoPool::inline(crypto.clone()),
+            preverified_ingress: false,
             worker_id,
             timer: EmaTimer::new(params.base_timeout, params.max_timeout, params.ema_window),
             fd: FailureDetector::new(
@@ -231,6 +242,29 @@ impl Worker {
         self.txpool.submit(tx)
     }
 
+    /// Installs a (typically wider) crypto pool: block-body merkle roots
+    /// and the batchable verification paths (recovery versions, panic
+    /// proofs) run through it. The default inline pool makes this a no-op
+    /// performance-wise; results never depend on the pool's width.
+    pub fn set_crypto_pool(&mut self, pool: CryptoPool) {
+        self.pool = pool;
+    }
+
+    /// Declares that this worker's inbound messages pass a runtime
+    /// pre-verification stage that (a) verifies header signatures, seeding
+    /// their [`fireledger_types::SigMemo`], and (b) checks every
+    /// `BlockData`/`PullBlockReply` body's merkle root against the hash it
+    /// is announced under, dropping mismatches.
+    ///
+    /// With the flag set the worker records an arriving body's announced
+    /// hash as its verified root instead of re-hashing β transactions on
+    /// the consensus loop — the pipelining that keeps FLO's critical path
+    /// crypto-free at the runtime layer. Never set in simulations (the
+    /// simulator has no ingress stage), so simulated runs are untouched.
+    pub fn set_preverified_ingress(&mut self, on: bool) {
+        self.preverified_ingress = on;
+    }
+
     // ------------------------------------------------------------------
     // Round machinery
     // ------------------------------------------------------------------
@@ -305,7 +339,7 @@ impl Worker {
             self.params.tx_size,
             self.params.fill_blocks,
         );
-        let payload_hash = merkle_root_into(&txs, &mut self.leaf_scratch);
+        let payload_hash = self.pool.merkle_root_par(&txs, &mut self.leaf_scratch);
         self.body_roots.insert(payload_hash, payload_hash);
         let payload_bytes: u64 = txs.iter().map(|t| t.payload.len() as u64).sum();
         let header = BlockHeader::new(
@@ -354,7 +388,7 @@ impl Worker {
         let known_root = *self
             .body_roots
             .entry(header.payload_hash)
-            .or_insert_with(|| merkle_root_into(txs, &mut self.leaf_scratch));
+            .or_insert_with(|| self.pool.merkle_root_par(txs, &mut self.leaf_scratch));
         let body = Block::new(header.clone(), txs.clone());
         // Seed the block's compute-once root cache with the stored digest so
         // the structural check (and any hashing application predicate) reads
@@ -519,7 +553,7 @@ impl Worker {
     /// chain, and either advance to the next round or start recovery.
     fn finish_delivery(&mut self, key: (Round, NodeId), out: &mut Outbox<WorkerMsg>) {
         let (round, proposer) = key;
-        let Some(signed) = self.headers.get(&key).cloned() else {
+        let Some(stored) = self.headers.get(&key) else {
             // Decided to deliver but we never saw the header: pull it
             // (Algorithm 1, lines 22–24).
             self.pending_finish = Some(key);
@@ -528,24 +562,27 @@ impl Worker {
             }
             return;
         };
-        if !self.bodies.contains_key(&signed.header.payload_hash) {
+        let payload_hash = stored.header.payload_hash;
+        if !self.bodies.contains_key(&payload_hash) {
             self.pending_finish = Some(key);
-            if self.requested_bodies.insert(signed.header.payload_hash) {
-                out.broadcast(WorkerMsg::PullBlock {
-                    payload_hash: signed.header.payload_hash,
-                });
+            if self.requested_bodies.insert(payload_hash) {
+                out.broadcast(WorkerMsg::PullBlock { payload_hash });
             }
             return;
         }
         self.pending_finish = None;
 
-        // Chain validation (Algorithm 2, line b4): the signature was already
-        // checked at reception; what can still fail is the hash link.
-        if self
+        // Chain validation (Algorithm 2, line b4) through the *stored*
+        // header value, so the signature verdict memoized at reception (or
+        // seeded off-loop by a pre-verify stage) is a cache read; what can
+        // still fail is the hash link. Clone only after validating — clones
+        // reset the memo.
+        let valid = self
             .chain
-            .validate_extension(&signed, self.crypto.as_ref())
-            .is_err()
-        {
+            .validate_extension(stored, self.crypto.as_ref())
+            .is_ok();
+        let signed = stored.clone();
+        if !valid {
             self.panic_and_recover(signed, out);
             return;
         }
@@ -711,12 +748,27 @@ impl Worker {
         let base = state.base;
         // Validate the version; invalid versions are simply not counted
         // (Algorithm 3, lines 11–14).
+        // The version's signatures are one batch for the crypto pool: the
+        // verdicts seed each header's memo, so the anchor check below reads
+        // them instead of verifying one at a time.
+        let headers: Vec<&SignedHeader> = version.iter().collect();
+        let all_sigs_ok = self
+            .pool
+            .batch_verify_headers(&headers)
+            .into_iter()
+            .all(|ok| ok);
         let valid = if version.is_empty() {
             true
         } else if self.chain.next_round() >= base {
-            let r = self
-                .chain
-                .validate_version(base, &version, self.crypto.as_ref());
+            let r = if all_sigs_ok {
+                self.chain
+                    .validate_version(base, &version, self.crypto.as_ref())
+            } else {
+                Err(fireledger_types::Error::InvalidSignature {
+                    signer: from,
+                    context: "recovery version signature".into(),
+                })
+            };
             out.cpu(CpuCharge {
                 signs: 0,
                 verifies: version.len() as u32,
@@ -725,10 +777,7 @@ impl Worker {
             r.is_ok()
         } else {
             // Too far behind to anchor-check; accept on signatures alone.
-            version.iter().all(|s| {
-                self.crypto
-                    .verify(s.proposer(), &s.header.canonical_bytes(), &s.signature)
-            })
+            all_sigs_ok
         };
         let state = self.recovery.as_mut().expect("still recovering");
         if !valid {
@@ -809,6 +858,19 @@ impl Worker {
     // Incoming message handling
     // ------------------------------------------------------------------
 
+    /// Stores an inbound body (first announcement wins). When the runtime's
+    /// ingress stage pre-verified the body's merkle commitment
+    /// ([`Worker::set_preverified_ingress`]), the announced hash is recorded
+    /// as the body's verified root right away — `votable_header` then never
+    /// re-hashes β transactions on the consensus loop.
+    fn store_body(&mut self, payload_hash: Hash, txs: Vec<Transaction>) {
+        if self.preverified_ingress {
+            self.body_roots.entry(payload_hash).or_insert(payload_hash);
+            self.validated_bodies.insert(payload_hash);
+        }
+        self.bodies.entry(payload_hash).or_insert(txs);
+    }
+
     fn store_header(&mut self, from: NodeId, signed: SignedHeader, out: &mut Outbox<WorkerMsg>) {
         let header = &signed.header;
         if header.worker != self.worker_id {
@@ -824,11 +886,10 @@ impl Worker {
             return;
         }
         out.cpu(CpuCharge::verify(0));
-        if !self.crypto.verify(
-            header.proposer,
-            &header.canonical_bytes(),
-            &signed.signature,
-        ) {
+        // Memoized: when the runtime's pre-verify stage already checked this
+        // value off-loop, the verdict is a cache read; otherwise the
+        // verification happens here and is remembered for the stored value.
+        if !verify_header_cached(self.crypto.as_ref(), &signed) {
             return;
         }
         self.headers.insert(key, signed);
@@ -878,11 +939,7 @@ impl Worker {
                 let evidence = evidence.filter(|signed| {
                     signed.round() == round
                         && signed.proposer() == proposer
-                        && self.crypto.verify(
-                            signed.proposer(),
-                            &signed.header.canonical_bytes(),
-                            &signed.signature,
-                        )
+                        && verify_header_cached(self.crypto.as_ref(), signed)
                 });
                 if let Some(signed) = evidence.clone() {
                     // The evidence also tells us the header, useful if we
@@ -917,18 +974,16 @@ impl Worker {
 
     fn handle_panic_proof(&mut self, proof: PanicProof, out: &mut Outbox<WorkerMsg>) {
         // Validate the proof's signatures (Algorithm 2, line b12: "a valid
-        // proof"). A bogus proof can at worst trigger a redundant recovery,
-        // never a safety violation.
-        let conflicting_ok = self.crypto.verify(
-            proof.conflicting.proposer(),
-            &proof.conflicting.header.canonical_bytes(),
-            &proof.conflicting.signature,
-        );
-        let parent_ok = proof.local_parent.as_ref().is_none_or(|p| {
-            self.crypto
-                .verify(p.proposer(), &p.header.canonical_bytes(), &p.signature)
-        });
-        if conflicting_ok && parent_ok {
+        // proof") as one batch through the crypto pool. A bogus proof can at
+        // worst trigger a redundant recovery, never a safety violation.
+        let mut headers = vec![&proof.conflicting];
+        headers.extend(proof.local_parent.as_ref());
+        if self
+            .pool
+            .batch_verify_headers(&headers)
+            .into_iter()
+            .all(|ok| ok)
+        {
             self.start_recovery(proof.detected_round, out);
         }
     }
@@ -949,7 +1004,7 @@ impl Protocol for Worker {
     fn on_message(&mut self, from: NodeId, msg: WorkerMsg, out: &mut Outbox<WorkerMsg>) {
         match msg {
             WorkerMsg::BlockData { payload_hash, txs } => {
-                self.bodies.entry(payload_hash).or_insert(txs);
+                self.store_body(payload_hash, txs);
                 self.maybe_vote(out);
                 if let Some(key) = self.pending_finish {
                     self.finish_delivery(key, out);
@@ -982,11 +1037,7 @@ impl Protocol for Worker {
                 // proposer; verify the proposer's signature directly.
                 let key = (header.round(), header.proposer());
                 if !self.headers.contains_key(&key)
-                    && self.crypto.verify(
-                        header.proposer(),
-                        &header.header.canonical_bytes(),
-                        &header.signature,
-                    )
+                    && verify_header_cached(self.crypto.as_ref(), &header)
                 {
                     out.cpu(CpuCharge::verify(0));
                     self.headers.insert(key, header);
@@ -1010,7 +1061,7 @@ impl Protocol for Worker {
                 }
             }
             WorkerMsg::PullBlockReply { payload_hash, txs } => {
-                self.bodies.entry(payload_hash).or_insert(txs.clone());
+                self.store_body(payload_hash, txs.clone());
                 // Attach to any decided entry still waiting for this body.
                 for round in self.chain.missing_bodies() {
                     if let Some(entry) = self.chain.get(round) {

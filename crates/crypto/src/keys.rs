@@ -26,11 +26,32 @@
 use crate::cost::CostModel;
 use crate::hash::hash_bytes;
 use crate::sha256::Sha256;
-use fireledger_types::{NodeId, Signature};
+use fireledger_types::{NodeId, Signature, SignedHeader};
 use std::sync::Arc;
 
 /// Shared handle to a cluster crypto provider.
 pub type SharedCrypto = Arc<dyn CryptoProvider>;
+
+/// Verifies a signed header's proposer signature, memoized per value
+/// through [`SignedHeader::sig_cache`].
+///
+/// The first call on a given header value pays `crypto.verify`; every later
+/// call on the *same value* reads the cached verdict. Because moves keep
+/// the cache and clones reset it, this is what connects off-loop
+/// verification to the consensus loop: a pre-verify stage checks the header
+/// on its own thread, the verified value moves into the node loop, and the
+/// protocol's own check here becomes a cache read. Code that re-derives a
+/// header (decodes or clones it) re-verifies — the memo can never launder
+/// an unverified value.
+pub fn verify_header_cached(crypto: &dyn CryptoProvider, signed: &SignedHeader) -> bool {
+    signed.sig_cache().get_or_init(|| {
+        crypto.verify(
+            signed.proposer(),
+            &signed.header.canonical_bytes(),
+            &signed.signature,
+        )
+    })
+}
 
 /// Signing and verification for a permissioned cluster.
 pub trait CryptoProvider: Send + Sync {

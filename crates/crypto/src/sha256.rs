@@ -4,6 +4,27 @@
 //! reference hash function lives here instead of behind an external crate.
 //! Correctness is pinned by the standard test vectors in this module and by
 //! the known-answer test in [`crate::hash`].
+//!
+//! Two compression back-ends sit behind one dispatch:
+//!
+//! * a portable safe-Rust compressor with a rolling 16-word schedule and
+//!   fully unrolled rounds (the working variables rotate by argument
+//!   position instead of being shuffled through eight assignments per
+//!   round);
+//! * on `x86_64` CPUs that advertise the SHA extensions, the hardware
+//!   `sha256rnds2`/`sha256msg1`/`sha256msg2` instruction sequence (the
+//!   `ni` module below), detected once at runtime. This is the single biggest
+//!   throughput lever in the workspace — every block body is merkle-hashed
+//!   by every node, and the hardware rounds digest those leaves several
+//!   times faster than any scalar schedule.
+//!
+//! Both back-ends compute the same function bit for bit (the differential
+//! tests below drive every buffer-boundary shape through whichever back-end
+//! is active and the portable one), so protocol results never depend on
+//! which CPU ran them. `finalize` builds the padding block(s) directly
+//! instead of feeding padding bytes one at a time through `update` — a real
+//! cost for the 32–64-byte inputs the merkle fold digests thousands of
+//! times per second.
 
 /// Incremental SHA-256 hasher.
 #[derive(Clone)]
@@ -65,15 +86,16 @@ impl Sha256 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                compress_run(&mut self.state, &block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&data[..64]);
-            self.compress(&block);
-            data = &data[64..];
+        let full_len = data.len() - data.len() % 64;
+        if full_len > 0 {
+            // One back-end call for the whole contiguous run: the hardware
+            // path keeps its state in registers across blocks.
+            compress_run(&mut self.state, &data[..full_len]);
+            data = &data[full_len..];
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -82,66 +104,298 @@ impl Sha256 {
     }
 
     /// Completes the hash and returns the 32-byte digest.
-    pub fn finalize(mut self) -> [u8; 32] {
+    ///
+    /// The padding (0x80, zeros, 64-bit big-endian bit length) is written
+    /// into the final block(s) directly — every digest used to pay up to 63
+    /// one-byte `update` calls here.
+    pub fn finalize(self) -> [u8; 32] {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian length.
-        self.update([0x80u8]);
-        while self.buf_len != 56 {
-            self.update([0u8]);
+        let mut state = self.state;
+        let mut block = self.buf;
+        block[self.buf_len] = 0x80;
+        block[self.buf_len + 1..].fill(0);
+        if self.buf_len >= 56 {
+            // No room for the length: it goes into one extra all-padding
+            // block.
+            compress_run(&mut state, &block);
+            block = [0u8; 64];
         }
-        // The length bytes must not be counted again; write them directly.
-        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
-        self.compress(&block);
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        compress_run(&mut state, &block);
         let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
+        for (i, word) in state.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
         }
         out
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
+/// Compresses a contiguous run of 64-byte blocks into `state`, dispatching
+/// to the hardware back-end when the CPU has one.
+///
+/// # Panics
+/// Debug-asserts that `data` is a whole number of blocks.
+fn compress_run(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % 64, 0);
+    #[cfg(target_arch = "x86_64")]
+    if ni::available() {
+        ni::compress_run(state, data);
+        return;
+    }
+    for block in data.chunks_exact(64) {
+        compress_portable(state, block.try_into().expect("64-byte chunk"));
+    }
+}
+
+#[inline(always)]
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+#[inline(always)]
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// One compression of `block` into `state` — the portable back-end.
+///
+/// The eight working variables never move: each of the 16 unrolled rounds
+/// per group names them in rotated argument order, so the per-round work is
+/// exactly the FIPS 180-4 T1/T2 arithmetic with two assignments, and the
+/// schedule lives in a 16-word ring refreshed once per group.
+fn compress_portable(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+        *wi = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $k:expr, $w:expr) => {{
+            let s1 = $e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25);
+            let ch = ($e & $f) ^ (!$e & $g);
+            let t1 = $h
                 .wrapping_add(s1)
                 .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
+                .wrapping_add($k)
+                .wrapping_add($w);
+            let s0 = $a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22);
+            let maj = ($a & $b) ^ ($a & $c) ^ ($b & $c);
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(s0.wrapping_add(maj));
+        }};
+    }
+
+    macro_rules! sixteen_rounds {
+        ($base:expr) => {{
+            round!(a, b, c, d, e, f, g, h, K[$base], w[0]);
+            round!(h, a, b, c, d, e, f, g, K[$base + 1], w[1]);
+            round!(g, h, a, b, c, d, e, f, K[$base + 2], w[2]);
+            round!(f, g, h, a, b, c, d, e, K[$base + 3], w[3]);
+            round!(e, f, g, h, a, b, c, d, K[$base + 4], w[4]);
+            round!(d, e, f, g, h, a, b, c, K[$base + 5], w[5]);
+            round!(c, d, e, f, g, h, a, b, K[$base + 6], w[6]);
+            round!(b, c, d, e, f, g, h, a, K[$base + 7], w[7]);
+            round!(a, b, c, d, e, f, g, h, K[$base + 8], w[8]);
+            round!(h, a, b, c, d, e, f, g, K[$base + 9], w[9]);
+            round!(g, h, a, b, c, d, e, f, K[$base + 10], w[10]);
+            round!(f, g, h, a, b, c, d, e, K[$base + 11], w[11]);
+            round!(e, f, g, h, a, b, c, d, K[$base + 12], w[12]);
+            round!(d, e, f, g, h, a, b, c, K[$base + 13], w[13]);
+            round!(c, d, e, f, g, h, a, b, K[$base + 14], w[14]);
+            round!(b, c, d, e, f, g, h, a, K[$base + 15], w[15]);
+        }};
+    }
+
+    macro_rules! refresh_schedule {
+        () => {{
+            for i in 0..16usize {
+                w[i] = w[i]
+                    .wrapping_add(small_sigma0(w[(i + 1) & 15]))
+                    .wrapping_add(w[(i + 9) & 15])
+                    .wrapping_add(small_sigma1(w[(i + 14) & 15]));
+            }
+        }};
+    }
+
+    sixteen_rounds!(0);
+    refresh_schedule!();
+    sixteen_rounds!(16);
+    refresh_schedule!();
+    sixteen_rounds!(32);
+    refresh_schedule!();
+    sixteen_rounds!(48);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// The x86-64 SHA-extensions back-end.
+///
+/// This module is the workspace's one island of `unsafe` outside the
+/// benchmark allocator, and it is bounded to exactly two obligations:
+///
+/// 1. the `#[target_feature]` functions are only reachable through
+///    [`available`], which gates them behind `is_x86_feature_detected!`;
+/// 2. the raw 128-bit loads/stores read and write only within slices whose
+///    bounds are checked in plain Rust immediately above them.
+///
+/// Equivalence with the portable compressor is enforced by the
+/// differential tests at the bottom of this file, which run every
+/// buffer-boundary shape through both paths.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod ni {
+    use super::K;
+    use core::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_alignr_epi8, _mm_blend_epi16, _mm_loadu_si128, _mm_set_epi32,
+        _mm_set_epi64x, _mm_sha256msg1_epu32, _mm_sha256msg2_epu32, _mm_sha256rnds2_epu32,
+        _mm_shuffle_epi32, _mm_shuffle_epi8, _mm_storeu_si128,
+    };
+    use std::sync::OnceLock;
+
+    /// Whether this CPU supports the instruction sequence (`sha` plus the
+    /// `ssse3`/`sse4.1` shuffles the packing needs), detected once.
+    pub fn available() -> bool {
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("sha")
+                && std::arch::is_x86_feature_detected!("ssse3")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+        })
+    }
+
+    /// Compresses a whole run of 64-byte blocks with the hardware rounds.
+    pub fn compress_run(state: &mut [u32; 8], data: &[u8]) {
+        debug_assert!(available());
+        debug_assert_eq!(data.len() % 64, 0);
+        // SAFETY: `available()` proved the sha/ssse3/sse4.1 target features
+        // at runtime, which is the only precondition of the inner function.
+        unsafe { compress_run_inner(state, data) }
+    }
+
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    unsafe fn compress_run_inner(state: &mut [u32; 8], data: &[u8]) {
+        // SAFETY (all intrinsics below): loads and stores go through
+        // `_mm_loadu_si128`/`_mm_storeu_si128`, which have no alignment
+        // requirement; every pointer is derived from an in-bounds index of
+        // `state` (8 words = two 128-bit halves) or of a 64-byte block
+        // sliced off `data` by the loop bounds.
+        unsafe {
+            let kv = |i: usize| {
+                _mm_set_epi32(
+                    K[i + 3] as i32,
+                    K[i + 2] as i32,
+                    K[i + 1] as i32,
+                    K[i] as i32,
+                )
+            };
+            // Byte shuffle turning each 32-bit lane big-endian.
+            let byte_swap = _mm_set_epi64x(0x0c0d_0e0f_0809_0a0bu64 as i64, 0x0405_0607_0001_0203);
+
+            // Pack [a,b,c,d]/[e,f,g,h] into the ABEF/CDGH layout the
+            // sha256rnds2 instruction expects.
+            let tmp = _mm_loadu_si128(state.as_ptr().cast::<__m128i>());
+            let mut state1 = _mm_loadu_si128(state.as_ptr().add(4).cast::<__m128i>());
+            let tmp = _mm_shuffle_epi32(tmp, 0xB1); // CDAB
+            state1 = _mm_shuffle_epi32(state1, 0x1B); // EFGH
+            let mut state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+            state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+
+            for block in data.chunks_exact(64) {
+                let abef_save = state0;
+                let cdgh_save = state1;
+
+                let load = |at: usize| {
+                    _mm_shuffle_epi8(
+                        _mm_loadu_si128(block.as_ptr().add(at).cast::<__m128i>()),
+                        byte_swap,
+                    )
+                };
+
+                macro_rules! quad_rounds {
+                    ($msgv:expr) => {{
+                        let m = $msgv;
+                        state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+                        state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(m, 0x0E));
+                    }};
+                }
+
+                // Rounds 0–15: straight message words.
+                let mut msg0 = load(0);
+                quad_rounds!(_mm_add_epi32(msg0, kv(0)));
+                let mut msg1 = load(16);
+                quad_rounds!(_mm_add_epi32(msg1, kv(4)));
+                msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+                let mut msg2 = load(32);
+                quad_rounds!(_mm_add_epi32(msg2, kv(8)));
+                msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+                let mut msg3 = load(48);
+
+                // Rounds 12–51: the rolling schedule. `cur` carries the
+                // words for the current four rounds, `next` is extended with
+                // sha256msg2, `prev` pre-mixed with sha256msg1.
+                macro_rules! schedule_rounds {
+                    ($cur:ident, $prev:ident, $next:ident, $k:expr) => {{
+                        let m = _mm_add_epi32($cur, kv($k));
+                        state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+                        let tmp = _mm_alignr_epi8($cur, $prev, 4);
+                        $next = _mm_add_epi32($next, tmp);
+                        $next = _mm_sha256msg2_epu32($next, $cur);
+                        state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(m, 0x0E));
+                        $prev = _mm_sha256msg1_epu32($prev, $cur);
+                    }};
+                }
+
+                schedule_rounds!(msg3, msg2, msg0, 12);
+                schedule_rounds!(msg0, msg3, msg1, 16);
+                schedule_rounds!(msg1, msg0, msg2, 20);
+                schedule_rounds!(msg2, msg1, msg3, 24);
+                schedule_rounds!(msg3, msg2, msg0, 28);
+                schedule_rounds!(msg0, msg3, msg1, 32);
+                schedule_rounds!(msg1, msg0, msg2, 36);
+                schedule_rounds!(msg2, msg1, msg3, 40);
+                schedule_rounds!(msg3, msg2, msg0, 44);
+                schedule_rounds!(msg0, msg3, msg1, 48);
+
+                // Rounds 52–63: no further schedule extension needed beyond
+                // msg2/msg3.
+                {
+                    let m = _mm_add_epi32(msg1, kv(52));
+                    state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+                    let tmp = _mm_alignr_epi8(msg1, msg0, 4);
+                    msg2 = _mm_add_epi32(msg2, tmp);
+                    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+                    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(m, 0x0E));
+                }
+                {
+                    let m = _mm_add_epi32(msg2, kv(56));
+                    state1 = _mm_sha256rnds2_epu32(state1, state0, m);
+                    let tmp = _mm_alignr_epi8(msg2, msg1, 4);
+                    msg3 = _mm_add_epi32(msg3, tmp);
+                    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+                    state0 = _mm_sha256rnds2_epu32(state0, state1, _mm_shuffle_epi32(m, 0x0E));
+                }
+                quad_rounds!(_mm_add_epi32(msg3, kv(60)));
+
+                state0 = _mm_add_epi32(state0, abef_save);
+                state1 = _mm_add_epi32(state1, cdgh_save);
+            }
+
+            // Unpack ABEF/CDGH back to [a..d]/[e..h].
+            let tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+            state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+            let out0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+            let out1 = _mm_alignr_epi8(state1, tmp, 8); // HGFE
+            _mm_storeu_si128(state.as_mut_ptr().cast::<__m128i>(), out0);
+            _mm_storeu_si128(state.as_mut_ptr().add(4).cast::<__m128i>(), out1);
         }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
     }
 }
 
@@ -193,6 +447,52 @@ mod tests {
             h.update(&data[..split]);
             h.update(&data[split..]);
             assert_eq!(h.finalize(), expect, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn every_length_up_to_three_blocks_pads_correctly() {
+        // The direct-padding finalize has two branches (length fits the
+        // last block / needs an extra block); exercise both at every
+        // boundary by checking a second, byte-at-a-time incremental
+        // computation at each length.
+        for len in 0usize..=192 {
+            let data: Vec<u8> = (0..len as u32).map(|i| (i * 31 % 251) as u8).collect();
+            let oneshot = Sha256::digest(&data);
+            let mut h = Sha256::new();
+            for b in &data {
+                h.update([*b]);
+            }
+            assert_eq!(h.finalize(), oneshot, "length {len}");
+        }
+    }
+
+    #[test]
+    fn hardware_backend_matches_portable_on_random_runs() {
+        // Differential test across back-ends: whatever `compress_run`
+        // dispatches to must agree with `compress_portable` on every state
+        // and block-run shape. (On CPUs without the SHA extensions the two
+        // paths coincide and the test still pins `compress_run`'s
+        // chunking.)
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for blocks in [1usize, 2, 3, 5, 8, 17] {
+            let data: Vec<u8> = (0..blocks * 64).map(|_| next() as u8).collect();
+            let mut state_a = H0;
+            for word in &mut state_a {
+                *word = word.wrapping_add(next() as u32);
+            }
+            let mut state_b = state_a;
+            compress_run(&mut state_a, &data);
+            for block in data.chunks_exact(64) {
+                compress_portable(&mut state_b, block.try_into().unwrap());
+            }
+            assert_eq!(state_a, state_b, "divergence on a {blocks}-block run");
         }
     }
 }

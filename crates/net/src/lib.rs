@@ -28,6 +28,7 @@ mod shim;
 mod tcp;
 mod threads;
 
+pub use node_loop::{PreVerify, Verdict};
 pub use tcp::TcpCluster;
 pub use threads::ThreadedCluster;
 
@@ -60,6 +61,11 @@ pub trait RealtimeCluster {
     /// behind the delivery-timeline (stall/recovery) metrics in run
     /// reports.
     fn delivery_times(&self, node: NodeId) -> Vec<Duration>;
+    /// The instant the cluster's clock started — the zero point of
+    /// [`RealtimeCluster::delivery_times`] and of real-time fault-plan
+    /// offsets. Drivers measuring latencies against delivery timestamps
+    /// must stamp their own events against this same origin.
+    fn start(&self) -> std::time::Instant;
     /// Stops the cluster and returns the final per-node deliveries.
     fn shutdown(self) -> Vec<Vec<Delivery>>;
 }

@@ -50,6 +50,155 @@ pub(crate) trait Egress<M> {
     fn broadcast(&mut self, msg: M);
 }
 
+/// What a [`PreVerify`] hook decided about one inbound message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Hand the message to the node loop (possibly with verification
+    /// verdicts memoized on its values).
+    Forward,
+    /// Discard the message before it reaches the loop — reserved for
+    /// messages the protocol could never *accept* (an invalid signature, a
+    /// body that does not match its announced digest). For signature
+    /// rejects the outcome is observably identical to in-loop rejection;
+    /// for mismatched bodies the drop is strictly stronger: the in-loop
+    /// path stores bodies first-wins before validating them, so a junk
+    /// body can occupy its announced hash's slot, while the stage keeps
+    /// the slot free for the genuine body.
+    Drop,
+}
+
+/// An inbound-message verification hook, run *off* the consensus loop.
+///
+/// When a cluster is spawned with a pre-verifier, every node gets a
+/// dedicated stage thread between its ingress channel and its event loop
+/// (the `PreVerify` stage of `node_loop`): inbound events are drained in
+/// batches, shared broadcast values are materialized, and `check_batch`
+/// validates the expensive cryptographic content — seeding compute-once
+/// memos on the message values (signature verdicts, payload roots) so the
+/// loop consumes already-validated messages. The paper's FLO pipelining
+/// story realized at the runtime layer: the consensus thread stays nearly
+/// crypto-free even while the crypto is genuinely being paid.
+///
+/// Implementations must be pure with respect to the message: the same
+/// message yields the same verdict, and `Drop` is only allowed where the
+/// protocol's own handling of the message is an unconditional reject.
+pub trait PreVerify<M>: Send + Sync {
+    /// Verifies one message from `from`.
+    fn check(&self, from: NodeId, msg: &M) -> Verdict;
+
+    /// Verifies a batch, one verdict per item in order. The default just
+    /// loops; implementations with a batch crypto executor override this to
+    /// amortize fan-out across the whole drained batch.
+    fn check_batch(&self, items: &[(NodeId, &M)]) -> Vec<Verdict> {
+        items
+            .iter()
+            .map(|(from, msg)| self.check(*from, msg))
+            .collect()
+    }
+}
+
+/// Upper bound on events one stage drain batches together: bounds latency
+/// and the batch vector while still amortizing the batch-verify fan-out.
+const STAGE_BATCH: usize = 64;
+
+/// Runs one node's pre-verify stage: drain the ingress channel, materialize
+/// shared broadcast values, batch-verify, forward survivors in order.
+/// Returns when the ingress disconnects, the loop side hangs up, or a
+/// shutdown event passes through.
+fn run_preverify_stage<M>(
+    rx: Receiver<NodeEvent<M>>,
+    tx: Sender<NodeEvent<M>>,
+    pv: Arc<dyn PreVerify<M>>,
+) where
+    M: Clone + Send + Sync + 'static,
+{
+    // Materialize a shared broadcast into an owned message — the same
+    // last-receiver-free rule the loop itself applies, just moved off-loop
+    // (verdict memos seeded on the owned value survive the move into the
+    // loop; they would not survive a clone).
+    let materialize = |event: NodeEvent<M>| match event {
+        NodeEvent::SharedMessage { from, msg } => NodeEvent::Message {
+            from,
+            msg: Arc::try_unwrap(msg).unwrap_or_else(|arc| (*arc).clone()),
+        },
+        other => other,
+    };
+    let mut batch: Vec<NodeEvent<M>> = Vec::with_capacity(STAGE_BATCH);
+    loop {
+        let Ok(first) = rx.recv() else {
+            return;
+        };
+        batch.push(materialize(first));
+        while batch.len() < STAGE_BATCH {
+            match rx.try_recv() {
+                Ok(event) => batch.push(materialize(event)),
+                Err(_) => break,
+            }
+        }
+        // One verification pass over the drained run of messages.
+        let items: Vec<(NodeId, &M)> = batch
+            .iter()
+            .filter_map(|e| match e {
+                NodeEvent::Message { from, msg } => Some((*from, msg)),
+                _ => None,
+            })
+            .collect();
+        let verdicts = if items.is_empty() {
+            Vec::new()
+        } else {
+            let verdicts = pv.check_batch(&items);
+            debug_assert_eq!(verdicts.len(), items.len());
+            verdicts
+        };
+        let mut vi = 0;
+        for event in batch.drain(..) {
+            let forward = match &event {
+                NodeEvent::Message { .. } => {
+                    let v = verdicts.get(vi).copied().unwrap_or(Verdict::Forward);
+                    vi += 1;
+                    v == Verdict::Forward
+                }
+                _ => true,
+            };
+            let is_shutdown = matches!(event, NodeEvent::Shutdown);
+            if forward && tx.send(event).is_err() {
+                return;
+            }
+            if is_shutdown {
+                return;
+            }
+        }
+    }
+}
+
+/// Inserts a pre-verify stage thread in front of every node's event loop:
+/// each returned receiver yields the stage's output; the original receivers
+/// become the stages' inputs. The ingress senders (`ClusterCore::
+/// evt_senders`) are untouched, so egress, submits, the fault delay line
+/// and shutdown all flow through the stage transparently.
+pub(crate) fn spawn_preverify_stages<M>(
+    receivers: Vec<Receiver<NodeEvent<M>>>,
+    pv: &Arc<dyn PreVerify<M>>,
+) -> (
+    Vec<Receiver<NodeEvent<M>>>,
+    Vec<std::thread::JoinHandle<()>>,
+)
+where
+    M: Clone + Send + Sync + 'static,
+{
+    let mut staged = Vec::with_capacity(receivers.len());
+    let mut handles = Vec::with_capacity(receivers.len());
+    for rx in receivers {
+        let (stage_tx, stage_rx) = channel();
+        let pv = pv.clone();
+        handles.push(std::thread::spawn(move || {
+            run_preverify_stage(rx, stage_tx, pv);
+        }));
+        staged.push(stage_rx);
+    }
+    (staged, handles)
+}
+
 /// The shared per-node delivery logs: every delivery is recorded together
 /// with its wall-clock offset from the cluster's start, which is the raw
 /// series behind the delivery-timeline (stall/recovery) metrics of run

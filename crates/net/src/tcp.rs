@@ -33,7 +33,9 @@
 //! tear the connection down.
 
 use crate::frame::{read_frame, read_frame_into, write_coalesced, write_frame};
-use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
+use crate::node_loop::{
+    run_node, spawn_preverify_stages, ClusterCore, Egress, NodeEvent, PreVerify,
+};
 use crate::shim::{DelayLine, LinkShim};
 use crate::RealtimeCluster;
 use fireledger_types::codec::{FrameHeader, FRAME_HEADER_LEN};
@@ -200,6 +202,24 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_full(nodes, faults, None)
+    }
+
+    /// Like [`TcpCluster::spawn_with_faults`], plus an optional
+    /// [`PreVerify`] hook: each node gets a pre-verify stage thread between
+    /// its ingress (fed by the per-peer reader threads and the loopback)
+    /// and its event loop, so frames decoded off the wire are
+    /// batch-verified before the consensus loop sees them. Reader threads
+    /// keep doing the decoding in parallel; the stage pays the cryptographic
+    /// validation.
+    pub fn spawn_full<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<Arc<dyn PreVerify<M>>>,
+    ) -> io::Result<Self>
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let n = nodes.len();
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
@@ -240,9 +260,14 @@ where
             }
         }
 
-        let (core, evt_receivers) = ClusterCore::new(n);
+        let (core, mut evt_receivers) = ClusterCore::new(n);
         let mut streams = Vec::new();
         let mut io_handles = Vec::new();
+        if let Some(pv) = &pre_verify {
+            let (staged, stage_handles) = spawn_preverify_stages(evt_receivers, pv);
+            evt_receivers = staged;
+            io_handles.extend(stage_handles);
+        }
 
         // First pass: one writer + one reader thread per live stream. The
         // writer senders go into a flat `from * n + to` table so the fault
@@ -408,6 +433,12 @@ where
         self.core.delivery_times(node)
     }
 
+    /// The instant the cluster's clock started (the zero point of
+    /// [`TcpCluster::delivery_times`]).
+    pub fn start(&self) -> std::time::Instant {
+        self.core.log.start()
+    }
+
     /// Stops all threads, closes every socket, and returns the final
     /// per-node deliveries.
     pub fn shutdown(self) -> Vec<Vec<Delivery>> {
@@ -453,6 +484,9 @@ where
     }
     fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
         TcpCluster::delivery_times(self, node)
+    }
+    fn start(&self) -> std::time::Instant {
+        TcpCluster::start(self)
     }
     fn shutdown(self) -> Vec<Vec<Delivery>> {
         TcpCluster::shutdown(self)

@@ -7,7 +7,9 @@
 //! shares the same per-node event loop but pushes every message through the
 //! binary codec and a real socket.
 
-use crate::node_loop::{run_node, ClusterCore, Egress, NodeEvent};
+use crate::node_loop::{
+    run_node, spawn_preverify_stages, ClusterCore, Egress, NodeEvent, PreVerify,
+};
 use crate::shim::{DelayLine, LinkShim};
 use crate::RealtimeCluster;
 use fireledger_types::{Delivery, FaultPlan, LinkDecision, NodeId, Protocol, Transaction};
@@ -145,7 +147,31 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
-        let (core, receivers) = ClusterCore::new(nodes.len());
+        Self::spawn_full(nodes, faults, None)
+    }
+
+    /// Spawns the cluster with an optional fault plan and an optional
+    /// [`PreVerify`] hook. With a hook, every node gets a pre-verify stage
+    /// thread between its ingress channel and its event loop: inbound
+    /// messages are batch-verified (and shared broadcasts materialized)
+    /// off-loop, so the consensus loop consumes already-validated
+    /// messages. The stage preserves per-sender FIFO order — it forwards
+    /// the single ingress stream in order.
+    pub fn spawn_full<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<std::sync::Arc<dyn PreVerify<M>>>,
+    ) -> Self
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
+        let (core, mut receivers) = ClusterCore::new(nodes.len());
+        let mut stage_handles = Vec::new();
+        if let Some(pv) = &pre_verify {
+            let (staged, spawned) = spawn_preverify_stages(receivers, pv);
+            receivers = staged;
+            stage_handles = spawned;
+        }
         let delay = faults
             .as_ref()
             .map(|_| DelayLine::new(core.evt_senders.iter().cloned().map(Some).collect()));
@@ -177,6 +203,7 @@ where
                 }
             }
         }
+        handles.extend(stage_handles);
         ThreadedCluster {
             core,
             handles,
@@ -230,6 +257,12 @@ where
         self.core.delivery_times(node)
     }
 
+    /// The instant the cluster's clock started (the zero point of
+    /// [`ThreadedCluster::delivery_times`]).
+    pub fn start(&self) -> std::time::Instant {
+        self.core.log.start()
+    }
+
     /// Stops all node threads and returns the final per-node deliveries.
     pub fn shutdown(self) -> Vec<Vec<Delivery>> {
         self.core.signal_shutdown();
@@ -264,6 +297,9 @@ where
     }
     fn delivery_times(&self, node: NodeId) -> Vec<Duration> {
         ThreadedCluster::delivery_times(self, node)
+    }
+    fn start(&self) -> std::time::Instant {
+        ThreadedCluster::start(self)
     }
     fn shutdown(self) -> Vec<Vec<Delivery>> {
         ThreadedCluster::shutdown(self)
@@ -340,6 +376,74 @@ mod tests {
             assert!(
                 rounds.contains(&8),
                 "node {i} missed the timer broadcast: {rounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn preverify_stage_drops_rejected_messages_and_forwards_the_rest() {
+        use crate::node_loop::{PreVerify, Verdict};
+        use std::sync::Arc;
+
+        /// Drops every odd value — standing in for "invalid signature".
+        struct DropOdd;
+        impl PreVerify<u64> for DropOdd {
+            fn check(&self, _from: NodeId, msg: &u64) -> Verdict {
+                if msg.is_multiple_of(2) {
+                    Verdict::Forward
+                } else {
+                    Verdict::Drop
+                }
+            }
+        }
+
+        struct Burst {
+            me: NodeId,
+        }
+        impl Protocol for Burst {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, out: &mut Outbox<u64>) {
+                if self.me == NodeId(0) {
+                    for v in 0..10u64 {
+                        out.broadcast(v);
+                    }
+                }
+            }
+            fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
+                out.deliver(Delivery {
+                    worker: fireledger_types::WorkerId(0),
+                    round: Round(msg),
+                    proposer: from,
+                    block: fireledger_types::Block::new(
+                        fireledger_types::BlockHeader::new(
+                            Round(msg),
+                            fireledger_types::WorkerId(0),
+                            from,
+                            fireledger_types::GENESIS_HASH,
+                            fireledger_types::GENESIS_HASH,
+                            0,
+                            0,
+                        ),
+                        vec![],
+                    ),
+                });
+            }
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+        }
+
+        let nodes: Vec<Burst> = (0..3).map(|i| Burst { me: NodeId(i) }).collect();
+        let cluster = ThreadedCluster::spawn_full(nodes, None, Some(Arc::new(DropOdd)));
+        std::thread::sleep(Duration::from_millis(80));
+        let deliveries = cluster.shutdown();
+        for (i, delivered) in deliveries.iter().enumerate().skip(1) {
+            let rounds: Vec<u64> = delivered.iter().map(|d| d.round.0).collect();
+            assert_eq!(
+                rounds,
+                vec![0, 2, 4, 6, 8],
+                "node {i}: odd messages must be dropped off-loop, evens forwarded in order"
             );
         }
     }

@@ -8,16 +8,19 @@
 //! The same builder value is consumed identically by both runtimes (see
 //! [`crate::Runtime`]).
 
+use crate::preverify::FloPreVerifier;
 use fireledger::{
     AcceptAll, ClusterNode, EquivocatingNode, FloNode, SharedValidity, SilentProposerNode, Worker,
 };
 use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
-use fireledger_crypto::{SharedCrypto, SimKeyStore};
+use fireledger_crypto::{CryptoPool, SharedCrypto, SimKeyStore};
+use fireledger_net::PreVerify;
 use fireledger_types::{
     Error, NodeId, Protocol, ProtocolParams, Result, WireCodec, WireSize, WorkerId,
 };
 use std::fmt;
 use std::marker::PhantomData;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The behaviour assigned to one node of a cluster.
@@ -86,6 +89,10 @@ pub struct BuildContext {
     pub params: ProtocolParams,
     /// The cluster key directory.
     pub crypto: SharedCrypto,
+    /// The cluster's batch/parallel crypto executor (width set by
+    /// [`ClusterBuilder::crypto_threads`]; always inline when the cluster
+    /// is built for the simulator).
+    pub pool: CryptoPool,
     /// The external validity predicate (protocols without external validity
     /// ignore it).
     pub validity: SharedValidity,
@@ -115,6 +122,22 @@ where
     /// the requested Byzantine behaviour — a mis-configured experiment should
     /// fail loudly, not silently run an honest node.
     fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self>;
+
+    /// The protocol's off-loop message verification hook, if it has one.
+    ///
+    /// Real-time runtimes install it as a per-node pre-verify stage when
+    /// the cluster was built with [`ClusterBuilder::crypto_threads`] ≥ 2
+    /// (see [`fireledger_net::PreVerify`]). `None` — the default — means
+    /// the protocol validates everything on its own loop.
+    fn pre_verifier(_ctx: &BuildContext) -> Option<Arc<dyn PreVerify<Self::Msg>>> {
+        None
+    }
+
+    /// Called by a real-time runtime on the freshly built nodes *after*
+    /// deciding to install this protocol's pre-verify stage, so nodes may
+    /// skip in-loop re-validation of work the stage already performed.
+    /// Never called for simulator runs. The default does nothing.
+    fn enable_preverified_ingress(_nodes: &mut [Self]) {}
 }
 
 fn unsupported_role(name: &str, role: &NodeRole) -> Error {
@@ -131,12 +154,13 @@ impl ClusterProtocol for ClusterNode {
     const NAME: &'static str = "flo";
 
     fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self> {
-        let flo = FloNode::new(
+        let mut flo = FloNode::new(
             me,
             ctx.params.clone(),
             ctx.crypto.clone(),
             ctx.validity.clone(),
         );
+        flo.set_crypto_pool(ctx.pool.clone());
         Ok(match role {
             NodeRole::Correct | NodeRole::CrashAt(_) => ClusterNode::Honest(flo),
             NodeRole::Equivocate => {
@@ -144,6 +168,16 @@ impl ClusterProtocol for ClusterNode {
             }
             NodeRole::SilentProposer => ClusterNode::Silent(SilentProposerNode::new(flo)),
         })
+    }
+
+    fn pre_verifier(ctx: &BuildContext) -> Option<Arc<dyn PreVerify<Self::Msg>>> {
+        Some(Arc::new(FloPreVerifier::new(ctx)))
+    }
+
+    fn enable_preverified_ingress(nodes: &mut [Self]) {
+        for node in nodes {
+            node.flo_mut().set_preverified_ingress(true);
+        }
     }
 }
 
@@ -154,13 +188,25 @@ impl ClusterProtocol for Worker {
         if role.is_byzantine() {
             return Err(unsupported_role(Self::NAME, role));
         }
-        Ok(Worker::new(
+        let mut worker = Worker::new(
             me,
             WorkerId(0),
             ctx.params.clone(),
             ctx.crypto.clone(),
             ctx.validity.clone(),
-        ))
+        );
+        worker.set_crypto_pool(ctx.pool.clone());
+        Ok(worker)
+    }
+
+    fn pre_verifier(ctx: &BuildContext) -> Option<Arc<dyn PreVerify<Self::Msg>>> {
+        Some(Arc::new(FloPreVerifier::new(ctx)))
+    }
+
+    fn enable_preverified_ingress(nodes: &mut [Self]) {
+        for node in nodes {
+            node.set_preverified_ingress(true);
+        }
     }
 }
 
@@ -224,6 +270,7 @@ pub struct ClusterBuilder<P> {
     crypto: Option<SharedCrypto>,
     validity: SharedValidity,
     roles: Vec<NodeRole>,
+    crypto_threads: usize,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -243,8 +290,30 @@ where
             crypto: None,
             validity: std::sync::Arc::new(AcceptAll),
             roles: vec![NodeRole::Correct; n],
+            crypto_threads: 1,
             _protocol: PhantomData,
         }
+    }
+
+    /// Width of the cluster's parallel crypto pipeline (default 1 =
+    /// everything inline, the exact pre-pipeline behaviour).
+    ///
+    /// With `threads` ≥ 2, nodes run batchable crypto — block-body merkle
+    /// roots, recovery-version and panic-proof signature batches — through
+    /// a [`CryptoPool`] of that width (clamped to the machine's available
+    /// parallelism), and the real-time runtimes additionally install the
+    /// protocol's [`PreVerify`] stage so inbound messages are verified
+    /// *off* the consensus loop.
+    ///
+    /// The **simulator ignores the width**: it always executes crypto
+    /// inline. Simulated time already charges the modelled cost of every
+    /// operation, and determinism requires a run's results (and its
+    /// RunReport JSON) to be independent of host thread counts — so the
+    /// knob changes real-time wall-clock performance only, never any
+    /// protocol outcome.
+    pub fn crypto_threads(mut self, threads: usize) -> Self {
+        self.crypto_threads = threads.max(1);
+        self
     }
 
     /// Seed for deterministic key derivation (and, by convention, for the
@@ -344,6 +413,20 @@ where
     /// (Scenario-level crash events and fault-plan node faults are validated
     /// against the same budget by the runtimes, which see both sides.)
     pub fn build(&self) -> Result<Vec<P>> {
+        let crypto = self.crypto();
+        let pool = CryptoPool::new(crypto.clone(), self.crypto_threads);
+        self.build_with_pool(pool)
+    }
+
+    /// [`ClusterBuilder::build`] with the cluster forced onto a fully
+    /// inline crypto pool, regardless of [`ClusterBuilder::crypto_threads`].
+    /// The simulator builds through this so its results (and allocation
+    /// traces) stay bit-identical across pool widths.
+    pub fn build_inline(&self) -> Result<Vec<P>> {
+        self.build_with_pool(CryptoPool::inline(self.crypto()))
+    }
+
+    fn build_with_pool(&self, pool: CryptoPool) -> Result<Vec<P>> {
         let faulty = self.roles.iter().filter(|r| r.is_faulty()).count();
         let f = self.params.f();
         if faulty > f {
@@ -351,12 +434,30 @@ where
         }
         let ctx = BuildContext {
             params: self.params.clone(),
-            crypto: self.crypto(),
+            crypto: pool.crypto().clone(),
+            pool,
             validity: self.validity.clone(),
         };
         (0..self.params.n())
             .map(|i| P::build_node(&ctx, NodeId(i as u32), &self.roles[i]))
             .collect()
+    }
+
+    /// The protocol's pre-verify hook for this cluster, when the pipeline
+    /// is enabled (`crypto_threads` ≥ 2) and the protocol has one. The
+    /// real-time runtimes install it as each node's ingress stage.
+    pub fn pre_verifier(&self) -> Option<Arc<dyn PreVerify<P::Msg>>> {
+        if self.crypto_threads < 2 {
+            return None;
+        }
+        let crypto = self.crypto();
+        let ctx = BuildContext {
+            params: self.params.clone(),
+            crypto: crypto.clone(),
+            pool: CryptoPool::new(crypto, self.crypto_threads),
+            validity: self.validity.clone(),
+        };
+        P::pre_verifier(&ctx)
     }
 }
 

@@ -48,11 +48,13 @@
 
 mod builder;
 pub mod catalog;
+mod preverify;
 mod report;
 mod run;
 mod scenario;
 
 pub use builder::{BuildContext, ClusterBuilder, ClusterProtocol, FloCluster, NodeRole};
+pub use preverify::FloPreVerifier;
 pub use report::{NodeDeliveries, RunReport};
 pub use run::{check_delivery_prefixes, Runtime, Simulator, Tcp, Threads};
 pub use scenario::{FaultEvent, Scenario, Topology, Workload};

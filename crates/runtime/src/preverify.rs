@@ -1,0 +1,385 @@
+//! The FLO pre-verification hook: off-loop batch validation of headers and
+//! block bodies for the real-time runtimes.
+//!
+//! [`FloPreVerifier`] implements `fireledger_net`'s
+//! [`PreVerify`] for both FLO-level and single-worker messages. Installed
+//! by [`crate::Runtime`] implementations when a cluster is built with
+//! [`crate::ClusterBuilder::crypto_threads`] ≥ 2, it runs on each node's
+//! pre-verify stage thread and does two things per drained batch:
+//!
+//! 1. **Header signatures** — every `Header`, piggybacked `Vote` header and
+//!    `PullHeaderReply` in the batch is signature-checked as *one*
+//!    [`CryptoPool::batch_verify`] call; the verdicts are memoized on the
+//!    header values (`SignedHeader::sig_cache`), so the consensus loop's
+//!    own `verify_header_cached` becomes a cache read. Headers the loop
+//!    would reject wholesale (wrong claimed sender, bad signature on a
+//!    standalone header) are dropped before they reach the loop.
+//! 2. **Body commitments** — every `BlockData` / `PullBlockReply` body is
+//!    merkle-hashed (leaf digesting parallelized through the pool) and
+//!    compared against the hash it is announced under; mismatches are
+//!    dropped. Workers marked with `set_preverified_ingress` then record
+//!    the announced hash as the verified root instead of re-hashing β
+//!    transactions on the loop.
+//!
+//! Dropping is only used where the loop could never accept the message:
+//! for header signatures the verdict is exactly the in-loop one, and for
+//! bodies the stage is *at least as strong* — the in-loop path stores
+//! bodies first-wins before validating them (a mismatched body can occupy
+//! its announced slot and block the genuine one), while the stage rejects
+//! the mismatch before it can squat. On honest traffic the two paths are
+//! indistinguishable; `tests/tests/preverify.rs` pins ledger transparency
+//! and that a Byzantine mis-signer is neutralized identically either way.
+
+use crate::builder::BuildContext;
+use fireledger::{FloMsg, WorkerMsg};
+use fireledger_crypto::CryptoPool;
+use fireledger_net::{PreVerify, Verdict};
+use fireledger_types::{Hash, NodeId, SignedHeader, Transaction};
+use std::sync::Mutex;
+
+/// Off-loop batch verifier for FLO / worker traffic (see the module docs).
+pub struct FloPreVerifier {
+    pool: CryptoPool,
+    /// Merkle leaf scratch, reused across batches. The stage calls
+    /// `check_batch` from one thread per node, so this lock is uncontended;
+    /// it exists because `PreVerify` takes `&self`.
+    scratch: Mutex<Vec<Hash>>,
+}
+
+impl FloPreVerifier {
+    /// Builds the verifier over the cluster's crypto pool.
+    pub fn new(ctx: &BuildContext) -> Self {
+        FloPreVerifier {
+            pool: ctx.pool.clone(),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The signature and body checks a worker message needs before the
+    /// loop, if any.
+    fn units_of<'a>(from: NodeId, msg: &'a WorkerMsg) -> Units<'a> {
+        match msg {
+            WorkerMsg::Header { header } => {
+                if header.proposer() != from {
+                    // The loop only accepts headers from their claimed
+                    // proposer; dropping the impostor copy is the same
+                    // unconditional reject, paid earlier.
+                    Units::Reject
+                } else {
+                    Units::Header {
+                        header,
+                        drop_if_bad: true,
+                    }
+                }
+            }
+            WorkerMsg::Vote {
+                piggyback: Some(header),
+                ..
+            } if header.proposer() == from => Units::Header {
+                header,
+                // The vote itself must survive even when its piggyback is
+                // junk — the loop ignores the header (the memoized verdict
+                // says so) but still counts the vote.
+                drop_if_bad: false,
+            },
+            WorkerMsg::PullHeaderReply { header } => Units::Header {
+                header,
+                drop_if_bad: true,
+            },
+            WorkerMsg::BlockData { payload_hash, txs }
+            | WorkerMsg::PullBlockReply { payload_hash, txs } => Units::Body {
+                announced: *payload_hash,
+                txs,
+            },
+            _ => Units::None,
+        }
+    }
+
+    /// Batch implementation shared by the `FloMsg` and `WorkerMsg` hooks.
+    fn check_worker_batch(&self, items: &[(NodeId, &WorkerMsg)]) -> Vec<Verdict> {
+        let units: Vec<Units<'_>> = items
+            .iter()
+            .map(|(from, msg)| Self::units_of(*from, msg))
+            .collect();
+
+        // One pooled signature pass over every header in the batch; the
+        // verdicts are memoized on the header values, and because those
+        // values are *moved* into the loop, its `verify_header_cached`
+        // becomes a cache read.
+        let indices: Vec<usize> = units
+            .iter()
+            .enumerate()
+            .filter_map(|(i, u)| matches!(u, Units::Header { .. }).then_some(i))
+            .collect();
+        let headers: Vec<&SignedHeader> = indices
+            .iter()
+            .map(|i| match &units[*i] {
+                Units::Header { header, .. } => *header,
+                _ => unreachable!("filtered to headers"),
+            })
+            .collect();
+        let sig_verdicts = self.pool.batch_verify_headers(&headers);
+        let mut sig_ok = vec![true; units.len()];
+        for (i, ok) in indices.iter().zip(&sig_verdicts) {
+            sig_ok[*i] = *ok;
+        }
+
+        // Bodies: parallel-merkle each one and compare against its
+        // announced digest.
+        let mut scratch = self.scratch.lock().expect("preverify scratch");
+        units
+            .iter()
+            .enumerate()
+            .map(|(i, unit)| match unit {
+                Units::Reject => Verdict::Drop,
+                Units::None => Verdict::Forward,
+                Units::Header { drop_if_bad, .. } => {
+                    if *drop_if_bad && !sig_ok[i] {
+                        Verdict::Drop
+                    } else {
+                        Verdict::Forward
+                    }
+                }
+                Units::Body { announced, txs } => {
+                    if self.pool.merkle_root_par(txs, &mut scratch) == *announced {
+                        Verdict::Forward
+                    } else {
+                        Verdict::Drop
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// What one message contributes to the batch.
+enum Units<'a> {
+    /// Nothing to verify; forward as-is.
+    None,
+    /// Rejected on structural grounds alone (no crypto needed).
+    Reject,
+    /// A signed header to check; `drop_if_bad` when in-loop handling of a
+    /// bad signature discards the whole message anyway.
+    Header {
+        header: &'a SignedHeader,
+        drop_if_bad: bool,
+    },
+    /// A block body to check against its announced merkle root.
+    Body {
+        announced: Hash,
+        txs: &'a [Transaction],
+    },
+}
+
+impl PreVerify<FloMsg> for FloPreVerifier {
+    fn check(&self, from: NodeId, msg: &FloMsg) -> Verdict {
+        self.check_batch(&[(from, msg)]).pop().expect("one verdict")
+    }
+
+    fn check_batch(&self, items: &[(NodeId, &FloMsg)]) -> Vec<Verdict> {
+        let inner: Vec<(NodeId, &WorkerMsg)> = items
+            .iter()
+            .map(|(from, msg)| (*from, &msg.inner))
+            .collect();
+        self.check_worker_batch(&inner)
+    }
+}
+
+impl PreVerify<WorkerMsg> for FloPreVerifier {
+    fn check(&self, from: NodeId, msg: &WorkerMsg) -> Verdict {
+        self.check_worker_batch(&[(from, msg)])
+            .pop()
+            .expect("one verdict")
+    }
+
+    fn check_batch(&self, items: &[(NodeId, &WorkerMsg)]) -> Vec<Verdict> {
+        self.check_worker_batch(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fireledger_crypto::{merkle_root, verify_header_cached, SimKeyStore};
+    use fireledger_types::{BlockHeader, Round, Signature, WorkerId, GENESIS_HASH};
+    use std::sync::Arc;
+
+    fn ctx() -> BuildContext {
+        let crypto = SimKeyStore::generate(4, 7).shared();
+        BuildContext {
+            params: fireledger_types::ProtocolParams::new(4),
+            pool: CryptoPool::inline(crypto.clone()),
+            crypto,
+            validity: Arc::new(fireledger::AcceptAll),
+        }
+    }
+
+    fn signed_header(ctx: &BuildContext, proposer: u32, txs: &[Transaction]) -> SignedHeader {
+        let header = BlockHeader::new(
+            Round(0),
+            WorkerId(0),
+            NodeId(proposer),
+            GENESIS_HASH,
+            merkle_root(txs),
+            txs.len() as u32,
+            txs.iter().map(|t| t.payload.len() as u64).sum(),
+        );
+        let sig = ctx.crypto.sign(NodeId(proposer), &header.canonical_bytes());
+        SignedHeader::new(header, sig)
+    }
+
+    fn tampered(signed: &SignedHeader) -> SignedHeader {
+        let mut bytes = signed.signature.as_bytes().to_vec();
+        if bytes.is_empty() {
+            bytes = vec![0u8; 32];
+        }
+        bytes[0] ^= 0xFF;
+        SignedHeader::new(signed.header.clone(), Signature::from(bytes))
+    }
+
+    #[test]
+    fn verdicts_match_in_loop_rejection_rules() {
+        let ctx = ctx();
+        let pv = FloPreVerifier::new(&ctx);
+        let txs: Vec<Transaction> = (0..4).map(|i| Transaction::zeroed(1, i, 32)).collect();
+        let good = signed_header(&ctx, 1, &txs);
+        let bad = tampered(&good);
+        let root = merkle_root(&txs);
+
+        let cases: Vec<(NodeId, WorkerMsg, Verdict)> = vec![
+            // Valid header from its proposer: forward.
+            (
+                NodeId(1),
+                WorkerMsg::Header {
+                    header: good.clone(),
+                },
+                Verdict::Forward,
+            ),
+            // Header relayed by a node that is not its proposer: the loop
+            // ignores it unconditionally — drop.
+            (
+                NodeId(2),
+                WorkerMsg::Header {
+                    header: good.clone(),
+                },
+                Verdict::Drop,
+            ),
+            // Tampered signature: drop.
+            (
+                NodeId(1),
+                WorkerMsg::Header {
+                    header: bad.clone(),
+                },
+                Verdict::Drop,
+            ),
+            // A vote with a tampered piggyback keeps flowing (the vote
+            // counts; the header is rejected in-loop via the seeded memo).
+            (
+                NodeId(1),
+                WorkerMsg::Vote {
+                    round: Round(0),
+                    proposer: NodeId(1),
+                    vote: true,
+                    piggyback: Some(bad.clone()),
+                },
+                Verdict::Forward,
+            ),
+            // Pulled headers may be relayed: valid one forwards...
+            (
+                NodeId(3),
+                WorkerMsg::PullHeaderReply {
+                    header: good.clone(),
+                },
+                Verdict::Forward,
+            ),
+            // ...tampered one drops.
+            (
+                NodeId(3),
+                WorkerMsg::PullHeaderReply {
+                    header: bad.clone(),
+                },
+                Verdict::Drop,
+            ),
+            // Body matching its announced root: forward.
+            (
+                NodeId(2),
+                WorkerMsg::BlockData {
+                    payload_hash: root,
+                    txs: txs.clone(),
+                },
+                Verdict::Forward,
+            ),
+            // Body announced under a wrong digest: drop.
+            (
+                NodeId(2),
+                WorkerMsg::BlockData {
+                    payload_hash: Hash([9u8; 32]),
+                    txs: txs.clone(),
+                },
+                Verdict::Drop,
+            ),
+            // Messages with nothing to verify pass through.
+            (
+                NodeId(2),
+                WorkerMsg::PullHeader {
+                    round: Round(0),
+                    proposer: NodeId(1),
+                },
+                Verdict::Forward,
+            ),
+        ];
+
+        // Single-item and whole-batch paths must agree.
+        let batch: Vec<(NodeId, &WorkerMsg)> =
+            cases.iter().map(|(from, msg, _)| (*from, msg)).collect();
+        let batch_verdicts = PreVerify::<WorkerMsg>::check_batch(&pv, &batch);
+        for ((from, msg, expected), got) in cases.iter().zip(batch_verdicts) {
+            assert_eq!(got, *expected, "batch verdict for {msg:?} from {from}");
+            assert_eq!(
+                PreVerify::<WorkerMsg>::check(&pv, *from, msg),
+                *expected,
+                "single verdict for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn verdicts_seed_the_signature_memo() {
+        let ctx = ctx();
+        let pv = FloPreVerifier::new(&ctx);
+        let good = signed_header(&ctx, 1, &[]);
+        let msg = WorkerMsg::Header {
+            header: good.clone(),
+        };
+        assert_eq!(
+            PreVerify::<WorkerMsg>::check(&pv, NodeId(1), &msg),
+            Verdict::Forward
+        );
+        // The memo on the *message's* header value is seeded...
+        let WorkerMsg::Header { header } = &msg else {
+            unreachable!()
+        };
+        assert_eq!(header.sig_cache().get(), Some(true));
+        // ...so the loop-side check is a cache read (a panicking provider
+        // proves no re-verification happens).
+        struct NoVerify;
+        impl fireledger_crypto::CryptoProvider for NoVerify {
+            fn sign(&self, _: NodeId, _: &[u8]) -> Signature {
+                unreachable!()
+            }
+            fn verify(&self, _: NodeId, _: &[u8], _: &Signature) -> bool {
+                panic!("pre-verified header must not be re-verified")
+            }
+            fn cluster_size(&self) -> usize {
+                4
+            }
+            fn cost_model(&self) -> fireledger_crypto::CostModel {
+                fireledger_crypto::CostModel::free()
+            }
+            fn scheme(&self) -> &'static str {
+                "no-verify"
+            }
+        }
+        assert!(verify_header_cached(&NoVerify, header));
+    }
+}

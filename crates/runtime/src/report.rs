@@ -93,16 +93,20 @@ pub struct RunReport {
     /// Delivered blocks per second within the measurement window, averaged
     /// across the measured nodes. Unit: blocks / second.
     pub bps: f64,
-    /// Mean proposal→delivery latency. Unit: seconds. Zero when the
-    /// runtime does not instrument latency (`"threads"`, `"tcp"`).
+    /// Mean delivery latency. Unit: seconds. On `"sim"` this is simulated
+    /// proposal→delivery time per block; on `"threads"`/`"tcp"` it is
+    /// wall-clock submit→commit time over the scenario's injected
+    /// transactions (zero under a purely saturated workload, which injects
+    /// nothing to stamp).
     pub avg_latency_secs: f64,
-    /// Median proposal→delivery latency. Unit: seconds (0 = unmeasured).
+    /// Median delivery latency (same basis as `avg_latency_secs`).
+    /// Unit: seconds (0 = unmeasured).
     pub p50_latency_secs: f64,
-    /// 95th-percentile proposal→delivery latency. Unit: seconds
-    /// (0 = unmeasured).
+    /// 95th-percentile delivery latency (same basis as
+    /// `avg_latency_secs`). Unit: seconds (0 = unmeasured).
     pub p95_latency_secs: f64,
-    /// 99th-percentile proposal→delivery latency. Unit: seconds
-    /// (0 = unmeasured).
+    /// 99th-percentile delivery latency (same basis as
+    /// `avg_latency_secs`). Unit: seconds (0 = unmeasured).
     pub p99_latency_secs: f64,
     /// Recovery procedures started per second (rps in Figure 12). Unit:
     /// recoveries / second.

@@ -24,7 +24,7 @@ use crate::scenario::Scenario;
 use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
 use fireledger_sim::{Adversary, PlanAdversary, SimTime, Simulation};
 use fireledger_types::{Delivery, Error, NodeId, Result, Transaction, WireCodec, WireSize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -183,7 +183,10 @@ impl Runtime for Simulator {
         P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         validate_fault_budget(cluster, scenario)?;
-        let nodes = cluster.build()?;
+        // Always an inline crypto pool: simulated time charges the modelled
+        // crypto cost, and determinism requires results independent of any
+        // host thread count (see `ClusterBuilder::crypto_threads`).
+        let nodes = cluster.build_inline()?;
         let n = nodes.len();
         // The scenario's crash events and builder crash roles always apply;
         // a fault plan layers the full drop/delay/reorder/duplicate +
@@ -313,8 +316,17 @@ where
     };
 
     let start = Instant::now();
+    // The cluster's own clock origin: delivery timestamps are offsets from
+    // it, so submit stamps must be taken against the *same* instant —
+    // measuring them from `start` would inflate every latency by the
+    // spawn→drive gap (mesh dialing, stage-thread spawning).
+    let cluster_start = running.start();
     let mut warmup_counts: Option<Vec<(u64, u64)>> = None;
     let mut warmup_at = Duration::ZERO;
+    // Submit-time stamps of every injected transaction, keyed by identity:
+    // matching them against delivery timestamps below yields real
+    // submit→commit latency percentiles for the real-time runtimes.
+    let mut submit_times: HashMap<(u64, u64), f64> = HashMap::new();
     for (at, event) in timeline {
         if at >= scenario.duration {
             break;
@@ -337,7 +349,10 @@ where
             TimelineEvent::Crash(node) => running.crash(node),
             TimelineEvent::Pause(node) => running.pause(node),
             TimelineEvent::Resume(node) => running.resume(node),
-            TimelineEvent::Inject(node, tx) => running.submit(node, tx),
+            TimelineEvent::Inject(node, tx) => {
+                submit_times.insert(tx.id(), cluster_start.elapsed().as_secs_f64());
+                running.submit(node, tx);
+            }
         }
     }
     if warmup_counts.is_none() {
@@ -380,6 +395,45 @@ where
             t + d.txs.saturating_sub(wt),
         )
     });
+
+    // Submit→commit latency over the injected transactions: for each
+    // measured node, an injected transaction's latency is the wall-clock
+    // offset of the delivery containing it minus its submit offset. Empty
+    // (fields stay zero) under a purely saturated workload, where there is
+    // nothing with a submit time to measure.
+    let mut samples: Vec<f64> = Vec::new();
+    if !submit_times.is_empty() {
+        for id in &measured {
+            let node = id.as_usize();
+            for (delivery, at) in deliveries[node].iter().zip(&times_secs[node]) {
+                for tx in &delivery.block.txs {
+                    if let Some(submitted) = submit_times.get(&tx.id()) {
+                        samples.push((at - submitted).max(0.0));
+                    }
+                }
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+    }
+    let percentile = |pct: f64| -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let rank = ((pct / 100.0) * samples.len() as f64).ceil() as usize;
+        samples[rank.clamp(1, samples.len()) - 1]
+    };
+    let latency_cdf: Vec<(f64, f64)> = if samples.is_empty() {
+        Vec::new()
+    } else {
+        let points = 20usize.min(samples.len());
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                (percentile(frac * 100.0), frac)
+            })
+            .collect()
+    };
+
     let report = RunReport {
         protocol: P::NAME.to_string(),
         scenario: scenario.name.clone(),
@@ -390,6 +444,15 @@ where
         duration_secs: window_secs,
         tps: txs as f64 / k / window_secs,
         bps: blocks as f64 / k / window_secs,
+        avg_latency_secs: if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        },
+        p50_latency_secs: percentile(50.0),
+        p95_latency_secs: percentile(95.0),
+        p99_latency_secs: percentile(99.0),
+        latency_cdf,
         per_node,
         ..Default::default()
     };
@@ -401,10 +464,14 @@ where
 /// The scenario's duration is wall-clock time here: a 2-second scenario takes
 /// 2 real seconds. The warm-up window is honoured the same way as on the
 /// simulator: deliveries are snapshotted once the warm-up elapses, and rates
-/// cover only the measurement window. Latency percentiles, message counters
-/// and the lifecycle breakdown are not instrumented on this runtime
-/// (protocols pay real CPU instead of reporting observations), so those
-/// report fields are zero — the schema is unchanged.
+/// cover only the measurement window. Latency fields are real wall-clock
+/// submit→commit measurements over the scenario's *injected* transactions
+/// (each submit is stamped, and matched against the delivery timestamps of
+/// the blocks that include it); under a purely saturated workload there is
+/// nothing with a submit time and they stay zero. Message counters and the
+/// lifecycle breakdown are not instrumented on this runtime (protocols pay
+/// real CPU instead of reporting observations), so those report fields are
+/// zero — the schema is unchanged.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Threads;
 
@@ -423,8 +490,15 @@ impl Runtime for Threads {
         P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         validate_fault_budget(cluster, scenario)?;
-        let nodes = cluster.build()?;
-        let running = ThreadedCluster::spawn_with_faults(nodes, scenario.faults.clone());
+        let mut nodes = cluster.build()?;
+        // With the parallel crypto pipeline enabled, install the protocol's
+        // pre-verify stage so inbound messages are validated off-loop, and
+        // tell the nodes their ingress is pre-verified.
+        let pre_verify = cluster.pre_verifier();
+        if pre_verify.is_some() {
+            P::enable_preverified_ingress(&mut nodes);
+        }
+        let running = ThreadedCluster::spawn_full(nodes, scenario.faults.clone(), pre_verify);
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
 }
@@ -455,8 +529,12 @@ impl Runtime for Tcp {
         P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     {
         validate_fault_budget(cluster, scenario)?;
-        let nodes = cluster.build()?;
-        let running = TcpCluster::spawn_with_faults(nodes, scenario.faults.clone())
+        let mut nodes = cluster.build()?;
+        let pre_verify = cluster.pre_verifier();
+        if pre_verify.is_some() {
+            P::enable_preverified_ingress(&mut nodes);
+        }
+        let running = TcpCluster::spawn_full(nodes, scenario.faults.clone(), pre_verify)
             .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }

@@ -208,6 +208,74 @@ impl fmt::Debug for HashMemo {
     }
 }
 
+/// A thread-safe compute-once cache for a *boolean* fact derived from the
+/// value it sits on — the signature-validity analogue of [`HashMemo`] (see
+/// [`SignedHeader::sig_cache`]).
+///
+/// The semantics mirror [`HashMemo`] exactly: invisible to equality and
+/// hashing, and `Clone` hands back an empty cache, so the clone-then-mutate
+/// idiom can never serve a stale verdict. The memo is what lets a runtime
+/// verify a header's signature *off* the consensus loop (on a reader or
+/// pre-verify thread) and have the loop read the verdict instead of paying
+/// the verification again: the verified value is *moved* into the loop, and
+/// moves preserve the cache.
+#[derive(Default)]
+pub struct SigMemo(OnceLock<bool>);
+
+impl SigMemo {
+    /// An empty (not yet computed) memo.
+    pub fn new() -> Self {
+        SigMemo(OnceLock::new())
+    }
+
+    /// The cached verdict, computing and storing it on first use.
+    pub fn get_or_init(&self, compute: impl FnOnce() -> bool) -> bool {
+        *self.0.get_or_init(compute)
+    }
+
+    /// The cached verdict, if one was computed.
+    pub fn get(&self) -> Option<bool> {
+        self.0.get().copied()
+    }
+
+    /// Clears the cache (for code that mutates a value in place after the
+    /// verdict was computed).
+    pub fn reset(&mut self) {
+        self.0 = OnceLock::new();
+    }
+}
+
+impl Clone for SigMemo {
+    /// Clones are *empty*: the clone may be mutated before it is verified,
+    /// so it must not inherit the original's verdict.
+    fn clone(&self) -> Self {
+        SigMemo::new()
+    }
+}
+
+/// Cache state never participates in equality.
+impl PartialEq for SigMemo {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for SigMemo {}
+
+/// Cache state never participates in hashing.
+impl std::hash::Hash for SigMemo {
+    fn hash<H: std::hash::Hasher>(&self, _: &mut H) {}
+}
+
+impl fmt::Debug for SigMemo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.get() {
+            Some(v) => write!(f, "memo({v})"),
+            None => write!(f, "memo(∅)"),
+        }
+    }
+}
+
 /// The consensus-path representation of a block (§6.1.1).
 ///
 /// Headers are what WRB-broadcast / OBBC operate on; the body (the
@@ -316,12 +384,29 @@ pub struct SignedHeader {
     pub header: BlockHeader,
     /// The proposer's signature over [`BlockHeader::canonical_bytes`].
     pub signature: Signature,
+    /// Compute-once cache for the signature check; private so struct
+    /// literals outside this crate cannot bypass [`SigMemo`]'s clone-resets
+    /// discipline.
+    sig_cache: SigMemo,
 }
 
 impl SignedHeader {
     /// Creates a signed header from parts.
     pub fn new(header: BlockHeader, signature: Signature) -> Self {
-        SignedHeader { header, signature }
+        SignedHeader {
+            header,
+            signature,
+            sig_cache: SigMemo::new(),
+        }
+    }
+
+    /// The compute-once cache for this header's signature check.
+    /// `fireledger-crypto`'s `verify_header_cached` goes through this, which
+    /// is what lets a pre-verify stage pay the verification off the node
+    /// loop and the loop read the verdict for free (moves keep the cache;
+    /// clones reset it).
+    pub fn sig_cache(&self) -> &SigMemo {
+        &self.sig_cache
     }
 
     /// The round the header belongs to.
@@ -512,6 +597,31 @@ mod tests {
         let mut memo = memo;
         memo.reset();
         assert_eq!(memo.get(), None);
+    }
+
+    #[test]
+    fn sig_memo_computes_once_and_is_invisible_to_value_semantics() {
+        let memo = SigMemo::new();
+        assert_eq!(memo.get(), None);
+        assert!(!memo.get_or_init(|| false));
+        // A second init closure is never invoked.
+        assert!(!memo.get_or_init(|| unreachable!("memo must be cached")));
+        assert_eq!(memo.get(), Some(false));
+        assert_eq!(memo.clone().get(), None, "clones must re-verify");
+        assert_eq!(memo, SigMemo::new());
+        let mut memo = memo;
+        memo.reset();
+        assert_eq!(memo.get(), None);
+    }
+
+    #[test]
+    fn signed_header_sig_cache_does_not_leak_through_clone_or_eq() {
+        let a = SignedHeader::new(header(1, 0), Signature::from(vec![1, 2, 3]));
+        a.sig_cache().get_or_init(|| true);
+        let b = a.clone();
+        assert_eq!(a, b, "cache state must not affect equality");
+        assert_eq!(b.sig_cache().get(), None, "clones must re-verify");
+        assert_eq!(a.sig_cache().get(), Some(true));
     }
 
     #[test]

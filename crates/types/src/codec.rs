@@ -669,10 +669,10 @@ impl WireCodec for SignedHeader {
         self.signature.encode_to(out);
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(SignedHeader {
-            header: BlockHeader::decode_from(r)?,
-            signature: Signature::decode_from(r)?,
-        })
+        Ok(SignedHeader::new(
+            BlockHeader::decode_from(r)?,
+            Signature::decode_from(r)?,
+        ))
     }
     fn encoded_len(&self) -> usize {
         self.header.encoded_len() + self.signature.encoded_len()

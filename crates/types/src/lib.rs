@@ -27,7 +27,9 @@ pub mod runtime;
 pub mod transaction;
 pub mod wire;
 
-pub use block::{Block, BlockHeader, Hash, HashMemo, Signature, SignedHeader, GENESIS_HASH};
+pub use block::{
+    Block, BlockHeader, Hash, HashMemo, SigMemo, Signature, SignedHeader, GENESIS_HASH,
+};
 pub use bytes::Bytes;
 pub use codec::{CodecError, FrameHeader, Reader, WireCodec, MAX_FRAME_LEN, WIRE_VERSION};
 pub use config::{ClusterConfig, ProtocolParams};
