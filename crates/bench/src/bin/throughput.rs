@@ -16,6 +16,11 @@
 //! sweep cells carry a light open-loop probe stream so their
 //! `p50/p99_latency_secs` are real submit→commit numbers instead of 0.0.
 //!
+//! It also appends an **fsync-policy sweep**: FLO on the TCP runtime with a
+//! durable store (`ClusterBuilder::with_store`) at `fsync=always`,
+//! `fsync=every64` and `fsync=os` — the cost of the durable ledger on the
+//! commit path, visible as the `durability` key on each point.
+//!
 //! Environment:
 //!
 //! * `FIRELEDGER_BENCH_LABEL` — label recorded on the run (default `dev`);
@@ -94,7 +99,8 @@ impl Point {
         format!(
             concat!(
                 "{{\"system\":\"{:?}\",\"runtime\":\"{}\",\"n\":{},\"workers\":{},",
-                "\"batch\":{},\"tx_size\":{},\"crypto_threads\":{},\"duration_secs\":{:.4},",
+                "\"batch\":{},\"tx_size\":{},\"crypto_threads\":{},",
+                "\"durability\":\"{}\",\"duration_secs\":{:.4},",
                 "\"tps\":{:.2},\"bps\":{:.2},",
                 "\"p50_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},",
                 "\"blocks\":{},\"txs\":{},",
@@ -107,6 +113,7 @@ impl Point {
             self.config.batch,
             self.config.tx_size,
             self.config.crypto_threads,
+            self.report.durability,
             self.report.duration_secs,
             self.report.tps,
             self.report.bps,
@@ -236,6 +243,36 @@ fn main() {
             emit(&p);
             points.push(p);
         }
+    }
+
+    // The fsync-policy sweep: FLO on the TCP runtime with every node
+    // persisting through a durable store (segmented block log + consensus
+    // WAL), at the three sync policies. The spread between `fsync-always`
+    // and the other two rows is the price of per-record fdatasync on the
+    // commit path; `fsync-every64` is the recommended middle ground. Only
+    // the real-time TCP cell runs durable — the simulator rows above stay
+    // store-free so they remain byte-identical across sweeps.
+    for policy in [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(64),
+        FsyncPolicy::OsDefault,
+    ] {
+        let dir = std::env::temp_dir().join(format!(
+            "fl-bench-store-{}-{}",
+            std::process::id(),
+            policy.label()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = ExperimentConfig::flo(4, 2, 100, 512)
+            .with_base_timeout(Duration::from_millis(250))
+            .duration(duration)
+            .with_crypto_threads(crypto_threads)
+            .with_probe_rate(PROBE_RATE)
+            .with_store(&dir, policy);
+        let p = measure(&cfg, &Tcp);
+        emit(&p);
+        points.push(p);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     let point_rows: Vec<String> = points.iter().map(Point::to_json).collect();

@@ -87,6 +87,11 @@ pub struct ExperimentConfig {
     /// real-time runtimes measurable submit→commit latency percentiles —
     /// the filler the proposers generate themselves has no submit time.
     pub probe_rate: f64,
+    /// Durable-store configuration (`ClusterBuilder::with_store`): every
+    /// node persists its ledger under `dir/node-<i>`, syncing per the
+    /// policy. `None` — the default — runs volatile, which keeps the
+    /// simulator rows of the trajectory byte-identical across sweeps.
+    pub store: Option<(std::path::PathBuf, FsyncPolicy)>,
 }
 
 impl ExperimentConfig {
@@ -106,7 +111,16 @@ impl ExperimentConfig {
             base_timeout_ms: None,
             crypto_threads: 1,
             probe_rate: 0.0,
+            store: None,
         }
+    }
+
+    /// Gives every node a durable store under `dir` (see
+    /// [`ClusterBuilder::with_store`]) — the knob behind the trajectory's
+    /// fsync-policy sweep.
+    pub fn with_store(mut self, dir: impl Into<std::path::PathBuf>, policy: FsyncPolicy) -> Self {
+        self.store = Some((dir.into(), policy));
+        self
     }
 
     /// Sets the parallel-crypto-pipeline width (see
@@ -213,10 +227,14 @@ impl ExperimentConfig {
             + std::fmt::Debug
             + 'static,
     {
-        ClusterBuilder::<P>::new(self.protocol_params())
+        let mut builder = ClusterBuilder::<P>::new(self.protocol_params())
             .with_seed(self.seed)
             .with_last_k(self.byzantine, NodeRole::Equivocate)
-            .crypto_threads(self.crypto_threads)
+            .crypto_threads(self.crypto_threads);
+        if let Some((dir, policy)) = &self.store {
+            builder = builder.with_store(dir.clone(), *policy);
+        }
+        builder
     }
 
     /// Runs the experiment on `runtime` with an optional CPU-model override.

@@ -177,6 +177,23 @@ impl Chain {
         self.entries.push(ChainEntry::new(signed, body));
     }
 
+    /// Appends one block replayed from the durable store during
+    /// restart-from-disk recovery, marking it definite immediately.
+    ///
+    /// Only definite (BBFC-final) blocks are ever persisted — FLO writes a
+    /// block to the block log at the moment it releases it to the
+    /// application — so a replayed block re-enters the chain with the
+    /// immutability it already had. The tentative suffix that existed at
+    /// kill time was, by definition, never released and is legitimately
+    /// lost: the restarted node resumes from its definite prefix.
+    pub fn restore_definite(&mut self, signed: SignedHeader, body: Option<Block>) {
+        debug_assert_eq!(signed.round(), self.next_round());
+        let mut entry = ChainEntry::new(signed, body);
+        entry.definite = true;
+        self.entries.push(entry);
+        self.definite_len = self.entries.len();
+    }
+
     /// Attaches a late-arriving body to its decided header (data-path /
     /// consensus-path separation). Returns `false` when the body does not
     /// match the header's payload hash.

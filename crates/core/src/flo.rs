@@ -19,11 +19,13 @@ use crate::messages::{FloMsg, WorkerMsg};
 use crate::validity::SharedValidity;
 use crate::worker::Worker;
 use fireledger_crypto::SharedCrypto;
+use fireledger_store::{NodeStore, RecoveredState, REC_BLOCK};
 use fireledger_types::{
-    Action, Delivery, NodeId, Observation, Outbox, Protocol, ProtocolParams, TimerId, Transaction,
-    WorkerId,
+    Action, Block, Delivery, NodeId, Observation, Outbox, Protocol, ProtocolParams, StoredBlock,
+    TimerId, Transaction, WalRecord, WireCodec, WorkerId,
 };
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// A FLO node: ω FireLedger workers plus the client manager and the
 /// round-robin delivery merge.
@@ -38,6 +40,14 @@ pub struct FloNode {
     next_worker: usize,
     /// Total blocks released by the round-robin merge.
     released: u64,
+    /// Durable store: every released block is appended to the block log at
+    /// the moment of release, so the persisted ledger *is* the merged
+    /// delivery stream in order.
+    store: Option<Arc<fireledger_store::NodeStore>>,
+    /// Deliveries reconstructed from the block log by
+    /// [`FloNode::recover_from_disk`], re-emitted on start so the restarted
+    /// node's delivery stream begins with its recovered prefix.
+    replay: Vec<Delivery>,
 }
 
 impl FloNode {
@@ -64,9 +74,89 @@ impl FloNode {
             pending: vec![VecDeque::new(); params.workers],
             next_worker: 0,
             released: 0,
+            store: None,
+            replay: Vec::new(),
             params,
             workers,
         }
+    }
+
+    /// Attaches the node's durable store: every worker gains a consensus
+    /// WAL (votes persisted before broadcast) and every block the
+    /// round-robin merge releases from now on is appended to the block log.
+    pub fn set_store(&mut self, store: Arc<NodeStore>) {
+        for w in &mut self.workers {
+            w.set_store(store.clone());
+        }
+        self.store = Some(store);
+    }
+
+    /// Rebuilds a node **solely from its durable store** after a kill: the
+    /// replayed block log restores every worker's definite chain prefix and
+    /// the round-robin merge position, and the replayed WAL restores each
+    /// worker's vote ledger so the restarted node can never contradict a
+    /// vote its pre-kill self broadcast.
+    ///
+    /// Replay is forgiving the same way the store's tail scan is: the first
+    /// record that fails to decode (or names a worker the configuration
+    /// does not have) ends the usable prefix rather than failing recovery.
+    ///
+    /// The recovered prefix is re-emitted as deliveries on the node's first
+    /// [`Protocol::on_start`], so its post-restart delivery stream is the
+    /// full ledger from round 0 — what the ledger-identity checks compare.
+    /// The node resumes consensus at the round after its definite prefix;
+    /// without a state-transfer protocol (future work, see ROADMAP) it may
+    /// stall there if the rest of the cluster has moved on, while the
+    /// cluster itself stays live on the other `n − 1` nodes.
+    pub fn recover_from_disk(
+        me: NodeId,
+        params: ProtocolParams,
+        crypto: SharedCrypto,
+        validity: SharedValidity,
+        store: Arc<NodeStore>,
+        recovered: &RecoveredState,
+    ) -> Self {
+        let mut node = FloNode::new(me, params, crypto, validity);
+        for (kind, payload) in &recovered.blocks {
+            if *kind != REC_BLOCK {
+                break;
+            }
+            let Ok(stored) = StoredBlock::decode(payload) else {
+                break;
+            };
+            let w = stored.worker.as_usize();
+            if w >= node.workers.len() {
+                break;
+            }
+            let block = Block::new(stored.signed_header.header.clone(), stored.txs);
+            node.workers[w].restore_definite_block(stored.signed_header.clone(), block.clone());
+            node.replay.push(Delivery {
+                worker: stored.worker,
+                round: stored.signed_header.round(),
+                proposer: stored.signed_header.proposer(),
+                block,
+            });
+        }
+        node.released = node.replay.len() as u64;
+        node.next_worker = (node.released as usize) % node.workers.len();
+        for (kind, payload) in &recovered.wal {
+            let Ok(rec) = WalRecord::decode_record(*kind, payload) else {
+                continue;
+            };
+            let w = match rec {
+                WalRecord::Round { worker, .. }
+                | WalRecord::Vote { worker, .. }
+                | WalRecord::Locked { worker, .. } => worker.as_usize(),
+            };
+            if let Some(worker) = node.workers.get_mut(w) {
+                worker.restore_wal(&rec);
+            }
+        }
+        for w in &mut node.workers {
+            w.finish_restore();
+        }
+        node.set_store(store);
+        node
     }
 
     /// The node's identity.
@@ -166,10 +256,34 @@ impl FloNode {
                 worker: delivery.worker,
                 round: delivery.round,
             });
+            self.persist_released(&delivery);
             out.deliver(delivery);
             self.released += 1;
             self.next_worker = (self.next_worker + 1) % self.workers.len();
         }
+    }
+
+    /// Appends a released block to the durable block log, before the
+    /// delivery leaves the outbox. Under the buffered fsync policies the
+    /// write itself happens on the store's writer thread — this call only
+    /// encodes and enqueues — so persistence stays off the consensus hot
+    /// path; under `FsyncPolicy::Always` the append and `fdatasync` are
+    /// paid right here, which is exactly the durability/latency trade the
+    /// fsync benchmark rows quantify.
+    fn persist_released(&mut self, delivery: &Delivery) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        let w = delivery.worker.as_usize();
+        let Some(entry) = self.workers[w].chain().get(delivery.round) else {
+            return;
+        };
+        let stored = StoredBlock {
+            worker: delivery.worker,
+            signed_header: entry.signed_header.clone(),
+            txs: delivery.block.txs.clone(),
+        };
+        let _ = store.append_block(stored.encode());
     }
 
     /// The least-loaded worker (by pending transaction count) — the client
@@ -192,6 +306,17 @@ impl Protocol for FloNode {
     }
 
     fn on_start(&mut self, out: &mut Outbox<FloMsg>) {
+        // A node restored from disk first re-emits its recovered prefix, so
+        // the delivery stream observed after a restart is the complete
+        // ledger from round 0. These blocks are already in the block log —
+        // they are deliberately not re-persisted.
+        for delivery in std::mem::take(&mut self.replay) {
+            out.observe(Observation::FloDelivery {
+                worker: delivery.worker,
+                round: delivery.round,
+            });
+            out.deliver(delivery);
+        }
         for w in 0..self.workers.len() {
             let mut sub = Outbox::new();
             self.workers[w].on_start(&mut sub);

@@ -138,6 +138,18 @@ pub struct Worker {
 
     /// Next definite chain index still to be handed to the application.
     next_to_deliver: usize,
+
+    /// Durable store for the consensus WAL, when the node was built with
+    /// one. Votes are written here *before* they are broadcast.
+    store: Option<std::sync::Arc<fireledger_store::NodeStore>>,
+    /// Votes replayed from the WAL after a restart, keyed by attempt: a
+    /// restarted worker re-casts exactly the vote its pre-kill self already
+    /// sent for an attempt, so a kill-restart can never equivocate.
+    persisted_votes: HashMap<(Round, NodeId), bool>,
+    /// Header hashes locked by a persisted *true* vote: re-affirming such a
+    /// vote additionally requires the header now in view to carry the same
+    /// hash the pre-kill vote endorsed.
+    locked: HashMap<Round, Hash>,
 }
 
 impl Worker {
@@ -191,6 +203,9 @@ impl Worker {
             recovery: None,
             recoveries_started: HashSet::new(),
             next_to_deliver: 0,
+            store: None,
+            persisted_votes: HashMap::new(),
+            locked: HashMap::new(),
             params,
             crypto,
             validity,
@@ -266,6 +281,71 @@ impl Worker {
     }
 
     // ------------------------------------------------------------------
+    // Durable store (consensus WAL + restart-from-disk recovery)
+    // ------------------------------------------------------------------
+
+    /// Attaches the node's durable store: from now on every round entry and
+    /// every cast vote is appended to the consensus WAL (votes strictly
+    /// before their broadcast leaves the outbox). A store append failure —
+    /// disk full, dead volume — flags the store failed and the worker keeps
+    /// running in memory; durability degrades, consensus does not.
+    pub fn set_store(&mut self, store: std::sync::Arc<fireledger_store::NodeStore>) {
+        self.store = Some(store);
+    }
+
+    /// Appends one WAL entry, swallowing (but not hiding — the store flags
+    /// itself failed) storage errors.
+    fn wal_append(&self, rec: &fireledger_types::WalRecord) {
+        if let Some(store) = &self.store {
+            let _ = store.append_wal(rec.kind(), rec.encode_payload());
+        }
+    }
+
+    /// Replays one persisted block during restart-from-disk recovery:
+    /// appends it to the chain definite (see [`Chain::restore_definite`])
+    /// and refreshes the rotation bookkeeping, exactly as the original
+    /// decision did.
+    pub fn restore_definite_block(&mut self, signed: SignedHeader, block: Block) {
+        self.rotation
+            .record_decided(signed.proposer(), signed.round());
+        self.chain.restore_definite(signed, Some(block));
+    }
+
+    /// Replays one consensus-WAL entry during restart-from-disk recovery.
+    pub fn restore_wal(&mut self, rec: &fireledger_types::WalRecord) {
+        match rec {
+            // Round entries are a monotone progress marker (diagnostics and
+            // future state transfer); replay does not jump rounds on their
+            // word — only decided blocks advance the chain.
+            fireledger_types::WalRecord::Round { .. } => {}
+            fireledger_types::WalRecord::Vote {
+                round,
+                proposer,
+                vote,
+                ..
+            } => {
+                self.persisted_votes.insert((*round, *proposer), *vote);
+            }
+            fireledger_types::WalRecord::Locked {
+                round, header_hash, ..
+            } => {
+                self.locked.insert(*round, *header_hash);
+            }
+        }
+    }
+
+    /// Finishes restart-from-disk recovery after every persisted block and
+    /// WAL entry has been replayed: the worker resumes at the round after
+    /// its definite prefix, in full (explicit-header) mode, with nothing
+    /// left to re-deliver — the orchestrator replays the delivery stream
+    /// itself.
+    pub fn finish_restore(&mut self) {
+        self.round = self.chain.next_round();
+        self.full_mode = true;
+        self.next_to_deliver = self.chain.definite_len();
+    }
+
+    // ------------------------------------------------------------------
     // Round machinery
     // ------------------------------------------------------------------
 
@@ -289,6 +369,13 @@ impl Worker {
         }
         self.proposer = choice.proposer;
         self.voted = false;
+        if self.store.is_some() {
+            self.wal_append(&fireledger_types::WalRecord::Round {
+                worker: self.worker_id,
+                round: self.round,
+                proposer: self.proposer,
+            });
+        }
 
         // If we are this round's proposer and our header is not out yet
         // (no piggyback opportunity existed), push it now.
@@ -421,6 +508,23 @@ impl Worker {
         if self.voted {
             return;
         }
+        // A vote already persisted for this attempt (by our pre-kill self,
+        // replayed from the WAL) binds us: re-cast the same value, and
+        // re-affirm *true* only when the header now in view is the one the
+        // persisted vote locked — anything else would be equivocation
+        // against our own signed past.
+        let vote = match self.persisted_votes.get(&(self.round, self.proposer)) {
+            Some(&true) => match (
+                self.locked.get(&self.round),
+                self.headers.get(&(self.round, self.proposer)),
+            ) {
+                (Some(locked), Some(signed)) => hash_header(&signed.header) == *locked,
+                (None, _) => true,
+                _ => false,
+            },
+            Some(&false) => false,
+            None => vote,
+        };
         self.voted = true;
         out.cancel_timer(self.round_timer_id());
 
@@ -450,6 +554,26 @@ impl Worker {
             }
         }
 
+        // Persist before broadcast: once the vote is on the wire it must
+        // survive a kill, or the restarted node could vote differently.
+        if self.store.is_some() {
+            self.wal_append(&fireledger_types::WalRecord::Vote {
+                worker: self.worker_id,
+                round: self.round,
+                proposer: self.proposer,
+                vote,
+            });
+            if vote {
+                if let Some(signed) = self.headers.get(&(self.round, self.proposer)) {
+                    let header_hash = hash_header(&signed.header);
+                    self.wal_append(&fireledger_types::WalRecord::Locked {
+                        worker: self.worker_id,
+                        round: self.round,
+                        header_hash,
+                    });
+                }
+            }
+        }
         out.broadcast(WorkerMsg::Vote {
             round: self.round,
             proposer: self.proposer,
@@ -997,8 +1121,18 @@ impl Protocol for Worker {
     }
 
     fn on_start(&mut self, out: &mut Outbox<WorkerMsg>) {
-        let initial = self.rotation.initial();
-        self.begin_attempt(initial, out);
+        // A fresh worker starts from the rotation's initial proposer; a
+        // worker restored from disk resumes with the successor of its last
+        // decided block's proposer — the same choice `complete_recovery`
+        // makes after a version adoption. For an empty chain the two
+        // coincide, so the fresh-start behaviour is untouched.
+        let candidate = self
+            .chain
+            .entries()
+            .last()
+            .map(|e| self.rotation.successor(e.proposer()))
+            .unwrap_or_else(|| self.rotation.initial());
+        self.begin_attempt(candidate, out);
     }
 
     fn on_message(&mut self, from: NodeId, msg: WorkerMsg, out: &mut Outbox<WorkerMsg>) {

@@ -54,6 +54,22 @@ pub trait RealtimeCluster {
     fn pause(&self, node: NodeId);
     /// Resumes a paused `node`.
     fn resume(&self, node: NodeId);
+    /// Kills `node`: the protocol state machine is destroyed outright (its
+    /// durable store, if any, is closed by the drop) and the node's
+    /// delivery log is cleared, while the hosting thread and transport
+    /// stay up. Without a later [`RealtimeCluster::restart`] the node is
+    /// permanently silent, like [`RealtimeCluster::crash`]. The default
+    /// implementation falls back to `crash` for runtimes without kill
+    /// support.
+    fn kill(&self, node: NodeId) {
+        self.crash(node);
+    }
+    /// Restarts a killed `node` by rebuilding its protocol state from its
+    /// durable store — a no-op on clusters spawned without a rebuild hook.
+    /// The default implementation does nothing.
+    fn restart(&self, node: NodeId) {
+        let _ = node;
+    }
     /// Blocks delivered so far at `node` (a snapshot).
     fn deliveries(&self, node: NodeId) -> Vec<Delivery>;
     /// Wall-clock offsets (from cluster start) of `node`'s deliveries so

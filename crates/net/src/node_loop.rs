@@ -226,6 +226,14 @@ impl DeliveryLog {
         let at = self.start.elapsed();
         self.entries.lock().expect("delivery log lock")[node.as_usize()].push((delivery, at));
     }
+
+    /// Clears `node`'s recorded deliveries — a kill destroys the process,
+    /// so its delivery log restarts empty; a node rebuilt from disk then
+    /// re-emits its recovered prefix, and the post-restart log reads as the
+    /// complete ledger from round 0.
+    fn clear(&self, node: NodeId) {
+        self.entries.lock().expect("delivery log lock")[node.as_usize()].clear();
+    }
 }
 
 /// The cluster-plumbing state every real-time runtime needs: one event
@@ -237,6 +245,13 @@ pub(crate) struct ClusterCore<M> {
     pub log: Arc<DeliveryLog>,
     pub crashed: Arc<Vec<AtomicBool>>,
     pub paused: Arc<Vec<AtomicBool>>,
+    /// Kill flags: the node's thread drops its protocol state machine
+    /// entirely (closing its durable store) and idles, discarding traffic.
+    pub killed: Arc<Vec<AtomicBool>>,
+    /// Restart requests: a killed node's thread rebuilds its protocol from
+    /// the durable store and rejoins. Only honored while killed, and only
+    /// on clusters spawned with a rebuild hook.
+    pub restarts: Arc<Vec<AtomicBool>>,
 }
 
 impl<M> ClusterCore<M> {
@@ -256,6 +271,8 @@ impl<M> ClusterCore<M> {
                 log: Arc::new(DeliveryLog::new(n)),
                 crashed: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
                 paused: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+                killed: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+                restarts: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
             },
             evt_receivers,
         )
@@ -284,6 +301,23 @@ impl<M> ClusterCore<M> {
     /// Resumes a paused `node` with its protocol state intact.
     pub fn resume(&self, node: NodeId) {
         self.paused[node.as_usize()].store(false, Ordering::SeqCst);
+    }
+
+    /// Kills `node`: its thread drops the protocol state machine — every
+    /// in-memory structure is gone, its durable store (if any) is closed —
+    /// and idles, discarding traffic. The node's delivery log is cleared by
+    /// its own thread when it observes the flag (the thread is the log
+    /// slot's only writer, so clearing there cannot race a final in-flight
+    /// delivery): a killed process's history is whatever its disk can prove.
+    pub fn kill(&self, node: NodeId) {
+        self.killed[node.as_usize()].store(true, Ordering::SeqCst);
+    }
+
+    /// Requests that a killed `node` restart from its durable store. The
+    /// flag is observed within the thread's poll interval; it is ignored on
+    /// clusters spawned without a rebuild hook.
+    pub fn restart(&self, node: NodeId) {
+        self.restarts[node.as_usize()].store(true, Ordering::SeqCst);
     }
 
     /// Number of nodes.
@@ -328,6 +362,30 @@ impl<M> ClusterCore<M> {
     }
 }
 
+/// The flag banks a node's thread watches, cloned out of [`ClusterCore`].
+pub(crate) struct NodeFlags {
+    pub crashed: Arc<Vec<AtomicBool>>,
+    pub paused: Arc<Vec<AtomicBool>>,
+    pub killed: Arc<Vec<AtomicBool>>,
+    pub restarts: Arc<Vec<AtomicBool>>,
+}
+
+impl<M> ClusterCore<M> {
+    /// The flag banks a node loop needs.
+    pub fn flags(&self) -> NodeFlags {
+        NodeFlags {
+            crashed: self.crashed.clone(),
+            paused: self.paused.clone(),
+            killed: self.killed.clone(),
+            restarts: self.restarts.clone(),
+        }
+    }
+}
+
+/// Rebuilds a node's protocol state machine from its durable store after a
+/// kill — installed per cluster by the runtime layer's builder.
+pub(crate) type Rebuild<P> = Arc<dyn Fn(NodeId) -> P + Send + Sync>;
+
 /// Runs one node until shutdown or crash: fires due timers, pulls events,
 /// applies the protocol's actions through `egress`.
 ///
@@ -338,35 +396,72 @@ impl<M> ClusterCore<M> {
 /// window. On resume the protocol state is intact and the node reacts to
 /// fresh traffic again.
 ///
+/// A **kill** flag is the harsher fault: the loop drops the protocol value
+/// itself — every in-memory structure is destroyed and its durable store
+/// (if any) is closed by the drop — and idles like a dead node. The thread
+/// and its transport stay up (the mesh is static; what "kill -9" destroys
+/// is the protocol's process state, which is exactly what `P` holds). A
+/// subsequent restart request rebuilds the node **solely from disk**
+/// through the cluster's rebuild hook and re-enters it into the mesh.
+///
 /// The `Outbox` and the due-timer scratch are allocated once and reused for
 /// every event, so the steady-state loop itself allocates nothing.
 pub(crate) fn run_node<P, E>(
-    node: &mut P,
+    node: P,
     me: NodeId,
     rx: Receiver<NodeEvent<P::Msg>>,
     egress: &mut E,
     log: Arc<DeliveryLog>,
-    crashed: Arc<Vec<AtomicBool>>,
-    paused: Arc<Vec<AtomicBool>>,
+    flags: NodeFlags,
+    rebuild: Option<Rebuild<P>>,
 ) where
     P: Protocol,
     P::Msg: Clone,
     E: Egress<P::Msg>,
 {
+    let i = me.as_usize();
     let mut timers: HashMap<TimerId, Instant> = HashMap::new();
     let mut out = Outbox::new();
     let mut due: Vec<TimerId> = Vec::new();
-    node.on_start(&mut out);
+    let mut alive: Option<P> = Some(node);
+    alive
+        .as_mut()
+        .expect("node starts alive")
+        .on_start(&mut out);
     apply(me, &mut out, egress, &mut timers, &log);
 
     loop {
         // A crash flag beats everything in the queue: a crashed node must not
         // drain its backlog before going silent.
-        if crashed[me.as_usize()].load(Ordering::SeqCst) {
+        if flags.crashed[i].load(Ordering::SeqCst) {
             return;
         }
+        if flags.killed[i].load(Ordering::SeqCst) {
+            if alive.is_some() {
+                // Drop the whole state machine; the drop closes the durable
+                // store, flushing its writer. (A *graceful* close — torn
+                // tails come from the disk-fault injectors, not from Drop.)
+                alive = None;
+                timers.clear();
+                // Clear the delivery log from this thread, after the final
+                // event of the old incarnation: the restarted node re-emits
+                // its recovered prefix, so the post-restart log reads as the
+                // complete ledger from round 0.
+                log.clear(me);
+            }
+            if flags.restarts[i].swap(false, Ordering::SeqCst) {
+                if let Some(rebuild) = &rebuild {
+                    let mut node = rebuild(me);
+                    flags.killed[i].store(false, Ordering::SeqCst);
+                    node.on_start(&mut out);
+                    apply(me, &mut out, egress, &mut timers, &log);
+                    alive = Some(node);
+                }
+            }
+        }
         let now = Instant::now();
-        if paused[me.as_usize()].load(Ordering::SeqCst) {
+        let down = alive.is_none() || flags.paused[i].load(Ordering::SeqCst);
+        if down {
             // Down: timers that come due expire into the void.
             timers.retain(|_, deadline| *deadline > now);
         } else {
@@ -380,6 +475,7 @@ pub(crate) fn run_node<P, E>(
             );
             for id in due.drain(..) {
                 timers.remove(&id);
+                let node = alive.as_mut().expect("not down implies alive");
                 node.on_timer(id, &mut out);
                 apply(me, &mut out, egress, &mut timers, &log);
             }
@@ -393,10 +489,13 @@ pub(crate) fn run_node<P, E>(
             Ok(event) => {
                 // Re-check after every dequeue: a crash that lands while the
                 // thread is parked must beat the event it woke up for.
-                if crashed[me.as_usize()].load(Ordering::SeqCst) {
+                if flags.crashed[i].load(Ordering::SeqCst) {
                     return;
                 }
-                if paused[me.as_usize()].load(Ordering::SeqCst) {
+                if alive.is_none()
+                    || flags.paused[i].load(Ordering::SeqCst)
+                    || flags.killed[i].load(Ordering::SeqCst)
+                {
                     // Down: the event is lost, like a message addressed to a
                     // crashed node. Shutdown still wins.
                     if matches!(event, NodeEvent::Shutdown) {
@@ -404,6 +503,7 @@ pub(crate) fn run_node<P, E>(
                     }
                     continue;
                 }
+                let node = alive.as_mut().expect("checked above");
                 match event {
                     NodeEvent::Message { from, msg } => {
                         node.on_message(from, msg, &mut out);

@@ -220,6 +220,25 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_durable(nodes, faults, pre_verify, None)
+    }
+
+    /// Like [`TcpCluster::spawn_full`], additionally installing a rebuild
+    /// hook: after [`TcpCluster::kill`] destroys a node's protocol state,
+    /// [`TcpCluster::restart`] invokes the hook to reconstruct the node —
+    /// typically from its durable store — and re-enters it into the mesh.
+    /// The sockets are never re-dialed: the mesh is static, and what a
+    /// "kill -9" destroys is the protocol's process state, which is exactly
+    /// what the hook rebuilds.
+    pub fn spawn_durable<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<Arc<dyn PreVerify<M>>>,
+        rebuild: Option<Arc<dyn Fn(NodeId) -> P + Send + Sync>>,
+    ) -> io::Result<Self>
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let n = nodes.len();
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
@@ -345,13 +364,13 @@ where
         // when a fault plan is active).
         let start = core.log.start();
         let mut node_handles = Vec::with_capacity(n);
-        for (i, (mut node, evt_rx)) in nodes.into_iter().zip(evt_receivers).enumerate() {
+        for (i, (node, evt_rx)) in nodes.into_iter().zip(evt_receivers).enumerate() {
             let me = NodeId(i as u32);
             let writers: Vec<Option<Sender<Arc<Vec<u8>>>>> =
                 writers_flat[i * n..(i + 1) * n].to_vec();
             let log = core.log.clone();
-            let crashed = core.crashed.clone();
-            let paused = core.paused.clone();
+            let flags = core.flags();
+            let rebuild = rebuild.clone();
             let loopback = core.evt_senders[i].clone();
             match &faults {
                 None => {
@@ -361,7 +380,7 @@ where
                         loopback,
                     };
                     node_handles.push(std::thread::spawn(move || {
-                        run_node(&mut node, me, evt_rx, &mut egress, log, crashed, paused);
+                        run_node(node, me, evt_rx, &mut egress, log, flags, rebuild);
                     }));
                 }
                 Some(plan) => {
@@ -374,7 +393,7 @@ where
                         delay: delay.as_ref().expect("delay line exists").sender(),
                     };
                     node_handles.push(std::thread::spawn(move || {
-                        run_node(&mut node, me, evt_rx, &mut egress, log, crashed, paused);
+                        run_node(node, me, evt_rx, &mut egress, log, flags, rebuild);
                     }));
                 }
             }
@@ -411,6 +430,22 @@ where
     /// Resumes a paused `node`.
     pub fn resume(&self, node: NodeId) {
         self.core.resume(node);
+    }
+
+    /// Kills `node`: its protocol state machine is dropped outright —
+    /// in-memory state destroyed, durable store closed, delivery log
+    /// cleared — while its thread and sockets stay up to host a possible
+    /// restart. Harsher than [`TcpCluster::pause`], which keeps state.
+    pub fn kill(&self, node: NodeId) {
+        self.core.kill(node);
+    }
+
+    /// Restarts a killed `node` through the rebuild hook installed by
+    /// [`TcpCluster::spawn_durable`] (ignored without one): the node is
+    /// reconstructed from its durable store and rejoins the mesh on its
+    /// original sockets.
+    pub fn restart(&self, node: NodeId) {
+        self.core.restart(node);
     }
 
     /// Number of nodes in the cluster.
@@ -478,6 +513,12 @@ where
     }
     fn resume(&self, node: NodeId) {
         TcpCluster::resume(self, node);
+    }
+    fn kill(&self, node: NodeId) {
+        TcpCluster::kill(self, node);
+    }
+    fn restart(&self, node: NodeId) {
+        TcpCluster::restart(self, node);
     }
     fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
         TcpCluster::deliveries(self, node)

@@ -165,6 +165,23 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_durable(nodes, faults, pre_verify, None)
+    }
+
+    /// Like [`ThreadedCluster::spawn_full`], additionally installing a
+    /// rebuild hook: after [`ThreadedCluster::kill`] destroys a node's
+    /// protocol state, [`ThreadedCluster::restart`] invokes the hook to
+    /// reconstruct the node — typically from its durable store — and
+    /// re-enters it into the cluster on the same thread and channels.
+    pub fn spawn_durable<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<std::sync::Arc<dyn PreVerify<M>>>,
+        rebuild: Option<Arc<dyn Fn(NodeId) -> P + Send + Sync>>,
+    ) -> Self
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let (core, mut receivers) = ClusterCore::new(nodes.len());
         let mut stage_handles = Vec::new();
         if let Some(pv) = &pre_verify {
@@ -177,17 +194,17 @@ where
             .map(|_| DelayLine::new(core.evt_senders.iter().cloned().map(Some).collect()));
         let start = core.log.start();
         let mut handles = Vec::with_capacity(nodes.len());
-        for (i, (mut node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
+        for (i, (node, rx)) in nodes.into_iter().zip(receivers).enumerate() {
             let me = NodeId(i as u32);
             let log = core.log.clone();
-            let crashed = core.crashed.clone();
-            let paused = core.paused.clone();
+            let flags = core.flags();
+            let rebuild = rebuild.clone();
             let peers = core.evt_senders.clone();
             match &faults {
                 None => {
                     let mut egress = MpscEgress { me, peers };
                     handles.push(std::thread::spawn(move || {
-                        run_node(&mut node, me, rx, &mut egress, log, crashed, paused);
+                        run_node(node, me, rx, &mut egress, log, flags, rebuild);
                     }));
                 }
                 Some(plan) => {
@@ -198,7 +215,7 @@ where
                         delay: delay.as_ref().expect("delay line exists").sender(),
                     };
                     handles.push(std::thread::spawn(move || {
-                        run_node(&mut node, me, rx, &mut egress, log, crashed, paused);
+                        run_node(node, me, rx, &mut egress, log, flags, rebuild);
                     }));
                 }
             }
@@ -235,6 +252,21 @@ where
     /// Resumes a paused `node`.
     pub fn resume(&self, node: NodeId) {
         self.core.resume(node);
+    }
+
+    /// Kills `node`: its protocol state machine is dropped outright —
+    /// in-memory state destroyed, durable store closed, delivery log
+    /// cleared — while the thread and channels stay up to host a possible
+    /// restart. Harsher than [`ThreadedCluster::pause`], which keeps state.
+    pub fn kill(&self, node: NodeId) {
+        self.core.kill(node);
+    }
+
+    /// Restarts a killed `node` through the rebuild hook installed by
+    /// [`ThreadedCluster::spawn_durable`] (ignored without one): the node
+    /// is reconstructed from its durable store and rejoins the cluster.
+    pub fn restart(&self, node: NodeId) {
+        self.core.restart(node);
     }
 
     /// Number of nodes in the cluster.
@@ -291,6 +323,12 @@ where
     }
     fn resume(&self, node: NodeId) {
         ThreadedCluster::resume(self, node);
+    }
+    fn kill(&self, node: NodeId) {
+        ThreadedCluster::kill(self, node);
+    }
+    fn restart(&self, node: NodeId) {
+        ThreadedCluster::restart(self, node);
     }
     fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
         ThreadedCluster::deliveries(self, node)

@@ -15,11 +15,13 @@ use fireledger::{
 use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
 use fireledger_crypto::{CryptoPool, SharedCrypto, SimKeyStore};
 use fireledger_net::PreVerify;
+use fireledger_store::{FsyncPolicy, NodeStore, RecoveredState};
 use fireledger_types::{
     Error, NodeId, Protocol, ProtocolParams, Result, WireCodec, WireSize, WorkerId,
 };
 use std::fmt;
 use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -123,6 +125,29 @@ where
     /// fail loudly, not silently run an honest node.
     fn build_node(ctx: &BuildContext, me: NodeId, role: &NodeRole) -> Result<Self>;
 
+    /// Constructs the node `me` bound to a durable store, rebuilding its
+    /// state from whatever the store replayed. Called instead of
+    /// [`ClusterProtocol::build_node`] when the cluster was configured with
+    /// [`ClusterBuilder::with_store`] — both at first build (the store is
+    /// empty, the node starts fresh but persisting) and on a
+    /// [`fireledger_types::KillFault`] restart (the node resumes from its
+    /// recovered prefix).
+    ///
+    /// The default ignores the store and builds a volatile node, which is
+    /// correct for protocols without a persistence implementation: they run
+    /// unchanged under a store-configured cluster, they just do not survive
+    /// kills.
+    fn build_durable_node(
+        ctx: &BuildContext,
+        me: NodeId,
+        role: &NodeRole,
+        store: Arc<NodeStore>,
+        recovered: &RecoveredState,
+    ) -> Result<Self> {
+        let _ = (store, recovered);
+        Self::build_node(ctx, me, role)
+    }
+
     /// The protocol's off-loop message verification hook, if it has one.
     ///
     /// Real-time runtimes install it as a per-node pre-verify stage when
@@ -168,6 +193,31 @@ impl ClusterProtocol for ClusterNode {
             }
             NodeRole::SilentProposer => ClusterNode::Silent(SilentProposerNode::new(flo)),
         })
+    }
+
+    fn build_durable_node(
+        ctx: &BuildContext,
+        me: NodeId,
+        role: &NodeRole,
+        store: Arc<NodeStore>,
+        recovered: &RecoveredState,
+    ) -> Result<Self> {
+        // Byzantine wrappers stay volatile: their misbehaviour is process
+        // state by design, and recovering an equivocator from disk is not a
+        // scenario the paper (or any sane deployment) contemplates.
+        if role.is_byzantine() {
+            return Self::build_node(ctx, me, role);
+        }
+        let mut flo = FloNode::recover_from_disk(
+            me,
+            ctx.params.clone(),
+            ctx.crypto.clone(),
+            ctx.validity.clone(),
+            store,
+            recovered,
+        );
+        flo.set_crypto_pool(ctx.pool.clone());
+        Ok(ClusterNode::Honest(flo))
     }
 
     fn pre_verifier(ctx: &BuildContext) -> Option<Arc<dyn PreVerify<Self::Msg>>> {
@@ -271,6 +321,7 @@ pub struct ClusterBuilder<P> {
     validity: SharedValidity,
     roles: Vec<NodeRole>,
     crypto_threads: usize,
+    store: Option<(PathBuf, FsyncPolicy)>,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -291,8 +342,25 @@ where
             validity: std::sync::Arc::new(AcceptAll),
             roles: vec![NodeRole::Correct; n],
             crypto_threads: 1,
+            store: None,
             _protocol: PhantomData,
         }
+    }
+
+    /// Gives every node a durable store under `dir` (node `i` persists into
+    /// `dir/node-i`), syncing per `policy`.
+    ///
+    /// With a store configured, each node appends its committed blocks to a
+    /// segmented block log and its not-yet-committed protocol state to a
+    /// consensus WAL (see the `fireledger-store` crate), and a
+    /// [`fireledger_types::KillFault`] in the scenario's fault plan can
+    /// destroy the node's process state outright and rebuild it from disk
+    /// mid-run. Protocols without a persistence implementation accept the
+    /// configuration and simply stay volatile (see
+    /// [`ClusterProtocol::build_durable_node`]).
+    pub fn with_store(mut self, dir: impl Into<PathBuf>, policy: FsyncPolicy) -> Self {
+        self.store = Some((dir.into(), policy));
+        self
     }
 
     /// Width of the cluster's parallel crypto pipeline (default 1 =
@@ -400,6 +468,31 @@ where
             .unwrap_or_else(|| SimKeyStore::generate(self.params.n(), self.seed).shared())
     }
 
+    /// The store configuration, if [`ClusterBuilder::with_store`] set one.
+    pub fn store_config(&self) -> Option<(&Path, FsyncPolicy)> {
+        self.store
+            .as_ref()
+            .map(|(dir, policy)| (dir.as_path(), *policy))
+    }
+
+    /// The directory node `node` persists into (`dir/node-<i>`), when a
+    /// store is configured.
+    pub fn node_store_dir(&self, node: NodeId) -> Option<PathBuf> {
+        self.store
+            .as_ref()
+            .map(|(dir, _)| dir.join(format!("node-{}", node.0)))
+    }
+
+    /// The run report's `durability` value: `"none"` without a store,
+    /// `"fsync-<label>"` (e.g. `fsync-always`, `fsync-every64`, `fsync-os`)
+    /// with one.
+    pub fn durability_label(&self) -> String {
+        match &self.store {
+            None => "none".to_string(),
+            Some((_, policy)) => format!("fsync-{}", policy.label()),
+        }
+    }
+
     /// Builds the cluster: one node per index, with its assigned role.
     ///
     /// # The fault-budget invariant
@@ -439,8 +532,67 @@ where
             validity: self.validity.clone(),
         };
         (0..self.params.n())
-            .map(|i| P::build_node(&ctx, NodeId(i as u32), &self.roles[i]))
+            .map(|i| {
+                let me = NodeId(i as u32);
+                match self.node_store_dir(me) {
+                    None => P::build_node(&ctx, me, &self.roles[i]),
+                    Some(dir) => {
+                        let (store, recovered) = NodeStore::open(&dir, self.store_policy())
+                            .map_err(|e| Error::Io(format!("store open {}: {e}", dir.display())))?;
+                        P::build_durable_node(&ctx, me, &self.roles[i], Arc::new(store), &recovered)
+                    }
+                }
+            })
             .collect()
+    }
+
+    fn store_policy(&self) -> FsyncPolicy {
+        self.store
+            .as_ref()
+            .map(|(_, p)| *p)
+            .unwrap_or(FsyncPolicy::OsDefault)
+    }
+
+    /// The node-rebuild hook the runtimes install for
+    /// [`fireledger_types::KillFault`] restarts: given a node id, it reopens
+    /// the node's store (when one is configured), replays it, and constructs
+    /// the node from the recovered state. Without a store the hook builds a
+    /// fresh volatile node — a kill without a disk is total amnesia, and the
+    /// restarted node rejoins with an empty ledger.
+    ///
+    /// The hook runs on node threads (real-time runtimes) or mid-simulation,
+    /// so it cannot return an error; configuration problems were already
+    /// surfaced by the initial [`ClusterBuilder::build`], and a store that
+    /// fails to *open* on restart degrades to the amnesiac fresh build
+    /// rather than taking the thread down.
+    pub fn rebuilder(&self) -> Arc<dyn Fn(NodeId) -> P + Send + Sync> {
+        let crypto = self.crypto();
+        // Inline crypto for rebuilt nodes: correct on every runtime (the
+        // pool only affects wall-clock performance), and the simulator
+        // requires it for determinism.
+        let pool = CryptoPool::inline(crypto.clone());
+        let ctx = BuildContext {
+            params: self.params.clone(),
+            crypto,
+            pool,
+            validity: self.validity.clone(),
+        };
+        let roles = self.roles.clone();
+        let store = self.store.clone();
+        Arc::new(move |me: NodeId| {
+            let role = roles.get(me.as_usize()).cloned().unwrap_or_default();
+            let durable = store.as_ref().and_then(|(dir, policy)| {
+                let dir = dir.join(format!("node-{}", me.0));
+                NodeStore::open(&dir, *policy).ok()
+            });
+            match durable {
+                Some((store, recovered)) => {
+                    P::build_durable_node(&ctx, me, &role, Arc::new(store), &recovered)
+                }
+                None => P::build_node(&ctx, me, &role),
+            }
+            .expect("rebuilding a node that built at spawn time cannot fail")
+        })
     }
 
     /// The protocol's pre-verify hook for this cluster, when the pipeline

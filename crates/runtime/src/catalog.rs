@@ -167,6 +167,43 @@ pub fn crash_recover_last(n: usize, at: Duration, recover: Duration) -> FaultPla
     FaultPlan::named("crash-recover").crash_recover(NodeId(n as u32 - 1), at, recover)
 }
 
+/// **kill-restart** — the last node of the cluster is killed -9 at `at`:
+/// unlike the pause of [`crash_recover_last`], its protocol state is
+/// destroyed outright, and at `restart` the node is rebuilt from its
+/// durable store (configure one with
+/// [`ClusterBuilder::with_store`](crate::ClusterBuilder::with_store) — a
+/// kill without a disk is total amnesia). The restarted node re-emits its
+/// recovered ledger prefix from round 0 and resumes consensus at the round
+/// after it, while the other `n − 1` nodes never stop deciding.
+///
+/// ```
+/// use fireledger_runtime::prelude::*;
+/// use fireledger_runtime::catalog;
+/// use std::time::Duration;
+///
+/// let dir = std::env::temp_dir().join(format!("fl-kill-restart-{}", std::process::id()));
+/// std::fs::remove_dir_all(&dir).ok();
+/// let plan = catalog::kill_restart_last(4, Duration::from_millis(300), Duration::from_millis(600));
+/// let scenario = Scenario::new("kill-9")
+///     .ideal()
+///     .run_for(Duration::from_millis(1000))
+///     .with_faults(plan);
+/// let params = ProtocolParams::new(4).with_batch_size(8).with_tx_size(64);
+/// let cluster = ClusterBuilder::<FloCluster>::new(params)
+///     .with_store(&dir, FsyncPolicy::EveryN(8));
+/// let report = Simulator.run(&cluster, &scenario).unwrap();
+/// assert_eq!(report.fault_plan, "kill-restart");
+/// assert_eq!(report.durability, "fsync-every8");
+/// // The untouched nodes never stop; the killed node rebuilt its ledger
+/// // from disk (its delivery log restarts from round 0 at the restart).
+/// assert!(report.per_node[0].blocks > 0);
+/// assert!(report.per_node[3].blocks > 0, "recovery re-emitted no prefix");
+/// std::fs::remove_dir_all(&dir).ok();
+/// ```
+pub fn kill_restart_last(n: usize, at: Duration, restart: Duration) -> FaultPlan {
+    FaultPlan::named("kill-restart").kill_restart(NodeId(n as u32 - 1), at, restart)
+}
+
 /// **churn** — `node` flaps: starting at `first_down`, it repeats `cycles`
 /// rounds of `down` unreachable then `up` reachable. The rolling-restart /
 /// flaky-machine shape of adversity.
@@ -264,6 +301,10 @@ mod tests {
         assert_eq!(
             crash_recover_last(4, Duration::ZERO, Duration::from_secs(1)).name,
             "crash-recover"
+        );
+        assert_eq!(
+            kill_restart_last(4, Duration::ZERO, Duration::from_secs(1)).name,
+            "kill-restart"
         );
         assert_eq!(
             churn(

@@ -69,9 +69,10 @@ pub mod prelude {
     };
     pub use fireledger::{AcceptAll, ClusterNode, FloNode, Worker};
     pub use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
+    pub use fireledger_store::FsyncPolicy;
     pub use fireledger_types::{
-        Block, BlockHeader, ClusterConfig, Delivery, FaultPlan, FaultWindow, LinkSelector, NodeId,
-        ProtocolParams, Round, Transaction, WorkerId,
+        Block, BlockHeader, ClusterConfig, Delivery, DiskFault, FaultPlan, FaultWindow, KillFault,
+        LinkSelector, NodeId, ProtocolParams, Round, Transaction, WorkerId,
     };
 }
 

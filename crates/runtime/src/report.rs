@@ -77,6 +77,13 @@ pub struct RunReport {
     /// Name of the scenario's fault plan (`"none"` for a fault-free run).
     /// Unit: none.
     pub fault_plan: String,
+    /// Durability configuration of the run: `"none"` when the cluster ran
+    /// without a store, `"fsync-<policy>"` (`fsync-always`, `fsync-every64`,
+    /// `fsync-os`, …) when [`ClusterBuilder::with_store`] gave every node a
+    /// durable block log + WAL. Unit: none.
+    ///
+    /// [`ClusterBuilder::with_store`]: crate::ClusterBuilder::with_store
+    pub durability: String,
     /// Cluster size n. Unit: nodes (count).
     pub n: usize,
     /// FLO workers ω (1 for single-instance protocols). Unit: workers
@@ -196,7 +203,7 @@ impl RunReport {
             concat!(
                 "{{\"schema_version\":{},",
                 "\"protocol\":{},\"scenario\":{},\"runtime\":{},",
-                "\"fault_plan\":{},",
+                "\"fault_plan\":{},\"durability\":{},",
                 "\"n\":{},\"workers\":{},\"duration_secs\":{},",
                 "\"tps\":{},\"bps\":{},",
                 "\"avg_latency_secs\":{},\"p50_latency_secs\":{},",
@@ -215,6 +222,11 @@ impl RunReport {
                 "none"
             } else {
                 &self.fault_plan
+            }),
+            json_string(if self.durability.is_empty() {
+                "none"
+            } else {
+                &self.durability
             }),
             self.n,
             self.workers,
@@ -275,15 +287,21 @@ impl RunReport {
     ///   `last_delivery_secs` and `max_gap_secs` (stall/recovery metrics;
     ///   see [`NodeDeliveries`]). Pre-v3 `per_node` keys are unchanged, so
     ///   v2 consumers that ignore unknown keys parse v3 reports.
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// * **4** — durable-ledger support: adds the top-level `durability`
+    ///   key (23 → 24 keys) after `fault_plan` — `"none"` for a volatile
+    ///   run, `"fsync-<policy>"` when the cluster persisted through a
+    ///   configured store. No other key changed, so v3 consumers that
+    ///   ignore unknown keys parse v4 reports.
+    pub const SCHEMA_VERSION: u32 = 4;
 
     /// The schema as a constant.
-    pub const SCHEMA: [&'static str; 23] = [
+    pub const SCHEMA: [&'static str; 24] = [
         "schema_version",
         "protocol",
         "scenario",
         "runtime",
         "fault_plan",
+        "durability",
         "n",
         "workers",
         "duration_secs",
@@ -377,7 +395,8 @@ mod tests {
         assert!(full.contains(&"tps".to_string()));
         assert!(full.contains(&"per_node".to_string()));
         assert!(full.contains(&"fault_plan".to_string()));
-        assert_eq!(full.len(), 23);
+        assert!(full.contains(&"durability".to_string()));
+        assert_eq!(full.len(), 24);
         assert_eq!(full[0], "schema_version");
     }
 
@@ -385,14 +404,16 @@ mod tests {
     fn fault_plan_defaults_to_none_and_timeline_fields_emit() {
         let json = sample().to_json();
         assert!(json.contains("\"fault_plan\":\"none\""));
+        assert!(json.contains("\"durability\":\"none\""));
         assert!(json.contains("\"first_delivery_secs\":"));
         let named = RunReport {
             fault_plan: "partition-heal".into(),
+            durability: "fsync-every64".into(),
             ..Default::default()
         };
-        assert!(named
-            .to_json()
-            .contains("\"fault_plan\":\"partition-heal\""));
+        let json = named.to_json();
+        assert!(json.contains("\"fault_plan\":\"partition-heal\""));
+        assert!(json.contains("\"durability\":\"fsync-every64\""));
     }
 
     #[test]

@@ -23,9 +23,12 @@ use crate::report::{NodeDeliveries, RunReport};
 use crate::scenario::Scenario;
 use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
 use fireledger_sim::{Adversary, PlanAdversary, SimTime, Simulation};
-use fireledger_types::{Delivery, Error, NodeId, Result, Transaction, WireCodec, WireSize};
+use fireledger_types::{
+    Delivery, DiskFault, Error, NodeId, Result, Transaction, WireCodec, WireSize,
+};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Drives a cluster through a scenario.
@@ -145,6 +148,37 @@ pub fn check_delivery_prefixes(
     Ok(compared)
 }
 
+/// Applies an injected disk fault to a (closed) node store directory, best
+/// effort: a missing directory or empty log simply leaves nothing to
+/// corrupt, which the recovery path treats as a fresh store anyway.
+fn apply_disk_fault(dir: &Path, fault: DiskFault) {
+    match fault {
+        DiskFault::TornWrite { cut } => {
+            let _ = fireledger_store::inject::torn_write(dir, cut);
+        }
+        DiskFault::CorruptTail => {
+            let _ = fireledger_store::inject::corrupt_tail(dir);
+        }
+        DiskFault::DiskFull { after_bytes } => {
+            let _ = fireledger_store::inject::set_disk_full(dir, after_bytes);
+        }
+    }
+}
+
+/// The fault plan's kill-restart schedule as `(restart_at, node, disk_fault)`
+/// triples in time order — kills with no restart never rebuild and need no
+/// driving beyond the adversary's traffic suppression.
+fn restart_schedule(scenario: &Scenario) -> Vec<(Duration, NodeId, Option<DiskFault>)> {
+    let mut restarts: Vec<(Duration, NodeId, Option<DiskFault>)> = scenario
+        .faults
+        .iter()
+        .flat_map(|plan| &plan.kill_faults)
+        .filter_map(|kf| kf.restart_at.map(|at| (at, kf.node, kf.disk_fault)))
+        .collect();
+    restarts.sort_by_key(|(at, node, _)| (*at, node.0));
+    restarts
+}
+
 /// Per-node counters plus the delivery-timeline (stall/recovery) metrics.
 /// `times_secs[i]` holds node `i`'s delivery offsets in seconds, in
 /// delivery order; an empty slice leaves that node's timeline fields zero.
@@ -202,7 +236,37 @@ impl Runtime for Simulator {
         }
         sim.metrics_mut()
             .set_window_start(SimTime::ZERO + scenario.warmup);
-        sim.run_for(scenario.duration);
+        // Kill-restart faults segment the drive: the adversary already
+        // suppresses the killed node's traffic inside its down window, so
+        // the kill itself needs no driving — but at each restart point the
+        // node's state machine must be torn down and rebuilt from its store
+        // (total amnesia without one), which only the driver can do.
+        let restarts = restart_schedule(scenario);
+        if restarts.is_empty() {
+            sim.run_for(scenario.duration);
+        } else {
+            let rebuild = cluster.rebuilder();
+            for (at, node, fault) in restarts {
+                if at >= scenario.duration {
+                    break;
+                }
+                sim.run_until(SimTime::ZERO + at);
+                let dir = cluster.node_store_dir(node);
+                let rebuild = &rebuild;
+                sim.restart_node(node, move |old| {
+                    // Drop the old state machine first: that closes its
+                    // store, so the disk fault hits settled files and the
+                    // reopen below sees a consistent (if corrupted)
+                    // directory.
+                    drop(old);
+                    if let (Some(dir), Some(fault)) = (dir.as_deref(), fault) {
+                        apply_disk_fault(dir, fault);
+                    }
+                    rebuild(node)
+                });
+            }
+            sim.run_until(SimTime::ZERO + scenario.duration);
+        }
 
         let measured = measured_nodes(cluster, scenario);
         let summary = sim.summary_for(&measured);
@@ -222,6 +286,7 @@ impl Runtime for Simulator {
             scenario: scenario.name.clone(),
             runtime: self.name().to_string(),
             fault_plan: scenario.fault_plan_name(),
+            durability: cluster.durability_label(),
             n,
             workers: cluster.params().workers,
             duration_secs: summary.duration_secs,
@@ -249,6 +314,8 @@ enum TimelineEvent {
     Crash(NodeId),
     Pause(NodeId),
     Resume(NodeId),
+    Kill(NodeId),
+    Restart(NodeId, Option<DiskFault>),
     Inject(NodeId, Transaction),
 }
 
@@ -288,6 +355,16 @@ where
                     timeline.push((recover, TimelineEvent::Resume(nf.node)));
                 }
                 None => timeline.push((nf.crash_at, TimelineEvent::Crash(nf.node))),
+            }
+        }
+        // Kill-restart faults: the kill destroys the node's protocol state
+        // (its store closes with it); the restart optionally injects a disk
+        // fault into the settled store directory, then rebuilds the node
+        // from whatever the disk can prove.
+        for kf in &plan.kill_faults {
+            timeline.push((kf.kill_at, TimelineEvent::Kill(kf.node)));
+            if let Some(at) = kf.restart_at {
+                timeline.push((at, TimelineEvent::Restart(kf.node, kf.disk_fault)));
             }
         }
     }
@@ -349,6 +426,13 @@ where
             TimelineEvent::Crash(node) => running.crash(node),
             TimelineEvent::Pause(node) => running.pause(node),
             TimelineEvent::Resume(node) => running.resume(node),
+            TimelineEvent::Kill(node) => running.kill(node),
+            TimelineEvent::Restart(node, fault) => {
+                if let (Some(dir), Some(fault)) = (cluster.node_store_dir(node), fault) {
+                    apply_disk_fault(&dir, fault);
+                }
+                running.restart(node);
+            }
             TimelineEvent::Inject(node, tx) => {
                 submit_times.insert(tx.id(), cluster_start.elapsed().as_secs_f64());
                 running.submit(node, tx);
@@ -439,6 +523,7 @@ where
         scenario: scenario.name.clone(),
         runtime: runtime_name.to_string(),
         fault_plan: scenario.fault_plan_name(),
+        durability: cluster.durability_label(),
         n,
         workers: cluster.params().workers,
         duration_secs: window_secs,
@@ -498,7 +583,12 @@ impl Runtime for Threads {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = ThreadedCluster::spawn_full(nodes, scenario.faults.clone(), pre_verify);
+        let running = ThreadedCluster::spawn_durable(
+            nodes,
+            scenario.faults.clone(),
+            pre_verify,
+            Some(cluster.rebuilder()),
+        );
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
 }
@@ -534,8 +624,13 @@ impl Runtime for Tcp {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = TcpCluster::spawn_full(nodes, scenario.faults.clone(), pre_verify)
-            .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
+        let running = TcpCluster::spawn_durable(
+            nodes,
+            scenario.faults.clone(),
+            pre_verify,
+            Some(cluster.rebuilder()),
+        )
+        .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
 }

@@ -295,6 +295,41 @@ where
         }
     }
 
+    /// Kill-restarts `node` at the current virtual time: the old protocol
+    /// state machine is handed to `rebuild`, which must drop it (closing
+    /// its durable store, if any) and return the restarted node — typically
+    /// reconstructed from disk. The node's delivery log is cleared (a
+    /// killed process's history is whatever its disk can prove), every
+    /// pending timer of the node is invalidated through the generation
+    /// counters, and the new state machine's `on_start` runs at `now`.
+    ///
+    /// Determinism is preserved: the restart is itself a deterministic
+    /// function of the virtual time it runs at, and store I/O never feeds
+    /// back into event timing.
+    pub fn restart_node(&mut self, id: NodeId, rebuild: impl FnOnce(P) -> P) {
+        let i = id.as_usize();
+        // Invalidate the old node's pending timers: bump every generation
+        // counter so in-flight timer events arrive stale and are skipped.
+        for ((node, _), generation) in self.timers.iter_mut() {
+            if *node == id {
+                *generation += 1;
+            }
+        }
+        self.deliveries[i].clear();
+        self.delivery_times[i].clear();
+        // Replace the state machine in place. `rebuild` receives the old
+        // value by move so it can drop it *before* reopening the store
+        // directory (the swap-remove / push / swap dance moves it out of
+        // the vector without needing a placeholder value).
+        let old = self.nodes.swap_remove(i);
+        self.nodes.push(rebuild(old));
+        let last = self.nodes.len() - 1;
+        self.nodes.swap(i, last);
+        let mut out = Outbox::new();
+        self.nodes[i].on_start(&mut out);
+        self.apply_actions(id, self.now, out);
+    }
+
     fn push_event(&mut self, time: SimTime, node: NodeId, kind: EventKind<P::Msg>) {
         self.seq += 1;
         self.queue.push(Reverse(Event {

@@ -1,0 +1,97 @@
+//! Disk-fault injection against a node's store directory.
+//!
+//! These helpers damage the **files** of a closed store the way real crashes
+//! and media faults do, so the replay path is exercised under adversity:
+//!
+//! * [`torn_write`] — a write that made it only partway to the platter: the
+//!   active log loses its last `cut` bytes;
+//! * [`corrupt_tail`] — silent media corruption: one bit of the active
+//!   log's final record is flipped (framing stays plausible, the CRC does
+//!   not);
+//! * [`set_disk_full`] — an exhausted volume: a budget file the next
+//!   [`crate::NodeStore::open`] honors, failing appends past the byte
+//!   budget while reads keep working.
+//!
+//! All three operate on the block log's active file (`blocks-*.log`); they
+//! are meant to run between a kill and a restart, never against an open
+//! store.
+
+use crate::StoreError;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+
+/// Name of the disk-full budget control file inside a store directory.
+pub const DISK_FULL_FILE: &str = "disk.full";
+
+/// The active (unsealed) block-log file of the store under `dir`, if one
+/// exists.
+fn active_block_log(dir: &Path) -> Result<Option<PathBuf>, StoreError> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut actives: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("blocks-") && n.ends_with(".log"))
+        })
+        .collect();
+    actives.sort();
+    Ok(actives.pop())
+}
+
+/// Truncates the store's active block log by `cut` bytes (clamped to the
+/// file size), simulating a torn write at that offset from the end. Returns
+/// the number of bytes actually removed.
+pub fn torn_write(dir: &Path, cut: u64) -> Result<u64, StoreError> {
+    let Some(path) = active_block_log(dir)? else {
+        return Ok(0);
+    };
+    let len = std::fs::metadata(&path)?.len();
+    let cut = cut.min(len);
+    let file = OpenOptions::new().write(true).open(&path)?;
+    file.set_len(len - cut)?;
+    file.sync_data()?;
+    Ok(cut)
+}
+
+/// Flips one bit in the last byte of the store's active block log,
+/// corrupting the tail record in place (length and magic stay intact, the
+/// checksum no longer matches). Returns `false` when the log is empty.
+pub fn corrupt_tail(dir: &Path) -> Result<bool, StoreError> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let Some(path) = active_block_log(dir)? else {
+        return Ok(false);
+    };
+    let mut file = OpenOptions::new().read(true).write(true).open(&path)?;
+    let len = file.metadata()?.len();
+    if len == 0 {
+        return Ok(false);
+    }
+    file.seek(SeekFrom::End(-1))?;
+    let mut byte = [0u8; 1];
+    file.read_exact(&mut byte)?;
+    byte[0] ^= 0x01;
+    file.seek(SeekFrom::End(-1))?;
+    file.write_all(&byte)?;
+    file.sync_data()?;
+    Ok(true)
+}
+
+/// Arms a disk-full fault: the next [`crate::NodeStore::open`] on `dir`
+/// fails appends once `after_bytes` of payload have been written in that
+/// session, while replay and reads keep working.
+pub fn set_disk_full(dir: &Path, after_bytes: u64) -> Result<(), StoreError> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join(DISK_FULL_FILE), after_bytes.to_string())?;
+    Ok(())
+}
+
+/// Reads (without clearing) an armed disk-full budget.
+pub fn disk_full_budget(dir: &Path) -> Option<u64> {
+    std::fs::read_to_string(dir.join(DISK_FULL_FILE))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+}

@@ -1,0 +1,432 @@
+//! # fireledger-store — the durable ledger of a FireLedger node
+//!
+//! Everything a node must not lose across a `kill -9` lives here, in one
+//! directory per node:
+//!
+//! ```text
+//! <dir>/
+//!   blocks-000000.seg   sealed block-log segments (records + index footer)
+//!   blocks-000001.log   active block-log segment (append-only)
+//!   wal-000000.log      consensus write-ahead log (single active file)
+//!   disk.full           (only under fault injection: byte budget)
+//! ```
+//!
+//! The **block log** persists the node's committed ledger — FireLedger's
+//! definite, BBFC(f+1)-final delivery stream, which is immutable by
+//! protocol guarantee and therefore safe to append forever. The **WAL**
+//! persists the small not-yet-committed protocol state (current round,
+//! votes cast, locked headers) that a restarted node needs so it cannot
+//! contradict its pre-crash self. Both are sequences of CRC-checksummed,
+//! length-prefixed records (layout pinned in docs/WIRE_FORMAT.md §9);
+//! replay truncates a torn or corrupt tail back to the last valid record
+//! instead of failing, so a crash mid-write costs at most the torn record.
+//!
+//! Durability is a policy knob, [`FsyncPolicy`]:
+//!
+//! * [`FsyncPolicy::Always`] — synchronous append + `fdatasync` per record
+//!   on the caller's thread: every acknowledged record survives power loss;
+//! * [`FsyncPolicy::EveryN`] — appends are handed to a background writer
+//!   thread which syncs every N records: a crash window of < N records;
+//! * [`FsyncPolicy::OsDefault`] — background writer, no explicit sync: the
+//!   OS page cache decides (survives process death, not power loss).
+//!
+//! The crate is deliberately payload-agnostic — records are `(kind, bytes)`
+//! pairs — and depends on nothing but the standard library; the encodings
+//! of block and WAL payloads live in `fireledger-types`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod crc32;
+pub mod inject;
+pub mod log;
+pub mod record;
+
+pub use crc32::{crc32, Crc32};
+pub use log::{SegmentedLog, DEFAULT_RECORDS_PER_SEGMENT};
+pub use record::{
+    decode_footer, encode_footer, encode_record, scan_records, Record, FOOTER_MAGIC, RECORD_MAGIC,
+};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// When appended records are forced to the platter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every record, on the appending thread. Strongest
+    /// durability, paid for in append latency.
+    Always,
+    /// Appends run on a background writer thread that syncs once every N
+    /// records; a crash can lose at most the last N−1 acknowledged records.
+    EveryN(u32),
+    /// Background writer, no explicit sync — the OS flushes its page cache
+    /// on its own schedule. Survives a killed process, not a power cut.
+    OsDefault,
+}
+
+impl FsyncPolicy {
+    /// A short stable label (`always` / `every64` / `os`), used by bench
+    /// rows and the run report.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::Always => "always".to_string(),
+            FsyncPolicy::EveryN(n) => format!("every{n}"),
+            FsyncPolicy::OsDefault => "os".to_string(),
+        }
+    }
+}
+
+/// Errors surfaced by the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The injected disk-full budget is exhausted.
+    DiskFull,
+    /// The store failed earlier (I/O error or disk-full) and now rejects
+    /// writes; reads remain valid.
+    Failed,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::DiskFull => write!(f, "store disk-full budget exhausted"),
+            StoreError::Failed => write!(f, "store is failed; writes rejected"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Record kind used for committed blocks in the block log.
+pub const REC_BLOCK: u8 = 0x01;
+
+/// Everything replayed from disk when a store is opened.
+#[derive(Debug, Default)]
+pub struct RecoveredState {
+    /// Block-log records in append order: the node's persisted ledger.
+    pub blocks: Vec<Record>,
+    /// WAL records in append order: the pre-crash protocol state.
+    pub wal: Vec<Record>,
+}
+
+/// The two logs of one node.
+struct Logs {
+    blocks: SegmentedLog,
+    wal: SegmentedLog,
+}
+
+impl Logs {
+    fn sync(&mut self) {
+        let _ = self.blocks.sync();
+        let _ = self.wal.sync();
+    }
+}
+
+/// Commands accepted by the background writer.
+enum Cmd {
+    Block(u8, Vec<u8>),
+    Wal(u8, Vec<u8>),
+    Flush(SyncSender<()>),
+}
+
+enum Mode {
+    /// [`FsyncPolicy::Always`]: appends run (and sync) on the caller.
+    Sync(Box<Mutex<Logs>>),
+    /// Buffered policies: appends are queued to a writer thread — the
+    /// persistence pipeline stage that keeps disk I/O off the consensus
+    /// hot path.
+    Async {
+        tx: Mutex<Option<Sender<Cmd>>>,
+        handle: Option<JoinHandle<()>>,
+    },
+}
+
+/// One node's durable storage: block log + WAL behind an [`FsyncPolicy`].
+///
+/// Dropping the store flushes and joins the writer thread, so a *graceful*
+/// teardown persists everything queued; only a hard kill (or an injected
+/// fault) exercises the torn-tail replay path.
+pub struct NodeStore {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    failed: Arc<AtomicBool>,
+    mode: Mode,
+}
+
+impl NodeStore {
+    /// Opens (or creates) the store under `dir`, replaying all existing
+    /// records. Torn or corrupt tails are truncated to the last valid
+    /// record. An armed disk-full budget ([`inject::set_disk_full`]) is
+    /// honored for the new session.
+    pub fn open(dir: &Path, policy: FsyncPolicy) -> Result<(Self, RecoveredState), StoreError> {
+        let budget = inject::disk_full_budget(dir);
+        let (blocks, block_records) =
+            SegmentedLog::open(dir, "blocks", DEFAULT_RECORDS_PER_SEGMENT, policy, budget)?;
+        let (wal, wal_records) = SegmentedLog::open(dir, "wal", u32::MAX, policy, budget)?;
+        let recovered = RecoveredState {
+            blocks: block_records,
+            wal: wal_records,
+        };
+        let failed = Arc::new(AtomicBool::new(false));
+        let logs = Logs { blocks, wal };
+        let mode = match policy {
+            FsyncPolicy::Always => Mode::Sync(Box::new(Mutex::new(logs))),
+            FsyncPolicy::EveryN(_) | FsyncPolicy::OsDefault => {
+                let (tx, rx) = mpsc::channel();
+                let flag = failed.clone();
+                let handle = std::thread::Builder::new()
+                    .name("fireledger-store".into())
+                    .spawn(move || writer_loop(logs, rx, flag))
+                    .map_err(StoreError::Io)?;
+                Mode::Async {
+                    tx: Mutex::new(Some(tx)),
+                    handle: Some(handle),
+                }
+            }
+        };
+        Ok((
+            NodeStore {
+                dir: dir.to_path_buf(),
+                policy,
+                failed,
+                mode,
+            },
+            recovered,
+        ))
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The fsync policy the store was opened with.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// True once an append has failed; the store keeps rejecting writes but
+    /// everything persisted so far stays replayable.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+
+    /// Appends a committed-block record to the block log.
+    pub fn append_block(&self, payload: Vec<u8>) -> Result<(), StoreError> {
+        self.append(Cmd::Block(REC_BLOCK, payload))
+    }
+
+    /// Appends a protocol-state record to the WAL.
+    pub fn append_wal(&self, kind: u8, payload: Vec<u8>) -> Result<(), StoreError> {
+        self.append(Cmd::Wal(kind, payload))
+    }
+
+    fn append(&self, cmd: Cmd) -> Result<(), StoreError> {
+        if self.is_failed() {
+            return Err(StoreError::Failed);
+        }
+        match &self.mode {
+            Mode::Sync(logs) => {
+                let mut logs = logs.lock().expect("store lock");
+                let r = match cmd {
+                    Cmd::Block(kind, payload) => logs.blocks.append(kind, &payload),
+                    Cmd::Wal(kind, payload) => logs.wal.append(kind, &payload),
+                    Cmd::Flush(ack) => {
+                        logs.sync();
+                        let _ = ack.send(());
+                        Ok(())
+                    }
+                };
+                if r.is_err() {
+                    self.failed.store(true, Ordering::Release);
+                }
+                r
+            }
+            Mode::Async { tx, .. } => {
+                let tx = tx.lock().expect("store sender lock");
+                match tx.as_ref() {
+                    Some(tx) if tx.send(cmd).is_ok() => Ok(()),
+                    _ => {
+                        self.failed.store(true, Ordering::Release);
+                        Err(StoreError::Failed)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the writer queue and forces everything to disk. A barrier for
+    /// tests and graceful shutdown; the `Always` policy makes it a no-op
+    /// beyond a sync.
+    pub fn flush(&self) {
+        let (ack_tx, ack_rx): (SyncSender<()>, Receiver<()>) = sync_channel(1);
+        if self.append(Cmd::Flush(ack_tx)).is_ok() {
+            if let Mode::Async { .. } = self.mode {
+                let _ = ack_rx.recv();
+            }
+        }
+    }
+}
+
+impl Drop for NodeStore {
+    fn drop(&mut self) {
+        match &mut self.mode {
+            Mode::Async { tx, handle } => {
+                // Hang up the channel; the writer drains, syncs and exits.
+                if let Ok(tx) = tx.get_mut() {
+                    tx.take();
+                }
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            Mode::Sync(logs) => {
+                if let Ok(logs) = logs.get_mut() {
+                    logs.sync();
+                }
+            }
+        }
+    }
+}
+
+/// The background persister: applies queued appends, honoring the log's
+/// own fsync cadence. After the first failure the failed flag is raised and
+/// subsequent appends are discarded (the queue keeps draining so producers
+/// never block on a dead disk).
+fn writer_loop(mut logs: Logs, rx: Receiver<Cmd>, failed: Arc<AtomicBool>) {
+    while let Ok(cmd) = rx.recv() {
+        let r = match cmd {
+            Cmd::Block(kind, payload) => logs.blocks.append(kind, &payload),
+            Cmd::Wal(kind, payload) => logs.wal.append(kind, &payload),
+            Cmd::Flush(ack) => {
+                logs.sync();
+                let _ = ack.send(());
+                Ok(())
+            }
+        };
+        if r.is_err() {
+            failed.store(true, Ordering::Release);
+        }
+    }
+    logs.sync();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "fireledger-nodestore-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn blocks_and_wal_roundtrip_across_policies() {
+        for policy in [
+            FsyncPolicy::Always,
+            FsyncPolicy::EveryN(4),
+            FsyncPolicy::OsDefault,
+        ] {
+            let dir = tempdir(&format!("rt-{}", policy.label()));
+            let (store, recovered) = NodeStore::open(&dir, policy).unwrap();
+            assert!(recovered.blocks.is_empty() && recovered.wal.is_empty());
+            for i in 0..10u8 {
+                store.append_block(vec![i; 16]).unwrap();
+                store.append_wal(0x10, vec![i]).unwrap();
+            }
+            drop(store); // graceful: flushes the writer queue
+            let (_, recovered) = NodeStore::open(&dir, policy).unwrap();
+            assert_eq!(recovered.blocks.len(), 10, "policy {policy:?}");
+            assert_eq!(recovered.wal.len(), 10, "policy {policy:?}");
+            assert_eq!(recovered.blocks[3], (REC_BLOCK, vec![3; 16]));
+            assert_eq!(recovered.wal[7], (0x10, vec![7]));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn torn_write_injection_recovers_to_last_valid_record() {
+        let dir = tempdir("torn");
+        let (store, _) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        for i in 0..5u8 {
+            store.append_block(vec![i; 32]).unwrap();
+        }
+        drop(store);
+        assert!(inject::torn_write(&dir, 10).unwrap() > 0);
+        let (_, recovered) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.blocks.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_tail_injection_recovers_to_last_valid_record() {
+        let dir = tempdir("corrupt");
+        let (store, _) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        for i in 0..5u8 {
+            store.append_block(vec![i; 32]).unwrap();
+        }
+        drop(store);
+        assert!(inject::corrupt_tail(&dir).unwrap());
+        let (store, recovered) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.blocks.len(), 4);
+        // The store stays appendable after tail truncation.
+        store.append_block(vec![9; 32]).unwrap();
+        drop(store);
+        let (_, again) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(again.blocks.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_fault_fails_appends_and_preserves_prefix() {
+        let dir = tempdir("full");
+        let (store, _) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        store.append_block(vec![1; 64]).unwrap();
+        drop(store);
+        inject::set_disk_full(&dir, 100).unwrap();
+        let (store, recovered) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(recovered.blocks.len(), 1);
+        store.append_block(vec![2; 64]).unwrap();
+        assert!(store.append_block(vec![3; 64]).is_err());
+        assert!(store.is_failed());
+        drop(store);
+        let (_, again) = NodeStore::open(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(again.blocks.len(), 2, "persisted prefix must survive");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn async_failure_is_reported_on_later_appends() {
+        let dir = tempdir("async-full");
+        inject::set_disk_full(&dir, 40).unwrap();
+        let (store, _) = NodeStore::open(&dir, FsyncPolicy::EveryN(2)).unwrap();
+        store.append_block(vec![1; 64]).unwrap(); // queued; fails in the writer
+        store.flush();
+        assert!(store.is_failed());
+        assert!(matches!(
+            store.append_block(vec![2; 8]).unwrap_err(),
+            StoreError::Failed
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,209 @@
+//! The on-disk record and segment-footer framing.
+//!
+//! Both the block log and the WAL are sequences of one fixed-layout record
+//! type (docs/WIRE_FORMAT.md §9). All integers are big-endian:
+//!
+//! ```text
+//! record  :=  magic "FLSR" (4)  kind u8  len u32  crc u32  payload len×u8
+//! ```
+//!
+//! `crc` is the CRC-32 (see [`crate::crc32()`]) over `kind ‖ len ‖ payload` —
+//! the checksum covers the length field, so a corrupted length can never
+//! cause a bogus oversized read to be accepted. `magic` is deliberately
+//! outside the checksum: it is the resynchronization sentinel a scanner
+//! checks first.
+//!
+//! A **sealed** segment additionally carries a footer after its last record:
+//!
+//! ```text
+//! footer  :=  offsets count×u64  count u32  crc u32  magic "FLSF" (4)
+//! ```
+//!
+//! The footer is written back-to-front so it can be located from the end of
+//! the file without scanning: the last 12 bytes hold `count`, `crc` and the
+//! footer magic, and `count × 8` bytes of record offsets precede them. `crc`
+//! covers `offsets ‖ count`. A segment whose footer fails validation is
+//! replayed by scanning its records instead — the footer is an index, never
+//! the source of truth.
+
+use crate::crc32::{crc32, Crc32};
+
+/// Magic prefix of every record.
+pub const RECORD_MAGIC: [u8; 4] = *b"FLSR";
+/// Magic suffix of a sealed segment's footer.
+pub const FOOTER_MAGIC: [u8; 4] = *b"FLSF";
+/// Bytes of record framing before the payload: magic + kind + len + crc.
+pub const RECORD_HEADER_LEN: usize = 13;
+/// Fixed bytes of a footer after the offset table: count + crc + magic.
+pub const FOOTER_FIXED_LEN: usize = 12;
+
+/// Upper bound on a single record payload (16 MiB). A length above this is
+/// treated as tail corruption rather than attempted as an allocation.
+pub const MAX_PAYLOAD_LEN: u32 = 16 * 1024 * 1024;
+
+/// Encodes one record: framing header followed by the payload.
+pub fn encode_record(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let len = payload.len() as u32;
+    let mut crc = Crc32::new();
+    crc.update(&[kind]);
+    crc.update(&len.to_be_bytes());
+    crc.update(payload);
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    out.extend_from_slice(&RECORD_MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(&crc.finish().to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// One decoded record: its kind byte and payload.
+pub type Record = (u8, Vec<u8>);
+
+/// Scans `bytes` front to back, returning every valid record and the byte
+/// length of the valid prefix. Scanning stops at the first violation —
+/// wrong magic, implausible length, truncated payload or CRC mismatch —
+/// which is exactly the crash-consistent replay rule: a torn or corrupt
+/// tail is cut back to the last intact record instead of failing the open.
+pub fn scan_records(bytes: &[u8]) -> (Vec<Record>, usize) {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < RECORD_HEADER_LEN {
+            break;
+        }
+        if rest[..4] != RECORD_MAGIC {
+            break;
+        }
+        let kind = rest[4];
+        let len = u32::from_be_bytes([rest[5], rest[6], rest[7], rest[8]]);
+        if len > MAX_PAYLOAD_LEN || (len as usize) > rest.len() - RECORD_HEADER_LEN {
+            break;
+        }
+        let stored_crc = u32::from_be_bytes([rest[9], rest[10], rest[11], rest[12]]);
+        let payload = &rest[RECORD_HEADER_LEN..RECORD_HEADER_LEN + len as usize];
+        let mut crc = Crc32::new();
+        crc.update(&[kind]);
+        crc.update(&len.to_be_bytes());
+        crc.update(payload);
+        if crc.finish() != stored_crc {
+            break;
+        }
+        records.push((kind, payload.to_vec()));
+        pos += RECORD_HEADER_LEN + len as usize;
+    }
+    (records, pos)
+}
+
+/// Encodes a sealed segment's footer for records starting at `offsets`
+/// (absolute byte offsets within the segment file, in record order).
+pub fn encode_footer(offsets: &[u64]) -> Vec<u8> {
+    let count = offsets.len() as u32;
+    let mut out = Vec::with_capacity(offsets.len() * 8 + FOOTER_FIXED_LEN);
+    for off in offsets {
+        out.extend_from_slice(&off.to_be_bytes());
+    }
+    let mut crc = Crc32::new();
+    crc.update(&out);
+    crc.update(&count.to_be_bytes());
+    let crc = crc.finish();
+    out.extend_from_slice(&count.to_be_bytes());
+    out.extend_from_slice(&crc.to_be_bytes());
+    out.extend_from_slice(&FOOTER_MAGIC);
+    out
+}
+
+/// Validates and strips the footer of a sealed segment, returning the record
+/// offsets and the byte length of the record region. `None` means the footer
+/// is absent or corrupt and the caller should fall back to scanning.
+pub fn decode_footer(bytes: &[u8]) -> Option<(Vec<u64>, usize)> {
+    if bytes.len() < FOOTER_FIXED_LEN {
+        return None;
+    }
+    let fixed = &bytes[bytes.len() - FOOTER_FIXED_LEN..];
+    if fixed[8..12] != FOOTER_MAGIC {
+        return None;
+    }
+    let count = u32::from_be_bytes([fixed[0], fixed[1], fixed[2], fixed[3]]) as usize;
+    let stored_crc = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+    let table_len = count.checked_mul(8)?;
+    let footer_len = table_len.checked_add(FOOTER_FIXED_LEN)?;
+    if footer_len > bytes.len() {
+        return None;
+    }
+    let table_start = bytes.len() - footer_len;
+    let table = &bytes[table_start..table_start + table_len];
+    if crc32(&bytes[table_start..bytes.len() - 8]) != stored_crc {
+        return None;
+    }
+    let offsets = table
+        .chunks_exact(8)
+        .map(|c| u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+        .collect();
+    Some((offsets, table_start))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let encoded = encode_record(0x01, b"hello");
+        let (records, valid) = scan_records(&encoded);
+        assert_eq!(records, vec![(0x01, b"hello".to_vec())]);
+        assert_eq!(valid, encoded.len());
+    }
+
+    #[test]
+    fn scan_stops_at_torn_tail_and_keeps_prefix() {
+        let mut bytes = encode_record(0x01, b"first");
+        let prefix_len = bytes.len();
+        let second = encode_record(0x02, b"second");
+        // Append only half the second record — a torn write.
+        bytes.extend_from_slice(&second[..second.len() / 2]);
+        let (records, valid) = scan_records(&bytes);
+        assert_eq!(records, vec![(0x01, b"first".to_vec())]);
+        assert_eq!(valid, prefix_len);
+    }
+
+    #[test]
+    fn scan_stops_at_crc_mismatch() {
+        let mut bytes = encode_record(0x01, b"first");
+        let mut second = encode_record(0x02, b"second");
+        *second.last_mut().unwrap() ^= 0x40; // flip one payload bit
+        let prefix_len = bytes.len();
+        bytes.extend_from_slice(&second);
+        let (records, valid) = scan_records(&bytes);
+        assert_eq!(records.len(), 1);
+        assert_eq!(valid, prefix_len);
+    }
+
+    #[test]
+    fn corrupted_length_field_is_rejected_not_overread() {
+        let mut bytes = encode_record(0x01, b"payload");
+        bytes[5] = 0xFF; // blow up the length field far past the buffer
+        let (records, valid) = scan_records(&bytes);
+        assert!(records.is_empty());
+        assert_eq!(valid, 0);
+    }
+
+    #[test]
+    fn footer_roundtrip_and_corruption() {
+        let offsets = vec![0u64, 18, 57, 200];
+        let mut seg = vec![0u8; 220]; // stand-in record region
+        seg.extend_from_slice(&encode_footer(&offsets));
+        let (decoded, region) = decode_footer(&seg).expect("valid footer");
+        assert_eq!(decoded, offsets);
+        assert_eq!(region, 220);
+
+        // Any bit flip in the footer invalidates it.
+        let mut broken = seg.clone();
+        let n = broken.len();
+        broken[n - 20] ^= 0x01;
+        assert!(decode_footer(&broken).is_none());
+        // A short file is not a footer.
+        assert!(decode_footer(&seg[..8]).is_none());
+    }
+}

@@ -216,6 +216,55 @@ impl NodeFault {
     }
 }
 
+/// A disk fault injected against a killed node's store directory between
+/// its kill and its restart — so restart-from-disk recovery is exercised
+/// against damaged media, not just the happy path. What each fault does to
+/// the files is implemented by `fireledger-store`'s `inject` module; this
+/// type is only the declarative description a [`FaultPlan`] carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// A write that only partially reached the disk: the active block-log
+    /// segment loses its last `cut` bytes.
+    TornWrite {
+        /// Bytes chopped off the end of the active segment.
+        cut: u64,
+    },
+    /// Silent media corruption: one bit of the log's tail record flips.
+    CorruptTail,
+    /// The volume fills up: appends fail after `after_bytes` more payload
+    /// bytes, while reads keep working.
+    DiskFull {
+        /// Payload bytes the post-restart session may still write.
+        after_bytes: u64,
+    },
+}
+
+/// One kill-restart node fault: at `kill_at` the node's **process state is
+/// destroyed** — threads torn down, every in-memory structure discarded —
+/// and at `restart_at` the node is rebuilt *solely from its durable store*
+/// and rejoins the cluster. Distinct from [`NodeFault`] with a recovery,
+/// which merely pauses the node and resumes it with its state intact: a
+/// `KillFault` is only survivable when the cluster was built with a store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillFault {
+    /// The node to kill.
+    pub node: NodeId,
+    /// When the process dies (offset from the start of the run).
+    pub kill_at: Duration,
+    /// When it is restarted from disk (`None` = never).
+    pub restart_at: Option<Duration>,
+    /// Damage applied to the node's store directory while it is down.
+    pub disk_fault: Option<DiskFault>,
+}
+
+impl KillFault {
+    /// True when the node is down (killed, not yet restarted) at offset
+    /// `at`.
+    pub fn down(&self, at: Duration) -> bool {
+        at >= self.kill_at && self.restart_at.is_none_or(|r| at < r)
+    }
+}
+
 /// A complete declarative fault schedule — see the module docs.
 ///
 /// Plans are built fluently:
@@ -252,6 +301,10 @@ pub struct FaultPlan {
     pub partitions: Vec<Partition>,
     /// Node crash / crash-recover faults.
     pub node_faults: Vec<NodeFault>,
+    /// Kill-restart faults: process state destroyed, node rebuilt from its
+    /// durable store (optionally with damage injected against the store
+    /// while the node is down).
+    pub kill_faults: Vec<KillFault>,
 }
 
 impl FaultPlan {
@@ -364,22 +417,77 @@ impl FaultPlan {
         self
     }
 
-    /// True when the plan injects nothing at all.
-    pub fn is_empty(&self) -> bool {
-        self.link_faults.is_empty() && self.partitions.is_empty() && self.node_faults.is_empty()
+    /// Adds a kill of `node` at `at` with no restart: the process dies and
+    /// stays dead (its store, if any, survives on disk).
+    pub fn kill(mut self, node: NodeId, at: Duration) -> Self {
+        self.kill_faults.push(KillFault {
+            node,
+            kill_at: at,
+            restart_at: None,
+            disk_fault: None,
+        });
+        self
     }
 
-    /// True when `node` is down (crashed, not yet recovered) at offset `at`.
+    /// Adds a kill of `node` at `kill_at` followed by a restart-from-disk
+    /// at `restart`: the node's process state is destroyed and rebuilt from
+    /// its durable store alone.
+    pub fn kill_restart(mut self, node: NodeId, kill_at: Duration, restart: Duration) -> Self {
+        self.kill_faults.push(KillFault {
+            node,
+            kill_at,
+            restart_at: Some(restart),
+            disk_fault: None,
+        });
+        self
+    }
+
+    /// Like [`FaultPlan::kill_restart`], additionally damaging the node's
+    /// store directory with `disk` while the node is down — replay must
+    /// then recover the longest valid prefix.
+    pub fn kill_restart_injecting(
+        mut self,
+        node: NodeId,
+        kill_at: Duration,
+        restart: Duration,
+        disk: DiskFault,
+    ) -> Self {
+        self.kill_faults.push(KillFault {
+            node,
+            kill_at,
+            restart_at: Some(restart),
+            disk_fault: Some(disk),
+        });
+        self
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.link_faults.is_empty()
+            && self.partitions.is_empty()
+            && self.node_faults.is_empty()
+            && self.kill_faults.is_empty()
+    }
+
+    /// True when `node` is down (crashed or killed, not yet recovered or
+    /// restarted) at offset `at`. Kill windows count as downtime exactly
+    /// like crash windows, so every runtime's traffic suppression and the
+    /// simulator's event suppression cover them for free.
     pub fn node_down(&self, node: NodeId, at: Duration) -> bool {
         self.node_faults
             .iter()
             .any(|f| f.node == node && f.down(at))
+            || self
+                .kill_faults
+                .iter()
+                .any(|f| f.node == node && f.down(at))
     }
 
-    /// The nodes with any node fault (crashed at any point, even if they
-    /// recover) — the set run reports exclude from rate averages.
+    /// The nodes with any node fault (crashed or killed at any point, even
+    /// if they recover) — the set run reports exclude from rate averages.
     pub fn faulted_nodes(&self) -> Vec<NodeId> {
         let mut nodes: Vec<NodeId> = self.node_faults.iter().map(|f| f.node).collect();
+        nodes.extend(self.kill_faults.iter().map(|f| f.node));
         nodes.sort_by_key(|n| n.0);
         nodes.dedup();
         nodes
@@ -427,6 +535,9 @@ impl FaultPlan {
         }
         for nf in &self.node_faults {
             last = last.max(nf.recover_at.unwrap_or(nf.crash_at));
+        }
+        for kf in &self.kill_faults {
+            last = last.max(kf.restart_at.unwrap_or(kf.kill_at));
         }
         last
     }

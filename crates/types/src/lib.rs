@@ -22,6 +22,7 @@ pub mod config;
 pub mod error;
 pub mod faults;
 pub mod ids;
+pub mod persist;
 pub mod rng;
 pub mod runtime;
 pub mod transaction;
@@ -35,10 +36,11 @@ pub use codec::{CodecError, FrameHeader, Reader, WireCodec, MAX_FRAME_LEN, WIRE_
 pub use config::{ClusterConfig, ProtocolParams};
 pub use error::{Error, Result};
 pub use faults::{
-    FaultPlan, FaultWindow, LinkDecision, LinkFault, LinkFaultEngine, LinkFaultKind, LinkSelector,
-    NodeFault, Partition,
+    DiskFault, FaultPlan, FaultWindow, KillFault, LinkDecision, LinkFault, LinkFaultEngine,
+    LinkFaultKind, LinkSelector, NodeFault, Partition,
 };
 pub use ids::{NodeId, Round, WorkerId};
+pub use persist::{StoredBlock, WalRecord, WAL_LOCKED, WAL_ROUND, WAL_VOTE};
 pub use rng::DetRng;
 pub use runtime::{Action, Delivery, Observation, Outbox, Protocol, TimerId};
 pub use transaction::Transaction;

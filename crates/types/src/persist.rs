@@ -1,0 +1,275 @@
+//! Payload encodings for the durable store (`fireledger-store`).
+//!
+//! The store frames everything as `(kind u8, payload bytes)` records
+//! (docs/WIRE_FORMAT.md §9); this module defines what goes *inside* those
+//! payloads, reusing the [`crate::codec::WireCodec`] rules so the on-disk
+//! encoding shares the wire format's canonicality guarantees: fixed-width
+//! big-endian integers, `u32`-counted sequences, no varints.
+//!
+//! Two payload families exist:
+//!
+//! * [`StoredBlock`] — one definite (BBFC-final) block of one worker ledger,
+//!   written to the **block log** with kind `0x01`
+//!   (`fireledger-store::REC_BLOCK`). The block log is the node's committed
+//!   chain; replaying it rebuilds every worker's definite prefix.
+//! * [`WalRecord`] — not-yet-committed protocol state written to the
+//!   **consensus WAL**: the active round ([`WalRecord::Round`], kind
+//!   [`WAL_ROUND`]), a cast vote ([`WalRecord::Vote`], kind [`WAL_VOTE`]),
+//!   and a locked header hash ([`WalRecord::Locked`], kind [`WAL_LOCKED`]).
+//!   Votes are persisted **before** they are broadcast, so a restarted node
+//!   can never equivocate against its pre-kill self: replaying the WAL
+//!   restores every vote it already sent.
+//!
+//! The record `kind` byte lives in the store's framing, not in the payload —
+//! so [`WalRecord`] encodes only its fields and is decoded *given* the kind.
+
+use crate::block::{Hash, SignedHeader};
+use crate::codec::{CodecError, Reader, WireCodec};
+use crate::ids::{NodeId, Round, WorkerId};
+use crate::transaction::Transaction;
+
+/// Store record kind of a WAL round entry (WIRE_FORMAT.md §9.3).
+pub const WAL_ROUND: u8 = 0x10;
+/// Store record kind of a WAL vote entry (WIRE_FORMAT.md §9.3).
+pub const WAL_VOTE: u8 = 0x11;
+/// Store record kind of a WAL locked-value entry (WIRE_FORMAT.md §9.3).
+pub const WAL_LOCKED: u8 = 0x12;
+
+/// One definite block as persisted to the block log (WIRE_FORMAT.md §9.2):
+/// the worker ledger it extends, the signed header exactly as agreed, and
+/// the transaction body. Everything a recovering node needs to rebuild its
+/// chain entry — including re-verifying the proposer's signature over the
+/// header's canonical bytes, since the header encoding *is* the signing
+/// pre-image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredBlock {
+    /// The worker ledger this block belongs to.
+    pub worker: WorkerId,
+    /// The proposer-signed header, byte-identical to the wire form.
+    pub signed_header: SignedHeader,
+    /// The block body.
+    pub txs: Vec<Transaction>,
+}
+
+impl WireCodec for StoredBlock {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        self.worker.encode_to(out);
+        self.signed_header.encode_to(out);
+        self.txs.encode_to(out);
+    }
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(StoredBlock {
+            worker: WorkerId::decode_from(r)?,
+            signed_header: SignedHeader::decode_from(r)?,
+            txs: Vec::<Transaction>::decode_from(r)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        self.worker.encoded_len() + self.signed_header.encoded_len() + self.txs.encoded_len()
+    }
+}
+
+/// One consensus-WAL entry (WIRE_FORMAT.md §9.3). The variant is carried by
+/// the store record's `kind` byte ([`WAL_ROUND`] / [`WAL_VOTE`] /
+/// [`WAL_LOCKED`]), so the payload encodes only the fields.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A worker entered `round` with `proposer` as its candidate.
+    Round {
+        /// The worker ledger.
+        worker: WorkerId,
+        /// The round entered.
+        round: Round,
+        /// The round's candidate proposer.
+        proposer: NodeId,
+    },
+    /// A worker cast `vote` on `proposer`'s block in `round`. Written (and
+    /// on [`crate::faults::DiskFault`]-free stores, synced per the fsync
+    /// policy) before the vote is broadcast.
+    Vote {
+        /// The worker ledger.
+        worker: WorkerId,
+        /// The round voted in.
+        round: Round,
+        /// The proposer voted on.
+        proposer: NodeId,
+        /// The vote value.
+        vote: bool,
+    },
+    /// A worker locked `header_hash` by voting *true* on it in `round` — the
+    /// header the node must keep preferring after a restart.
+    Locked {
+        /// The worker ledger.
+        worker: WorkerId,
+        /// The round the lock was taken in.
+        round: Round,
+        /// Hash of the locked header.
+        header_hash: Hash,
+    },
+}
+
+impl WalRecord {
+    /// The store record kind this entry is framed with.
+    pub fn kind(&self) -> u8 {
+        match self {
+            WalRecord::Round { .. } => WAL_ROUND,
+            WalRecord::Vote { .. } => WAL_VOTE,
+            WalRecord::Locked { .. } => WAL_LOCKED,
+        }
+    }
+
+    /// This entry's payload bytes (the kind byte is *not* included — it
+    /// lives in the store's record framing).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::Round {
+                worker,
+                round,
+                proposer,
+            } => {
+                worker.encode_to(&mut out);
+                round.encode_to(&mut out);
+                proposer.encode_to(&mut out);
+            }
+            WalRecord::Vote {
+                worker,
+                round,
+                proposer,
+                vote,
+            } => {
+                worker.encode_to(&mut out);
+                round.encode_to(&mut out);
+                proposer.encode_to(&mut out);
+                vote.encode_to(&mut out);
+            }
+            WalRecord::Locked {
+                worker,
+                round,
+                header_hash,
+            } => {
+                worker.encode_to(&mut out);
+                round.encode_to(&mut out);
+                header_hash.encode_to(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decodes one WAL entry from a store record's `(kind, payload)` pair.
+    /// An unknown kind is a [`CodecError::BadTag`] — replay treats it as
+    /// corruption.
+    pub fn decode_record(kind: u8, payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(payload);
+        let entry = match kind {
+            WAL_ROUND => WalRecord::Round {
+                worker: WorkerId::decode_from(&mut r)?,
+                round: Round::decode_from(&mut r)?,
+                proposer: NodeId::decode_from(&mut r)?,
+            },
+            WAL_VOTE => WalRecord::Vote {
+                worker: WorkerId::decode_from(&mut r)?,
+                round: Round::decode_from(&mut r)?,
+                proposer: NodeId::decode_from(&mut r)?,
+                vote: bool::decode_from(&mut r)?,
+            },
+            WAL_LOCKED => WalRecord::Locked {
+                worker: WorkerId::decode_from(&mut r)?,
+                round: Round::decode_from(&mut r)?,
+                header_hash: Hash::decode_from(&mut r)?,
+            },
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "WalRecord",
+                    tag,
+                })
+            }
+        };
+        if !r.is_empty() {
+            return Err(CodecError::Trailing {
+                remaining: r.remaining(),
+            });
+        }
+        Ok(entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockHeader, Signature, GENESIS_HASH};
+    use crate::bytes::Bytes;
+
+    fn sample_header() -> SignedHeader {
+        let header = BlockHeader::new(
+            Round(3),
+            WorkerId(1),
+            NodeId(2),
+            GENESIS_HASH,
+            Hash([0x11; 32]),
+            2,
+            7,
+        );
+        SignedHeader::new(header, Signature(Bytes::copy_from_slice(b"sig")))
+    }
+
+    #[test]
+    fn stored_block_roundtrips() {
+        let block = StoredBlock {
+            worker: WorkerId(1),
+            signed_header: sample_header(),
+            txs: vec![
+                Transaction::new(9, 0, Bytes::copy_from_slice(b"tx-a")),
+                Transaction::new(9, 1, Bytes::copy_from_slice(b"tx-b")),
+            ],
+        };
+        let bytes = block.encode();
+        assert_eq!(bytes.len(), block.encoded_len());
+        assert_eq!(StoredBlock::decode(&bytes).unwrap(), block);
+    }
+
+    #[test]
+    fn wal_records_roundtrip_via_kind_and_payload() {
+        let entries = [
+            WalRecord::Round {
+                worker: WorkerId(0),
+                round: Round(5),
+                proposer: NodeId(3),
+            },
+            WalRecord::Vote {
+                worker: WorkerId(1),
+                round: Round(6),
+                proposer: NodeId(0),
+                vote: true,
+            },
+            WalRecord::Locked {
+                worker: WorkerId(1),
+                round: Round(6),
+                header_hash: Hash([0xAB; 32]),
+            },
+        ];
+        for entry in entries {
+            let decoded = WalRecord::decode_record(entry.kind(), &entry.encode_payload()).unwrap();
+            assert_eq!(decoded, entry);
+        }
+    }
+
+    #[test]
+    fn unknown_wal_kind_is_rejected() {
+        let err = WalRecord::decode_record(0x7F, &[]).unwrap_err();
+        assert!(matches!(err, CodecError::BadTag { tag: 0x7F, .. }));
+    }
+
+    #[test]
+    fn trailing_wal_payload_bytes_are_rejected() {
+        let entry = WalRecord::Round {
+            worker: WorkerId(0),
+            round: Round(1),
+            proposer: NodeId(2),
+        };
+        let mut payload = entry.encode_payload();
+        payload.push(0x00);
+        let err = WalRecord::decode_record(entry.kind(), &payload).unwrap_err();
+        assert!(matches!(err, CodecError::Trailing { remaining: 1 }));
+    }
+}

@@ -18,12 +18,17 @@ use fireledger::{ConsensusValue, FloMsg, PanicProof, WorkerMsg};
 use fireledger_baselines::hotstuff::QuorumCert;
 use fireledger_baselines::{HotStuffMsg, OrderedBatch};
 use fireledger_bft::{ObbcMsg, PbftMsg, RbMsg};
+use fireledger_store::{decode_footer, encode_footer, encode_record, scan_records, REC_BLOCK};
 use fireledger_types::codec::FrameHeader;
 use fireledger_types::{
-    BlockHeader, Hash, NodeId, Round, Signature, SignedHeader, Transaction, WireCodec, WorkerId,
-    GENESIS_HASH,
+    BlockHeader, Hash, NodeId, Round, Signature, SignedHeader, StoredBlock, Transaction, WalRecord,
+    WireCodec, WorkerId, GENESIS_HASH,
 };
 use std::fmt::Debug;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
 
 fn signed_header() -> SignedHeader {
     SignedHeader::new(
@@ -295,4 +300,102 @@ fn golden_frame_of_wire_format_section_8_is_unchanged() {
     );
     assert_eq!(got_hex, expected_hex);
     assert_eq!(FloMsg::decode(&payload).unwrap(), msg);
+}
+
+/// The worked examples of WIRE_FORMAT.md §9 — the durable store's on-disk
+/// framing. Pins three goldens byte-for-byte: a framed consensus-WAL vote
+/// record, a framed block-log record, and a sealed-segment footer. If this
+/// test fails, the on-disk format changed and every ledger written by an
+/// earlier build becomes unreadable — that requires a §9 spec update and a
+/// migration story, never a silent change.
+#[test]
+fn golden_store_records_of_wire_format_section_9_are_unchanged() {
+    // §9.3 — consensus-WAL vote entry, framed as a store record. The vote
+    // is persisted before broadcast; this exact byte string is what lands
+    // on disk for "worker 0 voted yes on node 2's round-3 block".
+    let vote = WalRecord::Vote {
+        worker: WorkerId(0),
+        round: Round(3),
+        proposer: NodeId(2),
+        vote: true,
+    };
+    let wal_frame = encode_record(vote.kind(), &vote.encode_payload());
+    let expected_wal_hex = concat!(
+        "464c5352",         // record magic "FLSR"
+        "11",               // kind WAL_VOTE
+        "00000011",         // payload len = 17
+        "14a25522",         // CRC-32 over kind ‖ len ‖ payload
+        "00000000",         // worker 0
+        "0000000000000003", // round 3
+        "00000002",         // proposer node 2
+        "01",               // vote = true
+    );
+    assert_eq!(hex(&wal_frame), expected_wal_hex);
+
+    // §9.2 — block-log entry: one definite block of worker 0, carrying the
+    // §8 fixture header and a single "FIRE" transaction.
+    let block = StoredBlock {
+        worker: WorkerId(0),
+        signed_header: signed_header(),
+        txs: vec![Transaction::new(1, 2, b"FIRE".as_slice())],
+    };
+    let block_frame = encode_record(REC_BLOCK, &block.encode());
+    let expected_block_hex = concat!(
+        "464c5352",                                                         // record magic "FLSR"
+        "01",                                                               // kind REC_BLOCK
+        "000000c0",                                                         // payload len = 192
+        "3bfaa986",         // CRC-32 over kind ‖ len ‖ payload
+        "00000000",         // worker 0
+        "0000000000000003", // header: round 3
+        "00000001",         // header: worker 1
+        "00000002",         // header: proposer 2
+        "1111111111111111111111111111111111111111111111111111111111111111", // parent
+        "2222222222222222222222222222222222222222222222222222222222222222", // payload hash
+        "0000000a",         // header: tx_count 10
+        "0000000000001400", // header: payload_bytes 5120
+        "00000040",         // signature length 64
+        "5555555555555555555555555555555555555555555555555555555555555555",
+        "5555555555555555555555555555555555555555555555555555555555555555", // signature
+        "00000001",                                                         // tx count 1
+        "0000000000000001",                                                 // tx client 1
+        "0000000000000002",                                                 // tx seq 2
+        "00000004",                                                         // tx payload len
+        "46495245",                                                         // "FIRE"
+    );
+    assert_eq!(hex(&block_frame), expected_block_hex);
+
+    // §9.4 — sealed-segment footer indexing two records at offsets 0 and 30
+    // (30 is exactly the framed WAL vote record's length: 13-byte header +
+    // 17-byte payload).
+    assert_eq!(wal_frame.len(), 30);
+    let footer = encode_footer(&[0, 30]);
+    let expected_footer_hex = concat!(
+        "0000000000000000", // offset[0] = 0
+        "000000000000001e", // offset[1] = 30
+        "00000002",         // count = 2
+        "3e0bd342",         // CRC-32 over offsets ‖ count
+        "464c5346",         // footer magic "FLSF"
+    );
+    assert_eq!(hex(&footer), expected_footer_hex);
+
+    // Every golden must also roundtrip through the recovery path: the two
+    // records concatenated scan back losslessly, and the footer decodes to
+    // the same offsets with the record region ending where it began.
+    let mut segment = wal_frame.clone();
+    segment.extend_from_slice(&block_frame);
+    let (records, valid) = scan_records(&segment);
+    assert_eq!(valid, segment.len());
+    assert_eq!(records.len(), 2);
+    assert_eq!(
+        WalRecord::decode_record(records[0].0, &records[0].1).unwrap(),
+        vote
+    );
+    assert_eq!(records[1].0, REC_BLOCK);
+    assert_eq!(StoredBlock::decode(&records[1].1).unwrap(), block);
+
+    let mut sealed = segment.clone();
+    sealed.extend_from_slice(&footer);
+    let (offsets, region) = decode_footer(&sealed).expect("footer decodes");
+    assert_eq!(offsets, vec![0, 30]);
+    assert_eq!(region, segment.len());
 }
