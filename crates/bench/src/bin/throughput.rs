@@ -21,6 +21,13 @@
 //! `fsync=every64` and `fsync=os` — the cost of the durable ledger on the
 //! commit path, visible as the `durability` key on each point.
 //!
+//! Finally every run carries a **catch-up row** (the `catch_up` key, kept
+//! separate from `points`): FLO on the TCP runtime with one node joining
+//! late and range-fetching a 5 000-round gap (300 in smoke mode) through
+//! the state-sync sub-protocol — the blocks-per-second fetch bandwidth of
+//! `docs/WIRE_FORMAT.md` §10, measured from the late node's restart to the
+//! moment its ledger reaches the join round.
+//!
 //! Environment:
 //!
 //! * `FIRELEDGER_BENCH_LABEL` — label recorded on the run (default `dev`);
@@ -275,9 +282,49 @@ fn main() {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    // The catch-up row: FLO on the TCP runtime with one node joining late.
+    // It spawns dormant, the other three grow the ledger to the join round,
+    // then it restarts and range-fetches the entire missed prefix through
+    // the state-sync sub-protocol (`SyncMsg` over real sockets,
+    // header-verify before bodies — WIRE_FORMAT.md §10). The recorded rate
+    // is blocks fetched per wall-clock second over exactly the fetch
+    // window, not the live tail afterwards. Small blocks (β = 8, σ = 64)
+    // and a short base timeout keep the *growth* phase quick so the row
+    // measures fetch bandwidth, not how long three nodes take to produce
+    // the gap.
+    let gap: u64 = if smoke { 300 } else { 5_000 };
+    let catch_params = ProtocolParams::new(4)
+        .with_workers(1)
+        .with_batch_size(8)
+        .with_tx_size(64)
+        .with_base_timeout(Duration::from_millis(20));
+    let catch_builder = ClusterBuilder::<FloCluster>::new(catch_params)
+        .with_seed(7)
+        .with_late_join(NodeId(3), gap);
+    let deadline = Duration::from_secs(if smoke { 60 } else { 180 });
+    let catch_up = match Tcp.measure_catch_up(&catch_builder, deadline) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: catch-up measurement failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "catch-up  tcp      Flo | gap={} rounds fetched in {:.3}s = {:>7.0} blocks/s",
+        catch_up.gap_rounds,
+        catch_up.fetch_secs,
+        catch_up.blocks_per_sec(),
+    );
+    let catch_json = format!(
+        "{{\"system\":\"Flo\",\"runtime\":\"tcp\",\"gap_rounds\":{},\"fetch_secs\":{:.4},\"blocks_per_sec\":{:.1}}}",
+        catch_up.gap_rounds,
+        catch_up.fetch_secs,
+        catch_up.blocks_per_sec(),
+    );
+
     let point_rows: Vec<String> = points.iter().map(Point::to_json).collect();
     let run_json = format!(
-        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}]}}",
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json}}}",
         point_rows.join(",")
     );
     println!("JSON: {run_json}");

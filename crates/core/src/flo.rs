@@ -104,10 +104,11 @@ impl FloNode {
     /// The recovered prefix is re-emitted as deliveries on the node's first
     /// [`Protocol::on_start`], so its post-restart delivery stream is the
     /// full ledger from round 0 — what the ledger-identity checks compare.
-    /// The node resumes consensus at the round after its definite prefix;
-    /// without a state-transfer protocol (future work, see ROADMAP) it may
-    /// stall there if the rest of the cluster has moved on, while the
-    /// cluster itself stays live on the other `n − 1` nodes.
+    /// Every worker then starts in state-sync mode (see
+    /// [`FloNode::begin_sync`]): it probes the cluster's definite tips and
+    /// range-fetches the gap between its WAL tip and the cluster's definite
+    /// round before rejoining consensus, so a node that fell far behind
+    /// while dead catches up by block fetch instead of stalling.
     pub fn recover_from_disk(
         me: NodeId,
         params: ProtocolParams,
@@ -156,7 +157,37 @@ impl FloNode {
             w.finish_restore();
         }
         node.set_store(store);
+        node.begin_sync();
         node
+    }
+
+    /// Puts every worker into state-sync mode for its next start: each
+    /// probes the cluster's definite tips and range-fetches any gap before
+    /// joining normal consensus (a worker that is not behind resumes
+    /// immediately). Used after [`FloNode::recover_from_disk`] and by
+    /// late-joining nodes.
+    pub fn begin_sync(&mut self) {
+        for w in &mut self.workers {
+            w.begin_sync();
+        }
+    }
+
+    /// Total rounds fetched through state sync across all workers.
+    pub fn sync_rounds_fetched(&self) -> u64 {
+        self.workers.iter().map(|w| w.sync_rounds_fetched()).sum()
+    }
+
+    /// True while any worker's state-sync fetch is in progress.
+    pub fn is_syncing(&self) -> bool {
+        self.workers.iter().any(|w| w.is_syncing())
+    }
+
+    /// Overrides every worker's synchronizer batch sizes (see
+    /// [`Worker::set_sync_batches`]).
+    pub fn set_sync_batches(&mut self, headers: usize, bodies: usize) {
+        for w in &mut self.workers {
+            w.set_sync_batches(headers, bodies);
+        }
     }
 
     /// The node's identity.

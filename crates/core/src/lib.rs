@@ -22,6 +22,8 @@
 //!   delivery merge of §6.2;
 //! * [`chain`], [`txpool`], [`validity`], [`timer`], [`fd`], [`proposer`] —
 //!   the building blocks;
+//! * [`sync`] — the state-sync synchronizer: late-join / catch-up block
+//!   fetch over the definite prefix;
 //! * [`messages`] — the wire protocol;
 //! * [`byzantine`] — scripted Byzantine node variants used by the evaluation.
 //!
@@ -62,6 +64,7 @@ pub mod fd;
 pub mod flo;
 pub mod messages;
 pub mod proposer;
+pub mod sync;
 pub mod timer;
 pub mod txpool;
 pub mod validity;
@@ -73,6 +76,7 @@ pub use fd::FailureDetector;
 pub use flo::FloNode;
 pub use messages::{ConsensusValue, FloMsg, PanicProof, WorkerMsg};
 pub use proposer::{ProposerChoice, ProposerRotation};
+pub use sync::{SyncPhase, SyncStep, Synchronizer};
 pub use timer::EmaTimer;
 pub use txpool::TxPool;
 pub use validity::{AcceptAll, PredicateFn, SharedValidity, StructuralLimits, ValidityPredicate};

@@ -20,7 +20,9 @@
 
 use fireledger_bft::{PbftMsg, RbMsg};
 use fireledger_types::codec::{CodecError, Reader, WireCodec};
-use fireledger_types::{Hash, NodeId, Round, SignedHeader, Transaction, WireSize, WorkerId};
+use fireledger_types::{
+    Hash, NodeId, Round, SignedHeader, SyncMsg, Transaction, WireSize, WorkerId,
+};
 
 /// A proof that some proposer behaved inconsistently: a signed header that
 /// does not extend the prover's chain, together with the prover's signed
@@ -222,6 +224,9 @@ pub enum WorkerMsg {
     Panic(RbMsg<PanicProof>),
     /// The BFT consensus layer (OBBC fallback + recovery ordering).
     Consensus(PbftMsg<ConsensusValue>),
+    /// The state-sync sub-protocol: late-join / catch-up range fetch of the
+    /// definite ledger prefix (WIRE_FORMAT.md §10).
+    Sync(SyncMsg),
 }
 
 impl WireSize for WorkerMsg {
@@ -236,6 +241,7 @@ impl WireSize for WorkerMsg {
             WorkerMsg::PullBlockReply { txs, .. } => 32 + txs.wire_size(),
             WorkerMsg::Panic(m) => m.wire_size(),
             WorkerMsg::Consensus(m) => m.wire_size(),
+            WorkerMsg::Sync(m) => m.wire_size(),
         }
     }
 }
@@ -256,9 +262,9 @@ impl WireSize for FloMsg {
 }
 
 /// Layout per WIRE_FORMAT.md §6.1: a discriminant byte (`0x01` BlockData
-/// through `0x09` Consensus) followed by the variant's fields in declaration
-/// order. Embedded sub-protocol messages ([`RbMsg`], [`PbftMsg`]) use their
-/// own layouts from §5.
+/// through `0x0A` Sync) followed by the variant's fields in declaration
+/// order. Embedded sub-protocol messages ([`RbMsg`], [`PbftMsg`],
+/// [`SyncMsg`]) use their own layouts from §5 and §10.
 impl WireCodec for WorkerMsg {
     fn encode_to(&self, out: &mut Vec<u8>) {
         match self {
@@ -309,6 +315,10 @@ impl WireCodec for WorkerMsg {
                 out.push(9);
                 m.encode_to(out);
             }
+            WorkerMsg::Sync(m) => {
+                out.push(10);
+                m.encode_to(out);
+            }
         }
     }
 
@@ -345,6 +355,7 @@ impl WireCodec for WorkerMsg {
             9 => Ok(WorkerMsg::Consensus(
                 PbftMsg::<ConsensusValue>::decode_from(r)?,
             )),
+            10 => Ok(WorkerMsg::Sync(SyncMsg::decode_from(r)?)),
             tag => Err(CodecError::BadTag {
                 what: "WorkerMsg",
                 tag,
@@ -363,6 +374,7 @@ impl WireCodec for WorkerMsg {
             WorkerMsg::PullBlockReply { txs, .. } => 32 + txs.encoded_len(),
             WorkerMsg::Panic(m) => m.encoded_len(),
             WorkerMsg::Consensus(m) => m.encoded_len(),
+            WorkerMsg::Sync(m) => m.encoded_len(),
         }
     }
 }
@@ -567,6 +579,16 @@ mod tests {
                     from: NodeId(3),
                     version: vec![signed_header(); 2],
                 },
+            }),
+            WorkerMsg::Sync(fireledger_types::SyncMsg::GetHeaders {
+                req: 5,
+                from: Round(100),
+                to: Round(228),
+            }),
+            WorkerMsg::Sync(fireledger_types::SyncMsg::HeadersReply {
+                req: 5,
+                from: Round(100),
+                headers: vec![signed_header(); 2],
             }),
         ]
     }

@@ -35,6 +35,7 @@ use crate::chain::{Chain, Version};
 use crate::fd::FailureDetector;
 use crate::messages::{ConsensusValue, PanicProof, WorkerMsg};
 use crate::proposer::ProposerRotation;
+use crate::sync::{ReplyGate, SyncStep, Synchronizer, TIMER_SYNC};
 use crate::timer::EmaTimer;
 use crate::txpool::TxPool;
 use crate::validity::{structurally_consistent, SharedValidity};
@@ -43,7 +44,8 @@ use fireledger_crypto::{hash_header, verify_header_cached, CryptoPool, SharedCry
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{
     Block, BlockHeader, Delivery, Hash, NodeId, Observation, Outbox, Protocol, ProtocolParams,
-    Round, SignedHeader, TimerId, Transaction, WorkerId,
+    Round, SignedHeader, SyncMsg, TimerId, Transaction, WorkerId, MAX_SYNC_BODIES,
+    MAX_SYNC_HEADERS,
 };
 use std::collections::{HashMap, HashSet};
 
@@ -54,6 +56,12 @@ type FallbackVoteEntry = (NodeId, bool, Option<SignedHeader>);
 const TIMER_ROUND: u8 = 1;
 /// Timer kind handed to the embedded PBFT instance.
 const TIMER_PBFT: u8 = 0xAB;
+
+/// Votes arriving this many rounds ahead of the current attempt mean the
+/// cluster has definitively moved on without us (a healed partition, a long
+/// pause): trigger a state-sync fetch instead of waiting for normal traffic
+/// to replay the gap.
+const SYNC_LAG_THRESHOLD: u64 = 8;
 
 /// Vote bookkeeping for one `(round, proposer)` attempt.
 #[derive(Debug, Default)]
@@ -136,6 +144,13 @@ pub struct Worker {
     recovery: Option<RecoveryState>,
     recoveries_started: HashSet<Round>,
 
+    /// The state-sync (catch-up) machine. While it is active the worker
+    /// pauses normal attempt progress, exactly like during recovery.
+    sync: Synchronizer,
+    /// Set by [`Worker::begin_sync`] before the protocol starts; honored on
+    /// the first [`Protocol::on_start`].
+    sync_wanted: bool,
+
     /// Next definite chain index still to be handed to the application.
     next_to_deliver: usize,
 
@@ -202,6 +217,8 @@ impl Worker {
             my_header_sent: HashSet::new(),
             recovery: None,
             recoveries_started: HashSet::new(),
+            sync: Synchronizer::new(me, cluster.n, params.base_timeout * 2),
+            sync_wanted: false,
             next_to_deliver: 0,
             store: None,
             persisted_votes: HashMap::new(),
@@ -244,6 +261,31 @@ impl Worker {
     /// Whether the worker is inside the recovery procedure.
     pub fn is_recovering(&self) -> bool {
         self.recovery.is_some()
+    }
+
+    /// Whether a state-sync (catch-up) fetch is in progress.
+    pub fn is_syncing(&self) -> bool {
+        self.sync.is_active()
+    }
+
+    /// Total rounds this worker has caught up through state-sync fetches.
+    pub fn sync_rounds_fetched(&self) -> u64 {
+        self.sync.rounds_fetched()
+    }
+
+    /// Requests a state-sync cycle on the worker's next start: probe the
+    /// cluster's definite tips and range-fetch any gap before joining normal
+    /// consensus. Used by a node restored from disk (its WAL tip may be far
+    /// behind) and by late-joining nodes. A worker that turns out *not* to be
+    /// behind resumes immediately.
+    pub fn begin_sync(&mut self) {
+        self.sync_wanted = true;
+    }
+
+    /// Overrides the synchronizer's request batch sizes (clamped to the wire
+    /// caps; tests use this to exercise arbitrary range-split schedules).
+    pub fn set_sync_batches(&mut self, headers: usize, bodies: usize) {
+        self.sync.set_batches(headers, bodies);
     }
 
     /// Number of pending transactions in the pool (FLO's least-loaded worker
@@ -496,7 +538,7 @@ impl Worker {
     }
 
     fn maybe_vote(&mut self, out: &mut Outbox<WorkerMsg>) {
-        if self.voted || self.recovery.is_some() {
+        if self.voted || self.recovery.is_some() || self.sync.is_active() {
             return;
         }
         if self.votable_header(out).is_some() {
@@ -595,7 +637,7 @@ impl Worker {
     // ------------------------------------------------------------------
 
     fn check_current_attempt(&mut self, out: &mut Outbox<WorkerMsg>) {
-        if self.recovery.is_some() {
+        if self.recovery.is_some() || self.sync.is_active() {
             return;
         }
         let key = (self.round, self.proposer);
@@ -1047,6 +1089,17 @@ impl Worker {
             self.maybe_vote(out);
             self.check_current_attempt(out);
         }
+        // Lag detection: a vote far ahead of our current attempt means the
+        // cluster decided many rounds without us (healed partition, long
+        // pause). Fetch the definite gap instead of limping behind.
+        if round.0 >= self.round.0 + SYNC_LAG_THRESHOLD
+            && self.recovery.is_none()
+            && !self.sync.is_active()
+        {
+            let mut sub = Outbox::new();
+            self.sync.begin(&mut sub);
+            out.extend(sub.map_msgs(WorkerMsg::Sync));
+        }
     }
 
     fn handle_consensus_value(&mut self, value: ConsensusValue, out: &mut Outbox<WorkerMsg>) {
@@ -1111,6 +1164,211 @@ impl Worker {
             self.start_recovery(proof.detected_round, out);
         }
     }
+
+    // ------------------------------------------------------------------
+    // State sync (late-join / catch-up block fetch)
+    // ------------------------------------------------------------------
+
+    /// Handles a [`SyncMsg`]: the serving side answers probes and range
+    /// requests out of the definite prefix (capped batches, never more than
+    /// asked); the requesting side feeds replies into the synchronizer and
+    /// performs the two verification steps it delegates — header-chain
+    /// validation *before* any body download, and per-body merkle checks
+    /// against the verified headers before splicing.
+    fn handle_sync_msg(&mut self, from: NodeId, msg: SyncMsg, out: &mut Outbox<WorkerMsg>) {
+        match msg {
+            // -------- serving side --------
+            SyncMsg::TipProbe { req } => {
+                out.send(
+                    from,
+                    WorkerMsg::Sync(SyncMsg::TipReply {
+                        req,
+                        definite: Round(self.chain.definite_len() as u64),
+                    }),
+                );
+            }
+            SyncMsg::GetHeaders { req, from: lo, to } => {
+                let hi =
+                    to.0.min(lo.0.saturating_add(MAX_SYNC_HEADERS as u64))
+                        .min(self.chain.definite_len() as u64);
+                let mut headers = Vec::new();
+                for r in lo.0..hi {
+                    let Some(entry) = self.chain.get(Round(r)) else {
+                        break;
+                    };
+                    headers.push(entry.signed_header.clone());
+                }
+                out.send(
+                    from,
+                    WorkerMsg::Sync(SyncMsg::HeadersReply {
+                        req,
+                        from: lo,
+                        headers,
+                    }),
+                );
+            }
+            SyncMsg::GetBlocks { req, from: lo, to } => {
+                let hi =
+                    to.0.min(lo.0.saturating_add(MAX_SYNC_BODIES as u64))
+                        .min(self.chain.definite_len() as u64);
+                let mut bodies = Vec::new();
+                for r in lo.0..hi {
+                    let Some(block) = self.chain.get(Round(r)).and_then(|e| e.body.as_ref()) else {
+                        break;
+                    };
+                    bodies.push(block.txs.clone());
+                }
+                out.send(
+                    from,
+                    WorkerMsg::Sync(SyncMsg::BlocksReply {
+                        req,
+                        from: lo,
+                        bodies,
+                    }),
+                );
+            }
+            // -------- requesting side --------
+            SyncMsg::TipReply { req, definite } => {
+                let mut sub = Outbox::new();
+                let step =
+                    self.sync
+                        .on_tip_reply(from, req, definite, self.chain.next_round(), &mut sub);
+                out.extend(sub.map_msgs(WorkerMsg::Sync));
+                if step == SyncStep::CaughtUp {
+                    self.resume_after_sync(out);
+                }
+            }
+            SyncMsg::HeadersReply {
+                req,
+                from: lo,
+                headers,
+            } => {
+                let candidate = match self.sync.on_headers_reply(from, req, lo, headers) {
+                    ReplyGate::Ignore => return,
+                    ReplyGate::Bad => None,
+                    ReplyGate::Candidate(headers) => Some(headers),
+                };
+                // Header-chain verification before a single body byte is
+                // requested: batch signature checks seed each header's memo,
+                // then the hash chain and the f+1-distinct-proposers rule are
+                // checked against our own tip.
+                let verified = candidate.filter(|headers| {
+                    let refs: Vec<&SignedHeader> = headers.iter().collect();
+                    let sigs_ok = self
+                        .pool
+                        .batch_verify_headers(&refs)
+                        .into_iter()
+                        .all(|ok| ok);
+                    out.cpu(CpuCharge {
+                        signs: 0,
+                        verifies: headers.len() as u32,
+                        hashed_bytes: 0,
+                    });
+                    sigs_ok
+                        && self
+                            .chain
+                            .validate_version(
+                                self.chain.next_round(),
+                                headers,
+                                self.crypto.as_ref(),
+                            )
+                            .is_ok()
+                });
+                let mut sub = Outbox::new();
+                let step = match verified {
+                    Some(headers) => self.sync.headers_verified(headers, &mut sub),
+                    None => self.sync.peer_failed(self.chain.next_round(), &mut sub),
+                };
+                out.extend(sub.map_msgs(WorkerMsg::Sync));
+                if step == SyncStep::CaughtUp {
+                    self.resume_after_sync(out);
+                }
+            }
+            SyncMsg::BlocksReply {
+                req,
+                from: lo,
+                bodies,
+            } => {
+                let pairs = match self.sync.on_blocks_reply(from, req, lo, bodies) {
+                    ReplyGate::Ignore => return,
+                    ReplyGate::Bad => None,
+                    ReplyGate::Candidate(pairs) => Some(pairs),
+                };
+                // Each body must hash to the payload commitment of its
+                // already-verified header.
+                let verified = pairs.filter(|pairs| {
+                    pairs.iter().all(|(signed, txs)| {
+                        self.pool.merkle_root_par(txs, &mut self.leaf_scratch)
+                            == signed.header.payload_hash
+                    })
+                });
+                let mut sub = Outbox::new();
+                let step = match verified {
+                    Some(pairs) => {
+                        let count = pairs.len();
+                        self.splice_fetched(pairs, out);
+                        self.sync.spliced(count, &mut sub)
+                    }
+                    None => self.sync.peer_failed(self.chain.next_round(), &mut sub),
+                };
+                out.extend(sub.map_msgs(WorkerMsg::Sync));
+                if step == SyncStep::CaughtUp {
+                    self.resume_after_sync(out);
+                }
+            }
+        }
+    }
+
+    /// Appends a verified fetched segment to the chain exactly as a normal
+    /// decision would: pool pruning, rotation bookkeeping, then
+    /// finalize-and-deliver so the application stream advances in order.
+    fn splice_fetched(
+        &mut self,
+        pairs: Vec<(SignedHeader, Vec<Transaction>)>,
+        out: &mut Outbox<WorkerMsg>,
+    ) {
+        for (signed, txs) in pairs {
+            out.cpu(CpuCharge::hash(signed.header.payload_bytes));
+            let block = Block::new(signed.header.clone(), txs);
+            self.txpool.remove_included(block.txs.iter());
+            self.rotation
+                .record_decided(signed.proposer(), signed.round());
+            self.chain.append(signed, Some(block));
+        }
+        self.finalize_and_deliver(out);
+    }
+
+    /// The synchronizer finished (caught up, or found no gap): resume normal
+    /// consensus from the — possibly far advanced — local tip, mirroring how
+    /// `complete_recovery` restarts after a version adoption. Votes and
+    /// headers gathered while syncing are deliberately kept: they let the
+    /// worker resolve the cluster's in-flight rounds through the ordinary
+    /// quorum and pull machinery.
+    fn resume_after_sync(&mut self, out: &mut Outbox<WorkerMsg>) {
+        self.pending_finish = None;
+        self.finalize_and_deliver(out);
+        if self.round == self.chain.next_round() && self.voted {
+            // False-positive trigger: the chain did not move and the current
+            // attempt (already voted on) is still live — leave it alone.
+            return;
+        }
+        self.fd.invalidate();
+        self.timer.reset();
+        self.full_mode = true;
+        self.round = self.chain.next_round();
+        out.observe(Observation::SyncCompleted {
+            worker: self.worker_id,
+            round: self.round,
+            fetched: self.sync.rounds_fetched(),
+        });
+        let candidate = self
+            .chain
+            .entries()
+            .last()
+            .map(|e| self.rotation.successor(e.proposer()))
+            .unwrap_or_else(|| self.rotation.initial());
+        self.begin_attempt(candidate, out);
+    }
 }
 
 impl Protocol for Worker {
@@ -1121,6 +1379,16 @@ impl Protocol for Worker {
     }
 
     fn on_start(&mut self, out: &mut Outbox<WorkerMsg>) {
+        // A worker asked to state-sync first (restored from disk, late join)
+        // probes the cluster before joining consensus; `resume_after_sync`
+        // begins the first attempt once the gap — if any — is fetched.
+        if self.sync_wanted {
+            self.sync_wanted = false;
+            let mut sub = Outbox::new();
+            self.sync.begin(&mut sub);
+            out.extend(sub.map_msgs(WorkerMsg::Sync));
+            return;
+        }
         // A fresh worker starts from the rotation's initial proposer; a
         // worker restored from disk resumes with the successor of its last
         // decided block's proposer — the same choice `complete_recovery`
@@ -1228,6 +1496,9 @@ impl Protocol for Worker {
                     self.handle_consensus_value(value, out);
                 }
             }
+            WorkerMsg::Sync(sync_msg) => {
+                self.handle_sync_msg(from, sync_msg, out);
+            }
         }
     }
 
@@ -1235,7 +1506,11 @@ impl Protocol for Worker {
         let (kind, seq) = timer.decompose();
         match kind {
             TIMER_ROUND => {
-                if self.recovery.is_some() || self.voted || seq != self.round.0 {
+                if self.recovery.is_some()
+                    || self.sync.is_active()
+                    || self.voted
+                    || seq != self.round.0
+                {
                     return;
                 }
                 // The proposer's message did not arrive in time: vote against
@@ -1247,6 +1522,14 @@ impl Protocol for Worker {
                 let mut sub = Outbox::new();
                 self.pbft.on_timer(timer, &mut sub);
                 out.extend(sub.map_msgs(WorkerMsg::Consensus));
+            }
+            TIMER_SYNC => {
+                let mut sub = Outbox::new();
+                let step = self.sync.on_timer(seq, self.chain.next_round(), &mut sub);
+                out.extend(sub.map_msgs(WorkerMsg::Sync));
+                if step == SyncStep::CaughtUp {
+                    self.resume_after_sync(out);
+                }
             }
             _ => {}
         }
@@ -1394,6 +1677,54 @@ mod tests {
             delivered_txs.contains(&params_tx),
             "the injected transaction must reach every node's delivered prefix"
         );
+    }
+
+    #[test]
+    fn late_started_worker_catches_up_via_state_sync() {
+        let mut sim = Simulation::new(SimConfig::ideal(), cluster(4, 10));
+        sim.run_for(Duration::from_millis(300));
+        let target = sim.node(NodeId(0)).chain().definite_len();
+        assert!(target > 10, "cluster should be well ahead, got {target}");
+
+        // Kill-restart node 3 as a *fresh* worker (empty chain) in sync mode:
+        // it must fetch the whole prefix instead of replaying history.
+        let params = ProtocolParams::new(4)
+            .with_batch_size(10)
+            .with_tx_size(64)
+            .with_base_timeout(Duration::from_millis(20));
+        let crypto: SharedCrypto = SimKeyStore::generate(4, 7).shared();
+        sim.restart_node(NodeId(3), move |_old| {
+            let mut w = Worker::new(NodeId(3), WorkerId(0), params, crypto, Arc::new(AcceptAll));
+            w.begin_sync();
+            w
+        });
+        sim.run_for(Duration::from_millis(300));
+
+        let fresh = sim.node(NodeId(3));
+        assert!(
+            fresh.sync_rounds_fetched() >= target as u64,
+            "expected at least {target} fetched rounds, got {}",
+            fresh.sync_rounds_fetched()
+        );
+        assert!(!fresh.is_syncing(), "sync must complete");
+        // The fetched prefix is byte-identical to the cluster's.
+        let reference = sim.node(NodeId(0)).chain();
+        let fresh_chain = sim.node(NodeId(3)).chain();
+        let common = reference.definite_len().min(fresh_chain.definite_len());
+        assert!(common >= target);
+        for r in 0..common as u64 {
+            assert_eq!(
+                hash_header(&fresh_chain.get(Round(r)).unwrap().signed_header.header),
+                hash_header(&reference.get(Round(r)).unwrap().signed_header.header),
+                "round {r} diverged"
+            );
+        }
+        // Deliveries restart from round 0 — the full ledger, in order.
+        let deliveries = sim.deliveries(NodeId(3));
+        assert!(deliveries.len() >= target);
+        for (i, d) in deliveries.iter().enumerate() {
+            assert_eq!(d.round, Round(i as u64));
+        }
     }
 
     #[test]

@@ -320,6 +320,14 @@ impl<M> ClusterCore<M> {
         self.restarts[node.as_usize()].store(true, Ordering::SeqCst);
     }
 
+    /// Marks `node` dormant (a late-join entry) by pre-setting its kill
+    /// flag. Called before the node threads spawn, so `run_node` observes
+    /// the flag at entry and drops the state machine without ever starting
+    /// it; a later [`ClusterCore::restart`] brings the node up mid-run.
+    pub fn set_dormant(&self, node: NodeId) {
+        self.killed[node.as_usize()].store(true, Ordering::SeqCst);
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.evt_senders.len()
@@ -424,11 +432,19 @@ pub(crate) fn run_node<P, E>(
     let mut out = Outbox::new();
     let mut due: Vec<TimerId> = Vec::new();
     let mut alive: Option<P> = Some(node);
-    alive
-        .as_mut()
-        .expect("node starts alive")
-        .on_start(&mut out);
-    apply(me, &mut out, egress, &mut timers, &log);
+    if flags.killed[i].load(Ordering::SeqCst) {
+        // Spawned dormant (a late-join entry pre-set the kill flag before
+        // any thread started): drop the state machine without ever starting
+        // it — closing its durable store, if any — and idle until a restart
+        // request rebuilds the node mid-run.
+        alive = None;
+    } else {
+        alive
+            .as_mut()
+            .expect("node starts alive")
+            .on_start(&mut out);
+        apply(me, &mut out, egress, &mut timers, &log);
+    }
 
     loop {
         // A crash flag beats everything in the queue: a crashed node must not

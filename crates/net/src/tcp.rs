@@ -239,6 +239,26 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_cluster(nodes, faults, pre_verify, rebuild, &[])
+    }
+
+    /// The full spawn: like [`TcpCluster::spawn_durable`], with some nodes
+    /// additionally spawned **dormant** (late join): a dormant node's
+    /// sockets, reader/writer threads and event loop come up with everyone
+    /// else's — the mesh is static — but its protocol state machine is
+    /// dropped before it ever starts. A later [`TcpCluster::restart`]
+    /// rebuilds it through the rebuild hook, which is how a node enters the
+    /// cluster mid-run and catches up through state sync.
+    pub fn spawn_cluster<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<Arc<dyn PreVerify<M>>>,
+        rebuild: Option<Arc<dyn Fn(NodeId) -> P + Send + Sync>>,
+        dormant: &[NodeId],
+    ) -> io::Result<Self>
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let n = nodes.len();
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
@@ -280,6 +300,9 @@ where
         }
 
         let (core, mut evt_receivers) = ClusterCore::new(n);
+        for node in dormant {
+            core.set_dormant(*node);
+        }
         let mut streams = Vec::new();
         let mut io_handles = Vec::new();
         if let Some(pv) = &pre_verify {

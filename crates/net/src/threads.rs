@@ -182,7 +182,31 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_cluster(nodes, faults, pre_verify, rebuild, &[])
+    }
+
+    /// The full spawn: like [`ThreadedCluster::spawn_durable`], with some
+    /// nodes additionally spawned **dormant** (late join): a dormant node's
+    /// thread and channels come up with everyone else's, but its protocol
+    /// state machine is dropped before it ever starts — no `on_start`, no
+    /// traffic, its durable store (if any) closed. A later
+    /// [`ThreadedCluster::restart`] rebuilds it through the rebuild hook,
+    /// which is how a node enters the cluster mid-run and catches up
+    /// through state sync.
+    pub fn spawn_cluster<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<std::sync::Arc<dyn PreVerify<M>>>,
+        rebuild: Option<Arc<dyn Fn(NodeId) -> P + Send + Sync>>,
+        dormant: &[NodeId],
+    ) -> Self
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let (core, mut receivers) = ClusterCore::new(nodes.len());
+        for node in dormant {
+            core.set_dormant(*node);
+        }
         let mut stage_handles = Vec::new();
         if let Some(pv) = &pre_verify {
             let (staged, spawned) = spawn_preverify_stages(receivers, pv);

@@ -163,6 +163,15 @@ where
     /// skip in-loop re-validation of work the stage already performed.
     /// Never called for simulator runs. The default does nothing.
     fn enable_preverified_ingress(_nodes: &mut [Self]) {}
+
+    /// Puts this (freshly built) node into state-sync mode: on start it
+    /// probes the cluster's tips and range-fetches whatever prefix it is
+    /// missing before participating in consensus. The runtimes call it on a
+    /// node rebuilt for a [`ClusterBuilder::with_late_join`] entry, so a
+    /// node constructed mid-run catches up through the block-fetch
+    /// sub-protocol instead of stalling. The default does nothing — correct
+    /// for protocols without a synchronizer, which simply rejoin blind.
+    fn begin_state_sync(&mut self) {}
 }
 
 fn unsupported_role(name: &str, role: &NodeRole) -> Error {
@@ -229,6 +238,10 @@ impl ClusterProtocol for ClusterNode {
             node.flo_mut().set_preverified_ingress(true);
         }
     }
+
+    fn begin_state_sync(&mut self) {
+        self.flo_mut().begin_sync();
+    }
 }
 
 impl ClusterProtocol for Worker {
@@ -257,6 +270,10 @@ impl ClusterProtocol for Worker {
         for node in nodes {
             node.set_preverified_ingress(true);
         }
+    }
+
+    fn begin_state_sync(&mut self) {
+        Worker::begin_sync(self);
     }
 }
 
@@ -322,6 +339,7 @@ pub struct ClusterBuilder<P> {
     roles: Vec<NodeRole>,
     crypto_threads: usize,
     store: Option<(PathBuf, FsyncPolicy)>,
+    late_join: Option<(NodeId, u64)>,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -343,8 +361,59 @@ where
             roles: vec![NodeRole::Correct; n],
             crypto_threads: 1,
             store: None,
+            late_join: None,
             _protocol: PhantomData,
         }
+    }
+
+    /// Starts `node` mid-run instead of at genesis: the node stays dormant
+    /// (off the network, no protocol state) until the rest of the cluster
+    /// has delivered `at_round` blocks, then enters in state-sync mode and
+    /// range-fetches the ledger it missed (see `fireledger::Synchronizer`).
+    ///
+    /// Every runtime honours the entry: the simulator gates the node behind
+    /// a `LateJoinAdversary` and rebuilds it at the join point; the
+    /// real-time runtimes spawn its thread dormant and restart it through
+    /// the rebuild hook. A dormant node counts against the cluster's fault
+    /// budget like any other fault, and is excluded from rate metrics.
+    ///
+    /// ```
+    /// use fireledger_runtime::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// let params = ProtocolParams::new(4)
+    ///     .with_batch_size(8)
+    ///     .with_tx_size(64)
+    ///     .with_base_timeout(Duration::from_millis(20));
+    /// let scenario = Scenario::new("late-join")
+    ///     .ideal()
+    ///     .run_for(Duration::from_secs(2))
+    ///     .with_warmup(Duration::ZERO);
+    /// let cluster = ClusterBuilder::<FloCluster>::new(params)
+    ///     .with_late_join(NodeId(3), 200); // join once node 0 has 200 blocks
+    /// let (report, deliveries) = Simulator.run_full(&cluster, &scenario).unwrap();
+    /// assert!(report.tps > 0.0);
+    /// // The joiner fetched past its join point, byte-identical to the cluster.
+    /// assert!(deliveries[3].len() > 200);
+    /// let common = deliveries[0].len().min(deliveries[3].len());
+    /// assert_eq!(deliveries[0][..common], deliveries[3][..common]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `node` is outside the cluster.
+    pub fn with_late_join(mut self, node: NodeId, at_round: u64) -> Self {
+        assert!(
+            node.as_usize() < self.roles.len(),
+            "late-join node {node} outside the cluster"
+        );
+        self.late_join = Some((node, at_round));
+        self
+    }
+
+    /// The `(node, at_round)` late-join entry, when
+    /// [`ClusterBuilder::with_late_join`] set one.
+    pub fn late_join(&self) -> Option<(NodeId, u64)> {
+        self.late_join
     }
 
     /// Gives every node a durable store under `dir` (node `i` persists into

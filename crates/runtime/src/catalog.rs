@@ -140,6 +140,45 @@ pub fn partition_heal(n: usize, at: Duration, heal: Duration) -> FaultPlan {
     FaultPlan::named("partition-heal").partition(vec![left, right], at, Some(heal))
 }
 
+/// **partition-lossy** — the last node is split off from the majority at
+/// `at` and the *route* heals at `heal`, but unlike [`partition_heal`] the
+/// traffic queued during the split is **lost**, never redelivered. The
+/// isolated node cannot catch up from buffered history; once healed, its
+/// lag detector notices votes far ahead of its round and it closes the gap
+/// through the state-sync block fetch (ARCHITECTURE.md, "State sync").
+/// The majority side holds a quorum throughout, so it never stalls.
+///
+/// ```
+/// use fireledger_runtime::prelude::*;
+/// use fireledger_runtime::catalog;
+/// use std::time::Duration;
+///
+/// let split = Duration::from_millis(300);
+/// let heal = Duration::from_millis(900);
+/// let plan = catalog::partition_lossy_minority(4, split, heal);
+/// let scenario = Scenario::new("lossy-split")
+///     .ideal()
+///     .run_for(Duration::from_millis(2500))
+///     .with_faults(plan);
+/// let params = ProtocolParams::new(4)
+///     .with_batch_size(8)
+///     .with_tx_size(64)
+///     .with_base_timeout(Duration::from_millis(20));
+/// let report = Simulator
+///     .run(&ClusterBuilder::<FloCluster>::new(params), &scenario)
+///     .unwrap();
+/// assert_eq!(report.fault_plan, "partition-lossy");
+/// // The majority never stalled, and the re-synced minority node fetched
+/// // its way back to the cluster's ledger.
+/// assert!(report.per_node[0].blocks > 0);
+/// assert!(report.per_node[3].blocks as f64 > report.per_node[0].blocks as f64 * 0.8);
+/// ```
+pub fn partition_lossy_minority(n: usize, at: Duration, heal: Duration) -> FaultPlan {
+    let majority: Vec<NodeId> = (0..n as u32 - 1).map(NodeId).collect();
+    let minority = vec![NodeId(n as u32 - 1)];
+    FaultPlan::named("partition-lossy").partition_lossy(vec![majority, minority], at, Some(heal))
+}
+
 /// **crash-recover** — the last node of the cluster goes down at `at` and
 /// comes back at `recover` with its protocol state intact (an
 /// unreachability window). The cluster keeps deciding around it (it is
@@ -297,6 +336,10 @@ mod tests {
         assert_eq!(
             partition_heal(4, Duration::ZERO, Duration::from_secs(1)).name,
             "partition-heal"
+        );
+        assert_eq!(
+            partition_lossy_minority(4, Duration::ZERO, Duration::from_secs(1)).name,
+            "partition-lossy"
         );
         assert_eq!(
             crash_recover_last(4, Duration::ZERO, Duration::from_secs(1)).name,

@@ -56,14 +56,14 @@ mod scenario;
 pub use builder::{BuildContext, ClusterBuilder, ClusterProtocol, FloCluster, NodeRole};
 pub use preverify::FloPreVerifier;
 pub use report::{NodeDeliveries, RunReport};
-pub use run::{check_delivery_prefixes, Runtime, Simulator, Tcp, Threads};
+pub use run::{check_delivery_prefixes, CatchUp, Runtime, Simulator, Tcp, Threads};
 pub use scenario::{FaultEvent, Scenario, Topology, Workload};
 
 /// Everything a typical experiment needs, re-exported for
 /// `use fireledger_runtime::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        check_delivery_prefixes, ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster,
+        check_delivery_prefixes, CatchUp, ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster,
         NodeDeliveries, NodeRole, RunReport, Runtime, Scenario, Simulator, Tcp, Threads, Topology,
         Workload,
     };

@@ -22,7 +22,7 @@ use crate::builder::{ClusterBuilder, ClusterProtocol};
 use crate::report::{NodeDeliveries, RunReport};
 use crate::scenario::Scenario;
 use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
-use fireledger_sim::{Adversary, PlanAdversary, SimTime, Simulation};
+use fireledger_sim::{Adversary, LateJoinAdversary, PlanAdversary, SimTime, Simulation};
 use fireledger_types::{
     Delivery, DiskFault, Error, NodeId, Result, Transaction, WireCodec, WireSize,
 };
@@ -59,17 +59,19 @@ pub trait Runtime {
 }
 
 /// The nodes to average rate metrics over: correct by role and not faulted
-/// (crashed or crash-recovered) by the scenario or its fault plan.
+/// (crashed or crash-recovered) by the scenario or its fault plan. A
+/// late-join node is excluded too — it was down for most of the window.
 fn measured_nodes<P>(cluster: &ClusterBuilder<P>, scenario: &Scenario) -> Vec<NodeId>
 where
     P: ClusterProtocol,
     P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
 {
     let faulted = scenario.faulted_nodes();
+    let late = cluster.late_join().map(|(node, _)| node);
     cluster
         .correct_nodes()
         .into_iter()
-        .filter(|id| !faulted.contains(id))
+        .filter(|id| !faulted.contains(id) && late != Some(*id))
         .collect()
 }
 
@@ -91,6 +93,11 @@ where
         .map(|(i, _)| NodeId(i as u32))
         .collect();
     faulty.extend(scenario.faulted_nodes());
+    // A late-join node is down until its join round: it spends part of the
+    // run as a faulty node and must fit in the same budget.
+    if let Some((node, _)) = cluster.late_join() {
+        faulty.insert(node);
+    }
     let f = cluster.params().f();
     if faulty.len() > f {
         return Err(Error::FaultBudgetExceeded {
@@ -179,6 +186,44 @@ fn restart_schedule(scenario: &Scenario) -> Vec<(Duration, NodeId, Option<DiskFa
     restarts
 }
 
+/// The rebuild hook a real-time cluster installs: the builder's rebuilder,
+/// additionally putting a rebuilt late-join node into state-sync mode so it
+/// range-fetches the prefix it missed instead of rejoining blind. (A node
+/// rebuilt from a durable store already starts syncing; this covers the
+/// volatile late joiner, which has nothing on disk either.)
+fn realtime_rebuilder<P>(
+    cluster: &ClusterBuilder<P>,
+) -> std::sync::Arc<dyn Fn(NodeId) -> P + Send + Sync>
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
+{
+    let inner = cluster.rebuilder();
+    match cluster.late_join() {
+        None => inner,
+        Some((late, _)) => std::sync::Arc::new(move |me: NodeId| {
+            let mut node = inner(me);
+            if me == late {
+                node.begin_state_sync();
+            }
+            node
+        }),
+    }
+}
+
+/// The nodes to spawn dormant (late join) on a real-time runtime.
+fn dormant_nodes<P>(cluster: &ClusterBuilder<P>) -> Vec<NodeId>
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
+{
+    cluster
+        .late_join()
+        .map(|(node, _)| node)
+        .into_iter()
+        .collect()
+}
+
 /// Per-node counters plus the delivery-timeline (stall/recovery) metrics.
 /// `times_secs[i]` holds node `i`'s delivery offsets in seconds, in
 /// delivery order; an empty slice leaves that node's timeline fields zero.
@@ -226,16 +271,52 @@ impl Runtime for Simulator {
         // a fault plan layers the full drop/delay/reorder/duplicate +
         // partition + crash-recover adversity on top through the same hook.
         let crashes = scenario.crash_schedule(&cluster.crash_times());
-        let adversary: Box<dyn Adversary<P::Msg>> = match scenario.faults.clone() {
+        let mut adversary: Box<dyn Adversary<P::Msg>> = match scenario.faults.clone() {
             Some(plan) => Box::new(PlanAdversary::new(plan, crashes)),
             None => Box::new(crashes),
         };
+        // A late-join node is gated off the network (and reported crashed)
+        // until the driver flips the join flag at its join round.
+        let mut join_flag = None;
+        if let Some((node, _)) = cluster.late_join() {
+            let gated = LateJoinAdversary::new(adversary, node);
+            join_flag = Some(gated.handle());
+            adversary = Box::new(gated);
+        }
         let mut sim = Simulation::with_adversary(scenario.sim_config(), nodes, adversary);
         for (at, node, tx) in scenario.injection_schedule(n) {
             sim.inject_transaction_at(node, tx, at);
         }
         sim.metrics_mut()
             .set_window_start(SimTime::ZERO + scenario.warmup);
+        // A late join segments the drive first: run in short slices until a
+        // reference node has delivered the join round, then flip the gated
+        // node onto the network and rebuild it fresh in state-sync mode —
+        // it starts at the join point with nothing and must range-fetch the
+        // whole prefix through the block-fetch sub-protocol.
+        if let Some((node, at_round)) = cluster.late_join() {
+            let reference = measured_nodes(cluster, scenario)
+                .into_iter()
+                .next()
+                .or_else(|| (0..n as u32).map(NodeId).find(|id| *id != node))
+                .expect("a late join needs at least one other node");
+            let slice = Duration::from_millis(10);
+            let mut now = Duration::ZERO;
+            while now < scenario.duration && (sim.deliveries(reference).len() as u64) < at_round {
+                now = (now + slice).min(scenario.duration);
+                sim.run_until(SimTime::ZERO + now);
+            }
+            join_flag
+                .expect("late join implies a gated adversary")
+                .store(true, std::sync::atomic::Ordering::SeqCst);
+            let rebuild = cluster.rebuilder();
+            sim.restart_node(node, move |old| {
+                drop(old);
+                let mut fresh = rebuild(node);
+                fresh.begin_state_sync();
+                fresh
+            });
+        }
         // Kill-restart faults segment the drive: the adversary already
         // suppresses the killed node's traffic inside its down window, so
         // the kill itself needs no driving — but at each restart point the
@@ -243,7 +324,9 @@ impl Runtime for Simulator {
         // (total amnesia without one), which only the driver can do.
         let restarts = restart_schedule(scenario);
         if restarts.is_empty() {
-            sim.run_for(scenario.duration);
+            // Absolute deadline, not run_for: a late join may already have
+            // consumed part of the run in slices above.
+            sim.run_until(SimTime::ZERO + scenario.duration);
         } else {
             let rebuild = cluster.rebuilder();
             for (at, node, fault) in restarts {
@@ -398,6 +481,25 @@ where
     // measuring them from `start` would inflate every latency by the
     // spawn→drive gap (mesh dialing, stage-thread spawning).
     let cluster_start = running.start();
+    // A late join is driven by delivery progress, not time: poll a
+    // reference node until it has delivered the join round, then restart
+    // the dormant node — the rebuild hook brings it up in state-sync mode
+    // and it range-fetches the prefix it missed. Timeline events keep
+    // their absolute offsets; any whose offset passes during the wait fire
+    // immediately after it.
+    if let Some((node, at_round)) = cluster.late_join() {
+        let reference = measured_nodes(cluster, scenario)
+            .into_iter()
+            .next()
+            .or_else(|| (0..n as u32).map(NodeId).find(|id| *id != node))
+            .expect("a late join needs at least one other node");
+        while start.elapsed() < scenario.duration
+            && (running.deliveries(reference).len() as u64) < at_round
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        running.restart(node);
+    }
     let mut warmup_counts: Option<Vec<(u64, u64)>> = None;
     let mut warmup_at = Duration::ZERO;
     // Submit-time stamps of every injected transaction, keyed by identity:
@@ -583,11 +685,12 @@ impl Runtime for Threads {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = ThreadedCluster::spawn_durable(
+        let running = ThreadedCluster::spawn_cluster(
             nodes,
             scenario.faults.clone(),
             pre_verify,
-            Some(cluster.rebuilder()),
+            Some(realtime_rebuilder(cluster)),
+            &dormant_nodes(cluster),
         );
         Ok(drive_realtime(running, cluster, scenario, self.name()))
     }
@@ -624,13 +727,149 @@ impl Runtime for Tcp {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = TcpCluster::spawn_durable(
+        let running = TcpCluster::spawn_cluster(
             nodes,
             scenario.faults.clone(),
             pre_verify,
-            Some(cluster.rebuilder()),
+            Some(realtime_rebuilder(cluster)),
+            &dormant_nodes(cluster),
         )
         .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
         Ok(drive_realtime(running, cluster, scenario, self.name()))
+    }
+}
+
+/// Timing of one late-join catch-up fetch, measured by
+/// [`Threads::measure_catch_up`] / [`Tcp::measure_catch_up`].
+///
+/// The window starts the instant the dormant node is restarted (which
+/// happens the moment a reference node's ledger reaches the join round) and
+/// ends when the late node's own delivery log reaches that round — so it
+/// covers exactly the range fetch of the missed prefix, not the live tail
+/// the node keeps delivering afterwards.
+#[derive(Clone, Copy, Debug)]
+pub struct CatchUp {
+    /// Rounds the late node had to fetch (the builder's join round).
+    pub gap_rounds: u64,
+    /// Wall-clock seconds from its restart to its `gap_rounds`-th delivery.
+    pub fetch_secs: f64,
+}
+
+impl CatchUp {
+    /// Fetched blocks per wall-clock second over the catch-up window.
+    pub fn blocks_per_sec(&self) -> f64 {
+        self.gap_rounds as f64 / self.fetch_secs.max(1e-9)
+    }
+}
+
+/// Drives an already-spawned real-time cluster through a late-join
+/// catch-up and times the range fetch. Shared by the two real-time
+/// runtimes' `measure_catch_up`; `deadline` bounds the whole run (growing
+/// the reference ledger to the join round *plus* the fetch itself).
+fn time_catch_up<C: RealtimeCluster>(
+    running: C,
+    late: NodeId,
+    gap: u64,
+    n: usize,
+    deadline: Duration,
+) -> Result<CatchUp> {
+    let reference = (0..n as u32)
+        .map(NodeId)
+        .find(|id| *id != late)
+        .expect("a late join needs at least one other node");
+    let _ = running.start();
+    let start = Instant::now();
+    while (running.deliveries(reference).len() as u64) < gap {
+        if start.elapsed() > deadline {
+            running.shutdown();
+            return Err(Error::InvalidState(format!(
+                "catch-up: reference {reference} did not reach round {gap} within {deadline:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let restart_at = Instant::now();
+    running.restart(late);
+    while (running.deliveries(late).len() as u64) < gap {
+        if start.elapsed() > deadline {
+            running.shutdown();
+            return Err(Error::InvalidState(format!(
+                "catch-up: late node {late} did not fetch {gap} rounds within {deadline:?}"
+            )));
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let fetch_secs = restart_at.elapsed().as_secs_f64();
+    running.shutdown();
+    Ok(CatchUp {
+        gap_rounds: gap,
+        fetch_secs,
+    })
+}
+
+impl Threads {
+    /// Measures a late-join catch-up fetch on the threaded runtime: spawns
+    /// `cluster` (which must carry a [`ClusterBuilder::with_late_join`]
+    /// node) with the late node dormant, waits for a reference ledger to
+    /// reach the join round, restarts the late node, and times its range
+    /// fetch of the missed prefix. `deadline` bounds the whole run.
+    pub fn measure_catch_up<P>(
+        &self,
+        cluster: &ClusterBuilder<P>,
+        deadline: Duration,
+    ) -> Result<CatchUp>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
+    {
+        let (late, gap) = cluster.late_join().ok_or_else(|| {
+            Error::Config("measure_catch_up needs ClusterBuilder::with_late_join".into())
+        })?;
+        let mut nodes = cluster.build()?;
+        let pre_verify = cluster.pre_verifier();
+        if pre_verify.is_some() {
+            P::enable_preverified_ingress(&mut nodes);
+        }
+        let running = ThreadedCluster::spawn_cluster(
+            nodes,
+            None,
+            pre_verify,
+            Some(realtime_rebuilder(cluster)),
+            &dormant_nodes(cluster),
+        );
+        time_catch_up(running, late, gap, cluster.params().n(), deadline)
+    }
+}
+
+impl Tcp {
+    /// Measures a late-join catch-up fetch on the TCP runtime — the
+    /// socket-mesh counterpart of [`Threads::measure_catch_up`], so the
+    /// timed fetch exercises the `SyncMsg` wire format end to end.
+    pub fn measure_catch_up<P>(
+        &self,
+        cluster: &ClusterBuilder<P>,
+        deadline: Duration,
+    ) -> Result<CatchUp>
+    where
+        P: ClusterProtocol,
+        P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
+    {
+        let (late, gap) = cluster.late_join().ok_or_else(|| {
+            Error::Config("measure_catch_up needs ClusterBuilder::with_late_join".into())
+        })?;
+        let mut nodes = cluster.build()?;
+        let pre_verify = cluster.pre_verifier();
+        if pre_verify.is_some() {
+            P::enable_preverified_ingress(&mut nodes);
+        }
+        let running = TcpCluster::spawn_cluster(
+            nodes,
+            None,
+            pre_verify,
+            Some(realtime_rebuilder(cluster)),
+            &dormant_nodes(cluster),
+        )
+        .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
+        time_catch_up(running, late, gap, cluster.params().n(), deadline)
     }
 }

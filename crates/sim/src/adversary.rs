@@ -11,6 +11,8 @@
 use crate::time::SimTime;
 use fireledger_types::{FaultPlan, LinkDecision, LinkFaultEngine, NodeId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The fate of an intercepted message.
@@ -193,6 +195,61 @@ impl<M: Clone> Adversary<M> for PlanAdversary {
     }
 }
 
+/// Keeps one node off the network until it is flipped to *joined* — the
+/// adversary half of a late-join scenario.
+///
+/// Until the shared flag is set, the node is reported as crashed (the
+/// simulator then suppresses its events, including the timers armed by its
+/// genesis `on_start`) and every message to or from it is dropped. Once the
+/// driver flips the flag — typically right before rebuilding the node via
+/// `Simulation::restart_node` so it starts mid-run in state-sync mode — the
+/// wrapper becomes transparent and the inner adversary decides everything.
+///
+/// All other traffic delegates to the wrapped adversary throughout, so a
+/// late join composes with any fault plan.
+pub struct LateJoinAdversary<M> {
+    inner: Box<dyn Adversary<M>>,
+    node: NodeId,
+    joined: Arc<AtomicBool>,
+}
+
+impl<M> LateJoinAdversary<M> {
+    /// Wraps `inner`, keeping `node` off the network until the returned
+    /// handle (see [`LateJoinAdversary::handle`]) is set to `true`.
+    pub fn new(inner: Box<dyn Adversary<M>>, node: NodeId) -> Self {
+        LateJoinAdversary {
+            inner,
+            node,
+            joined: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The shared join flag: store `true` to let the node onto the network.
+    pub fn handle(&self) -> Arc<AtomicBool> {
+        self.joined.clone()
+    }
+
+    fn joined(&self) -> bool {
+        self.joined.load(Ordering::SeqCst)
+    }
+}
+
+impl<M> Adversary<M> for LateJoinAdversary<M> {
+    fn intercept(&mut self, from: NodeId, to: NodeId, msg: M, now: SimTime) -> Fate<M> {
+        if !self.joined() && (from == self.node || to == self.node) {
+            return Fate::Drop;
+        }
+        self.inner.intercept(from, to, msg, now)
+    }
+
+    fn is_crashed(&self, node: NodeId, now: SimTime) -> bool {
+        if !self.joined() && node == self.node {
+            return true;
+        }
+        self.inner.is_crashed(node, now)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +347,39 @@ mod tests {
         assert_eq!(correct.len(), 7);
         assert!(correct.contains(&NodeId(0)));
         assert!(!correct.contains(&NodeId(9)));
+    }
+
+    #[test]
+    fn late_join_gates_one_node_until_flipped() {
+        let inner = CrashSchedule::new().crash(NodeId(1), SimTime::from_secs(5));
+        let mut a = LateJoinAdversary::new(Box::new(inner), NodeId(3));
+        // Before the join: node 3 is off the network in both directions and
+        // reports as crashed; everyone else delegates to the inner adversary.
+        assert_eq!(
+            a.intercept(NodeId(3), NodeId(0), 1u32, SimTime::ZERO),
+            Fate::Drop
+        );
+        assert_eq!(
+            a.intercept(NodeId(0), NodeId(3), 1u32, SimTime::ZERO),
+            Fate::Drop
+        );
+        assert!(a.is_crashed(NodeId(3), SimTime::ZERO));
+        assert_eq!(
+            a.intercept(NodeId(0), NodeId(1), 1u32, SimTime::ZERO),
+            Fate::Deliver(1)
+        );
+        // After the flip the wrapper is transparent, inner faults included.
+        a.handle().store(true, Ordering::SeqCst);
+        assert_eq!(
+            a.intercept(NodeId(3), NodeId(0), 1u32, SimTime::ZERO),
+            Fate::Deliver(1)
+        );
+        assert!(!a.is_crashed(NodeId(3), SimTime::ZERO));
+        assert!(a.is_crashed(NodeId(1), SimTime::from_secs(6)));
+        assert_eq!(
+            a.intercept(NodeId(1), NodeId(0), 1u32, SimTime::from_secs(6)),
+            Fate::Drop
+        );
     }
 
     #[test]

@@ -173,7 +173,9 @@ impl Metrics {
                     self.per_node[node.as_usize()].recoveries += 1;
                 }
             }
-            Observation::RecoveryFinished { .. } | Observation::ByzantineDetected { .. } => {}
+            Observation::RecoveryFinished { .. }
+            | Observation::ByzantineDetected { .. }
+            | Observation::SyncCompleted { .. } => {}
             Observation::NilDelivery { .. } => {
                 if in_window {
                     self.per_node[node.as_usize()].nil_deliveries += 1;

@@ -168,6 +168,15 @@ pub struct LinkFault {
 /// stall/recovery shape the run-report timeline metrics measure. A
 /// partition with `heal = None` is permanent and *drops*: there is no
 /// future instant to deliver at.
+///
+/// ## Lossy partitions: heal the route, lose the traffic
+///
+/// A **lossy** partition (`lossy = true`) restores connectivity at `heal`
+/// but *drops* everything sent across the boundary while it was up — the
+/// shape of a routing outage where senders gave up and connections were
+/// torn down. Nothing is replayed at heal, so a minority stranded behind a
+/// lossy split can only rejoin by actively re-fetching what it missed
+/// (the state-sync protocol), never by waiting for buffered retransmission.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition {
     /// The side(s) of the split.
@@ -176,6 +185,9 @@ pub struct Partition {
     pub at: Duration,
     /// When the split heals (`None` = never).
     pub heal: Option<Duration>,
+    /// True when cross-boundary traffic sent during the split is lost
+    /// outright instead of buffered until heal.
+    pub lossy: bool,
 }
 
 impl Partition {
@@ -393,7 +405,31 @@ impl FaultPlan {
         at: Duration,
         heal: Option<Duration>,
     ) -> Self {
-        self.partitions.push(Partition { groups, at, heal });
+        self.partitions.push(Partition {
+            groups,
+            at,
+            heal,
+            lossy: false,
+        });
+        self
+    }
+
+    /// Adds a **lossy** partition: the split heals at `heal` like
+    /// [`FaultPlan::partition`], but cross-boundary traffic sent during the
+    /// split is *dropped*, not buffered — the stranded side must re-fetch
+    /// what it missed through state sync (see [`Partition`]).
+    pub fn partition_lossy(
+        mut self,
+        groups: Vec<Vec<NodeId>>,
+        at: Duration,
+        heal: Option<Duration>,
+    ) -> Self {
+        self.partitions.push(Partition {
+            groups,
+            at,
+            heal,
+            lossy: true,
+        });
         self
     }
 
@@ -500,8 +536,9 @@ impl FaultPlan {
 
     /// How an active partition treats `from → to` traffic at `at`:
     /// `None` when no partition cuts the link, `Some(None)` when a
-    /// permanent partition drops it, `Some(Some(heal))` when the traffic is
-    /// buffered until the latest heal instant of the partitions cutting it.
+    /// permanent **or lossy** partition drops it, `Some(Some(heal))` when
+    /// the traffic is buffered until the latest heal instant of the
+    /// partitions cutting it.
     pub fn partition_cut(
         &self,
         from: NodeId,
@@ -513,8 +550,11 @@ impl FaultPlan {
             if !p.cuts(from, to, at) {
                 continue;
             }
-            release = match (release, p.heal) {
-                // Any permanent partition wins: the message is gone.
+            // A lossy partition loses the traffic even though it heals;
+            // a permanent partition has no heal instant to deliver at.
+            let heal = if p.lossy { None } else { p.heal };
+            release = match (release, heal) {
+                // Any dropping partition wins: the message is gone.
                 (_, None) | (Some(None), _) => Some(None),
                 (Some(Some(prev)), Some(h)) => Some(Some(prev.max(h))),
                 (None, Some(h)) => Some(Some(h)),
@@ -714,6 +754,7 @@ mod tests {
             groups: vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2), NodeId(3)]],
             at: ms(100),
             heal: Some(ms(200)),
+            lossy: false,
         };
         // Before the split and after the heal everything flows.
         assert!(!p.cuts(NodeId(0), NodeId(2), ms(99)));
@@ -869,6 +910,33 @@ mod tests {
         let mixed = FaultPlan::named("mixed")
             .partition(vec![vec![NodeId(0)], vec![NodeId(1)]], ms(0), Some(ms(100)))
             .partition(vec![vec![NodeId(0)], vec![NodeId(1)]], ms(0), None);
+        assert_eq!(
+            mixed.partition_cut(NodeId(0), NodeId(1), ms(10)),
+            Some(None)
+        );
+    }
+
+    #[test]
+    fn lossy_partitions_heal_the_route_but_drop_the_traffic() {
+        let plan = FaultPlan::named("lossy").partition_lossy(
+            vec![vec![NodeId(0)], vec![NodeId(1)]],
+            ms(0),
+            Some(ms(100)),
+        );
+        // During the split the message is lost, not buffered to the heal.
+        assert_eq!(plan.partition_cut(NodeId(0), NodeId(1), ms(50)), Some(None));
+        let mut e = LinkFaultEngine::new(plan.clone());
+        assert_eq!(e.decide(NodeId(0), NodeId(1), ms(50)), LinkDecision::Drop);
+        // After the heal the route works again.
+        assert_eq!(
+            e.decide(NodeId(0), NodeId(1), ms(150)),
+            LinkDecision::Deliver
+        );
+        assert!(!plan.partitioned(NodeId(0), NodeId(1), ms(150)));
+        // A lossy split overlapping a buffering one still loses the message.
+        let mixed = FaultPlan::named("mixed")
+            .partition(vec![vec![NodeId(0)], vec![NodeId(1)]], ms(0), Some(ms(80)))
+            .partition_lossy(vec![vec![NodeId(0)], vec![NodeId(1)]], ms(0), Some(ms(100)));
         assert_eq!(
             mixed.partition_cut(NodeId(0), NodeId(1), ms(10)),
             Some(None)

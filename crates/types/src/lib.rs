@@ -25,6 +25,7 @@ pub mod ids;
 pub mod persist;
 pub mod rng;
 pub mod runtime;
+pub mod sync;
 pub mod transaction;
 pub mod wire;
 
@@ -43,5 +44,6 @@ pub use ids::{NodeId, Round, WorkerId};
 pub use persist::{StoredBlock, WalRecord, WAL_LOCKED, WAL_ROUND, WAL_VOTE};
 pub use rng::DetRng;
 pub use runtime::{Action, Delivery, Observation, Outbox, Protocol, TimerId};
+pub use sync::{SyncMsg, MAX_SYNC_BODIES, MAX_SYNC_HEADERS};
 pub use transaction::Transaction;
 pub use wire::WireSize;

@@ -279,6 +279,15 @@ pub enum Observation {
         /// Round that returned nil.
         round: Round,
     },
+    /// A state-sync cycle completed and the worker resumed normal consensus.
+    SyncCompleted {
+        /// Worker instance.
+        worker: WorkerId,
+        /// The round the worker resumed at (its post-sync tip).
+        round: Round,
+        /// Cumulative rounds this worker has fetched through state sync.
+        fetched: u64,
+    },
 }
 
 /// An effect requested by a protocol state machine.

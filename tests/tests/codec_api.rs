@@ -21,8 +21,8 @@ use fireledger_bft::{ObbcMsg, PbftMsg, RbMsg};
 use fireledger_store::{decode_footer, encode_footer, encode_record, scan_records, REC_BLOCK};
 use fireledger_types::codec::FrameHeader;
 use fireledger_types::{
-    BlockHeader, Hash, NodeId, Round, Signature, SignedHeader, StoredBlock, Transaction, WalRecord,
-    WireCodec, WorkerId, GENESIS_HASH,
+    BlockHeader, CodecError, Hash, NodeId, Round, Signature, SignedHeader, StoredBlock, SyncMsg,
+    Transaction, WalRecord, WireCodec, WorkerId, GENESIS_HASH,
 };
 use std::fmt::Debug;
 
@@ -262,6 +262,124 @@ fn baseline_messages_satisfy_the_codec_contract() {
     };
     assert_codec_contract(&batch, &mut scratch);
     assert_codec_contract(&PbftMsg::Request { value: batch }, &mut scratch);
+}
+
+fn every_sync_msg() -> Vec<SyncMsg> {
+    vec![
+        SyncMsg::TipProbe { req: 7 },
+        SyncMsg::TipReply {
+            req: 7,
+            definite: Round(4096),
+        },
+        SyncMsg::GetHeaders {
+            req: 8,
+            from: Round(16),
+            to: Round(32),
+        },
+        SyncMsg::HeadersReply {
+            req: 8,
+            from: Round(16),
+            headers: vec![signed_header()],
+        },
+        SyncMsg::GetBlocks {
+            req: 9,
+            from: Round(16),
+            to: Round(20),
+        },
+        SyncMsg::BlocksReply {
+            req: 9,
+            from: Round(16),
+            bodies: vec![vec![Transaction::new(1, 2, b"FIRE".as_slice())]],
+        },
+    ]
+}
+
+#[test]
+fn sync_messages_satisfy_the_codec_contract() {
+    let mut scratch = vec![0xFFu8; 11]; // deliberately dirty and missized
+    for msg in every_sync_msg() {
+        assert_codec_contract(&msg, &mut scratch);
+        // And wrapped the way they actually travel: WorkerMsg::Sync inside
+        // FloMsg through the §3 framing.
+        assert_codec_contract(&WorkerMsg::Sync(msg.clone()), &mut scratch);
+        assert_codec_contract(
+            &FloMsg {
+                worker: WorkerId(3),
+                inner: WorkerMsg::Sync(msg),
+            },
+            &mut scratch,
+        );
+    }
+}
+
+/// Truncation and bad-tag robustness: every strict prefix of every encoded
+/// `SyncMsg` fails to decode (field counts are declared up front, so a cut
+/// anywhere is detectable), and an unknown discriminant reports `BadTag`
+/// rather than misparsing the bytes that follow.
+#[test]
+fn sync_message_decode_rejects_truncation_and_bad_tags() {
+    for msg in every_sync_msg() {
+        let bytes = msg.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                SyncMsg::decode(&bytes[..cut]).is_err(),
+                "a {cut}-byte prefix of {msg:?} decoded"
+            );
+        }
+    }
+    for tag in [0u8, 7, 0x5C, 0xFF] {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&7u64.to_be_bytes());
+        match SyncMsg::decode(&bytes) {
+            Err(CodecError::BadTag { what, tag: got }) => {
+                assert_eq!(what, "SyncMsg");
+                assert_eq!(got, tag);
+            }
+            other => panic!("tag {tag} produced {other:?}"),
+        }
+    }
+}
+
+/// The golden encodings of WIRE_FORMAT.md §10.1 — one per `SyncMsg`
+/// variant, plus the §6.1 `WorkerMsg::Sync` wrapping. If this test fails,
+/// the sync wire format changed: that requires a `WIRE_VERSION` bump and a
+/// spec update, never a silent change (a late joiner must be able to fetch
+/// from peers running an older build).
+#[test]
+fn golden_sync_messages_of_wire_format_section_10_are_unchanged() {
+    let expected = [
+        "010000000000000007",
+        "0200000000000000070000000000001000",
+        "03000000000000000800000000000000100000000000000020",
+        concat!(
+            "040000000000000008000000000000001000000001",
+            "00000000000000030000000100000002",
+            "1111111111111111111111111111111111111111111111111111111111111111",
+            "2222222222222222222222222222222222222222222222222222222222222222",
+            "0000000a",
+            "0000000000001400",
+            "00000040",
+            "5555555555555555555555555555555555555555555555555555555555555555",
+            "5555555555555555555555555555555555555555555555555555555555555555",
+        ),
+        "05000000000000000900000000000000100000000000000014",
+        concat!(
+            "060000000000000009000000000000001000000001",
+            "00000001",
+            "0000000000000001",
+            "0000000000000002",
+            "00000004",
+            "46495245",
+        ),
+    ];
+    for (msg, want) in every_sync_msg().iter().zip(expected) {
+        assert_eq!(hex(&msg.encode()), want, "golden moved for {msg:?}");
+    }
+    assert_eq!(
+        hex(&WorkerMsg::Sync(SyncMsg::TipProbe { req: 7 }).encode()),
+        "0a010000000000000007",
+        "WorkerMsg::Sync discriminant moved"
+    );
 }
 
 /// The worked example of WIRE_FORMAT.md §8 — through the buffer-reuse path.

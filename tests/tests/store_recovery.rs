@@ -121,6 +121,60 @@ fn kill_restart_rebuilds_the_ledger_from_disk_on_all_three_runtimes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Kill-9 → fall hundreds of rounds behind → restart-from-disk →
+/// range-fetch the gap. The cluster runs at a ~20ms round cadence while the
+/// node is down for 1.2s, so its WAL tip is far behind the cluster tip on
+/// restart; `recover_from_disk` enters state sync, fetches `[wal_tip,
+/// cluster_tip)` and splices it onto the replayed prefix. The assertions
+/// prove the splice: one prefix-identical ledger whose length is far beyond
+/// anything the disk alone could have replayed.
+#[test]
+fn kill_fall_behind_restart_range_fetches_the_gap() {
+    let fast = ProtocolParams::new(4)
+        .with_workers(1)
+        .with_batch_size(8)
+        .with_tx_size(64)
+        .with_base_timeout(ms(20));
+    let plan = FaultPlan::named("kill-lag").kill_restart(NodeId(3), ms(200), ms(1400));
+    for name in ["sim", "threads"] {
+        let dir = store_dir(&format!("kill-lag-{name}"));
+        let scenario = Scenario::new("recovery-kill-lag")
+            .ideal()
+            .with_seed(7)
+            .with_warmup(Duration::ZERO)
+            .run_for(ms(2600))
+            .with_faults(plan.clone());
+        let builder = ClusterBuilder::<FloCluster>::new(fast.clone())
+            .with_seed(7)
+            .with_store(&dir, FsyncPolicy::EveryN(4));
+        let (_, deliveries) = match name {
+            "sim" => Simulator.run_full(&builder, &scenario),
+            _ => Threads.run_full(&builder, &scenario),
+        }
+        .unwrap_or_else(|e| panic!("kill-lag run failed on {name}: {e}"));
+
+        assert_recovered_prefix(&deliveries, 3, name);
+        let reference = &deliveries[0];
+        let recovered = &deliveries[3];
+        // The node was down for ~46% of the run; anything it replayed from
+        // disk ends at its kill-time WAL tip (~8% of the run). Reaching the
+        // neighbourhood of the reference ledger is only possible if the
+        // missed range was fetched and spliced.
+        assert!(
+            reference.len() > 300,
+            "{name}: cluster too slow to open a meaningful gap: {}",
+            reference.len()
+        );
+        assert!(
+            recovered.len() as f64 > reference.len() as f64 * 0.6,
+            "{name}: restarted node never fetched its gap: {} of {} blocks",
+            recovered.len(),
+            reference.len()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn kill_without_restart_leaves_the_cluster_live_on_the_fallback() {
     // The dead node's proposer turns resolve through the β-fallback; its
