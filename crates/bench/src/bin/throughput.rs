@@ -21,12 +21,20 @@
 //! `fsync=every64` and `fsync=os` — the cost of the durable ledger on the
 //! commit path, visible as the `durability` key on each point.
 //!
-//! Finally every run carries a **catch-up row** (the `catch_up` key, kept
+//! Every run also carries a **catch-up row** (the `catch_up` key, kept
 //! separate from `points`): FLO on the TCP runtime with one node joining
 //! late and range-fetching a 5 000-round gap (300 in smoke mode) through
 //! the state-sync sub-protocol — the blocks-per-second fetch bandwidth of
 //! `docs/WIRE_FORMAT.md` §10, measured from the late node's restart to the
 //! moment its ledger reaches the join round.
+//!
+//! Finally every run carries an **ingress section** (the `ingress` key):
+//! three soak rows driving the `docs/WIRE_FORMAT.md` §11 client fleet
+//! through a partition-heal + crash-recover on each runtime, plus one
+//! overload row with shrunken admission budgets. The rows record the
+//! client-visible SLO — accepted must equal committed (zero
+//! accepted-then-lost; the binary exits nonzero otherwise), overload must
+//! shed with typed refusals, and the sim soak must be byte-deterministic.
 //!
 //! Environment:
 //!
@@ -322,9 +330,126 @@ fn main() {
         catch_up.blocks_per_sec(),
     );
 
+    // The ingress section: the client-facing SLO rows of the trajectory.
+    //
+    // Three **soak** rows (sim / threads / tcp) run the §11 client fleet
+    // through a partition-heal plus a crash-recover — the supported fault
+    // shapes — and record the admission outcome: accepted vs. committed
+    // (must balance: zero accepted-then-lost), typed sheds, and per-lane
+    // submit→commit percentiles. One **overload** row (sim) shrinks the
+    // admission budgets until the gates must shed, pinning that overload
+    // produces typed refusals, not loss. The sim soak runs twice and the
+    // two ingress sections must be byte-identical — the determinism check
+    // this section carries, mirroring the grid's byte-identical sim rows.
+    let soak_cluster = || {
+        ClusterBuilder::<FloCluster>::new(
+            ProtocolParams::new(4)
+                .with_workers(1)
+                .with_batch_size(8)
+                .with_tx_size(64)
+                .with_base_timeout(Duration::from_millis(20))
+                .with_fill_blocks(false),
+        )
+        .with_seed(23)
+    };
+    let soak_scenario = Scenario::new("ingress-soak")
+        .ideal()
+        .with_faults(
+            fireledger_runtime::catalog::partition_heal(
+                4,
+                Duration::from_millis(300),
+                Duration::from_millis(600),
+            )
+            .crash_recover(
+                NodeId(3),
+                Duration::from_millis(800),
+                Duration::from_millis(1100),
+            ),
+        )
+        .run_for(Duration::from_millis(1600))
+        .with_warmup(Duration::ZERO)
+        .with_seed(23)
+        .with_ingress(
+            IngressLoad::new(8, Duration::from_millis(10), 64)
+                .with_drain(Duration::from_millis(400)),
+        );
+    let ingress_row = |runtime: &str, scenario: &str, ing: &IngressReport| {
+        println!(
+            "ingress   {runtime:<8} {scenario:<15} | accepted={:>5} committed={:>5} lost={} shed={:>4} retries={:>4} p99={:.4}s",
+            ing.accepted(),
+            ing.committed(),
+            ing.lost(),
+            ing.shed(),
+            ing.retries,
+            ing.lanes
+                .iter()
+                .map(|l| l.p99_latency_secs)
+                .fold(0.0, f64::max),
+        );
+        if ing.lost() > 0 {
+            eprintln!("error: accepted-then-lost on {runtime}/{scenario}: {ing:?}");
+            std::process::exit(1);
+        }
+        format!(
+            "{{\"runtime\":\"{runtime}\",\"scenario\":\"{scenario}\",\"report\":{}}}",
+            ing.to_json()
+        )
+    };
+    let soak_sim = Simulator
+        .run(&soak_cluster(), &soak_scenario)
+        .expect("ingress soak (sim)");
+    let soak_sim_again = Simulator
+        .run(&soak_cluster(), &soak_scenario)
+        .expect("ingress soak (sim, determinism re-run)");
+    if soak_sim.ingress.to_json() != soak_sim_again.ingress.to_json() {
+        eprintln!("error: sim ingress soak is not byte-deterministic");
+        std::process::exit(1);
+    }
+    let soak_threads = Threads
+        .run(&soak_cluster(), &soak_scenario)
+        .expect("ingress soak (threads)");
+    let soak_tcp = Tcp
+        .run(&soak_cluster(), &soak_scenario)
+        .expect("ingress soak (tcp)");
+    // Overload goes through the bench-level API (`ExperimentConfig::
+    // with_ingress`): tiny admission budgets against an aggressive fleet.
+    let admission = fireledger::AdmissionConfig {
+        capacity: 4,
+        rate_per_sec: 100,
+        burst: 8,
+        ..Default::default()
+    };
+    let overload = ExperimentConfig::flo(4, 1, 8, 64)
+        .ideal()
+        .with_base_timeout(Duration::from_millis(20))
+        .duration(Duration::from_millis(900))
+        .with_ingress(
+            IngressLoad::new(32, Duration::from_millis(2), 64)
+                .with_admission(admission)
+                .with_max_retries(2),
+        )
+        .run_on(&Simulator, None);
+    if overload.report.ingress.shed() == 0 {
+        eprintln!(
+            "error: overload row shed nothing: {:?}",
+            overload.report.ingress
+        );
+        std::process::exit(1);
+    }
+    let soak_rows = [
+        ingress_row("sim", "ingress-soak", &soak_sim.ingress),
+        ingress_row("threads", "ingress-soak", &soak_threads.ingress),
+        ingress_row("tcp", "ingress-soak", &soak_tcp.ingress),
+    ];
+    let overload_row = ingress_row("sim", "ingress-overload", &overload.report.ingress);
+    let ingress_json = format!(
+        "{{\"soak\":[{}],\"overload\":{overload_row}}}",
+        soak_rows.join(",")
+    );
+
     let point_rows: Vec<String> = points.iter().map(Point::to_json).collect();
     let run_json = format!(
-        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json}}}",
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json},\"ingress\":{ingress_json}}}",
         point_rows.join(",")
     );
     println!("JSON: {run_json}");

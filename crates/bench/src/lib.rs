@@ -92,6 +92,12 @@ pub struct ExperimentConfig {
     /// policy. `None` — the default — runs volatile, which keeps the
     /// simulator rows of the trajectory byte-identical across sweeps.
     pub store: Option<(std::path::PathBuf, FsyncPolicy)>,
+    /// Client-RPC ingress load ([`Scenario::with_ingress`]): an open-loop
+    /// fleet submitting through the §11 front end and admission gates, so
+    /// the run's `RunReport` carries a populated `ingress` section
+    /// (accepted/shed/lost counts, per-lane submit→commit percentiles).
+    /// `None` — the default — runs without client ingress.
+    pub ingress: Option<IngressLoad>,
 }
 
 impl ExperimentConfig {
@@ -112,7 +118,17 @@ impl ExperimentConfig {
             crypto_threads: 1,
             probe_rate: 0.0,
             store: None,
+            ingress: None,
         }
+    }
+
+    /// Attaches an open-loop client-RPC ingress fleet to the run (see
+    /// [`IngressLoad`]): `clients` closed-loop submitters with the given
+    /// think time, retrying typed refusals with jittered backoff. The run's
+    /// report then carries a populated `ingress` section.
+    pub fn with_ingress(mut self, load: IngressLoad) -> Self {
+        self.ingress = Some(load);
+        self
     }
 
     /// Gives every node a durable store under `dir` (see
@@ -200,6 +216,9 @@ impl ExperimentConfig {
         };
         if self.crashed > 0 {
             scenario = scenario.crash_last_f(self.n, self.crashed, Duration::ZERO);
+        }
+        if let Some(load) = &self.ingress {
+            scenario = scenario.with_ingress(load.clone());
         }
         scenario
     }

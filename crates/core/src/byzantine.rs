@@ -284,6 +284,14 @@ impl Protocol for ClusterNode {
         }
     }
 
+    fn is_syncing(&self) -> bool {
+        match self {
+            ClusterNode::Honest(n) => FloNode::is_syncing(n),
+            ClusterNode::Equivocating(n) => FloNode::is_syncing(&n.inner),
+            ClusterNode::Silent(n) => FloNode::is_syncing(&n.inner),
+        }
+    }
+
     fn on_start(&mut self, out: &mut Outbox<FloMsg>) {
         match self {
             ClusterNode::Honest(n) => n.on_start(out),

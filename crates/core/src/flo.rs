@@ -336,6 +336,10 @@ impl Protocol for FloNode {
         self.me
     }
 
+    fn is_syncing(&self) -> bool {
+        FloNode::is_syncing(self)
+    }
+
     fn on_start(&mut self, out: &mut Outbox<FloMsg>) {
         // A node restored from disk first re-emits its recovered prefix, so
         // the delivery stream observed after a restart is the complete

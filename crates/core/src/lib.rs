@@ -58,6 +58,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod admission;
 pub mod byzantine;
 pub mod chain;
 pub mod fd;
@@ -70,6 +71,7 @@ pub mod txpool;
 pub mod validity;
 pub mod worker;
 
+pub use admission::{AdmissionConfig, Availability, IngressGate, IngressStats, LaneStats};
 pub use byzantine::{ClusterNode, EquivocatingNode, SilentProposerNode};
 pub use chain::{Chain, ChainEntry, Version};
 pub use fd::FailureDetector;

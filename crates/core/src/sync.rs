@@ -35,12 +35,17 @@ use fireledger_types::{
     NodeId, Outbox, Round, SignedHeader, SyncMsg, TimerId, Transaction, MAX_SYNC_BODIES,
     MAX_SYNC_HEADERS,
 };
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Duration;
 
 /// Timer kind used for per-request sync timeouts (disjoint from the worker's
 /// round timer and the embedded PBFT timer kinds).
 pub const TIMER_SYNC: u8 = 0x5C;
+
+/// Longest quarantine, in probe cycles. Strikes escalate the sentence one
+/// cycle at a time up to this cap, so even a repeat offender is re-admitted
+/// eventually — a transiently slow peer must not be excluded forever.
+const QUARANTINE_TTL_CAP: u64 = 4;
 
 /// Phase of the synchronizer state machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +69,14 @@ pub enum SyncStep {
     Continue,
     /// The sync cycle is over: resume normal consensus from the local tip.
     CaughtUp,
+}
+
+/// Strike record for a misbehaving peer: how often it failed us and the
+/// probe cycle at which it is forgiven.
+#[derive(Clone, Copy, Debug)]
+struct Quarantine {
+    strikes: u64,
+    released_at_cycle: u64,
 }
 
 /// Gate verdict for an inbound reply.
@@ -91,8 +104,12 @@ pub struct Synchronizer {
     /// Definite tips reported by peers during the current probe. BTreeMap so
     /// peer selection is deterministic under the simulator.
     tips: BTreeMap<NodeId, Round>,
-    /// Peers that lied, stalled or replied malformed this cycle.
-    quarantined: BTreeSet<NodeId>,
+    /// Peers that lied, stalled or replied malformed, with their strike
+    /// record. Entries expire after a strike-scaled number of probe cycles
+    /// (see [`QUARANTINE_TTL_CAP`]) instead of lasting the whole sync.
+    quarantined: BTreeMap<NodeId, Quarantine>,
+    /// Monotone probe-cycle counter — the clock quarantine TTLs tick on.
+    probe_cycle: u64,
     /// The peer currently serving our range requests.
     peer: Option<NodeId>,
     /// Fetch target: one past the last round to fetch (the best definite tip
@@ -118,7 +135,8 @@ impl Synchronizer {
             req: 0,
             next_req: 0,
             tips: BTreeMap::new(),
-            quarantined: BTreeSet::new(),
+            quarantined: BTreeMap::new(),
+            probe_cycle: 0,
             peer: None,
             target: Round(0),
             from: Round(0),
@@ -165,6 +183,23 @@ impl Synchronizer {
         self.peer
     }
 
+    /// Whether `p` is currently serving a quarantine sentence (struck and
+    /// not yet past its release cycle).
+    pub fn is_quarantined(&self, p: NodeId) -> bool {
+        self.quarantined
+            .get(&p)
+            .is_some_and(|q| q.released_at_cycle > self.probe_cycle)
+    }
+
+    /// Peers currently under quarantine.
+    pub fn quarantined_peers(&self) -> Vec<NodeId> {
+        self.quarantined
+            .keys()
+            .copied()
+            .filter(|p| self.is_quarantined(*p))
+            .collect()
+    }
+
     fn fresh_req(&mut self) -> u64 {
         self.next_req += 1;
         self.next_req
@@ -189,6 +224,10 @@ impl Synchronizer {
         self.tips.clear();
         self.headers.clear();
         self.peer = None;
+        // One tick of the quarantine clock: peers whose sentence has run
+        // out become eligible reporters again (their strike record stays,
+        // so a repeat offender earns a longer sentence next time).
+        self.probe_cycle += 1;
         self.req = self.fresh_req();
         out.broadcast(SyncMsg::TipProbe { req: self.req });
         self.arm_timer(out);
@@ -223,7 +262,7 @@ impl Synchronizer {
         let best = self
             .tips
             .iter()
-            .filter(|(p, _)| !self.quarantined.contains(p))
+            .filter(|(p, _)| !self.is_quarantined(**p))
             .max_by_key(|(p, r)| (r.0, std::cmp::Reverse(p.0)))
             .map(|(p, r)| (*p, *r));
         let Some((peer, target)) = best else {
@@ -368,7 +407,16 @@ impl Synchronizer {
             return SyncStep::Continue;
         }
         if let Some(p) = self.peer.take() {
-            self.quarantined.insert(p);
+            // Strike-scaled sentence: first offence sits out one probe
+            // cycle, repeat offenders up to QUARANTINE_TTL_CAP cycles.
+            let strikes = self.quarantined.get(&p).map_or(0, |q| q.strikes) + 1;
+            self.quarantined.insert(
+                p,
+                Quarantine {
+                    strikes,
+                    released_at_cycle: self.probe_cycle + strikes.min(QUARANTINE_TTL_CAP),
+                },
+            );
         }
         // Any partially fetched segment is abandoned; re-anchor on the chain.
         self.headers.clear();
@@ -376,7 +424,7 @@ impl Synchronizer {
         let next = self
             .tips
             .iter()
-            .filter(|(p, r)| !self.quarantined.contains(p) && r.0 > self.from.0)
+            .filter(|(p, r)| !self.is_quarantined(**p) && r.0 > self.from.0)
             .max_by_key(|(p, r)| (r.0, std::cmp::Reverse(p.0)))
             .map(|(p, _)| *p);
         match next {
@@ -610,6 +658,80 @@ mod tests {
             sent(&mut out)[0],
             (None, SyncMsg::TipProbe { .. })
         ));
+    }
+
+    /// Feeds tips from all three peers, then times out every serving peer
+    /// in turn until the machine falls back to a fresh probe. On return,
+    /// `out` holds the fallback [`SyncMsg::TipProbe`] broadcast.
+    fn run_all_fail_round(s: &mut Synchronizer, out: &mut Outbox<SyncMsg>) {
+        let req = sent(out)[0].1.req();
+        for p in 0..3 {
+            s.on_tip_reply(NodeId(p), req, Round(8), Round(0), out);
+        }
+        for _ in 0..3 {
+            let req = match sent(out)[0].1 {
+                SyncMsg::GetHeaders { req, .. } => req,
+                ref m => panic!("expected GetHeaders, got {m:?}"),
+            };
+            s.on_timer(req, Round(0), out);
+        }
+        assert_eq!(s.phase(), SyncPhase::ProbingTips);
+    }
+
+    #[test]
+    fn transient_peer_is_released_after_its_quarantine_ttl() {
+        let mut s = sync();
+        let mut out = Outbox::new();
+        s.begin(&mut out);
+        run_all_fail_round(&mut s, &mut out);
+        // The fallback probe ticked the quarantine clock: every first-strike
+        // sentence (one probe cycle) has expired.
+        assert!(
+            s.quarantined_peers().is_empty(),
+            "first strikes last one probe cycle"
+        );
+        // The previously failed best peer is eligible and serves again.
+        let req = sent(&mut out)[0].1.req();
+        for p in 0..3 {
+            s.on_tip_reply(NodeId(p), req, Round(8), Round(0), &mut out);
+        }
+        match sent(&mut out)[0].clone() {
+            (Some(p), SyncMsg::GetHeaders { .. }) => {
+                assert_eq!(p, NodeId(0), "released peer serves again");
+            }
+            other => panic!("expected GetHeaders, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_offenders_serve_escalating_sentences_and_probing_never_stalls() {
+        let mut s = sync();
+        let mut out = Outbox::new();
+        s.begin(&mut out);
+        run_all_fail_round(&mut s, &mut out);
+        assert!(s.quarantined_peers().is_empty());
+        run_all_fail_round(&mut s, &mut out);
+        // Second strikes hold for two probe cycles: still quarantined after
+        // the fallback probe that released the first-time offenders above.
+        assert_eq!(s.quarantined_peers(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        // Every reporter is quarantined: the machine forgives and re-probes
+        // rather than stalling without a serving peer.
+        let req = sent(&mut out)[0].1.req();
+        for p in 0..3 {
+            s.on_tip_reply(NodeId(p), req, Round(8), Round(0), &mut out);
+        }
+        assert_eq!(s.phase(), SyncPhase::ProbingTips);
+        let msgs = sent(&mut out);
+        assert!(
+            matches!(msgs[0], (None, SyncMsg::TipProbe { .. })),
+            "fresh probe, not a stall: {msgs:?}"
+        );
+        // After total forgiveness the next probe round fetches normally.
+        let req = msgs[0].1.req();
+        for p in 0..3 {
+            s.on_tip_reply(NodeId(p), req, Round(8), Round(0), &mut out);
+        }
+        assert_eq!(s.phase(), SyncPhase::FetchingHeaders);
     }
 
     #[test]

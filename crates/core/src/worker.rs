@@ -1378,6 +1378,10 @@ impl Protocol for Worker {
         self.me
     }
 
+    fn is_syncing(&self) -> bool {
+        Worker::is_syncing(self)
+    }
+
     fn on_start(&mut self, out: &mut Outbox<WorkerMsg>) {
         // A worker asked to state-sync first (restored from disk, late join)
         // probes the cluster before joining consensus; `resume_after_sync`

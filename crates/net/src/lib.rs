@@ -24,16 +24,43 @@
 
 pub mod frame;
 mod node_loop;
+pub mod rpc;
 mod shim;
 mod tcp;
 mod threads;
 
 pub use node_loop::{PreVerify, Verdict};
+pub use rpc::{RpcClient, RpcHandler, RpcServer};
 pub use tcp::TcpCluster;
 pub use threads::ThreadedCluster;
 
 use fireledger_types::{Delivery, NodeId, Transaction};
 use std::time::Duration;
+
+/// Coarse node availability, mirrored out of each node's event loop every
+/// iteration. The ingress layer reads it to answer `Syncing`/`Busy` instead
+/// of accepting work a catching-up or dead node could lose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Running and accepting work.
+    Up,
+    /// Catching up through state sync.
+    Syncing,
+    /// Crashed, paused, or killed.
+    Down,
+}
+
+impl NodeStatus {
+    /// Decodes the loop's atomic encoding (0 up, 1 syncing, everything
+    /// else down — unknown values fail safe).
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => NodeStatus::Up,
+            1 => NodeStatus::Syncing,
+            _ => NodeStatus::Down,
+        }
+    }
+}
 
 /// The common driving surface of the real-time runtimes: submit client
 /// traffic, schedule crashes and recoveries, observe deliveries, stop the
@@ -69,6 +96,26 @@ pub trait RealtimeCluster {
     /// The default implementation does nothing.
     fn restart(&self, node: NodeId) {
         let _ = node;
+    }
+    /// `node`'s current availability as mirrored by its own event loop.
+    /// The default — for runtimes without a mirror — reads `Up`.
+    fn node_status(&self, node: NodeId) -> NodeStatus {
+        let _ = node;
+        NodeStatus::Up
+    }
+    /// Serves one client RPC against `node`'s ingress (WIRE_FORMAT.md §11):
+    /// a channel call on the threaded runtime, a real socket round-trip on
+    /// the TCP runtime. `None` when the cluster has no ingress attached or
+    /// the transport failed — a client treats that like a lost connection
+    /// and retries. The default — for runtimes without client ingress —
+    /// always answers `None`.
+    fn rpc(
+        &self,
+        node: NodeId,
+        msg: &fireledger_types::rpc::RpcMsg,
+    ) -> Option<fireledger_types::rpc::RpcMsg> {
+        let _ = (node, msg);
+        None
     }
     /// Blocks delivered so far at `node` (a snapshot).
     fn deliveries(&self, node: NodeId) -> Vec<Delivery>;

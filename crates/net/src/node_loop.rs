@@ -9,7 +9,7 @@
 
 use fireledger_types::{Action, Delivery, NodeId, Outbox, Protocol, TimerId, Transaction};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -252,6 +252,11 @@ pub(crate) struct ClusterCore<M> {
     /// the durable store and rejoins. Only honored while killed, and only
     /// on clusters spawned with a rebuild hook.
     pub restarts: Arc<Vec<AtomicBool>>,
+    /// Availability mirror, written by each node's own loop (encoded as
+    /// [`crate::NodeStatus`]): ingress admission reads it to answer
+    /// `Syncing`/`Busy` instead of accepting work a down or catching-up
+    /// node could lose.
+    pub statuses: Arc<Vec<AtomicU8>>,
 }
 
 impl<M> ClusterCore<M> {
@@ -273,9 +278,16 @@ impl<M> ClusterCore<M> {
                 paused: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
                 killed: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
                 restarts: Arc::new((0..n).map(|_| AtomicBool::new(false)).collect()),
+                statuses: Arc::new((0..n).map(|_| AtomicU8::new(0)).collect()),
             },
             evt_receivers,
         )
+    }
+
+    /// `node`'s availability mirror, as written by its own loop (a
+    /// [`crate::NodeStatus`] encoding).
+    pub fn status(&self, node: NodeId) -> u8 {
+        self.statuses[node.as_usize()].load(Ordering::Acquire)
     }
 
     /// Submits a client transaction to `node`.
@@ -376,6 +388,7 @@ pub(crate) struct NodeFlags {
     pub paused: Arc<Vec<AtomicBool>>,
     pub killed: Arc<Vec<AtomicBool>>,
     pub restarts: Arc<Vec<AtomicBool>>,
+    pub statuses: Arc<Vec<AtomicU8>>,
 }
 
 impl<M> ClusterCore<M> {
@@ -386,6 +399,7 @@ impl<M> ClusterCore<M> {
             paused: self.paused.clone(),
             killed: self.killed.clone(),
             restarts: self.restarts.clone(),
+            statuses: self.statuses.clone(),
         }
     }
 }
@@ -450,6 +464,7 @@ pub(crate) fn run_node<P, E>(
         // A crash flag beats everything in the queue: a crashed node must not
         // drain its backlog before going silent.
         if flags.crashed[i].load(Ordering::SeqCst) {
+            flags.statuses[i].store(2, Ordering::Release);
             return;
         }
         if flags.killed[i].load(Ordering::SeqCst) {
@@ -477,6 +492,17 @@ pub(crate) fn run_node<P, E>(
         }
         let now = Instant::now();
         let down = alive.is_none() || flags.paused[i].load(Ordering::SeqCst);
+        // Mirror availability for the ingress layer: 2 down, 1 syncing,
+        // 0 accepting (the `crate::NodeStatus` encoding). Written only by
+        // this thread, so a plain store per iteration suffices.
+        let status = if down {
+            2
+        } else if alive.as_ref().is_some_and(|n| n.is_syncing()) {
+            1
+        } else {
+            0
+        };
+        flags.statuses[i].store(status, Ordering::Release);
         if down {
             // Down: timers that come due expire into the void.
             timers.retain(|_, deadline| *deadline > now);

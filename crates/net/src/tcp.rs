@@ -45,7 +45,7 @@ use fireledger_types::{
 use std::io;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::mpsc::{channel, Sender, TryRecvError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -178,6 +178,15 @@ pub struct TcpCluster<M> {
     /// to force-unblock reader/writer threads at shutdown.
     streams: Vec<TcpStream>,
     delay: Option<DelayLine<Arc<Vec<u8>>>>,
+    /// Per-node client listeners, when [`TcpCluster::serve_rpc`] was called.
+    rpc: Option<crate::rpc::RpcServer>,
+    /// Listener addresses, index-aligned with node ids (empty until
+    /// [`TcpCluster::serve_rpc`]).
+    rpc_addrs: Vec<std::net::SocketAddr>,
+    /// Lazily-dialed client connections backing [`TcpCluster::rpc_call`],
+    /// one slot per node; a transport error drops the slot so the next call
+    /// redials.
+    rpc_clients: Mutex<Vec<Option<crate::rpc::RpcClient>>>,
 }
 
 impl<M> TcpCluster<M>
@@ -365,11 +374,32 @@ where
                     loop {
                         let len = match read_frame_into(&mut read_half, &mut payload) {
                             Ok(Some(len)) => len,
-                            Ok(None) | Err(_) => return,
+                            // Clean close: the peer shut down — a benign
+                            // crash under the paper's link model.
+                            Ok(None) => return,
+                            Err(e) => {
+                                // A framing violation on an inter-node link
+                                // (bad magic, oversized length, torn frame)
+                                // is a peer bug or an attack: name the peer
+                                // and the reason before tearing down.
+                                if e.kind() == io::ErrorKind::InvalidData {
+                                    eprintln!(
+                                        "fireledger-net: tearing down link p{j} -> p{i}: {e}"
+                                    );
+                                }
+                                return;
+                            }
                         };
                         let backing = fireledger_types::Bytes::copy_from_slice(&payload[..len]);
-                        let Ok(msg) = M::decode_shared(&backing) else {
-                            return;
+                        let msg = match M::decode_shared(&backing) {
+                            Ok(msg) => msg,
+                            Err(e) => {
+                                eprintln!(
+                                    "fireledger-net: tearing down link p{j} -> p{i}: \
+                                     undecodable frame ({len} bytes): {e}"
+                                );
+                                return;
+                            }
                         };
                         if evt_tx.send(NodeEvent::Message { from, msg }).is_err() {
                             return;
@@ -428,7 +458,68 @@ where
             io_handles,
             streams,
             delay,
+            rpc: None,
+            rpc_addrs: Vec::new(),
+            rpc_clients: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Starts one client-facing RPC listener per node (WIRE_FORMAT.md §11)
+    /// and returns their addresses, index-aligned with node ids. Accepted
+    /// submissions enter the node through the same event channel as
+    /// [`TcpCluster::submit`]. Call once, before driving traffic.
+    pub fn serve_rpc(
+        &mut self,
+        handler: Arc<dyn crate::rpc::RpcHandler>,
+    ) -> io::Result<Vec<std::net::SocketAddr>> {
+        assert!(self.rpc.is_none(), "serve_rpc is once per cluster");
+        let submitters: Vec<_> = (0..self.core.len())
+            .map(|i| {
+                let evt_tx = self.core.evt_senders[i].clone();
+                move |tx: Transaction| {
+                    let _ = evt_tx.send(NodeEvent::Transaction(tx));
+                }
+            })
+            .collect();
+        let server = crate::rpc::RpcServer::spawn(handler, submitters)?;
+        let addrs = server.addrs().to_vec();
+        self.rpc = Some(server);
+        self.rpc_addrs = addrs.clone();
+        *self.rpc_clients.lock().expect("rpc client pool") =
+            (0..self.core.len()).map(|_| None).collect();
+        Ok(addrs)
+    }
+
+    /// Serves one client RPC against `node` over a real socket round-trip
+    /// through the listener started by [`TcpCluster::serve_rpc`]: the
+    /// message is framed, written to the node's client port, and the reply
+    /// frame decoded — the full §11 wire path. Returns `None` when no
+    /// listener is up or the transport failed (the connection slot is
+    /// dropped and redialed on the next call).
+    pub fn rpc_call(
+        &self,
+        node: NodeId,
+        msg: &fireledger_types::rpc::RpcMsg,
+    ) -> Option<fireledger_types::rpc::RpcMsg> {
+        let addr = *self.rpc_addrs.get(node.as_usize())?;
+        let mut pool = self.rpc_clients.lock().expect("rpc client pool");
+        let slot = pool.get_mut(node.as_usize())?;
+        if slot.is_none() {
+            *slot = crate::rpc::RpcClient::connect(addr).ok();
+        }
+        let client = slot.as_mut()?;
+        match client.call(msg) {
+            Ok(reply) => Some(reply),
+            Err(_) => {
+                *slot = None;
+                None
+            }
+        }
+    }
+
+    /// `node`'s availability as mirrored by its own event loop.
+    pub fn node_status(&self, node: NodeId) -> crate::NodeStatus {
+        crate::NodeStatus::from_u8(self.core.status(node))
     }
 
     /// Submits a client transaction to `node`.
@@ -499,7 +590,14 @@ where
 
     /// Stops all threads, closes every socket, and returns the final
     /// per-node deliveries.
-    pub fn shutdown(self) -> Vec<Vec<Delivery>> {
+    pub fn shutdown(mut self) -> Vec<Vec<Delivery>> {
+        // Client listeners close first: no new submissions enter a cluster
+        // that is tearing down. Dropping the pooled client connections
+        // unblocks their server-side threads immediately.
+        self.rpc_clients.lock().expect("rpc client pool").clear();
+        if let Some(rpc) = self.rpc.take() {
+            rpc.shutdown();
+        }
         self.core.signal_shutdown();
         // Joining the protocol threads drops their egress channels, which
         // lets idle writer threads finish; the delay line goes next (it
@@ -542,6 +640,16 @@ where
     }
     fn restart(&self, node: NodeId) {
         TcpCluster::restart(self, node);
+    }
+    fn node_status(&self, node: NodeId) -> crate::NodeStatus {
+        TcpCluster::node_status(self, node)
+    }
+    fn rpc(
+        &self,
+        node: NodeId,
+        msg: &fireledger_types::rpc::RpcMsg,
+    ) -> Option<fireledger_types::rpc::RpcMsg> {
+        TcpCluster::rpc_call(self, node, msg)
     }
     fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
         TcpCluster::deliveries(self, node)

@@ -123,6 +123,9 @@ pub struct ThreadedCluster<M> {
     core: ClusterCore<M>,
     handles: Vec<JoinHandle<()>>,
     delay: Option<DelayLine<NodeEvent<M>>>,
+    /// Ingress handler installed by [`ThreadedCluster::attach_rpc`]; the
+    /// channel-backed analogue of the TCP runtime's client listeners.
+    rpc: Option<Arc<dyn crate::rpc::RpcHandler>>,
 }
 
 impl<M> ThreadedCluster<M>
@@ -249,7 +252,37 @@ where
             core,
             handles,
             delay,
+            rpc: None,
         }
+    }
+
+    /// Installs the ingress handler — the channel-backed equivalent of
+    /// [`crate::TcpCluster::serve_rpc`]: clients call
+    /// [`ThreadedCluster::rpc_call`] instead of dialing a socket, and an
+    /// accepted submission enters the node through the same event channel
+    /// as [`ThreadedCluster::submit`].
+    pub fn attach_rpc(&mut self, handler: Arc<dyn crate::rpc::RpcHandler>) {
+        self.rpc = Some(handler);
+    }
+
+    /// Serves one client RPC against `node` through the attached handler.
+    /// Returns `None` when no handler is attached.
+    pub fn rpc_call(
+        &self,
+        node: NodeId,
+        msg: &fireledger_types::rpc::RpcMsg,
+    ) -> Option<fireledger_types::rpc::RpcMsg> {
+        let handler = self.rpc.as_ref()?;
+        let (reply, tx) = handler.handle(node, msg);
+        if let Some(tx) = tx {
+            self.core.submit(node, tx);
+        }
+        Some(reply)
+    }
+
+    /// `node`'s availability as mirrored by its own event loop.
+    pub fn node_status(&self, node: NodeId) -> crate::NodeStatus {
+        crate::NodeStatus::from_u8(self.core.status(node))
     }
 
     /// Submits a client transaction to `node`.
@@ -353,6 +386,16 @@ where
     }
     fn restart(&self, node: NodeId) {
         ThreadedCluster::restart(self, node);
+    }
+    fn node_status(&self, node: NodeId) -> crate::NodeStatus {
+        ThreadedCluster::node_status(self, node)
+    }
+    fn rpc(
+        &self,
+        node: NodeId,
+        msg: &fireledger_types::rpc::RpcMsg,
+    ) -> Option<fireledger_types::rpc::RpcMsg> {
+        ThreadedCluster::rpc_call(self, node, msg)
     }
     fn deliveries(&self, node: NodeId) -> Vec<Delivery> {
         ThreadedCluster::deliveries(self, node)

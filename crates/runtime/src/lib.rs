@@ -48,14 +48,16 @@
 
 mod builder;
 pub mod catalog;
+mod ingress;
 mod preverify;
 mod report;
 mod run;
 mod scenario;
 
 pub use builder::{BuildContext, ClusterBuilder, ClusterProtocol, FloCluster, NodeRole};
+pub use ingress::{ClientFleet, ClusterIngress, IngressLoad};
 pub use preverify::FloPreVerifier;
-pub use report::{NodeDeliveries, RunReport};
+pub use report::{IngressLaneReport, IngressReport, NodeDeliveries, RunReport};
 pub use run::{check_delivery_prefixes, CatchUp, Runtime, Simulator, Tcp, Threads};
 pub use scenario::{FaultEvent, Scenario, Topology, Workload};
 
@@ -64,8 +66,8 @@ pub use scenario::{FaultEvent, Scenario, Topology, Workload};
 pub mod prelude {
     pub use crate::{
         check_delivery_prefixes, CatchUp, ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster,
-        NodeDeliveries, NodeRole, RunReport, Runtime, Scenario, Simulator, Tcp, Threads, Topology,
-        Workload,
+        IngressLaneReport, IngressLoad, IngressReport, NodeDeliveries, NodeRole, RunReport,
+        Runtime, Scenario, Simulator, Tcp, Threads, Topology, Workload,
     };
     pub use fireledger::{AcceptAll, ClusterNode, FloNode, Worker};
     pub use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
@@ -187,6 +189,78 @@ mod tests {
             .run(&ClusterBuilder::<FloCluster>::new(p), &s)
             .unwrap();
         assert!(report.tps > 0.0);
+    }
+
+    #[test]
+    fn sim_ingress_soak_accepts_commits_and_loses_nothing() {
+        let p = params(4).with_fill_blocks(false);
+        let s = Scenario::new("ingress-smoke")
+            .ideal()
+            .run_for(Duration::from_secs(1))
+            .with_seed(11)
+            .with_ingress(
+                crate::IngressLoad::new(8, Duration::from_millis(10), 64)
+                    .with_drain(Duration::from_millis(300)),
+            );
+        let run = || {
+            Simulator
+                .run(
+                    &ClusterBuilder::<FloCluster>::new(p.clone()).with_seed(11),
+                    &s,
+                )
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.ingress.enabled);
+        assert!(report.ingress.accepted() > 20, "{:?}", report.ingress);
+        assert_eq!(report.ingress.lost(), 0, "{:?}", report.ingress);
+        assert_eq!(
+            report.ingress.accepted(),
+            report.ingress.committed(),
+            "{:?}",
+            report.ingress
+        );
+        assert!(
+            report
+                .ingress
+                .lanes
+                .iter()
+                .any(|l| l.p99_latency_secs > 0.0),
+            "{:?}",
+            report.ingress
+        );
+        // The sliced ingress drive must stay bit-deterministic.
+        assert_eq!(report.to_json(), run().to_json());
+    }
+
+    #[test]
+    fn sim_ingress_sheds_under_overload_with_typed_refusals() {
+        let p = params(4).with_fill_blocks(false);
+        // Tiny lane capacities + aggressive clients: the gates must shed.
+        let admission = fireledger::AdmissionConfig {
+            capacity: 4,
+            rate_per_sec: 50,
+            burst: 5,
+            ..Default::default()
+        };
+        let s = Scenario::new("ingress-overload")
+            .ideal()
+            .run_for(Duration::from_millis(800))
+            .with_ingress(
+                crate::IngressLoad::new(24, Duration::from_millis(2), 64)
+                    .with_admission(admission)
+                    .with_max_retries(1),
+            );
+        let report = Simulator
+            .run(&ClusterBuilder::<FloCluster>::new(p), &s)
+            .unwrap();
+        assert!(
+            report.ingress.shed() > 0,
+            "overload must shed: {:?}",
+            report.ingress
+        );
+        assert_eq!(report.ingress.lost(), 0, "{:?}", report.ingress);
+        assert!(report.ingress.retries > 0);
     }
 
     #[test]

@@ -60,6 +60,123 @@ impl NodeDeliveries {
     }
 }
 
+/// Per-lane ingress counters of one run (see [`IngressReport`]).
+///
+/// The counts are the **client fleet's view**: `accepted` is acks the
+/// clients received, `committed` is accepted transactions the clients later
+/// observed in a delivered block, and `lost` is the difference when the run
+/// closed — the accepted-then-lost count the ingress soak exists to pin at
+/// zero. Latency percentiles are submit→commit, over this lane's committed
+/// transactions (same time base as the rest of the report: simulated
+/// seconds on `"sim"`, wall-clock on `"threads"`/`"tcp"`).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IngressLaneReport {
+    /// Submissions acked `Accepted`. Unit: transactions (count).
+    pub accepted: u64,
+    /// Accepted transactions observed committed. Unit: transactions.
+    pub committed: u64,
+    /// Accepted transactions never observed committed — must be 0 under
+    /// the supported fault plans. Unit: transactions.
+    pub lost: u64,
+    /// Submissions shed `Busy` (lane full or node down). Unit: attempts.
+    pub shed_busy: u64,
+    /// Submissions shed `RateLimited`. Unit: attempts.
+    pub shed_rate_limited: u64,
+    /// Submissions refused `Syncing`. Unit: attempts.
+    pub rejected_syncing: u64,
+    /// Submissions acked `Duplicate`. Unit: attempts.
+    pub duplicate: u64,
+    /// Median submit→commit latency. Unit: seconds (0 = no commits).
+    pub p50_latency_secs: f64,
+    /// 95th-percentile submit→commit latency. Unit: seconds.
+    pub p95_latency_secs: f64,
+    /// 99th-percentile submit→commit latency. Unit: seconds.
+    pub p99_latency_secs: f64,
+}
+
+/// The `ingress` section of a [`RunReport`]: client-RPC admission outcomes,
+/// per lane, plus fleet-level retry accounting. All-zero with
+/// `enabled: false` when the scenario carried no ingress load — the schema
+/// never changes shape.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IngressReport {
+    /// True when the scenario ran an ingress client fleet.
+    pub enabled: bool,
+    /// Per-lane counters, indexed probe / normal / bulk.
+    pub lanes: [IngressLaneReport; 3],
+    /// Client retries after retryable refusals. Unit: attempts (count).
+    pub retries: u64,
+    /// Submissions abandoned after the retry budget. Unit: transactions.
+    pub abandoned: u64,
+    /// Transport-level failures (lost connections, malformed replies).
+    /// Unit: attempts (count).
+    pub transport_errors: u64,
+}
+
+impl IngressReport {
+    /// Total accepted submissions across lanes.
+    pub fn accepted(&self) -> u64 {
+        self.lanes.iter().map(|l| l.accepted).sum()
+    }
+
+    /// Total observed commits across lanes.
+    pub fn committed(&self) -> u64 {
+        self.lanes.iter().map(|l| l.committed).sum()
+    }
+
+    /// Total accepted-then-lost across lanes.
+    pub fn lost(&self) -> u64 {
+        self.lanes.iter().map(|l| l.lost).sum()
+    }
+
+    /// Total shed (busy + rate-limited) across lanes.
+    pub fn shed(&self) -> u64 {
+        self.lanes
+            .iter()
+            .map(|l| l.shed_busy + l.shed_rate_limited)
+            .sum()
+    }
+
+    /// The section as a single-line JSON object — exactly the value the
+    /// `ingress` key of [`RunReport::to_json`] carries, reusable standalone
+    /// by the bench trajectory's ingress rows.
+    pub fn to_json(&self) -> String {
+        let lanes: Vec<String> = ["probe", "normal", "bulk"]
+            .iter()
+            .zip(self.lanes.iter())
+            .map(|(name, l)| {
+                format!(
+                    concat!(
+                        "{{\"lane\":{},\"accepted\":{},\"committed\":{},\"lost\":{},",
+                        "\"shed_busy\":{},\"shed_rate_limited\":{},\"rejected_syncing\":{},",
+                        "\"duplicate\":{},\"p50_latency_secs\":{},\"p95_latency_secs\":{},",
+                        "\"p99_latency_secs\":{}}}"
+                    ),
+                    json_string(name),
+                    l.accepted,
+                    l.committed,
+                    l.lost,
+                    l.shed_busy,
+                    l.shed_rate_limited,
+                    l.rejected_syncing,
+                    l.duplicate,
+                    json_f64(l.p50_latency_secs),
+                    json_f64(l.p95_latency_secs),
+                    json_f64(l.p99_latency_secs)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"enabled\":{},\"lanes\":[{}],\"retries\":{},\"abandoned\":{},\"transport_errors\":{}}}",
+            self.enabled,
+            lanes.join(","),
+            self.retries,
+            self.abandoned,
+            self.transport_errors
+        )
+    }
+}
+
 /// Headline numbers of one run, in the units the paper uses.
 ///
 /// Serialized by [`RunReport::to_json`]; the JSON key set is versioned by
@@ -144,6 +261,9 @@ pub struct RunReport {
     /// Per-node delivery counters, one entry per node of the cluster
     /// (whole-run counts — see [`NodeDeliveries`]).
     pub per_node: Vec<NodeDeliveries>,
+    /// Client-RPC ingress outcomes (see [`IngressReport`]); all-zero with
+    /// `enabled: false` when the scenario carried no ingress load.
+    pub ingress: IngressReport,
 }
 
 fn json_f64(v: f64) -> String {
@@ -199,6 +319,7 @@ impl RunReport {
                 )
             })
             .collect();
+        let ingress = self.ingress.to_json();
         format!(
             concat!(
                 "{{\"schema_version\":{},",
@@ -212,7 +333,7 @@ impl RunReport {
                 "\"msgs_sent\":{},\"bytes_sent\":{},",
                 "\"signatures\":{},\"verifications\":{},",
                 "\"latency_cdf\":[{}],\"phase_breakdown\":[{},{},{},{}],",
-                "\"per_node\":[{}]}}"
+                "\"per_node\":[{}],\"ingress\":{}}}"
             ),
             Self::SCHEMA_VERSION,
             json_string(&self.protocol),
@@ -249,6 +370,7 @@ impl RunReport {
             json_f64(self.phase_breakdown[2]),
             json_f64(self.phase_breakdown[3]),
             per_node.join(","),
+            ingress,
         )
     }
 
@@ -292,10 +414,18 @@ impl RunReport {
     ///   run, `"fsync-<policy>"` when the cluster persisted through a
     ///   configured store. No other key changed, so v3 consumers that
     ///   ignore unknown keys parse v4 reports.
-    pub const SCHEMA_VERSION: u32 = 4;
+    /// * **5** — client-RPC ingress: adds the trailing top-level `ingress`
+    ///   key (24 → 25 keys), an object with `enabled`, per-lane
+    ///   probe/normal/bulk counters (accepted / committed / lost / shed /
+    ///   duplicate plus submit→commit latency percentiles) and fleet-level
+    ///   `retries` / `abandoned` / `transport_errors`. Always emitted —
+    ///   `enabled: false` with zeros when the scenario carried no ingress
+    ///   load. No other key changed, so v4 consumers that ignore unknown
+    ///   keys parse v5 reports.
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// The schema as a constant.
-    pub const SCHEMA: [&'static str; 24] = [
+    pub const SCHEMA: [&'static str; 25] = [
         "schema_version",
         "protocol",
         "scenario",
@@ -320,6 +450,7 @@ impl RunReport {
         "latency_cdf",
         "phase_breakdown",
         "per_node",
+        "ingress",
     ];
 
     /// Prints a human-readable row plus a machine-readable `JSON:` line.
@@ -396,8 +527,35 @@ mod tests {
         assert!(full.contains(&"per_node".to_string()));
         assert!(full.contains(&"fault_plan".to_string()));
         assert!(full.contains(&"durability".to_string()));
-        assert_eq!(full.len(), 24);
+        assert!(full.contains(&"ingress".to_string()));
+        assert_eq!(full.len(), 25);
         assert_eq!(full[0], "schema_version");
+    }
+
+    #[test]
+    fn ingress_section_emits_disabled_zeros_and_populated_lanes() {
+        let json = RunReport::default().to_json();
+        assert!(json.contains("\"ingress\":{\"enabled\":false,\"lanes\":[{\"lane\":\"probe\""));
+        let mut r = sample();
+        r.ingress.enabled = true;
+        r.ingress.lanes[1].accepted = 40;
+        r.ingress.lanes[1].committed = 40;
+        r.ingress.lanes[2].shed_busy = 7;
+        r.ingress.lanes[1].p99_latency_secs = 0.25;
+        r.ingress.retries = 3;
+        assert_eq!(r.ingress.accepted(), 40);
+        assert_eq!(r.ingress.lost(), 0);
+        assert_eq!(r.ingress.shed(), 7);
+        let json = r.to_json();
+        assert!(json.contains("\"enabled\":true"));
+        assert!(json.contains("\"lane\":\"normal\",\"accepted\":40,\"committed\":40,\"lost\":0"));
+        assert!(json.contains(
+            "\"lane\":\"bulk\",\"accepted\":0,\"committed\":0,\"lost\":0,\"shed_busy\":7"
+        ));
+        assert!(json.contains("\"p99_latency_secs\":0.25"));
+        assert!(json.contains("\"retries\":3,\"abandoned\":0,\"transport_errors\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

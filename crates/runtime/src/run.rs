@@ -19,8 +19,12 @@
 //! real threads or real sockets.
 
 use crate::builder::{ClusterBuilder, ClusterProtocol};
+use crate::ingress::{
+    planned_down, planned_down_windows, ClientFleet, ClusterIngress, IngressDrive,
+};
 use crate::report::{NodeDeliveries, RunReport};
 use crate::scenario::Scenario;
+use fireledger::Availability;
 use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
 use fireledger_sim::{Adversary, LateJoinAdversary, PlanAdversary, SimTime, Simulation};
 use fireledger_types::{
@@ -30,6 +34,25 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::Path;
 use std::time::{Duration, Instant};
+
+/// How early an ingress gate is flipped `Down` ahead of a *planned* node
+/// fault. Work accepted inside the guard window could still sit unproposed
+/// in the node's pool when the fault lands, so the gate refuses (`Busy`)
+/// early and clients fail over — the knowable half of the zero
+/// accepted-then-lost contract.
+const INGRESS_GUARD: Duration = Duration::from_millis(50);
+
+/// Bounded extra wall-clock window a real-time run keeps stepping past its
+/// scheduled end while accepted ingress work is still uncommitted. The
+/// zero accepted-then-lost contract is about *eventual* commitment, and
+/// the tail is genuinely long: after a heal-then-pause soak the resumed
+/// node must detect its lag, range-fetch the gap, and only then propose
+/// the transactions pooled while it was down — ~2s on an otherwise idle
+/// host, more under load. The loop below exits the moment nothing is
+/// outstanding, so a healthy run pays only the actual recovery time; the
+/// bound exists so work that truly never commits is reported lost, not
+/// waited on forever.
+const INGRESS_QUIESCE_GRACE: Duration = Duration::from_secs(10);
 
 /// Drives a cluster through a scenario.
 pub trait Runtime {
@@ -323,10 +346,77 @@ impl Runtime for Simulator {
         // node's state machine must be torn down and rebuilt from its store
         // (total amnesia without one), which only the driver can do.
         let restarts = restart_schedule(scenario);
-        if restarts.is_empty() {
+        let ingress_report = if let Some(load) = &scenario.ingress {
+            if cluster.late_join().is_some() {
+                return Err(Error::Config(
+                    "an ingress load cannot be combined with a late join (both slice the drive)"
+                        .into(),
+                ));
+            }
+            // Ingress slices the whole drive: each 2 ms slice serves the
+            // client fleet against the per-node gates (virtual time, fully
+            // deterministic), injects what was admitted, advances simulated
+            // time, then feeds newly delivered blocks back into the gates'
+            // and the fleet's commit accounting.
+            let slice = Duration::from_millis(2);
+            let gates = ClusterIngress::new(n, load.admission.clone());
+            let deadline = scenario.duration.saturating_sub(load.drain).as_nanos() as u64;
+            let mut fleet = ClientFleet::new(load, n, scenario.seed, deadline);
+            let windows = planned_down_windows(scenario, INGRESS_GUARD);
+            let mut cursors = vec![0usize; n];
+            let rebuild = cluster.rebuilder();
+            let mut restarts = restarts.into_iter().peekable();
+            let mut now = Duration::ZERO;
+            while now < scenario.duration {
+                let now_nanos = now.as_nanos() as u64;
+                for node in 0..n {
+                    gates.set_availability(
+                        node,
+                        if planned_down(&windows, node, now_nanos) {
+                            Availability::Down
+                        } else {
+                            Availability::Up
+                        },
+                    );
+                }
+                while restarts.peek().is_some_and(|(at, _, _)| *at <= now) {
+                    let (_, node, fault) = restarts.next().expect("peeked");
+                    let dir = cluster.node_store_dir(node);
+                    let rebuild = &rebuild;
+                    sim.restart_node(node, move |old| {
+                        drop(old);
+                        if let (Some(dir), Some(fault)) = (dir.as_deref(), fault) {
+                            apply_disk_fault(dir, fault);
+                        }
+                        rebuild(node)
+                    });
+                }
+                let mut port = |node: usize, msg: &fireledger_types::rpc::RpcMsg| {
+                    let (reply, tx) = gates.handle_at(node, msg, now_nanos);
+                    if let Some(tx) = tx {
+                        sim.inject_transaction_at(NodeId(node as u32), tx, SimTime::ZERO + now);
+                    }
+                    Some(reply)
+                };
+                fleet.poll(now_nanos, &mut port);
+                now = (now + slice).min(scenario.duration);
+                sim.run_until(SimTime::ZERO + now);
+                let end_nanos = now.as_nanos() as u64;
+                for (i, cursor) in cursors.iter_mut().enumerate() {
+                    let ds = sim.deliveries(NodeId(i as u32));
+                    for d in &ds[*cursor..] {
+                        gates.gates()[i].note_commit(d.round, d.block.txs.iter());
+                        fleet.note_commits(end_nanos, d.block.txs.iter());
+                    }
+                    *cursor = ds.len();
+                }
+            }
+            Some(fleet.finish())
+        } else if restarts.is_empty() {
             // Absolute deadline, not run_for: a late join may already have
             // consumed part of the run in slices above.
             sim.run_until(SimTime::ZERO + scenario.duration);
+            None
         } else {
             let rebuild = cluster.rebuilder();
             for (at, node, fault) in restarts {
@@ -349,7 +439,8 @@ impl Runtime for Simulator {
                 });
             }
             sim.run_until(SimTime::ZERO + scenario.duration);
-        }
+            None
+        };
 
         let measured = measured_nodes(cluster, scenario);
         let summary = sim.summary_for(&measured);
@@ -388,6 +479,7 @@ impl Runtime for Simulator {
             latency_cdf: sim.metrics().latency_cdf(20),
             phase_breakdown: sim.metrics().phase_breakdown(),
             per_node: delivery_counters(&deliveries, &times_secs),
+            ingress: ingress_report.unwrap_or_default(),
         };
         Ok((report, deliveries))
     }
@@ -414,12 +506,41 @@ fn drive_realtime<P, C>(
     cluster: &ClusterBuilder<P>,
     scenario: &Scenario,
     runtime_name: &str,
+    ingress: Option<std::sync::Arc<ClusterIngress>>,
 ) -> (RunReport, Vec<Vec<Delivery>>)
 where
     P: ClusterProtocol,
     P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
     C: RealtimeCluster,
 {
+    // Sleeping towards a deadline is replaced by short stepped waits when
+    // an ingress fleet rides the run: each ~2 ms step serves due clients
+    // and feeds observed deliveries back into the commit accounting.
+    fn wait_stepping<C: RealtimeCluster>(
+        running: &C,
+        start: Instant,
+        target: Duration,
+        drive: &mut Option<IngressDrive>,
+    ) {
+        if drive.is_none() {
+            let now = start.elapsed();
+            if target > now {
+                std::thread::sleep(target - now);
+            }
+            return;
+        }
+        loop {
+            let now = start.elapsed();
+            if let Some(d) = drive.as_mut() {
+                d.step(running, now);
+            }
+            if now >= target {
+                return;
+            }
+            std::thread::sleep((target - now).min(Duration::from_millis(2)));
+        }
+    }
+
     let n = cluster.params().n();
     let mut timeline: Vec<(Duration, TimelineEvent)> = Vec::new();
     for fault in &scenario.crashes {
@@ -481,6 +602,17 @@ where
     // measuring them from `start` would inflate every latency by the
     // spawn→drive gap (mesh dialing, stage-thread spawning).
     let cluster_start = running.start();
+    let mut ingress_drive = match (&scenario.ingress, ingress) {
+        (Some(load), Some(ci)) => Some(IngressDrive::new(
+            ci,
+            load,
+            n,
+            scenario.seed,
+            scenario.duration,
+            planned_down_windows(scenario, INGRESS_GUARD),
+        )),
+        _ => None,
+    };
     // A late join is driven by delivery progress, not time: poll a
     // reference node until it has delivered the join round, then restart
     // the dormant node — the rebuild hook brings it up in state-sync mode
@@ -513,17 +645,11 @@ where
         // Snapshot delivery counters at the warm-up boundary, before any
         // event scheduled after it is applied.
         if warmup_counts.is_none() && at >= warmup {
-            let now = start.elapsed();
-            if warmup > now {
-                std::thread::sleep(warmup - now);
-            }
+            wait_stepping(&running, start, warmup, &mut ingress_drive);
             warmup_at = start.elapsed();
             warmup_counts = Some(snapshot(&running));
         }
-        let now = start.elapsed();
-        if at > now {
-            std::thread::sleep(at - now);
-        }
+        wait_stepping(&running, start, at, &mut ingress_drive);
         match event {
             TimelineEvent::Crash(node) => running.crash(node),
             TimelineEvent::Pause(node) => running.pause(node),
@@ -542,16 +668,19 @@ where
         }
     }
     if warmup_counts.is_none() {
-        let now = start.elapsed();
-        if warmup > now {
-            std::thread::sleep(warmup - now);
-        }
+        wait_stepping(&running, start, warmup, &mut ingress_drive);
         warmup_at = start.elapsed();
         warmup_counts = Some(snapshot(&running));
     }
-    let now = start.elapsed();
-    if scenario.duration > now {
-        std::thread::sleep(scenario.duration - now);
+    wait_stepping(&running, start, scenario.duration, &mut ingress_drive);
+    // Quiesce: work the gates accepted near the drain deadline may still be
+    // committing; give it a bounded grace before declaring it lost.
+    if let Some(d) = ingress_drive.as_mut() {
+        let grace_deadline = scenario.duration + INGRESS_QUIESCE_GRACE;
+        while d.outstanding() > 0 && start.elapsed() < grace_deadline {
+            std::thread::sleep(Duration::from_millis(2));
+            d.step(&running, start.elapsed());
+        }
     }
     // Snapshot the delivery timeline just before shutdown (the cluster's
     // clock dies with it). A delivery racing this snapshot at most loses
@@ -568,6 +697,11 @@ where
     let deliveries = running.shutdown();
     let elapsed = start.elapsed();
     let window_secs = (elapsed - warmup_at).as_secs_f64().max(1e-9);
+    // Close the commit-observation race: a block delivered between the last
+    // ingress step and the shutdown snapshot is only in `deliveries`.
+    let ingress_report = ingress_drive
+        .map(|d| d.finish(&deliveries, elapsed.as_nanos() as u64))
+        .unwrap_or_default();
 
     let per_node = delivery_counters(&deliveries, &times_secs);
     let at_warmup = warmup_counts.unwrap_or_else(|| vec![(0, 0); n]);
@@ -641,9 +775,19 @@ where
         p99_latency_secs: percentile(99.0),
         latency_cdf,
         per_node,
+        ingress: ingress_report,
         ..Default::default()
     };
     (report, deliveries)
+}
+
+/// The per-node ingress gate assembly for a real-time run, or `None` when
+/// the scenario carries no ingress load.
+fn realtime_ingress(scenario: &Scenario, n: usize) -> Option<std::sync::Arc<ClusterIngress>> {
+    scenario
+        .ingress
+        .as_ref()
+        .map(|load| std::sync::Arc::new(ClusterIngress::new(n, load.admission.clone())))
 }
 
 /// The real-time threaded runtime (in-process channels).
@@ -685,14 +829,24 @@ impl Runtime for Threads {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = ThreadedCluster::spawn_cluster(
+        let mut running = ThreadedCluster::spawn_cluster(
             nodes,
             scenario.faults.clone(),
             pre_verify,
             Some(realtime_rebuilder(cluster)),
             &dormant_nodes(cluster),
         );
-        Ok(drive_realtime(running, cluster, scenario, self.name()))
+        let ingress = realtime_ingress(scenario, cluster.params().n());
+        if let Some(ci) = &ingress {
+            running.attach_rpc(ci.clone());
+        }
+        Ok(drive_realtime(
+            running,
+            cluster,
+            scenario,
+            self.name(),
+            ingress,
+        ))
     }
 }
 
@@ -727,7 +881,7 @@ impl Runtime for Tcp {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = TcpCluster::spawn_cluster(
+        let mut running = TcpCluster::spawn_cluster(
             nodes,
             scenario.faults.clone(),
             pre_verify,
@@ -735,7 +889,19 @@ impl Runtime for Tcp {
             &dormant_nodes(cluster),
         )
         .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
-        Ok(drive_realtime(running, cluster, scenario, self.name()))
+        let ingress = realtime_ingress(scenario, cluster.params().n());
+        if let Some(ci) = &ingress {
+            running
+                .serve_rpc(ci.clone())
+                .map_err(|e| Error::Io(format!("rpc listeners: {e}")))?;
+        }
+        Ok(drive_realtime(
+            running,
+            cluster,
+            scenario,
+            self.name(),
+            ingress,
+        ))
     }
 }
 

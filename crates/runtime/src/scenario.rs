@@ -92,6 +92,12 @@ pub struct Scenario {
     bandwidth: Option<Option<u64>>,
     /// CPU cost-model override.
     cost: Option<CostModel>,
+    /// Client ingress soak riding on the run: an open-loop RPC client fleet
+    /// submitting through every node's admission gate, with per-lane
+    /// accept/shed/commit-latency accounting in the report's `ingress`
+    /// section. `None` (the default) leaves the run on the plain workload
+    /// injection path.
+    pub ingress: Option<crate::ingress::IngressLoad>,
 }
 
 impl Scenario {
@@ -110,6 +116,7 @@ impl Scenario {
             seed: 1,
             bandwidth: None,
             cost: None,
+            ingress: None,
         }
     }
 
@@ -174,6 +181,17 @@ impl Scenario {
     /// catalog with one snippet per plan is `docs/SCENARIOS.md`.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Attaches an open-loop client-RPC ingress soak (see
+    /// [`crate::ingress::IngressLoad`]): clients submit through the §11 RPC
+    /// sub-protocol into per-node admission gates instead of the raw
+    /// injection path, and the run report gains a populated `ingress`
+    /// section with per-lane accepted/shed/lost counts and submit→commit
+    /// latency percentiles.
+    pub fn with_ingress(mut self, load: crate::ingress::IngressLoad) -> Self {
+        self.ingress = Some(load);
         self
     }
 

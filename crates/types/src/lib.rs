@@ -24,6 +24,7 @@ pub mod faults;
 pub mod ids;
 pub mod persist;
 pub mod rng;
+pub mod rpc;
 pub mod runtime;
 pub mod sync;
 pub mod transaction;
@@ -43,6 +44,7 @@ pub use faults::{
 pub use ids::{NodeId, Round, WorkerId};
 pub use persist::{StoredBlock, WalRecord, WAL_LOCKED, WAL_ROUND, WAL_VOTE};
 pub use rng::DetRng;
+pub use rpc::{Lane, RejectReason, RpcMsg, SubmitStatus, MAX_RPC_PAYLOAD};
 pub use runtime::{Action, Delivery, Observation, Outbox, Protocol, TimerId};
 pub use sync::{SyncMsg, MAX_SYNC_BODIES, MAX_SYNC_HEADERS};
 pub use transaction::Transaction;

@@ -456,6 +456,14 @@ pub trait Protocol {
     /// implementation ignores client traffic (some sub-protocols never see
     /// clients).
     fn on_transaction(&mut self, _tx: Transaction, _out: &mut Outbox<Self::Msg>) {}
+
+    /// True while the node is catching up through state sync and must not
+    /// accept client work it could lose. Ingress admission mirrors this into
+    /// a `Syncing` backpressure signal. Protocols without a sync phase keep
+    /// the default.
+    fn is_syncing(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

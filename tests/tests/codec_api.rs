@@ -20,6 +20,7 @@ use fireledger_baselines::{HotStuffMsg, OrderedBatch};
 use fireledger_bft::{ObbcMsg, PbftMsg, RbMsg};
 use fireledger_store::{decode_footer, encode_footer, encode_record, scan_records, REC_BLOCK};
 use fireledger_types::codec::FrameHeader;
+use fireledger_types::rpc::{Lane, RejectReason, RpcMsg, SubmitStatus};
 use fireledger_types::{
     BlockHeader, CodecError, Hash, NodeId, Round, Signature, SignedHeader, StoredBlock, SyncMsg,
     Transaction, WalRecord, WireCodec, WorkerId, GENESIS_HASH,
@@ -418,6 +419,170 @@ fn golden_frame_of_wire_format_section_8_is_unchanged() {
     );
     assert_eq!(got_hex, expected_hex);
     assert_eq!(FloMsg::decode(&payload).unwrap(), msg);
+}
+
+fn every_rpc_msg() -> Vec<RpcMsg> {
+    vec![
+        RpcMsg::Submit {
+            client: 7,
+            seq: 1,
+            lane: Lane::Normal,
+            payload: vec![0xAA, 0xBB],
+        },
+        RpcMsg::Submit {
+            client: 7,
+            seq: 2,
+            lane: Lane::Probe,
+            payload: Vec::new(),
+        },
+        RpcMsg::Submit {
+            client: 7,
+            seq: 3,
+            lane: Lane::Bulk,
+            payload: vec![0x46, 0x49, 0x52, 0x45],
+        },
+        RpcMsg::SubmitAck {
+            client: 7,
+            seq: 1,
+            status: SubmitStatus::Accepted { ticket: 99 },
+        },
+        RpcMsg::SubmitAck {
+            client: 7,
+            seq: 2,
+            status: SubmitStatus::Busy { retry_after_ms: 25 },
+        },
+        RpcMsg::SubmitAck {
+            client: 7,
+            seq: 3,
+            status: SubmitStatus::Duplicate,
+        },
+        RpcMsg::SubmitAck {
+            client: 7,
+            seq: 4,
+            status: SubmitStatus::RateLimited { retry_after_ms: 50 },
+        },
+        RpcMsg::SubmitAck {
+            client: 7,
+            seq: 5,
+            status: SubmitStatus::Syncing,
+        },
+        RpcMsg::Query { req: 11 },
+        RpcMsg::QueryReply {
+            req: 11,
+            definite: Round(4096),
+        },
+        RpcMsg::Subscribe { from: Round(10) },
+        RpcMsg::Event {
+            round: Round(10),
+            tx_count: 3,
+        },
+        RpcMsg::Reject {
+            reason: RejectReason::BadFrame,
+        },
+        RpcMsg::Reject {
+            reason: RejectReason::Oversized,
+        },
+        RpcMsg::Reject {
+            reason: RejectReason::BadMessage,
+        },
+    ]
+}
+
+#[test]
+fn rpc_msgs_satisfy_the_codec_contract() {
+    let mut scratch = vec![0xEEu8; 48];
+    for msg in every_rpc_msg() {
+        assert_codec_contract(&msg, &mut scratch);
+    }
+}
+
+/// The golden encodings of WIRE_FORMAT.md §11 — one per `RpcMsg` variant
+/// (every `SubmitStatus` and `RejectReason` included), plus the §3 framing
+/// of the worked submit example. The client RPC port is the one place
+/// where *software we do not ship* speaks our wire format, so these bytes
+/// are load-bearing for third-party clients: a failure here means the
+/// ingress format moved, which requires a `WIRE_VERSION` bump and a spec
+/// update, never a silent change.
+#[test]
+fn golden_rpc_messages_of_wire_format_section_11_are_unchanged() {
+    let expected = [
+        concat!(
+            "01",
+            "0000000000000007",
+            "0000000000000001",
+            "02",
+            "00000002",
+            "aabb"
+        ),
+        concat!(
+            "01",
+            "0000000000000007",
+            "0000000000000002",
+            "01",
+            "00000000"
+        ),
+        concat!(
+            "01",
+            "0000000000000007",
+            "0000000000000003",
+            "03",
+            "00000004",
+            "46495245"
+        ),
+        concat!(
+            "02",
+            "0000000000000007",
+            "0000000000000001",
+            "01",
+            "0000000000000063"
+        ),
+        concat!(
+            "02",
+            "0000000000000007",
+            "0000000000000002",
+            "02",
+            "00000019"
+        ),
+        concat!("02", "0000000000000007", "0000000000000003", "03"),
+        concat!(
+            "02",
+            "0000000000000007",
+            "0000000000000004",
+            "04",
+            "00000032"
+        ),
+        concat!("02", "0000000000000007", "0000000000000005", "05"),
+        concat!("03", "000000000000000b"),
+        concat!("04", "000000000000000b", "0000000000001000"),
+        concat!("05", "000000000000000a"),
+        concat!("06", "000000000000000a", "00000003"),
+        "0701",
+        "0702",
+        "0703",
+    ];
+    for (msg, want) in every_rpc_msg().iter().zip(expected) {
+        assert_eq!(hex(&msg.encode()), want, "golden moved for {msg:?}");
+    }
+    // The framed submit of §11.1: the same 9-byte §3 header the inter-node
+    // links use, wrapping the worked `Submit` example.
+    let submit = &every_rpc_msg()[0];
+    let payload = submit.encode();
+    let mut frame = FrameHeader::new(payload.len()).encode().to_vec();
+    frame.extend_from_slice(&payload);
+    assert_eq!(
+        hex(&frame),
+        concat!(
+            "464c4752",
+            "01",
+            "00000018",
+            "01",
+            "0000000000000007",
+            "0000000000000001",
+            "02",
+            "00000002",
+            "aabb",
+        )
+    );
 }
 
 /// The worked examples of WIRE_FORMAT.md §9 — the durable store's on-disk
