@@ -69,6 +69,11 @@ impl WireCodec for QuorumCert {
 }
 
 /// HotStuff wire messages.
+//
+// `Proposal` dwarfs the vote/pacemaker variants (its header now carries the
+// lagged execution state root), but it is also the broadcast-once message —
+// boxing it would buy nothing on the wire and cost an allocation per view.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum HotStuffMsg {
     /// Leader proposal for a view: a block extending `justify`.

@@ -447,9 +447,87 @@ fn main() {
         soak_rows.join(",")
     );
 
+    // The execution section: the pipelined execution engine's
+    // executed-transitions/s rows. FLO runs saturated with *executable*
+    // filler (deterministic §12.1 op payloads) and the execution engine
+    // enabled, under two workload shapes: `disjoint` (conflict 0% — every
+    // conflict component is a single op, the partitioned apply's best case)
+    // and `conflict50` (half the ops land on a 4-entry hot key set). Each
+    // row records the report's `execution` section — executed blocks/txs,
+    // applied transitions, transitions/s, receipt histogram, and the root
+    // cross-check counters, which must show zero mismatches. The sim cell
+    // runs twice and must serialize byte-identically — execution rides the
+    // deterministic slicing, so any divergence is an engine bug.
+    let exec_cluster = |conflict_pct: u8| {
+        // batch 64 keeps blocks above the partitioned apply's serial
+        // threshold, so the conflict knob actually changes the component
+        // structure the executor sees.
+        ClusterBuilder::<FloCluster>::new(
+            ProtocolParams::new(4)
+                .with_workers(2)
+                .with_batch_size(64)
+                .with_tx_size(64)
+                .with_base_timeout(Duration::from_millis(250))
+                .with_fill_ops(FillOps {
+                    accounts: 64,
+                    conflict_pct,
+                }),
+        )
+        .with_seed(29)
+        .with_execution(ExecConfig::with_genesis(64, 1_000_000))
+    };
+    let exec_scenario = Scenario::new("exec-throughput")
+        .ideal()
+        .run_for(duration.min(Duration::from_millis(900)))
+        .with_warmup(Duration::ZERO)
+        .with_seed(29);
+    let exec_row = |runtime: &str, workload: &str, report: &RunReport| {
+        let e = &report.execution;
+        println!(
+            "execution {runtime:<8} {workload:<10} | transitions/s={:>9.0} applied={:>7} blocks={:>6} root_checks={:>5} mismatches={}",
+            e.transitions_per_sec, e.applied_transitions, e.executed_blocks,
+            e.root_checks, e.root_mismatches,
+        );
+        if !e.enabled || e.applied_transitions == 0 || e.root_checks == 0 {
+            eprintln!("error: execution row {runtime}/{workload} measured nothing: {e:?}");
+            std::process::exit(1);
+        }
+        if e.root_mismatches > 0 {
+            eprintln!("error: execution root mismatches on {runtime}/{workload}: {e:?}");
+            std::process::exit(1);
+        }
+        format!(
+            "{{\"runtime\":\"{runtime}\",\"workload\":\"{workload}\",\"report\":{}}}",
+            e.to_json()
+        )
+    };
+    let mut exec_rows = Vec::new();
+    for (workload, conflict_pct) in [("disjoint", 0u8), ("conflict50", 50u8)] {
+        let sim = Simulator
+            .run(&exec_cluster(conflict_pct), &exec_scenario)
+            .expect("execution row (sim)");
+        let sim_again = Simulator
+            .run(&exec_cluster(conflict_pct), &exec_scenario)
+            .expect("execution row (sim, determinism re-run)");
+        if sim.execution.to_json() != sim_again.execution.to_json() {
+            eprintln!("error: sim execution row '{workload}' is not byte-deterministic");
+            std::process::exit(1);
+        }
+        let threads = Threads
+            .run(&exec_cluster(conflict_pct), &exec_scenario)
+            .expect("execution row (threads)");
+        let tcp = Tcp
+            .run(&exec_cluster(conflict_pct), &exec_scenario)
+            .expect("execution row (tcp)");
+        exec_rows.push(exec_row("sim", workload, &sim));
+        exec_rows.push(exec_row("threads", workload, &threads));
+        exec_rows.push(exec_row("tcp", workload, &tcp));
+    }
+    let execution_json = format!("[{}]", exec_rows.join(","));
+
     let point_rows: Vec<String> = points.iter().map(Point::to_json).collect();
     let run_json = format!(
-        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json},\"ingress\":{ingress_json}}}",
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json},\"ingress\":{ingress_json},\"execution\":{execution_json}}}",
         point_rows.join(",")
     );
     println!("JSON: {run_json}");

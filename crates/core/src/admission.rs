@@ -56,6 +56,16 @@ pub enum Availability {
 #[derive(Clone, Debug)]
 pub struct AdmissionConfig {
     /// Recently-seen `(client, seq)` ids kept for duplicate suppression.
+    ///
+    /// **Eviction bound:** the window is FIFO over *admissions*, except that
+    /// an id still inflight (accepted, not yet committed) is never evicted —
+    /// its retry must stay `Duplicate` until it commits, or the same
+    /// transaction could be admitted twice. Inflight ids are themselves
+    /// bounded by `capacity`, so the dedup set holds at most
+    /// `dedup_window + capacity` entries; an id that ages out becomes
+    /// re-acceptable (clients are expected not to reuse a sequence number
+    /// `dedup_window` admissions later). Pinned by
+    /// `dedup_window_eviction_is_bounded_by_window_plus_capacity`.
     pub dedup_window: usize,
     /// Token-bucket refill rate per client, in transactions per second.
     /// `0` disables rate limiting.
@@ -253,6 +263,12 @@ impl IngressGate {
         self.inner.lock().expect("ingress gate").inflight.len()
     }
 
+    /// Ids currently held for duplicate suppression — bounded by
+    /// `dedup_window + capacity` (see [`AdmissionConfig::dedup_window`]).
+    pub fn dedup_entries(&self) -> usize {
+        self.inner.lock().expect("ingress gate").seen.len()
+    }
+
     fn lane_limit(&self, lane: Lane) -> usize {
         let pct = |p: u32| (self.cfg.capacity.saturating_mul(p as usize)) / 100;
         match lane {
@@ -323,10 +339,14 @@ impl IngressGate {
         inner.inflight.insert(id, lane);
         inner.seen.insert(id);
         inner.seen_order.push_back(id);
+        // Eviction policy (see `AdmissionConfig::dedup_window`): drop the
+        // oldest admitted ids down to the window, but never an id that is
+        // still inflight — it rotates to the back instead (at most one
+        // rotation per submit, so a stuck head cannot spin this loop). Each
+        // submit adds one entry and an inflight entry stays counted against
+        // `capacity`, so `seen` never exceeds `dedup_window + capacity`.
         while inner.seen_order.len() > self.cfg.dedup_window {
             if let Some(old) = inner.seen_order.pop_front() {
-                // Never evict an id that is still inflight: its retry must
-                // stay a duplicate until it commits.
                 if inner.inflight.contains_key(&old) {
                     inner.seen_order.push_back(old);
                     break;
@@ -487,6 +507,52 @@ mod tests {
         assert!(g.try_submit(1, 1, Lane::Normal, 0).is_accepted());
         assert_eq!(g.try_submit(1, 0, Lane::Normal, 0), SubmitStatus::Duplicate);
         assert_eq!(g.try_submit(1, 1, Lane::Normal, 0), SubmitStatus::Duplicate);
+    }
+
+    #[test]
+    fn dedup_window_eviction_is_bounded_by_window_plus_capacity() {
+        // The documented eviction bound of `AdmissionConfig::dedup_window`:
+        // the dedup set never exceeds dedup_window + capacity entries, no
+        // matter how many ids flow through or how commits interleave.
+        let (window, capacity) = (16usize, 8usize);
+        let g = gate(AdmissionConfig {
+            dedup_window: window,
+            capacity,
+            ..AdmissionConfig::default()
+        });
+        // Phase 1: pin half the capacity inflight (never committed), leaving
+        // headroom so churn submits in phase 2 are not refused as Busy.
+        let pinned = capacity / 2;
+        for seq in 0..pinned as u64 {
+            assert!(g.try_submit(1, seq, Lane::Probe, 0).is_accepted());
+        }
+        assert_eq!(g.inflight(), pinned);
+        // Phase 2: churn many more ids through, committing each immediately
+        // so the queue never refuses — the dedup set is what's under test.
+        for seq in 0..500u64 {
+            assert!(g.try_submit(2, seq, Lane::Probe, 0).is_accepted());
+            g.note_commit(Round(seq), [Transaction::zeroed(2, seq, 4)].iter());
+            assert!(
+                g.dedup_entries() <= window + capacity,
+                "dedup set grew past the documented bound at seq {seq}: {} > {}",
+                g.dedup_entries(),
+                window + capacity
+            );
+        }
+        // The pinned inflight ids were never evicted…
+        for seq in 0..pinned as u64 {
+            assert_eq!(
+                g.try_submit(1, seq, Lane::Probe, 0),
+                SubmitStatus::Duplicate
+            );
+        }
+        // …while churned ids older than the window aged out and readmit.
+        assert!(g.try_submit(2, 0, Lane::Probe, 0).is_accepted());
+        // Recent churned ids inside the window still dedup.
+        assert_eq!(
+            g.try_submit(2, 499, Lane::Probe, 0),
+            SubmitStatus::Duplicate
+        );
     }
 
     #[test]

@@ -223,6 +223,26 @@ impl FloNode {
         }
     }
 
+    /// Attaches one execution shard per worker (see [`Worker::set_exec`]):
+    /// each worker stream is executed by its own independent state machine,
+    /// so FLO's sharded ordering carries straight through to sharded
+    /// execution. Call order against [`FloNode::recover_from_disk`] does not
+    /// matter — each worker re-feeds its restored prefix on attach.
+    ///
+    /// # Panics
+    /// Panics when fewer shards than workers are supplied.
+    pub fn set_exec(&mut self, shards: &[fireledger_exec::ExecShared]) {
+        assert!(
+            shards.len() >= self.workers.len(),
+            "need one execution shard per worker: got {}, have ω = {}",
+            shards.len(),
+            self.workers.len()
+        );
+        for (w, shard) in self.workers.iter_mut().zip(shards) {
+            w.set_exec(shard.clone());
+        }
+    }
+
     /// Marks every worker's ingress as runtime-pre-verified (see
     /// [`Worker::set_preverified_ingress`]).
     pub fn set_preverified_ingress(&mut self, on: bool) {

@@ -647,9 +647,12 @@ mod tests {
         frame.extend_from_slice(&payload);
 
         let expected_hex = concat!(
-            // Frame header: magic "FLGR", version 1, payload length 65.
+            // Frame header: magic "FLGR", version 2, payload length 65.
+            // (Version 2 added the optional execution root to canonical
+            // header bytes — WIRE_FORMAT.md §12; body messages like this
+            // one are unchanged apart from the version byte.)
             "464c4752",
-            "01",
+            "02",
             "00000041",
             // FloMsg: worker 0.
             "00000000",

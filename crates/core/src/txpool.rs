@@ -24,7 +24,7 @@
 //! its block to the maximum size with randomly generated transactions (§7.2);
 //! [`TxPool::take_batch`] supports that through the `fill` parameter.
 
-use fireledger_types::{Bytes, Transaction};
+use fireledger_types::{Bytes, FillOps, Transaction, TxOp};
 use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -56,6 +56,58 @@ struct FillerState {
     /// one σ are byte-identical, so under saturated load every filler is a
     /// reference bump instead of a fresh σ-byte allocation per transaction.
     payload: Option<Bytes>,
+    /// When set, fillers carry deterministic executable ops (§12.1 payloads)
+    /// instead of the shared zeroed payload — each one a pure function of
+    /// `(client, seq)`, which keeps saturated blocks bit-identical across
+    /// runtimes while actually exercising the execution state machine.
+    ops: Option<FillOps>,
+}
+
+/// The deterministic executable-filler payload for filler identity
+/// `(client, seq)` under `ops`.
+///
+/// Even sequences put a KV value (always applies — guarantees the state
+/// root moves every block); odd sequences transfer between accounts.
+/// `conflict_pct` of the ops land on a 4-entry hot key/account set so
+/// blocks mix hot conflict components with disjoint singletons.
+fn filler_op_payload(client: u64, seq: u64, ops: FillOps) -> Bytes {
+    // SplitMix64-style finalizer over the filler identity: runtime-
+    // independent, allocation-free, and well spread even though client ids
+    // are nearly consecutive.
+    let mut h = client ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    let hot = h % 100 < ops.conflict_pct as u64;
+    let accounts = ops.accounts.max(1);
+    let hot_set = 4u64.min(accounts);
+    if seq.is_multiple_of(2) {
+        // The disjoint keyspace is deliberately bounded: per-round state
+        // roots cost O(state size), so an ever-growing state would make
+        // saturated runs quadratic in run length.
+        let key = if hot { h % hot_set } else { 64 + (h % 256) };
+        TxOp::KvPut {
+            key,
+            value: Bytes::from(h.to_be_bytes().to_vec()),
+        }
+        .encode_payload()
+    } else {
+        let from = h % accounts;
+        // Hot ops credit a top account (a shared conflict key); disjoint
+        // ops self-transfer, touching nothing but their own account.
+        let to = if hot {
+            accounts - 1 - (h % hot_set)
+        } else {
+            from
+        };
+        TxOp::Transfer {
+            from,
+            to,
+            amount: 1,
+            nonce: h % 4,
+        }
+        .encode_payload()
+    }
 }
 
 /// A sharded FIFO transaction pool with duplicate suppression.
@@ -108,8 +160,17 @@ impl TxPool {
                 seq: 0,
                 client: filler_client,
                 payload: None,
+                ops: None,
             }),
         }
+    }
+
+    /// Builder-style switch to executable filler transactions (see
+    /// [`FillOps`]): subsequent fill batches carry deterministic op
+    /// payloads instead of zeroed ones.
+    pub fn with_fill_ops(self, ops: Option<FillOps>) -> Self {
+        self.filler.lock().expect("txpool filler").ops = ops;
+        self
     }
 
     /// Number of pending transactions (a snapshot under concurrent use).
@@ -209,18 +270,27 @@ impl TxPool {
             }
         }
         if fill && batch.len() < batch_size {
-            let payload = match &filler.payload {
-                Some(p) if p.len() == tx_size => p.clone(),
-                _ => {
-                    let p = Bytes::from(vec![0u8; tx_size]);
-                    filler.payload = Some(p.clone());
-                    p
+            if let Some(ops) = filler.ops {
+                while batch.len() < batch_size {
+                    let payload = filler_op_payload(filler.client, filler.seq, ops);
+                    let tx = Transaction::new(filler.client, filler.seq, payload);
+                    filler.seq += 1;
+                    batch.push(tx);
                 }
-            };
-            while batch.len() < batch_size {
-                let tx = Transaction::new(filler.client, filler.seq, payload.clone());
-                filler.seq += 1;
-                batch.push(tx);
+            } else {
+                let payload = match &filler.payload {
+                    Some(p) if p.len() == tx_size => p.clone(),
+                    _ => {
+                        let p = Bytes::from(vec![0u8; tx_size]);
+                        filler.payload = Some(p.clone());
+                        p
+                    }
+                };
+                while batch.len() < batch_size {
+                    let tx = Transaction::new(filler.client, filler.seq, payload.clone());
+                    filler.seq += 1;
+                    batch.push(tx);
+                }
             }
         }
         self.total_included
@@ -320,6 +390,57 @@ mod tests {
         let batch2 = pool.take_batch(5, 512, true);
         let all_ids: HashSet<_> = batch.iter().chain(batch2.iter()).map(|t| t.id()).collect();
         assert_eq!(all_ids.len(), 15);
+    }
+
+    #[test]
+    fn ops_filler_emits_deterministic_executable_payloads() {
+        use fireledger_types::DecodedOp;
+        let ops = FillOps {
+            accounts: 32,
+            conflict_pct: 50,
+        };
+        let take = || {
+            TxPool::new(77)
+                .with_fill_ops(Some(ops))
+                .take_batch(64, 512, true)
+        };
+        let batch = take();
+        assert_eq!(batch.len(), 64);
+        // Every filler decodes to a real op — never opaque, never malformed.
+        let mut hot = 0;
+        let mut disjoint = 0;
+        for tx in &batch {
+            match TxOp::classify_payload(&tx.payload) {
+                DecodedOp::Op(TxOp::KvPut { key, .. }) => {
+                    if key < 4 {
+                        hot += 1;
+                    } else {
+                        disjoint += 1;
+                    }
+                }
+                DecodedOp::Op(TxOp::Transfer { from, to, .. }) => {
+                    assert!(from < 32 && to < 32);
+                    if to == from {
+                        disjoint += 1;
+                    } else {
+                        hot += 1;
+                    }
+                }
+                other => panic!("filler generated a non-executable payload: {other:?}"),
+            }
+        }
+        // The 50% conflict knob produces both kinds.
+        assert!(hot > 0 && disjoint > 0, "hot {hot} disjoint {disjoint}");
+        // Pure function of (client, seq): a second pool emits the same bytes.
+        assert_eq!(batch, take());
+        // A different filler client emits different payload streams.
+        let other = TxPool::new(78)
+            .with_fill_ops(Some(ops))
+            .take_batch(64, 512, true);
+        assert!(batch
+            .iter()
+            .zip(&other)
+            .any(|(a, b)| a.payload != b.payload));
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::txpool::TxPool;
 use crate::validity::{structurally_consistent, SharedValidity};
 use fireledger_bft::{Pbft, PbftConfig, ReliableBroadcast};
 use fireledger_crypto::{hash_header, verify_header_cached, CryptoPool, SharedCrypto};
+use fireledger_exec::{prefix_for_header, root_lag, ClaimCheck, ExecShared};
 use fireledger_types::runtime::CpuCharge;
 use fireledger_types::{
     Block, BlockHeader, Delivery, Hash, NodeId, Observation, Outbox, Protocol, ProtocolParams,
@@ -157,6 +158,11 @@ pub struct Worker {
     /// Durable store for the consensus WAL, when the node was built with
     /// one. Votes are written here *before* they are broadcast.
     store: Option<std::sync::Arc<fireledger_store::NodeStore>>,
+    /// The pipelined execution engine for this worker's delivery stream,
+    /// when the cluster runs with execution enabled (see
+    /// [`Worker::set_exec`]). `None` — the default — keeps the worker a
+    /// pure ordering machine and its headers free of execution roots.
+    exec: Option<ExecShared>,
     /// Votes replayed from the WAL after a restart, keyed by attempt: a
     /// restarted worker re-casts exactly the vote its pre-kill self already
     /// sent for an attempt, so a kill-restart can never equivocate.
@@ -194,7 +200,8 @@ impl Worker {
                 params.failure_detector,
             ),
             chain: Chain::new(cluster),
-            txpool: TxPool::new(1_000_000 + me.0 as u64 * 1_000 + worker_id.0 as u64),
+            txpool: TxPool::new(1_000_000 + me.0 as u64 * 1_000 + worker_id.0 as u64)
+                .with_fill_ops(params.fill_ops),
             rotation,
             round: Round(0),
             proposer,
@@ -221,6 +228,7 @@ impl Worker {
             sync_wanted: false,
             next_to_deliver: 0,
             store: None,
+            exec: None,
             persisted_votes: HashMap::new(),
             locked: HashMap::new(),
             params,
@@ -335,6 +343,39 @@ impl Worker {
         self.store = Some(store);
     }
 
+    /// Attaches the pipelined execution engine to this worker's delivery
+    /// stream: every block delivered from now on is enqueued for execution
+    /// behind the commit frontier, the worker's own headers carry the lagged
+    /// execution root (see [`fireledger_exec::root_lag`]), and delivered
+    /// headers' claimed roots are cross-checked against local execution
+    /// (a mismatch surfaces as [`Observation::ExecRootMismatch`]).
+    ///
+    /// Any definite prefix already restored from disk is fed to the executor
+    /// first, so call order against [`Worker::restore_definite_block`] does
+    /// not matter — the executor ignores rounds it has already consumed.
+    pub fn set_exec(&mut self, exec: ExecShared) {
+        for idx in 0..self.next_to_deliver {
+            if let Some(entry) = self.chain.get(Round(idx as u64)) {
+                if let Some(body) = &entry.body {
+                    exec.enqueue(idx as u64, body);
+                }
+            }
+        }
+        self.exec = Some(exec);
+    }
+
+    /// The attached execution engine, when [`Worker::set_exec`] installed
+    /// one (tests and the report harness read stats through it).
+    pub fn exec(&self) -> Option<&ExecShared> {
+        self.exec.as_ref()
+    }
+
+    /// The execution-root lag of this cluster: header `k` carries the root
+    /// of the executed prefix through round `k − (f+3)`.
+    fn exec_lag(&self) -> u64 {
+        root_lag(self.params.f() as u32)
+    }
+
     /// Appends one WAL entry, swallowing (but not hiding — the store flags
     /// itself failed) storage errors.
     fn wal_append(&self, rec: &fireledger_types::WalRecord) {
@@ -348,6 +389,11 @@ impl Worker {
     /// and refreshes the rotation bookkeeping, exactly as the original
     /// decision did.
     pub fn restore_definite_block(&mut self, signed: SignedHeader, block: Block) {
+        if let Some(exec) = &self.exec {
+            // Re-feed the recovered prefix to the executor in order; rounds
+            // it already consumed are ignored.
+            exec.enqueue(signed.round().0, &block);
+        }
         self.rotation
             .record_decided(signed.proposer(), signed.round());
         self.chain.restore_definite(signed, Some(block));
@@ -442,7 +488,13 @@ impl Worker {
     /// Assembles, signs and disseminates this node's block for the current
     /// round (the `full_mode` / explicit path).
     fn propose_own_block(&mut self, out: &mut Outbox<WorkerMsg>) {
-        let signed = self.build_own_header(self.round, self.chain.tip_hash(), out);
+        let Some(signed) = self.build_own_header(self.round, self.chain.tip_hash(), out) else {
+            // Execution root not available yet (transient, e.g. mid
+            // state-sync): skip this proposal rather than sign a header we
+            // cannot stamp. The round resolves by timeout and the rotation
+            // preserves liveness.
+            return;
+        };
         out.broadcast(WorkerMsg::Header {
             header: signed.clone(),
         });
@@ -457,12 +509,26 @@ impl Worker {
     /// Builds (and signs) our header for `round` on top of `parent`, also
     /// broadcasting the block body on the data path. Reuses nothing: each call
     /// produces a fresh batch from the pool.
+    ///
+    /// Returns `None` — without consuming any transactions — when execution
+    /// is enabled but the lagged root for `round` is not locally available
+    /// yet, so the caller skips the proposal instead of signing an
+    /// unstampable header.
     fn build_own_header(
         &mut self,
         round: Round,
         parent: Hash,
         out: &mut Outbox<WorkerMsg>,
-    ) -> SignedHeader {
+    ) -> Option<SignedHeader> {
+        // Execution root for the header (WIRE_FORMAT.md §12): the canonical
+        // state root of the executed prefix through round `k − (f+3)`, the
+        // newest round guaranteed definite when a header for round `k` is
+        // built. Resolved before the batch is taken so a skipped proposal
+        // loses nothing.
+        let exec_root = match &self.exec {
+            None => None,
+            Some(exec) => Some(exec.prefix_root(prefix_for_header(round.0, self.exec_lag()))?),
+        };
         let txs = self.txpool.take_batch(
             self.params.batch_size,
             self.params.tx_size,
@@ -471,7 +537,7 @@ impl Worker {
         let payload_hash = self.pool.merkle_root_par(&txs, &mut self.leaf_scratch);
         self.body_roots.insert(payload_hash, payload_hash);
         let payload_bytes: u64 = txs.iter().map(|t| t.payload.len() as u64).sum();
-        let header = BlockHeader::new(
+        let mut header = BlockHeader::new(
             round,
             self.worker_id,
             self.me,
@@ -480,6 +546,11 @@ impl Worker {
             txs.len() as u32,
             payload_bytes,
         );
+        if let Some(root) = exec_root {
+            // Stamped strictly before signing: the root is part of the
+            // canonical (signed) header bytes.
+            header = header.with_exec_root(root);
+        }
         let signature = self.crypto.sign(self.me, &header.canonical_bytes());
         // Signing a block = hashing its payload + one ECDSA signature (§7.1).
         out.cpu(CpuCharge::sign(payload_bytes));
@@ -496,7 +567,7 @@ impl Worker {
         });
         self.bodies.insert(payload_hash, txs);
         self.validated_bodies.insert(payload_hash);
-        SignedHeader::new(header, signature)
+        Some(SignedHeader::new(header, signature))
     }
 
     /// Returns the header of the current attempt if we have it and it is
@@ -585,14 +656,18 @@ impl Worker {
                         .expect("voting 1 implies the header is known")
                         .header,
                 );
-                let signed = self.build_own_header(next_round, parent, out);
-                out.observe(Observation::HeaderProposed {
-                    worker: self.worker_id,
-                    round: next_round,
-                });
-                self.my_header_sent.insert(next_round);
-                self.headers.insert((next_round, self.me), signed.clone());
-                piggyback = Some(signed);
+                // A `None` here (execution root transiently unavailable)
+                // simply forgoes the piggyback; the next round's explicit
+                // propose path retries.
+                if let Some(signed) = self.build_own_header(next_round, parent, out) {
+                    out.observe(Observation::HeaderProposed {
+                        worker: self.worker_id,
+                        round: next_round,
+                    });
+                    self.my_header_sent.insert(next_round);
+                    self.headers.insert((next_round, self.me), signed.clone());
+                    piggyback = Some(signed);
+                }
             }
         }
 
@@ -820,6 +895,21 @@ impl Worker {
                 }
                 return;
             };
+            if let Some(exec) = &self.exec {
+                // Committed, immutable block → execution pipeline, at the
+                // deterministic delivery point (inline under the simulator,
+                // stage-thread hand-off under the real-time runtimes).
+                exec.enqueue(round.0, &body);
+                if let Some(claimed) = entry.signed_header.header.exec_root {
+                    let prefix = prefix_for_header(round.0, self.exec_lag());
+                    if let ClaimCheck::Mismatch(_) = exec.expect_prefix(prefix, round.0, claimed) {
+                        out.observe(Observation::ExecRootMismatch {
+                            worker: self.worker_id,
+                            round,
+                        });
+                    }
+                }
+            }
             out.deliver(Delivery {
                 worker: self.worker_id,
                 round,

@@ -1,0 +1,471 @@
+//! The deterministic account/KV state machine and its canonical root.
+//!
+//! [`StateMachine`] holds two sorted namespaces — accounts (balance + nonce)
+//! and a raw KV store — and applies [`TxOp`]s with total, deterministic
+//! semantics: every op yields exactly one [`Receipt`] and every replica that
+//! applies the same ops in the same order reaches the same state.
+//!
+//! The transition function itself is written once, generically over
+//! [`StateAccess`], and shared by the serial path and the
+//! conflict-partitioned parallel path (`crate::apply`) — the two *cannot*
+//! implement different semantics because they run the same code against
+//! different views of the state.
+
+use fireledger_crypto::{merkle_root_into, CryptoPool};
+use fireledger_types::{Bytes, Hash, Receipt, Transaction, TxOp};
+use std::collections::BTreeMap;
+
+/// One account: a balance and a replay-protection nonce.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Account {
+    /// Current balance in abstract units.
+    pub balance: u64,
+    /// Number of transfers this account has successfully debited.
+    pub nonce: u64,
+}
+
+/// Read/write access to the subset of state an op touches.
+///
+/// [`StateMachine`] implements it over the full maps; the parallel apply
+/// path implements it over per-component scratch views. [`apply_op_on`] is
+/// generic over this trait so both paths share one transition function.
+pub trait StateAccess {
+    /// The account stored under `id`, if any.
+    fn account(&self, id: u64) -> Option<Account>;
+    /// Creates or overwrites the account under `id`.
+    fn set_account(&mut self, id: u64, account: Account);
+    /// The value stored under `key`, if any.
+    fn kv_get(&self, key: u64) -> Option<Bytes>;
+    /// Creates or overwrites the value under `key`.
+    fn kv_set(&mut self, key: u64, value: Bytes);
+    /// Removes `key`; removing an absent key is a no-op.
+    fn kv_delete(&mut self, key: u64);
+}
+
+/// Applies one op against `view`, returning its receipt.
+///
+/// The guard order is part of the deterministic semantics (and pinned by
+/// tests): a transfer checks existence of the debited account, existence of
+/// the credited account, the nonce, then the balance — so a transfer that
+/// fails several guards at once always yields the same receipt on every
+/// replica.
+pub fn apply_op_on<V: StateAccess>(view: &mut V, op: &TxOp) -> Receipt {
+    match op {
+        TxOp::CreateAccount { account, balance } => {
+            if view.account(*account).is_some() {
+                return Receipt::AccountExists { account: *account };
+            }
+            view.set_account(
+                *account,
+                Account {
+                    balance: *balance,
+                    nonce: 0,
+                },
+            );
+            Receipt::Applied
+        }
+        TxOp::Transfer {
+            from,
+            to,
+            amount,
+            nonce,
+        } => {
+            let Some(mut src) = view.account(*from) else {
+                return Receipt::UnknownAccount { account: *from };
+            };
+            let Some(dst) = view.account(*to) else {
+                return Receipt::UnknownAccount { account: *to };
+            };
+            if src.nonce != *nonce {
+                return Receipt::BadNonce {
+                    expected: src.nonce,
+                    got: *nonce,
+                };
+            }
+            if src.balance < *amount {
+                return Receipt::InsufficientFunds {
+                    balance: src.balance,
+                    needed: *amount,
+                };
+            }
+            src.balance -= amount;
+            src.nonce += 1;
+            if from == to {
+                // A self-transfer debits and credits the same account: the
+                // credit lands on the already-debited balance, so only the
+                // nonce advances.
+                src.balance = src.balance.saturating_add(*amount);
+                view.set_account(*from, src);
+            } else {
+                let mut dst = dst;
+                dst.balance = dst.balance.saturating_add(*amount);
+                view.set_account(*from, src);
+                view.set_account(*to, dst);
+            }
+            Receipt::Applied
+        }
+        TxOp::KvPut { key, value } => {
+            view.kv_set(*key, value.clone());
+            Receipt::Applied
+        }
+        TxOp::KvDelete { key } => {
+            view.kv_delete(*key);
+            Receipt::Applied
+        }
+        TxOp::Cas { key, expect, swap } => {
+            if view.kv_get(*key) != *expect {
+                return Receipt::CasMismatch;
+            }
+            view.kv_set(*key, swap.clone());
+            Receipt::Applied
+        }
+    }
+}
+
+/// The full account/KV state, with a canonical merkle root over its sorted
+/// entries.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StateMachine {
+    accounts: BTreeMap<u64, Account>,
+    kv: BTreeMap<u64, Bytes>,
+}
+
+/// `seq` tag of an account leaf in the root's leaf encoding.
+const ACCOUNT_LEAF: u64 = 0;
+/// `seq` tag of a KV leaf in the root's leaf encoding.
+const KV_LEAF: u64 = 1;
+
+impl StateMachine {
+    /// An empty state.
+    pub fn new() -> Self {
+        StateMachine::default()
+    }
+
+    /// A state pre-populated with accounts `0..accounts`, each holding
+    /// `balance` — the deterministic genesis every replica of an
+    /// exec-enabled cluster starts from, so transfer workloads have
+    /// existing accounts to move funds between.
+    pub fn with_genesis(accounts: u64, balance: u64) -> Self {
+        let mut state = StateMachine::new();
+        for id in 0..accounts {
+            state.accounts.insert(id, Account { balance, nonce: 0 });
+        }
+        state
+    }
+
+    /// Applies one op, returning its receipt.
+    pub fn apply_op(&mut self, op: &TxOp) -> Receipt {
+        apply_op_on(self, op)
+    }
+
+    /// Number of existing accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Number of live KV entries.
+    pub fn kv_count(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// The account stored under `id`, if any (test/inspection helper).
+    pub fn account_state(&self, id: u64) -> Option<Account> {
+        self.accounts.get(&id).copied()
+    }
+
+    /// The value stored under `key`, if any (test/inspection helper).
+    pub fn kv_state(&self, key: u64) -> Option<Bytes> {
+        self.kv.get(&key).cloned()
+    }
+
+    /// Iterates the sorted accounts (the parallel apply path extracts
+    /// touched entries through [`StateAccess`], not through this).
+    pub fn accounts(&self) -> impl Iterator<Item = (&u64, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Serializes every state entry into `out` as leaf carriers for the
+    /// merkle root: all accounts in key order, then all KV entries in key
+    /// order, each packed into the workspace's [`Transaction`] type so the
+    /// crypto pool's parallel merkle path is reused unchanged
+    /// ([`CryptoPool::merkle_root_par`]). Account and KV leaves carry
+    /// distinct `seq` tags, so an account id can never collide with an
+    /// equal KV key.
+    pub fn leaf_transactions(&self, out: &mut Vec<Transaction>) {
+        out.clear();
+        out.reserve(self.accounts.len() + self.kv.len());
+        for (id, account) in &self.accounts {
+            let mut payload = [0u8; 16];
+            payload[..8].copy_from_slice(&account.balance.to_be_bytes());
+            payload[8..].copy_from_slice(&account.nonce.to_be_bytes());
+            out.push(Transaction::new(*id, ACCOUNT_LEAF, payload.to_vec()));
+        }
+        for (key, value) in &self.kv {
+            out.push(Transaction::new(*key, KV_LEAF, value.clone()));
+        }
+    }
+
+    /// The canonical state root: the merkle root over
+    /// [`StateMachine::leaf_transactions`], leaf digests fanned out across
+    /// `pool`'s width. Position-stable by construction — the root is a pure
+    /// function of the state, independent of the pool width.
+    pub fn root_with_pool(
+        &self,
+        pool: &CryptoPool,
+        tx_scratch: &mut Vec<Transaction>,
+        hash_scratch: &mut Vec<Hash>,
+    ) -> Hash {
+        self.leaf_transactions(tx_scratch);
+        pool.merkle_root_par(tx_scratch, hash_scratch)
+    }
+
+    /// [`StateMachine::root_with_pool`] without a pool: the fully
+    /// sequential root, for the serial reference executor and for tests.
+    pub fn root_serial(&self) -> Hash {
+        let mut txs = Vec::new();
+        let mut scratch = Vec::new();
+        self.leaf_transactions(&mut txs);
+        merkle_root_into(&txs, &mut scratch)
+    }
+}
+
+impl StateAccess for StateMachine {
+    fn account(&self, id: u64) -> Option<Account> {
+        self.accounts.get(&id).copied()
+    }
+    fn set_account(&mut self, id: u64, account: Account) {
+        self.accounts.insert(id, account);
+    }
+    fn kv_get(&self, key: u64) -> Option<Bytes> {
+        self.kv.get(&key).cloned()
+    }
+    fn kv_set(&mut self, key: u64, value: Bytes) {
+        self.kv.insert(key, value);
+    }
+    fn kv_delete(&mut self, key: u64) {
+        self.kv.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_transfer_lifecycle() {
+        let mut s = StateMachine::new();
+        assert_eq!(
+            s.apply_op(&TxOp::CreateAccount {
+                account: 1,
+                balance: 100
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(
+            s.apply_op(&TxOp::CreateAccount {
+                account: 1,
+                balance: 5
+            }),
+            Receipt::AccountExists { account: 1 }
+        );
+        assert_eq!(
+            s.apply_op(&TxOp::CreateAccount {
+                account: 2,
+                balance: 0
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 1,
+                to: 2,
+                amount: 30,
+                nonce: 0
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(
+            s.account_state(1),
+            Some(Account {
+                balance: 70,
+                nonce: 1
+            })
+        );
+        assert_eq!(
+            s.account_state(2),
+            Some(Account {
+                balance: 30,
+                nonce: 0
+            })
+        );
+        // Replay of the same nonce is rejected.
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 1,
+                to: 2,
+                amount: 30,
+                nonce: 0
+            }),
+            Receipt::BadNonce {
+                expected: 1,
+                got: 0
+            }
+        );
+        // Over-draw.
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 1,
+                to: 2,
+                amount: 1000,
+                nonce: 1
+            }),
+            Receipt::InsufficientFunds {
+                balance: 70,
+                needed: 1000
+            }
+        );
+        // Unknown parties: debited account checked before credited.
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 9,
+                to: 8,
+                amount: 1,
+                nonce: 0
+            }),
+            Receipt::UnknownAccount { account: 9 }
+        );
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 1,
+                to: 8,
+                amount: 1,
+                nonce: 1
+            }),
+            Receipt::UnknownAccount { account: 8 }
+        );
+    }
+
+    #[test]
+    fn zero_amount_and_self_transfers_consume_the_nonce() {
+        let mut s = StateMachine::with_genesis(2, 50);
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 0,
+                to: 1,
+                amount: 0,
+                nonce: 0
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(
+            s.account_state(0),
+            Some(Account {
+                balance: 50,
+                nonce: 1
+            })
+        );
+        assert_eq!(
+            s.apply_op(&TxOp::Transfer {
+                from: 0,
+                to: 0,
+                amount: 50,
+                nonce: 1
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(
+            s.account_state(0),
+            Some(Account {
+                balance: 50,
+                nonce: 2
+            })
+        );
+    }
+
+    #[test]
+    fn kv_and_cas_semantics() {
+        let mut s = StateMachine::new();
+        let v1 = Bytes::from(vec![1]);
+        let v2 = Bytes::from(vec![2]);
+        // CAS against an absent key with a Some guard fails...
+        assert_eq!(
+            s.apply_op(&TxOp::Cas {
+                key: 7,
+                expect: Some(v1.clone()),
+                swap: v2.clone()
+            }),
+            Receipt::CasMismatch
+        );
+        // ...and with a None guard succeeds (create-if-absent).
+        assert_eq!(
+            s.apply_op(&TxOp::Cas {
+                key: 7,
+                expect: None,
+                swap: v1.clone()
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(s.kv_state(7), Some(v1.clone()));
+        assert_eq!(
+            s.apply_op(&TxOp::Cas {
+                key: 7,
+                expect: Some(v1.clone()),
+                swap: v2.clone()
+            }),
+            Receipt::Applied
+        );
+        assert_eq!(s.kv_state(7), Some(v2.clone()));
+        // Put / delete are unconditional; deleting twice is still Applied.
+        assert_eq!(
+            s.apply_op(&TxOp::KvPut { key: 8, value: v1 }),
+            Receipt::Applied
+        );
+        assert_eq!(s.apply_op(&TxOp::KvDelete { key: 8 }), Receipt::Applied);
+        assert_eq!(s.apply_op(&TxOp::KvDelete { key: 8 }), Receipt::Applied);
+        assert_eq!(s.kv_state(8), None);
+    }
+
+    #[test]
+    fn root_tracks_state_and_namespaces_do_not_collide() {
+        let mut a = StateMachine::new();
+        let empty = a.root_serial();
+        a.apply_op(&TxOp::CreateAccount {
+            account: 5,
+            balance: 9,
+        });
+        let with_account = a.root_serial();
+        assert_ne!(empty, with_account);
+
+        // Same numeric key in the KV namespace must hash differently.
+        let mut b = StateMachine::new();
+        b.apply_op(&TxOp::KvPut {
+            key: 5,
+            value: Bytes::from(9u64.to_be_bytes().to_vec()),
+        });
+        assert_ne!(with_account, b.root_serial());
+
+        // Rebuilding the identical state reproduces the identical root.
+        let mut c = StateMachine::new();
+        c.apply_op(&TxOp::CreateAccount {
+            account: 5,
+            balance: 9,
+        });
+        assert_eq!(with_account, c.root_serial());
+    }
+
+    #[test]
+    fn genesis_is_deterministic() {
+        assert_eq!(
+            StateMachine::with_genesis(16, 100).root_serial(),
+            StateMachine::with_genesis(16, 100).root_serial()
+        );
+        assert_ne!(
+            StateMachine::with_genesis(16, 100).root_serial(),
+            StateMachine::with_genesis(17, 100).root_serial()
+        );
+        assert_ne!(
+            StateMachine::with_genesis(16, 100).root_serial(),
+            StateMachine::new().root_serial()
+        );
+    }
+}

@@ -14,6 +14,7 @@ use fireledger::{
 };
 use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
 use fireledger_crypto::{CryptoPool, SharedCrypto, SimKeyStore};
+use fireledger_exec::{ExecConfig, ExecShared, ExecStage};
 use fireledger_net::PreVerify;
 use fireledger_store::{FsyncPolicy, NodeStore, RecoveredState};
 use fireledger_types::{
@@ -164,6 +165,15 @@ where
     /// Never called for simulator runs. The default does nothing.
     fn enable_preverified_ingress(_nodes: &mut [Self]) {}
 
+    /// Installs the cluster's execution shards on this (freshly built)
+    /// node — one [`ExecShared`] per worker stream. Called when the cluster
+    /// was configured with [`ClusterBuilder::with_execution`], after
+    /// construction (and after any restore-from-disk, though the hooks are
+    /// order-tolerant). The default does nothing, which is correct for
+    /// protocols without an execution pipeline: they order transactions but
+    /// never execute them, exactly as before.
+    fn install_execution(&mut self, _shards: &[ExecShared]) {}
+
     /// Puts this (freshly built) node into state-sync mode: on start it
     /// probes the cluster's tips and range-fetches whatever prefix it is
     /// missing before participating in consensus. The runtimes call it on a
@@ -239,6 +249,10 @@ impl ClusterProtocol for ClusterNode {
         }
     }
 
+    fn install_execution(&mut self, shards: &[ExecShared]) {
+        self.flo_mut().set_exec(shards);
+    }
+
     fn begin_state_sync(&mut self) {
         self.flo_mut().begin_sync();
     }
@@ -270,6 +284,10 @@ impl ClusterProtocol for Worker {
         for node in nodes {
             node.set_preverified_ingress(true);
         }
+    }
+
+    fn install_execution(&mut self, shards: &[ExecShared]) {
+        self.set_exec(shards[0].clone());
     }
 
     fn begin_state_sync(&mut self) {
@@ -340,6 +358,13 @@ pub struct ClusterBuilder<P> {
     crypto_threads: usize,
     store: Option<(PathBuf, FsyncPolicy)>,
     late_join: Option<(NodeId, u64)>,
+    exec: Option<ExecConfig>,
+    /// Per-node execution shards (one per worker stream), created lazily
+    /// once per builder and shared by `build`, the rebuild hook and the
+    /// report assembly — so a node rebuilt after a kill keeps its pre-kill
+    /// engine identity (reset + replay) and the report reads the same
+    /// engines the run fed.
+    exec_shards: std::sync::OnceLock<Vec<Vec<ExecShared>>>,
     _protocol: PhantomData<fn() -> P>,
 }
 
@@ -362,8 +387,91 @@ where
             crypto_threads: 1,
             store: None,
             late_join: None,
+            exec: None,
+            exec_shards: std::sync::OnceLock::new(),
             _protocol: PhantomData,
         }
+    }
+
+    /// Enables the pipelined execution engine (deterministic account/KV
+    /// state machine, `fireledger-exec`) on every node: each worker stream
+    /// gets an independent executor fed at the commit point, the node's own
+    /// headers carry the lagged execution state root (WIRE_FORMAT.md §12),
+    /// and delivered headers' claimed roots are cross-checked against local
+    /// execution. Works identically on all three runtimes — execution runs
+    /// inline at the deterministic delivery points under the simulator and
+    /// on dedicated stage threads under the real-time runtimes. Protocols
+    /// without an execution hook (the baselines) accept the configuration
+    /// and simply keep ordering opaque payloads.
+    ///
+    /// The disjoint-workload scenario of docs/SCENARIOS.md: saturated
+    /// *executable* filler ([`ProtocolParams::with_fill_ops`]) with
+    /// `conflict_pct: 0`, so every conflict component is a single
+    /// transaction — the partitioned apply's best case — and block
+    /// contents are a pure function of the filler stream, which is what
+    /// makes state roots comparable across runtimes at all:
+    ///
+    /// ```
+    /// use fireledger_runtime::prelude::*;
+    /// use std::time::Duration;
+    ///
+    /// let params = ProtocolParams::new(4)
+    ///     .with_batch_size(8)
+    ///     .with_tx_size(64)
+    ///     .with_fill_ops(FillOps { accounts: 64, conflict_pct: 0 });
+    /// let cluster = ClusterBuilder::<FloCluster>::new(params)
+    ///     .with_execution(ExecConfig::with_genesis(64, 1_000_000));
+    /// let scenario = Scenario::new("exec-disjoint")
+    ///     .ideal()
+    ///     .run_for(Duration::from_millis(400))
+    ///     .with_warmup(Duration::ZERO);
+    /// let report = Simulator.run(&cluster, &scenario).unwrap();
+    /// assert!(report.execution.enabled);
+    /// assert!(report.execution.applied_transitions > 0);
+    /// assert_eq!(report.execution.root_mismatches, 0);
+    /// ```
+    pub fn with_execution(mut self, config: ExecConfig) -> Self {
+        self.exec = Some(config);
+        self
+    }
+
+    /// The execution configuration, when [`ClusterBuilder::with_execution`]
+    /// set one.
+    pub fn execution(&self) -> Option<&ExecConfig> {
+        self.exec.as_ref()
+    }
+
+    /// The cluster's execution shards, `exec_shards()[node][worker]`,
+    /// created on first use. `None` when execution is not enabled.
+    pub fn exec_shards(&self) -> Option<&Vec<Vec<ExecShared>>> {
+        let cfg = self.exec.as_ref()?;
+        Some(self.exec_shards.get_or_init(|| {
+            let pool = CryptoPool::new(self.crypto(), self.crypto_threads);
+            (0..self.params.n())
+                .map(|_| {
+                    (0..self.params.workers)
+                        .map(|_| ExecShared::new(cfg, pool.clone()))
+                        .collect()
+                })
+                .collect()
+        }))
+    }
+
+    /// Spawns one execution stage thread per shard, so delivered blocks are
+    /// executed *off* the consensus loop. Real-time runtimes call this once
+    /// per run and hold the stages for its duration (they drain and join on
+    /// drop); the simulator never does — its execution stays inline at the
+    /// deterministic delivery points. Empty without
+    /// [`ClusterBuilder::with_execution`].
+    pub fn spawn_exec_stages(&self) -> Vec<ExecStage> {
+        self.exec_shards()
+            .map(|all| {
+                all.iter()
+                    .flatten()
+                    .map(fireledger_exec::spawn_stage)
+                    .collect()
+            })
+            .unwrap_or_default()
     }
 
     /// Starts `node` mid-run instead of at genesis: the node stays dormant
@@ -600,17 +708,33 @@ where
             pool,
             validity: self.validity.clone(),
         };
+        // A builder reused across runs must hand each run pristine engines:
+        // the shards are cached on the builder (so rebuild hooks and the
+        // report see the same Arcs), so any state a previous run left in
+        // them is cleared here.
+        if let Some(all) = self.exec_shards() {
+            for shard in all.iter().flatten() {
+                let stats = shard.stats();
+                if stats.executed_blocks > 0 || stats.root_checks > 0 {
+                    shard.reset();
+                }
+            }
+        }
         (0..self.params.n())
             .map(|i| {
                 let me = NodeId(i as u32);
-                match self.node_store_dir(me) {
+                let mut node = match self.node_store_dir(me) {
                     None => P::build_node(&ctx, me, &self.roles[i]),
                     Some(dir) => {
                         let (store, recovered) = NodeStore::open(&dir, self.store_policy())
                             .map_err(|e| Error::Io(format!("store open {}: {e}", dir.display())))?;
                         P::build_durable_node(&ctx, me, &self.roles[i], Arc::new(store), &recovered)
                     }
+                }?;
+                if let Some(all) = self.exec_shards() {
+                    node.install_execution(&all[i]);
                 }
+                Ok(node)
             })
             .collect()
     }
@@ -648,19 +772,32 @@ where
         };
         let roles = self.roles.clone();
         let store = self.store.clone();
+        let exec_shards = self.exec_shards().cloned();
         Arc::new(move |me: NodeId| {
             let role = roles.get(me.as_usize()).cloned().unwrap_or_default();
             let durable = store.as_ref().and_then(|(dir, policy)| {
                 let dir = dir.join(format!("node-{}", me.0));
                 NodeStore::open(&dir, *policy).ok()
             });
-            match durable {
+            let mut node = match durable {
                 Some((store, recovered)) => {
                     P::build_durable_node(&ctx, me, &role, Arc::new(store), &recovered)
                 }
                 None => P::build_node(&ctx, me, &role),
             }
-            .expect("rebuilding a node that built at spawn time cannot fail")
+            .expect("rebuilding a node that built at spawn time cannot fail");
+            if let Some(shards) = &exec_shards {
+                // A kill destroys process state: the node's engines restart
+                // from genesis and re-execute whatever prefix the disk (or
+                // state sync) can prove — `install_execution` re-feeds any
+                // restored definite prefix after the reset.
+                let mine = &shards[me.as_usize()];
+                for shard in mine {
+                    shard.reset();
+                }
+                node.install_execution(mine);
+            }
+            node
         })
     }
 

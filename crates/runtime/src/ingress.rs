@@ -28,7 +28,7 @@
 use fireledger::{AdmissionConfig, Availability, IngressGate};
 use fireledger_net::{NodeStatus, RealtimeCluster, RpcHandler};
 use fireledger_types::rpc::{Lane, RpcMsg, SubmitStatus};
-use fireledger_types::{Delivery, NodeId, Transaction};
+use fireledger_types::{Delivery, NodeId, Transaction, TxOp};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +38,37 @@ use crate::scenario::Scenario;
 
 /// Client-side retry ceiling on the per-attempt back-off delay.
 const MAX_BACKOFF: Duration = Duration::from_millis(200);
+
+/// Size of the shared hot account set a conflicting transfer credits
+/// ([`PayloadKind::Transfers`]): small enough that conflicting transfers
+/// genuinely collide in the executor's conflict partitioning.
+const HOT_ACCOUNTS: u64 = 4;
+
+/// What the client fleet puts inside each submitted transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Zero-filled bytes of the load's `tx_size` — ordered and charged,
+    /// executed as a no-op (`Receipt::Opaque`). The default.
+    Opaque,
+    /// §12.1 `Transfer` ops against the executor's genesis accounts, for
+    /// exec-enabled clusters (`ClusterBuilder::with_execution` with at
+    /// least `accounts` genesis accounts).
+    ///
+    /// Client *i* debits its private account `i mod accounts` with a
+    /// fleet-tracked nonce. With probability `conflict_pct`% the transfer
+    /// credits one of the `HOT_ACCOUNTS` (4) top accounts — a key conflict
+    /// the parallel apply must serialize — otherwise it is a self-transfer,
+    /// whose footprint stays inside the client's own account and conflicts
+    /// with nobody. `tx_size` is ignored: an encoded transfer is 34 bytes.
+    Transfers {
+        /// Account id space (keep ≥ the client count so private accounts
+        /// stay private, and ≤ the exec genesis account count so every
+        /// account exists from round 0).
+        accounts: u64,
+        /// Percent (0–100) of transfers aimed at the hot account set.
+        conflict_pct: u8,
+    },
+}
 
 /// Open-loop ingress load riding on a [`Scenario`] (see
 /// [`Scenario::with_ingress`]).
@@ -85,6 +116,9 @@ pub struct IngressLoad {
     pub drain: Duration,
     /// The admission policy installed on every node's gate.
     pub admission: AdmissionConfig,
+    /// What each submitted transaction carries ([`PayloadKind::Opaque`] by
+    /// default; [`PayloadKind::Transfers`] drives the execution engine).
+    pub payload: PayloadKind,
 }
 
 impl IngressLoad {
@@ -98,7 +132,14 @@ impl IngressLoad {
             max_retries: 6,
             drain: Duration::from_millis(400),
             admission: AdmissionConfig::default(),
+            payload: PayloadKind::Opaque,
         }
+    }
+
+    /// Overrides what each submitted transaction carries.
+    pub fn with_payload(mut self, payload: PayloadKind) -> Self {
+        self.payload = payload;
+        self
     }
 
     /// Overrides the admission policy.
@@ -376,7 +417,49 @@ struct Client {
     /// Earliest `now_nanos` at which this client acts again; `u64::MAX`
     /// once drained.
     next_at: u64,
+    /// Payload of the in-flight submission — built once per sequence so
+    /// retries resubmit identical bytes (the dedup key is `(client, seq)`,
+    /// but two gates admitting different bytes under one id would make the
+    /// executed ledger depend on which admission won).
+    pending: Vec<u8>,
+    /// This client's transfer nonce ([`PayloadKind::Transfers`]): advanced
+    /// on every admitted submission, mirroring the state machine's
+    /// per-account nonce as long as the client's account is private to it.
+    nonce: u64,
     rng: DetRng,
+}
+
+impl Client {
+    /// Builds the payload for this client's next fresh submission.
+    fn build_payload(&mut self, kind: &PayloadKind, tx_size: usize) -> Vec<u8> {
+        match kind {
+            PayloadKind::Opaque => vec![0u8; tx_size],
+            PayloadKind::Transfers {
+                accounts,
+                conflict_pct,
+            } => {
+                let accounts = (*accounts).max(1);
+                let from = (self.id - 1) % accounts;
+                let to = if self.rng.below(100) < *conflict_pct as u64 {
+                    // Credit the shared hot set: a key conflict the
+                    // executor's parallel apply must serialize.
+                    accounts - 1 - self.rng.below(HOT_ACCOUNTS.min(accounts))
+                } else {
+                    // Self-transfer: valid, consumes the nonce, and its
+                    // footprint never leaves this client's own account.
+                    from
+                };
+                TxOp::Transfer {
+                    from,
+                    to,
+                    amount: 1,
+                    nonce: self.nonce,
+                }
+                .encode_payload()
+                .to_vec()
+            }
+        }
+    }
 }
 
 /// A deterministic open-loop client fleet (see the module docs).
@@ -414,6 +497,8 @@ impl ClientFleet {
                 // Stagger starts across one think interval so the fleet
                 // does not arrive as a single synchronized burst.
                 next_at: boot.below(think.max(1)),
+                pending: Vec::new(),
+                nonce: 0,
                 rng: DetRng::new(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64 + 1)),
             })
             .collect();
@@ -451,21 +536,23 @@ impl ClientFleet {
                 continue;
             }
             let (id, seq, lane, msg) = {
+                let payload_kind = self.cfg.payload;
                 let c = &mut self.clients[ci];
                 if c.attempt == 0 {
                     // Fresh submission: roll the lane — 1/8 probe, 5/8
-                    // normal, 2/8 bulk.
+                    // normal, 2/8 bulk — and build the payload once.
                     c.lane = match c.rng.below(8) {
                         0 => Lane::Probe,
                         6 | 7 => Lane::Bulk,
                         _ => Lane::Normal,
                     };
+                    c.pending = c.build_payload(&payload_kind, tx_size);
                 }
                 let msg = RpcMsg::Submit {
                     client: c.id,
                     seq: c.seq,
                     lane: c.lane,
-                    payload: vec![0u8; tx_size],
+                    payload: c.pending.clone(),
                 };
                 (c.id, c.seq, c.lane, msg)
             };
@@ -476,6 +563,7 @@ impl ClientFleet {
                     SubmitStatus::Accepted { .. } => {
                         counts.accepted += 1;
                         self.outstanding.insert((id, seq), (lane, now_nanos));
+                        self.clients[ci].nonce += 1;
                         Self::advance(&mut self.clients[ci], now_nanos, think);
                     }
                     SubmitStatus::Busy { retry_after_ms } => {
@@ -497,8 +585,10 @@ impl ClientFleet {
                     }
                     SubmitStatus::Duplicate => {
                         // Terminal: the id is already admitted or committed
-                        // — move on, never retry.
+                        // — move on, never retry. It was admitted, so the
+                        // transfer nonce advances like an accept.
                         counts.duplicate += 1;
+                        self.clients[ci].nonce += 1;
                         Self::advance(&mut self.clients[ci], now_nanos, think);
                     }
                 },
@@ -714,6 +804,62 @@ mod tests {
             .map(|l| l.shed_busy + l.rejected_syncing)
             .sum();
         assert!(shed > 0);
+    }
+
+    #[test]
+    fn transfer_payloads_decode_and_mix_conflicting_and_disjoint_targets() {
+        use fireledger_types::DecodedOp;
+        let cfg = IngressLoad::new(8, Duration::from_millis(5), 64).with_payload(
+            PayloadKind::Transfers {
+                accounts: 64,
+                conflict_pct: 50,
+            },
+        );
+        let ingress = ClusterIngress::new(1, AdmissionConfig::default());
+        let mut fleet = ClientFleet::new(&cfg, 1, 21, u64::MAX);
+        let mut admitted: Vec<Transaction> = Vec::new();
+        for step in 0..300u64 {
+            let now = step * 2_000_000;
+            let mut port = |node: usize, msg: &RpcMsg| {
+                let (reply, tx) = ingress.handle_at(node, msg, now);
+                admitted.extend(tx);
+                Some(reply)
+            };
+            fleet.poll(now, &mut port);
+        }
+        assert!(admitted.len() > 20, "fleet admitted almost nothing");
+        let (mut hot, mut disjoint) = (0u64, 0u64);
+        let mut nonces: HashMap<u64, u64> = HashMap::new();
+        for tx in &admitted {
+            match TxOp::classify_payload(&tx.payload) {
+                DecodedOp::Op(TxOp::Transfer {
+                    from,
+                    to,
+                    amount,
+                    nonce,
+                }) => {
+                    assert_eq!(amount, 1);
+                    assert!(from < 64 && to < 64);
+                    if to == from {
+                        disjoint += 1;
+                    } else {
+                        assert!(to >= 64 - HOT_ACCOUNTS, "non-self target must be hot");
+                        hot += 1;
+                    }
+                    // Per private account, nonces are exactly the admission
+                    // order: 0, 1, 2, …
+                    let expected = nonces.entry(from).or_insert(0);
+                    assert_eq!(nonce, *expected, "nonce gap for account {from}");
+                    *expected += 1;
+                }
+                other => panic!("expected a transfer payload, got {other:?}"),
+            }
+        }
+        assert!(hot > 0, "a 50% conflict ratio produced no hot transfers");
+        assert!(
+            disjoint > 0,
+            "a 50% conflict ratio produced only hot transfers"
+        );
     }
 
     #[test]

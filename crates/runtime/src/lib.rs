@@ -55,9 +55,9 @@ mod run;
 mod scenario;
 
 pub use builder::{BuildContext, ClusterBuilder, ClusterProtocol, FloCluster, NodeRole};
-pub use ingress::{ClientFleet, ClusterIngress, IngressLoad};
+pub use ingress::{ClientFleet, ClusterIngress, IngressLoad, PayloadKind};
 pub use preverify::FloPreVerifier;
-pub use report::{IngressLaneReport, IngressReport, NodeDeliveries, RunReport};
+pub use report::{ExecutionReport, IngressLaneReport, IngressReport, NodeDeliveries, RunReport};
 pub use run::{check_delivery_prefixes, CatchUp, Runtime, Simulator, Tcp, Threads};
 pub use scenario::{FaultEvent, Scenario, Topology, Workload};
 
@@ -65,16 +65,18 @@ pub use scenario::{FaultEvent, Scenario, Topology, Workload};
 /// `use fireledger_runtime::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        check_delivery_prefixes, CatchUp, ClusterBuilder, ClusterProtocol, FaultEvent, FloCluster,
-        IngressLaneReport, IngressLoad, IngressReport, NodeDeliveries, NodeRole, RunReport,
-        Runtime, Scenario, Simulator, Tcp, Threads, Topology, Workload,
+        check_delivery_prefixes, CatchUp, ClusterBuilder, ClusterProtocol, ExecutionReport,
+        FaultEvent, FloCluster, IngressLaneReport, IngressLoad, IngressReport, NodeDeliveries,
+        NodeRole, PayloadKind, RunReport, Runtime, Scenario, Simulator, Tcp, Threads, Topology,
+        Workload,
     };
     pub use fireledger::{AcceptAll, ClusterNode, FloNode, Worker};
     pub use fireledger_baselines::{BftSmartNode, HotStuffNode, PbftNode};
+    pub use fireledger_exec::{ExecConfig, ExecShared, SerialExecutor};
     pub use fireledger_store::FsyncPolicy;
     pub use fireledger_types::{
-        Block, BlockHeader, ClusterConfig, Delivery, DiskFault, FaultPlan, FaultWindow, KillFault,
-        LinkSelector, NodeId, ProtocolParams, Round, Transaction, WorkerId,
+        Block, BlockHeader, ClusterConfig, Delivery, DiskFault, FaultPlan, FaultWindow, FillOps,
+        KillFault, LinkSelector, NodeId, ProtocolParams, Round, Transaction, WorkerId,
     };
 }
 
@@ -261,6 +263,55 @@ mod tests {
         );
         assert_eq!(report.ingress.lost(), 0, "{:?}", report.ingress);
         assert!(report.ingress.retries > 0);
+    }
+
+    #[test]
+    fn execution_pipeline_reports_and_stays_deterministic() {
+        let p = params(4).with_fill_blocks(false);
+        let s = Scenario::new("exec-smoke")
+            .ideal()
+            .run_for(Duration::from_secs(1))
+            .with_seed(13)
+            .with_ingress(
+                IngressLoad::new(8, Duration::from_millis(5), 64)
+                    .with_drain(Duration::from_millis(300))
+                    .with_payload(PayloadKind::Transfers {
+                        accounts: 64,
+                        conflict_pct: 25,
+                    }),
+            );
+        let run = || {
+            Simulator
+                .run(
+                    &ClusterBuilder::<FloCluster>::new(p.clone())
+                        .with_seed(13)
+                        .with_execution(ExecConfig::with_genesis(64, 1_000_000)),
+                    &s,
+                )
+                .unwrap()
+        };
+        let report = run();
+        assert!(report.execution.enabled);
+        assert!(
+            report.execution.executed_blocks > 0,
+            "{:?}",
+            report.execution
+        );
+        assert!(report.execution.executed_txs > 0, "{:?}", report.execution);
+        assert!(
+            report.execution.applied_transitions > 0,
+            "{:?}",
+            report.execution
+        );
+        assert!(report.execution.transitions_per_sec > 0.0);
+        assert!(report.execution.root_checks > 0, "{:?}", report.execution);
+        assert_eq!(
+            report.execution.root_mismatches, 0,
+            "{:?}",
+            report.execution
+        );
+        // Execution rides the deterministic slicing: bit-identical reruns.
+        assert_eq!(report.to_json(), run().to_json());
     }
 
     #[test]

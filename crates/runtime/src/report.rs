@@ -177,6 +177,104 @@ impl IngressReport {
     }
 }
 
+/// The `execution` section of a [`RunReport`]: the pipelined execution
+/// engine's counters, summed over the measured nodes' shards. All-zero with
+/// `enabled: false` when the cluster ran without
+/// [`ClusterBuilder::with_execution`](crate::ClusterBuilder::with_execution)
+/// — the schema never changes shape.
+///
+/// Counts cover the whole run; `transitions_per_sec` is averaged across the
+/// measured nodes over the measurement window, the executed-transitions
+/// companion to `tps` (which counts *ordered* transactions — an executed
+/// transition is an ordered transaction whose operation decoded and
+/// applied).
+///
+/// The conflicting-workload scenario of docs/SCENARIOS.md: half the
+/// executable filler's operations land on a 4-entry hot set
+/// (`conflict_pct: 50`), so the apply stage's conflict partitioning has to
+/// serialize real dependency chains — and the engine must still agree with
+/// itself: zero root mismatches, and a receipt histogram that accounts for
+/// every executed transaction:
+///
+/// ```
+/// use fireledger_runtime::prelude::*;
+/// use std::time::Duration;
+///
+/// let params = ProtocolParams::new(4)
+///     .with_batch_size(8)
+///     .with_tx_size(64)
+///     .with_fill_ops(FillOps { accounts: 64, conflict_pct: 50 });
+/// let cluster = ClusterBuilder::<FloCluster>::new(params)
+///     .with_execution(ExecConfig::with_genesis(64, 1_000_000));
+/// let scenario = Scenario::new("exec-conflict50")
+///     .ideal()
+///     .run_for(Duration::from_millis(400))
+///     .with_warmup(Duration::ZERO);
+/// let report = Simulator.run(&cluster, &scenario).unwrap();
+/// let e = &report.execution;
+/// assert!(e.enabled && e.root_mismatches == 0);
+/// assert_eq!(e.receipts.iter().sum::<u64>(), e.executed_txs);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecutionReport {
+    /// True when the cluster ran with the execution engine enabled.
+    pub enabled: bool,
+    /// Committed blocks executed, summed over measured nodes' shards.
+    /// Unit: blocks (count).
+    pub executed_blocks: u64,
+    /// Transactions executed (every transaction of every executed block,
+    /// whatever its receipt). Unit: transactions (count).
+    pub executed_txs: u64,
+    /// Successfully applied state transitions (`applied` receipts).
+    /// Unit: transitions (count).
+    pub applied_transitions: u64,
+    /// Applied transitions per second within the measurement window,
+    /// averaged across the measured nodes. Unit: transitions / second.
+    pub transitions_per_sec: f64,
+    /// Receipt counts by kind, indexed per
+    /// [`fireledger_types::Receipt::KIND_LABELS`]. Unit: receipts (count).
+    pub receipts: [u64; fireledger_types::Receipt::KINDS],
+    /// Delivered execution-root claims cross-checked against local
+    /// execution. Unit: checks (count).
+    pub root_checks: u64,
+    /// Cross-checks that diverged — typed execution faults, 0 on any
+    /// honest cluster. Unit: mismatches (count).
+    pub root_mismatches: u64,
+    /// Engine resets (kill-restart rebuilds) over the run. Unit: resets
+    /// (count).
+    pub resets: u64,
+}
+
+impl ExecutionReport {
+    /// The section as a single-line JSON object — the value of the
+    /// `execution` key of [`RunReport::to_json`], reusable standalone by
+    /// the bench trajectory's execution rows.
+    pub fn to_json(&self) -> String {
+        let receipts: Vec<String> = fireledger_types::Receipt::KIND_LABELS
+            .iter()
+            .zip(self.receipts.iter())
+            .map(|(label, count)| format!("{}:{}", json_string(label), count))
+            .collect();
+        format!(
+            concat!(
+                "{{\"enabled\":{},\"executed_blocks\":{},\"executed_txs\":{},",
+                "\"applied_transitions\":{},\"transitions_per_sec\":{},",
+                "\"receipts\":{{{}}},\"root_checks\":{},\"root_mismatches\":{},",
+                "\"resets\":{}}}"
+            ),
+            self.enabled,
+            self.executed_blocks,
+            self.executed_txs,
+            self.applied_transitions,
+            json_f64(self.transitions_per_sec),
+            receipts.join(","),
+            self.root_checks,
+            self.root_mismatches,
+            self.resets,
+        )
+    }
+}
+
 /// Headline numbers of one run, in the units the paper uses.
 ///
 /// Serialized by [`RunReport::to_json`]; the JSON key set is versioned by
@@ -264,6 +362,9 @@ pub struct RunReport {
     /// Client-RPC ingress outcomes (see [`IngressReport`]); all-zero with
     /// `enabled: false` when the scenario carried no ingress load.
     pub ingress: IngressReport,
+    /// Execution-engine outcomes (see [`ExecutionReport`]); all-zero with
+    /// `enabled: false` when the cluster ran without execution.
+    pub execution: ExecutionReport,
 }
 
 fn json_f64(v: f64) -> String {
@@ -320,6 +421,7 @@ impl RunReport {
             })
             .collect();
         let ingress = self.ingress.to_json();
+        let execution = self.execution.to_json();
         format!(
             concat!(
                 "{{\"schema_version\":{},",
@@ -333,7 +435,7 @@ impl RunReport {
                 "\"msgs_sent\":{},\"bytes_sent\":{},",
                 "\"signatures\":{},\"verifications\":{},",
                 "\"latency_cdf\":[{}],\"phase_breakdown\":[{},{},{},{}],",
-                "\"per_node\":[{}],\"ingress\":{}}}"
+                "\"per_node\":[{}],\"ingress\":{},\"execution\":{}}}"
             ),
             Self::SCHEMA_VERSION,
             json_string(&self.protocol),
@@ -371,6 +473,7 @@ impl RunReport {
             json_f64(self.phase_breakdown[3]),
             per_node.join(","),
             ingress,
+            execution,
         )
     }
 
@@ -422,10 +525,19 @@ impl RunReport {
     ///   `enabled: false` with zeros when the scenario carried no ingress
     ///   load. No other key changed, so v4 consumers that ignore unknown
     ///   keys parse v5 reports.
-    pub const SCHEMA_VERSION: u32 = 5;
+    /// * **6** — pipelined execution: adds the trailing top-level
+    ///   `execution` key (25 → 26 keys), an object with `enabled`, the
+    ///   engine counters (`executed_blocks`, `executed_txs`,
+    ///   `applied_transitions`, `transitions_per_sec`), a `receipts` object
+    ///   keyed by receipt kind, and the root cross-check counters
+    ///   (`root_checks`, `root_mismatches`, `resets`). Always emitted —
+    ///   `enabled: false` with zeros when the cluster ran without
+    ///   execution. No other key changed, so v5 consumers that ignore
+    ///   unknown keys parse v6 reports.
+    pub const SCHEMA_VERSION: u32 = 6;
 
     /// The schema as a constant.
-    pub const SCHEMA: [&'static str; 25] = [
+    pub const SCHEMA: [&'static str; 26] = [
         "schema_version",
         "protocol",
         "scenario",
@@ -451,6 +563,7 @@ impl RunReport {
         "phase_breakdown",
         "per_node",
         "ingress",
+        "execution",
     ];
 
     /// Prints a human-readable row plus a machine-readable `JSON:` line.
@@ -528,8 +641,33 @@ mod tests {
         assert!(full.contains(&"fault_plan".to_string()));
         assert!(full.contains(&"durability".to_string()));
         assert!(full.contains(&"ingress".to_string()));
-        assert_eq!(full.len(), 25);
+        assert!(full.contains(&"execution".to_string()));
+        assert_eq!(full.len(), 26);
         assert_eq!(full[0], "schema_version");
+    }
+
+    #[test]
+    fn execution_section_emits_disabled_zeros_and_populated_counters() {
+        let json = RunReport::default().to_json();
+        assert!(json.contains("\"execution\":{\"enabled\":false,\"executed_blocks\":0"));
+        assert!(json.contains("\"receipts\":{\"applied\":0,"));
+        let mut r = sample();
+        r.execution.enabled = true;
+        r.execution.executed_blocks = 12;
+        r.execution.executed_txs = 480;
+        r.execution.applied_transitions = 450;
+        r.execution.transitions_per_sec = 300.0;
+        r.execution.receipts[0] = 450;
+        r.execution.receipts[1] = 30;
+        r.execution.root_checks = 9;
+        let json = r.to_json();
+        assert!(json.contains("\"enabled\":true"));
+        assert!(json.contains("\"applied_transitions\":450"));
+        assert!(json.contains("\"transitions_per_sec\":300"));
+        assert!(json.contains("\"applied\":450,\"insufficient_funds\":30"));
+        assert!(json.contains("\"root_checks\":9,\"root_mismatches\":0,\"resets\":0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
     }
 
     #[test]

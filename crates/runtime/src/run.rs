@@ -22,7 +22,7 @@ use crate::builder::{ClusterBuilder, ClusterProtocol};
 use crate::ingress::{
     planned_down, planned_down_windows, ClientFleet, ClusterIngress, IngressDrive,
 };
-use crate::report::{NodeDeliveries, RunReport};
+use crate::report::{ExecutionReport, NodeDeliveries, RunReport};
 use crate::scenario::Scenario;
 use fireledger::Availability;
 use fireledger_net::{RealtimeCluster, TcpCluster, ThreadedCluster};
@@ -266,6 +266,52 @@ fn delivery_counters(deliveries: &[Vec<Delivery>], times_secs: &[Vec<f64>]) -> V
         .collect()
 }
 
+/// The report's `execution` section: the engine counters of the measured
+/// nodes' shards, summed, with the applied-transition rate averaged across
+/// the measured nodes the same way as `tps`. Every shard is drained first
+/// (`ExecShared::finish`), so stage-thread lag at shutdown never
+/// under-reports a run. All-zero, `enabled: false` when the cluster ran
+/// without [`ClusterBuilder::with_execution`].
+fn execution_section<P>(
+    cluster: &ClusterBuilder<P>,
+    measured: &[NodeId],
+    window_secs: f64,
+) -> ExecutionReport
+where
+    P: ClusterProtocol,
+    P::Msg: WireSize + WireCodec + Clone + Send + Sync + fmt::Debug + 'static,
+{
+    let Some(shards) = cluster.exec_shards() else {
+        return ExecutionReport::default();
+    };
+    let mut section = ExecutionReport {
+        enabled: true,
+        ..Default::default()
+    };
+    for (i, node_shards) in shards.iter().enumerate() {
+        let counted = measured.contains(&NodeId(i as u32));
+        for shard in node_shards {
+            shard.finish();
+            if !counted {
+                continue;
+            }
+            let s = shard.stats();
+            section.executed_blocks += s.executed_blocks;
+            section.executed_txs += s.executed_txs;
+            section.applied_transitions += s.applied_transitions();
+            for (dst, src) in section.receipts.iter_mut().zip(s.receipts) {
+                *dst += src;
+            }
+            section.root_checks += s.root_checks;
+            section.root_mismatches += s.root_mismatches;
+            section.resets += s.resets;
+        }
+    }
+    let k = measured.len().max(1) as f64;
+    section.transitions_per_sec = section.applied_transitions as f64 / k / window_secs.max(1e-9);
+    section
+}
+
 /// The deterministic discrete-event runtime.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Simulator;
@@ -480,6 +526,7 @@ impl Runtime for Simulator {
             phase_breakdown: sim.metrics().phase_breakdown(),
             per_node: delivery_counters(&deliveries, &times_secs),
             ingress: ingress_report.unwrap_or_default(),
+            execution: execution_section(cluster, &measured, summary.duration_secs),
         };
         Ok((report, deliveries))
     }
@@ -776,6 +823,7 @@ where
         latency_cdf,
         per_node,
         ingress: ingress_report,
+        execution: execution_section(cluster, &measured, window_secs),
         ..Default::default()
     };
     (report, deliveries)
@@ -829,6 +877,10 @@ impl Runtime for Threads {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
+        // With execution enabled, every shard gets a dedicated stage thread
+        // so delivered blocks are executed off the consensus loops. Held
+        // until the run is over (drained and joined on drop).
+        let _exec_stages = cluster.spawn_exec_stages();
         let mut running = ThreadedCluster::spawn_cluster(
             nodes,
             scenario.faults.clone(),
@@ -881,6 +933,8 @@ impl Runtime for Tcp {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
+        // Execution stage threads, as on the threaded runtime.
+        let _exec_stages = cluster.spawn_exec_stages();
         let mut running = TcpCluster::spawn_cluster(
             nodes,
             scenario.faults.clone(),

@@ -175,7 +175,12 @@ impl Metrics {
             }
             Observation::RecoveryFinished { .. }
             | Observation::ByzantineDetected { .. }
-            | Observation::SyncCompleted { .. } => {}
+            | Observation::SyncCompleted { .. }
+            // Execution-root mismatches are counted by the engine itself
+            // (`ExecStats::root_mismatches`, surfaced through the report's
+            // `execution` section); the observation exists for scripted
+            // fault experiments to assert on.
+            | Observation::ExecRootMismatch { .. } => {}
             Observation::NilDelivery { .. } => {
                 if in_window {
                     self.per_node[node.as_usize()].nil_deliveries += 1;

@@ -297,14 +297,76 @@ pub struct BlockHeader {
     pub tx_count: u32,
     /// Total payload bytes of the body.
     pub payload_bytes: u64,
+    /// Lagged execution state root (WIRE_FORMAT.md §12): the canonical root
+    /// of this worker's executed ledger prefix at the moment the header was
+    /// built — execution pipelined one block behind the commit frontier,
+    /// Overlord's scheme adapted to BBFC(f+1) finality. `None` on clusters
+    /// that run without the execution stage (and on all baseline protocols),
+    /// encoded behind a presence byte so the two populations stay
+    /// wire-compatible with each other.
+    pub exec_root: Option<Hash>,
     /// Compute-once cache for this header's digest (`hash_header`); private
     /// so struct literals outside this crate cannot bypass [`HashMemo`]'s
     /// clone-resets discipline.
     hash_cache: HashMemo,
 }
 
+/// The canonical (signing / wire) encoding of a [`BlockHeader`], returned on
+/// the stack: 92 fixed bytes, one exec-root presence byte, and 32 root bytes
+/// when present (93 or 125 bytes total). Derefs to `&[u8]`, so call sites
+/// that used to receive a fixed array keep compiling unchanged.
+pub struct CanonicalBytes {
+    buf: [u8; BlockHeader::CANONICAL_MAX],
+    len: usize,
+}
+
+impl CanonicalBytes {
+    /// The encoded bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len]
+    }
+
+    /// Number of encoded bytes (93 without an exec root, 125 with one).
+    #[inline]
+    #[allow(clippy::len_without_is_empty)] // never empty: ≥ 93 bytes
+    pub fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl std::ops::Deref for CanonicalBytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for CanonicalBytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for CanonicalBytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for CanonicalBytes {}
+
+impl fmt::Debug for CanonicalBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CanonicalBytes({})", hex_encode(self.as_slice()))
+    }
+}
+
 impl BlockHeader {
-    /// Creates a header.
+    /// Creates a header (without an execution root; see
+    /// [`BlockHeader::with_exec_root`]).
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         round: Round,
@@ -323,28 +385,55 @@ impl BlockHeader {
             payload_hash,
             tx_count,
             payload_bytes,
+            exec_root: None,
             hash_cache: HashMemo::new(),
         }
     }
 
-    /// Size in bytes of [`BlockHeader::canonical_bytes`] (and of the wire
-    /// encoding, which is the same bytes).
+    /// Returns this header carrying `root` as its lagged execution state
+    /// root. Must be applied **before** the header is signed or hashed — the
+    /// root is part of the canonical bytes.
+    pub fn with_exec_root(mut self, root: Hash) -> Self {
+        self.exec_root = Some(root);
+        self
+    }
+
+    /// Size in bytes of the fixed leading portion of
+    /// [`BlockHeader::canonical_bytes`] (everything up to the exec-root
+    /// presence byte).
     pub const CANONICAL_LEN: usize = 8 + 4 + 4 + 32 + 32 + 4 + 8;
 
+    /// Maximum size of [`BlockHeader::canonical_bytes`]: the fixed fields,
+    /// the exec-root presence byte, and the root itself.
+    pub const CANONICAL_MAX: usize = Self::CANONICAL_LEN + 1 + 32;
+
     /// A canonical byte encoding used as the pre-image for hashing and
-    /// signing. The encoding is explicit (not serde-derived) so that it is
-    /// stable across versions and platforms. Returned on the stack — the
-    /// sign/verify hot path pays no allocation for its pre-image.
-    pub fn canonical_bytes(&self) -> [u8; Self::CANONICAL_LEN] {
-        let mut out = [0u8; Self::CANONICAL_LEN];
-        out[0..8].copy_from_slice(&self.round.0.to_be_bytes());
-        out[8..12].copy_from_slice(&self.worker.0.to_be_bytes());
-        out[12..16].copy_from_slice(&self.proposer.0.to_be_bytes());
-        out[16..48].copy_from_slice(self.parent.as_bytes());
-        out[48..80].copy_from_slice(self.payload_hash.as_bytes());
-        out[80..84].copy_from_slice(&self.tx_count.to_be_bytes());
-        out[84..92].copy_from_slice(&self.payload_bytes.to_be_bytes());
-        out
+    /// signing — and byte-identical to the wire encoding, so a receiver
+    /// verifies signatures over exactly the bytes it received. The encoding
+    /// is explicit (not serde-derived) so that it is stable across versions
+    /// and platforms, and it is returned on the stack — the sign/verify hot
+    /// path pays no allocation for its pre-image.
+    pub fn canonical_bytes(&self) -> CanonicalBytes {
+        let mut buf = [0u8; Self::CANONICAL_MAX];
+        buf[0..8].copy_from_slice(&self.round.0.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.worker.0.to_be_bytes());
+        buf[12..16].copy_from_slice(&self.proposer.0.to_be_bytes());
+        buf[16..48].copy_from_slice(self.parent.as_bytes());
+        buf[48..80].copy_from_slice(self.payload_hash.as_bytes());
+        buf[80..84].copy_from_slice(&self.tx_count.to_be_bytes());
+        buf[84..92].copy_from_slice(&self.payload_bytes.to_be_bytes());
+        let len = match &self.exec_root {
+            None => {
+                buf[92] = 0;
+                Self::CANONICAL_LEN + 1
+            }
+            Some(root) => {
+                buf[92] = 1;
+                buf[93..125].copy_from_slice(root.as_bytes());
+                Self::CANONICAL_MAX
+            }
+        };
+        CanonicalBytes { buf, len }
     }
 
     /// The compute-once cache for this header's digest. `fireledger-crypto`'s
@@ -372,7 +461,13 @@ impl fmt::Debug for BlockHeader {
 
 impl WireSize for BlockHeader {
     fn wire_size(&self) -> usize {
-        8 + 4 + 4 + 32 + 32 + 4 + 8
+        // Headers without an exec root are charged the 92 bytes they cost
+        // before the field existed: the codec's always-present presence byte
+        // is deliberately not modeled, so simulated runs that don't enable
+        // execution keep reproducing the committed bench rows byte-for-byte
+        // (the same nominal-size divergence `Signature` documents). A carried
+        // root is charged in full (presence byte + 32 root bytes).
+        8 + 4 + 4 + 32 + 32 + 4 + 8 + self.exec_root.map_or(0, |_| 1 + 32)
     }
 }
 
@@ -528,7 +623,30 @@ mod tests {
         assert_eq!(a.canonical_bytes(), b.canonical_bytes());
         assert_ne!(a.canonical_bytes(), c.canonical_bytes());
         assert_ne!(a.canonical_bytes(), d.canonical_bytes());
-        assert_eq!(a.canonical_bytes().len(), a.wire_size());
+        // Canonical bytes always carry the exec-root presence byte; the
+        // modeled wire size only charges it when a root is present.
+        assert_eq!(a.canonical_bytes().len(), BlockHeader::CANONICAL_LEN + 1);
+        assert_eq!(a.wire_size(), BlockHeader::CANONICAL_LEN);
+    }
+
+    #[test]
+    fn exec_root_changes_canonical_bytes_and_wire_size() {
+        let plain = header(1, 0);
+        let rooted = header(1, 0).with_exec_root(Hash([3u8; 32]));
+        assert_ne!(plain.canonical_bytes(), rooted.canonical_bytes());
+        assert_eq!(rooted.canonical_bytes().len(), BlockHeader::CANONICAL_MAX);
+        assert_eq!(rooted.canonical_bytes().len(), rooted.wire_size());
+        assert_eq!(
+            rooted.canonical_bytes().as_slice()[BlockHeader::CANONICAL_LEN],
+            1
+        );
+        assert_eq!(
+            &rooted.canonical_bytes()[BlockHeader::CANONICAL_LEN + 1..],
+            &[3u8; 32]
+        );
+        // Two different roots encode differently.
+        let other = header(1, 0).with_exec_root(Hash([4u8; 32]));
+        assert_ne!(rooted.canonical_bytes(), other.canonical_bytes());
     }
 
     #[test]

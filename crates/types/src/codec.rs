@@ -36,7 +36,11 @@ pub const FRAME_MAGIC: [u8; 4] = *b"FLGR";
 ///
 /// Bumped on any incompatible change to the frame header or to a message
 /// layout; a receiver rejects frames whose version byte differs.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// Version 2 extended [`BlockHeader`] with the lagged execution state root
+/// (WIRE_FORMAT.md §12): canonical header bytes gained a trailing
+/// `Option<Hash>` presence byte, shifting every layout that embeds a header.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on a frame's payload length in bytes (WIRE_FORMAT.md §3).
 ///
@@ -648,7 +652,7 @@ impl WireCodec for BlockHeader {
         out.extend_from_slice(&self.canonical_bytes());
     }
     fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(BlockHeader::new(
+        let header = BlockHeader::new(
             Round(r.u64()?),
             WorkerId(r.u32()?),
             NodeId(r.u32()?),
@@ -656,10 +660,14 @@ impl WireCodec for BlockHeader {
             Hash::decode_from(r)?,
             r.u32()?,
             r.u64()?,
-        ))
+        );
+        Ok(match Option::<Hash>::decode_from(r)? {
+            Some(root) => header.with_exec_root(root),
+            None => header,
+        })
     }
     fn encoded_len(&self) -> usize {
-        Self::CANONICAL_LEN
+        Self::CANONICAL_LEN + 1 + if self.exec_root.is_some() { 32 } else { 0 }
     }
 }
 
@@ -765,7 +773,12 @@ mod tests {
         roundtrip(Transaction::new(1, 2, vec![9u8, 8, 7]));
         roundtrip(Transaction::zeroed(0, 0, 0));
         roundtrip(header());
+        roundtrip(header().with_exec_root(Hash([0xCC; 32])));
         roundtrip(SignedHeader::new(header(), Signature::from(vec![0x55; 64])));
+        roundtrip(SignedHeader::new(
+            header().with_exec_root(Hash([0xCD; 32])),
+            Signature::from(vec![0x55; 64]),
+        ));
         roundtrip(Block::new(
             header(),
             vec![Transaction::zeroed(1, 0, 16), Transaction::zeroed(1, 1, 16)],
@@ -775,7 +788,9 @@ mod tests {
     #[test]
     fn header_encoding_is_the_signing_preimage() {
         let h = header();
-        assert_eq!(h.encode(), h.canonical_bytes());
+        assert_eq!(h.encode(), h.canonical_bytes().as_slice());
+        let rooted = header().with_exec_root(Hash([0x42; 32]));
+        assert_eq!(rooted.encode(), rooted.canonical_bytes().as_slice());
     }
 
     #[test]

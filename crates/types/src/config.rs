@@ -63,6 +63,28 @@ impl ClusterConfig {
     }
 }
 
+/// Profile for *executable* filler transactions (see
+/// [`ProtocolParams::fill_ops`]).
+///
+/// The default filler pads blocks with opaque zeroed payloads — ordered and
+/// counted but invisible to the execution state machine. With a `FillOps`
+/// profile the filler emits deterministic account/KV operations instead
+/// (`TxOp` payloads, WIRE_FORMAT.md §12.1), so saturated benchmarks and the
+/// cross-runtime identity matrices exercise real state transitions while the
+/// block contents stay a pure function of `(filler client, sequence)` — the
+/// property that keeps saturated ledgers bit-identical across runtimes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FillOps {
+    /// Accounts `0..accounts` the generated transfers draw from; should be
+    /// covered by the execution genesis so debits can succeed.
+    pub accounts: u64,
+    /// Percentage (0–100) of generated ops that target a small hot key set —
+    /// the conflict knob: `0` yields fully disjoint footprints (every
+    /// conflict component is a single op), `100` collapses most of a block
+    /// into one serial component.
+    pub conflict_pct: u8,
+}
+
 /// All tunable protocol parameters of a FireLedger / FLO deployment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProtocolParams {
@@ -89,6 +111,10 @@ pub struct ProtocolParams {
     /// `batch_size` when the pool runs dry (the paper's evaluation "simulates
     /// an intensive load by filling every block to its maximal size", §7.2).
     pub fill_blocks: bool,
+    /// When set (and [`ProtocolParams::fill_blocks`] is on), filler
+    /// transactions carry deterministic executable ops instead of opaque
+    /// zeroed payloads — see [`FillOps`].
+    pub fill_ops: Option<FillOps>,
     /// Whether the benign failure detector (§6.1.1) is enabled.
     pub failure_detector: bool,
     /// Threshold (as a multiple of the base timeout) after which the failure
@@ -110,6 +136,7 @@ impl ProtocolParams {
             ema_window: 16,
             max_inflight_blocks: 8,
             fill_blocks: true,
+            fill_ops: None,
             failure_detector: true,
             fd_suspect_threshold: 8,
         }
@@ -151,6 +178,14 @@ impl ProtocolParams {
     /// Builder-style setter for block filling under light load.
     pub fn with_fill_blocks(mut self, fill: bool) -> Self {
         self.fill_blocks = fill;
+        self
+    }
+
+    /// Builder-style setter for the executable-filler profile (implies
+    /// nothing about [`ProtocolParams::fill_blocks`], which must still be
+    /// on for any filler to be generated).
+    pub fn with_fill_ops(mut self, ops: FillOps) -> Self {
+        self.fill_ops = Some(ops);
         self
     }
 

@@ -22,6 +22,7 @@ pub mod config;
 pub mod error;
 pub mod faults;
 pub mod ids;
+pub mod ops;
 pub mod persist;
 pub mod rng;
 pub mod rpc;
@@ -31,17 +32,19 @@ pub mod transaction;
 pub mod wire;
 
 pub use block::{
-    Block, BlockHeader, Hash, HashMemo, SigMemo, Signature, SignedHeader, GENESIS_HASH,
+    Block, BlockHeader, CanonicalBytes, Hash, HashMemo, SigMemo, Signature, SignedHeader,
+    GENESIS_HASH,
 };
 pub use bytes::Bytes;
 pub use codec::{CodecError, FrameHeader, Reader, WireCodec, MAX_FRAME_LEN, WIRE_VERSION};
-pub use config::{ClusterConfig, ProtocolParams};
+pub use config::{ClusterConfig, FillOps, ProtocolParams};
 pub use error::{Error, Result};
 pub use faults::{
     DiskFault, FaultPlan, FaultWindow, KillFault, LinkDecision, LinkFault, LinkFaultEngine,
     LinkFaultKind, LinkSelector, NodeFault, Partition,
 };
 pub use ids::{NodeId, Round, WorkerId};
+pub use ops::{DecodedOp, Receipt, TxOp, MAX_KV_VALUE, OP_MAGIC};
 pub use persist::{StoredBlock, WalRecord, WAL_LOCKED, WAL_ROUND, WAL_VOTE};
 pub use rng::DetRng;
 pub use rpc::{Lane, RejectReason, RpcMsg, SubmitStatus, MAX_RPC_PAYLOAD};

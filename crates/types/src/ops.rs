@@ -1,0 +1,475 @@
+//! Executable transaction payloads and their receipts.
+//!
+//! FireLedger orders opaque byte payloads; the execution engine
+//! (`fireledger-exec`) gives a *subset* of those payloads meaning. A payload
+//! that begins with [`OP_MAGIC`] encodes one [`TxOp`] — an operation against
+//! the deterministic account/KV state machine — in the binary layout pinned
+//! normatively in `docs/WIRE_FORMAT.md` §12. Every other payload (including
+//! the zero-filled filler transactions the synthetic workloads generate) is
+//! *opaque*: ordered, charged for, and executed as a no-op.
+//!
+//! Executing one transaction yields exactly one [`Receipt`]. Receipts are
+//! typed — insufficient funds, bad nonce, unknown account and friends are
+//! deterministic *outcomes*, not errors: every correct replica derives the
+//! identical receipt for the same transaction at the same position, which is
+//! what lets the state root double as a commitment to the receipt history.
+
+use crate::bytes::Bytes;
+use crate::codec::{CodecError, Reader, WireCodec};
+
+/// First payload byte marking an executable [`TxOp`] (WIRE_FORMAT.md §12.1).
+///
+/// `0xEC` ("EC" for *executable*) never collides with the workloads' opaque
+/// payloads, which are either empty or zero-filled.
+pub const OP_MAGIC: u8 = 0xEC;
+
+/// Upper bound on a KV value's length in bytes (WIRE_FORMAT.md §12.1).
+///
+/// Bounds what a single op can make every replica store; longer values make
+/// the op malformed (a deterministic no-op), not a protocol error.
+pub const MAX_KV_VALUE: usize = 1024;
+
+/// An operation against the deterministic account/KV state machine.
+///
+/// Account identifiers and KV keys are plain `u64`s in *separate*
+/// namespaces; amounts and balances are `u64` units. The variants cover the
+/// paper's permissioned-ledger workloads: asset transfers with per-account
+/// nonces, raw KV writes, and a guarded compare-and-swap as the minimal
+/// "contract-ish" conditional op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxOp {
+    /// Creates `account` with an initial balance; fails with
+    /// [`Receipt::AccountExists`] if it already exists.
+    CreateAccount {
+        /// The account to create.
+        account: u64,
+        /// Its initial balance.
+        balance: u64,
+    },
+    /// Moves `amount` from `from` to `to`, guarded by `from`'s nonce.
+    ///
+    /// Applies only when both accounts exist, `nonce` equals `from`'s
+    /// current nonce, and `from`'s balance covers `amount`; an applied
+    /// transfer increments `from`'s nonce. Zero-amount transfers are valid
+    /// (they still consume the nonce).
+    Transfer {
+        /// The debited account.
+        from: u64,
+        /// The credited account.
+        to: u64,
+        /// Units to move.
+        amount: u64,
+        /// `from`'s expected current nonce (replay protection).
+        nonce: u64,
+    },
+    /// Writes `value` under `key`, unconditionally.
+    KvPut {
+        /// The key to write.
+        key: u64,
+        /// The value to store (at most [`MAX_KV_VALUE`] bytes).
+        value: Bytes,
+    },
+    /// Deletes `key`; deleting an absent key is still
+    /// [`Receipt::Applied`] (the post-state is identical).
+    KvDelete {
+        /// The key to delete.
+        key: u64,
+    },
+    /// Compare-and-swap on `key`: applies `swap` only when the current
+    /// value equals `expect` (`None` = the key must be absent).
+    Cas {
+        /// The guarded key.
+        key: u64,
+        /// The expected current value (`None` = absent).
+        expect: Option<Bytes>,
+        /// The value written on a successful compare.
+        swap: Bytes,
+    },
+}
+
+/// The deterministic outcome of executing one transaction.
+///
+/// Exactly one receipt per ordered transaction; every variant is a valid
+/// state transition (possibly the identity), never an error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Receipt {
+    /// The op applied and mutated (or idempotently confirmed) the state.
+    Applied,
+    /// A transfer's debited account could not cover the amount.
+    InsufficientFunds {
+        /// The debited account's balance at execution time.
+        balance: u64,
+        /// The amount the transfer asked for.
+        needed: u64,
+    },
+    /// A transfer carried a stale or future nonce.
+    BadNonce {
+        /// The nonce the account expected.
+        expected: u64,
+        /// The nonce the transfer carried.
+        got: u64,
+    },
+    /// A transfer named an account that does not exist.
+    UnknownAccount {
+        /// The missing account.
+        account: u64,
+    },
+    /// A create targeted an account that already exists.
+    AccountExists {
+        /// The pre-existing account.
+        account: u64,
+    },
+    /// A compare-and-swap's guard did not match the current value.
+    CasMismatch,
+    /// The payload carried no [`OP_MAGIC`]: an opaque filler transaction,
+    /// ordered and charged but executing as a no-op.
+    Opaque,
+    /// The payload started with [`OP_MAGIC`] but did not decode to a valid
+    /// [`TxOp`]; rejected deterministically as a no-op.
+    Malformed,
+}
+
+impl Receipt {
+    /// Number of receipt variants (the width of a receipt histogram).
+    pub const KINDS: usize = 8;
+
+    /// A stable small index for histogram bucketing, in declaration order.
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Receipt::Applied => 0,
+            Receipt::InsufficientFunds { .. } => 1,
+            Receipt::BadNonce { .. } => 2,
+            Receipt::UnknownAccount { .. } => 3,
+            Receipt::AccountExists { .. } => 4,
+            Receipt::CasMismatch => 5,
+            Receipt::Opaque => 6,
+            Receipt::Malformed => 7,
+        }
+    }
+
+    /// Stable snake_case labels for the histogram buckets, index-aligned
+    /// with [`Receipt::kind_index`].
+    pub const KIND_LABELS: [&'static str; Receipt::KINDS] = [
+        "applied",
+        "insufficient_funds",
+        "bad_nonce",
+        "unknown_account",
+        "account_exists",
+        "cas_mismatch",
+        "opaque",
+        "malformed",
+    ];
+}
+
+/// What a transaction payload decodes to (see [`TxOp::classify_payload`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodedOp {
+    /// A well-formed executable operation.
+    Op(TxOp),
+    /// No [`OP_MAGIC`]: an opaque payload, executed as a no-op.
+    Opaque,
+    /// [`OP_MAGIC`] present but the body is invalid; executed as a no-op
+    /// with a [`Receipt::Malformed`].
+    Malformed,
+}
+
+impl TxOp {
+    /// Encodes this op as a transaction payload: [`OP_MAGIC`] followed by
+    /// the op's wire encoding (WIRE_FORMAT.md §12.1).
+    pub fn encode_payload(&self) -> Bytes {
+        let mut out = Vec::with_capacity(1 + self.encoded_len());
+        out.push(OP_MAGIC);
+        self.encode_to(&mut out);
+        Bytes::from(out)
+    }
+
+    /// Classifies a transaction payload: opaque, malformed, or a decoded op.
+    ///
+    /// Total over all byte strings — classification is part of execution and
+    /// must be deterministic, so invalid bytes map to
+    /// [`DecodedOp::Malformed`] rather than an error. Trailing bytes after a
+    /// valid op are malformed (the encoding is canonical).
+    pub fn classify_payload(payload: &[u8]) -> DecodedOp {
+        match payload.split_first() {
+            Some((&OP_MAGIC, body)) => match TxOp::decode(body) {
+                Ok(op) => DecodedOp::Op(op),
+                Err(_) => DecodedOp::Malformed,
+            },
+            _ => DecodedOp::Opaque,
+        }
+    }
+}
+
+impl WireCodec for TxOp {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            TxOp::CreateAccount { account, balance } => {
+                out.push(0);
+                account.encode_to(out);
+                balance.encode_to(out);
+            }
+            TxOp::Transfer {
+                from,
+                to,
+                amount,
+                nonce,
+            } => {
+                out.push(1);
+                from.encode_to(out);
+                to.encode_to(out);
+                amount.encode_to(out);
+                nonce.encode_to(out);
+            }
+            TxOp::KvPut { key, value } => {
+                out.push(2);
+                key.encode_to(out);
+                value.encode_to(out);
+            }
+            TxOp::KvDelete { key } => {
+                out.push(3);
+                key.encode_to(out);
+            }
+            TxOp::Cas { key, expect, swap } => {
+                out.push(4);
+                key.encode_to(out);
+                expect.encode_to(out);
+                swap.encode_to(out);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let op = match r.u8()? {
+            0 => TxOp::CreateAccount {
+                account: r.u64()?,
+                balance: r.u64()?,
+            },
+            1 => TxOp::Transfer {
+                from: r.u64()?,
+                to: r.u64()?,
+                amount: r.u64()?,
+                nonce: r.u64()?,
+            },
+            2 => TxOp::KvPut {
+                key: r.u64()?,
+                value: Bytes::decode_from(r)?,
+            },
+            3 => TxOp::KvDelete { key: r.u64()? },
+            4 => TxOp::Cas {
+                key: r.u64()?,
+                expect: Option::<Bytes>::decode_from(r)?,
+                swap: Bytes::decode_from(r)?,
+            },
+            tag => return Err(CodecError::BadTag { what: "TxOp", tag }),
+        };
+        // Oversized KV values are rejected at decode time so that a single
+        // op cannot make every replica hold unbounded state.
+        let value_len = match &op {
+            TxOp::KvPut { value, .. } => value.len(),
+            TxOp::Cas { swap, .. } => swap.len(),
+            _ => 0,
+        };
+        if value_len > MAX_KV_VALUE {
+            return Err(CodecError::BadLength {
+                what: "TxOp value",
+                claimed: value_len as u64,
+                remaining: MAX_KV_VALUE,
+            });
+        }
+        Ok(op)
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            TxOp::CreateAccount { .. } => 8 + 8,
+            TxOp::Transfer { .. } => 8 + 8 + 8 + 8,
+            TxOp::KvPut { value, .. } => 8 + value.encoded_len(),
+            TxOp::KvDelete { .. } => 8,
+            TxOp::Cas { expect, swap, .. } => 8 + expect.encoded_len() + swap.encoded_len(),
+        }
+    }
+}
+
+impl WireCodec for Receipt {
+    fn encode_to(&self, out: &mut Vec<u8>) {
+        match self {
+            Receipt::Applied => out.push(0),
+            Receipt::InsufficientFunds { balance, needed } => {
+                out.push(1);
+                balance.encode_to(out);
+                needed.encode_to(out);
+            }
+            Receipt::BadNonce { expected, got } => {
+                out.push(2);
+                expected.encode_to(out);
+                got.encode_to(out);
+            }
+            Receipt::UnknownAccount { account } => {
+                out.push(3);
+                account.encode_to(out);
+            }
+            Receipt::AccountExists { account } => {
+                out.push(4);
+                account.encode_to(out);
+            }
+            Receipt::CasMismatch => out.push(5),
+            Receipt::Opaque => out.push(6),
+            Receipt::Malformed => out.push(7),
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Receipt::Applied,
+            1 => Receipt::InsufficientFunds {
+                balance: r.u64()?,
+                needed: r.u64()?,
+            },
+            2 => Receipt::BadNonce {
+                expected: r.u64()?,
+                got: r.u64()?,
+            },
+            3 => Receipt::UnknownAccount { account: r.u64()? },
+            4 => Receipt::AccountExists { account: r.u64()? },
+            5 => Receipt::CasMismatch,
+            6 => Receipt::Opaque,
+            7 => Receipt::Malformed,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "Receipt",
+                    tag,
+                })
+            }
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Receipt::InsufficientFunds { .. } | Receipt::BadNonce { .. } => 16,
+            Receipt::UnknownAccount { .. } | Receipt::AccountExists { .. } => 8,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<TxOp> {
+        vec![
+            TxOp::CreateAccount {
+                account: 7,
+                balance: 1000,
+            },
+            TxOp::Transfer {
+                from: 7,
+                to: 9,
+                amount: 50,
+                nonce: 0,
+            },
+            TxOp::KvPut {
+                key: 3,
+                value: Bytes::from(vec![1, 2, 3]),
+            },
+            TxOp::KvDelete { key: 3 },
+            TxOp::Cas {
+                key: 4,
+                expect: None,
+                swap: Bytes::from(vec![9]),
+            },
+            TxOp::Cas {
+                key: 4,
+                expect: Some(Bytes::from(vec![9])),
+                swap: Bytes::from(vec![8, 8]),
+            },
+        ]
+    }
+
+    #[test]
+    fn ops_roundtrip_through_payloads() {
+        for op in ops() {
+            let payload = op.encode_payload();
+            assert_eq!(payload[0], OP_MAGIC);
+            assert_eq!(
+                TxOp::classify_payload(&payload),
+                DecodedOp::Op(op.clone()),
+                "payload roundtrip for {op:?}"
+            );
+            // WireCodec invariants.
+            let bytes = op.encode();
+            assert_eq!(bytes.len(), op.encoded_len());
+            assert_eq!(TxOp::decode(&bytes), Ok(op));
+        }
+    }
+
+    #[test]
+    fn receipts_roundtrip() {
+        let receipts = vec![
+            Receipt::Applied,
+            Receipt::InsufficientFunds {
+                balance: 1,
+                needed: 2,
+            },
+            Receipt::BadNonce {
+                expected: 3,
+                got: 4,
+            },
+            Receipt::UnknownAccount { account: 5 },
+            Receipt::AccountExists { account: 6 },
+            Receipt::CasMismatch,
+            Receipt::Opaque,
+            Receipt::Malformed,
+        ];
+        let mut seen = [false; Receipt::KINDS];
+        for r in receipts {
+            let bytes = r.encode();
+            assert_eq!(bytes.len(), r.encoded_len());
+            assert_eq!(Receipt::decode(&bytes), Ok(r.clone()));
+            seen[r.kind_index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "every kind index is distinct");
+        assert_eq!(Receipt::KIND_LABELS.len(), Receipt::KINDS);
+    }
+
+    #[test]
+    fn opaque_and_malformed_payloads_classify_deterministically() {
+        assert_eq!(TxOp::classify_payload(&[]), DecodedOp::Opaque);
+        assert_eq!(TxOp::classify_payload(&[0u8; 64]), DecodedOp::Opaque);
+        assert_eq!(TxOp::classify_payload(&[0x01, 0xEC]), DecodedOp::Opaque);
+        // Magic but empty body.
+        assert_eq!(TxOp::classify_payload(&[OP_MAGIC]), DecodedOp::Malformed);
+        // Magic but unknown tag.
+        assert_eq!(
+            TxOp::classify_payload(&[OP_MAGIC, 0xFF]),
+            DecodedOp::Malformed
+        );
+        // Magic, valid op, trailing garbage: not canonical, malformed.
+        let mut payload = TxOp::KvDelete { key: 1 }.encode_payload().to_vec();
+        payload.push(0);
+        assert_eq!(TxOp::classify_payload(&payload), DecodedOp::Malformed);
+    }
+
+    #[test]
+    fn oversized_kv_values_are_rejected() {
+        let op = TxOp::KvPut {
+            key: 1,
+            value: Bytes::from(vec![0u8; MAX_KV_VALUE + 1]),
+        };
+        let bytes = op.encode();
+        assert!(matches!(
+            TxOp::decode(&bytes),
+            Err(CodecError::BadLength { .. })
+        ));
+        assert_eq!(
+            TxOp::classify_payload(&op.encode_payload()),
+            DecodedOp::Malformed
+        );
+        // At the bound it is accepted.
+        let ok = TxOp::KvPut {
+            key: 1,
+            value: Bytes::from(vec![0u8; MAX_KV_VALUE]),
+        };
+        assert_eq!(TxOp::decode(&ok.encode()), Ok(ok));
+    }
+}

@@ -279,6 +279,15 @@ pub enum Observation {
         /// Round that returned nil.
         round: Round,
     },
+    /// A delivered header's claimed (lagged) execution state root diverged
+    /// from this node's own execution of the same committed prefix — a
+    /// typed, counted execution fault (WIRE_FORMAT.md §12).
+    ExecRootMismatch {
+        /// Worker instance whose delivery stream carried the bad claim.
+        worker: WorkerId,
+        /// Round of the header carrying the mismatching root.
+        round: Round,
+    },
     /// A state-sync cycle completed and the worker resumed normal consensus.
     SyncCompleted {
         /// Worker instance.
@@ -291,6 +300,11 @@ pub enum Observation {
 }
 
 /// An effect requested by a protocol state machine.
+//
+// `Deliver` dwarfs the other variants (the header now carries the lagged
+// execution state root), but boxing it would cost an allocation per
+// delivered block on the hot path for a value that is consumed immediately.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Action<M> {
     /// Send `msg` to a single peer.

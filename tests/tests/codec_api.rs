@@ -22,8 +22,8 @@ use fireledger_store::{decode_footer, encode_footer, encode_record, scan_records
 use fireledger_types::codec::FrameHeader;
 use fireledger_types::rpc::{Lane, RejectReason, RpcMsg, SubmitStatus};
 use fireledger_types::{
-    BlockHeader, CodecError, Hash, NodeId, Round, Signature, SignedHeader, StoredBlock, SyncMsg,
-    Transaction, WalRecord, WireCodec, WorkerId, GENESIS_HASH,
+    BlockHeader, Bytes, CodecError, Hash, NodeId, Receipt, Round, Signature, SignedHeader,
+    StoredBlock, SyncMsg, Transaction, TxOp, WalRecord, WireCodec, WorkerId, GENESIS_HASH,
 };
 use std::fmt::Debug;
 
@@ -359,6 +359,7 @@ fn golden_sync_messages_of_wire_format_section_10_are_unchanged() {
             "2222222222222222222222222222222222222222222222222222222222222222",
             "0000000a",
             "0000000000001400",
+            "00", // exec_root absent (presence byte, wire version 2 — §12)
             "00000040",
             "5555555555555555555555555555555555555555555555555555555555555555",
             "5555555555555555555555555555555555555555555555555555555555555555",
@@ -406,7 +407,7 @@ fn golden_frame_of_wire_format_section_8_is_unchanged() {
     let got_hex: String = frame.iter().map(|b| format!("{b:02x}")).collect();
     let expected_hex = concat!(
         "464c4752",
-        "01",
+        "02", // wire version 2: headers gained an optional exec_root (§12)
         "00000041",
         "00000000",
         "01",
@@ -573,7 +574,7 @@ fn golden_rpc_messages_of_wire_format_section_11_are_unchanged() {
         hex(&frame),
         concat!(
             "464c4752",
-            "01",
+            "02", // wire version 2 (§12); RPC payload bytes are unchanged
             "00000018",
             "01",
             "0000000000000007",
@@ -626,8 +627,8 @@ fn golden_store_records_of_wire_format_section_9_are_unchanged() {
     let expected_block_hex = concat!(
         "464c5352",                                                         // record magic "FLSR"
         "01",                                                               // kind REC_BLOCK
-        "000000c0",                                                         // payload len = 192
-        "3bfaa986",         // CRC-32 over kind ‖ len ‖ payload
+        "000000c1",                                                         // payload len = 193
+        "e21ba261",         // CRC-32 over kind ‖ len ‖ payload
         "00000000",         // worker 0
         "0000000000000003", // header: round 3
         "00000001",         // header: worker 1
@@ -636,6 +637,7 @@ fn golden_store_records_of_wire_format_section_9_are_unchanged() {
         "2222222222222222222222222222222222222222222222222222222222222222", // payload hash
         "0000000a",         // header: tx_count 10
         "0000000000001400", // header: payload_bytes 5120
+        "00",               // exec_root absent (presence byte, wire v2 — §12)
         "00000040",         // signature length 64
         "5555555555555555555555555555555555555555555555555555555555555555",
         "5555555555555555555555555555555555555555555555555555555555555555", // signature
@@ -681,4 +683,143 @@ fn golden_store_records_of_wire_format_section_9_are_unchanged() {
     let (offsets, region) = decode_footer(&sealed).expect("footer decodes");
     assert_eq!(offsets, vec![0, 30]);
     assert_eq!(region, segment.len());
+}
+
+/// The golden encodings of WIRE_FORMAT.md §12.1 (executable transaction
+/// payloads) and §12.2 (receipts). Executable payloads are interpreted by
+/// every replica's execution stage, so a silent layout change would make
+/// replicas disagree about what a committed ledger *means* — the worst kind
+/// of fork. A failure here requires a §12 spec update and a `WIRE_VERSION`
+/// bump, never a silent change.
+#[test]
+fn golden_exec_payloads_of_wire_format_section_12_are_unchanged() {
+    let ops: Vec<(TxOp, &str)> = vec![
+        (
+            TxOp::CreateAccount {
+                account: 7,
+                balance: 1000,
+            },
+            "ec00000000000000000700000000000003e8",
+        ),
+        (
+            TxOp::Transfer {
+                from: 7,
+                to: 9,
+                amount: 50,
+                nonce: 0,
+            },
+            concat!(
+                "ec01",
+                "0000000000000007",
+                "0000000000000009",
+                "0000000000000032",
+                "0000000000000000",
+            ),
+        ),
+        (
+            TxOp::KvPut {
+                key: 3,
+                value: Bytes::from(vec![1, 2, 3]),
+            },
+            "ec02000000000000000300000003010203",
+        ),
+        (TxOp::KvDelete { key: 3 }, "ec030000000000000003"),
+        (
+            TxOp::Cas {
+                key: 4,
+                expect: None,
+                swap: Bytes::from(vec![9]),
+            },
+            "ec040000000000000004000000000109",
+        ),
+        (
+            TxOp::Cas {
+                key: 4,
+                expect: Some(Bytes::from(vec![9])),
+                swap: Bytes::from(vec![8, 8]),
+            },
+            "ec040000000000000004010000000109000000020808",
+        ),
+    ];
+    for (op, want) in &ops {
+        assert_eq!(
+            hex(&op.encode_payload()),
+            *want,
+            "§12.1 golden moved for {op:?}"
+        );
+        // And the payload classifies back to exactly this op.
+        assert_eq!(
+            fireledger_types::TxOp::classify_payload(&op.encode_payload()),
+            fireledger_types::DecodedOp::Op(op.clone()),
+        );
+    }
+
+    let receipts: Vec<(Receipt, &str)> = vec![
+        (Receipt::Applied, "00"),
+        (
+            Receipt::InsufficientFunds {
+                balance: 1,
+                needed: 2,
+            },
+            "0100000000000000010000000000000002",
+        ),
+        (
+            Receipt::BadNonce {
+                expected: 3,
+                got: 4,
+            },
+            "0200000000000000030000000000000004",
+        ),
+        (Receipt::UnknownAccount { account: 5 }, "030000000000000005"),
+        (Receipt::AccountExists { account: 6 }, "040000000000000006"),
+        (Receipt::CasMismatch, "05"),
+        (Receipt::Opaque, "06"),
+        (Receipt::Malformed, "07"),
+    ];
+    for (receipt, want) in &receipts {
+        assert_eq!(
+            hex(&receipt.encode()),
+            *want,
+            "§12.2 golden moved for {receipt:?}"
+        );
+    }
+
+    // Both layouts also satisfy the reuse/roundtrip contract.
+    let mut scratch = vec![0xEEu8; 5];
+    for (op, _) in &ops {
+        assert_codec_contract(op, &mut scratch);
+    }
+    for (receipt, _) in &receipts {
+        assert_codec_contract(receipt, &mut scratch);
+    }
+}
+
+/// §4.5 / §12.3: the canonical header bytes — the signing pre-image — with
+/// the execution root absent (93 bytes) and present (125 bytes), pinned
+/// byte for byte. The presence byte is always encoded, so a version-1
+/// 92-byte header can never be confused with either form.
+#[test]
+fn canonical_bytes_with_exec_root_are_pinned() {
+    let bare = signed_header().header;
+    let with_root = bare.clone().with_exec_root(Hash([0x33; 32]));
+
+    let fixed92 = concat!(
+        "0000000000000003",
+        "00000001",
+        "00000002",
+        "1111111111111111111111111111111111111111111111111111111111111111",
+        "2222222222222222222222222222222222222222222222222222222222222222",
+        "0000000a",
+        "0000000000001400",
+    );
+    assert_eq!(bare.canonical_bytes().as_ref().len(), 93);
+    assert_eq!(hex(bare.canonical_bytes().as_ref()), format!("{fixed92}00"));
+    assert_eq!(with_root.canonical_bytes().as_ref().len(), 125);
+    assert_eq!(
+        hex(with_root.canonical_bytes().as_ref()),
+        format!("{fixed92}01{}", "33".repeat(32)),
+    );
+    // The wire encoding IS the canonical form, for both shapes.
+    assert_eq!(bare.encode(), bare.canonical_bytes().as_ref());
+    assert_eq!(with_root.encode(), with_root.canonical_bytes().as_ref());
 }
