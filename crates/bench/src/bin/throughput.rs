@@ -525,9 +525,156 @@ fn main() {
     }
     let execution_json = format!("[{}]", exec_rows.join(","));
 
+    // The reactor n-sweep (the `scale` key, PR 10): FLO on the TCP runtime
+    // at growing cluster sizes, on both socket engines. The legacy
+    // thread-per-peer engine spends n + 2·n·(n−1) threads (a reader and a
+    // writer per directed link); the reactor spends n node threads plus a
+    // fixed pool. Each row records the cluster's *measured* thread count
+    // (the report's `threads` key, snapshotted before shutdown) next to its
+    // throughput, so the trajectory carries the before/after comparison.
+    // The legacy engine is capped at n = 32 (2 016 threads) — the point of
+    // the sweep is that the reactor reaches n = 64 where thread-per-socket
+    // is already absurd, not to spawn 8 128 threads to prove it.
+    let scale_ns: &[usize] = if smoke {
+        &[4, 8, 16]
+    } else if full_mode() {
+        &[4, 8, 16, 32, 64]
+    } else {
+        &[4, 8, 16, 32]
+    };
+    const LEGACY_SCALE_CAP: usize = 32;
+    let scale_dur = if smoke {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_millis(800)
+    };
+    let scale_row = |engine: &str, n: usize, report: &RunReport| {
+        println!(
+            "scale     tcp      Flo | n={n:<3} engine={engine:<15} threads={:>5} tps={:>9.0} bps={:>7.1}",
+            report.threads, report.tps, report.bps,
+        );
+        format!(
+            concat!(
+                "{{\"system\":\"Flo\",\"runtime\":\"tcp\",\"engine\":\"{}\",\"n\":{},",
+                "\"threads\":{},\"tps\":{:.2},\"bps\":{:.2},\"duration_secs\":{:.4}}}"
+            ),
+            engine, n, report.threads, report.tps, report.bps, report.duration_secs,
+        )
+    };
+    let mut scale_rows = Vec::new();
+    for &n in scale_ns {
+        // The first committed rounds take visibly longer at n = 64 (an
+        // all-to-all mesh of 4 032 sockets warming up); give the largest
+        // cell enough wall clock to get past them.
+        let dur = if n >= 64 {
+            Duration::from_millis(3000)
+        } else {
+            scale_dur
+        };
+        let cfg = ExperimentConfig::flo(n, 1, 50, 256)
+            .with_base_timeout(Duration::from_millis(500))
+            .duration(dur);
+        if n <= LEGACY_SCALE_CAP {
+            let before = cfg.clone().with_thread_per_peer().run_on(&Tcp, None);
+            let expected = n + 2 * n * (n - 1);
+            if before.report.threads != expected {
+                eprintln!(
+                    "error: thread-per-peer n={n} ran {} threads, expected {expected}",
+                    before.report.threads
+                );
+                std::process::exit(1);
+            }
+            scale_rows.push(scale_row("thread-per-peer", n, &before.report));
+        }
+        let after = cfg.clone().run_on(&Tcp, None);
+        // The acceptance gate of the sweep: the reactor's thread count is
+        // O(n) — the n node loops plus the fixed pool, nothing per-socket.
+        if after.report.threads != n + DEFAULT_REACTOR_THREADS {
+            eprintln!(
+                "error: reactor n={n} ran {} threads, expected {}",
+                after.report.threads,
+                n + DEFAULT_REACTOR_THREADS
+            );
+            std::process::exit(1);
+        }
+        if after.report.tps <= 0.0 {
+            eprintln!("error: reactor n={n} produced no throughput");
+            std::process::exit(1);
+        }
+        scale_rows.push(scale_row("reactor", n, &after.report));
+    }
+    let scale_json = format!("[{}]", scale_rows.join(","));
+
+    // The geo-latency profile (the `geo` key, PR 10): FLO on the TCP
+    // runtime with the simulator's AWS inter-region latency matrix injected
+    // through the delay-line interceptor — every pair of the 10 regions
+    // gets its one-way latency as a constant link delay, so real sockets
+    // experience the §7.5 geo topology. The open-loop probe stream gives
+    // the row real submit→commit percentiles, which must clear the injected
+    // one-way latencies by construction.
+    let geo_matrix = fireledger_sim::GeoMatrix::aws_default();
+    let geo_n = 10usize;
+    let mut geo_plan = FaultPlan::named("geo-aws");
+    for a in 0..geo_n as u32 {
+        for b in (a + 1)..geo_n as u32 {
+            let lat = geo_matrix.latency(NodeId(a), NodeId(b));
+            geo_plan = geo_plan.delay(
+                LinkSelector::Between(NodeId(a), NodeId(b)),
+                FaultWindow::ALWAYS,
+                lat,
+                lat,
+            );
+        }
+    }
+    let geo_scenario = Scenario::new("geo-aws")
+        .geo()
+        .open_loop(50.0, 256)
+        .run_for(if smoke {
+            Duration::from_millis(1200)
+        } else {
+            Duration::from_millis(3000)
+        })
+        .with_warmup(Duration::ZERO)
+        .with_seed(11)
+        .with_faults(geo_plan);
+    let geo_builder = ClusterBuilder::<FloCluster>::new(
+        ProtocolParams::new(geo_n)
+            .with_workers(1)
+            .with_batch_size(50)
+            .with_tx_size(256)
+            .with_base_timeout(Duration::from_secs(1)),
+    )
+    .with_seed(11);
+    let geo_report = Tcp.run(&geo_builder, &geo_scenario).expect("geo row (tcp)");
+    if geo_report.tps <= 0.0 {
+        eprintln!("error: geo row produced no throughput");
+        std::process::exit(1);
+    }
+    println!(
+        "geo       tcp      Flo | n={geo_n} threads={:>4} tps={:>9.0} p50={:.4}s p99={:.4}s",
+        geo_report.threads,
+        geo_report.tps,
+        geo_report.p50_latency_secs,
+        geo_report.p99_latency_secs,
+    );
+    let geo_json = format!(
+        concat!(
+            "{{\"system\":\"Flo\",\"runtime\":\"tcp\",\"n\":{},\"network\":\"geo-aws\",",
+            "\"threads\":{},\"tps\":{:.2},\"bps\":{:.2},",
+            "\"p50_latency_secs\":{:.6},\"p99_latency_secs\":{:.6},\"duration_secs\":{:.4}}}"
+        ),
+        geo_n,
+        geo_report.threads,
+        geo_report.tps,
+        geo_report.bps,
+        geo_report.p50_latency_secs,
+        geo_report.p99_latency_secs,
+        geo_report.duration_secs,
+    );
+
     let point_rows: Vec<String> = points.iter().map(Point::to_json).collect();
     let run_json = format!(
-        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json},\"ingress\":{ingress_json},\"execution\":{execution_json}}}",
+        "{{\"label\":\"{label}\",\"mode\":\"{mode}\",\"points\":[{}],\"catch_up\":{catch_json},\"ingress\":{ingress_json},\"execution\":{execution_json},\"scale\":{scale_json},\"geo\":{geo_json}}}",
         point_rows.join(",")
     );
     println!("JSON: {run_json}");

@@ -52,6 +52,14 @@ pub struct ExecConfig {
     /// How many per-round roots to retain for lagged-root lookups and
     /// cross-checks; older roots are pruned.
     pub root_retention: u64,
+    /// Bound on the stage queue (`0` = unbounded). With a stage attached,
+    /// an [`ExecShared::enqueue`] against a full queue **blocks** until the
+    /// stage frees a slot — a lagging executor back-pressures block
+    /// assembly instead of growing the queue without limit. The
+    /// [`ExecShared::lagging`] high-watermark (half the bound) lets a
+    /// driver throttle proactively before enqueue blocks outright. Inline
+    /// mode (no stage) never queues, so the bound is moot there.
+    pub max_queue: usize,
 }
 
 impl Default for ExecConfig {
@@ -61,6 +69,7 @@ impl Default for ExecConfig {
             genesis_accounts: 0,
             genesis_balance: 0,
             root_retention: 4096,
+            max_queue: 4096,
         }
     }
 }
@@ -73,6 +82,12 @@ impl ExecConfig {
             genesis_balance: balance,
             ..ExecConfig::default()
         }
+    }
+
+    /// Sets the stage-queue bound (`0` = unbounded).
+    pub fn with_max_queue(mut self, max_queue: usize) -> Self {
+        self.max_queue = max_queue;
+        self
     }
 }
 
@@ -173,6 +188,8 @@ struct ExecCore {
     /// round `next_round + i` (delivery is dense in rounds).
     next_round: u64,
     queue: VecDeque<Block>,
+    /// Stage-queue bound (`0` = unbounded); see [`ExecConfig::max_queue`].
+    max_queue: usize,
     /// Root after executing each round, pruned to the retention window.
     roots: BTreeMap<u64, Hash>,
     retention: u64,
@@ -203,6 +220,7 @@ impl ExecCore {
             base_root,
             next_round: 0,
             queue: VecDeque::new(),
+            max_queue: config.max_queue,
             roots: BTreeMap::new(),
             retention: config.root_retention.max(8),
             pending_claims: BTreeMap::new(),
@@ -302,6 +320,7 @@ impl ExecCore {
                 genesis_accounts: self.genesis.0,
                 genesis_balance: self.genesis.1,
                 root_retention: self.retention,
+                max_queue: self.max_queue,
             },
             self.pool.clone(),
         );
@@ -312,6 +331,9 @@ impl ExecCore {
 struct Inner {
     core: Mutex<ExecCore>,
     work: Condvar,
+    /// Signals a producer blocked on a full stage queue that a slot freed
+    /// up (the stage stepped, a work-steal drained, or teardown began).
+    space: Condvar,
     stage_attached: AtomicBool,
     shutdown: AtomicBool,
 }
@@ -332,6 +354,7 @@ impl ExecShared {
             inner: Arc::new(Inner {
                 core: Mutex::new(ExecCore::new(config, pool)),
                 work: Condvar::new(),
+                space: Condvar::new(),
                 stage_attached: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
             }),
@@ -353,7 +376,13 @@ impl ExecShared {
     ///
     /// With no stage attached the block executes before this returns (the
     /// simulator's deterministic slicing); with a stage attached the block
-    /// is queued and the stage thread is woken.
+    /// is queued and the stage thread is woken. When the stage queue is at
+    /// its [`ExecConfig::max_queue`] bound, the call **blocks** until the
+    /// stage frees a slot — this is the execution-lag back-pressure that
+    /// throttles block assembly behind a slow executor. Teardown
+    /// ([`ExecShared::shutdown_stage`]) releases a blocked producer; its
+    /// block is dropped, which is fine — teardown's [`ExecShared::finish`]
+    /// only accounts blocks that were actually delivered to the queue.
     pub fn enqueue(&self, round: u64, block: &Block) {
         let mut core = self.lock();
         let expected = core.next_round + core.queue.len() as u64;
@@ -366,13 +395,42 @@ impl ExecShared {
             round, expected,
             "non-dense delivery into executor: got round {round}, expected {expected}"
         );
-        core.queue.push_back(block.clone());
         if self.inner.stage_attached.load(Ordering::Acquire) {
+            // `expected` is invariant under stage steps (each pop also
+            // advances `next_round`), so the density check above stays
+            // valid across this wait.
+            while core.max_queue > 0
+                && core.queue.len() >= core.max_queue
+                && !self.inner.shutdown.load(Ordering::Acquire)
+            {
+                core = self.inner.space.wait(core).expect("exec state poisoned");
+            }
+            if core.max_queue > 0 && core.queue.len() >= core.max_queue {
+                return; // teardown while blocked: drop the block
+            }
+            core.queue.push_back(block.clone());
             drop(core);
             self.inner.work.notify_one();
         } else {
+            core.queue.push_back(block.clone());
             core.drain();
         }
+    }
+
+    /// Blocks queued for the stage right now (0 in inline mode's steady
+    /// state — inline enqueues drain before returning).
+    pub fn queue_len(&self) -> usize {
+        self.lock().queue.len()
+    }
+
+    /// The high-watermark signal: true when the stage queue is more than
+    /// half its [`ExecConfig::max_queue`] bound — the executor is lagging
+    /// and block assembly should slow down before
+    /// [`ExecShared::enqueue`] starts blocking outright. Always false when
+    /// unbounded.
+    pub fn lagging(&self) -> bool {
+        let core = self.lock();
+        core.max_queue > 0 && core.queue.len() * 2 > core.max_queue
     }
 
     /// The state root after executing delivered rounds `0..=?` — `None`
@@ -388,6 +446,8 @@ impl ExecShared {
         if let Some(j) = prefix {
             if core.next_round <= j {
                 core.drain_through(j);
+                // A work-steal shrank the queue: release blocked producers.
+                self.inner.space.notify_all();
             }
         }
         core.local_root(prefix)
@@ -444,6 +504,10 @@ impl ExecShared {
                 core = self.inner.work.wait(core).expect("exec state poisoned");
             }
             core.step();
+            drop(core);
+            // The queue just shrank: release a producer blocked on the
+            // bound.
+            self.inner.space.notify_all();
         }
     }
 
@@ -451,18 +515,21 @@ impl ExecShared {
     pub fn shutdown_stage(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.work.notify_all();
+        self.inner.space.notify_all();
     }
 
     /// Drains any queued blocks inline — used at teardown to make stats
     /// reflect every delivered block even if the stage was behind.
     pub fn finish(&self) {
         self.lock().drain();
+        self.inner.space.notify_all();
     }
 
     /// Resets to genesis for a restart-from-disk replay: state, queue,
     /// roots and pending claims are dropped; the reset is counted.
     pub fn reset(&self) {
         self.lock().reset();
+        self.inner.space.notify_all();
     }
 
     /// A snapshot of the executor's counters.
@@ -605,6 +672,59 @@ mod tests {
         assert_eq!(stats.root_checks, 3);
         assert_eq!(stats.root_mismatches, 1);
         assert_eq!(exec.mismatches().len(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_blocks_enqueue_until_the_stage_frees_a_slot() {
+        let cfg = ExecConfig::with_genesis(4, 1000).with_max_queue(2);
+        let exec = ExecShared::new(&cfg, pool());
+        // Attach the stage flag without running a stage thread, so the
+        // queue only drains when the test says so.
+        exec.attach_stage();
+        exec.enqueue(0, &block(0, vec![]));
+        assert!(!exec.lagging(), "one of two queued is below the watermark");
+        exec.enqueue(1, &block(1, vec![]));
+        assert!(exec.lagging(), "full queue must trip the high watermark");
+        assert_eq!(exec.queue_len(), 2);
+
+        // A third enqueue must block on the bound...
+        let blocked = {
+            let exec = exec.clone();
+            std::thread::spawn(move || exec.enqueue(2, &block(2, vec![])))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(
+            !blocked.is_finished(),
+            "enqueue sailed past a full bounded queue"
+        );
+
+        // ...until a drain frees slots; the blocked producer then lands
+        // its block on the (now shorter) queue.
+        exec.finish();
+        blocked.join().expect("blocked producer");
+        assert_eq!(exec.queue_len(), 1);
+        assert!(!exec.lagging());
+        exec.finish();
+        assert_eq!(exec.stats().executed_blocks, 3);
+        assert_eq!(exec.stats().last_round, Some(2));
+    }
+
+    #[test]
+    fn teardown_releases_a_producer_blocked_on_the_bound() {
+        let cfg = ExecConfig::with_genesis(2, 10).with_max_queue(1);
+        let exec = ExecShared::new(&cfg, pool());
+        exec.attach_stage();
+        exec.enqueue(0, &block(0, vec![]));
+        let blocked = {
+            let exec = exec.clone();
+            std::thread::spawn(move || exec.enqueue(1, &block(1, vec![])))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        assert!(!blocked.is_finished());
+        // Shutdown must wake the producer, which drops its block.
+        exec.shutdown_stage();
+        blocked.join().expect("blocked producer");
+        assert_eq!(exec.queue_len(), 1, "the dropped block was not queued");
     }
 
     #[test]

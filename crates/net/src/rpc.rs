@@ -23,10 +23,17 @@ use fireledger_types::rpc::{RejectReason, RpcMsg};
 use fireledger_types::{NodeId, Transaction, WireCodec};
 use std::io::{self, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Live client connections one node's listener serves concurrently. A
+/// connection past this bound is refused *at accept* with a typed
+/// [`RpcMsg::Reject`] `{ Busy }` before the socket closes — a client flood
+/// can no longer spawn unbounded server threads; it gets told to back off.
+/// The bound is per node, so cluster-wide RPC threads stay O(n).
+pub const MAX_RPC_CONNS_PER_NODE: usize = 64;
 
 /// Serves decoded client RPCs for a node.
 ///
@@ -121,7 +128,9 @@ fn serve_conn(
 }
 
 /// The per-node client listeners of a cluster: one `TcpListener` per node,
-/// an accept thread each, and one thread per live connection.
+/// an accept thread each, and a **bounded** pool of connection threads —
+/// at most [`MAX_RPC_CONNS_PER_NODE`] live connections per node, the rest
+/// refused at accept with a typed `Busy` reject.
 pub struct RpcServer {
     addrs: Vec<SocketAddr>,
     stop: Arc<AtomicBool>,
@@ -136,6 +145,19 @@ impl RpcServer {
     where
         S: Fn(Transaction) + Clone + Send + 'static,
     {
+        Self::spawn_limited(handler, submitters, MAX_RPC_CONNS_PER_NODE)
+    }
+
+    /// [`RpcServer::spawn`] with an explicit per-node connection bound
+    /// (test hook — production listeners use the documented default).
+    pub(crate) fn spawn_limited<S>(
+        handler: Arc<dyn RpcHandler>,
+        submitters: Vec<S>,
+        limit: usize,
+    ) -> io::Result<Self>
+    where
+        S: Fn(Transaction) + Clone + Send + 'static,
+    {
         let stop = Arc::new(AtomicBool::new(false));
         let mut addrs = Vec::with_capacity(submitters.len());
         let mut handles = Vec::with_capacity(submitters.len());
@@ -145,6 +167,7 @@ impl RpcServer {
             let node = NodeId(i as u32);
             let handler = handler.clone();
             let stop = stop.clone();
+            let live = Arc::new(AtomicUsize::new(0));
             handles.push(std::thread::spawn(move || {
                 let mut conns: Vec<JoinHandle<()>> = Vec::new();
                 for conn in listener.incoming() {
@@ -153,11 +176,23 @@ impl RpcServer {
                     }
                     let Ok(stream) = conn else { continue };
                     let _ = stream.set_nodelay(true);
+                    // Reap finished connection threads so the handle list
+                    // is bounded by the pool, not by connections served.
+                    conns.retain(|c| !c.is_finished());
+                    if live.load(Ordering::SeqCst) >= limit {
+                        // Pool full: typed refusal at accept, before any
+                        // request is read. No thread is spawned.
+                        reject_and_close(stream, RejectReason::Busy);
+                        continue;
+                    }
+                    live.fetch_add(1, Ordering::SeqCst);
                     let handler = handler.clone();
                     let submit = submit.clone();
                     let stop = stop.clone();
+                    let live = live.clone();
                     conns.push(std::thread::spawn(move || {
                         serve_conn(stream, node, handler.as_ref(), &submit, &stop);
+                        live.fetch_sub(1, Ordering::SeqCst);
                     }));
                 }
                 for c in conns {
@@ -175,6 +210,12 @@ impl RpcServer {
     /// The listening address of each node's client endpoint.
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// Accept threads the server runs (one per node). Connection threads
+    /// are transient and bounded per node; they are not counted here.
+    pub(crate) fn accept_threads(&self) -> usize {
+        self.handles.len()
     }
 
     /// Stops the accept threads and joins every connection thread.
@@ -368,6 +409,69 @@ mod tests {
         let (server, _) = server();
         let _client = RpcClient::connect(server.addrs()[0]).expect("connect");
         // The connection stays open and idle; shutdown must still join.
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_accept_pool_refuses_with_typed_busy_and_recovers() {
+        let seen: Arc<Mutex<Vec<Transaction>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let submit = move |tx: Transaction| sink.lock().unwrap().push(tx);
+        let server =
+            RpcServer::spawn_limited(Arc::new(AcceptAllRpc), vec![submit], 2).expect("bind");
+        let addr = server.addrs()[0];
+
+        let submit_msg = |seq| RpcMsg::Submit {
+            client: 5,
+            seq,
+            lane: Lane::Normal,
+            payload: vec![],
+        };
+        // Fill the pool; a round-trip each proves both were truly accepted.
+        let mut c1 = RpcClient::connect(addr).expect("connect");
+        let mut c2 = RpcClient::connect(addr).expect("connect");
+        c1.call(&submit_msg(1)).expect("pool slot 1");
+        c2.call(&submit_msg(2)).expect("pool slot 2");
+
+        // The third connection is refused at accept with a typed Busy —
+        // read it straight off the raw stream (nothing was even sent).
+        let mut extra = TcpStream::connect(addr).expect("connect");
+        let frame = crate::frame::read_frame(&mut extra)
+            .expect("read reject")
+            .expect("reject frame");
+        assert_eq!(
+            RpcMsg::decode(&frame).expect("decode reject"),
+            RpcMsg::Reject {
+                reason: RejectReason::Busy
+            }
+        );
+
+        // Closing a pooled connection frees its slot: a retrying client
+        // gets in once the server reaps the finished thread.
+        drop(c1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let reply = loop {
+            if let Ok(mut c3) = RpcClient::connect(addr) {
+                // A Busy reject here means the freed slot isn't reaped yet;
+                // keep retrying until a real ack (or the deadline).
+                if let Ok(reply @ RpcMsg::SubmitAck { .. }) = c3.call(&submit_msg(3)) {
+                    break reply;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "freed pool slot never became usable"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+        assert_eq!(
+            reply,
+            RpcMsg::SubmitAck {
+                client: 5,
+                seq: 3,
+                status: SubmitStatus::Accepted { ticket: 3 }
+            }
+        );
         server.shutdown();
     }
 }

@@ -11,19 +11,27 @@
 //! The mesh is *static*: one TCP connection per unordered node pair, dialed
 //! at start-up (node `i` dials node `j` for `i < j`) and never re-established
 //! — a connection teardown is treated as a benign crash of the remote end,
-//! matching the paper's link model. For an `n`-node cluster, each node runs:
+//! matching the paper's link model. Each node runs one protocol thread (the
+//! shared event loop of [`crate::node_loop`]); who performs the socket I/O
+//! is the cluster's [`TcpEngine`]:
 //!
-//! * 1 protocol thread (the shared event loop of [`crate::node_loop`]);
-//! * `n − 1` reader threads, one per peer, decoding frames into the node's
-//!   event queue;
-//! * `n − 1` writer threads, one per peer, draining an unbounded channel of
-//!   pre-encoded frames. A slow or dead peer therefore stalls only its own
-//!   writer thread, never the protocol thread — the trade-off is that there
-//!   is **no back-pressure**: frames addressed to a stalled peer buffer in
-//!   that channel for the remainder of the run, so sender memory grows with
-//!   how long the peer stays stalled. For the bounded benchmark runs this
-//!   runtime serves, that is the right trade; a long-lived deployment would
-//!   want a bounded channel plus a disconnect policy instead.
+//! * [`TcpEngine::Reactor`] (the default): a small fixed pool of
+//!   `reactor_threads` nonblocking poll threads — see [`crate::reactor`] —
+//!   multiplexes **all** streams, so total cluster threads are `n + k`.
+//!   This is what lets a single host run the n = 32–64 meshes the paper's
+//!   scalability figures need.
+//! * [`TcpEngine::ThreadPerPeer`] (the original engine, retained for
+//!   before/after benchmarking): per stream, one reader thread decoding
+//!   frames into the node's event queue and one writer thread draining an
+//!   unbounded channel of pre-encoded frames — O(n²) threads cluster-wide.
+//!
+//! Either way a slow or dead peer never stalls the protocol thread, and
+//! there is **no back-pressure**: frames addressed to a stalled peer buffer
+//! in that peer's outbox channel for the remainder of the run, so sender
+//! memory grows with how long the peer stays stalled. For the bounded
+//! benchmark runs this runtime serves, that is the right trade; a
+//! long-lived deployment would want a bounded channel plus a disconnect
+//! policy instead.
 //!
 //! ## Handshake
 //!
@@ -36,6 +44,7 @@ use crate::frame::{read_frame, read_frame_into, write_coalesced, write_frame};
 use crate::node_loop::{
     run_node, spawn_preverify_stages, ClusterCore, Egress, NodeEvent, PreVerify,
 };
+use crate::reactor::{Conn, Reactor, TcpEngine};
 use crate::shim::{DelayLine, LinkShim};
 use crate::RealtimeCluster;
 use fireledger_types::codec::{FrameHeader, FRAME_HEADER_LEN};
@@ -174,6 +183,9 @@ pub struct TcpCluster<M> {
     core: ClusterCore<M>,
     node_handles: Vec<JoinHandle<()>>,
     io_handles: Vec<JoinHandle<()>>,
+    /// The reactor pool, when the cluster runs on [`TcpEngine::Reactor`]
+    /// (and has at least one socket).
+    reactor: Option<Reactor>,
     /// Every stream endpoint we hold (two per connection, one per side), kept
     /// to force-unblock reader/writer threads at shutdown.
     streams: Vec<TcpStream>,
@@ -268,6 +280,35 @@ where
     where
         P: Protocol<Msg = M> + Send + 'static,
     {
+        Self::spawn_engine(
+            nodes,
+            faults,
+            pre_verify,
+            rebuild,
+            dormant,
+            TcpEngine::default(),
+        )
+    }
+
+    /// [`TcpCluster::spawn_cluster`] with an explicit socket [`TcpEngine`].
+    /// Every other spawn entry point uses the default (the reactor with
+    /// [`crate::DEFAULT_REACTOR_THREADS`] threads); this one is for drivers
+    /// that expose the knob — [`ClusterBuilder::reactor_threads`] — and for
+    /// the before/after scaling benchmarks that pin the legacy
+    /// thread-per-peer engine.
+    ///
+    /// [`ClusterBuilder::reactor_threads`]: ../fireledger_runtime/struct.ClusterBuilder.html#method.reactor_threads
+    pub fn spawn_engine<P>(
+        nodes: Vec<P>,
+        faults: Option<FaultPlan>,
+        pre_verify: Option<Arc<dyn PreVerify<M>>>,
+        rebuild: Option<Arc<dyn Fn(NodeId) -> P + Send + Sync>>,
+        dormant: &[NodeId],
+        engine: TcpEngine,
+    ) -> io::Result<Self>
+    where
+        P: Protocol<Msg = M> + Send + 'static,
+    {
         let n = nodes.len();
         let mut listeners = Vec::with_capacity(n);
         let mut addrs = Vec::with_capacity(n);
@@ -320,11 +361,14 @@ where
             io_handles.extend(stage_handles);
         }
 
-        // First pass: one writer + one reader thread per live stream. The
-        // writer senders go into a flat `from * n + to` table so the fault
-        // delay line (one per cluster) can re-inject a parked frame into
-        // the right writer regardless of which node parked it.
+        // First pass: attach every live stream to the engine. Either way,
+        // the stream's ingress into the engine is a per-connection mpsc
+        // outbox whose sender goes into a flat `from * n + to` table, so
+        // the egress paths — and the fault delay line, which re-injects a
+        // parked frame into the right outbox regardless of which node
+        // parked it — are identical across engines.
         let mut writers_flat: Vec<Option<Sender<Arc<Vec<u8>>>>> = vec![None; n * n];
+        let mut conns: Vec<Conn<M>> = Vec::new();
         #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in 0..n {
@@ -332,14 +376,29 @@ where
                     continue;
                 };
                 streams.push(stream.try_clone()?);
-
-                // Writer thread: drain-and-coalesce. Block for the first
-                // frame, then opportunistically drain everything else already
-                // queued and hand the whole batch to the kernel as one
-                // vectored write — one syscall per wakeup instead of one per
-                // message. The batch vector is reused across wakeups.
                 let (wtx, wrx) = channel::<Arc<Vec<u8>>>();
                 writers_flat[i * n + j] = Some(wtx);
+
+                if let TcpEngine::Reactor { .. } = engine {
+                    // Reactor engine: register the nonblocking stream; a
+                    // pool thread drives both direction's state machines.
+                    stream.set_nonblocking(true)?;
+                    conns.push(Conn::new(
+                        stream,
+                        NodeId(j as u32),
+                        NodeId(i as u32),
+                        wrx,
+                        core.evt_senders[i].clone(),
+                    ));
+                    continue;
+                }
+
+                // Legacy engine, writer thread: drain-and-coalesce. Block
+                // for the first frame, then opportunistically drain
+                // everything else already queued and hand the whole batch
+                // to the kernel as one vectored write — one syscall per
+                // wakeup instead of one per message. The batch vector is
+                // reused across wakeups.
                 let mut write_half = stream.try_clone()?;
                 io_handles.push(std::thread::spawn(move || {
                     let mut batch: Vec<Arc<Vec<u8>>> = Vec::new();
@@ -359,13 +418,13 @@ where
                     }
                 }));
 
-                // Reader thread: decode frames into the node's event queue,
-                // reusing one payload buffer for every frame on the stream.
-                // Each frame's bytes are wrapped in one Arc-backed `Bytes`
-                // and decoded zero-copy: every transaction payload and
-                // signature in the message is a view into that single
-                // allocation, not a per-field copy. Any framing or codec
-                // violation tears the connection down.
+                // Legacy engine, reader thread: decode frames into the
+                // node's event queue, reusing one payload buffer for every
+                // frame on the stream. Each frame's bytes are wrapped in
+                // one Arc-backed `Bytes` and decoded zero-copy: every
+                // transaction payload and signature in the message is a
+                // view into that single allocation, not a per-field copy.
+                // Any framing or codec violation tears the connection down.
                 let mut read_half = stream;
                 let evt_tx = core.evt_senders[i].clone();
                 let from = NodeId(j as u32);
@@ -408,6 +467,12 @@ where
                 }));
             }
         }
+
+        let reactor = if conns.is_empty() {
+            None
+        } else {
+            Some(Reactor::spawn(conns, engine.pool_size(), MAX_BATCH_FRAMES))
+        };
 
         let delay = faults
             .as_ref()
@@ -456,6 +521,7 @@ where
             core,
             node_handles,
             io_handles,
+            reactor,
             streams,
             delay,
             rpc: None,
@@ -588,6 +654,23 @@ where
         self.core.log.start()
     }
 
+    /// Threads this cluster is running right now: protocol threads, socket
+    /// engine threads (reactor pool or per-stream reader/writer pairs),
+    /// pre-verify stages, the fault delay line, and the RPC accept threads.
+    /// Transient per-client RPC connection threads are excluded — they are
+    /// bounded by the listener's accept pool, not by cluster size.
+    ///
+    /// This is the number behind the O(n) scaling claim: on the reactor
+    /// engine a fault-free, ingress-free cluster counts exactly
+    /// `n + reactor_threads`, versus `n + 2n(n−1)` on the legacy engine.
+    pub fn thread_count(&self) -> usize {
+        self.node_handles.len()
+            + self.io_handles.len()
+            + self.reactor.as_ref().map_or(0, |r| r.thread_count())
+            + usize::from(self.delay.is_some())
+            + self.rpc.as_ref().map_or(0, |rpc| rpc.accept_threads())
+    }
+
     /// Stops all threads, closes every socket, and returns the final
     /// per-node deliveries.
     pub fn shutdown(mut self) -> Vec<Vec<Delivery>> {
@@ -602,7 +685,8 @@ where
         // Joining the protocol threads drops their egress channels, which
         // lets idle writer threads finish; the delay line goes next (it
         // holds writer senders too); shutting the sockets down then
-        // unblocks any reader or writer parked in a syscall.
+        // unblocks any reader or writer parked in a syscall and fails the
+        // reactor's pending state machines, so the pool drains and exits.
         for h in self.node_handles {
             let _ = h.join();
         }
@@ -611,6 +695,9 @@ where
         }
         for stream in &self.streams {
             let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(reactor) = self.reactor.take() {
+            reactor.stop_and_join();
         }
         for h in self.io_handles {
             let _ = h.join();
@@ -643,6 +730,9 @@ where
     }
     fn node_status(&self, node: NodeId) -> crate::NodeStatus {
         TcpCluster::node_status(self, node)
+    }
+    fn thread_count(&self) -> usize {
+        TcpCluster::thread_count(self)
     }
     fn rpc(
         &self,
@@ -841,6 +931,82 @@ mod tests {
                 .first()
                 .is_some_and(|t| *t >= Duration::from_millis(25)),
             "delivery beat the injected delay: {times:?}"
+        );
+    }
+
+    #[test]
+    fn legacy_engine_matches_reactor_and_costs_quadratic_threads() {
+        // Same smoke protocol on both engines; the reactor must not change
+        // what arrives, only how many threads carry it.
+        let mut counts = Vec::new();
+        for engine in [TcpEngine::ThreadPerPeer, TcpEngine::default()] {
+            let nodes: Vec<Echo> = (0..4).map(|i| Echo { me: NodeId(i) }).collect();
+            let cluster =
+                TcpCluster::spawn_engine(nodes, None, None, None, &[], engine).expect("mesh setup");
+            std::thread::sleep(Duration::from_millis(120));
+            counts.push(cluster.thread_count());
+            let deliveries = cluster.shutdown();
+            for (i, delivered) in deliveries.iter().enumerate().skip(1) {
+                let rounds: Vec<u64> = delivered.iter().map(|d| d.round.0).collect();
+                assert!(
+                    rounds.contains(&7) && rounds.contains(&8),
+                    "{} engine: node {i} missed traffic: {rounds:?}",
+                    engine.label()
+                );
+            }
+        }
+        // n=4: the legacy engine runs 4 node threads plus a reader and a
+        // writer per directed link (2·4·3 = 24); the reactor replaces those
+        // 24 with its fixed pool.
+        assert_eq!(counts[0], 4 + 24);
+        assert_eq!(counts[1], 4 + crate::reactor::DEFAULT_REACTOR_THREADS);
+    }
+
+    #[test]
+    fn reactor_survives_pause_resume_and_kill() {
+        struct Chatter {
+            me: NodeId,
+        }
+        impl Protocol for Chatter {
+            type Msg = u64;
+            fn node_id(&self) -> NodeId {
+                self.me
+            }
+            fn on_start(&mut self, _o: &mut Outbox<u64>) {}
+            fn on_message(&mut self, from: NodeId, msg: u64, out: &mut Outbox<u64>) {
+                out.deliver(delivery(msg, from));
+            }
+            fn on_timer(&mut self, _t: TimerId, _o: &mut Outbox<u64>) {}
+            fn on_transaction(&mut self, tx: Transaction, out: &mut Outbox<u64>) {
+                out.broadcast(tx.seq);
+            }
+        }
+        let nodes: Vec<Chatter> = (0..4).map(|i| Chatter { me: NodeId(i) }).collect();
+        let cluster = TcpCluster::spawn(nodes).expect("mesh setup");
+        // Pause node 1: the reactor keeps reading its sockets, but the node
+        // loop discards events while paused (dead-node semantics).
+        cluster.pause(NodeId(1));
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 10, 4));
+        std::thread::sleep(Duration::from_millis(60));
+        // Kill node 3 outright mid-run — its protocol state and delivery
+        // log die; its sockets stay up under the reactor.
+        cluster.kill(NodeId(3));
+        cluster.resume(NodeId(1));
+        std::thread::sleep(Duration::from_millis(30));
+        cluster.submit(NodeId(0), Transaction::zeroed(1, 11, 4));
+        std::thread::sleep(Duration::from_millis(100));
+        let deliveries = cluster.shutdown();
+        let at = |node: usize| -> Vec<u64> { deliveries[node].iter().map(|d| d.round.0).collect() };
+        assert!(
+            !at(1).contains(&10) && at(1).contains(&11),
+            "pause/resume semantics broke on the reactor: {:?}",
+            at(1)
+        );
+        assert!(at(3).is_empty(), "killed node kept deliveries: {:?}", at(3));
+        assert!(
+            at(2).contains(&10) && at(2).contains(&11),
+            "live bystander missed traffic: {:?}",
+            at(2)
         );
     }
 

@@ -285,6 +285,12 @@ where
         crate::NodeStatus::from_u8(self.core.status(node))
     }
 
+    /// Threads this cluster is running: one per node, plus any pre-verify
+    /// stage threads (no socket engine — links are in-process channels).
+    pub fn thread_count(&self) -> usize {
+        self.handles.len()
+    }
+
     /// Submits a client transaction to `node`.
     pub fn submit(&self, node: NodeId, tx: Transaction) {
         self.core.submit(node, tx);
@@ -389,6 +395,9 @@ where
     }
     fn node_status(&self, node: NodeId) -> crate::NodeStatus {
         ThreadedCluster::node_status(self, node)
+    }
+    fn thread_count(&self) -> usize {
+        ThreadedCluster::thread_count(self)
     }
     fn rpc(
         &self,

@@ -304,6 +304,15 @@ pub struct RunReport {
     /// FLO workers ω (1 for single-instance protocols). Unit: workers
     /// (count).
     pub workers: usize,
+    /// OS threads the cluster ran — protocol threads plus every
+    /// runtime-owned helper (socket engine, pre-verify stages, fault delay
+    /// line, RPC accept loops), snapshotted just before shutdown. `0` on
+    /// `"sim"` (inline, nothing to count). This is the measurement behind
+    /// the TCP reactor's O(n) scaling claim: on the reactor engine a
+    /// fault-free, ingress-free cluster reports `n + reactor_threads`,
+    /// versus `n + 2n(n−1)` on the legacy thread-per-peer engine. Unit:
+    /// threads (count).
+    pub threads: usize,
     /// Length of the measurement window (run duration minus warm-up).
     /// Unit: seconds — simulated on `"sim"`, wall-clock on `"threads"` /
     /// `"tcp"`.
@@ -427,7 +436,7 @@ impl RunReport {
                 "{{\"schema_version\":{},",
                 "\"protocol\":{},\"scenario\":{},\"runtime\":{},",
                 "\"fault_plan\":{},\"durability\":{},",
-                "\"n\":{},\"workers\":{},\"duration_secs\":{},",
+                "\"n\":{},\"workers\":{},\"threads\":{},\"duration_secs\":{},",
                 "\"tps\":{},\"bps\":{},",
                 "\"avg_latency_secs\":{},\"p50_latency_secs\":{},",
                 "\"p95_latency_secs\":{},\"p99_latency_secs\":{},",
@@ -453,6 +462,7 @@ impl RunReport {
             }),
             self.n,
             self.workers,
+            self.threads,
             json_f64(self.duration_secs),
             json_f64(self.tps),
             json_f64(self.bps),
@@ -534,10 +544,16 @@ impl RunReport {
     ///   `enabled: false` with zeros when the cluster ran without
     ///   execution. No other key changed, so v5 consumers that ignore
     ///   unknown keys parse v6 reports.
-    pub const SCHEMA_VERSION: u32 = 6;
+    /// * **7** — thread accounting for the TCP reactor engine: adds the
+    ///   top-level `threads` key (26 → 27 keys) after `workers` — the OS
+    ///   threads the cluster ran, snapshotted just before shutdown (`0` on
+    ///   `"sim"`). This is the number the O(n)-threads scaling claim is
+    ///   verified against. No other key changed, so v6 consumers that
+    ///   ignore unknown keys parse v7 reports.
+    pub const SCHEMA_VERSION: u32 = 7;
 
     /// The schema as a constant.
-    pub const SCHEMA: [&'static str; 26] = [
+    pub const SCHEMA: [&'static str; 27] = [
         "schema_version",
         "protocol",
         "scenario",
@@ -546,6 +562,7 @@ impl RunReport {
         "durability",
         "n",
         "workers",
+        "threads",
         "duration_secs",
         "tps",
         "bps",
@@ -642,7 +659,8 @@ mod tests {
         assert!(full.contains(&"durability".to_string()));
         assert!(full.contains(&"ingress".to_string()));
         assert!(full.contains(&"execution".to_string()));
-        assert_eq!(full.len(), 26);
+        assert!(full.contains(&"threads".to_string()));
+        assert_eq!(full.len(), 27);
         assert_eq!(full[0], "schema_version");
     }
 

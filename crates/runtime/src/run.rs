@@ -509,6 +509,9 @@ impl Runtime for Simulator {
             durability: cluster.durability_label(),
             n,
             workers: cluster.params().workers,
+            // The simulator is single-threaded by construction; 0 means
+            // "not measured" rather than "ran on zero threads".
+            threads: 0,
             duration_secs: summary.duration_secs,
             tps: summary.tps,
             bps: summary.bps,
@@ -741,6 +744,7 @@ where
                 .collect()
         })
         .collect();
+    let threads = running.thread_count();
     let deliveries = running.shutdown();
     let elapsed = start.elapsed();
     let window_secs = (elapsed - warmup_at).as_secs_f64().max(1e-9);
@@ -809,6 +813,7 @@ where
         durability: cluster.durability_label(),
         n,
         workers: cluster.params().workers,
+        threads,
         duration_secs: window_secs,
         tps: txs as f64 / k / window_secs,
         bps: blocks as f64 / k / window_secs,
@@ -935,12 +940,13 @@ impl Runtime for Tcp {
         }
         // Execution stage threads, as on the threaded runtime.
         let _exec_stages = cluster.spawn_exec_stages();
-        let mut running = TcpCluster::spawn_cluster(
+        let mut running = TcpCluster::spawn_engine(
             nodes,
             scenario.faults.clone(),
             pre_verify,
             Some(realtime_rebuilder(cluster)),
             &dormant_nodes(cluster),
+            cluster.tcp_engine(),
         )
         .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
         let ingress = realtime_ingress(scenario, cluster.params().n());
@@ -1082,12 +1088,13 @@ impl Tcp {
         if pre_verify.is_some() {
             P::enable_preverified_ingress(&mut nodes);
         }
-        let running = TcpCluster::spawn_cluster(
+        let running = TcpCluster::spawn_engine(
             nodes,
             None,
             pre_verify,
             Some(realtime_rebuilder(cluster)),
             &dormant_nodes(cluster),
+            cluster.tcp_engine(),
         )
         .map_err(|e| Error::Io(format!("tcp mesh setup: {e}")))?;
         time_catch_up(running, late, gap, cluster.params().n(), deadline)

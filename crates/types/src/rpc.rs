@@ -135,6 +135,11 @@ pub enum RejectReason {
     Oversized,
     /// The frame payload failed to decode as an [`RpcMsg`].
     BadMessage,
+    /// The listener's connection pool is full: the connection was refused
+    /// at accept, before any request was read. Unlike the other reasons
+    /// this one is not the client's fault — reconnecting after a back-off
+    /// is the right response.
+    Busy,
 }
 
 impl RejectReason {
@@ -143,6 +148,7 @@ impl RejectReason {
             RejectReason::BadFrame => 1,
             RejectReason::Oversized => 2,
             RejectReason::BadMessage => 3,
+            RejectReason::Busy => 4,
         }
     }
 
@@ -151,6 +157,7 @@ impl RejectReason {
             1 => Ok(RejectReason::BadFrame),
             2 => Ok(RejectReason::Oversized),
             3 => Ok(RejectReason::BadMessage),
+            4 => Ok(RejectReason::Busy),
             tag => Err(CodecError::BadTag {
                 what: "RejectReason",
                 tag,

@@ -486,6 +486,9 @@ fn every_rpc_msg() -> Vec<RpcMsg> {
         RpcMsg::Reject {
             reason: RejectReason::BadMessage,
         },
+        RpcMsg::Reject {
+            reason: RejectReason::Busy,
+        },
     ]
 }
 
@@ -560,6 +563,7 @@ fn golden_rpc_messages_of_wire_format_section_11_are_unchanged() {
         "0701",
         "0702",
         "0703",
+        "0704",
     ];
     for (msg, want) in every_rpc_msg().iter().zip(expected) {
         assert_eq!(hex(&msg.encode()), want, "golden moved for {msg:?}");

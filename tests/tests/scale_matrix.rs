@@ -1,0 +1,67 @@
+//! The reactor scale matrix: FLO on the TCP runtime at cluster sizes the
+//! thread-per-socket mesh could never reach (PR 10).
+//!
+//! The event-driven reactor multiplexes all n·(n−1) sockets onto a fixed
+//! pool ([`DEFAULT_REACTOR_THREADS`]), so a TCP cluster spends
+//! n + `DEFAULT_REACTOR_THREADS` threads instead of n + 2·n·(n−1). The
+//! n = 16 smoke cell runs by default; the n = 32 thread-accounting cell and
+//! the n = 64 completion cell are release-sized and `#[ignore]`d here —
+//! the `scale-matrix` CI job drives them with `--release -- --ignored`.
+
+use fireledger_runtime::prelude::*;
+use std::time::Duration;
+
+/// One FLO/tcp run at cluster size `n` on the default reactor engine,
+/// returning the unified report. Small blocks and a generous pinned
+/// timeout keep the run on the optimistic path regardless of how long the
+/// n² mesh takes to dial.
+fn run_tcp_at(n: usize, millis: u64) -> RunReport {
+    let params = ProtocolParams::new(n)
+        .with_workers(1)
+        .with_batch_size(8)
+        .with_tx_size(64)
+        .with_base_timeout(Duration::from_millis(500));
+    let builder = ClusterBuilder::<FloCluster>::new(params).with_seed(17);
+    let scenario = Scenario::new("scale")
+        .ideal()
+        .run_for(Duration::from_millis(millis))
+        .with_warmup(Duration::ZERO)
+        .with_seed(17);
+    Tcp.run(&builder, &scenario).expect("tcp scale run")
+}
+
+#[test]
+fn sixteen_node_tcp_cluster_commits_on_the_reactor() {
+    let report = run_tcp_at(16, 600);
+    assert!(report.tps > 0.0, "n=16 made no progress: {}", report.tps);
+    // 16 node loops + the fixed reactor pool — nothing per-socket.
+    assert_eq!(report.threads, 16 + DEFAULT_REACTOR_THREADS);
+}
+
+#[test]
+#[ignore = "release-sized: run via the scale-matrix CI job"]
+fn thirty_two_node_tcp_cluster_spends_linear_threads() {
+    let report = run_tcp_at(32, 800);
+    assert!(report.tps > 0.0, "n=32 made no progress: {}", report.tps);
+    // The legacy engine would spend 32 + 2·32·31 = 2 016 threads here; the
+    // reactor's count stays O(n).
+    assert_eq!(report.threads, 32 + DEFAULT_REACTOR_THREADS);
+}
+
+#[test]
+#[ignore = "release-sized: run via the scale-matrix CI job"]
+fn sixty_four_node_tcp_cluster_runs_to_completion() {
+    let report = run_tcp_at(64, 3000);
+    assert!(report.tps > 0.0, "n=64 made no progress: {}", report.tps);
+    assert_eq!(report.threads, 64 + DEFAULT_REACTOR_THREADS);
+    // Every correct node delivered something — the mesh is fully live, not
+    // just the measured quorum.
+    let silent: Vec<usize> = report
+        .per_node
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.blocks == 0)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(silent.is_empty(), "silent nodes at n=64: {silent:?}");
+}
